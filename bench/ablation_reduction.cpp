@@ -1,0 +1,102 @@
+// Ablation E6: what do the §3.4 reduction strategies buy?
+//
+// On split-and-merge requirements, the heuristic solver runs with the
+// reductions enabled (paper configuration) and disabled (exact
+// branch-and-bound only), comparing solution quality and computation time.
+// Each variant gets a FRESH lazily-computed routing database so it pays
+// exactly the QoS-routing work it triggers (a shared cache would bias
+// whichever variant runs second).
+//
+// Two sweeps: network size at a fixed requirement, and requirement size at a
+// fixed network.  Expected: identical bandwidth everywhere (both are exact
+// for the bottleneck on these shapes); the reductions' polynomial structure
+// pays off as the requirement grows, while tiny instances favour the pruned
+// exhaustive search.
+#include "bench_common.hpp"
+#include "core/reduction.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace sflow;
+
+void run_variants(const core::Scenario& scenario, double x,
+                  util::SeriesTable& time_us, util::SeriesTable& bandwidth) {
+  core::RequirementSolver::Options exhaustive_only;
+  exhaustive_only.enable_path_reduction = false;
+  exhaustive_only.enable_split_merge = false;
+  const std::vector<std::pair<std::string, core::RequirementSolver::Options>>
+      variants = {
+          {"reductions on (paper)", {}},
+          {"reductions off (exhaustive)", exhaustive_only},
+      };
+  for (const auto& [label, options] : variants) {
+    // Fresh database: the variant pays for the shortest-widest trees it
+    // actually queries, like a node computing Table 1 step 1 on demand.
+    const graph::AllPairsShortestWidest routing(scenario.overlay.graph());
+    const core::RequirementSolver solver(scenario.overlay, routing, options);
+    util::Stopwatch watch;
+    const auto result = solver.solve(scenario.requirement);
+    const double elapsed = watch.elapsed_us();
+    if (!result) continue;
+    time_us.row(label, x).add(elapsed);
+    bandwidth.row(label, x).add(result->bottleneck_bandwidth());
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace sflow;
+
+  {
+    bench::SweepConfig config;
+    config.trials_per_size = 15;
+    config.shapes = {overlay::RequirementShape::kSplitMerge};
+    config.workload.requirement.branch_count = 2;
+    util::SeriesTable time_us;
+    util::SeriesTable bandwidth;
+    bench::sweep(config,
+                 [&](const core::Scenario& scenario, util::Rng&, std::size_t size) {
+                   run_variants(scenario, static_cast<double>(size), time_us,
+                                bandwidth);
+                 });
+    bench::print_series(std::cout,
+                        "Ablation E6  Solver time (us) vs network size", time_us, 1);
+    bench::print_series(std::cout,
+                        "Ablation E6  Bandwidth (Mbps) vs network size", bandwidth,
+                        2);
+  }
+
+  {
+    // Requirement-size sweep at N = 50: larger DAGs stress the assignment
+    // search space.
+    util::SeriesTable time_us;
+    util::SeriesTable bandwidth;
+    for (const std::size_t services : {4u, 6u, 8u, 10u}) {
+      core::WorkloadParams params;
+      params.network_size = 50;
+      params.service_type_count = services;
+      params.requirement.service_count = services;
+      params.requirement.shape = overlay::RequirementShape::kSplitMerge;
+      params.requirement.branch_count = std::min<std::size_t>(3, services - 2);
+      for (std::size_t trial = 0; trial < 15; ++trial) {
+        const std::uint64_t seed = util::derive_seed(77, services * 100 + trial);
+        const core::Scenario scenario = core::make_scenario(params, seed);
+        run_variants(scenario, static_cast<double>(services), time_us, bandwidth);
+      }
+    }
+    bench::print_series(std::cout,
+                        "Ablation E6  Solver time (us) vs requirement size (N=50)",
+                        time_us, 1);
+    bench::print_series(
+        std::cout, "Ablation E6  Bandwidth (Mbps) vs requirement size (N=50)",
+        bandwidth, 2);
+  }
+
+  std::cout << "\nExpected shape: identical bandwidth in every cell (both "
+               "exact for the bottleneck on split-and-merge shapes); the "
+               "pruned exhaustive search wins on small instances, the "
+               "polynomial reductions close the gap as requirements grow.\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Shared machinery for the figure-reproduction benches: the network-size
+// sweep of the paper's §5 (sizes 10..50, multiple seeds per size), per-
+// algorithm metric collection, and table/series rendering.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/evaluation.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace sflow::bench {
+
+/// The paper's network sizes.
+inline const std::vector<std::size_t> kNetworkSizes = {10, 20, 30, 40, 50};
+
+struct SweepConfig {
+  std::vector<std::size_t> network_sizes = kNetworkSizes;
+  std::size_t trials_per_size = 20;
+  std::uint64_t base_seed = 2004;
+  core::WorkloadParams workload;  // network_size overridden per sweep point
+  /// Requirement shapes rotated across trials ("service requirements of any
+  /// type", §5).  A single entry fixes the shape; setting
+  /// workload.requirement.shape directly is equivalent to shapes = {it}.
+  std::vector<overlay::RequirementShape> shapes = {
+      overlay::RequirementShape::kSinglePath,
+      overlay::RequirementShape::kDisjointPaths,
+      overlay::RequirementShape::kSplitMerge,
+      overlay::RequirementShape::kGenericDag,
+  };
+
+  SweepConfig() {
+    workload.service_type_count = 6;
+    workload.requirement.service_count = 6;
+  }
+};
+
+/// Runs `body(scenario, trial_rng)` for every (size, trial) pair.
+template <typename Body>
+void sweep(const SweepConfig& config, Body body) {
+  for (const std::size_t size : config.network_sizes) {
+    core::WorkloadParams params = config.workload;
+    params.network_size = size;
+    for (std::size_t trial = 0; trial < config.trials_per_size; ++trial) {
+      params.requirement.shape = config.shapes[trial % config.shapes.size()];
+      const std::uint64_t seed =
+          util::derive_seed(config.base_seed, size * 1000 + trial);
+      const core::Scenario scenario = core::make_scenario(params, seed);
+      util::Rng rng(util::derive_seed(seed, 0xa160));
+      body(scenario, rng, size);
+    }
+  }
+}
+
+/// Prints one figure panel: rows = series, columns = network sizes.
+inline void print_series(std::ostream& os, const std::string& title,
+                         const util::SeriesTable& table, int precision = 3) {
+  os << "\n== " << title << " ==\n";
+  const std::vector<double> xs = table.x_values();
+  // Integral x-values (network sizes) print bare; fractional ones (churn
+  // levels, ratios) keep two decimals.
+  const bool integral_xs = std::all_of(xs.begin(), xs.end(), [](double x) {
+    return x == static_cast<double>(static_cast<long long>(x));
+  });
+  std::vector<std::string> header{"series \\ x"};
+  for (const double x : xs)
+    header.push_back(util::TablePrinter::fmt(x, integral_xs ? 0 : 2));
+  util::TablePrinter printer(header);
+  for (const std::string& series : table.series_names()) {
+    std::vector<std::string> row{series};
+    for (const double x : xs) {
+      const util::Accumulator* acc = table.find(series, x);
+      row.push_back(acc != nullptr && !acc->empty()
+                        ? util::TablePrinter::fmt(acc->mean(), precision)
+                        : "-");
+    }
+    printer.add_row(std::move(row));
+  }
+  printer.print(os);
+}
+
+}  // namespace sflow::bench

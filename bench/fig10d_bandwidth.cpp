@@ -1,0 +1,32 @@
+// Fig. 10(d): end-to-end bandwidth (flow-graph bottleneck) vs network size.
+//
+// Paper shape: Global Optimal >= sFlow > Fixed > Random at every size; sFlow
+// "consistently produces service flow graphs with higher end-to-end
+// throughput, regardless of the network size".
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sflow;
+  bench::SweepConfig config;
+  util::SeriesTable bandwidth;
+
+  bench::sweep(config, [&](const core::Scenario& scenario, util::Rng& rng,
+                           std::size_t size) {
+    for (const core::Algorithm algorithm :
+         {core::Algorithm::kGlobalOptimal, core::Algorithm::kSflow,
+          core::Algorithm::kFixed, core::Algorithm::kRandom}) {
+      const core::AlgorithmOutcome outcome =
+          core::run_algorithm(algorithm, scenario, rng);
+      if (!outcome.success) continue;
+      bandwidth.row(core::algorithm_name(algorithm), static_cast<double>(size))
+          .add(outcome.bandwidth);
+    }
+  });
+
+  bench::print_series(std::cout,
+                      "Fig. 10(d)  End-to-end bandwidth (Mbps) vs network size",
+                      bandwidth, 2);
+  std::cout << "\nExpected shape: Global Optimal >= sFlow > Fixed > Random at "
+               "every network size.\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+// E10: cost of acquiring the local knowledge the paper assumes.
+//
+// The two-hop views of §4 do not come for free: nodes learn them through
+// scoped link-state flooding (core/link_state.hpp).  This bench sweeps the
+// knowledge radius over the usual network sizes and reports the LSA message
+// count, bytes, and convergence time of one full advertisement round.
+//
+// Expected shape: cost grows quickly with radius (each extra hop multiplies
+// the flooding scope) and with network size; radius 2 stays affordable —
+// the quality/cost sweet spot the paper chose (cf. bench/ablation_knowledge).
+#include "bench_common.hpp"
+#include "core/link_state.hpp"
+
+int main() {
+  using namespace sflow;
+  bench::SweepConfig config;
+  config.trials_per_size = 10;
+  util::SeriesTable messages;
+  util::SeriesTable bytes;
+  util::SeriesTable convergence;
+
+  bench::sweep(config, [&](const core::Scenario& scenario, util::Rng&,
+                           std::size_t size) {
+    for (const int radius : {1, 2, 3}) {
+      core::LinkStateProtocol protocol(scenario.underlay, *scenario.routing,
+                                       scenario.overlay, radius);
+      const core::LinkStateStats stats = protocol.disseminate();
+      const std::string label = "radius " + std::to_string(radius);
+      messages.row(label, static_cast<double>(size))
+          .add(static_cast<double>(stats.messages));
+      bytes.row(label, static_cast<double>(size))
+          .add(static_cast<double>(stats.bytes));
+      convergence.row(label, static_cast<double>(size))
+          .add(stats.convergence_time_ms);
+    }
+  });
+
+  bench::print_series(std::cout, "E10  LSA messages per advertisement round",
+                      messages, 0);
+  bench::print_series(std::cout, "E10  LSA bytes per advertisement round", bytes, 0);
+  bench::print_series(std::cout, "E10  Convergence time (ms, simulated)",
+                      convergence, 2);
+  std::cout << "\nExpected shape: cost multiplies with each extra hop of "
+               "radius and grows with N; radius 2 stays affordable.\n";
+  return 0;
+}

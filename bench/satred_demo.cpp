@@ -1,0 +1,60 @@
+// E8: Theorem 1 in action — SAT <-> Maximum Service Flow Graph equivalence on
+// random 3-SAT across the satisfiability phase transition.
+//
+// For clause/variable ratios from 2.0 to 6.0, random 3-SAT instances are
+// solved both by DPLL and by reducing to an MSFG instance and searching for a
+// flow graph with min edge weight >= K.  The two satisfiable-fractions must
+// coincide exactly; the table also shows the classic phase transition around
+// ratio ~4.3.
+#include <iostream>
+
+#include "satred/cnf.hpp"
+#include "satred/dpll.hpp"
+#include "satred/reduction.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace sflow;
+  constexpr std::int32_t kVariables = 12;
+  constexpr int kTrials = 60;
+
+  util::TablePrinter table({"clause/var ratio", "SAT fraction (DPLL)",
+                            "MSFG fraction (Theorem 1)", "agreement"});
+  util::Rng rng(42);
+
+  for (double ratio = 2.0; ratio <= 6.0 + 1e-9; ratio += 0.5) {
+    const auto clauses =
+        static_cast<std::size_t>(ratio * static_cast<double>(kVariables));
+    int sat_count = 0;
+    int msfg_count = 0;
+    int agree = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      const sat::CnfFormula formula = sat::random_ksat(kVariables, clauses, 3, rng);
+      const bool by_dpll = sat::dpll_solve(formula).satisfiable;
+      const sat::MsfgInstance instance = sat::reduce_sat_to_msfg(formula);
+      const auto msfg = sat::solve_msfg(instance);
+      if (by_dpll) ++sat_count;
+      if (msfg) ++msfg_count;
+      if (by_dpll == msfg.has_value()) ++agree;
+      if (msfg) {
+        const sat::Assignment decoded =
+            sat::decode_selection(formula, instance, msfg->chosen);
+        if (!formula.satisfied_by(decoded)) {
+          std::cerr << "BUG: decoded assignment does not satisfy the formula\n";
+          return 1;
+        }
+      }
+    }
+    table.add_row({util::TablePrinter::fmt(ratio, 1),
+                   util::TablePrinter::fmt(sat_count / double(kTrials), 3),
+                   util::TablePrinter::fmt(msfg_count / double(kTrials), 3),
+                   util::TablePrinter::fmt(agree / double(kTrials), 3)});
+  }
+
+  std::cout << "\n== E8  Theorem 1: SAT <-> Maximum Service Flow Graph ==\n";
+  table.print(std::cout);
+  std::cout << "\nExpected: agreement 1.000 in every row; satisfiable "
+               "fraction collapsing around ratio ~4.3.\n";
+  return 0;
+}

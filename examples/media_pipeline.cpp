@@ -1,0 +1,106 @@
+// Media-delivery scenario: the class of workloads the paper's introduction
+// motivates (transcoding/streaming overlays).  A media source must reach a
+// viewer through Decode -> {Scale, Subtitle} -> Encode stages; scaling and
+// subtitle extraction work on independent parts of the stream, so the
+// requirement is a split-and-merge DAG rather than a chain.
+//
+// The example contrasts the DAG federation (sFlow's heuristic solver) with
+// the traditional single-service-path federation on the same overlay,
+// reproducing the paper's qualitative claim: the DAG wins on latency because
+// parallel stages overlap.
+//
+//   $ ./examples/media_pipeline [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/comparators.hpp"
+#include "core/evaluation.hpp"
+#include "core/reduction.hpp"
+#include "overlay/requirement_parser.hpp"
+#include "sim/data_plane.hpp"
+#include "util/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sflow;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+  util::Rng rng(seed);
+
+  // Underlay and instance placement: 30 nodes, each hosting one stage
+  // instance, several instances per stage.
+  net::WaxmanParams waxman;
+  waxman.node_count = 30;
+  const net::UnderlyingNetwork underlay = net::make_waxman(waxman, rng);
+  const net::UnderlayRouting routing(underlay);
+
+  overlay::ServiceCatalog catalog;
+  const std::vector<std::string> stages = {"MediaSource", "Decode",   "Scale",
+                                           "Subtitle",    "Encode",   "Viewer"};
+  overlay::OverlayGraph ov;
+  for (std::size_t nid = 0; nid < waxman.node_count; ++nid)
+    ov.add_instance(catalog.intern(stages[nid % stages.size()]),
+                    static_cast<net::Nid>(nid));
+  ov.connect_via_underlay(
+      routing, [](overlay::Sid a, overlay::Sid b) { return a != b; });
+
+  const overlay::ServiceRequirement requirement = overlay::parse_requirement(
+      "MediaSource -> Decode\n"
+      "Decode -> Scale, Subtitle\n"
+      "Scale -> Encode\n"
+      "Subtitle -> Encode\n"
+      "Encode -> Viewer\n",
+      catalog);
+  std::cout << "Requirement: " << requirement.to_string(&catalog) << "\n\n";
+
+  const graph::AllPairsShortestWidest overlay_routing(ov.graph());
+
+  // DAG federation via the reduction-based solver (what each sFlow node runs).
+  const core::RequirementSolver solver(ov, overlay_routing);
+  core::RequirementSolver::Trace trace;
+  const auto dag_flow = solver.solve(requirement, &trace);
+  if (!dag_flow) {
+    std::cerr << "DAG federation failed.\n";
+    return 1;
+  }
+  std::cout << "DAG federation (split-and-merge aware):\n";
+  std::cout << "  bandwidth " << dag_flow->bottleneck_bandwidth() << " Mbps, latency "
+            << dag_flow->end_to_end_latency(requirement) << " ms\n";
+  std::cout << "  strategies: " << trace.baseline_calls << " baseline runs, "
+            << trace.split_merge_reductions << " split-merge reductions, "
+            << trace.path_reductions << " path reductions\n\n";
+
+  // Traditional single service path federation (Gu et al.-style): the DAG is
+  // serialized, so Scale and Subtitle run back to back instead of in
+  // parallel.
+  const auto path_result =
+      core::service_path_federation(ov, requirement, overlay_routing);
+  if (path_result) {
+    std::cout << "Single service path federation (serialized):\n";
+    std::cout << "  bandwidth " << path_result->graph.bottleneck_bandwidth()
+              << " Mbps, latency "
+              << path_result->graph.end_to_end_latency(
+                     path_result->effective_requirement)
+              << " ms\n\n";
+  } else {
+    std::cout << "Single service path federation failed (serialization "
+                 "unroutable).\n\n";
+  }
+
+  // Push an actual media segment (2 MB) through both federations: the DAG
+  // schedule overlaps Scale and Subtitle, the serialized chain cannot.
+  constexpr std::size_t kSegmentBytes = 2'000'000;
+  const sim::DeliveryResult dag_delivery =
+      sim::simulate_delivery(requirement, *dag_flow, kSegmentBytes);
+  std::cout << "Delivering a 2 MB segment:\n";
+  std::cout << "  DAG schedule:        " << dag_delivery.completion_time_ms
+            << " ms (predicted " << dag_delivery.predicted_time_ms << ")\n";
+  if (path_result) {
+    const sim::DeliveryResult serialized = sim::simulate_delivery(
+        path_result->effective_requirement, path_result->graph, kSegmentBytes);
+    std::cout << "  serialized schedule: " << serialized.completion_time_ms
+              << " ms\n";
+  }
+
+  std::cout << "\nChosen DAG flow graph:\n" << dag_flow->to_string(&catalog)
+            << "\n";
+  return 0;
+}

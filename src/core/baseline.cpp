@@ -1,0 +1,133 @@
+#include "core/baseline.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace sflow::core {
+
+using overlay::OverlayIndex;
+using overlay::ServiceFlowGraph;
+using overlay::Sid;
+
+EdgeQualityFn routing_edge_quality(const graph::AllPairsShortestWidest& routing) {
+  return [&routing](Sid, OverlayIndex u, Sid, OverlayIndex v) {
+    return routing.quality(u, v);
+  };
+}
+
+EdgePathFn routing_edge_path(const graph::AllPairsShortestWidest& routing) {
+  return [&routing](Sid, OverlayIndex u, Sid, OverlayIndex v) {
+    return routing.path(u, v);
+  };
+}
+
+std::vector<OverlayIndex> candidate_instances(
+    const overlay::OverlayGraph& overlay,
+    const overlay::ServiceRequirement& requirement, Sid sid) {
+  if (const auto pin = requirement.pinned(sid)) {
+    const auto inst = overlay.instance_at(*pin);
+    if (!inst || overlay.instance(*inst).sid != sid) return {};
+    return {*inst};
+  }
+  return overlay.instances_of(sid);
+}
+
+std::optional<ServiceFlowGraph> baseline_single_path(
+    const overlay::OverlayGraph& overlay,
+    const overlay::ServiceRequirement& requirement,
+    const graph::AllPairsShortestWidest& routing) {
+  return baseline_single_path_custom(overlay, requirement,
+                                     routing_edge_quality(routing),
+                                     routing_edge_path(routing));
+}
+
+std::optional<ServiceFlowGraph> baseline_single_path_custom(
+    const overlay::OverlayGraph& overlay,
+    const overlay::ServiceRequirement& requirement, const EdgeQualityFn& quality,
+    const EdgePathFn& expand) {
+  if (!requirement.is_single_path())
+    throw std::invalid_argument("baseline_single_path: requirement is not a chain");
+  const std::vector<Sid> chain = requirement.as_path();
+
+  // Candidate layers.
+  std::vector<std::vector<OverlayIndex>> layers;
+  layers.reserve(chain.size());
+  for (const Sid sid : chain) {
+    layers.push_back(candidate_instances(overlay, requirement, sid));
+    if (layers.back().empty()) return std::nullopt;
+  }
+
+  // Degenerate chain: a single service, no edges to optimize.
+  if (chain.size() == 1) {
+    ServiceFlowGraph result;
+    result.assign(chain.front(), layers.front().front());
+    return result;
+  }
+
+  // Abstract digraph: node 0 is a super-source over the first layer; node
+  // 1 + offset(l) + i is candidate i of layer l.
+  graph::Digraph abstract(1);
+  std::vector<std::size_t> offset(layers.size(), 0);
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    if (l > 0) offset[l] = offset[l - 1] + layers[l - 1].size();
+    for (std::size_t i = 0; i < layers[l].size(); ++i) abstract.add_node();
+  }
+  const auto abstract_node = [&](std::size_t l, std::size_t i) {
+    return static_cast<graph::NodeIndex>(1 + offset[l] + i);
+  };
+
+  for (std::size_t i = 0; i < layers[0].size(); ++i)
+    abstract.add_edge(0, abstract_node(0, i),
+                      graph::LinkMetrics{std::numeric_limits<double>::infinity(), 0.0});
+
+  for (std::size_t l = 0; l + 1 < layers.size(); ++l) {
+    for (std::size_t i = 0; i < layers[l].size(); ++i) {
+      for (std::size_t j = 0; j < layers[l + 1].size(); ++j) {
+        const graph::PathQuality q =
+            quality(chain[l], layers[l][i], chain[l + 1], layers[l + 1][j]);
+        if (q.is_unreachable()) continue;
+        abstract.add_edge(abstract_node(l, i), abstract_node(l + 1, j),
+                          graph::LinkMetrics{q.bandwidth, q.latency});
+      }
+    }
+  }
+
+  // Exact shortest-widest path through the layered abstract graph.
+  const graph::RoutingTree tree = graph::shortest_widest_tree(abstract, 0);
+  const std::size_t last = layers.size() - 1;
+  graph::NodeIndex best_sink = graph::kInvalidNode;
+  for (std::size_t i = 0; i < layers[last].size(); ++i) {
+    const graph::NodeIndex v = abstract_node(last, i);
+    if (!tree.reachable(v)) continue;
+    if (best_sink == graph::kInvalidNode ||
+        tree.quality_to(v).better_than(tree.quality_to(best_sink)))
+      best_sink = v;
+  }
+  if (best_sink == graph::kInvalidNode) return std::nullopt;
+
+  const auto abstract_path = tree.path_to(best_sink);
+  // abstract_path = [super-source, layer0 candidate, ..., sink candidate].
+  if (!abstract_path || abstract_path->size() != layers.size() + 1)
+    throw std::logic_error("baseline: malformed abstract path");
+
+  // Decode the chosen candidate per layer.
+  std::vector<OverlayIndex> chosen(layers.size());
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    const auto node = static_cast<std::size_t>((*abstract_path)[l + 1]);
+    chosen[l] = layers[l][node - 1 - offset[l]];
+  }
+
+  // Expand abstract edges into overlay paths.
+  ServiceFlowGraph result;
+  result.assign(chain.front(), chosen.front());
+  for (std::size_t l = 0; l + 1 < chain.size(); ++l) {
+    const auto path = expand(chain[l], chosen[l], chain[l + 1], chosen[l + 1]);
+    if (!path) throw std::logic_error("baseline: chosen abstract edge not expandable");
+    const graph::PathQuality q =
+        quality(chain[l], chosen[l], chain[l + 1], chosen[l + 1]);
+    result.set_edge(chain[l], chain[l + 1], *path, q);
+  }
+  return result;
+}
+
+}  // namespace sflow::core

@@ -1,0 +1,198 @@
+#include "core/clustered.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+#include "core/baseline.hpp"
+#include "graph/dag.hpp"
+
+namespace sflow::core {
+
+using overlay::OverlayGraph;
+using overlay::OverlayIndex;
+using overlay::ServiceFlowGraph;
+using overlay::ServiceRequirement;
+using overlay::Sid;
+
+std::vector<Cluster> cluster_overlay(const OverlayGraph& overlay,
+                                     const net::UnderlayRouting& routing,
+                                     double latency_radius_ms) {
+  if (latency_radius_ms < 0.0)
+    throw std::invalid_argument("cluster_overlay: negative radius");
+  std::vector<Cluster> clusters;
+  for (std::size_t v = 0; v < overlay.instance_count(); ++v) {
+    const auto instance = static_cast<OverlayIndex>(v);
+    const net::Nid nid = overlay.instance(instance).nid;
+
+    Cluster* best = nullptr;
+    double best_latency = std::numeric_limits<double>::infinity();
+    for (Cluster& cluster : clusters) {
+      const net::Nid head_nid = overlay.instance(cluster.head).nid;
+      const graph::PathQuality& q = routing.route_quality(head_nid, nid);
+      if (q.is_unreachable() || q.latency > latency_radius_ms) continue;
+      if (q.latency < best_latency) {
+        best_latency = q.latency;
+        best = &cluster;
+      }
+    }
+    if (best != nullptr) {
+      best->members.push_back(instance);
+    } else {
+      clusters.push_back(Cluster{instance, {instance}});
+    }
+  }
+  return clusters;
+}
+
+namespace {
+
+/// Cluster-level candidate sets and the coarse branch-and-bound over them.
+struct ClusterSearch {
+  const graph::AllPairsShortestWidest& routing;
+  const std::vector<Cluster>& clusters;
+  std::vector<Sid> topo;
+  std::vector<std::vector<std::size_t>> candidates;  // cluster ids per position
+  std::vector<std::vector<std::size_t>> preds;       // positions of upstreams
+  std::vector<std::size_t> chosen;
+
+  double best_bottleneck = -1.0;
+  std::vector<std::size_t> best_chosen;
+
+  /// Inter-cluster quality between heads; intra-cluster hops are free at
+  /// this level (the coarse approximation of [2]).
+  graph::PathQuality cluster_quality(std::size_t a, std::size_t b) const {
+    if (a == b) return graph::PathQuality::source();
+    return routing.quality(clusters[a].head, clusters[b].head);
+  }
+
+  void search(std::size_t k, double bottleneck) {
+    if (k == topo.size()) {
+      if (bottleneck > best_bottleneck) {
+        best_bottleneck = bottleneck;
+        best_chosen = chosen;
+      }
+      return;
+    }
+    for (const std::size_t c : candidates[k]) {
+      double b = bottleneck;
+      bool feasible = true;
+      for (const std::size_t p : preds[k]) {
+        const graph::PathQuality q = cluster_quality(chosen[p], c);
+        if (q.is_unreachable()) {
+          feasible = false;
+          break;
+        }
+        b = std::min(b, q.bandwidth);
+      }
+      if (!feasible || b <= best_bottleneck) continue;
+      chosen[k] = c;
+      search(k + 1, b);
+    }
+  }
+};
+
+}  // namespace
+
+std::optional<ServiceFlowGraph> clustered_federation(
+    const OverlayGraph& overlay, const ServiceRequirement& requirement,
+    const graph::AllPairsShortestWidest& routing,
+    const std::vector<Cluster>& clusters, ClusteredStats* stats) {
+  requirement.validate();
+  if (clusters.empty())
+    throw std::invalid_argument("clustered_federation: no clusters");
+
+  // Which cluster hosts each instance.
+  std::map<OverlayIndex, std::size_t> cluster_of;
+  for (std::size_t c = 0; c < clusters.size(); ++c)
+    for (const OverlayIndex member : clusters[c].members)
+      cluster_of[member] = c;
+
+  ClusterSearch search{routing, clusters, {}, {}, {}, {}, -1.0, {}};
+  const auto order = graph::topological_order(requirement.dag());
+  for (const graph::NodeIndex v : *order) search.topo.push_back(requirement.sid_of(v));
+
+  std::map<Sid, std::size_t> position;
+  for (std::size_t k = 0; k < search.topo.size(); ++k)
+    position[search.topo[k]] = k;
+
+  search.candidates.resize(search.topo.size());
+  search.preds.resize(search.topo.size());
+  for (std::size_t k = 0; k < search.topo.size(); ++k) {
+    const Sid sid = search.topo[k];
+    std::vector<std::size_t> hosts;
+    for (const OverlayIndex inst : candidate_instances(overlay, requirement, sid))
+      hosts.push_back(cluster_of.at(inst));
+    std::sort(hosts.begin(), hosts.end());
+    hosts.erase(std::unique(hosts.begin(), hosts.end()), hosts.end());
+    if (hosts.empty()) return std::nullopt;
+    search.candidates[k] = std::move(hosts);
+    for (const Sid up : requirement.upstream(sid))
+      search.preds[k].push_back(position.at(up));
+  }
+  if (stats != nullptr) {
+    stats->clusters = clusters.size();
+    stats->cluster_level_nodes = 0;
+    for (const auto& c : search.candidates)
+      stats->cluster_level_nodes += c.size();
+  }
+
+  search.chosen.assign(search.topo.size(), 0);
+  search.search(0, std::numeric_limits<double>::infinity());
+  if (search.best_bottleneck < 0.0) return std::nullopt;
+
+  // Instance level: within the chosen cluster, greedily pick the instance
+  // best connected to the already-decided upstream instances.
+  std::map<Sid, OverlayIndex> chosen_instance;
+  for (std::size_t k = 0; k < search.topo.size(); ++k) {
+    const Sid sid = search.topo[k];
+    const Cluster& cluster = clusters[search.best_chosen[k]];
+
+    std::vector<OverlayIndex> local;
+    for (const OverlayIndex inst : candidate_instances(overlay, requirement, sid))
+      if (cluster_of.at(inst) == search.best_chosen[k]) local.push_back(inst);
+    if (local.empty()) return std::nullopt;
+    (void)cluster;
+
+    OverlayIndex best = graph::kInvalidNode;
+    graph::PathQuality best_quality = graph::PathQuality::unreachable();
+    for (const OverlayIndex inst : local) {
+      graph::PathQuality q = graph::PathQuality::source();
+      bool feasible = true;
+      for (const std::size_t p : search.preds[k]) {
+        const graph::PathQuality edge =
+            routing.quality(chosen_instance.at(search.topo[p]), inst);
+        if (edge.is_unreachable()) {
+          feasible = false;
+          break;
+        }
+        q = graph::PathQuality{std::min(q.bandwidth, edge.bandwidth),
+                               std::max(q.latency, edge.latency)};
+      }
+      if (!feasible) continue;
+      if (best == graph::kInvalidNode || q.better_than(best_quality)) {
+        best = inst;
+        best_quality = q;
+      }
+    }
+    if (best == graph::kInvalidNode) return std::nullopt;
+    chosen_instance[sid] = best;
+  }
+
+  ServiceFlowGraph result;
+  for (const auto& [sid, inst] : chosen_instance) result.assign(sid, inst);
+  for (const graph::Edge& e : requirement.dag().edges()) {
+    const Sid from = requirement.sid_of(e.from);
+    const Sid to = requirement.sid_of(e.to);
+    const auto path =
+        routing.path(chosen_instance.at(from), chosen_instance.at(to));
+    if (!path) return std::nullopt;
+    result.set_edge(from, to, *path,
+                    routing.quality(chosen_instance.at(from),
+                                    chosen_instance.at(to)));
+  }
+  return result;
+}
+
+}  // namespace sflow::core

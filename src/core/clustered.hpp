@@ -1,0 +1,59 @@
+// Distance-based clustered federation, after Jin & Nahrstedt [2]
+// ("Large-Scale Service Overlay Networking with Distance-Based Clustering",
+// Middleware 2003) — the hierarchical divide-and-conquer alternative the
+// paper contrasts sFlow against in §1.
+//
+// The overlay is first organized into clusters of nearby instances (greedy
+// leader election on underlay route latency: every instance joins the
+// closest leader within the latency radius; uncovered instances become new
+// leaders).  Federation then runs hierarchically:
+//
+//   1. cluster level — an abstract graph whose candidates are *clusters*
+//      hosting the required service, with inter-cluster edge quality taken
+//      between cluster heads; solved exactly at that coarse granularity;
+//   2. instance level — within each chosen cluster, the best instance of the
+//      service is picked against its already-decided neighbours.
+//
+// The two-level decision is cheap and scales (the point of [2]) but commits
+// to clusters before seeing instance-level qualities, which is what sFlow's
+// flow-graph optimization beats — measured by bench/clustered_compare.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/qos_routing.hpp"
+#include "net/underlay_routing.hpp"
+#include "overlay/flow_graph.hpp"
+#include "overlay/overlay_graph.hpp"
+#include "overlay/requirement.hpp"
+
+namespace sflow::core {
+
+struct Cluster {
+  overlay::OverlayIndex head = graph::kInvalidNode;
+  std::vector<overlay::OverlayIndex> members;  // includes the head
+};
+
+/// Greedy distance-based clustering: instances join the first leader within
+/// `latency_radius_ms` of underlay route latency; instances no leader covers
+/// become leaders themselves.  Deterministic given the overlay order.
+std::vector<Cluster> cluster_overlay(const overlay::OverlayGraph& overlay,
+                                     const net::UnderlayRouting& routing,
+                                     double latency_radius_ms);
+
+struct ClusteredStats {
+  std::size_t clusters = 0;
+  std::size_t cluster_level_nodes = 0;  // abstract search-space size
+};
+
+/// Hierarchical federation (see file comment).  Pins are honoured: a pinned
+/// service's cluster and instance are both forced.  Returns nullopt when no
+/// feasible selection exists at either level.
+std::optional<overlay::ServiceFlowGraph> clustered_federation(
+    const overlay::OverlayGraph& overlay,
+    const overlay::ServiceRequirement& requirement,
+    const graph::AllPairsShortestWidest& routing,
+    const std::vector<Cluster>& clusters, ClusteredStats* stats = nullptr);
+
+}  // namespace sflow::core

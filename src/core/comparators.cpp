@@ -1,0 +1,126 @@
+#include "core/comparators.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+#include "core/baseline.hpp"
+#include "graph/dag.hpp"
+
+namespace sflow::core {
+
+using overlay::OverlayIndex;
+using overlay::ServiceFlowGraph;
+using overlay::ServiceRequirement;
+using overlay::Sid;
+
+namespace {
+
+/// Shared skeleton of the greedy selectors: walk services in topological
+/// order, let `pick` choose among candidates reachable from every assigned
+/// predecessor, then realize all edges with shortest-widest paths.
+template <typename Pick>
+std::optional<FederationResult> greedy_federation(
+    const overlay::OverlayGraph& overlay, const ServiceRequirement& requirement,
+    const graph::AllPairsShortestWidest& routing, Pick pick) {
+  requirement.validate();
+  const auto order = graph::topological_order(requirement.dag());
+
+  std::map<Sid, OverlayIndex> chosen;
+  for (const graph::NodeIndex v : *order) {
+    const Sid sid = requirement.sid_of(v);
+    const auto upstream = requirement.upstream(sid);
+
+    std::vector<OverlayIndex> viable;
+    for (const OverlayIndex c : candidate_instances(overlay, requirement, sid)) {
+      bool reachable = true;
+      for (const Sid up : upstream) {
+        if (routing.quality(chosen.at(up), c).is_unreachable()) {
+          reachable = false;
+          break;
+        }
+      }
+      if (reachable) viable.push_back(c);
+    }
+    if (viable.empty()) return std::nullopt;
+
+    std::vector<OverlayIndex> upstream_instances;
+    for (const Sid up : upstream) upstream_instances.push_back(chosen.at(up));
+    chosen[sid] = pick(sid, upstream_instances, viable);
+  }
+
+  FederationResult result;
+  result.effective_requirement = requirement;
+  for (const auto& [sid, instance] : chosen) result.graph.assign(sid, instance);
+  for (const graph::Edge& e : requirement.dag().edges()) {
+    const Sid from = requirement.sid_of(e.from);
+    const Sid to = requirement.sid_of(e.to);
+    const auto path = routing.path(chosen.at(from), chosen.at(to));
+    if (!path) throw std::logic_error("greedy_federation: viable edge vanished");
+    result.graph.set_edge(from, to, *path,
+                          routing.quality(chosen.at(from), chosen.at(to)));
+  }
+  return result;
+}
+
+}  // namespace
+
+std::optional<FederationResult> random_federation(
+    const overlay::OverlayGraph& overlay, const ServiceRequirement& requirement,
+    const graph::AllPairsShortestWidest& routing, util::Rng& rng) {
+  return greedy_federation(
+      overlay, requirement, routing,
+      [&rng](Sid, const std::vector<OverlayIndex>&,
+             const std::vector<OverlayIndex>& viable) { return rng.pick(viable); });
+}
+
+std::optional<FederationResult> fixed_federation(
+    const overlay::OverlayGraph& overlay, const ServiceRequirement& requirement,
+    const graph::AllPairsShortestWidest& routing) {
+  return greedy_federation(
+      overlay, requirement, routing,
+      [&routing](Sid, const std::vector<OverlayIndex>& upstream,
+                 const std::vector<OverlayIndex>& viable) {
+        // Highest available bandwidth from the already-chosen upstream
+        // instances; bandwidth only — the fixed algorithm ignores latency.
+        OverlayIndex best = viable.front();
+        double best_bandwidth = -1.0;
+        for (const OverlayIndex c : viable) {
+          double bandwidth = std::numeric_limits<double>::infinity();
+          for (const OverlayIndex u : upstream)
+            bandwidth = std::min(bandwidth, routing.quality(u, c).bandwidth);
+          if (upstream.empty()) bandwidth = 0.0;  // source layer: first wins
+          if (bandwidth > best_bandwidth) {
+            best_bandwidth = bandwidth;
+            best = c;
+          }
+        }
+        return best;
+      });
+}
+
+std::optional<FederationResult> service_path_federation(
+    const overlay::OverlayGraph& overlay, const ServiceRequirement& requirement,
+    const graph::AllPairsShortestWidest& routing, bool serialize_dags) {
+  requirement.validate();
+  if (!serialize_dags && !requirement.is_single_path()) return std::nullopt;
+  const auto order = graph::topological_order(requirement.dag());
+
+  // Serialize the DAG into one chain in topological order.
+  ServiceRequirement chain;
+  Sid prev = overlay::kInvalidSid;
+  for (const graph::NodeIndex v : *order) {
+    const Sid sid = requirement.sid_of(v);
+    if (prev != overlay::kInvalidSid) chain.add_edge(prev, sid);
+    prev = sid;
+  }
+  if (requirement.service_count() == 1) chain.add_service(prev);
+  for (const auto& [sid, nid] : requirement.pins()) chain.pin(sid, nid);
+
+  auto solution = baseline_single_path(overlay, chain, routing);
+  if (!solution) return std::nullopt;
+  return FederationResult{std::move(*solution), std::move(chain)};
+}
+
+}  // namespace sflow::core

@@ -1,0 +1,58 @@
+// The three control algorithms of the paper's evaluation (§5):
+//
+// * random  — at each step picks a uniformly random instance of the next
+//             required service among those reachable from the choices so far;
+// * fixed   — greedily picks the downstream instance behind the
+//             highest-bandwidth link, with no lookahead and no latency
+//             tie-break;
+// * single service path — the end-to-end service *path* federation of
+//             Gu et al. [1]: it can only deliver chains, so a DAG requirement
+//             is first serialized into one topological chain (losing all
+//             parallelism) and then solved as a path.
+//
+// Each returns a FederationResult carrying the flow graph *and* the effective
+// requirement it realizes — identical to the input except for the service-path
+// algorithm, whose chain structure is what its latency/bandwidth must be
+// judged against.
+#pragma once
+
+#include <optional>
+
+#include "graph/qos_routing.hpp"
+#include "overlay/flow_graph.hpp"
+#include "overlay/overlay_graph.hpp"
+#include "overlay/requirement.hpp"
+#include "util/rng.hpp"
+
+namespace sflow::core {
+
+struct FederationResult {
+  overlay::ServiceFlowGraph graph;
+  overlay::ServiceRequirement effective_requirement;
+};
+
+/// Random instance selection (reachability-respecting).  nullopt when some
+/// service ends up with no reachable candidate.
+std::optional<FederationResult> random_federation(
+    const overlay::OverlayGraph& overlay,
+    const overlay::ServiceRequirement& requirement,
+    const graph::AllPairsShortestWidest& routing, util::Rng& rng);
+
+/// Greedy highest-bandwidth selection.
+std::optional<FederationResult> fixed_federation(
+    const overlay::OverlayGraph& overlay,
+    const overlay::ServiceRequirement& requirement,
+    const graph::AllPairsShortestWidest& routing);
+
+/// Gu et al.-style single service path.  In the default serializing mode a
+/// DAG requirement is flattened into one topological chain and solved as a
+/// path (used for latency comparisons: the flattening is what costs the
+/// parallelism).  With serialize_dags = false the algorithm is strict, as in
+/// the paper's correctness experiment: it "can only handle the simplest
+/// service requirements" and fails on anything that is not already a chain.
+std::optional<FederationResult> service_path_federation(
+    const overlay::OverlayGraph& overlay,
+    const overlay::ServiceRequirement& requirement,
+    const graph::AllPairsShortestWidest& routing, bool serialize_dags = true);
+
+}  // namespace sflow::core

@@ -1,0 +1,58 @@
+#include "core/demands.hpp"
+
+#include <stdexcept>
+
+namespace sflow::core {
+
+using overlay::ServiceFlowGraph;
+using overlay::ServiceRequirement;
+using overlay::Sid;
+
+void DemandProfile::set(Sid from, Sid to, double mbps) {
+  if (mbps <= 0.0)
+    throw std::invalid_argument("DemandProfile::set: demand must be positive");
+  demands_[{from, to}] = mbps;
+}
+
+std::optional<double> DemandProfile::get(Sid from, Sid to) const {
+  const auto it = demands_.find({from, to});
+  if (it == demands_.end()) return std::nullopt;
+  return it->second;
+}
+
+DemandProfile DemandProfile::uniform(const ServiceRequirement& requirement,
+                                     double mbps) {
+  DemandProfile profile;
+  for (const graph::Edge& e : requirement.dag().edges())
+    profile.set(requirement.sid_of(e.from), requirement.sid_of(e.to), mbps);
+  return profile;
+}
+
+EdgeQualityFn demand_filtered_quality(EdgeQualityFn base,
+                                      const DemandProfile& demands) {
+  return [base = std::move(base), &demands](
+             Sid from, overlay::OverlayIndex u, Sid to,
+             overlay::OverlayIndex v) -> graph::PathQuality {
+    const graph::PathQuality quality = base(from, u, to, v);
+    if (const auto demand = demands.get(from, to);
+        demand && quality.bandwidth < *demand)
+      return graph::PathQuality::unreachable();
+    return quality;
+  };
+}
+
+bool meets_demands(const ServiceRequirement& requirement,
+                   const ServiceFlowGraph& flow, const DemandProfile& demands) {
+  if (!flow.complete(requirement))
+    throw std::invalid_argument("meets_demands: incomplete flow graph");
+  for (const graph::Edge& e : requirement.dag().edges()) {
+    const Sid from = requirement.sid_of(e.from);
+    const Sid to = requirement.sid_of(e.to);
+    const auto demand = demands.get(from, to);
+    if (!demand) continue;
+    if (flow.find_edge(from, to)->quality.bandwidth < *demand) return false;
+  }
+  return true;
+}
+
+}  // namespace sflow::core

@@ -1,0 +1,56 @@
+// Consumer bandwidth demands.
+//
+// The paper's goal statement — federate "according to the needs of service
+// consumers" — implies requirements carry QoS demands, not just structure.
+// A DemandProfile annotates requirement edges with minimum bandwidths (the
+// branches of a DAG carry different streams: video wants more than
+// metadata).  Demands compose with every solver through the EdgeQualityFn
+// seam: demand_filtered_quality() wraps a base quality function so that any
+// candidate edge that cannot carry its demand reports unreachable, making
+// demand-violating selections invisible to the search.  Admission control
+// falls out: a requirement is admissible iff a solver finds a flow graph
+// under the filtered qualities.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "core/baseline.hpp"
+#include "overlay/flow_graph.hpp"
+#include "overlay/requirement.hpp"
+
+namespace sflow::core {
+
+class DemandProfile {
+ public:
+  /// Requires edge from->to to carry at least `mbps`.  Overwrites earlier
+  /// demands on the same edge.  Precondition: mbps > 0.
+  void set(overlay::Sid from, overlay::Sid to, double mbps);
+
+  /// The demand on from->to, or nullopt when unconstrained.
+  std::optional<double> get(overlay::Sid from, overlay::Sid to) const;
+
+  bool empty() const noexcept { return demands_.empty(); }
+  std::size_t size() const noexcept { return demands_.size(); }
+
+  /// Uniform profile: every edge of `requirement` demands `mbps`.
+  static DemandProfile uniform(const overlay::ServiceRequirement& requirement,
+                               double mbps);
+
+ private:
+  std::map<std::pair<overlay::Sid, overlay::Sid>, double> demands_;
+};
+
+/// Wraps `base` so edges whose bandwidth falls below their demand are
+/// unreachable.  The profile must outlive the returned function.
+EdgeQualityFn demand_filtered_quality(EdgeQualityFn base,
+                                      const DemandProfile& demands);
+
+/// True when every demanded edge of a complete flow graph carries at least
+/// its demand.  Precondition: flow is complete for `requirement`.
+bool meets_demands(const overlay::ServiceRequirement& requirement,
+                   const overlay::ServiceFlowGraph& flow,
+                   const DemandProfile& demands);
+
+}  // namespace sflow::core

@@ -1,0 +1,185 @@
+#include "core/evaluation.hpp"
+
+#include <set>
+#include <stdexcept>
+
+#include "overlay/compatibility.hpp"
+#include "util/timer.hpp"
+
+namespace sflow::core {
+
+using overlay::OverlayIndex;
+using overlay::ServiceRequirement;
+using overlay::Sid;
+
+namespace {
+
+/// One construction attempt; the public make_scenario retries on
+/// infeasibility with derived seeds.
+Scenario build_scenario(const WorkloadParams& params, std::uint64_t seed) {
+  if (params.network_size < params.service_type_count)
+    throw std::invalid_argument("make_scenario: more service types than nodes");
+  if (params.service_type_count < params.requirement.service_count)
+    throw std::invalid_argument("make_scenario: requirement larger than catalog");
+
+  util::Rng rng(seed);
+  Scenario scenario;
+
+  // Underlay.
+  net::WaxmanParams waxman = params.waxman;
+  waxman.node_count = params.network_size;
+  scenario.underlay = net::make_waxman(waxman, rng);
+  scenario.routing = std::make_unique<net::UnderlayRouting>(scenario.underlay);
+
+  // Service catalog and instance placement: every type at least once, the
+  // remaining nodes drawing types uniformly; placement shuffled.
+  std::vector<Sid> sids;
+  for (std::size_t t = 0; t < params.service_type_count; ++t)
+    sids.push_back(scenario.catalog.intern("S" + std::to_string(t)));
+
+  std::vector<Sid> placement;
+  placement.reserve(params.network_size);
+  for (std::size_t i = 0; i < params.network_size; ++i)
+    placement.push_back(i < sids.size() ? sids[i] : rng.pick(sids));
+  rng.shuffle(placement);
+  for (std::size_t nid = 0; nid < params.network_size; ++nid)
+    scenario.overlay.add_instance(placement[nid], static_cast<net::Nid>(nid));
+
+  // Requirement over the catalog; the source service is pinned to a concrete
+  // instance (the node the consumer contacts).
+  scenario.requirement =
+      overlay::generate_requirement(params.requirement, sids, rng);
+  const Sid source_sid = scenario.requirement.source();
+  const auto source_instances = scenario.overlay.instances_of(source_sid);
+  const OverlayIndex source_instance =
+      source_instances[rng.uniform_index(source_instances.size())];
+  scenario.requirement.pin(source_sid,
+                           scenario.overlay.instance(source_instance).nid);
+
+  if (params.typed_compatibility) {
+    // Semantically typed compatibility (§2.2: "output ... matches the input
+    // requirements"), drawn so the requirement type-checks.
+    const overlay::CompatibilityModel model =
+        overlay::random_compatibility_for(scenario.requirement, sids,
+                                          /*type_count=*/4, rng);
+    scenario.overlay.connect_via_underlay(*scenario.routing,
+                                          model.as_function());
+  } else {
+    // Flat type-level compatibility: requirement edges always compatible,
+    // plus a random relation so bridging instances exist.
+    std::set<std::pair<Sid, Sid>> compatible_pairs;
+    for (const Sid a : sids)
+      for (const Sid b : sids)
+        if (a != b && rng.chance(params.type_compatibility))
+          compatible_pairs.emplace(a, b);
+    for (const graph::Edge& e : scenario.requirement.dag().edges())
+      compatible_pairs.emplace(scenario.requirement.sid_of(e.from),
+                               scenario.requirement.sid_of(e.to));
+    scenario.overlay.connect_via_underlay(
+        *scenario.routing, [&compatible_pairs](Sid from, Sid to) {
+          return compatible_pairs.contains({from, to});
+        });
+  }
+
+  scenario.overlay_routing =
+      std::make_unique<graph::AllPairsShortestWidest>(scenario.overlay.graph());
+  return scenario;
+}
+
+bool feasible(const Scenario& scenario) {
+  // The fixed greedy is a cheap sufficient probe: if it completes, every
+  // algorithm has at least one feasible selection to find.
+  return fixed_federation(scenario.overlay, scenario.requirement,
+                          *scenario.overlay_routing)
+      .has_value();
+}
+
+}  // namespace
+
+Scenario make_scenario(const WorkloadParams& params, std::uint64_t seed) {
+  constexpr int kMaxAttempts = 50;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    Scenario scenario =
+        build_scenario(params, util::derive_seed(seed, static_cast<std::uint64_t>(attempt)));
+    if (feasible(scenario)) return scenario;
+  }
+  throw std::runtime_error("make_scenario: no feasible scenario in 50 attempts");
+}
+
+std::string algorithm_name(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kSflow: return "sFlow";
+    case Algorithm::kGlobalOptimal: return "Global Optimal";
+    case Algorithm::kFixed: return "Fixed";
+    case Algorithm::kRandom: return "Random";
+    case Algorithm::kServicePath: return "Service Path";
+  }
+  throw std::invalid_argument("algorithm_name: unknown algorithm");
+}
+
+AlgorithmOutcome run_algorithm(Algorithm algorithm, const Scenario& scenario,
+                               util::Rng& rng, const SFlowNodeConfig& config) {
+  AlgorithmOutcome outcome;
+  outcome.effective_requirement = scenario.requirement;
+
+  const auto finish = [&](std::optional<overlay::ServiceFlowGraph> graph) {
+    if (!graph) return;
+    outcome.success = true;
+    outcome.graph = std::move(*graph);
+    outcome.bandwidth = outcome.graph.bottleneck_bandwidth();
+    outcome.latency =
+        outcome.graph.end_to_end_latency(outcome.effective_requirement);
+  };
+
+  util::Stopwatch watch;
+  switch (algorithm) {
+    case Algorithm::kSflow: {
+      SFlowFederationResult result = run_sflow_federation(
+          scenario.underlay, *scenario.routing, scenario.overlay,
+          *scenario.overlay_routing, scenario.requirement, config);
+      outcome.compute_time_us = result.compute_time_us;
+      outcome.messages = result.messages;
+      outcome.bytes = result.bytes;
+      outcome.federation_time_ms = result.federation_time_ms;
+      outcome.global_fallbacks = result.global_fallbacks;
+      finish(std::move(result.flow_graph));
+      return outcome;
+    }
+    case Algorithm::kGlobalOptimal: {
+      finish(optimal_flow_graph(scenario.overlay, scenario.requirement,
+                                *scenario.overlay_routing));
+      break;
+    }
+    case Algorithm::kFixed: {
+      auto result = fixed_federation(scenario.overlay, scenario.requirement,
+                                     *scenario.overlay_routing);
+      if (result) {
+        outcome.effective_requirement = std::move(result->effective_requirement);
+        finish(std::move(result->graph));
+      }
+      break;
+    }
+    case Algorithm::kRandom: {
+      auto result = random_federation(scenario.overlay, scenario.requirement,
+                                      *scenario.overlay_routing, rng);
+      if (result) {
+        outcome.effective_requirement = std::move(result->effective_requirement);
+        finish(std::move(result->graph));
+      }
+      break;
+    }
+    case Algorithm::kServicePath: {
+      auto result = service_path_federation(scenario.overlay, scenario.requirement,
+                                            *scenario.overlay_routing);
+      if (result) {
+        outcome.effective_requirement = std::move(result->effective_requirement);
+        finish(std::move(result->graph));
+      }
+      break;
+    }
+  }
+  outcome.compute_time_us = watch.elapsed_us();
+  return outcome;
+}
+
+}  // namespace sflow::core

@@ -1,0 +1,61 @@
+#include "core/federation_trace.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace sflow::core {
+
+namespace {
+
+const char* kind_name(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::kDelivered: return "delivered";
+    case TraceEvent::Kind::kComputed: return "computed";
+    case TraceEvent::Kind::kPinned: return "pinned";
+    case TraceEvent::Kind::kDispatched: return "dispatched";
+    case TraceEvent::Kind::kReported: return "reported";
+    case TraceEvent::Kind::kFailover: return "FAILOVER";
+    case TraceEvent::Kind::kAssembled: return "assembled";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::size_t FederationTrace::count(TraceEvent::Kind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [kind](const TraceEvent& e) { return e.kind == kind; }));
+}
+
+std::string FederationTrace::to_string(
+    const overlay::ServiceCatalog* catalog) const {
+  const auto service = [&](overlay::Sid sid) -> std::string {
+    if (sid == overlay::kInvalidSid) return "";
+    if (catalog != nullptr) return catalog->name(sid);
+    return "S" + std::to_string(sid);
+  };
+  std::ostringstream os;
+  for (const TraceEvent& e : events_) {
+    os << std::fixed << std::setprecision(3) << std::setw(9) << e.at_ms
+       << " ms  node " << std::setw(3) << e.node << "  " << std::setw(10)
+       << kind_name(e.kind);
+    if (e.subject != overlay::kInvalidSid) os << "  " << service(e.subject);
+    if (e.peer != graph::kInvalidNode) {
+      switch (e.kind) {
+        case TraceEvent::Kind::kPinned:
+        case TraceEvent::Kind::kFailover:
+          os << " @ " << e.peer;
+          break;
+        default:
+          os << " -> node " << e.peer;
+          break;
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sflow::core

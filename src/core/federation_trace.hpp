@@ -1,0 +1,54 @@
+// Structured tracing of a distributed federation run.
+//
+// The protocol's interesting behaviour — who computed when, what got pinned
+// where, which dispatches timed out — is otherwise only visible through its
+// outcome.  A FederationTrace collects timestamped events during
+// run_sflow_federation (pass one via the config) and renders them as a
+// human-readable timeline; the travel_agency example prints one, and tests
+// assert on the event structure (every computation preceded by enough
+// deliveries, pins before the dispatches that rely on them, ...).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "overlay/overlay_graph.hpp"
+#include "overlay/service.hpp"
+#include "sim/event_queue.hpp"
+
+namespace sflow::core {
+
+struct TraceEvent {
+  enum class Kind {
+    kDelivered,   // node received an sfederate
+    kComputed,    // node ran its local computation
+    kPinned,      // node pinned a service to an instance
+    kDispatched,  // node forwarded an sfederate downstream
+    kReported,    // node sent its sreport to the collector
+    kFailover,    // ack timeout: node replaced a dead target
+    kAssembled,   // collector completed the flow graph
+  };
+
+  sim::Time at_ms = 0.0;
+  net::Nid node = graph::kInvalidNode;      // acting node
+  Kind kind = Kind::kDelivered;
+  overlay::Sid subject = overlay::kInvalidSid;  // service concerned, if any
+  net::Nid peer = graph::kInvalidNode;          // other endpoint, if any
+};
+
+class FederationTrace {
+ public:
+  void record(TraceEvent event) { events_.push_back(event); }
+
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  std::size_t count(TraceEvent::Kind kind) const;
+
+  /// One line per event, timeline order, service names from `catalog` when
+  /// given.
+  std::string to_string(const overlay::ServiceCatalog* catalog = nullptr) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace sflow::core

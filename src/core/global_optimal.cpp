@@ -1,0 +1,152 @@
+#include "core/global_optimal.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+#include "graph/dag.hpp"
+
+namespace sflow::core {
+
+using overlay::OverlayIndex;
+using overlay::ServiceFlowGraph;
+using overlay::Sid;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct SearchContext {
+  const EdgeQualityFn& quality;
+  OptimalStats& stats;
+
+  std::vector<Sid> topo;                        // services in topological order
+  std::vector<std::vector<OverlayIndex>> cand;  // candidates per topo position
+  std::vector<std::vector<std::size_t>> preds;  // topo positions of predecessors
+
+  std::vector<OverlayIndex> chosen;  // per topo position
+  std::vector<double> dist;          // critical-path latency at each position
+
+  graph::PathQuality best = graph::PathQuality::unreachable();
+  std::vector<OverlayIndex> best_chosen;
+
+  void search(std::size_t k, double bottleneck, double latency_bound) {
+    ++stats.nodes_explored;
+    if (k == topo.size()) {
+      // Full assignment; latency_bound is now the exact critical-path latency
+      // (edge latencies are non-negative, so the max over all positions
+      // equals the max over sinks).
+      const graph::PathQuality candidate{bottleneck, latency_bound};
+      if (best.is_unreachable() || candidate.better_than(best)) {
+        best = candidate;
+        best_chosen = chosen;
+      }
+      return;
+    }
+
+    struct Move {
+      OverlayIndex instance;
+      double bottleneck;
+      double dist;
+    };
+    std::vector<Move> moves;
+    moves.reserve(cand[k].size());
+    for (const OverlayIndex c : cand[k]) {
+      double b = bottleneck;
+      double d = 0.0;
+      bool feasible = true;
+      for (const std::size_t p : preds[k]) {
+        const graph::PathQuality q = quality(topo[p], chosen[p], topo[k], c);
+        if (q.is_unreachable()) {
+          feasible = false;
+          break;
+        }
+        b = std::min(b, q.bandwidth);
+        d = std::max(d, dist[p] + q.latency);
+      }
+      if (feasible) moves.push_back(Move{c, b, d});
+    }
+    // Best-first: widest (then shortest) candidates explored before others,
+    // improving bound quality early.
+    std::sort(moves.begin(), moves.end(), [](const Move& a, const Move& b) {
+      if (a.bottleneck != b.bottleneck) return a.bottleneck > b.bottleneck;
+      return a.dist < b.dist;
+    });
+
+    for (const Move& move : moves) {
+      const double bound_latency = std::max(latency_bound, move.dist);
+      // Bottleneck only shrinks and critical-path latency only grows as more
+      // services are assigned, so an incumbent at least as good kills the
+      // whole subtree.
+      if (!best.is_unreachable()) {
+        if (move.bottleneck < best.bandwidth ||
+            (move.bottleneck == best.bandwidth && bound_latency >= best.latency)) {
+          ++stats.pruned;
+          continue;
+        }
+      }
+      chosen[k] = move.instance;
+      dist[k] = move.dist;
+      search(k + 1, move.bottleneck, bound_latency);
+    }
+  }
+};
+
+}  // namespace
+
+std::optional<ServiceFlowGraph> optimal_flow_graph(
+    const overlay::OverlayGraph& overlay,
+    const overlay::ServiceRequirement& requirement,
+    const graph::AllPairsShortestWidest& routing, OptimalStats* stats) {
+  return optimal_flow_graph_custom(overlay, requirement,
+                                   routing_edge_quality(routing),
+                                   routing_edge_path(routing), stats);
+}
+
+std::optional<ServiceFlowGraph> optimal_flow_graph_custom(
+    const overlay::OverlayGraph& overlay,
+    const overlay::ServiceRequirement& requirement, const EdgeQualityFn& quality,
+    const EdgePathFn& expand, OptimalStats* stats) {
+  requirement.validate();
+  OptimalStats local_stats;
+  SearchContext ctx{quality, stats != nullptr ? *stats : local_stats,
+                    {}, {}, {}, {}, {}, graph::PathQuality::unreachable(), {}};
+
+  const auto order = graph::topological_order(requirement.dag());
+  for (const graph::NodeIndex v : *order) ctx.topo.push_back(requirement.sid_of(v));
+
+  std::map<Sid, std::size_t> position;
+  for (std::size_t k = 0; k < ctx.topo.size(); ++k) position[ctx.topo[k]] = k;
+
+  ctx.cand.resize(ctx.topo.size());
+  ctx.preds.resize(ctx.topo.size());
+  for (std::size_t k = 0; k < ctx.topo.size(); ++k) {
+    ctx.cand[k] = candidate_instances(overlay, requirement, ctx.topo[k]);
+    if (ctx.cand[k].empty()) return std::nullopt;
+    for (const Sid up : requirement.upstream(ctx.topo[k]))
+      ctx.preds[k].push_back(position.at(up));
+  }
+
+  ctx.chosen.assign(ctx.topo.size(), graph::kInvalidNode);
+  ctx.dist.assign(ctx.topo.size(), 0.0);
+  ctx.search(0, kInf, 0.0);
+
+  if (ctx.best.is_unreachable()) return std::nullopt;
+
+  ServiceFlowGraph result;
+  for (std::size_t k = 0; k < ctx.topo.size(); ++k)
+    result.assign(ctx.topo[k], ctx.best_chosen[k]);
+  for (const graph::Edge& e : requirement.dag().edges()) {
+    const Sid from = requirement.sid_of(e.from);
+    const Sid to = requirement.sid_of(e.to);
+    const OverlayIndex u = ctx.best_chosen[position.at(from)];
+    const OverlayIndex v = ctx.best_chosen[position.at(to)];
+    const auto path = expand(from, u, to, v);
+    if (!path) throw std::logic_error("optimal_flow_graph: chosen edge vanished");
+    result.set_edge(from, to, *path, quality(from, u, to, v));
+  }
+  return result;
+}
+
+}  // namespace sflow::core

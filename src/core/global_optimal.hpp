@@ -1,0 +1,47 @@
+// Exact construction of the globally optimal service flow graph.
+//
+// The Maximum Service Flow Graph Problem is NP-complete (paper §3.2), so this
+// solver is exponential in the worst case; the paper nevertheless computes
+// "the global optimal resource-efficient service flow graph" as the
+// evaluation benchmark (§5), which is feasible at evaluation scale.  We use
+// branch-and-bound over instance assignments in topological requirement
+// order: the running bottleneck bandwidth is monotone non-increasing and the
+// running critical-path latency monotone non-decreasing, so a partial
+// assignment that cannot beat the incumbent is pruned.
+//
+// The same solver doubles as the exhaustive fallback of the heuristic
+// requirement solver on the small 2-hop local views of the distributed
+// algorithm.
+#pragma once
+
+#include <optional>
+
+#include "core/baseline.hpp"
+#include "graph/qos_routing.hpp"
+#include "overlay/flow_graph.hpp"
+#include "overlay/overlay_graph.hpp"
+#include "overlay/requirement.hpp"
+
+namespace sflow::core {
+
+struct OptimalStats {
+  std::size_t nodes_explored = 0;
+  std::size_t pruned = 0;
+};
+
+/// Finds the optimal flow graph (maximum bottleneck bandwidth, then minimum
+/// end-to-end latency) for an arbitrary DAG requirement.  Respects pins.
+/// Returns nullopt when the requirement is unsatisfiable on this overlay.
+std::optional<overlay::ServiceFlowGraph> optimal_flow_graph(
+    const overlay::OverlayGraph& overlay,
+    const overlay::ServiceRequirement& requirement,
+    const graph::AllPairsShortestWidest& routing, OptimalStats* stats = nullptr);
+
+/// As above with caller-supplied abstract-edge quality/expansion (used by the
+/// heuristic solver on requirements containing virtual block edges).
+std::optional<overlay::ServiceFlowGraph> optimal_flow_graph_custom(
+    const overlay::OverlayGraph& overlay,
+    const overlay::ServiceRequirement& requirement, const EdgeQualityFn& quality,
+    const EdgePathFn& expand, OptimalStats* stats = nullptr);
+
+}  // namespace sflow::core

@@ -1,0 +1,177 @@
+#include "core/link_state.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "graph/dag.hpp"
+
+namespace sflow::core {
+
+using overlay::OverlayGraph;
+using overlay::OverlayIndex;
+using overlay::ServiceInstance;
+
+bool LinkStateDatabase::install(const Lsa& lsa) {
+  const auto it = records_.find(lsa.origin);
+  if (it != records_.end() && it->second.sequence >= lsa.sequence) return false;
+  records_[lsa.origin] = lsa;
+  return true;
+}
+
+OverlayGraph LinkStateDatabase::build_local_view(const ServiceInstance& self) const {
+  OverlayGraph view;
+  std::map<net::Nid, OverlayIndex> by_nid;
+
+  const auto ensure_node = [&](const ServiceInstance& instance) {
+    const auto it = by_nid.find(instance.nid);
+    if (it != by_nid.end()) return it->second;
+    const OverlayIndex v = view.add_instance(instance.sid, instance.nid);
+    by_nid.emplace(instance.nid, v);
+    return v;
+  };
+
+  ensure_node(self);
+  for (const auto& [origin, lsa] : records_) ensure_node(lsa.instance);
+
+  // Only links between *known* origins are usable: an endpoint we have heard
+  // of solely as someone's neighbour has unknown outgoing links, and keeping
+  // it would bias path search toward phantom dead ends.
+  std::set<net::Nid> known;
+  known.insert(self.nid);
+  for (const auto& [origin, lsa] : records_) known.insert(lsa.instance.nid);
+
+  for (const auto& [origin, lsa] : records_) {
+    const OverlayIndex from = by_nid.at(lsa.instance.nid);
+    for (const auto& [neighbour, metrics] : lsa.links) {
+      if (!known.contains(neighbour.nid)) continue;
+      view.add_link(from, by_nid.at(neighbour.nid), metrics);
+    }
+  }
+  return view;
+}
+
+LinkStateProtocol::LinkStateProtocol(const net::UnderlyingNetwork& underlay,
+                                     const net::UnderlayRouting& routing,
+                                     const overlay::OverlayGraph& overlay,
+                                     int radius)
+    : underlay_(underlay), routing_(routing), overlay_(overlay), radius_(radius),
+      databases_(overlay.instance_count()) {
+  if (radius < 1)
+    throw std::invalid_argument("LinkStateProtocol: radius must be >= 1");
+}
+
+namespace {
+
+std::size_t lsa_size_bytes(const Lsa& lsa) {
+  // Header + origin identity + per-link (neighbour identity + two metrics).
+  return 32 + 12 + lsa.links.size() * 28;
+}
+
+}  // namespace
+
+void LinkStateProtocol::set_loss(double probability, std::uint64_t seed) {
+  if (probability < 0.0 || probability >= 1.0)
+    throw std::invalid_argument("LinkStateProtocol::set_loss: bad probability");
+  loss_probability_ = probability;
+  loss_seed_ = seed;
+}
+
+bool LinkStateProtocol::converged() const {
+  for (std::size_t v = 0; v < overlay_.instance_count(); ++v) {
+    const auto expected = graph::neighborhood(
+        overlay_.graph(), static_cast<OverlayIndex>(v), radius_);
+    for (const OverlayIndex origin : expected) {
+      if (origin == static_cast<OverlayIndex>(v)) continue;
+      if (!databases_[v].knows(origin)) return false;
+    }
+  }
+  return true;
+}
+
+LinkStateStats LinkStateProtocol::disseminate() {
+  ++round_;
+  LinkStateStats stats;
+  sim::Simulator simulator(underlay_, routing_);
+  if (loss_probability_ > 0.0)
+    simulator.set_message_loss(loss_probability_,
+                               util::derive_seed(loss_seed_, round_));
+
+  // Overlay peers: successors plus predecessors (service links are probed in
+  // both roles, so a node knows who it talks to in either direction).
+  std::vector<std::vector<OverlayIndex>> peers(overlay_.instance_count());
+  for (std::size_t v = 0; v < overlay_.instance_count(); ++v) {
+    const auto vi = static_cast<OverlayIndex>(v);
+    std::set<OverlayIndex> unique;
+    for (const OverlayIndex s : overlay_.graph().successors(vi)) unique.insert(s);
+    for (const OverlayIndex p : overlay_.graph().predecessors(vi)) unique.insert(p);
+    peers[v].assign(unique.begin(), unique.end());
+  }
+
+  const auto flood = [&](OverlayIndex from, const Lsa& lsa) {
+    for (const OverlayIndex peer : peers[static_cast<std::size_t>(from)]) {
+      if (peer == lsa.origin) continue;
+      simulator.send(sim::Message{overlay_.instance(from).nid,
+                                  overlay_.instance(peer).nid, "lsa", lsa,
+                                  lsa_size_bytes(lsa)});
+    }
+  };
+
+  // Per-node flooding state: origin -> (sequence, best TTL already
+  // forwarded).  A copy of the same LSA can arrive over several paths with
+  // different remaining TTLs; re-flooding must happen whenever a copy with a
+  // *larger* TTL shows up, or nodes reachable only through this one would be
+  // cut out of the scope.
+  std::vector<std::map<OverlayIndex, std::pair<std::uint64_t, int>>> seen(
+      overlay_.instance_count());
+
+  for (std::size_t v = 0; v < overlay_.instance_count(); ++v) {
+    const auto self = static_cast<OverlayIndex>(v);
+    simulator.register_handler(
+        overlay_.instance(self).nid,
+        [this, self, &flood, &seen](const sim::Message& msg) {
+          Lsa lsa = std::any_cast<Lsa>(msg.payload);
+          auto& entry = seen[static_cast<std::size_t>(self)][lsa.origin];
+          if (lsa.sequence < entry.first) return;  // stale round
+          if (lsa.sequence > entry.first) entry = {lsa.sequence, 0};
+          databases_[static_cast<std::size_t>(self)].install(lsa);
+          if (lsa.ttl <= 1 || lsa.ttl <= entry.second) return;
+          entry.second = lsa.ttl;
+          --lsa.ttl;
+          flood(self, lsa);
+        });
+  }
+
+  // Every node originates its LSA (installed locally, flooded to peers).
+  for (std::size_t v = 0; v < overlay_.instance_count(); ++v) {
+    const auto origin = static_cast<OverlayIndex>(v);
+    Lsa lsa;
+    lsa.origin = origin;
+    lsa.sequence = round_;
+    lsa.ttl = radius_;
+    lsa.instance = overlay_.instance(origin);
+    for (const graph::EdgeIndex e : overlay_.graph().out_edges(origin)) {
+      const graph::Edge& edge = overlay_.graph().edge(e);
+      lsa.links.emplace_back(overlay_.instance(edge.to), edge.metrics);
+    }
+    databases_[v].install(lsa);
+    flood(origin, lsa);
+  }
+
+  simulator.run();
+  stats.messages = simulator.stats().messages_delivered;
+  stats.bytes = simulator.stats().bytes_delivered;
+  stats.convergence_time_ms = simulator.stats().last_delivery_time;
+  return stats;
+}
+
+const LinkStateDatabase& LinkStateProtocol::database(OverlayIndex node) const {
+  return databases_.at(static_cast<std::size_t>(node));
+}
+
+OverlayGraph LinkStateProtocol::local_view(OverlayIndex node) const {
+  return databases_.at(static_cast<std::size_t>(node))
+      .build_local_view(overlay_.instance(node));
+}
+
+}  // namespace sflow::core

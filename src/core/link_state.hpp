@@ -1,0 +1,106 @@
+// Scoped link-state dissemination: how service nodes acquire the "two-hop
+// vicinity" knowledge the paper assumes (§4).
+//
+// Each service node originates a link-state advertisement (LSA) describing
+// itself (SID @ NID) and its outgoing service links with their QoS metrics.
+// LSAs carry a sequence number and a time-to-live measured in overlay hops;
+// nodes flood them to their overlay peers (successors and predecessors),
+// decrementing the TTL, and deduplicate by (origin, sequence).  With
+// TTL = radius every node ends up knowing exactly the overlay subgraph
+// induced by its radius-hop neighbourhood — the local view the distributed
+// sFlow algorithm computes on.
+//
+// All communication rides the discrete-event simulator, so dissemination
+// cost (messages, bytes, convergence time) is measurable — experiment E10.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "net/underlay_routing.hpp"
+#include "overlay/overlay_graph.hpp"
+#include "sim/simulator.hpp"
+
+namespace sflow::core {
+
+/// One node's advertisement.
+struct Lsa {
+  overlay::OverlayIndex origin = graph::kInvalidNode;
+  std::uint64_t sequence = 0;
+  int ttl = 0;
+  overlay::ServiceInstance instance;  // origin's SID @ NID
+  /// Outgoing service links: (neighbour instance, metrics).  The neighbour's
+  /// identity travels with the link so receivers can type the endpoint even
+  /// when its own LSA is out of scope.
+  std::vector<std::pair<overlay::ServiceInstance, graph::LinkMetrics>> links;
+};
+
+/// The link-state database one node accumulates.
+class LinkStateDatabase {
+ public:
+  /// Installs an LSA; returns true when it was new (higher sequence than any
+  /// stored LSA of the same origin) and should be re-flooded.
+  bool install(const Lsa& lsa);
+
+  std::size_t size() const noexcept { return records_.size(); }
+  bool knows(overlay::OverlayIndex origin) const noexcept {
+    return records_.contains(origin);
+  }
+
+  /// Materializes the local view: an overlay graph over every known origin
+  /// (plus `self`), with all links whose both endpoints are known.  NIDs are
+  /// preserved, so the result is directly usable by sflow_local_compute.
+  overlay::OverlayGraph build_local_view(
+      const overlay::ServiceInstance& self) const;
+
+ private:
+  std::map<overlay::OverlayIndex, Lsa> records_;
+};
+
+struct LinkStateStats {
+  std::size_t messages = 0;
+  std::size_t bytes = 0;
+  sim::Time convergence_time_ms = 0.0;
+};
+
+/// Runs one full advertisement round for every overlay instance over the
+/// simulator and returns the per-node databases plus dissemination cost.
+/// `radius` is the knowledge scope in overlay hops (the paper's 2).
+class LinkStateProtocol {
+ public:
+  LinkStateProtocol(const net::UnderlyingNetwork& underlay,
+                    const net::UnderlayRouting& routing,
+                    const overlay::OverlayGraph& overlay, int radius);
+
+  /// Floods every node's LSA to quiescence.  May be called repeatedly (e.g.
+  /// after metric churn, or to recover from message loss); sequence numbers
+  /// advance per round.
+  LinkStateStats disseminate();
+
+  /// Enables Bernoulli message loss on subsequent rounds (experiment E17:
+  /// idempotent re-advertisement recovers from loss).
+  void set_loss(double probability, std::uint64_t seed);
+
+  /// True when every node's database covers exactly its radius-hop
+  /// neighbourhood — the fixpoint loss-free dissemination reaches in one
+  /// round.
+  bool converged() const;
+
+  const LinkStateDatabase& database(overlay::OverlayIndex node) const;
+
+  /// Local view of `node` after dissemination (see LinkStateDatabase).
+  overlay::OverlayGraph local_view(overlay::OverlayIndex node) const;
+
+ private:
+  const net::UnderlyingNetwork& underlay_;
+  const net::UnderlayRouting& routing_;
+  const overlay::OverlayGraph& overlay_;
+  int radius_;
+  std::uint64_t round_ = 0;
+  double loss_probability_ = 0.0;
+  std::uint64_t loss_seed_ = 0;
+  std::vector<LinkStateDatabase> databases_;
+};
+
+}  // namespace sflow::core

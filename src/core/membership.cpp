@@ -1,0 +1,103 @@
+#include "core/membership.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "graph/dag.hpp"
+
+namespace sflow::core {
+
+using overlay::OverlayIndex;
+using overlay::ServiceFlowGraph;
+using overlay::ServiceRequirement;
+using overlay::Sid;
+
+std::optional<MembershipResult> graft_sink(
+    const overlay::OverlayGraph& overlay,
+    const graph::AllPairsShortestWidest& routing,
+    const ServiceRequirement& requirement, const ServiceFlowGraph& flow,
+    Sid attach_below, const std::vector<Sid>& new_services) {
+  requirement.validate();
+  if (!flow.complete(requirement))
+    throw std::invalid_argument("graft_sink: flow graph incomplete");
+  if (!requirement.contains(attach_below))
+    throw std::invalid_argument("graft_sink: unknown attachment service");
+  if (new_services.empty())
+    throw std::invalid_argument("graft_sink: nothing to graft");
+  for (const Sid sid : new_services)
+    if (requirement.contains(sid))
+      throw std::invalid_argument("graft_sink: service already federated");
+
+  // Extended requirement: the new chain hangs below the attachment point.
+  ServiceRequirement extended = requirement;
+  Sid prev = attach_below;
+  for (const Sid sid : new_services) {
+    extended.add_edge(prev, sid);
+    prev = sid;
+  }
+
+  // Pin every live assignment; only the new chain is free.
+  ServiceRequirement pinned = extended;
+  for (const auto& [sid, instance] : flow.assignments())
+    if (!pinned.pinned(sid)) pinned.pin(sid, overlay.instance(instance).nid);
+
+  const RequirementSolver solver(overlay, routing);
+  auto solved = solver.solve(pinned);
+  if (!solved) return std::nullopt;
+
+  MembershipResult result;
+  result.requirement = std::move(extended);
+  result.flow = std::move(*solved);
+  result.changed_services = new_services;
+  return result;
+}
+
+MembershipResult prune_sink(const ServiceRequirement& requirement,
+                            const ServiceFlowGraph& flow, Sid sink) {
+  requirement.validate();
+  if (!flow.complete(requirement))
+    throw std::invalid_argument("prune_sink: flow graph incomplete");
+  const auto sinks = requirement.sinks();
+  if (std::find(sinks.begin(), sinks.end(), sink) == sinks.end())
+    throw std::invalid_argument("prune_sink: not a sink service");
+  if (sinks.size() == 1)
+    throw std::invalid_argument("prune_sink: cannot remove the last sink");
+
+  // A service survives iff it reaches a *remaining* sink.
+  std::set<Sid> keep;
+  for (const Sid other : sinks) {
+    if (other == sink) continue;
+    const auto reaches =
+        graph::reaching_to(requirement.dag(), requirement.index_of(other));
+    for (std::size_t v = 0; v < reaches.size(); ++v)
+      if (reaches[v]) keep.insert(requirement.sid_of(static_cast<graph::NodeIndex>(v)));
+  }
+
+  MembershipResult result;
+  for (const Sid sid : requirement.services())
+    if (keep.contains(sid)) result.requirement.add_service(sid);
+  for (const graph::Edge& e : requirement.dag().edges()) {
+    const Sid from = requirement.sid_of(e.from);
+    const Sid to = requirement.sid_of(e.to);
+    if (keep.contains(from) && keep.contains(to))
+      result.requirement.add_edge(from, to);
+  }
+  for (const auto& [sid, nid] : requirement.pins())
+    if (keep.contains(sid)) result.requirement.pin(sid, nid);
+  result.requirement.validate();
+
+  for (const auto& [sid, instance] : flow.assignments()) {
+    if (!keep.contains(sid)) {
+      result.changed_services.push_back(sid);
+      continue;
+    }
+    result.flow.assign(sid, instance);
+  }
+  for (const overlay::FlowEdge& e : flow.edges())
+    if (keep.contains(e.from_sid) && keep.contains(e.to_sid))
+      result.flow.set_edge(e.from_sid, e.to_sid, e.overlay_path, e.quality);
+  return result;
+}
+
+}  // namespace sflow::core

@@ -1,0 +1,60 @@
+// Dynamic consumer membership: growing and shrinking a live federation.
+//
+// Service multicast deployments of the paper's era live and die by cheap
+// join/leave (the paper's §2 multicast-tree lineage): a new consumer should
+// be grafted onto the running federation without re-deciding what already
+// works, and a departing consumer's now-unused services should be pruned.
+//
+//  * graft_sink  — extends a federated requirement with a new sink service
+//                  (attached under existing services) and solves *only* the
+//                  extension: every already-assigned service is pinned to its
+//                  live instance, so the existing data paths are untouched.
+//  * prune_sink  — removes a sink and every service/edge that no remaining
+//                  sink needs (reachability-based reference counting over
+//                  the requirement DAG).
+//
+// Both return the updated (requirement, flow graph) pair; the inputs are
+// never mutated.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/reduction.hpp"
+#include "graph/qos_routing.hpp"
+#include "overlay/flow_graph.hpp"
+#include "overlay/overlay_graph.hpp"
+#include "overlay/requirement.hpp"
+
+namespace sflow::core {
+
+struct MembershipResult {
+  overlay::ServiceRequirement requirement;
+  overlay::ServiceFlowGraph flow;
+  /// Services newly decided (graft) or dropped (prune).
+  std::vector<overlay::Sid> changed_services;
+};
+
+/// Grafts a new sink: `new_services` is a chain of previously-unfederated
+/// services ending in the new sink (often just {sink}), attached under
+/// `attach_below` (an existing federated service).  Solves the extension with
+/// all existing assignments pinned; nullopt when the extension is
+/// unsatisfiable on the overlay.
+/// Preconditions: `flow` is complete for `requirement`; `attach_below` is a
+/// federated service; `new_services` is non-empty and disjoint from the
+/// requirement.
+std::optional<MembershipResult> graft_sink(
+    const overlay::OverlayGraph& overlay,
+    const graph::AllPairsShortestWidest& routing,
+    const overlay::ServiceRequirement& requirement,
+    const overlay::ServiceFlowGraph& flow, overlay::Sid attach_below,
+    const std::vector<overlay::Sid>& new_services);
+
+/// Prunes `sink` (must be a sink of `requirement`) and everything only it
+/// needed.  Throws std::invalid_argument when `sink` is not a sink or is the
+/// last one (an empty federation is not a federation).
+MembershipResult prune_sink(const overlay::ServiceRequirement& requirement,
+                            const overlay::ServiceFlowGraph& flow,
+                            overlay::Sid sink);
+
+}  // namespace sflow::core

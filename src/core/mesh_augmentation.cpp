@@ -1,0 +1,123 @@
+#include "core/mesh_augmentation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/qos_routing.hpp"
+
+namespace sflow::core {
+
+using overlay::OverlayGraph;
+using overlay::OverlayIndex;
+
+namespace {
+
+/// Average widest bandwidth across the probe pairs on the given overlay
+/// (unreachable pairs contribute 0 — augmentation also earns credit for
+/// connecting them).
+double probe_score(const OverlayGraph& overlay,
+                   const std::vector<std::pair<OverlayIndex, OverlayIndex>>& probes) {
+  if (probes.empty()) return 0.0;
+  const graph::AllPairsShortestWidest routing(overlay.graph());
+  double total = 0.0;
+  for (const auto& [a, b] : probes) {
+    const graph::PathQuality& q = routing.quality(a, b);
+    if (!q.is_unreachable()) total += q.bandwidth;
+  }
+  return total / static_cast<double>(probes.size());
+}
+
+}  // namespace
+
+OverlayGraph augment_mesh(const OverlayGraph& overlay,
+                          const net::UnderlayRouting& routing,
+                          const overlay::CompatibilityFn& compatible,
+                          const AugmentationParams& params, util::Rng& rng,
+                          AugmentationReport* report) {
+  if (params.probe_pairs == 0)
+    throw std::invalid_argument("augment_mesh: need at least one probe pair");
+  const std::size_t n = overlay.instance_count();
+  if (n < 2) return overlay;
+
+  // Probe set: distinct random ordered pairs.
+  std::vector<std::pair<OverlayIndex, OverlayIndex>> probes;
+  for (std::size_t i = 0; i < params.probe_pairs; ++i) {
+    const auto a = static_cast<OverlayIndex>(rng.uniform_index(n));
+    auto b = static_cast<OverlayIndex>(rng.uniform_index(n));
+    if (a == b) b = static_cast<OverlayIndex>((b + 1) % n);
+    probes.emplace_back(a, b);
+  }
+
+  // Candidate links: compatible, not yet present, within the latency cut.
+  struct Candidate {
+    OverlayIndex from;
+    OverlayIndex to;
+    graph::LinkMetrics metrics;
+  };
+  std::vector<Candidate> candidates;
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a == b) continue;
+      const auto from = static_cast<OverlayIndex>(a);
+      const auto to = static_cast<OverlayIndex>(b);
+      if (overlay.graph().has_edge(from, to)) continue;
+      const overlay::ServiceInstance& fi = overlay.instance(from);
+      const overlay::ServiceInstance& ti = overlay.instance(to);
+      if (!compatible(fi.sid, ti.sid)) continue;
+      const graph::PathQuality& route = routing.route_quality(fi.nid, ti.nid);
+      if (route.is_unreachable() || route.latency > params.max_link_latency_ms)
+        continue;
+      candidates.push_back(
+          Candidate{from, to, graph::LinkMetrics{route.bandwidth, route.latency}});
+    }
+  }
+
+  AugmentationReport local_report;
+  AugmentationReport& out = report != nullptr ? *report : local_report;
+  out = AugmentationReport{};
+  out.probe_bandwidth_before = probe_score(overlay, probes);
+
+  OverlayGraph augmented = overlay;
+  double current = out.probe_bandwidth_before;
+  std::vector<bool> used(candidates.size(), false);
+
+  while (out.links_added < params.link_budget) {
+    // Round's evaluation set: all remaining candidates, or a random sample.
+    std::vector<std::size_t> round;
+    for (std::size_t c = 0; c < candidates.size(); ++c)
+      if (!used[c]) round.push_back(c);
+    if (params.candidate_sample > 0 && round.size() > params.candidate_sample) {
+      rng.shuffle(round);
+      round.resize(params.candidate_sample);
+    }
+
+    double best_ratio = 0.0;
+    std::size_t best_index = candidates.size();
+    double best_score = current;
+    for (const std::size_t c : round) {
+      // Tentatively add and rescore; the probe set keeps this affordable.
+      OverlayGraph trial = augmented;
+      trial.add_link(candidates[c].from, candidates[c].to, candidates[c].metrics);
+      const double score = probe_score(trial, probes);
+      const double benefit = score - current;
+      if (benefit <= 0.0) continue;
+      const double ratio = benefit / std::max(1.0, candidates[c].metrics.latency);
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best_index = c;
+        best_score = score;
+      }
+    }
+    if (best_index == candidates.size()) break;  // nothing helps any more
+    augmented.add_link(candidates[best_index].from, candidates[best_index].to,
+                       candidates[best_index].metrics);
+    used[best_index] = true;
+    current = best_score;
+    out.links_added += 1;
+  }
+
+  out.probe_bandwidth_after = current;
+  return augmented;
+}
+
+}  // namespace sflow::core

@@ -1,0 +1,73 @@
+#include "core/multicast.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/baseline.hpp"
+
+namespace sflow::core {
+
+using overlay::OverlayIndex;
+using overlay::ServiceFlowGraph;
+using overlay::ServiceRequirement;
+using overlay::Sid;
+
+bool is_multicast_tree(const ServiceRequirement& requirement) {
+  if (!requirement.is_valid()) return false;
+  for (const Sid sid : requirement.services())
+    if (requirement.upstream(sid).size() > 1) return false;
+  return true;
+}
+
+std::optional<ServiceFlowGraph> multicast_tree_federation(
+    const overlay::OverlayGraph& overlay, const ServiceRequirement& requirement,
+    const graph::AllPairsShortestWidest& routing) {
+  if (!is_multicast_tree(requirement))
+    throw std::invalid_argument(
+        "multicast_tree_federation: requirement is not a multicast tree");
+
+  // Root-to-sink service paths; unique because every service has one parent.
+  std::vector<std::vector<Sid>> paths;
+  for (const Sid sink : requirement.sinks()) {
+    std::vector<Sid> path;
+    Sid current = sink;
+    for (;;) {
+      path.push_back(current);
+      const auto up = requirement.upstream(current);
+      if (up.empty()) break;
+      current = up.front();
+    }
+    std::reverse(path.begin(), path.end());
+    paths.push_back(std::move(path));
+  }
+  // Longest first: the trunk is optimized before branches constrain it.
+  std::stable_sort(paths.begin(), paths.end(),
+                   [](const auto& a, const auto& b) { return a.size() > b.size(); });
+
+  ServiceFlowGraph tree;
+  for (const std::vector<Sid>& path : paths) {
+    // Chain sub-requirement with already-decided services pinned (the merge
+    // step) plus the consumer's own pins.
+    ServiceRequirement chain;
+    Sid prev = overlay::kInvalidSid;
+    for (const Sid sid : path) {
+      if (prev != overlay::kInvalidSid) chain.add_edge(prev, sid);
+      prev = sid;
+    }
+    if (path.size() == 1) chain.add_service(path.front());
+    for (const Sid sid : path) {
+      if (const auto decided = tree.assignment(sid)) {
+        chain.pin(sid, overlay.instance(*decided).nid);
+      } else if (const auto pin = requirement.pinned(sid)) {
+        chain.pin(sid, *pin);
+      }
+    }
+
+    const auto solved = baseline_single_path(overlay, chain, routing);
+    if (!solved) return std::nullopt;  // greedy dead end: pins unsatisfiable
+    tree.merge_from(*solved);
+  }
+  return tree;
+}
+
+}  // namespace sflow::core

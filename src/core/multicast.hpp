@@ -1,0 +1,45 @@
+// Service multicast tree construction, after Jin & Nahrstedt [3] ("On
+// Construction of Service Multicast Trees", ICC 2003), which the paper cites
+// as the state of the art between service paths and service flow graphs:
+// "a multicast tree may be constructed by merging multiple service paths
+// that share a subset of common services" (§2.2).
+//
+// Given a *tree-shaped* requirement (one source, many sinks, every
+// intermediate service with exactly one upstream — RequirementShape::
+// kMulticastTree), the algorithm:
+//
+//   1. enumerates the root-to-sink service paths of the requirement tree;
+//   2. solves the first path optimally with the baseline algorithm;
+//   3. solves each further path with the instances of already-decided shared
+//      services pinned — the "merge" step: shared prefixes reuse the same
+//      instances, forming a multicast tree of service streams.
+//
+// Path order follows the paper's greedy spirit: longest path first, so the
+// trunk of the tree is optimized before the branches constrain it.  The
+// result is exact for each path given its pins, but globally greedy — the
+// gap to optimal_flow_graph is what Fig. 10's flow-graph approach closes,
+// measured by bench/multicast_compare.
+#pragma once
+
+#include <optional>
+
+#include "graph/qos_routing.hpp"
+#include "overlay/flow_graph.hpp"
+#include "overlay/overlay_graph.hpp"
+#include "overlay/requirement.hpp"
+
+namespace sflow::core {
+
+/// True when `requirement` is a multicast tree: valid, and every service has
+/// at most one upstream service.
+bool is_multicast_tree(const overlay::ServiceRequirement& requirement);
+
+/// Builds the service multicast tree (see file comment).  Returns nullopt
+/// when the requirement is unsatisfiable, or throws std::invalid_argument
+/// when it is not tree-shaped.
+std::optional<overlay::ServiceFlowGraph> multicast_tree_federation(
+    const overlay::OverlayGraph& overlay,
+    const overlay::ServiceRequirement& requirement,
+    const graph::AllPairsShortestWidest& routing);
+
+}  // namespace sflow::core

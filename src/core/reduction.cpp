@@ -1,0 +1,345 @@
+#include "core/reduction.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <stdexcept>
+
+#include "core/global_optimal.hpp"
+#include "graph/dag.hpp"
+
+namespace sflow::core {
+
+using overlay::OverlayIndex;
+using overlay::ServiceFlowGraph;
+using overlay::ServiceRequirement;
+using overlay::Sid;
+
+std::optional<ChainDecomposition> decompose_parallel_chains(
+    const ServiceRequirement& requirement) {
+  if (!requirement.is_valid()) return std::nullopt;
+  const auto sinks = requirement.sinks();
+  if (sinks.size() != 1) return std::nullopt;
+  const Sid source = requirement.source();
+  const Sid sink = sinks.front();
+  if (source == sink) return std::nullopt;  // single-service requirement
+
+  for (const Sid sid : requirement.services()) {
+    if (sid == source || sid == sink) continue;
+    const graph::NodeIndex v = requirement.index_of(sid);
+    if (requirement.dag().in_degree(v) != 1 || requirement.dag().out_degree(v) != 1)
+      return std::nullopt;
+  }
+
+  ChainDecomposition cd;
+  cd.source = source;
+  cd.sink = sink;
+  for (const Sid head : requirement.downstream(source)) {
+    std::vector<Sid> chain;
+    Sid current = head;
+    while (current != sink) {
+      chain.push_back(current);
+      current = requirement.downstream(current).front();
+    }
+    cd.chains.push_back(std::move(chain));
+  }
+  return cd;
+}
+
+namespace {
+
+/// Sub-requirement induced on `keep` (services retain their relative order,
+/// pins on retained services are preserved).
+ServiceRequirement induce_requirement(const ServiceRequirement& requirement,
+                                      const std::set<Sid>& keep) {
+  ServiceRequirement result;
+  for (const Sid sid : requirement.services())
+    if (keep.contains(sid)) result.add_service(sid);
+  for (const graph::Edge& e : requirement.dag().edges()) {
+    const Sid from = requirement.sid_of(e.from);
+    const Sid to = requirement.sid_of(e.to);
+    if (keep.contains(from) && keep.contains(to)) result.add_edge(from, to);
+  }
+  for (const auto& [sid, nid] : requirement.pins())
+    if (keep.contains(sid)) result.pin(sid, nid);
+  return result;
+}
+
+/// The requirement after replacing a block with the single edge split->merge.
+ServiceRequirement reduce_block(const ServiceRequirement& requirement,
+                                const SplitMergeBlock& block) {
+  std::set<Sid> keep(requirement.services().begin(), requirement.services().end());
+  for (const Sid sid : block.interior) keep.erase(sid);
+  ServiceRequirement reduced = induce_requirement(requirement, keep);
+  reduced.add_edge(block.split, block.merge);  // virtual edge (no-op if present)
+  return reduced;
+}
+
+}  // namespace
+
+std::optional<SplitMergeBlock> find_reducible_block(
+    const ServiceRequirement& requirement) {
+  if (!requirement.is_valid()) return std::nullopt;
+  const graph::Digraph& dag = requirement.dag();
+
+  // Extend with a virtual exit so post-dominators are defined with multiple
+  // sinks.
+  graph::Digraph ext(dag.node_count() + 1);
+  const auto exit_node = static_cast<graph::NodeIndex>(dag.node_count());
+  for (const graph::Edge& e : dag.edges()) ext.add_edge(e.from, e.to, e.metrics);
+  for (const graph::NodeIndex s : graph::sink_nodes(dag))
+    ext.add_edge(s, exit_node, graph::LinkMetrics{1.0, 1.0});
+
+  const auto order = graph::topological_order(dag);
+  // Deepest splits first, so nested structures reduce inside-out.
+  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+    const graph::NodeIndex split_node = *it;
+    if (dag.out_degree(split_node) < 2) continue;
+    const graph::NodeIndex merge_node =
+        graph::immediate_post_dominator(ext, split_node, exit_node);
+    if (merge_node == graph::kInvalidNode || merge_node == exit_node) continue;
+
+    const auto from_split = graph::reachable_from(dag, split_node);
+    const auto to_merge = graph::reaching_to(dag, merge_node);
+    std::vector<graph::NodeIndex> interior_nodes;
+    for (std::size_t v = 0; v < dag.node_count(); ++v) {
+      const auto vi = static_cast<graph::NodeIndex>(v);
+      if (vi == split_node || vi == merge_node) continue;
+      if (from_split[v] && to_merge[v]) interior_nodes.push_back(vi);
+    }
+    if (interior_nodes.empty()) continue;
+
+    // Clean check: interior edges stay inside the block.
+    const std::set<graph::NodeIndex> interior_set(interior_nodes.begin(),
+                                                  interior_nodes.end());
+    bool clean = true;
+    for (const graph::NodeIndex v : interior_nodes) {
+      for (const graph::NodeIndex p : dag.predecessors(v))
+        if (p != split_node && !interior_set.contains(p)) clean = false;
+      for (const graph::NodeIndex s : dag.successors(v))
+        if (s != merge_node && !interior_set.contains(s)) clean = false;
+      if (!clean) break;
+    }
+    if (!clean) continue;
+
+    SplitMergeBlock block;
+    block.split = requirement.sid_of(split_node);
+    block.merge = requirement.sid_of(merge_node);
+    for (const graph::NodeIndex v : interior_nodes)
+      block.interior.push_back(requirement.sid_of(v));
+
+    // The block must itself be path-reducible (possibly after deeper
+    // reductions already turned its interior into chains).
+    std::set<Sid> members(block.interior.begin(), block.interior.end());
+    members.insert(block.split);
+    members.insert(block.merge);
+    const ServiceRequirement block_req = induce_requirement(requirement, members);
+    if (decompose_parallel_chains(block_req)) return block;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+struct BlockSolution {
+  ServiceFlowGraph graph;
+  graph::PathQuality quality = graph::PathQuality::unreachable();
+};
+
+struct VirtualEdge {
+  Sid from = overlay::kInvalidSid;
+  Sid to = overlay::kInvalidSid;
+  std::map<std::pair<OverlayIndex, OverlayIndex>, BlockSolution> solutions;
+};
+
+/// One solve() invocation's working state: the virtual-edge stack plus the
+/// quality/expansion functions that consult it.
+class Engine {
+ public:
+  Engine(const overlay::OverlayGraph& overlay,
+         const graph::AllPairsShortestWidest& routing,
+         RequirementSolver::Options options, RequirementSolver::Trace& trace)
+      : overlay_(overlay), routing_(routing), options_(options), trace_(trace) {}
+
+  std::optional<ServiceFlowGraph> solve(const ServiceRequirement& requirement) {
+    requirement.validate();
+    ServiceRequirement work = requirement;
+
+    // Reduce split-and-merge blocks inside-out until none remain.
+    if (options_.enable_split_merge) {
+      while (!work.is_single_path()) {
+        const auto block = find_reducible_block(work);
+        if (!block) break;
+        if (!reduce_one_block(work, *block)) return std::nullopt;
+        work = reduce_block(work, *block);
+        ++trace_.split_merge_reductions;
+      }
+    }
+
+    auto solution = solve_shape(work);
+    if (!solution) return std::nullopt;
+
+    // Unwind virtual edges, outermost first: each expansion replaces the
+    // virtual edge with the block's real edges and interior assignments.
+    for (auto it = virtuals_.rbegin(); it != virtuals_.rend(); ++it) {
+      const auto u = solution->assignment(it->from);
+      const auto v = solution->assignment(it->to);
+      if (!u || !v)
+        throw std::logic_error("RequirementSolver: virtual edge endpoints unassigned");
+      const auto sol_it = it->solutions.find({*u, *v});
+      if (sol_it == it->solutions.end())
+        throw std::logic_error("RequirementSolver: chosen virtual pair unsolved");
+      if (!solution->erase_edge(it->from, it->to))
+        throw std::logic_error("RequirementSolver: virtual edge missing");
+      solution->merge_from(sol_it->second.graph);
+    }
+    return solution;
+  }
+
+ private:
+  EdgeQualityFn quality_fn() const {
+    return [this](Sid from, OverlayIndex u, Sid to, OverlayIndex v) {
+      if (const VirtualEdge* ve = find_virtual(from, to)) {
+        const auto it = ve->solutions.find({u, v});
+        return it == ve->solutions.end() ? graph::PathQuality::unreachable()
+                                         : it->second.quality;
+      }
+      if (options_.base_quality) return options_.base_quality(from, u, to, v);
+      return routing_.quality(u, v);
+    };
+  }
+
+  EdgePathFn path_fn() const {
+    return [this](Sid from, OverlayIndex u, Sid to,
+                  OverlayIndex v) -> std::optional<std::vector<OverlayIndex>> {
+      if (const VirtualEdge* ve = find_virtual(from, to)) {
+        if (!ve->solutions.contains({u, v})) return std::nullopt;
+        // Placeholder expansion; replaced during unwinding.
+        return std::vector<OverlayIndex>{u, v};
+      }
+      if (options_.base_path) return options_.base_path(from, u, to, v);
+      return routing_.path(u, v);
+    };
+  }
+
+  const VirtualEdge* find_virtual(Sid from, Sid to) const {
+    for (const VirtualEdge& ve : virtuals_)
+      if (ve.from == from && ve.to == to) return &ve;
+    return nullptr;
+  }
+
+  /// Solves a requirement with no remaining reducible blocks.
+  std::optional<ServiceFlowGraph> solve_shape(const ServiceRequirement& work) {
+    if (work.is_single_path()) {
+      ++trace_.baseline_calls;
+      return baseline_single_path_custom(overlay_, work, quality_fn(), path_fn());
+    }
+    if (options_.enable_path_reduction) {
+      if (const auto cd = decompose_parallel_chains(work)) {
+        ++trace_.path_reductions;
+        return solve_parallel(work, *cd);
+      }
+    }
+    ++trace_.exhaustive_fallbacks;
+    return optimal_flow_graph_custom(overlay_, work, quality_fn(), path_fn());
+  }
+
+  /// Path reduction: per-(source,sink)-instance-pair chain solving.
+  std::optional<ServiceFlowGraph> solve_parallel(const ServiceRequirement& work,
+                                                 const ChainDecomposition& cd) {
+    const auto sources = candidate_instances(overlay_, work, cd.source);
+    const auto sinks = candidate_instances(overlay_, work, cd.sink);
+    std::optional<ServiceFlowGraph> best;
+    graph::PathQuality best_quality = graph::PathQuality::unreachable();
+    for (const OverlayIndex u : sources) {
+      for (const OverlayIndex v : sinks) {
+        auto attempt = solve_chains_pinned(work, cd, u, v);
+        if (!attempt) continue;
+        if (!best || attempt->second.better_than(best_quality)) {
+          best_quality = attempt->second;
+          best = std::move(attempt->first);
+        }
+      }
+    }
+    return best;
+  }
+
+  /// Solves every chain of `cd` with source/sink pinned to (u, v); returns
+  /// the merged flow graph and its (bottleneck, critical-path) quality.
+  std::optional<std::pair<ServiceFlowGraph, graph::PathQuality>> solve_chains_pinned(
+      const ServiceRequirement& work, const ChainDecomposition& cd, OverlayIndex u,
+      OverlayIndex v) {
+    ServiceFlowGraph combined;
+    double bottleneck = std::numeric_limits<double>::infinity();
+    double latency = 0.0;
+    for (const std::vector<Sid>& chain : cd.chains) {
+      ServiceRequirement chain_req;
+      Sid prev = cd.source;
+      for (const Sid sid : chain) {
+        chain_req.add_edge(prev, sid);
+        prev = sid;
+      }
+      chain_req.add_edge(prev, cd.sink);
+      chain_req.pin(cd.source, overlay_.instance(u).nid);
+      chain_req.pin(cd.sink, overlay_.instance(v).nid);
+      for (const Sid sid : chain)
+        if (const auto pin = work.pinned(sid)) chain_req.pin(sid, *pin);
+
+      ++trace_.baseline_calls;
+      const auto chain_solution =
+          baseline_single_path_custom(overlay_, chain_req, quality_fn(), path_fn());
+      if (!chain_solution) return std::nullopt;
+      const graph::PathQuality q = chain_solution->quality(chain_req);
+      bottleneck = std::min(bottleneck, q.bandwidth);
+      latency = std::max(latency, q.latency);
+      combined.merge_from(*chain_solution);
+    }
+    return std::make_pair(std::move(combined),
+                          graph::PathQuality{bottleneck, latency});
+  }
+
+  /// Solves `block` for every (split, merge) instance pair and records the
+  /// virtual edge.  Returns false when no pair is feasible.
+  bool reduce_one_block(const ServiceRequirement& work, const SplitMergeBlock& block) {
+    std::set<Sid> members(block.interior.begin(), block.interior.end());
+    members.insert(block.split);
+    members.insert(block.merge);
+    const ServiceRequirement block_req = induce_requirement(work, members);
+    const auto cd = decompose_parallel_chains(block_req);
+    if (!cd)
+      throw std::logic_error("RequirementSolver: block is not chain-decomposable");
+
+    VirtualEdge ve;
+    ve.from = block.split;
+    ve.to = block.merge;
+    for (const OverlayIndex u : candidate_instances(overlay_, work, block.split)) {
+      for (const OverlayIndex v : candidate_instances(overlay_, work, block.merge)) {
+        auto solved = solve_chains_pinned(block_req, *cd, u, v);
+        if (!solved) continue;
+        ve.solutions.emplace(std::make_pair(u, v),
+                             BlockSolution{std::move(solved->first), solved->second});
+      }
+    }
+    if (ve.solutions.empty()) return false;
+    virtuals_.push_back(std::move(ve));
+    return true;
+  }
+
+  const overlay::OverlayGraph& overlay_;
+  const graph::AllPairsShortestWidest& routing_;
+  RequirementSolver::Options options_;
+  RequirementSolver::Trace& trace_;
+  std::vector<VirtualEdge> virtuals_;
+};
+
+}  // namespace
+
+std::optional<ServiceFlowGraph> RequirementSolver::solve(
+    const ServiceRequirement& requirement, Trace* trace) const {
+  Trace local_trace;
+  Engine engine(overlay_, routing_, options_,
+                trace != nullptr ? *trace : local_trace);
+  return engine.solve(requirement);
+}
+
+}  // namespace sflow::core

@@ -1,0 +1,107 @@
+// Requirement-reduction heuristics (paper §3.4) and the composite solver
+// built on them.
+//
+// * Path reduction (§3.4.1, Fig. 8): a requirement that is a bundle of
+//   parallel chains sharing only source and sink splits into single-path
+//   requirements, each solved optimally by the baseline; enumerating the
+//   (source instance, sink instance) pairs keeps the merge exact.
+// * Split-and-merge reduction (§3.4.2): a clean split-and-merge block —
+//   every path from the splitting service rejoins at its immediate
+//   post-dominator, and interior services have no edges leaving the block —
+//   is solved for every (split instance, merge instance) pair and replaced by
+//   a single *virtual edge* carrying those per-pair qualities; the reduced
+//   requirement is then solved recursively, and the chosen block solution is
+//   spliced back in.
+// * Anything that resists both reductions falls back to the exact
+//   branch-and-bound solver (cheap on the 2-hop local views where the
+//   distributed algorithm runs this machinery).
+//
+// These are best-effort heuristics, as the paper notes; RequirementSolver
+// records which strategies fired so tests and ablations can assert on them.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/baseline.hpp"
+#include "graph/qos_routing.hpp"
+#include "overlay/flow_graph.hpp"
+#include "overlay/overlay_graph.hpp"
+#include "overlay/requirement.hpp"
+
+namespace sflow::core {
+
+/// A parallel-chain decomposition: every service except source/sink lies on
+/// exactly one chain with in-degree = out-degree = 1.
+struct ChainDecomposition {
+  overlay::Sid source = overlay::kInvalidSid;
+  overlay::Sid sink = overlay::kInvalidSid;
+  /// Interior services of each chain, in flow order.  An empty chain is a
+  /// direct source->sink edge.
+  std::vector<std::vector<overlay::Sid>> chains;
+};
+
+/// Path reduction: decomposes `requirement` into parallel chains, or nullopt
+/// when it does not have that shape.  (A single path decomposes into one
+/// chain.)
+std::optional<ChainDecomposition> decompose_parallel_chains(
+    const overlay::ServiceRequirement& requirement);
+
+/// A clean split-and-merge block (see file comment).
+struct SplitMergeBlock {
+  overlay::Sid split = overlay::kInvalidSid;
+  overlay::Sid merge = overlay::kInvalidSid;
+  std::vector<overlay::Sid> interior;  // non-empty
+};
+
+/// Finds a clean block whose induced sub-requirement decomposes into parallel
+/// chains (so it is solvable by path reduction); deepest splits are examined
+/// first so nested structures reduce inside-out.  nullopt when none exists.
+std::optional<SplitMergeBlock> find_reducible_block(
+    const overlay::ServiceRequirement& requirement);
+
+/// The composite heuristic solver used centrally and on each node's local
+/// view in the distributed algorithm.
+class RequirementSolver {
+ public:
+  struct Trace {
+    std::size_t baseline_calls = 0;
+    std::size_t path_reductions = 0;
+    std::size_t split_merge_reductions = 0;
+    std::size_t exhaustive_fallbacks = 0;
+  };
+
+  /// Strategy toggles for ablations (bench/ablation_reduction), plus an
+  /// optional override of the base abstract-edge quality/expansion — the
+  /// composition seam used by consumer demands (core/demands.hpp) and the
+  /// computing-resource model (overlay/resources.hpp).  When unset, the
+  /// routing database supplies both.
+  struct Options {
+    bool enable_path_reduction = true;
+    bool enable_split_merge = true;
+    EdgeQualityFn base_quality;
+    EdgePathFn base_path;
+  };
+
+  RequirementSolver(const overlay::OverlayGraph& overlay,
+                    const graph::AllPairsShortestWidest& routing, Options options)
+      : overlay_(overlay), routing_(routing), options_(options) {}
+
+  RequirementSolver(const overlay::OverlayGraph& overlay,
+                    const graph::AllPairsShortestWidest& routing)
+      : RequirementSolver(overlay, routing, Options{}) {}
+
+  /// Solves an arbitrary DAG requirement (pins respected); nullopt when
+  /// unsatisfiable on the overlay.  `trace`, when given, accumulates which
+  /// strategies fired.
+  std::optional<overlay::ServiceFlowGraph> solve(
+      const overlay::ServiceRequirement& requirement, Trace* trace = nullptr) const;
+
+ private:
+  const overlay::OverlayGraph& overlay_;
+  const graph::AllPairsShortestWidest& routing_;
+  Options options_;
+};
+
+}  // namespace sflow::core

@@ -1,0 +1,418 @@
+#include "core/sflow_federation.hpp"
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+#include "util/timer.hpp"
+
+namespace sflow::core {
+
+using overlay::OverlayIndex;
+using overlay::ServiceFlowGraph;
+using overlay::ServiceRequirement;
+using overlay::Sid;
+
+namespace {
+
+/// Payload of sfederate and sreport messages.
+struct Payload {
+  std::shared_ptr<const ServiceRequirement> original;
+  std::map<Sid, net::Nid> pins;
+  ServiceFlowGraph partial;
+};
+
+/// Payload of sack messages: the acknowledged service.
+struct Ack {
+  Sid sid = overlay::kInvalidSid;
+};
+
+/// Payload of scorrect messages: a failover's corrected realization.  Stale
+/// copies of the replaced edge may still be snowballing through sibling
+/// branches; the collector lets corrections win.
+struct Correction {
+  overlay::FlowEdge edge;
+  OverlayIndex replacement = graph::kInvalidNode;
+};
+
+/// Rough wire-size model for protocol accounting: fixed header, 8 bytes per
+/// requirement element, 12 per pin, 16 per assignment, and the realized
+/// paths at 8 bytes per hop.
+std::size_t estimate_size(const Payload& payload) {
+  std::size_t size = 64;
+  size += 8 * (payload.original->service_count() +
+               payload.original->dag().edge_count());
+  size += 12 * payload.pins.size();
+  size += 16 * payload.partial.assignments().size();
+  for (const overlay::FlowEdge& e : payload.partial.edges())
+    size += 16 + 8 * e.overlay_path.size();
+  return size;
+}
+
+/// One in-flight sfederate awaiting its ack.
+struct PendingAck {
+  OverlayIndex target = graph::kInvalidNode;
+  std::size_t attempts = 0;
+  std::set<OverlayIndex> excluded;  // instances that already timed out
+};
+
+struct NodeState {
+  std::size_t received = 0;
+  bool computed = false;
+  std::map<Sid, net::Nid> pins;
+  ServiceFlowGraph accumulated;
+  std::map<Sid, PendingAck> pending;  // downstream service -> awaited ack
+};
+
+/// First-writer merge that silently skips superseded copies.  After a
+/// failover, stale snowballed partials (referencing the dead instance) and
+/// corrected ones meet at downstream joins; node decisions depend only on
+/// pins, and the collector reconciles via frozen corrections, so receivers
+/// may keep whichever copy arrived first instead of throwing.
+void merge_lenient(ServiceFlowGraph& into, const ServiceFlowGraph& from) {
+  for (const auto& [sid, instance] : from.assignments()) {
+    if (!into.assignment(sid)) into.assign(sid, instance);
+  }
+  for (const overlay::FlowEdge& e : from.edges()) {
+    const auto a = into.assignment(e.from_sid);
+    const auto b = into.assignment(e.to_sid);
+    if (a && *a != e.overlay_path.front()) continue;
+    if (b && *b != e.overlay_path.back()) continue;
+    if (into.find_edge(e.from_sid, e.to_sid) != nullptr) continue;
+    into.set_edge(e.from_sid, e.to_sid, e.overlay_path, e.quality);
+  }
+}
+
+/// The collector's assembly state.  Edges and assignments are keyed; normal
+/// reports use first-writer-wins (identical duplicates arrive via several
+/// sinks), corrections overwrite and freeze their key against later stale
+/// copies.  Every edge has a single legitimate writer (its upstream node),
+/// so correction-wins is sound.
+struct Assembly {
+  std::map<Sid, OverlayIndex> assignments;
+  std::set<Sid> assignment_frozen;
+  std::map<std::pair<Sid, Sid>, overlay::FlowEdge> edges;
+  std::set<std::pair<Sid, Sid>> edge_frozen;
+
+  void absorb_assignment(Sid sid, OverlayIndex instance, bool corrected) {
+    if (corrected) {
+      assignments[sid] = instance;
+      assignment_frozen.insert(sid);
+    } else if (!assignment_frozen.contains(sid)) {
+      assignments.emplace(sid, instance);
+    }
+  }
+
+  void absorb_edge(const overlay::FlowEdge& edge, bool corrected) {
+    const std::pair<Sid, Sid> key{edge.from_sid, edge.to_sid};
+    if (corrected) {
+      edges[key] = edge;
+      edge_frozen.insert(key);
+    } else if (!edge_frozen.contains(key)) {
+      edges.emplace(key, edge);
+    }
+  }
+
+  /// A complete, internally consistent flow graph, or nullopt.
+  std::optional<ServiceFlowGraph> try_assemble(
+      const ServiceRequirement& requirement) const {
+    for (const Sid sid : requirement.services())
+      if (!assignments.contains(sid)) return std::nullopt;
+    ServiceFlowGraph graph;
+    for (const graph::Edge& e : requirement.dag().edges()) {
+      const Sid from = requirement.sid_of(e.from);
+      const Sid to = requirement.sid_of(e.to);
+      const auto it = edges.find({from, to});
+      if (it == edges.end()) return std::nullopt;
+      const overlay::FlowEdge& edge = it->second;
+      // Stale edges referencing superseded instances keep the assembly
+      // incomplete until their corrections arrive.
+      if (edge.overlay_path.front() != assignments.at(from) ||
+          edge.overlay_path.back() != assignments.at(to))
+        return std::nullopt;
+    }
+    for (const auto& [sid, instance] : assignments)
+      graph.assign(sid, instance);
+    for (const graph::Edge& e : requirement.dag().edges())
+      graph.merge_from([&] {
+        ServiceFlowGraph one;
+        const overlay::FlowEdge& edge =
+            edges.at({requirement.sid_of(e.from), requirement.sid_of(e.to)});
+        one.set_edge(edge.from_sid, edge.to_sid, edge.overlay_path, edge.quality);
+        return one;
+      }());
+    return graph;
+  }
+};
+
+}  // namespace
+
+SFlowFederationResult run_sflow_federation(
+    const net::UnderlyingNetwork& underlay, const net::UnderlayRouting& routing,
+    const overlay::OverlayGraph& overlay,
+    const graph::AllPairsShortestWidest& overlay_routing,
+    const ServiceRequirement& requirement, const SFlowNodeConfig& config,
+    const FederationFaultOptions& faults, FederationTrace* trace) {
+  requirement.validate();
+  SFlowFederationResult result;
+  util::CpuTimeAccumulator compute_time;
+
+  // The consumer contacts a concrete source instance.
+  const Sid source_sid = requirement.source();
+  OverlayIndex source_instance = graph::kInvalidNode;
+  if (const auto pin = requirement.pinned(source_sid)) {
+    const auto inst = overlay.instance_at(*pin);
+    if (!inst || overlay.instance(*inst).sid != source_sid)
+      throw std::invalid_argument("run_sflow_federation: bad source pin");
+    source_instance = *inst;
+  } else {
+    const auto instances = overlay.instances_of(source_sid);
+    if (instances.empty()) return result;
+    source_instance = instances.front();
+  }
+  const net::Nid collector_nid = overlay.instance(source_instance).nid;
+
+  auto original = std::make_shared<const ServiceRequirement>(requirement);
+
+  sim::Simulator simulator(underlay, routing);
+  std::map<net::Nid, NodeState> states;
+  Assembly assembly;
+  std::optional<ServiceFlowGraph> assembled;
+  double completion_time = 0.0;
+
+  const auto check_complete = [&] {
+    if (assembled) return;
+    assembled = assembly.try_assemble(*original);
+    if (assembled) {
+      completion_time = simulator.now();
+      if (trace != nullptr)
+        trace->record({simulator.now(), collector_nid,
+                       TraceEvent::Kind::kAssembled, overlay::kInvalidSid,
+                       graph::kInvalidNode});
+    }
+  };
+
+  // Deterministic failover rule: the best surviving candidate of `sid` by
+  // shortest-widest quality from the source instance (globally known), so
+  // independent upstreams converge without coordination.
+  const auto pick_replacement =
+      [&](Sid sid, const std::set<OverlayIndex>& excluded) -> OverlayIndex {
+    OverlayIndex best = graph::kInvalidNode;
+    graph::PathQuality best_quality = graph::PathQuality::unreachable();
+    for (const OverlayIndex c : overlay.instances_of(sid)) {
+      if (excluded.contains(c)) continue;
+      const graph::PathQuality& q =
+          c == source_instance ? graph::PathQuality::source()
+                               : overlay_routing.quality(source_instance, c);
+      if (q.is_unreachable()) continue;
+      if (best == graph::kInvalidNode || q.better_than(best_quality)) {
+        best = c;
+        best_quality = q;
+      }
+    }
+    return best;
+  };
+
+  // Sends one sfederate from `self` for downstream service `sid` and arms
+  // the ack timer (fault mode only).
+  std::function<void(OverlayIndex, Sid, OverlayIndex)> dispatch =
+      [&](OverlayIndex self, Sid sid, OverlayIndex target) {
+        const net::Nid self_nid = overlay.instance(self).nid;
+        NodeState& state = states[self_nid];
+        Payload out{original, state.pins, state.accumulated};
+        const std::size_t size = estimate_size(out);
+        simulator.send(sim::Message{self_nid, overlay.instance(target).nid,
+                                    "sfederate", std::move(out), size});
+        if (trace != nullptr)
+          trace->record({simulator.now(), self_nid,
+                         TraceEvent::Kind::kDispatched, sid,
+                         overlay.instance(target).nid});
+        if (faults.crashed.empty()) return;  // no fault mode: no timers
+
+        state.pending[sid].target = target;
+        simulator.schedule(faults.ack_timeout_ms, [&, self, sid, target] {
+          const net::Nid nid = overlay.instance(self).nid;
+          NodeState& sender = states[nid];
+          const auto it = sender.pending.find(sid);
+          if (it == sender.pending.end() || it->second.target != target)
+            return;  // acked or already failed over: stale timer
+          it->second.excluded.insert(target);
+          if (++it->second.attempts > faults.max_failovers) return;  // give up
+          const OverlayIndex replacement =
+              pick_replacement(sid, it->second.excluded);
+          if (replacement == graph::kInvalidNode) return;  // nobody left
+          result.failovers += 1;
+          if (trace != nullptr)
+            trace->record({simulator.now(), nid, TraceEvent::Kind::kFailover,
+                           sid, overlay.instance(replacement).nid});
+
+          const Sid self_sid = overlay.instance(self).sid;
+          const auto path = overlay_routing.path(self, replacement);
+          if (!path) return;
+          const overlay::FlowEdge corrected{
+              self_sid, sid, *path, overlay_routing.quality(self, replacement)};
+
+          // Patch local state: override the pin, rebuild around the corrected
+          // edge (other stale edges touching the dead instance — e.g. a
+          // snowballed copy of a sibling upstream's edge — are skipped; their
+          // owners run their own failovers and corrections).
+          sender.pins[sid] = overlay.instance(replacement).nid;
+          ServiceFlowGraph repaired;
+          for (const auto& [s, inst] : sender.accumulated.assignments())
+            if (s != sid) repaired.assign(s, inst);
+          repaired.set_edge(corrected.from_sid, corrected.to_sid,
+                            corrected.overlay_path, corrected.quality);
+          ServiceFlowGraph old_edges;
+          for (const overlay::FlowEdge& e : sender.accumulated.edges())
+            if (!(e.from_sid == self_sid && e.to_sid == sid))
+              old_edges.set_edge(e.from_sid, e.to_sid, e.overlay_path, e.quality);
+          merge_lenient(repaired, old_edges);
+          sender.accumulated = std::move(repaired);
+
+          // Tell the collector; stale copies of the old edge may still be
+          // snowballing through sibling branches.
+          simulator.send(sim::Message{
+              nid, collector_nid, "scorrect",
+              Correction{corrected, replacement},
+              32 + 8 * corrected.overlay_path.size()});
+          dispatch(self, sid, replacement);
+        });
+      };
+
+  // Every instance gets a handler; crashed nodes swallow everything.
+  for (std::size_t v = 0; v < overlay.instance_count(); ++v) {
+    const auto self = static_cast<OverlayIndex>(v);
+    const net::Nid nid = overlay.instance(self).nid;
+    if (faults.crashed.contains(nid)) {
+      simulator.register_handler(nid, [](const sim::Message&) {});
+      continue;
+    }
+    simulator.register_handler(nid, [&, self, nid](const sim::Message& msg) {
+      if (msg.type == "sack") {
+        const Ack ack = std::any_cast<Ack>(msg.payload);
+        NodeState& sender = states[nid];
+        const auto it = sender.pending.find(ack.sid);
+        if (it != sender.pending.end() &&
+            overlay.instance(it->second.target).nid == msg.from)
+          sender.pending.erase(it);
+        return;
+      }
+
+      if (msg.type == "scorrect") {
+        // Collector only.
+        const Correction correction = std::any_cast<Correction>(msg.payload);
+        assembly.absorb_edge(correction.edge, /*corrected=*/true);
+        assembly.absorb_assignment(correction.edge.to_sid, correction.replacement,
+                                   /*corrected=*/true);
+        check_complete();
+        return;
+      }
+
+      const auto& payload = std::any_cast<const Payload&>(msg.payload);
+
+      if (msg.type == "sreport") {
+        // Collector only: one node's own contribution (its assignment and
+        // the edges it realized) — single-writer, so first-write suffices
+        // and only corrections may override.  Crucially, only the sender's
+        // *self*-claim counts as an assignment: edge endpoints must not
+        // assign a service, or a crashed target would look placed before its
+        // failover ran (it never claims itself — it is dead).
+        const auto owner = overlay.instance_at(msg.from);
+        if (owner) {
+          const Sid owner_sid = overlay.instance(*owner).sid;
+          if (const auto claimed = payload.partial.assignment(owner_sid))
+            assembly.absorb_assignment(owner_sid, *claimed, /*corrected=*/false);
+        }
+        for (const overlay::FlowEdge& e : payload.partial.edges())
+          assembly.absorb_edge(e, /*corrected=*/false);
+        check_complete();
+        return;
+      }
+
+      // sfederate: acknowledge first (even duplicates), then process.
+      const Sid self_sid = overlay.instance(self).sid;
+      if (!faults.crashed.empty() && msg.from != nid)
+        simulator.send(sim::Message{nid, msg.from, "sack", Ack{self_sid}, 16});
+
+      if (trace != nullptr)
+        trace->record({simulator.now(), nid, TraceEvent::Kind::kDelivered,
+                       self_sid, msg.from});
+
+      NodeState& state = states[nid];
+      state.received += 1;
+      // Claim the own assignment before merging: after a failover, payloads
+      // may still carry the dead predecessor's assignment of this service,
+      // and the receiving instance's identity is authoritative.
+      if (!state.accumulated.assignment(self_sid))
+        state.accumulated.assign(self_sid, self);
+      merge_lenient(state.accumulated, payload.partial);
+      for (const auto& [sid, pin_nid] : payload.pins)
+        state.pins.emplace(sid, pin_nid);  // first writer wins
+
+      const std::size_t expected =
+          std::max<std::size_t>(1, original->upstream(self_sid).size());
+      if (state.computed || state.received < expected) return;
+      state.computed = true;
+      result.node_computations += 1;
+      if (trace != nullptr)
+        trace->record({simulator.now(), nid, TraceEvent::Kind::kComputed,
+                       self_sid, graph::kInvalidNode});
+
+      LocalDecision decision;
+      {
+        const auto scope = compute_time.scope();
+        decision = sflow_local_compute(overlay, overlay_routing, self, *original,
+                                       state.pins, config);
+      }
+      result.global_fallbacks += decision.global_fallbacks;
+      for (const auto& [sid, pin_nid] : decision.new_pins) {
+        state.pins.emplace(sid, pin_nid);
+        if (trace != nullptr)
+          trace->record({simulator.now(), nid, TraceEvent::Kind::kPinned, sid,
+                         pin_nid});
+      }
+      for (const overlay::FlowEdge& e : decision.new_edges)
+        state.accumulated.set_edge(e.from_sid, e.to_sid, e.overlay_path, e.quality);
+
+      // Report the own contribution straight to the collector.  Snowballed
+      // partials keep travelling with sfederate (the paper's design), but
+      // assembly must not depend on their fidelity: after a failover, stale
+      // copies can shadow corrected edges at downstream joins.
+      {
+        ServiceFlowGraph contribution;
+        contribution.assign(self_sid, self);
+        for (const overlay::FlowEdge& e : decision.new_edges)
+          contribution.set_edge(e.from_sid, e.to_sid, e.overlay_path, e.quality);
+        Payload out{original, {}, std::move(contribution)};
+        const std::size_t size = estimate_size(out);
+        simulator.send(
+            sim::Message{nid, collector_nid, "sreport", std::move(out), size});
+        if (trace != nullptr)
+          trace->record({simulator.now(), nid, TraceEvent::Kind::kReported,
+                         self_sid, collector_nid});
+      }
+      for (const auto& [sid, instance] : decision.forward)
+        dispatch(self, sid, instance);
+    });
+  }
+
+  // The consumer (co-located with the collector) kicks off the federation.
+  {
+    Payload initial{original, {{source_sid, collector_nid}}, ServiceFlowGraph{}};
+    const std::size_t size = estimate_size(initial);
+    simulator.send(sim::Message{collector_nid, collector_nid, "sfederate",
+                                std::move(initial), size});
+  }
+  simulator.run();
+
+  result.compute_time_us = compute_time.total_us();
+  result.messages = simulator.stats().messages_delivered;
+  result.bytes = simulator.stats().bytes_delivered;
+  if (assembled) {
+    result.flow_graph = std::move(*assembled);
+    result.federation_time_ms = completion_time;
+  }
+  return result;
+}
+
+}  // namespace sflow::core

@@ -1,0 +1,84 @@
+// The distributed sFlow protocol (paper §4) over the event-driven simulator.
+//
+// Message flow: the consumer delivers an `sfederate` message carrying the
+// requirement to the source service node.  Each receiving node waits until
+// all of its upstream branches have reported (its service's in-degree in the
+// requirement), merges their partial flow graphs and pins, runs
+// sflow_local_compute on its two-hop view, forwards extended `sfederate`
+// messages to the downstream instances it chose, and reports its own
+// contribution to the source node in an `sreport` — the source assembles the
+// final service flow graph (the paper's §5: "the overall service flow graph
+// is collected at the source service node").  See docs/protocol.md for the
+// full message grammar, the merge-pinning rule, and the crash-failover
+// machinery.
+#pragma once
+
+#include <optional>
+#include <set>
+
+#include "core/federation_trace.hpp"
+#include "core/sflow_node.hpp"
+#include "net/underlay_routing.hpp"
+#include "overlay/flow_graph.hpp"
+#include "overlay/overlay_graph.hpp"
+#include "overlay/requirement.hpp"
+#include "sim/simulator.hpp"
+
+namespace sflow::core {
+
+/// Fault injection for the protocol (fail-stop crashes + failover knobs).
+///
+/// Crash handling: every sfederate is acknowledged by its receiver with an
+/// `sack`; a sender whose ack timer fires deterministically fails over —
+/// the replacement instance is the best candidate by shortest-widest quality
+/// from the *source instance* (globally known via link state), excluding
+/// every instance already timed out.  Because the rule is a pure function of
+/// (service, excluded set), independent upstreams of a crashed merge node
+/// converge on the same replacement with no coordination.
+///
+/// Caveat: ack_timeout_ms must exceed the worst sfederate+sack round trip,
+/// or spurious failovers split the federation (the default is far above any
+/// route in the generated topologies).
+struct FederationFaultOptions {
+  /// Fail-stop nodes: they receive messages but never react (no sack).
+  std::set<net::Nid> crashed;
+  double ack_timeout_ms = 250.0;
+  /// Failover attempts per requirement edge before giving up.
+  std::size_t max_failovers = 3;
+};
+
+struct SFlowFederationResult {
+  /// The assembled flow graph; nullopt when federation failed (e.g. some
+  /// required service unreachable).
+  std::optional<overlay::ServiceFlowGraph> flow_graph;
+
+  /// Simulated time (ms) from the consumer's request until the source node
+  /// held the complete flow graph — the paper's "agility".
+  double federation_time_ms = 0.0;
+  /// Total wall-clock computation across all nodes (us), the Fig. 10(b)
+  /// quantity for the distributed algorithm.
+  double compute_time_us = 0.0;
+
+  std::size_t messages = 0;
+  std::size_t bytes = 0;
+  /// Number of nodes that executed a local computation.
+  std::size_t node_computations = 0;
+  /// Times a node had to fall back to global link state (see sflow_node.hpp).
+  std::size_t global_fallbacks = 0;
+  /// Failovers performed after ack timeouts (fault injection only).
+  std::size_t failovers = 0;
+};
+
+/// Runs one federation.  The requirement's source service should be pinned to
+/// a concrete instance (the node the consumer contacts); if it is not, the
+/// first instance of the source service is used.
+SFlowFederationResult run_sflow_federation(
+    const net::UnderlyingNetwork& underlay, const net::UnderlayRouting& routing,
+    const overlay::OverlayGraph& overlay,
+    const graph::AllPairsShortestWidest& overlay_routing,
+    const overlay::ServiceRequirement& requirement,
+    const SFlowNodeConfig& config = {},
+    const FederationFaultOptions& faults = {},
+    FederationTrace* trace = nullptr);
+
+}  // namespace sflow::core

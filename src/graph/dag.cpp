@@ -1,0 +1,237 @@
+#include "graph/dag.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace sflow::graph {
+
+std::optional<std::vector<NodeIndex>> topological_order(const Digraph& g) {
+  const std::size_t n = g.node_count();
+  std::vector<std::size_t> indegree(n);
+  for (std::size_t v = 0; v < n; ++v)
+    indegree[v] = g.in_degree(static_cast<NodeIndex>(v));
+
+  std::deque<NodeIndex> ready;
+  for (std::size_t v = 0; v < n; ++v)
+    if (indegree[v] == 0) ready.push_back(static_cast<NodeIndex>(v));
+
+  std::vector<NodeIndex> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const NodeIndex v = ready.front();
+    ready.pop_front();
+    order.push_back(v);
+    for (const NodeIndex s : g.successors(v))
+      if (--indegree[static_cast<std::size_t>(s)] == 0) ready.push_back(s);
+  }
+  if (order.size() != n) return std::nullopt;  // cycle
+  return order;
+}
+
+bool is_dag(const Digraph& g) { return topological_order(g).has_value(); }
+
+std::vector<NodeIndex> source_nodes(const Digraph& g) {
+  std::vector<NodeIndex> result;
+  for (std::size_t v = 0; v < g.node_count(); ++v)
+    if (g.in_degree(static_cast<NodeIndex>(v)) == 0)
+      result.push_back(static_cast<NodeIndex>(v));
+  return result;
+}
+
+std::vector<NodeIndex> sink_nodes(const Digraph& g) {
+  std::vector<NodeIndex> result;
+  for (std::size_t v = 0; v < g.node_count(); ++v)
+    if (g.out_degree(static_cast<NodeIndex>(v)) == 0)
+      result.push_back(static_cast<NodeIndex>(v));
+  return result;
+}
+
+namespace {
+
+std::vector<bool> bfs_closure(const Digraph& g, NodeIndex start, bool forward) {
+  std::vector<bool> seen(g.node_count(), false);
+  if (!g.has_node(start)) throw std::invalid_argument("bfs_closure: unknown node");
+  std::deque<NodeIndex> queue{start};
+  seen[static_cast<std::size_t>(start)] = true;
+  while (!queue.empty()) {
+    const NodeIndex v = queue.front();
+    queue.pop_front();
+    const auto next = forward ? g.successors(v) : g.predecessors(v);
+    for (const NodeIndex w : next) {
+      if (!seen[static_cast<std::size_t>(w)]) {
+        seen[static_cast<std::size_t>(w)] = true;
+        queue.push_back(w);
+      }
+    }
+  }
+  return seen;
+}
+
+}  // namespace
+
+std::vector<bool> reachable_from(const Digraph& g, NodeIndex start) {
+  return bfs_closure(g, start, /*forward=*/true);
+}
+
+std::vector<bool> reaching_to(const Digraph& g, NodeIndex target) {
+  return bfs_closure(g, target, /*forward=*/false);
+}
+
+std::vector<NodeIndex> neighborhood(const Digraph& g, NodeIndex center, int radius,
+                                    bool ignore_direction) {
+  if (!g.has_node(center)) throw std::invalid_argument("neighborhood: unknown node");
+  if (radius < 0) throw std::invalid_argument("neighborhood: negative radius");
+  std::vector<int> depth(g.node_count(), -1);
+  std::deque<NodeIndex> queue{center};
+  depth[static_cast<std::size_t>(center)] = 0;
+  std::vector<NodeIndex> result{center};
+  while (!queue.empty()) {
+    const NodeIndex v = queue.front();
+    queue.pop_front();
+    const int d = depth[static_cast<std::size_t>(v)];
+    if (d == radius) continue;
+    std::vector<NodeIndex> next = g.successors(v);
+    if (ignore_direction) {
+      const auto preds = g.predecessors(v);
+      next.insert(next.end(), preds.begin(), preds.end());
+    }
+    for (const NodeIndex w : next) {
+      if (depth[static_cast<std::size_t>(w)] == -1) {
+        depth[static_cast<std::size_t>(w)] = d + 1;
+        queue.push_back(w);
+        result.push_back(w);
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+namespace {
+
+void enumerate_paths_rec(const Digraph& g, NodeIndex current, NodeIndex to,
+                         std::vector<NodeIndex>& prefix, std::vector<bool>& on_path,
+                         std::vector<std::vector<NodeIndex>>& out,
+                         std::size_t max_paths) {
+  if (current == to) {
+    if (out.size() >= max_paths)
+      throw std::length_error("enumerate_simple_paths: too many paths");
+    out.push_back(prefix);
+    return;
+  }
+  for (const NodeIndex w : g.successors(current)) {
+    if (on_path[static_cast<std::size_t>(w)]) continue;
+    on_path[static_cast<std::size_t>(w)] = true;
+    prefix.push_back(w);
+    enumerate_paths_rec(g, w, to, prefix, on_path, out, max_paths);
+    prefix.pop_back();
+    on_path[static_cast<std::size_t>(w)] = false;
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<NodeIndex>> enumerate_simple_paths(const Digraph& g,
+                                                            NodeIndex from,
+                                                            NodeIndex to,
+                                                            std::size_t max_paths) {
+  if (!g.has_node(from) || !g.has_node(to))
+    throw std::invalid_argument("enumerate_simple_paths: unknown node");
+  std::vector<std::vector<NodeIndex>> out;
+  std::vector<NodeIndex> prefix{from};
+  std::vector<bool> on_path(g.node_count(), false);
+  on_path[static_cast<std::size_t>(from)] = true;
+  enumerate_paths_rec(g, from, to, prefix, on_path, out, max_paths);
+  return out;
+}
+
+std::vector<std::vector<bool>> post_dominator_sets(const Digraph& g, NodeIndex exit) {
+  if (!g.has_node(exit)) throw std::invalid_argument("post_dominator_sets: unknown exit");
+  const auto order = topological_order(g);
+  if (!order) throw std::invalid_argument("post_dominator_sets: graph has a cycle");
+
+  const std::size_t n = g.node_count();
+  std::vector<std::vector<bool>> pdom(n);
+  const std::vector<bool> can_reach = reaching_to(g, exit);
+
+  // Process in reverse topological order so successors are ready first.
+  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+    const NodeIndex v = *it;
+    const auto vi = static_cast<std::size_t>(v);
+    if (!can_reach[vi]) {
+      pdom[vi].assign(n, false);
+      continue;
+    }
+    if (v == exit) {
+      pdom[vi].assign(n, false);
+      pdom[vi][vi] = true;
+      continue;
+    }
+    // Intersection over successors that can reach exit.
+    std::vector<bool> acc;
+    for (const NodeIndex s : g.successors(v)) {
+      const auto si = static_cast<std::size_t>(s);
+      if (!can_reach[si]) continue;
+      if (acc.empty()) {
+        acc = pdom[si];
+      } else {
+        for (std::size_t i = 0; i < n; ++i) acc[i] = acc[i] && pdom[si][i];
+      }
+    }
+    if (acc.empty()) acc.assign(n, false);  // defensive; can_reach implies a successor
+    acc[vi] = true;
+    pdom[vi] = std::move(acc);
+  }
+  return pdom;
+}
+
+NodeIndex immediate_post_dominator(const Digraph& g, NodeIndex v, NodeIndex exit) {
+  if (v == exit) return kInvalidNode;
+  const auto pdom = post_dominator_sets(g, exit);
+  const auto order = topological_order(g);
+  const auto vi = static_cast<std::size_t>(v);
+  if (pdom[vi].empty() || std::none_of(pdom[vi].begin(), pdom[vi].end(),
+                                       [](bool b) { return b; }))
+    return kInvalidNode;
+  // The immediate post-dominator is the earliest (in topological order) strict
+  // post-dominator of v that appears after v: every other strict
+  // post-dominator post-dominates it.
+  for (const NodeIndex w : *order) {
+    if (w == v) continue;
+    const auto wi = static_cast<std::size_t>(w);
+    if (!pdom[vi][wi]) continue;
+    // Candidate w: check every other strict post-dominator u of v satisfies
+    // "u post-dominates w or u == w"; the minimal one in topo order works for
+    // DAG post-dominator trees, but verify to be robust.
+    bool immediate = true;
+    for (std::size_t ui = 0; ui < g.node_count(); ++ui) {
+      if (ui == vi || ui == wi || !pdom[vi][ui]) continue;
+      if (!pdom[wi][ui]) {
+        immediate = false;
+        break;
+      }
+    }
+    if (immediate) return w;
+  }
+  return kInvalidNode;
+}
+
+double critical_path_latency(const Digraph& g) {
+  const auto order = topological_order(g);
+  if (!order) throw std::invalid_argument("critical_path_latency: graph has a cycle");
+  std::vector<double> dist(g.node_count(), 0.0);
+  double best = 0.0;
+  for (const NodeIndex v : *order) {
+    const auto vi = static_cast<std::size_t>(v);
+    for (const EdgeIndex e : g.out_edges(v)) {
+      const Edge& edge = g.edge(e);
+      const auto ti = static_cast<std::size_t>(edge.to);
+      dist[ti] = std::max(dist[ti], dist[vi] + edge.metrics.latency);
+      best = std::max(best, dist[ti]);
+    }
+  }
+  return best;
+}
+
+}  // namespace sflow::graph

@@ -1,0 +1,62 @@
+// DAG utilities over Digraph: acyclicity, topological order, reachability,
+// post-dominators, and path enumeration.
+//
+// Service requirements and service flow graphs are DAGs by definition (paper
+// §3.1); these helpers back both their validation and the reduction
+// heuristics of §3.4 (post-dominators identify split-and-merge blocks).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace sflow::graph {
+
+/// True iff g has no directed cycle.
+bool is_dag(const Digraph& g);
+
+/// Topological order (Kahn).  Empty optional when g has a cycle.
+std::optional<std::vector<NodeIndex>> topological_order(const Digraph& g);
+
+/// Nodes with in-degree 0 / out-degree 0.
+std::vector<NodeIndex> source_nodes(const Digraph& g);
+std::vector<NodeIndex> sink_nodes(const Digraph& g);
+
+/// Set of nodes reachable from `start` (including `start`), by BFS.
+std::vector<bool> reachable_from(const Digraph& g, NodeIndex start);
+/// Set of nodes that can reach `target` (including `target`).
+std::vector<bool> reaching_to(const Digraph& g, NodeIndex target);
+
+/// Nodes within `radius` directed-or-reverse hops of `center` (including it).
+/// This is the paper's "two-hop vicinity" local-knowledge model when
+/// radius == 2 and edges are treated as bidirectional for visibility.
+std::vector<NodeIndex> neighborhood(const Digraph& g, NodeIndex center,
+                                    int radius, bool ignore_direction = true);
+
+/// All simple paths from `from` to `to`, capped at `max_paths` (throws
+/// std::length_error beyond the cap — callers use this only on small graphs,
+/// e.g. brute-force test oracles).
+std::vector<std::vector<NodeIndex>> enumerate_simple_paths(const Digraph& g,
+                                                           NodeIndex from,
+                                                           NodeIndex to,
+                                                           std::size_t max_paths = 100000);
+
+/// Post-dominator sets of a DAG with respect to a single exit node: result[v]
+/// contains w iff every path from v to `exit` passes through w.  Nodes that
+/// cannot reach `exit` get an empty set.  O(V^2) bit-set intersection over
+/// reverse topological order; service requirements are tiny.
+std::vector<std::vector<bool>> post_dominator_sets(const Digraph& g, NodeIndex exit);
+
+/// Immediate post-dominator of v (the post-dominator closest to v, excluding
+/// v itself), or kInvalidNode when v == exit or v cannot reach exit.
+NodeIndex immediate_post_dominator(const Digraph& g, NodeIndex v, NodeIndex exit);
+
+/// Latency of the longest (critical) source-to-sink path of a DAG where every
+/// edge contributes `metrics.latency`.  This is the end-to-end latency of a
+/// service flow graph: parallel branches overlap in time, so the critical path
+/// governs (paper §5, Fig. 10(c)).  Returns 0 for a single-node graph.
+/// Precondition: g is a DAG.
+double critical_path_latency(const Digraph& g);
+
+}  // namespace sflow::graph

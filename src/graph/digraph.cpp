@@ -1,0 +1,107 @@
+#include "graph/digraph.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace sflow::graph {
+
+Digraph::Digraph(std::size_t node_count) : out_(node_count), in_(node_count) {}
+
+NodeIndex Digraph::add_node() {
+  out_.emplace_back();
+  in_.emplace_back();
+  return static_cast<NodeIndex>(out_.size() - 1);
+}
+
+void Digraph::check_node(NodeIndex v, const char* what) const {
+  if (!has_node(v)) {
+    std::ostringstream os;
+    os << "Digraph: " << what << " refers to unknown node " << v;
+    throw std::invalid_argument(os.str());
+  }
+}
+
+EdgeIndex Digraph::add_edge(NodeIndex from, NodeIndex to, LinkMetrics metrics) {
+  check_node(from, "add_edge(from)");
+  check_node(to, "add_edge(to)");
+  if (from == to) throw std::invalid_argument("Digraph::add_edge: self loop");
+  if (const EdgeIndex existing = find_edge(from, to); existing != kInvalidEdge) {
+    edges_[static_cast<std::size_t>(existing)].metrics = metrics;
+    return existing;
+  }
+  const auto e = static_cast<EdgeIndex>(edges_.size());
+  edges_.push_back(Edge{from, to, metrics});
+  out_[static_cast<std::size_t>(from)].push_back(e);
+  in_[static_cast<std::size_t>(to)].push_back(e);
+  return e;
+}
+
+void Digraph::add_symmetric_edge(NodeIndex a, NodeIndex b, LinkMetrics metrics) {
+  add_edge(a, b, metrics);
+  add_edge(b, a, metrics);
+}
+
+EdgeIndex Digraph::find_edge(NodeIndex from, NodeIndex to) const noexcept {
+  if (!has_node(from) || !has_node(to)) return kInvalidEdge;
+  for (const EdgeIndex e : out_[static_cast<std::size_t>(from)])
+    if (edges_[static_cast<std::size_t>(e)].to == to) return e;
+  return kInvalidEdge;
+}
+
+const std::vector<EdgeIndex>& Digraph::out_edges(NodeIndex v) const {
+  check_node(v, "out_edges");
+  return out_[static_cast<std::size_t>(v)];
+}
+
+const std::vector<EdgeIndex>& Digraph::in_edges(NodeIndex v) const {
+  check_node(v, "in_edges");
+  return in_[static_cast<std::size_t>(v)];
+}
+
+std::vector<NodeIndex> Digraph::successors(NodeIndex v) const {
+  std::vector<NodeIndex> result;
+  for (const EdgeIndex e : out_edges(v))
+    result.push_back(edges_[static_cast<std::size_t>(e)].to);
+  return result;
+}
+
+std::vector<NodeIndex> Digraph::predecessors(NodeIndex v) const {
+  std::vector<NodeIndex> result;
+  for (const EdgeIndex e : in_edges(v))
+    result.push_back(edges_[static_cast<std::size_t>(e)].from);
+  return result;
+}
+
+Digraph Digraph::induced_subgraph(const std::vector<NodeIndex>& nodes,
+                                  std::vector<NodeIndex>* mapping) const {
+  std::unordered_map<NodeIndex, NodeIndex> to_sub;
+  to_sub.reserve(nodes.size());
+  Digraph sub(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    check_node(nodes[i], "induced_subgraph");
+    if (!to_sub.emplace(nodes[i], static_cast<NodeIndex>(i)).second)
+      throw std::invalid_argument("Digraph::induced_subgraph: duplicate node");
+  }
+  for (const Edge& e : edges_) {
+    const auto f = to_sub.find(e.from);
+    const auto t = to_sub.find(e.to);
+    if (f != to_sub.end() && t != to_sub.end())
+      sub.add_edge(f->second, t->second, e.metrics);
+  }
+  if (mapping != nullptr) *mapping = nodes;
+  return sub;
+}
+
+std::string Digraph::to_dot(const std::string& name) const {
+  std::ostringstream os;
+  os << "digraph " << name << " {\n";
+  for (std::size_t v = 0; v < out_.size(); ++v) os << "  n" << v << ";\n";
+  for (const Edge& e : edges_)
+    os << "  n" << e.from << " -> n" << e.to << " [label=\"" << e.metrics.bandwidth
+       << "/" << e.metrics.latency << "\"];\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace sflow::graph

@@ -1,0 +1,142 @@
+// Directed-graph substrate shared by every layer of the system: the underlying
+// network (as a symmetric digraph), the service overlay graph, the service
+// requirement DAG, and the service abstract graph.
+//
+// Terminology follows the paper: an edge carries LinkMetrics (bandwidth,
+// latency); a path's quality is its *bottleneck* bandwidth and *additive*
+// latency, compared shortest-widest (wider wins, ties broken by lower latency).
+#pragma once
+
+#include <algorithm>
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sflow::graph {
+
+using NodeIndex = std::int32_t;
+using EdgeIndex = std::int32_t;
+
+inline constexpr NodeIndex kInvalidNode = -1;
+inline constexpr EdgeIndex kInvalidEdge = -1;
+
+/// Per-link QoS metrics.  Units are abstract but used consistently:
+/// bandwidth in Mbps, latency in milliseconds.
+struct LinkMetrics {
+  double bandwidth = 0.0;
+  double latency = 0.0;
+
+  friend bool operator==(const LinkMetrics&, const LinkMetrics&) = default;
+};
+
+/// End-to-end quality of a path: bottleneck bandwidth and accumulated latency.
+///
+/// Ordering is the shortest-widest criterion of Wang–Crowcroft [4]: a quality
+/// is *better* when its bandwidth is higher, or — at equal bandwidth — when its
+/// latency is lower.
+struct PathQuality {
+  double bandwidth = 0.0;
+  double latency = 0.0;
+
+  /// Identity for path extension: infinitely wide, zero latency.
+  static PathQuality source() noexcept {
+    return {std::numeric_limits<double>::infinity(), 0.0};
+  }
+
+  /// Quality of an unreachable destination: zero width, infinite latency.
+  static PathQuality unreachable() noexcept {
+    return {0.0, std::numeric_limits<double>::infinity()};
+  }
+
+  bool is_unreachable() const noexcept { return bandwidth <= 0.0; }
+
+  /// Quality after traversing one more link.
+  PathQuality extended_by(const LinkMetrics& link) const noexcept {
+    return {std::min(bandwidth, link.bandwidth), latency + link.latency};
+  }
+
+  /// Quality of two path segments joined end to end.
+  PathQuality concatenated_with(const PathQuality& tail) const noexcept {
+    return {std::min(bandwidth, tail.bandwidth), latency + tail.latency};
+  }
+
+  /// True when *this is strictly better under shortest-widest ordering.
+  bool better_than(const PathQuality& other) const noexcept {
+    if (bandwidth != other.bandwidth) return bandwidth > other.bandwidth;
+    return latency < other.latency;
+  }
+
+  friend bool operator==(const PathQuality&, const PathQuality&) = default;
+};
+
+/// A directed edge with QoS metrics.
+struct Edge {
+  NodeIndex from = kInvalidNode;
+  NodeIndex to = kInvalidNode;
+  LinkMetrics metrics;
+};
+
+/// Compact adjacency-list digraph over nodes 0..node_count()-1.
+///
+/// At most one edge is stored per ordered pair; re-adding an existing pair
+/// replaces its metrics (useful when an overlay is rebuilt with refreshed link
+/// state).  Node payloads, where needed, live in the owning layer (overlay,
+/// requirement, ...) indexed by NodeIndex.
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(std::size_t node_count);
+
+  NodeIndex add_node();
+  /// Adds or updates the edge (from, to).  Returns its index.
+  EdgeIndex add_edge(NodeIndex from, NodeIndex to, LinkMetrics metrics);
+  /// Adds both (a, b) and (b, a) with the same metrics (symmetric links).
+  void add_symmetric_edge(NodeIndex a, NodeIndex b, LinkMetrics metrics);
+
+  std::size_t node_count() const noexcept { return out_.size(); }
+  std::size_t edge_count() const noexcept { return edges_.size(); }
+
+  bool has_node(NodeIndex v) const noexcept {
+    return v >= 0 && static_cast<std::size_t>(v) < out_.size();
+  }
+  bool has_edge(NodeIndex from, NodeIndex to) const noexcept {
+    return find_edge(from, to) != kInvalidEdge;
+  }
+
+  /// Index of edge (from, to), or kInvalidEdge.
+  EdgeIndex find_edge(NodeIndex from, NodeIndex to) const noexcept;
+
+  const Edge& edge(EdgeIndex e) const { return edges_.at(static_cast<std::size_t>(e)); }
+  const std::vector<Edge>& edges() const noexcept { return edges_; }
+
+  /// Outgoing / incoming edge indices of v.
+  const std::vector<EdgeIndex>& out_edges(NodeIndex v) const;
+  const std::vector<EdgeIndex>& in_edges(NodeIndex v) const;
+
+  std::vector<NodeIndex> successors(NodeIndex v) const;
+  std::vector<NodeIndex> predecessors(NodeIndex v) const;
+
+  std::size_t out_degree(NodeIndex v) const { return out_edges(v).size(); }
+  std::size_t in_degree(NodeIndex v) const { return in_edges(v).size(); }
+
+  /// Induced subgraph on `nodes`; `mapping[i]` is the original index of the
+  /// subgraph's node i.
+  Digraph induced_subgraph(const std::vector<NodeIndex>& nodes,
+                           std::vector<NodeIndex>* mapping = nullptr) const;
+
+  /// Graphviz dot text (for debugging and the examples).
+  std::string to_dot(const std::string& name = "g") const;
+
+ private:
+  void check_node(NodeIndex v, const char* what) const;
+
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeIndex>> out_;
+  std::vector<std::vector<EdgeIndex>> in_;
+};
+
+}  // namespace sflow::graph

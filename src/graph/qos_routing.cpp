@@ -1,0 +1,178 @@
+#include "graph/qos_routing.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+#include "graph/dag.hpp"
+
+namespace sflow::graph {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Widest-path Dijkstra: returns the maximum achievable bottleneck bandwidth
+/// from `source` to every node (0 when unreachable, +inf for the source).
+std::vector<double> widest_widths(const Digraph& g, NodeIndex source) {
+  std::vector<double> width(g.node_count(), 0.0);
+  width[static_cast<std::size_t>(source)] = kInf;
+
+  using Entry = std::pair<double, NodeIndex>;  // (width, node), max-heap
+  std::priority_queue<Entry> heap;
+  heap.push({kInf, source});
+  std::vector<bool> done(g.node_count(), false);
+
+  while (!heap.empty()) {
+    const auto [w, v] = heap.top();
+    heap.pop();
+    const auto vi = static_cast<std::size_t>(v);
+    if (done[vi]) continue;
+    done[vi] = true;
+    for (const EdgeIndex e : g.out_edges(v)) {
+      const Edge& edge = g.edge(e);
+      const auto ti = static_cast<std::size_t>(edge.to);
+      const double cand = std::min(w, edge.metrics.bandwidth);
+      if (cand > width[ti]) {
+        width[ti] = cand;
+        heap.push({cand, edge.to});
+      }
+    }
+  }
+  return width;
+}
+
+/// Latency Dijkstra restricted to edges with bandwidth >= min_bandwidth.
+/// Returns (latency, predecessor) labels.
+std::pair<std::vector<double>, std::vector<NodeIndex>> pruned_latency_dijkstra(
+    const Digraph& g, NodeIndex source, double min_bandwidth) {
+  std::vector<double> dist(g.node_count(), kInf);
+  std::vector<NodeIndex> pred(g.node_count(), kInvalidNode);
+  dist[static_cast<std::size_t>(source)] = 0.0;
+
+  using Entry = std::pair<double, NodeIndex>;  // (latency, node), min-heap
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  heap.push({0.0, source});
+  std::vector<bool> done(g.node_count(), false);
+
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    const auto vi = static_cast<std::size_t>(v);
+    if (done[vi]) continue;
+    done[vi] = true;
+    for (const EdgeIndex e : g.out_edges(v)) {
+      const Edge& edge = g.edge(e);
+      if (edge.metrics.bandwidth < min_bandwidth) continue;
+      const auto ti = static_cast<std::size_t>(edge.to);
+      const double cand = d + edge.metrics.latency;
+      if (cand < dist[ti]) {
+        dist[ti] = cand;
+        pred[ti] = v;
+        heap.push({cand, edge.to});
+      }
+    }
+  }
+  return {std::move(dist), std::move(pred)};
+}
+
+std::vector<NodeIndex> materialize_path(const std::vector<NodeIndex>& pred,
+                                        NodeIndex source, NodeIndex v) {
+  std::vector<NodeIndex> path;
+  for (NodeIndex cur = v; cur != kInvalidNode;) {
+    path.push_back(cur);
+    if (cur == source) break;
+    cur = pred[static_cast<std::size_t>(cur)];
+    if (path.size() > pred.size())
+      throw std::logic_error("qos_routing: predecessor cycle");
+  }
+  if (path.back() != source)
+    throw std::logic_error("qos_routing: broken predecessor chain");
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace
+
+RoutingTree shortest_widest_tree(const Digraph& g, NodeIndex source) {
+  if (!g.has_node(source))
+    throw std::invalid_argument("shortest_widest_tree: unknown source node");
+
+  const std::vector<double> width = widest_widths(g, source);
+
+  std::vector<PathQuality> qualities(g.node_count(), PathQuality::unreachable());
+  std::vector<std::vector<NodeIndex>> paths(g.node_count());
+  qualities[static_cast<std::size_t>(source)] = PathQuality::source();
+  paths[static_cast<std::size_t>(source)] = {source};
+
+  // Distinct finite positive width classes among destinations.
+  std::set<double, std::greater<>> classes;
+  for (std::size_t v = 0; v < g.node_count(); ++v)
+    if (static_cast<NodeIndex>(v) != source && width[v] > 0.0) classes.insert(width[v]);
+
+  for (const double b : classes) {
+    const auto [dist, pred] = pruned_latency_dijkstra(g, source, b);
+    for (std::size_t v = 0; v < g.node_count(); ++v) {
+      if (static_cast<NodeIndex>(v) == source || width[v] != b) continue;
+      if (dist[v] == kInf)
+        throw std::logic_error("shortest_widest_tree: width class unreachable");
+      qualities[v] = PathQuality{b, dist[v]};
+      paths[v] = materialize_path(pred, source, static_cast<NodeIndex>(v));
+    }
+  }
+  return RoutingTree(source, std::move(qualities), std::move(paths));
+}
+
+RoutingTree shortest_latency_tree(const Digraph& g, NodeIndex source) {
+  if (!g.has_node(source))
+    throw std::invalid_argument("shortest_latency_tree: unknown source node");
+  const auto [dist, pred] = pruned_latency_dijkstra(g, source, 0.0);
+
+  std::vector<PathQuality> qualities(g.node_count(), PathQuality::unreachable());
+  std::vector<std::vector<NodeIndex>> paths(g.node_count());
+  for (std::size_t v = 0; v < g.node_count(); ++v) {
+    if (dist[v] == kInf) continue;
+    paths[v] = materialize_path(pred, source, static_cast<NodeIndex>(v));
+    qualities[v] = static_cast<NodeIndex>(v) == source
+                       ? PathQuality::source()
+                       : path_quality(g, paths[v]);
+  }
+  return RoutingTree(source, std::move(qualities), std::move(paths));
+}
+
+PathQuality path_quality(const Digraph& g, const std::vector<NodeIndex>& path) {
+  if (path.empty()) return PathQuality::unreachable();
+  PathQuality q = PathQuality::source();
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const EdgeIndex e = g.find_edge(path[i], path[i + 1]);
+    if (e == kInvalidEdge) return PathQuality::unreachable();
+    q = q.extended_by(g.edge(e).metrics);
+  }
+  return q;
+}
+
+const RoutingTree& AllPairsShortestWidest::tree(NodeIndex from) const {
+  auto& slot = trees_.at(static_cast<std::size_t>(from));
+  if (!slot) slot = shortest_widest_tree(graph_, from);
+  return *slot;
+}
+
+void AllPairsShortestWidest::precompute_all() const {
+  for (std::size_t v = 0; v < trees_.size(); ++v)
+    tree(static_cast<NodeIndex>(v));
+}
+
+std::optional<std::pair<PathQuality, std::vector<NodeIndex>>>
+brute_force_shortest_widest(const Digraph& g, NodeIndex from, NodeIndex to,
+                            std::size_t max_paths) {
+  const auto paths = enumerate_simple_paths(g, from, to, max_paths);
+  std::optional<std::pair<PathQuality, std::vector<NodeIndex>>> best;
+  for (const auto& path : paths) {
+    const PathQuality q = path_quality(g, path);
+    if (!best || q.better_than(best->first)) best = {q, path};
+  }
+  return best;
+}
+
+}  // namespace sflow::graph

@@ -1,0 +1,104 @@
+// QoS routing: the Wang–Crowcroft shortest-widest path algorithm [4] and
+// supporting queries.
+//
+// The paper adopts shortest-widest paths as the link-state quality measure for
+// all overlay hops (§2.2): among all paths the *widest* (maximum bottleneck
+// bandwidth) wins; ties are broken by the *shortest* (minimum additive
+// latency).
+//
+// A single-label lexicographic Dijkstra is NOT exact for the latency
+// tie-break: a narrower-but-shorter prefix may be discarded even though a
+// later bottleneck link would have equalized the widths.  We therefore follow
+// the original two-stage scheme: (1) a widest-path Dijkstra fixes the maximum
+// width W(v) per destination, then (2) for each distinct width class B the
+// graph is pruned to links of bandwidth >= B and a plain latency Dijkstra
+// yields the shortest path among the widest ones for every destination with
+// W(v) == B.  Paths are materialized eagerly because predecessor pointers from
+// different pruning rounds cannot be mixed.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace sflow::graph {
+
+/// Result of a single-source shortest-widest computation.
+class RoutingTree {
+ public:
+  RoutingTree(NodeIndex source, std::vector<PathQuality> qualities,
+              std::vector<std::vector<NodeIndex>> paths)
+      : source_(source), qualities_(std::move(qualities)), paths_(std::move(paths)) {}
+
+  NodeIndex source() const noexcept { return source_; }
+
+  bool reachable(NodeIndex v) const {
+    return !qualities_.at(static_cast<std::size_t>(v)).is_unreachable();
+  }
+
+  /// Best quality from source to v (PathQuality::unreachable() if none).
+  const PathQuality& quality_to(NodeIndex v) const {
+    return qualities_.at(static_cast<std::size_t>(v));
+  }
+
+  /// The node sequence source..v of the best path, or nullopt if unreachable.
+  std::optional<std::vector<NodeIndex>> path_to(NodeIndex v) const {
+    if (!reachable(v)) return std::nullopt;
+    return paths_.at(static_cast<std::size_t>(v));
+  }
+
+ private:
+  NodeIndex source_;
+  std::vector<PathQuality> qualities_;
+  std::vector<std::vector<NodeIndex>> paths_;
+};
+
+/// Wang–Crowcroft single-source shortest-widest paths (exact).
+RoutingTree shortest_widest_tree(const Digraph& g, NodeIndex source);
+
+/// Plain Dijkstra minimizing latency only (used for underlay hop routing,
+/// where a flow follows the lowest-latency physical route).
+RoutingTree shortest_latency_tree(const Digraph& g, NodeIndex source);
+
+/// Quality of an explicit node sequence (PathQuality::unreachable() if any
+/// consecutive pair lacks an edge; PathQuality::source() for a 1-node path).
+PathQuality path_quality(const Digraph& g, const std::vector<NodeIndex>& path);
+
+/// All-pairs shortest-widest paths — the paper's Table 1 step 1 (the overlay
+/// link-state database every algorithm consults).
+///
+/// Per-source trees are computed lazily on first query and cached, so a
+/// consumer that only touches a few sources (e.g. a node's local-view solve
+/// in the distributed algorithm) pays only for what it uses; call
+/// precompute_all() to force the eager O(N^3)-ish behaviour.  The graph is
+/// copied, so the database stays valid independent of the source's lifetime.
+class AllPairsShortestWidest {
+ public:
+  explicit AllPairsShortestWidest(Digraph g) : graph_(std::move(g)) {
+    trees_.resize(graph_.node_count());
+  }
+
+  const PathQuality& quality(NodeIndex from, NodeIndex to) const {
+    return tree(from).quality_to(to);
+  }
+  std::optional<std::vector<NodeIndex>> path(NodeIndex from, NodeIndex to) const {
+    return tree(from).path_to(to);
+  }
+  const RoutingTree& tree(NodeIndex from) const;
+
+  /// Forces computation of every source's tree.
+  void precompute_all() const;
+
+ private:
+  Digraph graph_;
+  mutable std::vector<std::optional<RoutingTree>> trees_;
+};
+
+/// Exhaustive oracle for tests: enumerates every simple path and returns the
+/// best by shortest-widest ordering.  Exponential; small graphs only.
+std::optional<std::pair<PathQuality, std::vector<NodeIndex>>>
+brute_force_shortest_widest(const Digraph& g, NodeIndex from, NodeIndex to,
+                            std::size_t max_paths = 100000);
+
+}  // namespace sflow::graph

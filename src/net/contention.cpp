@@ -1,0 +1,127 @@
+#include "net/contention.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+namespace sflow::net {
+
+std::vector<double> max_min_fair_rates(const UnderlyingNetwork& network,
+                                       const std::vector<StreamDemand>& streams) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Residual capacity per directed link, and the streams crossing it.  A
+  // stream may cross the same link several times (different overlay hops
+  // carrying differently-processed data) — each crossing is real load, so
+  // multiplicity is kept.
+  std::map<std::pair<Nid, Nid>, double> residual;
+  std::map<std::pair<Nid, Nid>, std::vector<std::size_t>> users;
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    for (const auto& link : streams[s].links) {
+      if (!network.has_link(link.first, link.second))
+        throw std::invalid_argument("max_min_fair_rates: unknown underlay link");
+      residual.emplace(link,
+                       network.link_metrics(link.first, link.second).bandwidth);
+      users[link].push_back(s);
+    }
+    if (streams[s].demand <= 0.0)
+      throw std::invalid_argument("max_min_fair_rates: non-positive demand");
+  }
+
+  std::vector<double> rate(streams.size(), 0.0);
+  std::vector<bool> frozen(streams.size(), false);
+  // Link-free streams are capped only by their own demand.
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    if (streams[s].links.empty()) {
+      rate[s] = streams[s].demand;
+      frozen[s] = true;
+    }
+  }
+
+  // Progressive filling: find the smallest increment that saturates a link
+  // or satisfies a stream's demand; apply it; freeze; repeat.
+  for (;;) {
+    bool any_active = false;
+    double step = kInf;
+    for (const auto& [link, cap] : residual) {
+      std::size_t active_users = 0;
+      for (const std::size_t s : users[link])
+        if (!frozen[s]) ++active_users;
+      if (active_users > 0)
+        step = std::min(step, cap / static_cast<double>(active_users));
+    }
+    for (std::size_t s = 0; s < streams.size(); ++s) {
+      if (frozen[s]) continue;
+      any_active = true;
+      if (streams[s].demand < kInf)
+        step = std::min(step, streams[s].demand - rate[s]);
+    }
+    if (!any_active) break;
+    if (step == kInf)
+      throw std::logic_error("max_min_fair_rates: unbounded elastic stream");
+
+    // Grow every active stream by `step`, charging its links.
+    for (std::size_t s = 0; s < streams.size(); ++s) {
+      if (frozen[s]) continue;
+      rate[s] += step;
+      for (const auto& link : streams[s].links) residual[link] -= step;
+    }
+    // Freeze saturated streams: demand met or a used link exhausted.
+    constexpr double kEps = 1e-12;
+    for (std::size_t s = 0; s < streams.size(); ++s) {
+      if (frozen[s]) continue;
+      if (rate[s] + kEps >= streams[s].demand) {
+        frozen[s] = true;
+        continue;
+      }
+      for (const auto& link : streams[s].links) {
+        if (residual[link] <= kEps) {
+          frozen[s] = true;
+          break;
+        }
+      }
+    }
+  }
+  return rate;
+}
+
+std::vector<StreamDemand> flow_graph_streams(const overlay::OverlayGraph& overlay,
+                                             const overlay::ServiceFlowGraph& flow,
+                                             const UnderlayRouting& routing) {
+  std::vector<StreamDemand> streams;
+  streams.reserve(flow.edges().size());
+  for (const overlay::FlowEdge& edge : flow.edges()) {
+    StreamDemand stream;
+    stream.demand = edge.quality.bandwidth;
+    for (std::size_t i = 0; i + 1 < edge.overlay_path.size(); ++i) {
+      const Nid from = overlay.instance(edge.overlay_path[i]).nid;
+      const Nid to = overlay.instance(edge.overlay_path[i + 1]).nid;
+      const auto route = routing.route(from, to);
+      if (!route)
+        throw std::invalid_argument("flow_graph_streams: overlay hop unroutable");
+      for (std::size_t h = 0; h + 1 < route->size(); ++h)
+        stream.links.emplace_back((*route)[h], (*route)[h + 1]);
+    }
+    streams.push_back(std::move(stream));
+  }
+  return streams;
+}
+
+ContentionReport evaluate_contention(const overlay::OverlayGraph& overlay,
+                                     const overlay::ServiceFlowGraph& flow,
+                                     const UnderlyingNetwork& network,
+                                     const UnderlayRouting& routing) {
+  ContentionReport report;
+  report.promised_throughput = flow.bottleneck_bandwidth();
+  const std::vector<StreamDemand> streams =
+      flow_graph_streams(overlay, flow, routing);
+  report.edge_rates = max_min_fair_rates(network, streams);
+  report.delivered_throughput =
+      report.edge_rates.empty()
+          ? report.promised_throughput
+          : *std::min_element(report.edge_rates.begin(), report.edge_rates.end());
+  return report;
+}
+
+}  // namespace sflow::net

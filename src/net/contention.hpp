@@ -1,0 +1,68 @@
+// Underlay contention analysis: what a federated service *actually* gets
+// when its streams share physical links.
+//
+// The paper evaluates flow-graph bandwidth as if every realized edge had the
+// overlay link metrics to itself; but two overlay links whose underlay routes
+// share a physical link compete for its capacity.  "Resource-efficient"
+// federation should therefore also be judged on contention-aware throughput:
+//
+//  * expand every flow edge's overlay path into the underlay links its
+//    routes traverse (overlay hop -> lowest-latency underlay route);
+//  * allocate link capacity among the competing streams max-min fairly
+//    (progressive filling / water-filling);
+//  * the federation's delivered throughput is the minimum allocation across
+//    its streams (all edges carry the same service stream).
+//
+// Experiment E15 compares algorithms on delivered (contended) versus
+// promised (uncontended) throughput — selections that spread across
+// physically disjoint routes hold more of their promise.
+#pragma once
+
+#include <vector>
+
+#include "net/topology.hpp"
+#include "net/underlay_routing.hpp"
+#include "overlay/flow_graph.hpp"
+#include "overlay/overlay_graph.hpp"
+
+namespace sflow::net {
+
+/// One stream competing for underlay capacity: the physical links it crosses
+/// (as directed (from, to) node pairs) and a demand ceiling (the stream never
+/// needs more than this rate; infinity = elastic).
+struct StreamDemand {
+  std::vector<std::pair<Nid, Nid>> links;
+  double demand = std::numeric_limits<double>::infinity();
+};
+
+/// Max-min fair allocation by progressive filling: all unfrozen streams grow
+/// at the same rate; when a link saturates, its streams freeze.  Streams
+/// crossing no links (co-located endpoints) receive their full demand.
+/// Returns one rate per stream, in input order.
+std::vector<double> max_min_fair_rates(const UnderlyingNetwork& network,
+                                       const std::vector<StreamDemand>& streams);
+
+/// Expands a flow graph into its per-edge stream demands: every realized
+/// overlay edge is one stream whose links are the union of the underlay
+/// routes of its overlay hops, and whose demand is the edge's promised
+/// bandwidth.  Streams are returned in flow.edges() order.
+std::vector<StreamDemand> flow_graph_streams(const overlay::OverlayGraph& overlay,
+                                             const overlay::ServiceFlowGraph& flow,
+                                             const UnderlayRouting& routing);
+
+struct ContentionReport {
+  /// Max-min rate granted to each flow edge (flow.edges() order).
+  std::vector<double> edge_rates;
+  /// Delivered end-to-end throughput: the minimum edge rate.
+  double delivered_throughput = 0.0;
+  /// Promised throughput: the flow graph's uncontended bottleneck.
+  double promised_throughput = 0.0;
+};
+
+/// Full contention evaluation of a federated service.
+ContentionReport evaluate_contention(const overlay::OverlayGraph& overlay,
+                                     const overlay::ServiceFlowGraph& flow,
+                                     const UnderlyingNetwork& network,
+                                     const UnderlayRouting& routing);
+
+}  // namespace sflow::net

@@ -1,0 +1,202 @@
+#include "net/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace sflow::net {
+
+void LinkModel::validate() const {
+  if (bandwidth_min <= 0.0 || bandwidth_max < bandwidth_min)
+    throw std::invalid_argument("LinkModel: bad bandwidth range");
+  if (latency_base < 0.0 || latency_per_unit < 0.0)
+    throw std::invalid_argument("LinkModel: negative latency parameter");
+}
+
+graph::LinkMetrics LinkModel::draw(double distance, util::Rng& rng) const {
+  return graph::LinkMetrics{
+      rng.uniform_real(bandwidth_min, bandwidth_max),
+      latency_base + latency_per_unit * distance,
+  };
+}
+
+namespace {
+
+/// Union-find over node indices; used to stitch disconnected components.
+class DisjointSets {
+ public:
+  explicit DisjointSets(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t v) {
+    while (parent_[v] != v) v = parent_[v] = parent_[parent_[v]];
+    return v;
+  }
+  bool unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+/// Links the closest inter-component node pairs until the network is one
+/// component.  Deterministic given the node placement.
+void enforce_connectivity(UnderlyingNetwork& network, const LinkModel& link,
+                          util::Rng& rng) {
+  const std::size_t n = network.node_count();
+  DisjointSets components(n);
+  for (const graph::Edge& e : network.graph().edges())
+    components.unite(static_cast<std::size_t>(e.from), static_cast<std::size_t>(e.to));
+
+  for (;;) {
+    double best_dist = std::numeric_limits<double>::infinity();
+    Nid best_a = graph::kInvalidNode;
+    Nid best_b = graph::kInvalidNode;
+    for (std::size_t a = 0; a < n; ++a) {
+      for (std::size_t b = a + 1; b < n; ++b) {
+        if (components.find(a) == components.find(b)) continue;
+        const double d =
+            network.distance(static_cast<Nid>(a), static_cast<Nid>(b));
+        if (d < best_dist) {
+          best_dist = d;
+          best_a = static_cast<Nid>(a);
+          best_b = static_cast<Nid>(b);
+        }
+      }
+    }
+    if (best_a == graph::kInvalidNode) return;  // fully connected
+    network.add_link(best_a, best_b, link.draw(best_dist, rng).bandwidth,
+                     link.latency_base + link.latency_per_unit * best_dist);
+    components.unite(static_cast<std::size_t>(best_a),
+                     static_cast<std::size_t>(best_b));
+  }
+}
+
+void add_modelled_link(UnderlyingNetwork& network, Nid a, Nid b,
+                       const LinkModel& link, util::Rng& rng) {
+  const graph::LinkMetrics m = link.draw(network.distance(a, b), rng);
+  network.add_link(a, b, m.bandwidth, m.latency);
+}
+
+}  // namespace
+
+UnderlyingNetwork make_waxman(const WaxmanParams& params, util::Rng& rng) {
+  if (params.node_count == 0) throw std::invalid_argument("make_waxman: 0 nodes");
+  if (params.alpha <= 0.0 || params.alpha > 1.0 || params.beta <= 0.0)
+    throw std::invalid_argument("make_waxman: bad alpha/beta");
+  params.link.validate();
+
+  UnderlyingNetwork network;
+  for (std::size_t i = 0; i < params.node_count; ++i)
+    network.add_node(NodeSite{rng.uniform_real(0.0, params.field_size),
+                              rng.uniform_real(0.0, params.field_size)});
+
+  // Maximum pairwise distance, the Waxman scale factor L.
+  double max_dist = 1e-9;
+  const std::size_t n = params.node_count;
+  for (std::size_t a = 0; a < n; ++a)
+    for (std::size_t b = a + 1; b < n; ++b)
+      max_dist = std::max(max_dist, network.distance(static_cast<Nid>(a),
+                                                     static_cast<Nid>(b)));
+
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      const double d = network.distance(static_cast<Nid>(a), static_cast<Nid>(b));
+      const double p = params.alpha * std::exp(-d / (params.beta * max_dist));
+      if (rng.chance(p))
+        add_modelled_link(network, static_cast<Nid>(a), static_cast<Nid>(b),
+                          params.link, rng);
+    }
+  }
+  enforce_connectivity(network, params.link, rng);
+  return network;
+}
+
+UnderlyingNetwork make_ring_with_chords(const RingParams& params, util::Rng& rng) {
+  if (params.node_count < 3)
+    throw std::invalid_argument("make_ring_with_chords: need >= 3 nodes");
+  params.link.validate();
+
+  UnderlyingNetwork network;
+  const std::size_t n = params.node_count;
+  const double radius = 50.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double angle = 2.0 * M_PI * static_cast<double>(i) / static_cast<double>(n);
+    network.add_node(NodeSite{radius * std::cos(angle), radius * std::sin(angle)});
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    add_modelled_link(network, static_cast<Nid>(i), static_cast<Nid>((i + 1) % n),
+                      params.link, rng);
+
+  std::size_t added = 0;
+  std::size_t attempts = 0;
+  while (added < params.chord_count && attempts < params.chord_count * 20) {
+    ++attempts;
+    const Nid a = static_cast<Nid>(rng.uniform_index(n));
+    const Nid b = static_cast<Nid>(rng.uniform_index(n));
+    if (a == b || network.has_link(a, b)) continue;
+    add_modelled_link(network, a, b, params.link, rng);
+    ++added;
+  }
+  return network;
+}
+
+UnderlyingNetwork make_grid(const GridParams& params, util::Rng& rng) {
+  if (params.rows == 0 || params.cols == 0)
+    throw std::invalid_argument("make_grid: empty grid");
+  params.link.validate();
+
+  UnderlyingNetwork network;
+  const auto id = [&](std::size_t r, std::size_t c) {
+    return static_cast<Nid>(r * params.cols + c);
+  };
+  for (std::size_t r = 0; r < params.rows; ++r)
+    for (std::size_t c = 0; c < params.cols; ++c)
+      network.add_node(NodeSite{static_cast<double>(c) * params.spacing,
+                                static_cast<double>(r) * params.spacing});
+  for (std::size_t r = 0; r < params.rows; ++r) {
+    for (std::size_t c = 0; c < params.cols; ++c) {
+      if (c + 1 < params.cols)
+        add_modelled_link(network, id(r, c), id(r, c + 1), params.link, rng);
+      if (r + 1 < params.rows)
+        add_modelled_link(network, id(r, c), id(r + 1, c), params.link, rng);
+    }
+  }
+  return network;
+}
+
+UnderlyingNetwork make_random_tree(const TreeParams& params, util::Rng& rng) {
+  if (params.node_count == 0) throw std::invalid_argument("make_random_tree: 0 nodes");
+  if (params.max_children == 0)
+    throw std::invalid_argument("make_random_tree: max_children == 0");
+  params.link.validate();
+
+  UnderlyingNetwork network;
+  std::vector<std::size_t> child_count;
+  for (std::size_t i = 0; i < params.node_count; ++i) {
+    network.add_node(NodeSite{rng.uniform_real(0.0, 100.0),
+                              rng.uniform_real(0.0, 100.0)});
+    child_count.push_back(0);
+    if (i == 0) continue;
+    // Attach to a uniformly chosen earlier node with spare fan-out.
+    std::vector<std::size_t> candidates;
+    for (std::size_t p = 0; p < i; ++p)
+      if (child_count[p] < params.max_children) candidates.push_back(p);
+    const std::size_t parent =
+        candidates.empty() ? i - 1 : candidates[rng.uniform_index(candidates.size())];
+    ++child_count[parent];
+    add_modelled_link(network, static_cast<Nid>(parent), static_cast<Nid>(i),
+                      params.link, rng);
+  }
+  return network;
+}
+
+}  // namespace sflow::net

@@ -1,0 +1,71 @@
+// Topology generators for the underlying network.
+//
+// The paper evaluates on simulated networks of 10..50 nodes but does not
+// publish the generator; we use the standard choices of the era (documented
+// in DESIGN.md as a substitution): a seeded Waxman random graph as the
+// default, plus ring-with-chords, grid, and random-tree topologies used by
+// tests and ablations.  All generators guarantee a connected result and draw
+// link bandwidth uniformly from [bandwidth_min, bandwidth_max]; latency is a
+// base cost plus a distance-proportional term.
+#pragma once
+
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+
+namespace sflow::net {
+
+/// Shared link-metric model.
+struct LinkModel {
+  double bandwidth_min = 10.0;   // Mbps
+  double bandwidth_max = 100.0;  // Mbps
+  double latency_base = 1.0;     // ms, per-hop processing/queueing floor
+  double latency_per_unit = 0.05;  // ms per unit of Euclidean distance
+
+  void validate() const;
+  graph::LinkMetrics draw(double distance, util::Rng& rng) const;
+};
+
+struct WaxmanParams {
+  std::size_t node_count = 20;
+  /// Waxman parameters: P(link) = alpha * exp(-d / (beta * L)), with L the
+  /// maximum pairwise distance.  Higher alpha → denser; higher beta → more
+  /// long links.
+  double alpha = 0.5;
+  double beta = 0.35;
+  double field_size = 100.0;  // nodes placed uniformly in a square field
+  LinkModel link;
+};
+
+/// Waxman random topology; connectivity is enforced afterwards by linking the
+/// closest pair of nodes across disconnected components.
+UnderlyingNetwork make_waxman(const WaxmanParams& params, util::Rng& rng);
+
+struct RingParams {
+  std::size_t node_count = 16;
+  std::size_t chord_count = 4;  // extra random chords across the ring
+  LinkModel link;
+};
+
+/// Ring with random chords (connected by construction).
+UnderlyingNetwork make_ring_with_chords(const RingParams& params, util::Rng& rng);
+
+struct GridParams {
+  std::size_t rows = 4;
+  std::size_t cols = 4;
+  double spacing = 10.0;
+  LinkModel link;
+};
+
+/// rows x cols mesh grid.
+UnderlyingNetwork make_grid(const GridParams& params, util::Rng& rng);
+
+struct TreeParams {
+  std::size_t node_count = 15;
+  std::size_t max_children = 3;
+  LinkModel link;
+};
+
+/// Random tree (uniform attachment, bounded fan-out).
+UnderlyingNetwork make_random_tree(const TreeParams& params, util::Rng& rng);
+
+}  // namespace sflow::net

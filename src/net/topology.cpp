@@ -1,0 +1,44 @@
+#include "net/topology.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/dag.hpp"
+
+namespace sflow::net {
+
+Nid UnderlyingNetwork::add_node(NodeSite site) {
+  sites_.push_back(site);
+  return graph_.add_node();
+}
+
+void UnderlyingNetwork::add_link(Nid a, Nid b, double bandwidth, double latency) {
+  if (bandwidth <= 0.0)
+    throw std::invalid_argument("UnderlyingNetwork::add_link: bandwidth <= 0");
+  if (latency < 0.0)
+    throw std::invalid_argument("UnderlyingNetwork::add_link: negative latency");
+  graph_.add_symmetric_edge(a, b, graph::LinkMetrics{bandwidth, latency});
+}
+
+graph::LinkMetrics UnderlyingNetwork::link_metrics(Nid a, Nid b) const {
+  const graph::EdgeIndex e = graph_.find_edge(a, b);
+  if (e == graph::kInvalidEdge)
+    throw std::invalid_argument("UnderlyingNetwork::link_metrics: no such link");
+  return graph_.edge(e).metrics;
+}
+
+double UnderlyingNetwork::distance(Nid a, Nid b) const {
+  const NodeSite& sa = site(a);
+  const NodeSite& sb = site(b);
+  return std::hypot(sa.x - sb.x, sa.y - sb.y);
+}
+
+bool UnderlyingNetwork::is_connected() const {
+  if (graph_.node_count() == 0) return true;
+  const auto seen = graph::reachable_from(graph_, 0);
+  for (const bool s : seen)
+    if (!s) return false;
+  return true;
+}
+
+}  // namespace sflow::net

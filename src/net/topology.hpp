@@ -1,0 +1,63 @@
+// The underlying (physical) network beneath the service overlay.
+//
+// The paper's Fig. 4 separates the "underlying network" — routers/hosts with
+// NIDs joined by symmetric links — from the overlay graph built on top of it.
+// Overlay edge metrics derive from routes through this layer (see
+// net/underlay_routing.hpp and overlay/overlay_graph.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace sflow::net {
+
+/// Node identifier in the underlying network — the paper's NID.
+using Nid = graph::NodeIndex;
+
+/// Physical placement of a node; used by distance-dependent generators
+/// (Waxman) and to derive propagation latency.
+struct NodeSite {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// An undirected physical network with per-link bandwidth and latency.
+/// Internally stored as a symmetric digraph so the routing substrate applies
+/// unchanged.
+class UnderlyingNetwork {
+ public:
+  UnderlyingNetwork() = default;
+
+  Nid add_node(NodeSite site = {});
+
+  /// Adds (or updates) the symmetric link a<->b.
+  /// Preconditions: nodes exist, a != b, bandwidth > 0, latency >= 0.
+  void add_link(Nid a, Nid b, double bandwidth, double latency);
+
+  std::size_t node_count() const noexcept { return graph_.node_count(); }
+  /// Number of undirected links.
+  std::size_t link_count() const noexcept { return graph_.edge_count() / 2; }
+
+  bool has_link(Nid a, Nid b) const noexcept { return graph_.has_edge(a, b); }
+  graph::LinkMetrics link_metrics(Nid a, Nid b) const;
+
+  const NodeSite& site(Nid v) const { return sites_.at(static_cast<std::size_t>(v)); }
+  double distance(Nid a, Nid b) const;
+
+  /// The symmetric digraph view (two directed edges per link).
+  const graph::Digraph& graph() const noexcept { return graph_; }
+
+  /// True iff every node can reach every other node.
+  bool is_connected() const;
+
+  std::string to_dot() const { return graph_.to_dot("underlay"); }
+
+ private:
+  graph::Digraph graph_;
+  std::vector<NodeSite> sites_;
+};
+
+}  // namespace sflow::net

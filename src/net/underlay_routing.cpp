@@ -1,0 +1,12 @@
+#include "net/underlay_routing.hpp"
+
+namespace sflow::net {
+
+UnderlayRouting::UnderlayRouting(const UnderlyingNetwork& network) {
+  trees_.reserve(network.node_count());
+  for (std::size_t v = 0; v < network.node_count(); ++v)
+    trees_.push_back(
+        graph::shortest_latency_tree(network.graph(), static_cast<Nid>(v)));
+}
+
+}  // namespace sflow::net

@@ -1,0 +1,41 @@
+// Routing through the underlying network.
+//
+// An overlay edge between two compatible service nodes is realized by a route
+// through the physical network; its metrics (bottleneck bandwidth, additive
+// latency) come from that route.  Flows follow lowest-latency physical routes,
+// the conventional IP-like behaviour assumed by overlay papers: the overlay
+// layer, not the underlay, performs QoS-aware (shortest-widest) selection.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/qos_routing.hpp"
+#include "net/topology.hpp"
+
+namespace sflow::net {
+
+class UnderlayRouting {
+ public:
+  explicit UnderlayRouting(const UnderlyingNetwork& network);
+
+  /// Metrics of the lowest-latency route a->b; PathQuality::unreachable() if
+  /// disconnected, PathQuality::source() for a == b.
+  const graph::PathQuality& route_quality(Nid a, Nid b) const {
+    return trees_.at(static_cast<std::size_t>(a)).quality_to(b);
+  }
+
+  /// Hop sequence of the route, or nullopt when disconnected.
+  std::optional<std::vector<Nid>> route(Nid a, Nid b) const {
+    return trees_.at(static_cast<std::size_t>(a)).path_to(b);
+  }
+
+  bool connected(Nid a, Nid b) const {
+    return trees_.at(static_cast<std::size_t>(a)).reachable(b);
+  }
+
+ private:
+  std::vector<graph::RoutingTree> trees_;
+};
+
+}  // namespace sflow::net

@@ -1,0 +1,74 @@
+#include "overlay/abstract_graph.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace sflow::overlay {
+
+ServiceAbstractGraph::ServiceAbstractGraph(
+    const OverlayGraph& overlay, const ServiceRequirement& requirement,
+    const graph::AllPairsShortestWidest& routing)
+    : requirement_(requirement) {
+  requirement_.validate();
+
+  // Populate each abstract node with its service's instances.
+  for (const Sid sid : requirement_.services()) {
+    std::vector<OverlayIndex> instances;
+    if (const auto pin = requirement_.pinned(sid)) {
+      const auto pinned_instance = overlay.instance_at(*pin);
+      if (!pinned_instance || overlay.instance(*pinned_instance).sid != sid) {
+        std::ostringstream os;
+        os << "ServiceAbstractGraph: pin of service " << sid << " to node " << *pin
+           << " does not match a hosted instance";
+        throw std::invalid_argument(os.str());
+      }
+      instances.push_back(*pinned_instance);
+    } else {
+      instances = overlay.instances_of(sid);
+    }
+    if (instances.empty()) {
+      std::ostringstream os;
+      os << "ServiceAbstractGraph: no instance of required service " << sid;
+      throw std::invalid_argument(os.str());
+    }
+    for (const OverlayIndex inst : instances) {
+      const graph::NodeIndex v = graph_.add_node();
+      candidates_.push_back(Candidate{sid, inst});
+      layers_[sid].push_back(v);
+    }
+  }
+
+  // Interconnect layers along requirement edges with shortest-widest metrics.
+  for (const graph::Edge& req_edge : requirement_.dag().edges()) {
+    const Sid from_sid = requirement_.sid_of(req_edge.from);
+    const Sid to_sid = requirement_.sid_of(req_edge.to);
+    for (const graph::NodeIndex a : layers_.at(from_sid)) {
+      for (const graph::NodeIndex b : layers_.at(to_sid)) {
+        const OverlayIndex u = candidates_[static_cast<std::size_t>(a)].instance;
+        const OverlayIndex v = candidates_[static_cast<std::size_t>(b)].instance;
+        if (u == v) continue;  // an instance cannot feed itself
+        const graph::PathQuality& q = routing.quality(u, v);
+        if (q.is_unreachable()) continue;
+        graph_.add_edge(a, b, graph::LinkMetrics{q.bandwidth, q.latency});
+      }
+    }
+  }
+}
+
+const std::vector<graph::NodeIndex>& ServiceAbstractGraph::layer(Sid sid) const {
+  const auto it = layers_.find(sid);
+  if (it == layers_.end())
+    throw std::invalid_argument("ServiceAbstractGraph::layer: not a required service");
+  return it->second;
+}
+
+std::optional<graph::NodeIndex> ServiceAbstractGraph::node_of(
+    Sid sid, OverlayIndex instance) const {
+  const auto it = layers_.find(sid);
+  if (it == layers_.end()) return std::nullopt;
+  for (const graph::NodeIndex v : it->second)
+    if (candidates_[static_cast<std::size_t>(v)].instance == instance) return v;
+  return std::nullopt;
+}
+
+}  // namespace sflow::overlay

@@ -1,0 +1,60 @@
+// The service abstract graph (paper §3.1, Fig. 6).
+//
+// It connects a service requirement to an overlay graph: each required
+// service becomes a *service abstract node* populated with the overlay's
+// instances of that service; instances of adjacent required services are
+// fully interconnected, each abstract edge weighted with the quality
+// (bandwidth, latency) of the shortest-widest overlay path between the two
+// instances.  Algorithms select one instance per abstract node; abstract
+// edges are later expanded back into real overlay paths.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/qos_routing.hpp"
+#include "overlay/overlay_graph.hpp"
+#include "overlay/requirement.hpp"
+
+namespace sflow::overlay {
+
+class ServiceAbstractGraph {
+ public:
+  /// An abstract node: one candidate instance for one required service.
+  struct Candidate {
+    Sid sid = kInvalidSid;
+    OverlayIndex instance = graph::kInvalidNode;
+  };
+
+  /// Builds the abstract graph.  `routing` must be the all-pairs
+  /// shortest-widest structure of `overlay.graph()`.  Required services that
+  /// are pinned in the requirement contribute only their pinned instance.
+  /// Throws std::invalid_argument when a required service has no instance in
+  /// the overlay (or a pin refers to a non-hosting node).
+  ServiceAbstractGraph(const OverlayGraph& overlay,
+                       const ServiceRequirement& requirement,
+                       const graph::AllPairsShortestWidest& routing);
+
+  const graph::Digraph& graph() const noexcept { return graph_; }
+  const ServiceRequirement& requirement() const noexcept { return requirement_; }
+
+  const Candidate& candidate(graph::NodeIndex v) const {
+    return candidates_.at(static_cast<std::size_t>(v));
+  }
+  std::size_t candidate_count() const noexcept { return candidates_.size(); }
+
+  /// Abstract nodes populating the layer of a required service.
+  const std::vector<graph::NodeIndex>& layer(Sid sid) const;
+
+  /// The abstract node of (sid, instance), if that instance is a candidate.
+  std::optional<graph::NodeIndex> node_of(Sid sid, OverlayIndex instance) const;
+
+ private:
+  graph::Digraph graph_;
+  ServiceRequirement requirement_;
+  std::vector<Candidate> candidates_;
+  std::map<Sid, std::vector<graph::NodeIndex>> layers_;
+};
+
+}  // namespace sflow::overlay

@@ -1,0 +1,105 @@
+#include "overlay/compatibility.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sflow::overlay {
+
+TypeId TypeRegistry::intern(const std::string& name) {
+  if (name.empty()) throw std::invalid_argument("TypeRegistry: empty name");
+  const auto it = by_name_.find(name);
+  if (it != by_name_.end()) return it->second;
+  const TypeId id = static_cast<TypeId>(names_.size());
+  names_.push_back(name);
+  by_name_.emplace(name, id);
+  return id;
+}
+
+std::optional<TypeId> TypeRegistry::find(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& TypeRegistry::name(TypeId type) const {
+  if (type < 0 || static_cast<std::size_t>(type) >= names_.size())
+    throw std::invalid_argument("TypeRegistry::name: unknown type");
+  return names_[static_cast<std::size_t>(type)];
+}
+
+void CompatibilityModel::declare(Sid sid, ServiceSignature signature) {
+  if (sid < 0) throw std::invalid_argument("CompatibilityModel: bad SID");
+  if (signature.output < 0)
+    throw std::invalid_argument("CompatibilityModel: service needs an output type");
+  for (const TypeId input : signature.inputs)
+    if (input < 0)
+      throw std::invalid_argument("CompatibilityModel: bad input type");
+  signatures_[sid] = std::move(signature);
+}
+
+const ServiceSignature& CompatibilityModel::signature(Sid sid) const {
+  const auto it = signatures_.find(sid);
+  if (it == signatures_.end())
+    throw std::invalid_argument("CompatibilityModel::signature: unknown service");
+  return it->second;
+}
+
+bool CompatibilityModel::compatible(Sid from, Sid to) const {
+  const auto f = signatures_.find(from);
+  const auto t = signatures_.find(to);
+  if (f == signatures_.end() || t == signatures_.end()) return false;
+  return std::find(t->second.inputs.begin(), t->second.inputs.end(),
+                   f->second.output) != t->second.inputs.end();
+}
+
+CompatibilityFn CompatibilityModel::as_function() const {
+  return [this](Sid from, Sid to) { return compatible(from, to); };
+}
+
+std::optional<std::pair<Sid, Sid>> CompatibilityModel::first_incompatible_edge(
+    const ServiceRequirement& requirement) const {
+  for (const graph::Edge& e : requirement.dag().edges()) {
+    const Sid from = requirement.sid_of(e.from);
+    const Sid to = requirement.sid_of(e.to);
+    if (!compatible(from, to)) return std::make_pair(from, to);
+  }
+  return std::nullopt;
+}
+
+CompatibilityModel random_compatibility_for(const ServiceRequirement& requirement,
+                                            const std::vector<Sid>& sids,
+                                            std::size_t type_count,
+                                            util::Rng& rng) {
+  if (type_count == 0)
+    throw std::invalid_argument("random_compatibility_for: no data types");
+  requirement.validate();
+
+  CompatibilityModel model;
+  // Every service produces one random type.
+  std::map<Sid, TypeId> output;
+  for (const Sid sid : sids)
+    output[sid] = static_cast<TypeId>(rng.uniform_index(type_count));
+  for (const Sid sid : requirement.services())
+    if (!output.contains(sid))
+      output[sid] = static_cast<TypeId>(rng.uniform_index(type_count));
+
+  const auto inputs_for = [&](Sid sid) {
+    std::vector<TypeId> inputs;
+    // Requirement edges must type-check: consume every upstream's output.
+    if (requirement.contains(sid))
+      for (const Sid up : requirement.upstream(sid))
+        inputs.push_back(output.at(up));
+    // Extra accepted types model relay/bridging capability.
+    for (std::size_t t = 0; t < type_count; ++t)
+      if (rng.chance(0.3)) inputs.push_back(static_cast<TypeId>(t));
+    std::sort(inputs.begin(), inputs.end());
+    inputs.erase(std::unique(inputs.begin(), inputs.end()), inputs.end());
+    return inputs;
+  };
+
+  for (const auto& [sid, out] : output)
+    model.declare(sid, ServiceSignature{inputs_for(sid), out});
+  return model;
+}
+
+}  // namespace sflow::overlay

@@ -1,0 +1,89 @@
+// Typed service compatibility.
+//
+// The paper's §2.2 defines compatibility semantically: "two services are
+// compatible if the output produced by one service matches the input
+// requirements of the other".  This module makes that concrete: each service
+// declares the data types it consumes and the type it produces, and
+// compatible(a, b) holds when a's output type is among b's input types.
+// A TypeRegistry interns type names; ServiceSignature describes one service;
+// CompatibilityModel holds signatures per SID and yields the CompatibilityFn
+// the overlay builder consumes.
+//
+// Examples and workload generators can thus derive the overlay's service
+// links from service semantics instead of an ad-hoc relation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "overlay/overlay_graph.hpp"
+#include "overlay/requirement.hpp"
+#include "overlay/service.hpp"
+#include "util/rng.hpp"
+
+namespace sflow::overlay {
+
+/// Identifier of a data type (media stream, HTML, query results, ...).
+using TypeId = std::int32_t;
+
+inline constexpr TypeId kInvalidType = -1;
+
+/// Name <-> TypeId registry, mirroring ServiceCatalog for data types.
+class TypeRegistry {
+ public:
+  TypeId intern(const std::string& name);
+  std::optional<TypeId> find(const std::string& name) const;
+  const std::string& name(TypeId type) const;
+  std::size_t size() const noexcept { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::map<std::string, TypeId> by_name_;
+};
+
+/// What a service consumes and produces.
+struct ServiceSignature {
+  std::vector<TypeId> inputs;  // any one of these types is accepted
+  TypeId output = kInvalidType;
+};
+
+class CompatibilityModel {
+ public:
+  /// Declares (or replaces) the signature of a service.
+  /// Preconditions: output valid; inputs non-empty unless the service is a
+  /// pure producer (sources consume nothing).
+  void declare(Sid sid, ServiceSignature signature);
+
+  bool knows(Sid sid) const noexcept { return signatures_.contains(sid); }
+  const ServiceSignature& signature(Sid sid) const;
+
+  /// True when `from`'s output type is among `to`'s inputs.  Services without
+  /// a declared signature are incompatible with everything.
+  bool compatible(Sid from, Sid to) const;
+
+  /// Adapter for OverlayGraph::connect_via_underlay.
+  CompatibilityFn as_function() const;
+
+  /// Verifies every edge of `requirement` joins compatible services; returns
+  /// the first offending (from, to) pair, or nullopt when consistent.
+  std::optional<std::pair<Sid, Sid>> first_incompatible_edge(
+      const ServiceRequirement& requirement) const;
+
+ private:
+  std::map<Sid, ServiceSignature> signatures_;
+};
+
+/// Generates a random compatibility model over `sids` with `type_count` data
+/// types such that a given requirement is consistent with it: services are
+/// typed so that every requirement edge is compatible, and the remaining
+/// degrees of freedom are drawn from `rng` (producing the relay/bridging
+/// compatibilities real overlays exhibit).
+CompatibilityModel random_compatibility_for(const ServiceRequirement& requirement,
+                                            const std::vector<Sid>& sids,
+                                            std::size_t type_count,
+                                            util::Rng& rng);
+
+}  // namespace sflow::overlay

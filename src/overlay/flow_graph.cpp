@@ -1,0 +1,187 @@
+#include "overlay/flow_graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/dag.hpp"
+
+namespace sflow::overlay {
+
+namespace {
+constexpr double kQualityTolerance = 1e-9;
+
+bool close(double a, double b) {
+  if (std::isinf(a) || std::isinf(b)) return a == b;
+  return std::abs(a - b) <= kQualityTolerance * std::max({1.0, std::abs(a), std::abs(b)});
+}
+}  // namespace
+
+void ServiceFlowGraph::assign(Sid sid, OverlayIndex instance) {
+  if (instance < 0)
+    throw std::invalid_argument("ServiceFlowGraph::assign: bad instance");
+  const auto [it, inserted] = assignments_.emplace(sid, instance);
+  if (!inserted && it->second != instance) {
+    std::ostringstream os;
+    os << "ServiceFlowGraph::assign: service " << sid << " already assigned to "
+       << it->second << ", conflicting with " << instance;
+    throw std::logic_error(os.str());
+  }
+}
+
+std::optional<OverlayIndex> ServiceFlowGraph::assignment(Sid sid) const {
+  const auto it = assignments_.find(sid);
+  if (it == assignments_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ServiceFlowGraph::set_edge(Sid from, Sid to,
+                                std::vector<OverlayIndex> overlay_path,
+                                graph::PathQuality quality) {
+  if (overlay_path.empty())
+    throw std::invalid_argument("ServiceFlowGraph::set_edge: empty path");
+  assign(from, overlay_path.front());
+  assign(to, overlay_path.back());
+  if (const FlowEdge* existing = find_edge(from, to)) {
+    if (existing->overlay_path != overlay_path)
+      throw std::logic_error("ServiceFlowGraph::set_edge: conflicting realization");
+    return;
+  }
+  edges_.push_back(FlowEdge{from, to, std::move(overlay_path), quality});
+}
+
+bool ServiceFlowGraph::erase_edge(Sid from, Sid to) {
+  for (auto it = edges_.begin(); it != edges_.end(); ++it) {
+    if (it->from_sid == from && it->to_sid == to) {
+      edges_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+const FlowEdge* ServiceFlowGraph::find_edge(Sid from, Sid to) const {
+  for (const FlowEdge& e : edges_)
+    if (e.from_sid == from && e.to_sid == to) return &e;
+  return nullptr;
+}
+
+bool ServiceFlowGraph::complete(const ServiceRequirement& requirement) const {
+  for (const Sid sid : requirement.services())
+    if (!assignments_.contains(sid)) return false;
+  for (const graph::Edge& e : requirement.dag().edges())
+    if (find_edge(requirement.sid_of(e.from), requirement.sid_of(e.to)) == nullptr)
+      return false;
+  return true;
+}
+
+void ServiceFlowGraph::validate(const ServiceRequirement& requirement,
+                                const OverlayGraph& overlay) const {
+  requirement.validate();
+  for (const Sid sid : requirement.services()) {
+    const auto it = assignments_.find(sid);
+    if (it == assignments_.end()) {
+      std::ostringstream os;
+      os << "flow graph: required service " << sid << " unassigned";
+      throw std::logic_error(os.str());
+    }
+    if (overlay.instance(it->second).sid != sid) {
+      std::ostringstream os;
+      os << "flow graph: service " << sid << " assigned to instance of service "
+         << overlay.instance(it->second).sid;
+      throw std::logic_error(os.str());
+    }
+  }
+  for (const auto& [sid, instance] : assignments_)
+    if (!requirement.contains(sid))
+      throw std::logic_error("flow graph: assignment for non-required service");
+
+  for (const graph::Edge& e : requirement.dag().edges()) {
+    const Sid from = requirement.sid_of(e.from);
+    const Sid to = requirement.sid_of(e.to);
+    const FlowEdge* fe = find_edge(from, to);
+    if (fe == nullptr) {
+      std::ostringstream os;
+      os << "flow graph: requirement edge " << from << "->" << to << " unrealized";
+      throw std::logic_error(os.str());
+    }
+    if (fe->overlay_path.front() != assignments_.at(from) ||
+        fe->overlay_path.back() != assignments_.at(to))
+      throw std::logic_error("flow graph: path endpoints disagree with assignments");
+    const graph::PathQuality actual =
+        graph::path_quality(overlay.graph(), fe->overlay_path);
+    if (actual.is_unreachable())
+      throw std::logic_error("flow graph: realized path missing from overlay");
+    if (!close(actual.bandwidth, fe->quality.bandwidth) ||
+        !close(actual.latency, fe->quality.latency))
+      throw std::logic_error("flow graph: stored quality disagrees with overlay");
+  }
+}
+
+double ServiceFlowGraph::bottleneck_bandwidth() const {
+  double bottleneck = std::numeric_limits<double>::infinity();
+  for (const FlowEdge& e : edges_)
+    bottleneck = std::min(bottleneck, e.quality.bandwidth);
+  return bottleneck;
+}
+
+double ServiceFlowGraph::end_to_end_latency(
+    const ServiceRequirement& requirement) const {
+  // Weight the requirement DAG's edges with realized latencies, then take the
+  // critical path.
+  graph::Digraph weighted(requirement.dag().node_count());
+  for (const graph::Edge& e : requirement.dag().edges()) {
+    const FlowEdge* fe =
+        find_edge(requirement.sid_of(e.from), requirement.sid_of(e.to));
+    if (fe == nullptr)
+      throw std::logic_error("end_to_end_latency: incomplete flow graph");
+    weighted.add_edge(e.from, e.to, graph::LinkMetrics{1.0, fe->quality.latency});
+  }
+  return graph::critical_path_latency(weighted);
+}
+
+graph::PathQuality ServiceFlowGraph::quality(
+    const ServiceRequirement& requirement) const {
+  return {bottleneck_bandwidth(), end_to_end_latency(requirement)};
+}
+
+void ServiceFlowGraph::merge_from(const ServiceFlowGraph& other) {
+  for (const auto& [sid, instance] : other.assignments_) assign(sid, instance);
+  for (const FlowEdge& e : other.edges_)
+    set_edge(e.from_sid, e.to_sid, e.overlay_path, e.quality);
+}
+
+double ServiceFlowGraph::correctness_coefficient(const ServiceFlowGraph& computed,
+                                                 const ServiceFlowGraph& optimal) {
+  if (optimal.assignments_.empty())
+    throw std::invalid_argument("correctness_coefficient: empty optimal graph");
+  std::size_t matches = 0;
+  for (const auto& [sid, instance] : optimal.assignments_) {
+    const auto got = computed.assignment(sid);
+    if (got && *got == instance) ++matches;
+  }
+  return static_cast<double>(matches) /
+         static_cast<double>(optimal.assignments_.size());
+}
+
+std::string ServiceFlowGraph::to_string(const ServiceCatalog* catalog) const {
+  const auto label = [&](Sid sid) -> std::string {
+    return catalog != nullptr ? catalog->name(sid) : "S" + std::to_string(sid);
+  };
+  std::ostringstream os;
+  os << "flow-graph {\n";
+  for (const auto& [sid, instance] : assignments_)
+    os << "  " << label(sid) << " := overlay#" << instance << "\n";
+  for (const FlowEdge& e : edges_) {
+    os << "  " << label(e.from_sid) << " -> " << label(e.to_sid) << " via [";
+    for (std::size_t i = 0; i < e.overlay_path.size(); ++i)
+      os << (i ? " " : "") << e.overlay_path[i];
+    os << "] bw=" << e.quality.bandwidth << " lat=" << e.quality.latency << "\n";
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace sflow::overlay

@@ -1,0 +1,102 @@
+// The service flow graph G'(V', E') — the *result* of service federation
+// (paper §2.2, §3.1).
+//
+// A flow graph selects exactly one overlay instance for each required service
+// and realizes each requirement edge as a concrete overlay path between the
+// chosen instances (possibly passing through bridging instances).  Its
+// quality is evaluated shortest-widest: the end-to-end bandwidth is the
+// bottleneck across all realized edges, and the end-to-end latency is the
+// critical (longest) source-to-sink path of the requirement DAG with each
+// edge weighted by its realized path latency — parallel branches overlap in
+// time, which is exactly why DAG federation beats service paths in Fig. 10(c).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/qos_routing.hpp"
+#include "overlay/overlay_graph.hpp"
+#include "overlay/requirement.hpp"
+
+namespace sflow::overlay {
+
+/// One realized requirement edge.
+struct FlowEdge {
+  Sid from_sid = kInvalidSid;
+  Sid to_sid = kInvalidSid;
+  /// Overlay node sequence from the chosen `from` instance to the chosen
+  /// `to` instance (both inclusive); interior nodes are bridging instances.
+  std::vector<OverlayIndex> overlay_path;
+  graph::PathQuality quality = graph::PathQuality::unreachable();
+};
+
+class ServiceFlowGraph {
+ public:
+  ServiceFlowGraph() = default;
+
+  /// Selects `instance` for required service `sid`.  Re-assigning the same
+  /// instance is a no-op; a conflicting re-assignment throws std::logic_error
+  /// (distributed merges must agree — see merge_from).
+  void assign(Sid sid, OverlayIndex instance);
+
+  std::optional<OverlayIndex> assignment(Sid sid) const;
+  const std::map<Sid, OverlayIndex>& assignments() const noexcept {
+    return assignments_;
+  }
+
+  /// Records the realized path for requirement edge from->to.  Endpoints of
+  /// `overlay_path` become the assignments of the two services.
+  void set_edge(Sid from, Sid to, std::vector<OverlayIndex> overlay_path,
+                graph::PathQuality quality);
+
+  const FlowEdge* find_edge(Sid from, Sid to) const;
+  const std::vector<FlowEdge>& edges() const noexcept { return edges_; }
+
+  /// Removes the realized edge from->to (assignments are kept).  Returns
+  /// false when no such edge exists.  Used by the split-and-merge reduction
+  /// to swap a virtual block edge for the block's real edges.
+  bool erase_edge(Sid from, Sid to);
+
+  /// True when every required service is assigned and every requirement edge
+  /// realized.
+  bool complete(const ServiceRequirement& requirement) const;
+
+  /// Structural validation against the requirement and overlay; throws
+  /// std::logic_error describing the first violation.  Checks: assignments
+  /// cover exactly the required services with matching SIDs; every
+  /// requirement edge is realized; path endpoints match assignments; every
+  /// realized path exists in the overlay and its stored quality equals the
+  /// recomputed one.
+  void validate(const ServiceRequirement& requirement,
+                const OverlayGraph& overlay) const;
+
+  /// Bottleneck bandwidth across realized edges (the overall throughput —
+  /// "the bandwidth on the bottleneck link", §3.2).  +inf when edgeless.
+  double bottleneck_bandwidth() const;
+
+  /// Critical-path latency over the requirement DAG (see file comment).
+  double end_to_end_latency(const ServiceRequirement& requirement) const;
+
+  /// (bottleneck_bandwidth, end_to_end_latency) as a PathQuality, so flow
+  /// graphs compare shortest-widest like paths do.
+  graph::PathQuality quality(const ServiceRequirement& requirement) const;
+
+  /// Imports assignments and edges from a partial flow graph computed
+  /// elsewhere (distributed assembly).  Agreement on overlapping assignments
+  /// is required (std::logic_error otherwise); overlapping edges must match.
+  void merge_from(const ServiceFlowGraph& other);
+
+  /// The paper's §5 metric: |matching assignments| / |optimal assignments|.
+  static double correctness_coefficient(const ServiceFlowGraph& computed,
+                                        const ServiceFlowGraph& optimal);
+
+  std::string to_string(const ServiceCatalog* catalog = nullptr) const;
+
+ private:
+  std::map<Sid, OverlayIndex> assignments_;
+  std::vector<FlowEdge> edges_;
+};
+
+}  // namespace sflow::overlay

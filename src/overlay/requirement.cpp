@@ -1,0 +1,177 @@
+#include "overlay/requirement.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/dag.hpp"
+
+namespace sflow::overlay {
+
+namespace {
+// Requirement edges carry direction only; metrics are irrelevant.  Unit
+// latency makes critical-path helpers usable for hop-depth queries.
+constexpr graph::LinkMetrics kRequirementEdge{1.0, 1.0};
+}  // namespace
+
+void ServiceRequirement::add_service(Sid sid) {
+  if (sid < 0) throw std::invalid_argument("ServiceRequirement: bad SID");
+  if (index_.contains(sid)) return;
+  index_.emplace(sid, dag_.add_node());
+  services_.push_back(sid);
+}
+
+void ServiceRequirement::add_edge(Sid from, Sid to) {
+  if (from == to)
+    throw std::invalid_argument("ServiceRequirement::add_edge: self edge");
+  add_service(from);
+  add_service(to);
+  dag_.add_edge(index_.at(from), index_.at(to), kRequirementEdge);
+}
+
+void ServiceRequirement::pin(Sid sid, net::Nid nid) {
+  if (!contains(sid))
+    throw std::invalid_argument("ServiceRequirement::pin: unknown service");
+  pins_[sid] = nid;
+}
+
+std::optional<net::Nid> ServiceRequirement::pinned(Sid sid) const {
+  const auto it = pins_.find(sid);
+  if (it == pins_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool ServiceRequirement::contains(Sid sid) const noexcept {
+  return index_.contains(sid);
+}
+
+graph::NodeIndex ServiceRequirement::index_of(Sid sid) const {
+  const auto it = index_.find(sid);
+  if (it == index_.end())
+    throw std::invalid_argument("ServiceRequirement::index_of: unknown service");
+  return it->second;
+}
+
+Sid ServiceRequirement::sid_of(graph::NodeIndex v) const {
+  return services_.at(static_cast<std::size_t>(v));
+}
+
+std::vector<Sid> ServiceRequirement::downstream(Sid sid) const {
+  std::vector<Sid> result;
+  for (const graph::NodeIndex s : dag_.successors(index_of(sid)))
+    result.push_back(sid_of(s));
+  return result;
+}
+
+std::vector<Sid> ServiceRequirement::upstream(Sid sid) const {
+  std::vector<Sid> result;
+  for (const graph::NodeIndex p : dag_.predecessors(index_of(sid)))
+    result.push_back(sid_of(p));
+  return result;
+}
+
+Sid ServiceRequirement::source() const {
+  const auto sources = graph::source_nodes(dag_);
+  if (sources.size() != 1)
+    throw std::logic_error("ServiceRequirement::source: requirement not validated");
+  return sid_of(sources.front());
+}
+
+std::vector<Sid> ServiceRequirement::sinks() const {
+  std::vector<Sid> result;
+  for (const graph::NodeIndex v : graph::sink_nodes(dag_)) result.push_back(sid_of(v));
+  return result;
+}
+
+void ServiceRequirement::validate() const {
+  if (services_.empty())
+    throw std::invalid_argument("ServiceRequirement: empty requirement");
+  if (!graph::is_dag(dag_))
+    throw std::invalid_argument("ServiceRequirement: contains a cycle");
+  const auto sources = graph::source_nodes(dag_);
+  if (sources.size() != 1)
+    throw std::invalid_argument(
+        "ServiceRequirement: must have exactly one source service");
+  const auto reach = graph::reachable_from(dag_, sources.front());
+  if (std::find(reach.begin(), reach.end(), false) != reach.end())
+    throw std::invalid_argument(
+        "ServiceRequirement: some service unreachable from the source");
+  for (const auto& [sid, nid] : pins_)
+    if (!contains(sid))
+      throw std::invalid_argument("ServiceRequirement: pin on unknown service");
+}
+
+bool ServiceRequirement::is_valid() const noexcept {
+  try {
+    validate();
+    return true;
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+}
+
+bool ServiceRequirement::is_single_path() const {
+  if (!is_valid()) return false;
+  for (std::size_t v = 0; v < dag_.node_count(); ++v) {
+    if (dag_.out_degree(static_cast<graph::NodeIndex>(v)) > 1) return false;
+    if (dag_.in_degree(static_cast<graph::NodeIndex>(v)) > 1) return false;
+  }
+  return true;
+}
+
+std::vector<Sid> ServiceRequirement::as_path() const {
+  if (!is_single_path())
+    throw std::logic_error("ServiceRequirement::as_path: not a single path");
+  std::vector<Sid> path;
+  Sid current = source();
+  for (;;) {
+    path.push_back(current);
+    const auto next = downstream(current);
+    if (next.empty()) break;
+    current = next.front();
+  }
+  return path;
+}
+
+ServiceRequirement ServiceRequirement::subrequirement_from(Sid root) const {
+  const auto reach = graph::reachable_from(dag_, index_of(root));
+  ServiceRequirement sub;
+  // Preserve insertion order for deterministic DAG indices.
+  for (std::size_t v = 0; v < services_.size(); ++v)
+    if (reach[v]) sub.add_service(services_[v]);
+  for (const graph::Edge& e : dag_.edges())
+    if (reach[static_cast<std::size_t>(e.from)] &&
+        reach[static_cast<std::size_t>(e.to)])
+      sub.add_edge(sid_of(e.from), sid_of(e.to));
+  for (const auto& [sid, nid] : pins_)
+    if (sub.contains(sid)) sub.pin(sid, nid);
+  return sub;
+}
+
+std::string ServiceRequirement::to_string(const ServiceCatalog* catalog) const {
+  const auto label = [&](Sid sid) -> std::string {
+    if (catalog != nullptr) return catalog->name(sid);
+    return "S" + std::to_string(sid);
+  };
+  std::ostringstream os;
+  os << "requirement {";
+  bool first = true;
+  for (const graph::Edge& e : dag_.edges()) {
+    if (!first) os << ", ";
+    first = false;
+    os << label(sid_of(e.from)) << " -> " << label(sid_of(e.to));
+  }
+  for (const auto& [sid, nid] : pins_) os << ", pin " << label(sid) << "@" << nid;
+  os << "}";
+  return os.str();
+}
+
+bool operator==(const ServiceRequirement& a, const ServiceRequirement& b) {
+  if (a.services_ != b.services_ || a.pins_ != b.pins_) return false;
+  if (a.dag_.edge_count() != b.dag_.edge_count()) return false;
+  for (const graph::Edge& e : a.dag_.edges())
+    if (!b.dag_.has_edge(e.from, e.to)) return false;
+  return true;
+}
+
+}  // namespace sflow::overlay

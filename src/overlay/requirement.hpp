@@ -1,0 +1,83 @@
+// Service requirements: the consumer's specification of a federated service.
+//
+// A requirement R(V_R, E_R) is a DAG over *required services* (one node per
+// SID) with exactly one source, at least one sink, and edges giving the
+// direction of the service flow (paper §2.2, §3.1).  The progression of
+// Figs. 1-3 and 5 — service path, optional services, disjoint paths, generic
+// DAG — are all instances of this one type.
+//
+// The distributed sFlow protocol additionally *pins* required services to
+// concrete instances as choices are made upstream (DESIGN.md "merge
+// pinning"); pins travel with the requirement inside sfederate messages.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "overlay/service.hpp"
+
+namespace sflow::overlay {
+
+class ServiceRequirement {
+ public:
+  ServiceRequirement() = default;
+
+  /// Registers a required service.  Each SID may appear once per requirement.
+  void add_service(Sid sid);
+
+  /// Adds the requirement edge from -> to, registering unseen services.
+  void add_edge(Sid from, Sid to);
+
+  /// Pins a required service to a concrete underlay node (chosen instance).
+  void pin(Sid sid, net::Nid nid);
+  std::optional<net::Nid> pinned(Sid sid) const;
+  const std::map<Sid, net::Nid>& pins() const noexcept { return pins_; }
+
+  bool contains(Sid sid) const noexcept;
+  std::size_t service_count() const noexcept { return services_.size(); }
+  const std::vector<Sid>& services() const noexcept { return services_; }
+
+  std::vector<Sid> downstream(Sid sid) const;
+  std::vector<Sid> upstream(Sid sid) const;
+
+  /// The requirement's unique source (in-degree 0) / its sinks (out-degree 0).
+  /// Preconditions: validate() passes.
+  Sid source() const;
+  std::vector<Sid> sinks() const;
+
+  /// Structural view; node i corresponds to services()[i].
+  const graph::Digraph& dag() const noexcept { return dag_; }
+  graph::NodeIndex index_of(Sid sid) const;
+  Sid sid_of(graph::NodeIndex v) const;
+
+  /// Throws std::invalid_argument unless: non-empty, acyclic, exactly one
+  /// source, every service reachable from it (which also yields >= 1 sink).
+  void validate() const;
+  bool is_valid() const noexcept;
+
+  /// True when the requirement is one simple chain source -> ... -> sink.
+  bool is_single_path() const;
+  /// The chain in order.  Precondition: is_single_path().
+  std::vector<Sid> as_path() const;
+
+  /// Sub-requirement induced by the services reachable from `root`
+  /// (inclusive); pins on retained services are preserved.  This is the
+  /// requirement a node forwards downstream in sFlow: everything at or below
+  /// the receiving service.
+  ServiceRequirement subrequirement_from(Sid root) const;
+
+  std::string to_string(const ServiceCatalog* catalog = nullptr) const;
+
+  friend bool operator==(const ServiceRequirement& a, const ServiceRequirement& b);
+
+ private:
+  std::vector<Sid> services_;             // insertion order == dag node index
+  std::map<Sid, graph::NodeIndex> index_;
+  graph::Digraph dag_;
+  std::map<Sid, net::Nid> pins_;
+};
+
+}  // namespace sflow::overlay

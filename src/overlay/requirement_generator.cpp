@@ -1,0 +1,163 @@
+#include "overlay/requirement_generator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sflow::overlay {
+
+namespace {
+
+std::vector<Sid> draw_services(const RequirementSpec& spec,
+                               const std::vector<Sid>& sids, util::Rng& rng) {
+  if (spec.service_count < 2)
+    throw std::invalid_argument("generate_requirement: need >= 2 services");
+  if (sids.size() < spec.service_count)
+    throw std::invalid_argument("generate_requirement: not enough SIDs");
+  std::vector<Sid> chosen;
+  chosen.reserve(spec.service_count);
+  for (const std::size_t i : rng.sample_indices(sids.size(), spec.service_count))
+    chosen.push_back(sids[i]);
+  return chosen;
+}
+
+ServiceRequirement make_single_path(const std::vector<Sid>& services) {
+  ServiceRequirement r;
+  for (std::size_t i = 0; i + 1 < services.size(); ++i)
+    r.add_edge(services[i], services[i + 1]);
+  return r;
+}
+
+/// Splits `middle` services into `branches` non-empty chains between a shared
+/// source and sink.
+ServiceRequirement make_branched(const std::vector<Sid>& services,
+                                 std::size_t branches, util::Rng& rng) {
+  if (services.size() < branches + 2)
+    throw std::invalid_argument(
+        "generate_requirement: too few services for requested branches");
+  const Sid source = services.front();
+  const Sid sink = services.back();
+  const std::vector<Sid> middle(services.begin() + 1, services.end() - 1);
+
+  // One service per branch guaranteed; remaining middle services are dealt
+  // round-robin after a shuffle so branch lengths vary.
+  std::vector<std::vector<Sid>> chains(branches);
+  for (std::size_t i = 0; i < middle.size(); ++i)
+    chains[i < branches ? i : rng.uniform_index(branches)].push_back(middle[i]);
+
+  ServiceRequirement r;
+  for (const auto& chain : chains) {
+    Sid prev = source;
+    for (const Sid s : chain) {
+      r.add_edge(prev, s);
+      prev = s;
+    }
+    r.add_edge(prev, sink);
+  }
+  return r;
+}
+
+/// Random multicast tree: each service after the root attaches to a uniformly
+/// chosen earlier service with spare fan-out; leaves become the sinks.
+ServiceRequirement make_multicast_tree(const std::vector<Sid>& services,
+                                       std::size_t max_fanout, util::Rng& rng) {
+  if (max_fanout == 0)
+    throw std::invalid_argument("generate_requirement: zero multicast fan-out");
+  ServiceRequirement r;
+  std::vector<std::size_t> fanout(services.size(), 0);
+  r.add_service(services.front());
+  for (std::size_t i = 1; i < services.size(); ++i) {
+    std::vector<std::size_t> parents;
+    for (std::size_t p = 0; p < i; ++p)
+      if (fanout[p] < max_fanout) parents.push_back(p);
+    const std::size_t parent =
+        parents.empty() ? i - 1 : parents[rng.uniform_index(parents.size())];
+    ++fanout[parent];
+    r.add_edge(services[parent], services[i]);
+  }
+  return r;
+}
+
+ServiceRequirement make_generic_dag(const RequirementSpec& spec,
+                                    const std::vector<Sid>& services,
+                                    util::Rng& rng) {
+  const Sid source = services.front();
+  const Sid sink = services.back();
+  const std::vector<Sid> middle(services.begin() + 1, services.end() - 1);
+
+  // Partition the middle services into 1..3 layers of random size.
+  std::vector<std::vector<Sid>> layers;
+  std::size_t consumed = 0;
+  while (consumed < middle.size()) {
+    const std::size_t remaining = middle.size() - consumed;
+    const std::size_t width =
+        1 + rng.uniform_index(std::min<std::size_t>(remaining, 3));
+    layers.emplace_back(middle.begin() + static_cast<std::ptrdiff_t>(consumed),
+                        middle.begin() + static_cast<std::ptrdiff_t>(consumed + width));
+    consumed += width;
+  }
+  layers.insert(layers.begin(), std::vector<Sid>{source});
+  layers.push_back(std::vector<Sid>{sink});
+
+  ServiceRequirement r;
+  // Backbone: every node (except sources) gets >= 1 predecessor in the
+  // previous layer; every node (except sinks) gets >= 1 successor in the next.
+  for (std::size_t l = 0; l + 1 < layers.size(); ++l) {
+    const auto& upper = layers[l];
+    const auto& lower = layers[l + 1];
+    for (const Sid to : lower) r.add_edge(rng.pick(upper), to);
+    for (const Sid from : upper) {
+      bool has_successor = false;
+      for (const Sid to : lower)
+        if (r.contains(from) && r.contains(to) &&
+            r.dag().has_edge(r.index_of(from), r.index_of(to)))
+          has_successor = true;
+      if (!has_successor) r.add_edge(from, rng.pick(lower));
+    }
+  }
+  // Extra edges: adjacent-layer fan-in/fan-out plus occasional skip edges.
+  for (std::size_t l = 0; l + 1 < layers.size(); ++l) {
+    for (const Sid from : layers[l]) {
+      for (std::size_t m = l + 1; m < layers.size(); ++m) {
+        for (const Sid to : layers[m]) {
+          const bool adjacent = (m == l + 1);
+          const double p = adjacent ? spec.skip_edge_probability
+                                    : spec.skip_edge_probability / 2.0;
+          if (!r.dag().has_edge(r.index_of(from), r.index_of(to)) && rng.chance(p))
+            r.add_edge(from, to);
+        }
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+ServiceRequirement generate_requirement(const RequirementSpec& spec,
+                                        const std::vector<Sid>& sids,
+                                        util::Rng& rng) {
+  const std::vector<Sid> services = draw_services(spec, sids, rng);
+  ServiceRequirement r;
+  switch (spec.shape) {
+    case RequirementShape::kSinglePath:
+      r = make_single_path(services);
+      break;
+    case RequirementShape::kDisjointPaths:
+    case RequirementShape::kSplitMerge:
+      // Structurally both are source -> parallel chains -> sink; disjoint
+      // paths read the chains as independent flows, split-merge as a block.
+      r = make_branched(services, std::max<std::size_t>(2, spec.branch_count), rng);
+      break;
+    case RequirementShape::kMulticastTree:
+      r = make_multicast_tree(services, std::max<std::size_t>(2, spec.branch_count),
+                              rng);
+      break;
+    case RequirementShape::kGenericDag:
+      r = make_generic_dag(spec, services, rng);
+      break;
+  }
+  r.validate();
+  return r;
+}
+
+}  // namespace sflow::overlay

@@ -1,0 +1,48 @@
+// Random service-requirement generation for the evaluation workloads.
+//
+// The paper's §5 exercises "service requirements of any type"; the concrete
+// shapes below mirror the progression of its Figs. 1-3 and 5:
+//   kSinglePath    — Fig. 1, one chain (also the Fig. 10(b) "simple" case)
+//   kDisjointPaths — Fig. 3, parallel chains sharing only source and sink
+//   kSplitMerge    — Fig. 5/8, a split node fanning out to branches that merge
+//   kMulticastTree — §2's service multicast trees: one source, many sinks,
+//                    every intermediate service with exactly one upstream
+//   kGenericDag    — layered random DAG with skip edges: the general case
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "overlay/requirement.hpp"
+#include "util/rng.hpp"
+
+namespace sflow::overlay {
+
+enum class RequirementShape {
+  kSinglePath,
+  kDisjointPaths,
+  kSplitMerge,
+  kMulticastTree,
+  kGenericDag,
+};
+
+struct RequirementSpec {
+  RequirementShape shape = RequirementShape::kGenericDag;
+  /// Total number of required services, including source and sink(s).
+  /// Minimum 2 (source -> sink); shapes with branches need >= 4.
+  std::size_t service_count = 6;
+  /// Number of parallel branches for kDisjointPaths / kSplitMerge; maximum
+  /// fan-out per service for kMulticastTree.
+  std::size_t branch_count = 2;
+  /// Probability of an extra skip edge between non-adjacent layers
+  /// (kGenericDag only).
+  double skip_edge_probability = 0.25;
+};
+
+/// Generates a validated requirement whose services are drawn (distinct, in
+/// random order) from `sids`.  Precondition: sids.size() >= spec.service_count.
+ServiceRequirement generate_requirement(const RequirementSpec& spec,
+                                        const std::vector<Sid>& sids,
+                                        util::Rng& rng);
+
+}  // namespace sflow::overlay

@@ -1,0 +1,107 @@
+#include "overlay/requirement_parser.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace sflow::overlay {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t begin = 0;
+  std::size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) --end;
+  return s.substr(begin, end - begin);
+}
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& message) {
+  std::ostringstream os;
+  os << "parse_requirement: line " << line_no << ": " << message;
+  throw std::invalid_argument(os.str());
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (const char c : s) {
+    if (c == sep) {
+      parts.push_back(trim(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  parts.push_back(trim(current));
+  return parts;
+}
+
+bool valid_name(const std::string& name) {
+  if (name.empty()) return false;
+  for (const char c : name)
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' && c != '-')
+      return false;
+  return true;
+}
+
+}  // namespace
+
+ServiceRequirement parse_requirement(const std::string& text,
+                                     ServiceCatalog& catalog) {
+  ServiceRequirement requirement;
+  std::istringstream stream(text);
+  std::string raw;
+  std::size_t line_no = 0;
+
+  while (std::getline(stream, raw)) {
+    ++line_no;
+    std::string line = trim(raw);
+    if (const auto hash = line.find('#'); hash != std::string::npos)
+      line = trim(line.substr(0, hash));
+    if (line.empty()) continue;
+
+    if (line.rfind("pin ", 0) == 0) {
+      const auto at = line.find('@');
+      if (at == std::string::npos) fail(line_no, "pin requires '@ <nid>'");
+      const std::string name = trim(line.substr(4, at - 4));
+      if (!valid_name(name)) fail(line_no, "bad service name in pin");
+      const std::string nid_text = trim(line.substr(at + 1));
+      int nid = 0;
+      try {
+        std::size_t consumed = 0;
+        nid = std::stoi(nid_text, &consumed);
+        if (consumed != nid_text.size()) throw std::invalid_argument("trailing");
+      } catch (const std::exception&) {
+        fail(line_no, "bad NID in pin: '" + nid_text + "'");
+      }
+      if (nid < 0) fail(line_no, "negative NID in pin");
+      const Sid sid = catalog.intern(name);
+      if (!requirement.contains(sid))
+        fail(line_no, "pin on service not mentioned by any edge: " + name);
+      requirement.pin(sid, static_cast<net::Nid>(nid));
+      continue;
+    }
+
+    const auto arrow = line.find("->");
+    if (arrow == std::string::npos) fail(line_no, "expected '->' or 'pin'");
+    const std::string from_name = trim(line.substr(0, arrow));
+    if (!valid_name(from_name)) fail(line_no, "bad source name '" + from_name + "'");
+    const Sid from = catalog.intern(from_name);
+
+    const std::string rhs = trim(line.substr(arrow + 2));
+    if (rhs.empty()) fail(line_no, "missing edge target");
+    for (const std::string& to_name : split(rhs, ',')) {
+      if (!valid_name(to_name)) fail(line_no, "bad target name '" + to_name + "'");
+      const Sid to = catalog.intern(to_name);
+      if (from == to) fail(line_no, "self edge on '" + from_name + "'");
+      requirement.add_edge(from, to);
+    }
+  }
+
+  requirement.validate();
+  return requirement;
+}
+
+}  // namespace sflow::overlay

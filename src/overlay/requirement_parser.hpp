@@ -1,0 +1,23 @@
+// A small text format for service requirements, used by the examples.
+//
+// Grammar (line-oriented):
+//   # comment                      -- ignored, as are blank lines
+//   A -> B                         -- requirement edge
+//   A -> B, C, D                   -- fan-out shorthand (A->B, A->C, A->D)
+//   pin A @ 7                      -- pin service A to underlay node 7
+//
+// Service names are interned into the supplied catalog.
+#pragma once
+
+#include <string>
+
+#include "overlay/requirement.hpp"
+#include "overlay/service.hpp"
+
+namespace sflow::overlay {
+
+/// Parses `text` into a requirement.  Throws std::invalid_argument with a
+/// line-numbered message on syntax errors; the result is validate()d.
+ServiceRequirement parse_requirement(const std::string& text, ServiceCatalog& catalog);
+
+}  // namespace sflow::overlay

@@ -1,0 +1,111 @@
+#include "overlay/resources.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/dag.hpp"
+
+namespace sflow::overlay {
+
+namespace {
+const InstanceResources kDefaultResources{};
+}  // namespace
+
+void ResourceModel::set(net::Nid nid, InstanceResources resources) {
+  if (nid < 0) throw std::invalid_argument("ResourceModel::set: bad NID");
+  if (resources.processing_latency_ms < 0.0)
+    throw std::invalid_argument("ResourceModel::set: negative processing latency");
+  if (resources.capacity_mbps <= 0.0)
+    throw std::invalid_argument("ResourceModel::set: capacity must be positive");
+  resources_[nid] = resources;
+}
+
+const InstanceResources& ResourceModel::get(net::Nid nid) const {
+  const auto it = resources_.find(nid);
+  return it == resources_.end() ? kDefaultResources : it->second;
+}
+
+ResourceModel ResourceModel::random(const OverlayGraph& overlay,
+                                    double max_processing_ms, double capacity_min,
+                                    double capacity_max, util::Rng& rng) {
+  if (max_processing_ms < 0.0 || capacity_min <= 0.0 || capacity_max < capacity_min)
+    throw std::invalid_argument("ResourceModel::random: bad parameters");
+  ResourceModel model;
+  for (const ServiceInstance& instance : overlay.instances()) {
+    model.set(instance.nid,
+              InstanceResources{rng.uniform_real(0.0, max_processing_ms),
+                                rng.uniform_real(capacity_min, capacity_max)});
+  }
+  return model;
+}
+
+namespace {
+
+/// Folds the resources of every instance along `path` except the first into
+/// a network-quality value: capacities cap the bandwidth, processing
+/// latencies add up.  (The first node's cost is attributed to the upstream
+/// edge — or, for the flow-graph source, added once at the top level.)
+graph::PathQuality fold_path_resources(const OverlayGraph& overlay,
+                                       const std::vector<OverlayIndex>& path,
+                                       graph::PathQuality quality,
+                                       const ResourceModel& resources) {
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const InstanceResources& r = resources.get(overlay.instance(path[i]).nid);
+    quality.bandwidth = std::min(quality.bandwidth, r.capacity_mbps);
+    quality.latency += r.processing_latency_ms;
+  }
+  return quality;
+}
+
+}  // namespace
+
+graph::PathQuality resource_aware_quality(const OverlayGraph& overlay,
+                                          const ServiceRequirement& requirement,
+                                          const ServiceFlowGraph& flow,
+                                          const ResourceModel& resources) {
+  requirement.validate();
+  if (!flow.complete(requirement))
+    throw std::invalid_argument("resource_aware_quality: incomplete flow graph");
+
+  double bottleneck = std::numeric_limits<double>::infinity();
+  graph::Digraph weighted(requirement.dag().node_count());
+  for (const graph::Edge& e : requirement.dag().edges()) {
+    const FlowEdge* fe =
+        flow.find_edge(requirement.sid_of(e.from), requirement.sid_of(e.to));
+    // Recompute the network quality from the realized path rather than
+    // trusting the stored value: flow graphs built with the resource-aware
+    // quality function store already-folded values, and folding twice would
+    // double-count processing latency.
+    const graph::PathQuality network =
+        graph::path_quality(overlay.graph(), fe->overlay_path);
+    if (network.is_unreachable())
+      throw std::invalid_argument(
+          "resource_aware_quality: realized path missing from overlay");
+    const graph::PathQuality q =
+        fold_path_resources(overlay, fe->overlay_path, network, resources);
+    bottleneck = std::min(bottleneck, q.bandwidth);
+    weighted.add_edge(e.from, e.to, graph::LinkMetrics{1.0, q.latency});
+  }
+
+  // The source instance processes the stream once, before any edge.
+  const Sid source = requirement.source();
+  const InstanceResources& at_source =
+      resources.get(overlay.instance(*flow.assignment(source)).nid);
+  bottleneck = std::min(bottleneck, at_source.capacity_mbps);
+  const double latency =
+      at_source.processing_latency_ms + graph::critical_path_latency(weighted);
+  return {bottleneck, latency};
+}
+
+ResourceQualityFn resource_aware_edge_quality(
+    const OverlayGraph& overlay, const graph::AllPairsShortestWidest& routing,
+    const ResourceModel& resources) {
+  return [&overlay, &routing, &resources](Sid, OverlayIndex u, Sid,
+                                          OverlayIndex v) -> graph::PathQuality {
+    const auto path = routing.path(u, v);
+    if (!path) return graph::PathQuality::unreachable();
+    return fold_path_resources(overlay, *path, routing.quality(u, v), resources);
+  };
+}
+
+}  // namespace sflow::overlay

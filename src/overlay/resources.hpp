@@ -1,0 +1,78 @@
+// Computing-resource model for service instances.
+//
+// The paper frames resource efficiency as minimizing "network and computing
+// resources" (§1); the evaluation measures the network half.  This module
+// supplies the computing half as an optional layer over the overlay: each
+// instance has a processing latency (time it adds to every stream it
+// touches) and a throughput capacity (a ceiling on the bandwidth it can
+// sustain).  Keyed by NID so the model survives overlay rebuilds and churn.
+//
+// Two uses:
+//  * resource_aware_quality — re-evaluates a finished flow graph with node
+//    resources folded in: every instance a stream traverses (assigned or
+//    bridging) caps the bottleneck with its capacity and adds its processing
+//    latency to the path.
+//  * resource_aware_edge_quality — an EdgeQualityFn wrapper that lets the
+//    exact solver optimize *with* node resources (experiment E12 asks what
+//    resource-blind selection costs).
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <map>
+
+#include "graph/qos_routing.hpp"
+#include "overlay/flow_graph.hpp"
+#include "overlay/overlay_graph.hpp"
+#include "util/rng.hpp"
+
+namespace sflow::overlay {
+
+struct InstanceResources {
+  /// Time the instance adds to every stream it processes or relays (ms).
+  double processing_latency_ms = 0.0;
+  /// Throughput ceiling (Mbps); infinity = never the bottleneck.
+  double capacity_mbps = std::numeric_limits<double>::infinity();
+};
+
+class ResourceModel {
+ public:
+  /// Sets the resources of the instance at `nid` (replacing earlier values).
+  void set(net::Nid nid, InstanceResources resources);
+
+  /// Resources of `nid`; defaults (free, unbounded) when never set.
+  const InstanceResources& get(net::Nid nid) const;
+
+  /// Random model: processing latency uniform in [0, max_processing_ms],
+  /// capacity uniform in [capacity_min, capacity_max], for every instance.
+  static ResourceModel random(const OverlayGraph& overlay, double max_processing_ms,
+                              double capacity_min, double capacity_max,
+                              util::Rng& rng);
+
+ private:
+  std::map<net::Nid, InstanceResources> resources_;
+};
+
+/// Re-evaluates a complete flow graph with computing resources folded in
+/// (see file comment).  The flow graph must be complete for `requirement`.
+graph::PathQuality resource_aware_quality(const OverlayGraph& overlay,
+                                          const ServiceRequirement& requirement,
+                                          const ServiceFlowGraph& flow,
+                                          const ResourceModel& resources);
+
+/// Same signature as core::EdgeQualityFn (kept structural so the overlay
+/// layer stays independent of core).
+using ResourceQualityFn = std::function<graph::PathQuality(
+    Sid from, OverlayIndex u, Sid to, OverlayIndex v)>;
+
+/// Wraps a network-only edge-quality/path pair so that capacity caps and
+/// processing latencies of the *target* instance and every bridging instance
+/// along the expansion are already included — plug into
+/// core::optimal_flow_graph_custom for resource-aware selection.  Path
+/// choice stays network-driven (shortest-widest); only instance selection
+/// becomes resource-aware.
+ResourceQualityFn resource_aware_edge_quality(
+    const OverlayGraph& overlay, const graph::AllPairsShortestWidest& routing,
+    const ResourceModel& resources);
+
+}  // namespace sflow::overlay

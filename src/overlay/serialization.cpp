@@ -1,0 +1,230 @@
+#include "overlay/serialization.hpp"
+
+#include <cctype>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace sflow::overlay {
+
+namespace {
+
+[[noreturn]] void fail(const char* what, std::size_t line_no,
+                       const std::string& message) {
+  std::ostringstream os;
+  os << what << ": line " << line_no << ": " << message;
+  throw std::invalid_argument(os.str());
+}
+
+/// Strips comments/whitespace and splits into whitespace-separated tokens.
+std::vector<std::string> tokenize(const std::string& raw) {
+  std::string line = raw;
+  if (const auto hash = line.find('#'); hash != std::string::npos)
+    line = line.substr(0, hash);
+  std::istringstream stream(line);
+  std::vector<std::string> tokens;
+  std::string token;
+  while (stream >> token) tokens.push_back(token);
+  return tokens;
+}
+
+double parse_double(const char* what, std::size_t line_no, const std::string& s) {
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(s, &consumed);
+    if (consumed != s.size()) throw std::invalid_argument("trailing");
+    return value;
+  } catch (const std::exception&) {
+    fail(what, line_no, "bad number '" + s + "'");
+  }
+}
+
+long parse_long(const char* what, std::size_t line_no, const std::string& s) {
+  try {
+    std::size_t consumed = 0;
+    const long value = std::stol(s, &consumed);
+    if (consumed != s.size()) throw std::invalid_argument("trailing");
+    return value;
+  } catch (const std::exception&) {
+    fail(what, line_no, "bad integer '" + s + "'");
+  }
+}
+
+/// Numbers are emitted with max_digits10 so round trips are exact.
+std::string fmt(double value) {
+  std::ostringstream os;
+  os << std::setprecision(17) << value;
+  return os.str();
+}
+
+}  // namespace
+
+std::string format_requirement(const ServiceRequirement& requirement,
+                               const ServiceCatalog& catalog) {
+  std::ostringstream os;
+  os << "# service requirement (" << requirement.service_count() << " services)\n";
+  for (const graph::Edge& e : requirement.dag().edges())
+    os << catalog.name(requirement.sid_of(e.from)) << " -> "
+       << catalog.name(requirement.sid_of(e.to)) << "\n";
+  for (const auto& [sid, nid] : requirement.pins())
+    os << "pin " << catalog.name(sid) << " @ " << nid << "\n";
+  return os.str();
+}
+
+std::string format_bundle(const OverlayBundle& bundle,
+                          const ServiceCatalog& catalog) {
+  std::ostringstream os;
+  os << "# underlay\n";
+  for (std::size_t v = 0; v < bundle.underlay.node_count(); ++v) {
+    const net::NodeSite& site = bundle.underlay.site(static_cast<net::Nid>(v));
+    os << "node " << v << ' ' << fmt(site.x) << ' ' << fmt(site.y) << "\n";
+  }
+  for (const graph::Edge& e : bundle.underlay.graph().edges()) {
+    if (e.from > e.to) continue;  // symmetric links stored once
+    os << "link " << e.from << ' ' << e.to << ' ' << fmt(e.metrics.bandwidth)
+       << ' ' << fmt(e.metrics.latency) << "\n";
+  }
+  os << "# overlay\n";
+  for (const ServiceInstance& instance : bundle.overlay.instances())
+    os << "instance " << catalog.name(instance.sid) << " @ " << instance.nid
+       << "\n";
+  for (const graph::Edge& e : bundle.overlay.graph().edges())
+    os << "slink " << bundle.overlay.instance(e.from).nid << " -> "
+       << bundle.overlay.instance(e.to).nid << ' ' << fmt(e.metrics.bandwidth)
+       << ' ' << fmt(e.metrics.latency) << "\n";
+  return os.str();
+}
+
+OverlayBundle parse_bundle(const std::string& text, ServiceCatalog& catalog) {
+  constexpr const char* kWhat = "parse_bundle";
+  OverlayBundle bundle;
+  std::istringstream stream(text);
+  std::string raw;
+  std::size_t line_no = 0;
+  long next_nid = 0;
+
+  while (std::getline(stream, raw)) {
+    ++line_no;
+    const std::vector<std::string> tokens = tokenize(raw);
+    if (tokens.empty()) continue;
+    const std::string& kind = tokens.front();
+
+    if (kind == "node") {
+      if (tokens.size() != 4) fail(kWhat, line_no, "node <nid> <x> <y>");
+      const long nid = parse_long(kWhat, line_no, tokens[1]);
+      if (nid != next_nid)
+        fail(kWhat, line_no, "node ids must be dense and in order");
+      ++next_nid;
+      bundle.underlay.add_node(net::NodeSite{
+          parse_double(kWhat, line_no, tokens[2]),
+          parse_double(kWhat, line_no, tokens[3])});
+    } else if (kind == "link") {
+      if (tokens.size() != 5) fail(kWhat, line_no, "link <a> <b> <bw> <lat>");
+      const long a = parse_long(kWhat, line_no, tokens[1]);
+      const long b = parse_long(kWhat, line_no, tokens[2]);
+      if (a < 0 || b < 0 || a >= next_nid || b >= next_nid)
+        fail(kWhat, line_no, "link references unknown node");
+      bundle.underlay.add_link(static_cast<net::Nid>(a), static_cast<net::Nid>(b),
+                               parse_double(kWhat, line_no, tokens[3]),
+                               parse_double(kWhat, line_no, tokens[4]));
+    } else if (kind == "instance") {
+      if (tokens.size() != 4 || tokens[2] != "@")
+        fail(kWhat, line_no, "instance <Service> @ <nid>");
+      const long nid = parse_long(kWhat, line_no, tokens[3]);
+      if (nid < 0 || nid >= next_nid)
+        fail(kWhat, line_no, "instance on unknown node");
+      bundle.overlay.add_instance(catalog.intern(tokens[1]),
+                                  static_cast<net::Nid>(nid));
+    } else if (kind == "slink") {
+      if (tokens.size() != 6 || tokens[2] != "->")
+        fail(kWhat, line_no, "slink <nidA> -> <nidB> <bw> <lat>");
+      const long a = parse_long(kWhat, line_no, tokens[1]);
+      const long b = parse_long(kWhat, line_no, tokens[3]);
+      const auto from = bundle.overlay.instance_at(static_cast<net::Nid>(a));
+      const auto to = bundle.overlay.instance_at(static_cast<net::Nid>(b));
+      if (!from || !to) fail(kWhat, line_no, "slink endpoint hosts no instance");
+      bundle.overlay.add_link(*from, *to,
+                              {parse_double(kWhat, line_no, tokens[4]),
+                               parse_double(kWhat, line_no, tokens[5])});
+    } else {
+      fail(kWhat, line_no, "unknown directive '" + kind + "'");
+    }
+  }
+  return bundle;
+}
+
+std::string format_flow_graph(const ServiceFlowGraph& flow,
+                              const OverlayGraph& overlay,
+                              const ServiceCatalog& catalog) {
+  std::ostringstream os;
+  os << "# service flow graph\n";
+  for (const auto& [sid, instance] : flow.assignments())
+    os << "assign " << catalog.name(sid) << " @ " << overlay.instance(instance).nid
+       << "\n";
+  for (const FlowEdge& e : flow.edges()) {
+    os << "edge " << catalog.name(e.from_sid) << " -> " << catalog.name(e.to_sid)
+       << " via";
+    for (const OverlayIndex v : e.overlay_path)
+      os << ' ' << overlay.instance(v).nid;
+    os << " bw " << fmt(e.quality.bandwidth) << " lat " << fmt(e.quality.latency)
+       << "\n";
+  }
+  return os.str();
+}
+
+ServiceFlowGraph parse_flow_graph(const std::string& text,
+                                  const OverlayGraph& overlay,
+                                  ServiceCatalog& catalog) {
+  constexpr const char* kWhat = "parse_flow_graph";
+  ServiceFlowGraph flow;
+  std::istringstream stream(text);
+  std::string raw;
+  std::size_t line_no = 0;
+
+  const auto instance_of = [&](const std::string& nid_text,
+                               std::size_t line) -> OverlayIndex {
+    const long nid = parse_long(kWhat, line, nid_text);
+    const auto instance = overlay.instance_at(static_cast<net::Nid>(nid));
+    if (!instance) fail(kWhat, line, "node " + nid_text + " hosts no instance");
+    return *instance;
+  };
+
+  while (std::getline(stream, raw)) {
+    ++line_no;
+    const std::vector<std::string> tokens = tokenize(raw);
+    if (tokens.empty()) continue;
+    const std::string& kind = tokens.front();
+
+    if (kind == "assign") {
+      if (tokens.size() != 4 || tokens[2] != "@")
+        fail(kWhat, line_no, "assign <Service> @ <nid>");
+      const Sid sid = catalog.intern(tokens[1]);
+      const OverlayIndex instance = instance_of(tokens[3], line_no);
+      if (overlay.instance(instance).sid != sid)
+        fail(kWhat, line_no, "node does not host service " + tokens[1]);
+      flow.assign(sid, instance);
+    } else if (kind == "edge") {
+      // edge <From> -> <To> via <nid>... bw <x> lat <y>
+      if (tokens.size() < 10 || tokens[2] != "->" || tokens[4] != "via")
+        fail(kWhat, line_no, "edge <From> -> <To> via <nids> bw <x> lat <y>");
+      const Sid from = catalog.intern(tokens[1]);
+      const Sid to = catalog.intern(tokens[3]);
+      const std::size_t bw_at = tokens.size() - 4;
+      if (tokens[bw_at] != "bw" || tokens[bw_at + 2] != "lat")
+        fail(kWhat, line_no, "expected trailing 'bw <x> lat <y>'");
+      std::vector<OverlayIndex> path;
+      for (std::size_t i = 5; i < bw_at; ++i)
+        path.push_back(instance_of(tokens[i], line_no));
+      if (path.size() < 2) fail(kWhat, line_no, "path needs >= 2 nodes");
+      flow.set_edge(from, to, std::move(path),
+                    {parse_double(kWhat, line_no, tokens[bw_at + 1]),
+                     parse_double(kWhat, line_no, tokens[bw_at + 3])});
+    } else {
+      fail(kWhat, line_no, "unknown directive '" + kind + "'");
+    }
+  }
+  return flow;
+}
+
+}  // namespace sflow::overlay

@@ -1,0 +1,61 @@
+// Round-trippable text serialization for the model types.
+//
+// Three line-oriented formats, all sharing the requirement parser's lexical
+// conventions (# comments, blank lines ignored):
+//
+//  requirement  —  the format of overlay/requirement_parser.hpp;
+//                  format_requirement() emits it back (round trip).
+//
+//  bundle       —  an underlay plus the overlay living on it:
+//                    node <nid> <x> <y>
+//                    link <a> <b> <bandwidth> <latency>
+//                    instance <ServiceName> @ <nid>
+//                    slink <nidA> -> <nidB> <bandwidth> <latency>
+//                  Node lines must precede the links that use them;
+//                  instances must precede their service links.
+//
+//  flow graph   —  a federation result, instance identity by NID so the text
+//                  is stable across overlay rebuilds:
+//                    assign <ServiceName> @ <nid>
+//                    edge <From> -> <To> via <nid> <nid> ... bw <x> lat <y>
+//
+// Parsers throw std::invalid_argument with a line-numbered message on any
+// syntax or referential error; every emitted document parses back to an
+// equal value (tested).
+#pragma once
+
+#include <string>
+
+#include "net/topology.hpp"
+#include "overlay/flow_graph.hpp"
+#include "overlay/overlay_graph.hpp"
+#include "overlay/requirement.hpp"
+#include "overlay/service.hpp"
+
+namespace sflow::overlay {
+
+/// Emits `requirement` in the requirement-parser format.
+std::string format_requirement(const ServiceRequirement& requirement,
+                               const ServiceCatalog& catalog);
+
+/// An underlay and its overlay, together.
+struct OverlayBundle {
+  net::UnderlyingNetwork underlay;
+  OverlayGraph overlay;
+};
+
+std::string format_bundle(const OverlayBundle& bundle, const ServiceCatalog& catalog);
+
+/// Parses a bundle; service names are interned into `catalog`.
+OverlayBundle parse_bundle(const std::string& text, ServiceCatalog& catalog);
+
+std::string format_flow_graph(const ServiceFlowGraph& flow,
+                              const OverlayGraph& overlay,
+                              const ServiceCatalog& catalog);
+
+/// Parses a flow graph against `overlay` (NIDs must host matching services).
+ServiceFlowGraph parse_flow_graph(const std::string& text,
+                                  const OverlayGraph& overlay,
+                                  ServiceCatalog& catalog);
+
+}  // namespace sflow::overlay

@@ -1,0 +1,29 @@
+#include "overlay/service.hpp"
+
+#include <stdexcept>
+
+namespace sflow::overlay {
+
+Sid ServiceCatalog::intern(const std::string& name) {
+  if (name.empty()) throw std::invalid_argument("ServiceCatalog: empty name");
+  const auto it = by_name_.find(name);
+  if (it != by_name_.end()) return it->second;
+  const Sid sid = static_cast<Sid>(names_.size());
+  names_.push_back(name);
+  by_name_.emplace(name, sid);
+  return sid;
+}
+
+std::optional<Sid> ServiceCatalog::find(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& ServiceCatalog::name(Sid sid) const {
+  if (sid < 0 || static_cast<std::size_t>(sid) >= names_.size())
+    throw std::invalid_argument("ServiceCatalog::name: unknown SID");
+  return names_[static_cast<std::size_t>(sid)];
+}
+
+}  // namespace sflow::overlay

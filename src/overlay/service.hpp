@@ -1,0 +1,52 @@
+// The service model: SIDs, service catalogs, and service instances.
+//
+// Following §2.2 of the paper, services are identified by a service identifier
+// (SID) rather than a name, a service may have many *instances* (e.g. Delta
+// and Northwest are both instances of the Airline service), and each instance
+// lives on an underlay node identified by its NID.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace sflow::overlay {
+
+/// Service identifier — the paper's SID.
+using Sid = std::int32_t;
+
+inline constexpr Sid kInvalidSid = -1;
+
+/// A deployed instance of a service: SID placed at underlay node NID.
+struct ServiceInstance {
+  Sid sid = kInvalidSid;
+  net::Nid nid = graph::kInvalidNode;
+
+  friend bool operator==(const ServiceInstance&, const ServiceInstance&) = default;
+};
+
+/// Bidirectional name <-> SID registry.  Purely cosmetic — all algorithms work
+/// on SIDs — but examples and the requirement parser use names.
+class ServiceCatalog {
+ public:
+  /// Returns the SID for `name`, registering it on first use.
+  Sid intern(const std::string& name);
+
+  /// SID of an already-registered name, or nullopt.
+  std::optional<Sid> find(const std::string& name) const;
+
+  /// Name of a registered SID.  Precondition: sid was produced by intern().
+  const std::string& name(Sid sid) const;
+
+  std::size_t size() const noexcept { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, Sid> by_name_;
+};
+
+}  // namespace sflow::overlay

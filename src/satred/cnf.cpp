@@ -1,0 +1,67 @@
+#include "satred/cnf.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace sflow::sat {
+
+void CnfFormula::add_clause(Clause clause) {
+  if (clause.empty()) throw std::invalid_argument("CnfFormula: empty clause");
+  for (const Literal lit : clause) {
+    const std::int32_t v = var_of(lit);
+    if (v < 1 || v > variable_count_)
+      throw std::invalid_argument("CnfFormula: literal out of range");
+    if (std::find(clause.begin(), clause.end(), negate(lit)) != clause.end())
+      throw std::invalid_argument("CnfFormula: tautological clause");
+  }
+  clauses_.push_back(std::move(clause));
+}
+
+bool CnfFormula::satisfied_by(const Assignment& assignment) const {
+  if (assignment.size() != static_cast<std::size_t>(variable_count_) + 1)
+    throw std::invalid_argument("CnfFormula::satisfied_by: assignment size");
+  for (const Clause& clause : clauses_) {
+    bool satisfied = false;
+    for (const Literal lit : clause) {
+      const bool value = assignment[static_cast<std::size_t>(var_of(lit))];
+      if (value == is_positive(lit)) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) return false;
+  }
+  return true;
+}
+
+std::string CnfFormula::to_dimacs() const {
+  std::ostringstream os;
+  os << "p cnf " << variable_count_ << ' ' << clauses_.size() << '\n';
+  for (const Clause& clause : clauses_) {
+    for (const Literal lit : clause) os << lit << ' ';
+    os << "0\n";
+  }
+  return os.str();
+}
+
+CnfFormula random_ksat(std::int32_t variable_count, std::size_t clause_count,
+                       std::size_t k, util::Rng& rng) {
+  if (variable_count < 1)
+    throw std::invalid_argument("random_ksat: need >= 1 variable");
+  if (k == 0 || k > static_cast<std::size_t>(variable_count))
+    throw std::invalid_argument("random_ksat: bad clause width");
+  CnfFormula formula(variable_count);
+  for (std::size_t c = 0; c < clause_count; ++c) {
+    Clause clause;
+    for (const std::size_t idx :
+         rng.sample_indices(static_cast<std::size_t>(variable_count), k)) {
+      const auto variable = static_cast<Literal>(idx + 1);
+      clause.push_back(rng.chance(0.5) ? variable : negate(variable));
+    }
+    formula.add_clause(std::move(clause));
+  }
+  return formula;
+}
+
+}  // namespace sflow::sat

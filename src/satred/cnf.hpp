@@ -1,0 +1,66 @@
+// CNF formulas, DIMACS-style literals, and random instance generation.
+//
+// Backing for §3.2 of the paper: the NP-completeness of the Maximum Service
+// Flow Graph Problem is proved by reduction from SAT; this module provides
+// the SAT side (formulas + a DPLL solver in dpll.hpp) so the reduction in
+// satred/reduction.hpp can be tested for equivalence on random instances.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace sflow::sat {
+
+/// DIMACS literal: +v for variable v, -v for its negation; variables 1-based.
+using Literal = std::int32_t;
+
+inline constexpr std::int32_t var_of(Literal lit) noexcept {
+  return lit > 0 ? lit : -lit;
+}
+inline constexpr bool is_positive(Literal lit) noexcept { return lit > 0; }
+inline constexpr Literal negate(Literal lit) noexcept { return -lit; }
+
+using Clause = std::vector<Literal>;
+
+/// Truth assignment; index 0 unused (variables are 1-based).
+using Assignment = std::vector<bool>;
+
+class CnfFormula {
+ public:
+  CnfFormula() = default;
+  explicit CnfFormula(std::int32_t variable_count) : variable_count_(variable_count) {
+    if (variable_count < 0)
+      throw std::invalid_argument("CnfFormula: negative variable count");
+  }
+
+  /// Adds a clause; literals must reference variables in [1, variable_count],
+  /// the clause must be non-empty and must not contain both a literal and its
+  /// negation (such tautologies are rejected to keep instances meaningful).
+  void add_clause(Clause clause);
+
+  std::int32_t variable_count() const noexcept { return variable_count_; }
+  std::size_t clause_count() const noexcept { return clauses_.size(); }
+  const std::vector<Clause>& clauses() const noexcept { return clauses_; }
+  const Clause& clause(std::size_t i) const { return clauses_.at(i); }
+
+  /// True when `assignment` satisfies every clause.  Precondition:
+  /// assignment.size() == variable_count + 1.
+  bool satisfied_by(const Assignment& assignment) const;
+
+  std::string to_dimacs() const;
+
+ private:
+  std::int32_t variable_count_ = 0;
+  std::vector<Clause> clauses_;
+};
+
+/// Uniform random k-SAT: `clause_count` clauses of exactly `k` distinct
+/// variables each, random polarity.
+CnfFormula random_ksat(std::int32_t variable_count, std::size_t clause_count,
+                       std::size_t k, util::Rng& rng);
+
+}  // namespace sflow::sat

@@ -1,0 +1,132 @@
+#include "satred/dpll.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace sflow::sat {
+
+namespace {
+
+enum class Value : std::uint8_t { kUnset, kTrue, kFalse };
+
+struct Solver {
+  const CnfFormula& formula;
+  std::vector<Value> values;  // 1-based
+  std::size_t decisions = 0;
+
+  explicit Solver(const CnfFormula& f)
+      : formula(f),
+        values(static_cast<std::size_t>(f.variable_count()) + 1, Value::kUnset) {}
+
+  Value literal_value(Literal lit) const {
+    const Value v = values[static_cast<std::size_t>(var_of(lit))];
+    if (v == Value::kUnset) return Value::kUnset;
+    const bool truth = (v == Value::kTrue) == is_positive(lit);
+    return truth ? Value::kTrue : Value::kFalse;
+  }
+
+  /// Unit propagation to fixpoint.  Returns false on conflict; records the
+  /// variables it set in `trail` so the caller can undo them.
+  bool propagate(std::vector<std::int32_t>& trail) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const Clause& clause : formula.clauses()) {
+        Literal unit = 0;
+        bool satisfied = false;
+        std::size_t unset = 0;
+        for (const Literal lit : clause) {
+          switch (literal_value(lit)) {
+            case Value::kTrue:
+              satisfied = true;
+              break;
+            case Value::kUnset:
+              ++unset;
+              unit = lit;
+              break;
+            case Value::kFalse:
+              break;
+          }
+          if (satisfied) break;
+        }
+        if (satisfied) continue;
+        if (unset == 0) return false;  // conflict: clause fully falsified
+        if (unset == 1) {
+          assign(unit, trail);
+          changed = true;
+        }
+      }
+    }
+    return true;
+  }
+
+  void assign(Literal lit, std::vector<std::int32_t>& trail) {
+    values[static_cast<std::size_t>(var_of(lit))] =
+        is_positive(lit) ? Value::kTrue : Value::kFalse;
+    trail.push_back(var_of(lit));
+  }
+
+  void undo(const std::vector<std::int32_t>& trail) {
+    for (const std::int32_t v : trail) values[static_cast<std::size_t>(v)] = Value::kUnset;
+  }
+
+  /// Picks the unset variable occurring in the most unsatisfied clauses.
+  Literal choose_branch() const {
+    std::vector<std::size_t> score(values.size(), 0);
+    for (const Clause& clause : formula.clauses()) {
+      bool satisfied = false;
+      for (const Literal lit : clause)
+        if (literal_value(lit) == Value::kTrue) {
+          satisfied = true;
+          break;
+        }
+      if (satisfied) continue;
+      for (const Literal lit : clause)
+        if (literal_value(lit) == Value::kUnset)
+          ++score[static_cast<std::size_t>(var_of(lit))];
+    }
+    std::int32_t best = 0;
+    for (std::size_t v = 1; v < values.size(); ++v)
+      if (values[v] == Value::kUnset &&
+          (best == 0 || score[v] > score[static_cast<std::size_t>(best)]))
+        best = static_cast<std::int32_t>(v);
+    return best;  // 0 when everything is assigned
+  }
+
+  bool solve() {
+    std::vector<std::int32_t> trail;
+    if (!propagate(trail)) {
+      undo(trail);
+      return false;
+    }
+    const Literal branch = choose_branch();
+    if (branch == 0) return true;  // all assigned, no conflict => satisfied
+    for (const Literal lit : {branch, negate(branch)}) {
+      ++decisions;
+      std::vector<std::int32_t> branch_trail;
+      assign(lit, branch_trail);
+      if (solve()) return true;
+      undo(branch_trail);
+    }
+    undo(trail);
+    return false;
+  }
+};
+
+}  // namespace
+
+DpllResult dpll_solve(const CnfFormula& formula) {
+  Solver solver(formula);
+  DpllResult result;
+  result.satisfiable = solver.solve();
+  result.decisions = solver.decisions;
+  if (result.satisfiable) {
+    result.assignment.assign(static_cast<std::size_t>(formula.variable_count()) + 1,
+                             false);
+    for (std::size_t v = 1; v < solver.values.size(); ++v)
+      result.assignment[v] = solver.values[v] == Value::kTrue;
+  }
+  return result;
+}
+
+}  // namespace sflow::sat

@@ -1,0 +1,25 @@
+// A compact DPLL SAT solver (unit propagation + pure-literal elimination +
+// branching), used as the ground-truth side when validating the Theorem 1
+// reduction.  Instances in this repository are tiny (tens of variables), so
+// clarity beats CDCL sophistication.
+#pragma once
+
+#include <optional>
+
+#include "satred/cnf.hpp"
+
+namespace sflow::sat {
+
+struct DpllResult {
+  bool satisfiable = false;
+  /// A satisfying assignment when satisfiable (unconstrained variables are
+  /// set to false); empty otherwise.
+  Assignment assignment;
+  /// Number of branching decisions explored (a work measure for benches).
+  std::size_t decisions = 0;
+};
+
+/// Decides satisfiability of `formula`.
+DpllResult dpll_solve(const CnfFormula& formula);
+
+}  // namespace sflow::sat

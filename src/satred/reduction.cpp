@@ -1,0 +1,142 @@
+#include "satred/reduction.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace sflow::sat {
+
+double MsfgInstance::weight(std::size_t g1, std::size_t i1, std::size_t g2,
+                            std::size_t i2) const {
+  if (g1 == g2) throw std::invalid_argument("MsfgInstance::weight: same group");
+  const Literal a = groups.at(g1).at(i1);
+  const Literal b = groups.at(g2).at(i2);
+  return a == negate(b) ? 1.0 : 2.0;
+}
+
+std::size_t MsfgInstance::node_count() const {
+  std::size_t n = 0;
+  for (const auto& group : groups) n += group.size();
+  return n;
+}
+
+graph::Digraph MsfgInstance::to_digraph() const {
+  graph::Digraph g(node_count());
+  std::vector<std::size_t> offset(groups.size(), 0);
+  for (std::size_t i = 1; i < groups.size(); ++i)
+    offset[i] = offset[i - 1] + groups[i - 1].size();
+
+  for (std::size_t ga = 0; ga < groups.size(); ++ga) {
+    for (std::size_t gb = ga + 1; gb < groups.size(); ++gb) {
+      for (std::size_t a = 0; a < groups[ga].size(); ++a) {
+        for (std::size_t b = 0; b < groups[gb].size(); ++b) {
+          g.add_edge(static_cast<graph::NodeIndex>(offset[ga] + a),
+                     static_cast<graph::NodeIndex>(offset[gb] + b),
+                     graph::LinkMetrics{weight(ga, a, gb, b), 1.0});
+        }
+      }
+    }
+  }
+  return g;
+}
+
+MsfgInstance reduce_sat_to_msfg(const CnfFormula& formula) {
+  if (formula.clause_count() == 0)
+    throw std::invalid_argument("reduce_sat_to_msfg: formula has no clauses");
+  MsfgInstance instance;
+  instance.groups.reserve(formula.clause_count());
+  for (const Clause& clause : formula.clauses()) instance.groups.push_back(clause);
+  instance.threshold = 2.0;
+  return instance;
+}
+
+namespace {
+
+/// Selecting one instance per group so that no two selected literals are
+/// complementary constrains only the *polarity* of each variable, so the
+/// search runs over polarity assignments (<= 2^variables states) instead of
+/// raw group selections (exponential in the group count): a group with an
+/// already-agreeing literal is satisfied for free; otherwise we branch on
+/// the polarities its literals would set.  This mirrors DPLL's
+/// satisfied-clause skip and keeps worst-case work bounded by the variable
+/// count — the naive per-group backtracking blows up on unsatisfiable
+/// instances near the phase transition.
+struct MsfgSearch {
+  const MsfgInstance& instance;
+  std::vector<std::int8_t> polarity;  // var -> 0 unset, +1 true, -1 false
+  std::vector<std::size_t> chosen;
+
+  explicit MsfgSearch(const MsfgInstance& inst) : instance(inst) {
+    std::int32_t max_var = 0;
+    for (const auto& group : inst.groups)
+      for (const Literal lit : group) max_var = std::max(max_var, var_of(lit));
+    polarity.assign(static_cast<std::size_t>(max_var) + 1, 0);
+    chosen.assign(inst.groups.size(), 0);
+  }
+
+  std::int8_t sign_of(Literal lit) const { return is_positive(lit) ? +1 : -1; }
+
+  bool extend(std::size_t group) {
+    if (group == instance.groups.size()) return true;
+    const auto& literals = instance.groups[group];
+
+    // Free choice: some literal already agrees with the committed polarity.
+    for (std::size_t i = 0; i < literals.size(); ++i) {
+      const auto v = static_cast<std::size_t>(var_of(literals[i]));
+      if (polarity[v] == sign_of(literals[i])) {
+        chosen[group] = i;
+        return extend(group + 1);
+      }
+    }
+    // Branch on literals whose variable is still unset.
+    for (std::size_t i = 0; i < literals.size(); ++i) {
+      const auto v = static_cast<std::size_t>(var_of(literals[i]));
+      if (polarity[v] != 0) continue;  // committed to the complement
+      polarity[v] = sign_of(literals[i]);
+      chosen[group] = i;
+      if (extend(group + 1)) return true;
+      polarity[v] = 0;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::optional<MsfgSolution> solve_msfg(const MsfgInstance& instance) {
+  if (instance.groups.empty())
+    throw std::invalid_argument("solve_msfg: empty instance");
+  MsfgSearch search(instance);
+  if (!search.extend(0)) return std::nullopt;
+  std::vector<std::size_t> chosen = std::move(search.chosen);
+
+  MsfgSolution solution;
+  solution.chosen = std::move(chosen);
+  solution.min_weight = std::numeric_limits<double>::infinity();
+  for (std::size_t a = 0; a < instance.groups.size(); ++a)
+    for (std::size_t b = a + 1; b < instance.groups.size(); ++b)
+      solution.min_weight =
+          std::min(solution.min_weight,
+                   instance.weight(a, solution.chosen[a], b, solution.chosen[b]));
+  if (instance.groups.size() == 1) solution.min_weight = instance.threshold;
+  return solution;
+}
+
+Assignment decode_selection(const CnfFormula& formula, const MsfgInstance& instance,
+                            const std::vector<std::size_t>& chosen) {
+  if (chosen.size() != instance.groups.size())
+    throw std::invalid_argument("decode_selection: selection size mismatch");
+  Assignment assignment(static_cast<std::size_t>(formula.variable_count()) + 1, false);
+  std::vector<bool> forced(assignment.size(), false);
+  for (std::size_t g = 0; g < chosen.size(); ++g) {
+    const Literal lit = instance.groups[g].at(chosen[g]);
+    const auto v = static_cast<std::size_t>(var_of(lit));
+    if (forced[v] && assignment[v] != is_positive(lit))
+      throw std::invalid_argument(
+          "decode_selection: complementary literals selected together");
+    forced[v] = true;
+    assignment[v] = is_positive(lit);
+  }
+  return assignment;
+}
+
+}  // namespace sflow::sat

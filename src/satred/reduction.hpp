@@ -1,0 +1,65 @@
+// Theorem 1 of the paper: SAT reduces to the Maximum Service Flow Graph
+// Problem (MSFG), establishing its NP-completeness.
+//
+// Construction (paper §3.2, Fig. 7): each clause c_i becomes an abstract
+// service v_i whose candidate instances are the literals of c_i; every pair of
+// instances in different groups is joined by an edge directed from the lower
+// group index to the higher, of weight 1 when the two literals are
+// complementary (p and ~p) and weight >= 2 otherwise; K = 2.  A service flow
+// graph — one instance per group, inducing all inter-group edges — with
+// minimum edge weight >= K exists iff the formula is satisfiable.
+//
+// We implement the instance at the abstract level (groups + pairwise weight
+// function), an exact backtracking MSFG solver, a decoder back to a truth
+// assignment, and a materialization of the Def. 1 digraph.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "satred/cnf.hpp"
+
+namespace sflow::sat {
+
+/// A Maximum Service Flow Graph instance produced by the reduction.
+struct MsfgInstance {
+  /// groups[g][i] is the literal labelling instance i of abstract service g.
+  std::vector<std::vector<Literal>> groups;
+  /// Decision threshold K of Def. 1.
+  double threshold = 2.0;
+
+  /// Edge weight between instance i1 of group g1 and i2 of group g2
+  /// (g1 != g2): 1 for complementary literals, 2 otherwise.
+  double weight(std::size_t g1, std::size_t i1, std::size_t g2,
+                std::size_t i2) const;
+
+  /// Total candidate instances across groups.
+  std::size_t node_count() const;
+
+  /// The explicit weighted DAG of Def. 1 (edges low group -> high group;
+  /// bandwidth = weight, latency = 1).  For inspection and structural tests.
+  graph::Digraph to_digraph() const;
+};
+
+/// Builds the MSFG instance for `formula` (polynomial, per Theorem 1).
+MsfgInstance reduce_sat_to_msfg(const CnfFormula& formula);
+
+struct MsfgSolution {
+  /// chosen[g] is the selected instance index within group g.
+  std::vector<std::size_t> chosen;
+  /// Minimum edge weight over the induced flow graph (>= threshold).
+  double min_weight = 0.0;
+};
+
+/// Exact backtracking search for a flow graph with min edge weight >=
+/// instance.threshold; nullopt when none exists.
+std::optional<MsfgSolution> solve_msfg(const MsfgInstance& instance);
+
+/// Maps an MSFG solution back to a satisfying assignment of `formula`
+/// (chosen literals true, unconstrained variables false).  Throws
+/// std::invalid_argument if the selection is inconsistent.
+Assignment decode_selection(const CnfFormula& formula, const MsfgInstance& instance,
+                            const std::vector<std::size_t>& chosen);
+
+}  // namespace sflow::sat

@@ -1,0 +1,33 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace sflow::sim {
+
+void EventQueue::schedule(Time at, Action action) {
+  if (!action) throw std::invalid_argument("EventQueue::schedule: empty action");
+  if (at < now_) throw std::invalid_argument("EventQueue::schedule: time in the past");
+  heap_.push(Event{at, next_sequence_++, std::move(action)});
+}
+
+bool EventQueue::run_next() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent, so
+  // copy the small struct's action handle instead.
+  Event event = heap_.top();
+  heap_.pop();
+  now_ = event.at;
+  event.action();
+  return true;
+}
+
+std::size_t EventQueue::run_all(std::size_t max_events) {
+  std::size_t executed = 0;
+  while (executed < max_events && run_next()) ++executed;
+  if (executed == max_events && !heap_.empty())
+    throw std::runtime_error("EventQueue::run_all: event budget exhausted");
+  return executed;
+}
+
+}  // namespace sflow::sim

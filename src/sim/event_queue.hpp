@@ -1,0 +1,59 @@
+// Discrete event-driven simulation core.
+//
+// The paper's evaluation (§5) implements the algorithms on one host "while
+// all network communications are simulated using the event-driven simulation
+// methodology" — this queue is that methodology: a time-ordered schedule of
+// closures with deterministic FIFO tie-breaking at equal timestamps.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace sflow::sim {
+
+/// Simulated time in milliseconds.
+using Time = double;
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` at absolute simulated time `at` (>= now()).
+  void schedule(Time at, Action action);
+
+  /// Schedules `action` `delay` after the current time.
+  void schedule_in(Time delay, Action action) { schedule(now_ + delay, std::move(action)); }
+
+  /// Pops and executes the earliest event, advancing now().  Returns false
+  /// when the queue is empty.
+  bool run_next();
+
+  /// Runs until empty (or until `max_events`, a runaway guard).  Returns the
+  /// number of events executed.
+  std::size_t run_all(std::size_t max_events = 10'000'000);
+
+  Time now() const noexcept { return now_; }
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t pending() const noexcept { return heap_.size(); }
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t sequence;  // FIFO among equal timestamps
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  Time now_ = 0.0;
+  std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace sflow::sim

@@ -1,0 +1,81 @@
+#include "sim/simulator.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace sflow::sim {
+
+namespace {
+/// Local (same-host) handoff cost, ms.
+constexpr Time kLocalDelay = 0.01;
+}  // namespace
+
+Simulator::Simulator(const net::UnderlyingNetwork& network,
+                     const net::UnderlayRouting& routing)
+    : network_(network), routing_(routing) {}
+
+void Simulator::register_handler(net::Nid node, MessageHandler handler) {
+  if (!network_.graph().has_node(node))
+    throw std::invalid_argument("Simulator::register_handler: unknown node");
+  if (!handler)
+    throw std::invalid_argument("Simulator::register_handler: empty handler");
+  handlers_[node] = std::move(handler);
+}
+
+Time Simulator::transfer_delay(net::Nid from, net::Nid to,
+                               std::size_t size_bytes) const {
+  if (from == to) return kLocalDelay;
+  const graph::PathQuality& q = routing_.route_quality(from, to);
+  if (q.is_unreachable()) {
+    std::ostringstream os;
+    os << "Simulator: nodes " << from << " and " << to << " are disconnected";
+    throw std::invalid_argument(os.str());
+  }
+  // Propagation (route latency, ms) + transmission on the bottleneck link:
+  // bytes*8 bits over bandwidth Mbps -> microseconds-scale term in ms.
+  const double transmission_ms =
+      (static_cast<double>(size_bytes) * 8.0) / (q.bandwidth * 1e6) * 1e3;
+  return q.latency + transmission_ms;
+}
+
+void Simulator::set_message_loss(double probability, std::uint64_t seed) {
+  if (probability < 0.0 || probability >= 1.0)
+    throw std::invalid_argument("Simulator::set_message_loss: bad probability");
+  loss_probability_ = probability;
+  loss_rng_.reseed(seed);
+}
+
+void Simulator::send(Message message) {
+  if (!network_.graph().has_node(message.from) ||
+      !network_.graph().has_node(message.to))
+    throw std::invalid_argument("Simulator::send: unknown endpoint");
+  if (loss_probability_ > 0.0 && message.from != message.to &&
+      loss_rng_.chance(loss_probability_)) {
+    stats_.messages_dropped += 1;
+    return;
+  }
+  const Time delay = transfer_delay(message.from, message.to, message.size_bytes);
+  queue_.schedule_in(delay, [this, msg = std::move(message)]() {
+    const auto it = handlers_.find(msg.to);
+    if (it == handlers_.end()) {
+      std::ostringstream os;
+      os << "Simulator: message '" << msg.type << "' delivered to node " << msg.to
+         << " which has no handler";
+      throw std::logic_error(os.str());
+    }
+    stats_.messages_delivered += 1;
+    stats_.bytes_delivered += msg.size_bytes;
+    stats_.last_delivery_time = queue_.now();
+    it->second(msg);
+  });
+}
+
+void Simulator::post_local(net::Nid node, std::string type, std::any payload) {
+  send(Message{node, node, std::move(type), std::move(payload), 0});
+}
+
+std::size_t Simulator::run(std::size_t max_events) {
+  return queue_.run_all(max_events);
+}
+
+}  // namespace sflow::sim

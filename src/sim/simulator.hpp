@@ -1,0 +1,89 @@
+// Simulated message-passing network over an underlying topology.
+//
+// Overlay protocol logic (the sfederate exchange of §4) runs as per-node
+// message handlers; each send is delayed by the latency of the lowest-latency
+// physical route plus a size-dependent transmission term on that route's
+// bottleneck link.  The simulator also keeps the accounting the "agility"
+// analysis needs: message count, bytes, and the time of the last delivery.
+#pragma once
+
+#include <any>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "net/topology.hpp"
+#include "net/underlay_routing.hpp"
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace sflow::sim {
+
+/// A protocol message between two underlay nodes.  `payload` is protocol
+/// defined (std::any keeps the simulator protocol-agnostic); `size_bytes`
+/// models the wire size for transmission delay and byte accounting.
+struct Message {
+  net::Nid from = graph::kInvalidNode;
+  net::Nid to = graph::kInvalidNode;
+  std::string type;
+  std::any payload;
+  std::size_t size_bytes = 0;
+};
+
+using MessageHandler = std::function<void(const Message&)>;
+
+class Simulator {
+ public:
+  /// `routing` must outlive the simulator and belong to `network`.
+  Simulator(const net::UnderlyingNetwork& network,
+            const net::UnderlayRouting& routing);
+
+  /// Installs the message handler of `node` (replacing any previous one).
+  void register_handler(net::Nid node, MessageHandler handler);
+
+  /// Queues a message; it is delivered after the simulated network delay.
+  /// Throws std::invalid_argument when the destination is unreachable or has
+  /// no handler at delivery time.
+  void send(Message message);
+
+  /// Enables Bernoulli message loss: every non-local send is dropped with
+  /// `probability` (deterministic given `seed`).  Local (same-node) messages
+  /// never drop.  Dropped messages appear only in stats().messages_dropped.
+  void set_message_loss(double probability, std::uint64_t seed);
+
+  /// Convenience for local work modeled as a zero-size self-message.
+  void post_local(net::Nid node, std::string type, std::any payload);
+
+  /// Schedules a bare timer `delay` ms from now (protocol timeouts).
+  void schedule(Time delay, std::function<void()> action) {
+    queue_.schedule_in(delay, std::move(action));
+  }
+
+  /// Runs to quiescence.  Returns the number of events executed.
+  std::size_t run(std::size_t max_events = 10'000'000);
+
+  Time now() const noexcept { return queue_.now(); }
+
+  struct Stats {
+    std::size_t messages_delivered = 0;
+    std::size_t bytes_delivered = 0;
+    std::size_t messages_dropped = 0;
+    Time last_delivery_time = 0.0;
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+  /// Simulated propagation + transmission delay for a message of
+  /// `size_bytes` from `from` to `to` (exposed for tests).
+  Time transfer_delay(net::Nid from, net::Nid to, std::size_t size_bytes) const;
+
+ private:
+  const net::UnderlyingNetwork& network_;
+  const net::UnderlayRouting& routing_;
+  EventQueue queue_;
+  std::unordered_map<net::Nid, MessageHandler> handlers_;
+  Stats stats_;
+  double loss_probability_ = 0.0;
+  util::Rng loss_rng_{0};
+};
+
+}  // namespace sflow::sim

@@ -1,0 +1,27 @@
+#include "util/rng.hpp"
+
+#include <numeric>
+
+namespace sflow::util {
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  if (k > n) throw std::invalid_argument("Rng::sample_indices: k > n");
+  std::vector<std::size_t> pool(n);
+  std::iota(pool.begin(), pool.end(), std::size_t{0});
+  // Partial Fisher–Yates: the first k slots become the sample.
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + uniform_index(n - i);
+    using std::swap;
+    swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream) noexcept {
+  // One SplitMix64 round over a combination that separates (base, stream) pairs.
+  std::uint64_t s = base ^ (0x9e3779b97f4a7c15ULL * (stream + 1));
+  return splitmix64(s);
+}
+
+}  // namespace sflow::util

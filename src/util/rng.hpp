@@ -1,0 +1,127 @@
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// Every stochastic component in this repository (topology generators, workload
+// generators, the `random` comparator algorithm) draws from an explicitly seeded
+// sflow::util::Rng so that a (seed, parameters) pair fully determines an
+// experiment.  The generator is xoshiro256** seeded via SplitMix64 — fast,
+// high-quality, and stable across platforms (unlike std::mt19937 distributions,
+// whose outputs are not specified bit-for-bit by the standard).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace sflow::util {
+
+/// SplitMix64 step; used for seeding and as a cheap standalone mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Deterministic xoshiro256** generator.
+///
+/// Satisfies UniformRandomBitGenerator, but prefer the member helpers
+/// (uniform_int/uniform_real/...) — they are platform-stable, while the
+/// std::<distribution> wrappers are not.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds all 256 bits of state from `seed` via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x5F100A5EEDULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).  Precondition: lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    if (lo > hi) throw std::invalid_argument("Rng::uniform_int: lo > hi");
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>((*this)());  // full range
+    // Debiased modulo (Lemire-style rejection).
+    const std::uint64_t threshold = (0 - span) % span;
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return lo + static_cast<std::int64_t>(r % span);
+    }
+  }
+
+  /// Uniform index in [0, n).  Precondition: n > 0.
+  std::size_t uniform_index(std::size_t n) {
+    if (n == 0) throw std::invalid_argument("Rng::uniform_index: n == 0");
+    return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi) {
+    if (lo > hi) throw std::invalid_argument("Rng::uniform_real: lo > hi");
+    // 53-bit mantissa construction: uniform in [0, 1).
+    const double unit = static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    return lo + unit * (hi - lo);
+  }
+
+  /// Bernoulli trial with probability p (clamped to [0, 1]).
+  bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform_real(0.0, 1.0) < p;
+  }
+
+  /// Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    if (items.empty()) throw std::invalid_argument("Rng::pick: empty vector");
+    return items[uniform_index(items.size())];
+  }
+
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      using std::swap;
+      swap(items[i - 1], items[uniform_index(i)]);
+    }
+  }
+
+  /// k distinct indices from [0, n), in random order.  Precondition: k <= n.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Derives a child seed for a named sub-experiment, so that adding one more
+/// stochastic consumer never perturbs the streams of existing ones.
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream) noexcept;
+
+}  // namespace sflow::util

@@ -1,0 +1,75 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace sflow::util {
+
+void Accumulator::add(double sample) {
+  samples_.push_back(sample);
+  sum_ += sample;
+}
+
+double Accumulator::mean() const {
+  if (samples_.empty()) throw std::logic_error("Accumulator::mean: no samples");
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double Accumulator::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double s : samples_) acc += (s - m) * (s - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double Accumulator::min() const {
+  if (samples_.empty()) throw std::logic_error("Accumulator::min: no samples");
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Accumulator::max() const {
+  if (samples_.empty()) throw std::logic_error("Accumulator::max: no samples");
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Accumulator::percentile(double p) const {
+  if (samples_.empty()) throw std::logic_error("Accumulator::percentile: no samples");
+  if (p < 0.0 || p > 100.0)
+    throw std::invalid_argument("Accumulator::percentile: p out of [0,100]");
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  if (p == 0.0) return sorted.front();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[rank - 1];
+}
+
+Accumulator& SeriesTable::row(const std::string& series, double x) {
+  return data_[series][x];
+}
+
+const Accumulator* SeriesTable::find(const std::string& series, double x) const {
+  const auto s = data_.find(series);
+  if (s == data_.end()) return nullptr;
+  const auto r = s->second.find(x);
+  return r == s->second.end() ? nullptr : &r->second;
+}
+
+std::vector<std::string> SeriesTable::series_names() const {
+  std::vector<std::string> names;
+  names.reserve(data_.size());
+  for (const auto& [name, rows] : data_) names.push_back(name);
+  return names;
+}
+
+std::vector<double> SeriesTable::x_values() const {
+  std::set<double> xs;
+  for (const auto& [name, rows] : data_)
+    for (const auto& [x, acc] : rows) xs.insert(x);
+  return {xs.begin(), xs.end()};
+}
+
+}  // namespace sflow::util

@@ -1,0 +1,56 @@
+// Small statistics toolkit used by the evaluation harness and the benches.
+//
+// Accumulator collects scalar samples and answers mean / stddev / min / max /
+// percentile queries; SeriesTable groups accumulators by (series, x) so a bench
+// can build exactly the rows a paper figure plots.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sflow::util {
+
+/// Streaming-ish accumulator.  Samples are retained so that exact percentiles
+/// can be computed; evaluation runs are small (thousands of samples at most).
+class Accumulator {
+ public:
+  void add(double sample);
+
+  std::size_t count() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+
+  double sum() const noexcept { return sum_; }
+  /// Mean of the samples.  Precondition: !empty().
+  double mean() const;
+  /// Sample standard deviation (n-1 denominator); 0 when count() < 2.
+  double stddev() const;
+  double min() const;
+  double max() const;
+  /// Exact percentile by nearest-rank, p in [0, 100].
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+  const std::vector<double>& samples() const noexcept { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+  double sum_ = 0.0;
+};
+
+/// A figure-shaped container: one named series per curve, one accumulator per
+/// x-value.  `row(series, x)` is created on demand.
+class SeriesTable {
+ public:
+  Accumulator& row(const std::string& series, double x);
+  const Accumulator* find(const std::string& series, double x) const;
+
+  std::vector<std::string> series_names() const;
+  std::vector<double> x_values() const;
+
+ private:
+  std::map<std::string, std::map<double, Accumulator>> data_;
+};
+
+}  // namespace sflow::util

@@ -1,0 +1,36 @@
+// ASCII table rendering for bench output.
+//
+// Every figure-reproduction bench prints one TablePrinter per panel so the
+// series the paper plots can be read straight off the terminal (and diffed
+// between runs).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sflow::util {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` fractional digits.
+  void add_row_numeric(const std::string& label, const std::vector<double>& values,
+                       int precision = 3);
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+  /// Formats a double with fixed precision (shared helper for benches).
+  static std::string fmt(double value, int precision = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sflow::util

@@ -1,0 +1,5 @@
+#include "util/timer.hpp"
+
+// Header-only in practice; this TU exists so the component owns a place for
+// future non-inline additions (e.g. rusage-based CPU clocks) without touching
+// the build graph.

@@ -1,0 +1,54 @@
+// Wall-clock timing used for the Fig. 10(b) computation-time experiment.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace sflow::util {
+
+/// Monotonic stopwatch with microsecond resolution.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  /// Elapsed microseconds since construction / last restart.
+  double elapsed_us() const {
+    const auto delta = clock::now() - start_;
+    return std::chrono::duration<double, std::micro>(delta).count();
+  }
+
+  double elapsed_ms() const { return elapsed_us() / 1000.0; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates timing across scattered code regions (e.g. per-node compute time
+/// in the distributed protocol, excluding simulated network delay).
+class CpuTimeAccumulator {
+ public:
+  class Scope {
+   public:
+    explicit Scope(CpuTimeAccumulator& acc) : acc_(acc) {}
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    ~Scope() { acc_.total_us_ += watch_.elapsed_us(); }
+
+   private:
+    CpuTimeAccumulator& acc_;
+    Stopwatch watch_;
+  };
+
+  Scope scope() { return Scope(*this); }
+  void add_us(double us) noexcept { total_us_ += us; }
+  double total_us() const noexcept { return total_us_; }
+  void reset() noexcept { total_us_ = 0.0; }
+
+ private:
+  double total_us_ = 0.0;
+};
+
+}  // namespace sflow::util

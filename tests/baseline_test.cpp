@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "core/baseline.hpp"
+#include "test_helpers.hpp"
+
+namespace sflow::core {
+namespace {
+
+using overlay::OverlayGraph;
+using overlay::OverlayIndex;
+using overlay::ServiceRequirement;
+using overlay::Sid;
+
+/// A 3-layer chain overlay with two instances per middle service, arranged so
+/// the optimal chain is unambiguous.
+struct ChainFixture {
+  OverlayGraph overlay;
+  ServiceRequirement requirement;
+
+  ChainFixture() {
+    overlay.add_instance(0, 0);  // source
+    overlay.add_instance(1, 1);  // narrow S1
+    overlay.add_instance(1, 2);  // wide S1
+    overlay.add_instance(2, 3);  // sink
+
+    overlay.add_link(0, 1, {10, 1});
+    overlay.add_link(1, 3, {10, 1});
+    overlay.add_link(0, 2, {30, 5});
+    overlay.add_link(2, 3, {25, 5});
+
+    requirement.add_edge(0, 1);
+    requirement.add_edge(1, 2);
+  }
+};
+
+TEST(Baseline, SelectsWidestChain) {
+  ChainFixture fx;
+  const graph::AllPairsShortestWidest routing(fx.overlay.graph());
+  const auto result = baseline_single_path(fx.overlay, fx.requirement, routing);
+  ASSERT_TRUE(result);
+  result->validate(fx.requirement, fx.overlay);
+  EXPECT_EQ(result->assignment(1), 2);  // the wide middle instance
+  EXPECT_DOUBLE_EQ(result->bottleneck_bandwidth(), 25.0);
+  EXPECT_DOUBLE_EQ(result->end_to_end_latency(fx.requirement), 10.0);
+}
+
+TEST(Baseline, RespectsPins) {
+  ChainFixture fx;
+  const graph::AllPairsShortestWidest routing(fx.overlay.graph());
+  ServiceRequirement pinned = fx.requirement;
+  pinned.pin(1, 1);  // force the narrow instance at NID 1
+  const auto result = baseline_single_path(fx.overlay, pinned, routing);
+  ASSERT_TRUE(result);
+  EXPECT_EQ(result->assignment(1), 1);
+  EXPECT_DOUBLE_EQ(result->bottleneck_bandwidth(), 10.0);
+}
+
+TEST(Baseline, SingleServiceRequirement) {
+  ChainFixture fx;
+  const graph::AllPairsShortestWidest routing(fx.overlay.graph());
+  ServiceRequirement single;
+  single.add_service(1);
+  const auto result = baseline_single_path(fx.overlay, single, routing);
+  ASSERT_TRUE(result);
+  EXPECT_TRUE(result->assignment(1).has_value());
+  EXPECT_TRUE(result->edges().empty());
+}
+
+TEST(Baseline, ReturnsNulloptWhenServiceMissing) {
+  ChainFixture fx;
+  const graph::AllPairsShortestWidest routing(fx.overlay.graph());
+  ServiceRequirement missing;
+  missing.add_edge(0, 9);
+  EXPECT_EQ(baseline_single_path(fx.overlay, missing, routing), std::nullopt);
+}
+
+TEST(Baseline, ReturnsNulloptWhenDisconnected) {
+  OverlayGraph overlay;
+  overlay.add_instance(0, 0);
+  overlay.add_instance(1, 1);  // no links at all
+  const graph::AllPairsShortestWidest routing(overlay.graph());
+  ServiceRequirement requirement;
+  requirement.add_edge(0, 1);
+  EXPECT_EQ(baseline_single_path(overlay, requirement, routing), std::nullopt);
+}
+
+TEST(Baseline, RejectsNonChainRequirements) {
+  testing::DiamondFixture fx;
+  const graph::AllPairsShortestWidest routing(fx.overlay.graph());
+  EXPECT_THROW(baseline_single_path(fx.overlay, fx.requirement, routing),
+               std::invalid_argument);
+}
+
+TEST(Baseline, UsesBridgingInstancesWhenDirectLinkIsNarrow) {
+  OverlayGraph overlay;
+  overlay.add_instance(0, 0);
+  overlay.add_instance(1, 1);
+  overlay.add_instance(2, 2);  // bridging relay, not required
+  overlay.add_link(0, 1, {2, 1});    // narrow direct link
+  overlay.add_link(0, 2, {50, 1});   // wide detour via the relay
+  overlay.add_link(2, 1, {50, 1});
+
+  const graph::AllPairsShortestWidest routing(overlay.graph());
+  ServiceRequirement requirement;
+  requirement.add_edge(0, 1);
+  const auto result = baseline_single_path(overlay, requirement, routing);
+  ASSERT_TRUE(result);
+  const overlay::FlowEdge* e = result->find_edge(0, 1);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->overlay_path, (std::vector<OverlayIndex>{0, 2, 1}));
+  EXPECT_DOUBLE_EQ(e->quality.bandwidth, 50.0);
+}
+
+/// Property sweep: on random chain workloads the baseline must achieve
+/// exactly the brute-force optimal quality (Table 1 is exact for chains).
+class BaselineRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BaselineRandom, MatchesBruteForceOnChains) {
+  core::WorkloadParams params = testing::small_workload(12);
+  params.requirement.shape = overlay::RequirementShape::kSinglePath;
+  params.requirement.service_count = 4;
+  const Scenario scenario = make_scenario(params, GetParam());
+
+  const auto result = baseline_single_path(scenario.overlay, scenario.requirement,
+                                           *scenario.overlay_routing);
+  const graph::PathQuality oracle = testing::brute_force_best_quality(
+      scenario.overlay, scenario.requirement, *scenario.overlay_routing);
+
+  ASSERT_TRUE(result);
+  ASSERT_FALSE(oracle.is_unreachable());
+  result->validate(scenario.requirement, scenario.overlay);
+  EXPECT_DOUBLE_EQ(result->bottleneck_bandwidth(), oracle.bandwidth);
+  EXPECT_DOUBLE_EQ(result->end_to_end_latency(scenario.requirement),
+                   oracle.latency);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BaselineRandom,
+                         ::testing::Range<std::uint64_t>(0, 15));
+
+}  // namespace
+}  // namespace sflow::core

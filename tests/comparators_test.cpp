@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/comparators.hpp"
+#include "core/global_optimal.hpp"
+#include "test_helpers.hpp"
+
+namespace sflow::core {
+namespace {
+
+using overlay::ServiceRequirement;
+
+class ComparatorsTest : public ::testing::Test {
+ protected:
+  testing::DiamondFixture fx_;
+  graph::AllPairsShortestWidest routing_{fx_.overlay.graph()};
+};
+
+TEST_F(ComparatorsTest, FixedPicksHighestBandwidthGreedily) {
+  const auto result = fixed_federation(fx_.overlay, fx_.requirement, routing_);
+  ASSERT_TRUE(result);
+  result->graph.validate(fx_.requirement, fx_.overlay);
+  // Greedy from S0: S1 candidates have widths 10 (inst 1) and 50 (inst 2);
+  // S2 candidates 12 (inst 3) and 45 (inst 4).
+  EXPECT_EQ(result->graph.assignment(1), 2);
+  EXPECT_EQ(result->graph.assignment(2), 4);
+}
+
+TEST_F(ComparatorsTest, RandomProducesValidFlowGraphs) {
+  util::Rng rng(11);
+  for (int i = 0; i < 10; ++i) {
+    const auto result = random_federation(fx_.overlay, fx_.requirement, routing_, rng);
+    ASSERT_TRUE(result);
+    result->graph.validate(fx_.requirement, fx_.overlay);
+  }
+}
+
+TEST_F(ComparatorsTest, RandomEventuallyExploresAlternatives) {
+  util::Rng rng(13);
+  std::set<overlay::OverlayIndex> seen;
+  for (int i = 0; i < 40; ++i) {
+    const auto result = random_federation(fx_.overlay, fx_.requirement, routing_, rng);
+    ASSERT_TRUE(result);
+    seen.insert(*result->graph.assignment(1));
+  }
+  EXPECT_EQ(seen.size(), 2u);  // both S1 instances get picked across trials
+}
+
+TEST_F(ComparatorsTest, ServicePathFailsWhenSerializationIsUnroutable) {
+  // The diamond overlay has no links between the S1 and S2 layers, so the
+  // serialized chain S0->S1->S2->S3 cannot be realized — exactly the paper's
+  // observation that the path algorithm "can only handle the simplest
+  // service requirements".
+  EXPECT_EQ(service_path_federation(fx_.overlay, fx_.requirement, routing_),
+            std::nullopt);
+}
+
+TEST(Comparators, ServicePathSerializesTheDagOnDenseOverlays) {
+  // Fully-connected overlay: serialization is routable and must cover every
+  // required service in one chain.
+  overlay::OverlayGraph ov;
+  for (overlay::Sid s = 0; s < 4; ++s) ov.add_instance(s, s);
+  util::Rng rng(9);
+  for (std::size_t a = 0; a < 4; ++a)
+    for (std::size_t b = 0; b < 4; ++b)
+      if (a != b)
+        ov.add_link(static_cast<overlay::OverlayIndex>(a),
+                    static_cast<overlay::OverlayIndex>(b),
+                    {rng.uniform_real(10, 60), rng.uniform_real(1, 4)});
+  const graph::AllPairsShortestWidest routing(ov.graph());
+
+  ServiceRequirement diamond;
+  diamond.add_edge(0, 1);
+  diamond.add_edge(0, 2);
+  diamond.add_edge(1, 3);
+  diamond.add_edge(2, 3);
+
+  const auto result = service_path_federation(ov, diamond, routing);
+  ASSERT_TRUE(result);
+  EXPECT_TRUE(result->effective_requirement.is_single_path());
+  EXPECT_EQ(result->effective_requirement.service_count(), 4u);
+  result->graph.validate(result->effective_requirement, ov);
+  for (const overlay::Sid sid : diamond.services())
+    EXPECT_TRUE(result->graph.assignment(sid).has_value());
+}
+
+TEST_F(ComparatorsTest, ServicePathKeepsChainRequirementsIntact) {
+  ServiceRequirement chain;
+  chain.add_edge(0, 1);
+  chain.add_edge(1, 3);
+  const auto result = service_path_federation(fx_.overlay, chain, routing_);
+  ASSERT_TRUE(result);
+  EXPECT_EQ(result->effective_requirement, chain);
+}
+
+TEST_F(ComparatorsTest, PinsAreRespectedByGreedyAlgorithms) {
+  ServiceRequirement pinned = fx_.requirement;
+  pinned.pin(1, 1);  // narrow S1
+  util::Rng rng(3);
+  const auto fixed = fixed_federation(fx_.overlay, pinned, routing_);
+  const auto random = random_federation(fx_.overlay, pinned, routing_, rng);
+  ASSERT_TRUE(fixed && random);
+  EXPECT_EQ(fixed->graph.assignment(1), 1);
+  EXPECT_EQ(random->graph.assignment(1), 1);
+
+  // Service path on a pinned chain requirement.
+  ServiceRequirement chain;
+  chain.add_edge(0, 1);
+  chain.add_edge(1, 3);
+  chain.pin(1, 1);
+  const auto path = service_path_federation(fx_.overlay, chain, routing_);
+  ASSERT_TRUE(path);
+  EXPECT_EQ(path->graph.assignment(1), 1);
+}
+
+TEST(Comparators, FailOnInfeasibleOverlay) {
+  overlay::OverlayGraph ov;
+  ov.add_instance(0, 0);
+  ov.add_instance(1, 1);  // disconnected
+  const graph::AllPairsShortestWidest routing(ov.graph());
+  ServiceRequirement r;
+  r.add_edge(0, 1);
+  util::Rng rng(1);
+  EXPECT_EQ(fixed_federation(ov, r, routing), std::nullopt);
+  EXPECT_EQ(random_federation(ov, r, routing, rng), std::nullopt);
+  EXPECT_EQ(service_path_federation(ov, r, routing), std::nullopt);
+}
+
+/// Property sweep: fixed and random always emit feasible graphs on feasible
+/// scenarios, and neither beats the global optimum's bandwidth.
+class ComparatorsRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ComparatorsRandom, FeasibleAndBoundedByOptimal) {
+  const Scenario scenario = make_scenario(testing::small_workload(14), GetParam());
+  util::Rng rng(GetParam() ^ 0xabcdef);
+
+  const auto optimal = optimal_flow_graph(scenario.overlay, scenario.requirement,
+                                          *scenario.overlay_routing);
+  ASSERT_TRUE(optimal);
+  const double best = optimal->bottleneck_bandwidth();
+
+  const auto fixed = fixed_federation(scenario.overlay, scenario.requirement,
+                                      *scenario.overlay_routing);
+  ASSERT_TRUE(fixed);
+  fixed->graph.validate(scenario.requirement, scenario.overlay);
+  EXPECT_LE(fixed->graph.bottleneck_bandwidth(), best + 1e-9);
+
+  const auto random = random_federation(scenario.overlay, scenario.requirement,
+                                        *scenario.overlay_routing, rng);
+  ASSERT_TRUE(random);
+  random->graph.validate(scenario.requirement, scenario.overlay);
+  EXPECT_LE(random->graph.bottleneck_bandwidth(), best + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ComparatorsRandom,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace sflow::core

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "net/underlay_routing.hpp"
+#include "overlay/compatibility.hpp"
+#include "overlay/requirement_generator.hpp"
+
+namespace sflow::overlay {
+namespace {
+
+TEST(TypeRegistry, InternAndLookup) {
+  TypeRegistry registry;
+  const TypeId video = registry.intern("video");
+  const TypeId text = registry.intern("text");
+  EXPECT_NE(video, text);
+  EXPECT_EQ(registry.intern("video"), video);
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_EQ(registry.name(text), "text");
+  EXPECT_EQ(registry.find("audio"), std::nullopt);
+  EXPECT_THROW(registry.name(9), std::invalid_argument);
+  EXPECT_THROW(registry.intern(""), std::invalid_argument);
+}
+
+class CompatibilityTest : public ::testing::Test {
+ protected:
+  CompatibilityTest() {
+    video_ = types_.intern("video");
+    text_ = types_.intern("text");
+    audio_ = types_.intern("audio");
+    // Decoder: consumes video, produces audio.  Subtitler: video -> text.
+    // Mixer: audio or text -> video.
+    model_.declare(0, {{video_}, audio_});
+    model_.declare(1, {{video_}, text_});
+    model_.declare(2, {{audio_, text_}, video_});
+  }
+
+  TypeRegistry types_;
+  TypeId video_ = kInvalidType;
+  TypeId text_ = kInvalidType;
+  TypeId audio_ = kInvalidType;
+  CompatibilityModel model_;
+};
+
+TEST_F(CompatibilityTest, CompatibleFollowsTypes) {
+  EXPECT_TRUE(model_.compatible(0, 2));   // audio feeds mixer
+  EXPECT_TRUE(model_.compatible(1, 2));   // text feeds mixer
+  EXPECT_TRUE(model_.compatible(2, 0));   // video feeds decoder
+  EXPECT_FALSE(model_.compatible(0, 1));  // audio does not feed subtitler
+  EXPECT_FALSE(model_.compatible(0, 0));  // audio does not feed decoder
+  EXPECT_FALSE(model_.compatible(0, 9));  // unknown service
+  EXPECT_FALSE(model_.compatible(9, 0));
+}
+
+TEST_F(CompatibilityTest, SignatureAccessAndValidation) {
+  EXPECT_TRUE(model_.knows(1));
+  EXPECT_FALSE(model_.knows(9));
+  EXPECT_EQ(model_.signature(2).output, video_);
+  EXPECT_THROW(model_.signature(9), std::invalid_argument);
+  CompatibilityModel bad;
+  EXPECT_THROW(bad.declare(-1, {{video_}, text_}), std::invalid_argument);
+  EXPECT_THROW(bad.declare(3, {{video_}, kInvalidType}), std::invalid_argument);
+  EXPECT_THROW(bad.declare(3, {{kInvalidType}, text_}), std::invalid_argument);
+}
+
+TEST_F(CompatibilityTest, AsFunctionDrivesOverlayConstruction) {
+  net::UnderlyingNetwork underlay;
+  for (int i = 0; i < 3; ++i) underlay.add_node();
+  underlay.add_link(0, 1, 10, 1);
+  underlay.add_link(1, 2, 10, 1);
+  const net::UnderlayRouting routing(underlay);
+
+  OverlayGraph overlay;
+  overlay.add_instance(0, 0);  // decoder
+  overlay.add_instance(1, 1);  // subtitler
+  overlay.add_instance(2, 2);  // mixer
+  overlay.connect_via_underlay(routing, model_.as_function());
+
+  // decoder->mixer, subtitler->mixer, mixer->decoder, mixer->subtitler.
+  EXPECT_EQ(overlay.graph().edge_count(), 4u);
+  EXPECT_TRUE(overlay.graph().has_edge(0, 2));
+  EXPECT_FALSE(overlay.graph().has_edge(0, 1));
+}
+
+TEST_F(CompatibilityTest, RequirementConsistencyCheck) {
+  ServiceRequirement good;
+  good.add_edge(2, 0);  // video -> decoder
+  good.add_edge(0, 2);  // would be a cycle; build a valid one instead
+  // rebuild as a chain: mixer -> decoder is valid typing but 0->1 is not.
+  ServiceRequirement chain;
+  chain.add_edge(2, 0);
+  EXPECT_EQ(model_.first_incompatible_edge(chain), std::nullopt);
+
+  ServiceRequirement bad;
+  bad.add_edge(0, 1);  // decoder's audio cannot feed the subtitler
+  const auto offending = model_.first_incompatible_edge(bad);
+  ASSERT_TRUE(offending);
+  EXPECT_EQ(offending->first, 0);
+  EXPECT_EQ(offending->second, 1);
+}
+
+class RandomCompatibilitySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomCompatibilitySweep, GeneratedModelsTypeCheckTheRequirement) {
+  util::Rng rng(GetParam());
+  std::vector<Sid> sids;
+  for (Sid s = 0; s < 10; ++s) sids.push_back(s);
+
+  RequirementSpec spec;
+  spec.shape = RequirementShape::kGenericDag;
+  spec.service_count = 6;
+  const ServiceRequirement requirement = generate_requirement(spec, sids, rng);
+
+  const CompatibilityModel model =
+      random_compatibility_for(requirement, sids, 4, rng);
+  EXPECT_EQ(model.first_incompatible_edge(requirement), std::nullopt);
+  for (const Sid sid : sids) EXPECT_TRUE(model.knows(sid));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCompatibilitySweep,
+                         ::testing::Range<std::uint64_t>(0, 15));
+
+}  // namespace
+}  // namespace sflow::overlay

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/global_optimal.hpp"
+#include "net/contention.hpp"
+#include "test_helpers.hpp"
+
+namespace sflow::net {
+namespace {
+
+UnderlyingNetwork line3() {
+  UnderlyingNetwork network;
+  for (int i = 0; i < 3; ++i) network.add_node();
+  network.add_link(0, 1, 10.0, 1.0);
+  network.add_link(1, 2, 10.0, 1.0);
+  return network;
+}
+
+TEST(MaxMinFair, SingleStreamGetsLinkCapacity) {
+  const UnderlyingNetwork network = line3();
+  const std::vector<StreamDemand> streams = {{{{0, 1}, {1, 2}}, 1e18}};
+  const auto rates = max_min_fair_rates(network, streams);
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(rates[0], 10.0);
+}
+
+TEST(MaxMinFair, TwoStreamsShareEvenly) {
+  const UnderlyingNetwork network = line3();
+  const std::vector<StreamDemand> streams = {
+      {{{0, 1}}, 1e18},
+      {{{0, 1}}, 1e18},
+  };
+  const auto rates = max_min_fair_rates(network, streams);
+  EXPECT_DOUBLE_EQ(rates[0], 5.0);
+  EXPECT_DOUBLE_EQ(rates[1], 5.0);
+}
+
+TEST(MaxMinFair, SmallDemandReleasesCapacityToOthers) {
+  const UnderlyingNetwork network = line3();
+  const std::vector<StreamDemand> streams = {
+      {{{0, 1}}, 2.0},   // satisfied early
+      {{{0, 1}}, 1e18},  // absorbs the rest
+  };
+  const auto rates = max_min_fair_rates(network, streams);
+  EXPECT_DOUBLE_EQ(rates[0], 2.0);
+  EXPECT_DOUBLE_EQ(rates[1], 8.0);
+}
+
+TEST(MaxMinFair, ClassicThreeFlowExample) {
+  // Two links in tandem; one long flow crosses both, one short flow each.
+  // Max-min: every flow gets 5 (each link splits 10 between two users).
+  const UnderlyingNetwork network = line3();
+  const std::vector<StreamDemand> streams = {
+      {{{0, 1}, {1, 2}}, 1e18},
+      {{{0, 1}}, 1e18},
+      {{{1, 2}}, 1e18},
+  };
+  const auto rates = max_min_fair_rates(network, streams);
+  EXPECT_DOUBLE_EQ(rates[0], 5.0);
+  EXPECT_DOUBLE_EQ(rates[1], 5.0);
+  EXPECT_DOUBLE_EQ(rates[2], 5.0);
+}
+
+TEST(MaxMinFair, BottleneckAsymmetry) {
+  // Link (0,1) cap 10 shared by two flows; flow 1 continues over (1,2) cap 10
+  // alone — after the shared bottleneck freezes both at 5, no further growth.
+  UnderlyingNetwork network;
+  for (int i = 0; i < 3; ++i) network.add_node();
+  network.add_link(0, 1, 10.0, 1.0);
+  network.add_link(1, 2, 40.0, 1.0);
+  const std::vector<StreamDemand> streams = {
+      {{{0, 1}, {1, 2}}, 1e18},
+      {{{0, 1}}, 1e18},
+  };
+  const auto rates = max_min_fair_rates(network, streams);
+  EXPECT_DOUBLE_EQ(rates[0], 5.0);
+  EXPECT_DOUBLE_EQ(rates[1], 5.0);
+}
+
+TEST(MaxMinFair, LinkFreeStreamGetsDemand) {
+  const UnderlyingNetwork network = line3();
+  const std::vector<StreamDemand> streams = {{{}, 7.5}};
+  const auto rates = max_min_fair_rates(network, streams);
+  EXPECT_DOUBLE_EQ(rates[0], 7.5);
+}
+
+TEST(MaxMinFair, RepeatedLinkCountsTwice) {
+  // One stream crossing the same link twice competes with itself.
+  const UnderlyingNetwork network = line3();
+  const std::vector<StreamDemand> streams = {{{{0, 1}, {0, 1}}, 1e18}};
+  const auto rates = max_min_fair_rates(network, streams);
+  EXPECT_DOUBLE_EQ(rates[0], 5.0);
+}
+
+TEST(MaxMinFair, RejectsBadInput) {
+  const UnderlyingNetwork network = line3();
+  EXPECT_THROW(max_min_fair_rates(network, {{{{0, 2}}, 1.0}}),
+               std::invalid_argument);  // no such link
+  EXPECT_THROW(max_min_fair_rates(network, {{{{0, 1}}, 0.0}}),
+               std::invalid_argument);  // non-positive demand
+  // A link-free elastic stream is unconstrained: its rate is its demand.
+  const auto rates = max_min_fair_rates(
+      network, {{{}, std::numeric_limits<double>::infinity()}});
+  EXPECT_TRUE(std::isinf(rates[0]));
+}
+
+class ContentionSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ContentionSweep, DeliveredNeverExceedsPromised) {
+  const core::Scenario scenario =
+      core::make_scenario(sflow::testing::small_workload(16), GetParam());
+  const auto flow = core::optimal_flow_graph(
+      scenario.overlay, scenario.requirement, *scenario.overlay_routing);
+  ASSERT_TRUE(flow);
+  const ContentionReport report = evaluate_contention(
+      scenario.overlay, *flow, scenario.underlay, *scenario.routing);
+  ASSERT_EQ(report.edge_rates.size(), flow->edges().size());
+  for (const double rate : report.edge_rates) EXPECT_GT(rate, 0.0);
+  EXPECT_LE(report.delivered_throughput, report.promised_throughput + 1e-9);
+  EXPECT_DOUBLE_EQ(report.promised_throughput, flow->bottleneck_bandwidth());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ContentionSweep,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace sflow::net

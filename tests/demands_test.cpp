@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "core/demands.hpp"
+#include "core/global_optimal.hpp"
+#include "core/reduction.hpp"
+#include "test_helpers.hpp"
+
+namespace sflow::core {
+namespace {
+
+using overlay::ServiceFlowGraph;
+using overlay::ServiceRequirement;
+
+TEST(DemandProfile, SetGetAndValidation) {
+  DemandProfile profile;
+  EXPECT_TRUE(profile.empty());
+  profile.set(0, 1, 25.0);
+  profile.set(0, 1, 30.0);  // overwrite
+  EXPECT_EQ(profile.get(0, 1), 30.0);
+  EXPECT_EQ(profile.get(1, 0), std::nullopt);
+  EXPECT_EQ(profile.size(), 1u);
+  EXPECT_THROW(profile.set(0, 1, 0.0), std::invalid_argument);
+  EXPECT_THROW(profile.set(0, 1, -5.0), std::invalid_argument);
+}
+
+TEST(DemandProfile, UniformCoversEveryEdge) {
+  testing::DiamondFixture fx;
+  const DemandProfile profile = DemandProfile::uniform(fx.requirement, 12.5);
+  EXPECT_EQ(profile.size(), fx.requirement.dag().edge_count());
+  EXPECT_EQ(profile.get(0, 1), 12.5);
+  EXPECT_EQ(profile.get(1, 0), std::nullopt);
+}
+
+class DemandsTest : public ::testing::Test {
+ protected:
+  testing::DiamondFixture fx_;
+  graph::AllPairsShortestWidest routing_{fx_.overlay.graph()};
+};
+
+TEST_F(DemandsTest, FilterHidesUndersizedEdges) {
+  DemandProfile profile;
+  profile.set(0, 1, 45.0);  // S0->S1 must carry 45; only the 50-wide link can
+  const EdgeQualityFn filtered =
+      demand_filtered_quality(routing_edge_quality(routing_), profile);
+  // Instance 1 (narrow S1, 10 Mbps) becomes unreachable for this edge.
+  EXPECT_TRUE(filtered(0, 0, 1, 1).is_unreachable());
+  // Instance 2 (wide S1, 50 Mbps) passes.
+  EXPECT_FALSE(filtered(0, 0, 1, 2).is_unreachable());
+  // Edges without a demand are untouched.
+  EXPECT_FALSE(filtered(1, 1, 3, 5).is_unreachable());
+}
+
+TEST_F(DemandsTest, OptimalSolverRespectsDemands) {
+  // Demand more than the narrow branch but within the wide one.
+  DemandProfile profile = DemandProfile::uniform(fx_.requirement, 35.0);
+  const auto flow = optimal_flow_graph_custom(
+      fx_.overlay, fx_.requirement,
+      demand_filtered_quality(routing_edge_quality(routing_), profile),
+      routing_edge_path(routing_));
+  ASSERT_TRUE(flow);
+  EXPECT_TRUE(meets_demands(fx_.requirement, *flow, profile));
+  EXPECT_EQ(flow->assignment(1), 2);
+  EXPECT_EQ(flow->assignment(2), 4);
+}
+
+TEST_F(DemandsTest, InfeasibleDemandsAreRejected) {
+  // Nothing in the diamond carries 500 Mbps.
+  DemandProfile profile = DemandProfile::uniform(fx_.requirement, 500.0);
+  const auto flow = optimal_flow_graph_custom(
+      fx_.overlay, fx_.requirement,
+      demand_filtered_quality(routing_edge_quality(routing_), profile),
+      routing_edge_path(routing_));
+  EXPECT_EQ(flow, std::nullopt);
+}
+
+TEST_F(DemandsTest, HeuristicSolverComposesWithDemands) {
+  DemandProfile profile = DemandProfile::uniform(fx_.requirement, 35.0);
+  RequirementSolver::Options options;
+  options.base_quality =
+      demand_filtered_quality(routing_edge_quality(routing_), profile);
+  options.base_path = routing_edge_path(routing_);
+  const RequirementSolver solver(fx_.overlay, routing_, options);
+  const auto flow = solver.solve(fx_.requirement);
+  ASSERT_TRUE(flow);
+  flow->validate(fx_.requirement, fx_.overlay);
+  EXPECT_TRUE(meets_demands(fx_.requirement, *flow, profile));
+}
+
+TEST_F(DemandsTest, MeetsDemandsDetectsViolations) {
+  const auto flow = optimal_flow_graph(fx_.overlay, fx_.requirement, routing_);
+  ASSERT_TRUE(flow);
+  DemandProfile modest;
+  modest.set(0, 1, 10.0);
+  EXPECT_TRUE(meets_demands(fx_.requirement, *flow, modest));
+  DemandProfile greedy;
+  greedy.set(0, 1, 1000.0);
+  EXPECT_FALSE(meets_demands(fx_.requirement, *flow, greedy));
+  EXPECT_THROW(meets_demands(fx_.requirement, ServiceFlowGraph{}, modest),
+               std::invalid_argument);
+}
+
+/// Admission property: across random scenarios, a demand at alpha times the
+/// optimal bottleneck is admissible iff alpha <= 1.
+class AdmissionSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AdmissionSweep, AdmissionMatchesOptimalBottleneck) {
+  const Scenario scenario = make_scenario(testing::small_workload(14), GetParam());
+  const auto optimal = optimal_flow_graph(scenario.overlay, scenario.requirement,
+                                          *scenario.overlay_routing);
+  ASSERT_TRUE(optimal);
+  const double bottleneck = optimal->bottleneck_bandwidth();
+
+  for (const double alpha : {0.5, 0.99, 1.01, 2.0}) {
+    const DemandProfile profile =
+        DemandProfile::uniform(scenario.requirement, alpha * bottleneck);
+    const auto admitted = optimal_flow_graph_custom(
+        scenario.overlay, scenario.requirement,
+        demand_filtered_quality(routing_edge_quality(*scenario.overlay_routing),
+                                profile),
+        routing_edge_path(*scenario.overlay_routing));
+    if (alpha <= 1.0) {
+      ASSERT_TRUE(admitted) << "alpha " << alpha;
+      EXPECT_TRUE(meets_demands(scenario.requirement, *admitted, profile));
+    } else {
+      EXPECT_EQ(admitted, std::nullopt) << "alpha " << alpha;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdmissionSweep,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace sflow::core

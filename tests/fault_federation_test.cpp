@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "core/sflow_federation.hpp"
+#include "test_helpers.hpp"
+
+namespace sflow::core {
+namespace {
+
+using overlay::OverlayIndex;
+using overlay::ServiceFlowGraph;
+using overlay::Sid;
+
+SFlowFederationResult run(const Scenario& scenario,
+                          const FederationFaultOptions& faults = {}) {
+  return run_sflow_federation(scenario.underlay, *scenario.routing,
+                              scenario.overlay, *scenario.overlay_routing,
+                              scenario.requirement, {}, faults);
+}
+
+/// The instance a fault-free run chooses for some service that has at least
+/// one alternative instance, excluding the pinned source.  kInvalidNode when
+/// none qualifies.
+OverlayIndex replaceable_choice(const Scenario& scenario,
+                                const ServiceFlowGraph& flow) {
+  const Sid source = scenario.requirement.source();
+  for (const auto& [sid, instance] : flow.assignments()) {
+    if (sid == source) continue;
+    if (scenario.overlay.instances_of(sid).size() >= 2) return instance;
+  }
+  return graph::kInvalidNode;
+}
+
+TEST(FaultFederation, EmptyFaultSetMatchesLegacyBehaviour) {
+  const Scenario scenario = make_scenario(testing::small_workload(16), 1);
+  const SFlowFederationResult plain = run(scenario);
+  const SFlowFederationResult with_options = run(scenario, {});
+  ASSERT_TRUE(plain.flow_graph);
+  ASSERT_TRUE(with_options.flow_graph);
+  EXPECT_EQ(plain.flow_graph->assignments(), with_options.flow_graph->assignments());
+  EXPECT_EQ(plain.messages, with_options.messages);
+  EXPECT_EQ(with_options.failovers, 0u);
+}
+
+TEST(FaultFederation, FailsGracefullyWhenEveryInstanceOfAServiceIsDead) {
+  const Scenario scenario = make_scenario(testing::small_workload(14), 2);
+  // Kill every instance of some non-source required service.
+  const Sid source = scenario.requirement.source();
+  Sid victim_sid = overlay::kInvalidSid;
+  for (const Sid sid : scenario.requirement.services())
+    if (sid != source) {
+      victim_sid = sid;
+      break;
+    }
+  ASSERT_NE(victim_sid, overlay::kInvalidSid);
+
+  FederationFaultOptions faults;
+  for (const OverlayIndex inst : scenario.overlay.instances_of(victim_sid))
+    faults.crashed.insert(scenario.overlay.instance(inst).nid);
+  const SFlowFederationResult result = run(scenario, faults);
+  EXPECT_FALSE(result.flow_graph.has_value());
+}
+
+class FaultSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FaultSweep, FailsOverAroundACrashedChosenInstance) {
+  const Scenario scenario = make_scenario(testing::small_workload(18), GetParam());
+  const SFlowFederationResult healthy = run(scenario);
+  ASSERT_TRUE(healthy.flow_graph);
+
+  const OverlayIndex victim = replaceable_choice(scenario, *healthy.flow_graph);
+  if (victim == graph::kInvalidNode)
+    GTEST_SKIP() << "no replaceable chosen instance for this seed";
+  const net::Nid victim_nid = scenario.overlay.instance(victim).nid;
+
+  FederationFaultOptions faults;
+  faults.crashed.insert(victim_nid);
+  const SFlowFederationResult result = run(scenario, faults);
+  ASSERT_TRUE(result.flow_graph) << "federation did not survive the crash";
+  result.flow_graph->validate(scenario.requirement, scenario.overlay);
+  EXPECT_GE(result.failovers, 1u);
+
+  // The dead node hosts nothing in the final graph...
+  for (const auto& [sid, instance] : result.flow_graph->assignments())
+    EXPECT_NE(scenario.overlay.instance(instance).nid, victim_nid);
+  // ...and no realized path endpoint touches it (bridging through a crashed
+  // node's links is a data-plane concern; selection must avoid assigning it).
+  for (const overlay::FlowEdge& e : result.flow_graph->edges()) {
+    EXPECT_NE(scenario.overlay.instance(e.overlay_path.front()).nid, victim_nid);
+    EXPECT_NE(scenario.overlay.instance(e.overlay_path.back()).nid, victim_nid);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultSweep, ::testing::Range<std::uint64_t>(0, 15));
+
+TEST(FaultFederation, SurvivesTwoSimultaneousCrashes) {
+  for (std::uint64_t seed = 50; seed < 58; ++seed) {
+    const Scenario scenario = make_scenario(testing::small_workload(20), seed);
+    const SFlowFederationResult healthy = run(scenario);
+    ASSERT_TRUE(healthy.flow_graph);
+
+    // Crash two distinct chosen instances with alternatives.
+    FederationFaultOptions faults;
+    const Sid source = scenario.requirement.source();
+    for (const auto& [sid, instance] : healthy.flow_graph->assignments()) {
+      if (sid == source) continue;
+      if (scenario.overlay.instances_of(sid).size() >= 2)
+        faults.crashed.insert(scenario.overlay.instance(instance).nid);
+      if (faults.crashed.size() == 2) break;
+    }
+    if (faults.crashed.size() < 2) continue;
+
+    const SFlowFederationResult result = run(scenario, faults);
+    if (!result.flow_graph) continue;  // replacements may be unreachable; rare
+    result.flow_graph->validate(scenario.requirement, scenario.overlay);
+    for (const auto& [sid, instance] : result.flow_graph->assignments())
+      EXPECT_FALSE(
+          faults.crashed.contains(scenario.overlay.instance(instance).nid));
+  }
+}
+
+TEST(FaultFederation, CrashOfUnchosenInstanceIsFree) {
+  const Scenario scenario = make_scenario(testing::small_workload(16), 77);
+  const SFlowFederationResult healthy = run(scenario);
+  ASSERT_TRUE(healthy.flow_graph);
+
+  // Crash an instance nobody selected.
+  FederationFaultOptions faults;
+  for (std::size_t v = 0; v < scenario.overlay.instance_count(); ++v) {
+    const auto inst = static_cast<OverlayIndex>(v);
+    bool chosen = false;
+    for (const auto& [sid, assigned] : healthy.flow_graph->assignments())
+      if (assigned == inst) chosen = true;
+    if (!chosen) {
+      faults.crashed.insert(scenario.overlay.instance(inst).nid);
+      break;
+    }
+  }
+  ASSERT_EQ(faults.crashed.size(), 1u);
+
+  const SFlowFederationResult result = run(scenario, faults);
+  ASSERT_TRUE(result.flow_graph);
+  EXPECT_EQ(result.failovers, 0u);
+  EXPECT_EQ(result.flow_graph->assignments(), healthy.flow_graph->assignments());
+}
+
+}  // namespace
+}  // namespace sflow::core

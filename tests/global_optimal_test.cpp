@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "core/global_optimal.hpp"
+#include "test_helpers.hpp"
+
+namespace sflow::core {
+namespace {
+
+using overlay::OverlayGraph;
+using overlay::ServiceRequirement;
+
+TEST(GlobalOptimal, SolvesDiamondToKnownOptimum) {
+  testing::DiamondFixture fx;
+  const graph::AllPairsShortestWidest routing(fx.overlay.graph());
+  const auto result = optimal_flow_graph(fx.overlay, fx.requirement, routing);
+  ASSERT_TRUE(result);
+  result->validate(fx.requirement, fx.overlay);
+  EXPECT_EQ(result->assignment(1), 2);  // wide S1
+  EXPECT_EQ(result->assignment(2), 4);  // wide S2
+  EXPECT_DOUBLE_EQ(result->bottleneck_bandwidth(), 40.0);
+  EXPECT_DOUBLE_EQ(result->end_to_end_latency(fx.requirement), 6.0);
+}
+
+TEST(GlobalOptimal, RespectsPins) {
+  testing::DiamondFixture fx;
+  const graph::AllPairsShortestWidest routing(fx.overlay.graph());
+  ServiceRequirement pinned = fx.requirement;
+  pinned.pin(1, 1);  // force the narrow S1 at NID 1
+  const auto result = optimal_flow_graph(fx.overlay, pinned, routing);
+  ASSERT_TRUE(result);
+  EXPECT_EQ(result->assignment(1), 1);
+  EXPECT_DOUBLE_EQ(result->bottleneck_bandwidth(), 10.0);
+}
+
+TEST(GlobalOptimal, ReturnsNulloptWhenInfeasible) {
+  OverlayGraph overlay;
+  overlay.add_instance(0, 0);
+  overlay.add_instance(1, 1);  // disconnected
+  const graph::AllPairsShortestWidest routing(overlay.graph());
+  ServiceRequirement requirement;
+  requirement.add_edge(0, 1);
+  EXPECT_EQ(optimal_flow_graph(overlay, requirement, routing), std::nullopt);
+
+  ServiceRequirement missing;
+  missing.add_edge(0, 9);
+  EXPECT_EQ(optimal_flow_graph(overlay, missing, routing), std::nullopt);
+}
+
+TEST(GlobalOptimal, PruningStatsAreRecorded) {
+  testing::DiamondFixture fx;
+  const graph::AllPairsShortestWidest routing(fx.overlay.graph());
+  OptimalStats stats;
+  ASSERT_TRUE(optimal_flow_graph(fx.overlay, fx.requirement, routing, &stats));
+  EXPECT_GT(stats.nodes_explored, 0u);
+}
+
+/// Property sweep: branch-and-bound equals the exhaustive oracle on random
+/// generic-DAG workloads.
+class GlobalOptimalRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GlobalOptimalRandom, MatchesExhaustiveOracle) {
+  WorkloadParams params = testing::small_workload(14);
+  params.requirement.service_count = 5;
+  const Scenario scenario = make_scenario(params, GetParam());
+
+  const auto result = optimal_flow_graph(scenario.overlay, scenario.requirement,
+                                         *scenario.overlay_routing);
+  const graph::PathQuality oracle = testing::brute_force_best_quality(
+      scenario.overlay, scenario.requirement, *scenario.overlay_routing);
+
+  ASSERT_TRUE(result);
+  ASSERT_FALSE(oracle.is_unreachable());
+  result->validate(scenario.requirement, scenario.overlay);
+  EXPECT_DOUBLE_EQ(result->bottleneck_bandwidth(), oracle.bandwidth);
+  EXPECT_DOUBLE_EQ(result->end_to_end_latency(scenario.requirement),
+                   oracle.latency);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GlobalOptimalRandom,
+                         ::testing::Range<std::uint64_t>(0, 15));
+
+}  // namespace
+}  // namespace sflow::core

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "graph/dag.hpp"
+#include "graph/digraph.hpp"
+
+namespace sflow::graph {
+namespace {
+
+Digraph diamond() {
+  // 0 -> {1, 2} -> 3, unit metrics except where noted.
+  Digraph g(4);
+  g.add_edge(0, 1, {10, 1});
+  g.add_edge(0, 2, {20, 2});
+  g.add_edge(1, 3, {10, 1});
+  g.add_edge(2, 3, {20, 2});
+  return g;
+}
+
+TEST(PathQuality, OrderingIsShortestWidest) {
+  const PathQuality wide{20, 10};
+  const PathQuality narrow{10, 1};
+  const PathQuality wide_slow{20, 30};
+  EXPECT_TRUE(wide.better_than(narrow));
+  EXPECT_TRUE(wide.better_than(wide_slow));
+  EXPECT_FALSE(wide_slow.better_than(wide));
+  EXPECT_FALSE(wide.better_than(wide));
+}
+
+TEST(PathQuality, ExtensionTakesBottleneckAndSumsLatency) {
+  const PathQuality q = PathQuality::source().extended_by({15, 3}).extended_by({8, 2});
+  EXPECT_DOUBLE_EQ(q.bandwidth, 8);
+  EXPECT_DOUBLE_EQ(q.latency, 5);
+}
+
+TEST(PathQuality, ConcatenationMatchesExtension) {
+  const PathQuality head{15, 3};
+  const PathQuality tail{8, 2};
+  const PathQuality joined = head.concatenated_with(tail);
+  EXPECT_DOUBLE_EQ(joined.bandwidth, 8);
+  EXPECT_DOUBLE_EQ(joined.latency, 5);
+}
+
+TEST(PathQuality, UnreachableSentinel) {
+  EXPECT_TRUE(PathQuality::unreachable().is_unreachable());
+  EXPECT_FALSE(PathQuality::source().is_unreachable());
+  EXPECT_TRUE((PathQuality{1, 1}).better_than(PathQuality::unreachable()));
+}
+
+TEST(Digraph, AddNodesAndEdges) {
+  Digraph g(2);
+  EXPECT_EQ(g.node_count(), 2u);
+  const NodeIndex v = g.add_node();
+  EXPECT_EQ(v, 2);
+  g.add_edge(0, 1, {5, 1});
+  g.add_edge(1, 2, {6, 2});
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+  EXPECT_EQ(g.successors(0), (std::vector<NodeIndex>{1}));
+  EXPECT_EQ(g.predecessors(2), (std::vector<NodeIndex>{1}));
+  EXPECT_EQ(g.out_degree(1), 1u);
+  EXPECT_EQ(g.in_degree(1), 1u);
+}
+
+TEST(Digraph, ReAddingEdgeUpdatesMetrics) {
+  Digraph g(2);
+  g.add_edge(0, 1, {5, 1});
+  g.add_edge(0, 1, {9, 4});
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_DOUBLE_EQ(g.edge(g.find_edge(0, 1)).metrics.bandwidth, 9);
+}
+
+TEST(Digraph, RejectsInvalidEdges) {
+  Digraph g(2);
+  EXPECT_THROW(g.add_edge(0, 0, {1, 1}), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 7, {1, 1}), std::invalid_argument);
+  EXPECT_THROW(g.out_edges(9), std::invalid_argument);
+}
+
+TEST(Digraph, SymmetricEdgeAddsBothDirections) {
+  Digraph g(2);
+  g.add_symmetric_edge(0, 1, {3, 2});
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+}
+
+TEST(Digraph, InducedSubgraphKeepsInternalEdges) {
+  const Digraph g = diamond();
+  std::vector<NodeIndex> mapping;
+  const Digraph sub = g.induced_subgraph({0, 2, 3}, &mapping);
+  EXPECT_EQ(sub.node_count(), 3u);
+  EXPECT_EQ(sub.edge_count(), 2u);  // 0->2 and 2->3 survive
+  EXPECT_TRUE(sub.has_edge(0, 1));  // mapped: 0->2
+  EXPECT_TRUE(sub.has_edge(1, 2));  // mapped: 2->3
+  EXPECT_EQ(mapping, (std::vector<NodeIndex>{0, 2, 3}));
+}
+
+TEST(Digraph, InducedSubgraphRejectsDuplicates) {
+  const Digraph g = diamond();
+  EXPECT_THROW(g.induced_subgraph({0, 0}), std::invalid_argument);
+}
+
+TEST(Digraph, DotOutputMentionsEdges) {
+  const std::string dot = diamond().to_dot("d");
+  EXPECT_NE(dot.find("digraph d"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+}
+
+TEST(Dag, TopologicalOrderRespectsEdges) {
+  const Digraph g = diamond();
+  const auto order = topological_order(g);
+  ASSERT_TRUE(order);
+  std::vector<std::size_t> pos(4);
+  for (std::size_t i = 0; i < order->size(); ++i)
+    pos[static_cast<std::size_t>((*order)[i])] = i;
+  for (const Edge& e : g.edges())
+    EXPECT_LT(pos[static_cast<std::size_t>(e.from)],
+              pos[static_cast<std::size_t>(e.to)]);
+}
+
+TEST(Dag, DetectsCycles) {
+  Digraph g(3);
+  g.add_edge(0, 1, {1, 1});
+  g.add_edge(1, 2, {1, 1});
+  EXPECT_TRUE(is_dag(g));
+  g.add_edge(2, 0, {1, 1});
+  EXPECT_FALSE(is_dag(g));
+  EXPECT_FALSE(topological_order(g).has_value());
+}
+
+TEST(Dag, SourcesAndSinks) {
+  const Digraph g = diamond();
+  EXPECT_EQ(source_nodes(g), (std::vector<NodeIndex>{0}));
+  EXPECT_EQ(sink_nodes(g), (std::vector<NodeIndex>{3}));
+}
+
+TEST(Dag, Reachability) {
+  const Digraph g = diamond();
+  const auto from1 = reachable_from(g, 1);
+  EXPECT_FALSE(from1[0]);
+  EXPECT_TRUE(from1[1]);
+  EXPECT_FALSE(from1[2]);
+  EXPECT_TRUE(from1[3]);
+  const auto to2 = reaching_to(g, 2);
+  EXPECT_TRUE(to2[0]);
+  EXPECT_FALSE(to2[1]);
+  EXPECT_TRUE(to2[2]);
+  EXPECT_FALSE(to2[3]);
+}
+
+TEST(Dag, NeighborhoodRadii) {
+  // Chain 0 - 1 - 2 - 3 (directed), visibility ignores direction.
+  Digraph g(4);
+  g.add_edge(0, 1, {1, 1});
+  g.add_edge(1, 2, {1, 1});
+  g.add_edge(2, 3, {1, 1});
+  EXPECT_EQ(neighborhood(g, 2, 0), (std::vector<NodeIndex>{2}));
+  EXPECT_EQ(neighborhood(g, 2, 1), (std::vector<NodeIndex>{1, 2, 3}));
+  EXPECT_EQ(neighborhood(g, 2, 2), (std::vector<NodeIndex>{0, 1, 2, 3}));
+  // Directed-only visibility cannot look upstream.
+  EXPECT_EQ(neighborhood(g, 2, 2, /*ignore_direction=*/false),
+            (std::vector<NodeIndex>{2, 3}));
+  EXPECT_THROW(neighborhood(g, 0, -1), std::invalid_argument);
+}
+
+TEST(Dag, EnumerateSimplePaths) {
+  const Digraph g = diamond();
+  const auto paths = enumerate_simple_paths(g, 0, 3);
+  EXPECT_EQ(paths.size(), 2u);
+  for (const auto& p : paths) {
+    EXPECT_EQ(p.front(), 0);
+    EXPECT_EQ(p.back(), 3);
+  }
+  EXPECT_THROW(enumerate_simple_paths(g, 0, 3, 1), std::length_error);
+}
+
+TEST(Dag, PostDominators) {
+  // 0 -> {1, 2} -> 3 -> 4: node 3 post-dominates everything upstream.
+  Digraph g(5);
+  g.add_edge(0, 1, {1, 1});
+  g.add_edge(0, 2, {1, 1});
+  g.add_edge(1, 3, {1, 1});
+  g.add_edge(2, 3, {1, 1});
+  g.add_edge(3, 4, {1, 1});
+  const auto pdom = post_dominator_sets(g, 4);
+  EXPECT_TRUE(pdom[0][3]);
+  EXPECT_TRUE(pdom[0][4]);
+  EXPECT_FALSE(pdom[0][1]);  // branch node does not post-dominate the split
+  EXPECT_TRUE(pdom[1][3]);
+  EXPECT_EQ(immediate_post_dominator(g, 0, 4), 3);
+  EXPECT_EQ(immediate_post_dominator(g, 3, 4), 4);
+  EXPECT_EQ(immediate_post_dominator(g, 4, 4), kInvalidNode);
+}
+
+TEST(Dag, PostDominatorsWithBypassEdge) {
+  // 0 -> 1 -> 2 plus 0 -> 2: ipdom(0) is 2 (1 is bypassed).
+  Digraph g(3);
+  g.add_edge(0, 1, {1, 1});
+  g.add_edge(1, 2, {1, 1});
+  g.add_edge(0, 2, {1, 1});
+  EXPECT_EQ(immediate_post_dominator(g, 0, 2), 2);
+}
+
+TEST(Dag, CriticalPathLatency) {
+  Digraph g(4);
+  g.add_edge(0, 1, {1, 5});
+  g.add_edge(0, 2, {1, 1});
+  g.add_edge(1, 3, {1, 5});
+  g.add_edge(2, 3, {1, 1});
+  EXPECT_DOUBLE_EQ(critical_path_latency(g), 10.0);
+  const Digraph empty(3);
+  EXPECT_DOUBLE_EQ(critical_path_latency(empty), 0.0);
+}
+
+}  // namespace
+}  // namespace sflow::graph

@@ -1,0 +1,160 @@
+// Cross-cutting properties that must hold across every requirement shape,
+// network size, and algorithm — the repository's "model checking" sweep.
+#include <gtest/gtest.h>
+
+#include "core/evaluation.hpp"
+#include "core/global_optimal.hpp"
+#include "core/sflow_federation.hpp"
+#include "test_helpers.hpp"
+
+namespace sflow::core {
+namespace {
+
+struct SweepCase {
+  overlay::RequirementShape shape;
+  std::size_t network_size;
+  std::uint64_t seed;
+};
+
+std::vector<SweepCase> all_cases() {
+  std::vector<SweepCase> cases;
+  const overlay::RequirementShape shapes[] = {
+      overlay::RequirementShape::kSinglePath,
+      overlay::RequirementShape::kDisjointPaths,
+      overlay::RequirementShape::kSplitMerge,
+      overlay::RequirementShape::kMulticastTree,
+      overlay::RequirementShape::kGenericDag,
+  };
+  std::uint64_t seed = 0;
+  for (const auto shape : shapes)
+    for (const std::size_t size : {12u, 20u})
+      cases.push_back(SweepCase{shape, size, 7000 + seed++});
+  return cases;
+}
+
+Scenario scenario_for(const SweepCase& c) {
+  WorkloadParams params = testing::small_workload(c.network_size);
+  params.requirement.shape = c.shape;
+  return make_scenario(params, c.seed);
+}
+
+class InvariantSweep : public ::testing::TestWithParam<SweepCase> {};
+
+/// Every algorithm's successful output validates against its effective
+/// requirement, and nobody beats the exact optimum.
+TEST_P(InvariantSweep, AllOutputsValidateAndRespectTheOptimum) {
+  const Scenario scenario = scenario_for(GetParam());
+  util::Rng rng(GetParam().seed);
+
+  const AlgorithmOutcome optimal =
+      run_algorithm(Algorithm::kGlobalOptimal, scenario, rng);
+  ASSERT_TRUE(optimal.success);
+  optimal.graph.validate(scenario.requirement, scenario.overlay);
+
+  for (const Algorithm algorithm :
+       {Algorithm::kSflow, Algorithm::kFixed, Algorithm::kRandom,
+        Algorithm::kServicePath}) {
+    const AlgorithmOutcome outcome = run_algorithm(algorithm, scenario, rng);
+    if (!outcome.success) continue;
+    outcome.graph.validate(outcome.effective_requirement, scenario.overlay);
+    EXPECT_LE(outcome.bandwidth, optimal.bandwidth + 1e-9)
+        << algorithm_name(algorithm);
+    EXPECT_GE(outcome.latency, 0.0);
+  }
+}
+
+/// The distributed protocol is a pure function of (scenario, config): two
+/// runs agree on the flow graph, message count, and simulated timing.
+TEST_P(InvariantSweep, DistributedFederationIsDeterministic) {
+  const Scenario scenario = scenario_for(GetParam());
+  const SFlowFederationResult a = run_sflow_federation(
+      scenario.underlay, *scenario.routing, scenario.overlay,
+      *scenario.overlay_routing, scenario.requirement);
+  const SFlowFederationResult b = run_sflow_federation(
+      scenario.underlay, *scenario.routing, scenario.overlay,
+      *scenario.overlay_routing, scenario.requirement);
+  ASSERT_TRUE(a.flow_graph);
+  ASSERT_TRUE(b.flow_graph);
+  EXPECT_EQ(a.flow_graph->assignments(), b.flow_graph->assignments());
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.bytes, b.bytes);
+  EXPECT_DOUBLE_EQ(a.federation_time_ms, b.federation_time_ms);
+}
+
+/// The heuristic solver is bounded by the optimum on every shape, and exact
+/// for the bottleneck on chain/parallel/tree-free split-merge shapes.
+TEST_P(InvariantSweep, HeuristicSolverBoundedByOptimum) {
+  const Scenario scenario = scenario_for(GetParam());
+  const RequirementSolver solver(scenario.overlay, *scenario.overlay_routing);
+  const auto heuristic = solver.solve(scenario.requirement);
+  const auto optimal = optimal_flow_graph(scenario.overlay, scenario.requirement,
+                                          *scenario.overlay_routing);
+  ASSERT_TRUE(optimal);
+  ASSERT_TRUE(heuristic);
+  heuristic->validate(scenario.requirement, scenario.overlay);
+  EXPECT_LE(heuristic->bottleneck_bandwidth(),
+            optimal->bottleneck_bandwidth() + 1e-9);
+  const auto shape = GetParam().shape;
+  if (shape == overlay::RequirementShape::kSinglePath ||
+      shape == overlay::RequirementShape::kDisjointPaths ||
+      shape == overlay::RequirementShape::kSplitMerge) {
+    EXPECT_DOUBLE_EQ(heuristic->bottleneck_bandwidth(),
+                     optimal->bottleneck_bandwidth());
+  }
+}
+
+/// sFlow's quality is monotone (on average trivially, but here per-instance):
+/// the flow graph with full knowledge is at least as wide as with radius 2,
+/// which is at least as wide as... not guaranteed per instance — but the
+/// full-knowledge run must weakly dominate the radius-1 run OR both equal
+/// the optimum.  We assert the weaker, always-true property: both are
+/// bounded by the optimum and at least as wide as the random baseline's
+/// *worst* draw cannot be asserted deterministically, so bound by optimum.
+TEST_P(InvariantSweep, KnowledgeSweepStaysBounded) {
+  const Scenario scenario = scenario_for(GetParam());
+  const auto optimal = optimal_flow_graph(scenario.overlay, scenario.requirement,
+                                          *scenario.overlay_routing);
+  ASSERT_TRUE(optimal);
+  for (const int radius : {1, 2, -1}) {
+    SFlowNodeConfig config;
+    config.knowledge_radius = radius;
+    const SFlowFederationResult result = run_sflow_federation(
+        scenario.underlay, *scenario.routing, scenario.overlay,
+        *scenario.overlay_routing, scenario.requirement, config);
+    ASSERT_TRUE(result.flow_graph) << "radius " << radius;
+    result.flow_graph->validate(scenario.requirement, scenario.overlay);
+    EXPECT_LE(result.flow_graph->bottleneck_bandwidth(),
+              optimal->bottleneck_bandwidth() + 1e-9)
+        << "radius " << radius;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ShapesAndSizes, InvariantSweep,
+                         ::testing::ValuesIn(all_cases()));
+
+/// Merging partial flow graphs is order-independent when the partials agree.
+TEST(FlowGraphMerge, OrderIndependentForDisjointPartials) {
+  const Scenario scenario = make_scenario(testing::small_workload(14), 77);
+  const auto full = optimal_flow_graph(scenario.overlay, scenario.requirement,
+                                       *scenario.overlay_routing);
+  ASSERT_TRUE(full);
+
+  // Split the edges into two partials.
+  overlay::ServiceFlowGraph a;
+  overlay::ServiceFlowGraph b;
+  bool toggle = false;
+  for (const overlay::FlowEdge& e : full->edges()) {
+    (toggle ? a : b).set_edge(e.from_sid, e.to_sid, e.overlay_path, e.quality);
+    toggle = !toggle;
+  }
+  overlay::ServiceFlowGraph ab = a;
+  ab.merge_from(b);
+  overlay::ServiceFlowGraph ba = b;
+  ba.merge_from(a);
+  EXPECT_EQ(ab.assignments(), ba.assignments());
+  EXPECT_EQ(ab.edges().size(), ba.edges().size());
+  EXPECT_TRUE(ab.complete(scenario.requirement));
+}
+
+}  // namespace
+}  // namespace sflow::core

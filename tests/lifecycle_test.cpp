@@ -1,0 +1,115 @@
+// End-to-end lifecycle: one scenario driven through every subsystem in the
+// order a real deployment would meet them.
+//
+//   link-state dissemination  ->  distributed federation on protocol views
+//   ->  data-plane delivery   ->  contention evaluation
+//   ->  a consumer joins (graft)  ->  the original consumer leaves (prune)
+//   ->  the overlay churns    ->  incremental re-federation repairs it.
+//
+// Each stage validates against the previous one, so this is the repository's
+// cross-module composition check.
+#include <gtest/gtest.h>
+
+#include "core/global_optimal.hpp"
+#include "core/link_state.hpp"
+#include "core/membership.hpp"
+#include "core/refederation.hpp"
+#include "core/sflow_federation.hpp"
+#include "net/contention.hpp"
+#include "sim/data_plane.hpp"
+#include "test_helpers.hpp"
+
+namespace sflow::core {
+namespace {
+
+class LifecycleSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LifecycleSweep, FullLifecycleHoldsTogether) {
+  const Scenario scenario = make_scenario(testing::small_workload(18), GetParam());
+
+  // 1. Nodes learn their two-hop views through the link-state protocol.
+  LinkStateProtocol link_state(scenario.underlay, *scenario.routing,
+                               scenario.overlay, 2);
+  link_state.disseminate();
+  ASSERT_TRUE(link_state.converged());
+
+  // 2. Distributed federation running on the protocol-assembled views.
+  SFlowNodeConfig config;
+  config.view_provider = [&link_state](overlay::OverlayIndex self) {
+    return link_state.local_view(self);
+  };
+  FederationTrace trace;
+  const SFlowFederationResult federated = run_sflow_federation(
+      scenario.underlay, *scenario.routing, scenario.overlay,
+      *scenario.overlay_routing, scenario.requirement, config, {}, &trace);
+  ASSERT_TRUE(federated.flow_graph);
+  federated.flow_graph->validate(scenario.requirement, scenario.overlay);
+  EXPECT_EQ(trace.count(TraceEvent::Kind::kAssembled), 1u);
+
+  // 3. Deliver a payload; the measured schedule matches the analytic model.
+  const sim::DeliveryResult delivery =
+      sim::simulate_delivery(scenario.requirement, *federated.flow_graph, 50000);
+  EXPECT_NEAR(delivery.completion_time_ms, delivery.predicted_time_ms, 1e-6);
+
+  // 4. Contention: delivered throughput never exceeds the promise.
+  const net::ContentionReport contention =
+      net::evaluate_contention(scenario.overlay, *federated.flow_graph,
+                               scenario.underlay, *scenario.routing);
+  EXPECT_LE(contention.delivered_throughput,
+            contention.promised_throughput + 1e-9);
+
+  // 5. A new consumer joins under some federated service, if a spare hosted
+  //    service type exists.
+  overlay::Sid spare = overlay::kInvalidSid;
+  for (const overlay::ServiceInstance& inst : scenario.overlay.instances())
+    if (!scenario.requirement.contains(inst.sid)) spare = inst.sid;
+  overlay::ServiceRequirement requirement = scenario.requirement;
+  overlay::ServiceFlowGraph flow = *federated.flow_graph;
+  if (spare != overlay::kInvalidSid) {
+    const auto grafted =
+        graft_sink(scenario.overlay, *scenario.overlay_routing, requirement,
+                   flow, requirement.source(), {spare});
+    ASSERT_TRUE(grafted);
+    grafted->flow.validate(grafted->requirement, scenario.overlay);
+
+    // 6. ... and one of the original sinks leaves again (when removable).
+    const auto sinks = grafted->requirement.sinks();
+    if (sinks.size() >= 2) {
+      overlay::Sid removable = overlay::kInvalidSid;
+      for (const overlay::Sid s : sinks)
+        if (s != spare) removable = s;
+      if (removable != overlay::kInvalidSid) {
+        const MembershipResult pruned =
+            prune_sink(grafted->requirement, grafted->flow, removable);
+        pruned.flow.validate(pruned.requirement, scenario.overlay);
+        requirement = pruned.requirement;
+        flow = pruned.flow;
+      } else {
+        requirement = grafted->requirement;
+        flow = grafted->flow;
+      }
+    } else {
+      requirement = grafted->requirement;
+      flow = grafted->flow;
+    }
+  }
+
+  // 7. The overlay churns; the incremental repair restores a valid
+  //    federation on the churned overlay.
+  util::Rng rng(GetParam() ^ 0x11fe);
+  ChurnParams churn;
+  churn.link_churn_fraction = 0.4;
+  churn.bandwidth_jitter = 0.7;
+  const overlay::OverlayGraph after = apply_churn(scenario.overlay, churn, rng);
+  const graph::AllPairsShortestWidest routing(after.graph());
+  const RefederationResult repaired =
+      refederate(scenario.overlay, after, routing, requirement, flow);
+  ASSERT_TRUE(repaired.graph);
+  repaired.graph->validate(requirement, after);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LifecycleSweep,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+}  // namespace
+}  // namespace sflow::core

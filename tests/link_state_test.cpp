@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/link_state.hpp"
+#include "core/sflow_federation.hpp"
+#include "graph/dag.hpp"
+#include "test_helpers.hpp"
+
+namespace sflow::core {
+namespace {
+
+using overlay::OverlayGraph;
+using overlay::OverlayIndex;
+
+TEST(LinkStateDatabase, InstallDeduplicatesBySequence) {
+  LinkStateDatabase db;
+  Lsa lsa;
+  lsa.origin = 3;
+  lsa.sequence = 1;
+  lsa.instance = {0, 3};
+  EXPECT_TRUE(db.install(lsa));
+  EXPECT_FALSE(db.install(lsa));  // same sequence
+  lsa.sequence = 2;
+  EXPECT_TRUE(db.install(lsa));  // newer round
+  lsa.sequence = 1;
+  EXPECT_FALSE(db.install(lsa));  // stale
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_TRUE(db.knows(3));
+  EXPECT_FALSE(db.knows(5));
+}
+
+TEST(LinkStateDatabase, BuildsViewFromRecords) {
+  LinkStateDatabase db;
+  Lsa a;
+  a.origin = 0;
+  a.sequence = 1;
+  a.instance = {10, 0};
+  a.links = {{{11, 1}, {20, 2}}, {{12, 2}, {30, 3}}};
+  Lsa b;
+  b.origin = 1;
+  b.sequence = 1;
+  b.instance = {11, 1};
+  b.links = {{{12, 2}, {15, 1}}};  // neighbour 2 known only as endpoint
+  db.install(a);
+  db.install(b);
+
+  const OverlayGraph view = db.build_local_view({10, 0});
+  // Nodes: self (nid 0) and origin 1.  The instance at nid 2 is named only
+  // as someone's neighbour — it lies outside the advertisement scope, so it
+  // is not part of the view, and links toward it are dropped.
+  EXPECT_EQ(view.instance_count(), 2u);
+  EXPECT_FALSE(view.instance_at(2).has_value());
+  const auto self = view.instance_at(0);
+  const auto peer = view.instance_at(1);
+  ASSERT_TRUE(self && peer);
+  EXPECT_TRUE(view.graph().has_edge(*self, *peer));
+  EXPECT_EQ(view.graph().edge_count(), 1u);
+}
+
+/// Canonical form of an overlay for comparison: NIDs plus NID-keyed edges.
+struct ViewShape {
+  std::set<net::Nid> nodes;
+  std::set<std::tuple<net::Nid, net::Nid, double, double>> edges;
+
+  explicit ViewShape(const OverlayGraph& overlay) {
+    for (const overlay::ServiceInstance& inst : overlay.instances())
+      nodes.insert(inst.nid);
+    for (const graph::Edge& e : overlay.graph().edges())
+      edges.emplace(overlay.instance(e.from).nid, overlay.instance(e.to).nid,
+                    e.metrics.bandwidth, e.metrics.latency);
+  }
+};
+
+class LinkStateSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LinkStateSweep, DisseminationYieldsExactNeighbourhoodViews) {
+  const Scenario scenario = make_scenario(testing::small_workload(14), GetParam());
+  constexpr int kRadius = 2;
+  LinkStateProtocol protocol(scenario.underlay, *scenario.routing,
+                             scenario.overlay, kRadius);
+  const LinkStateStats stats = protocol.disseminate();
+  EXPECT_GT(stats.messages, 0u);
+  EXPECT_GT(stats.bytes, 0u);
+  EXPECT_GT(stats.convergence_time_ms, 0.0);
+
+  for (std::size_t v = 0; v < scenario.overlay.instance_count(); ++v) {
+    const auto self = static_cast<OverlayIndex>(v);
+    const OverlayGraph from_protocol = protocol.local_view(self);
+    const OverlayGraph reference = scenario.overlay.induced(
+        graph::neighborhood(scenario.overlay.graph(), self, kRadius));
+    const ViewShape got(from_protocol);
+    const ViewShape want(reference);
+    EXPECT_EQ(got.nodes, want.nodes) << "node " << v;
+    EXPECT_EQ(got.edges, want.edges) << "node " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LinkStateSweep,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(LinkStateProtocol, RepeatedRoundsRefreshDatabases) {
+  const Scenario scenario = make_scenario(testing::small_workload(12), 5);
+  LinkStateProtocol protocol(scenario.underlay, *scenario.routing,
+                             scenario.overlay, 2);
+  const LinkStateStats first = protocol.disseminate();
+  const LinkStateStats second = protocol.disseminate();
+  // A second advertisement round floods the same scope again.
+  EXPECT_EQ(first.messages, second.messages);
+}
+
+TEST(LinkStateProtocol, ReAdvertisementRecoversFromLoss) {
+  const Scenario scenario = make_scenario(testing::small_workload(14), 9);
+  LinkStateProtocol protocol(scenario.underlay, *scenario.routing,
+                             scenario.overlay, 2);
+  protocol.set_loss(0.3, 42);
+  int rounds = 0;
+  while (!protocol.converged() && rounds < 20) {
+    protocol.disseminate();
+    ++rounds;
+  }
+  EXPECT_TRUE(protocol.converged()) << "after " << rounds << " rounds";
+  EXPECT_GE(rounds, 1);
+  EXPECT_THROW(protocol.set_loss(1.5, 1), std::invalid_argument);
+}
+
+TEST(LinkStateProtocol, LossFreeRoundConvergesImmediately) {
+  const Scenario scenario = make_scenario(testing::small_workload(12), 10);
+  LinkStateProtocol protocol(scenario.underlay, *scenario.routing,
+                             scenario.overlay, 2);
+  EXPECT_FALSE(protocol.converged());  // nothing disseminated yet
+  protocol.disseminate();
+  EXPECT_TRUE(protocol.converged());
+}
+
+TEST(LinkStateProtocol, RejectsBadRadius) {
+  const Scenario scenario = make_scenario(testing::small_workload(10), 2);
+  EXPECT_THROW(LinkStateProtocol(scenario.underlay, *scenario.routing,
+                                 scenario.overlay, 0),
+               std::invalid_argument);
+}
+
+class LinkStateFederationSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LinkStateFederationSweep, ProtocolViewsReproduceDirectViewFederation) {
+  // End-to-end: sFlow running on views assembled from LSAs must decide
+  // exactly as sFlow running on omniscient neighbourhood cuts.
+  const Scenario scenario = make_scenario(testing::small_workload(14), GetParam());
+  LinkStateProtocol protocol(scenario.underlay, *scenario.routing,
+                             scenario.overlay, 2);
+  protocol.disseminate();
+
+  SFlowNodeConfig with_protocol;
+  with_protocol.view_provider = [&protocol](OverlayIndex self) {
+    return protocol.local_view(self);
+  };
+  const SFlowFederationResult via_protocol = run_sflow_federation(
+      scenario.underlay, *scenario.routing, scenario.overlay,
+      *scenario.overlay_routing, scenario.requirement, with_protocol);
+  const SFlowFederationResult direct = run_sflow_federation(
+      scenario.underlay, *scenario.routing, scenario.overlay,
+      *scenario.overlay_routing, scenario.requirement);
+
+  ASSERT_TRUE(via_protocol.flow_graph);
+  ASSERT_TRUE(direct.flow_graph);
+  via_protocol.flow_graph->validate(scenario.requirement, scenario.overlay);
+  EXPECT_EQ(via_protocol.flow_graph->assignments(),
+            direct.flow_graph->assignments());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LinkStateFederationSweep,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+}  // namespace
+}  // namespace sflow::core

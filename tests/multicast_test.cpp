@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "core/global_optimal.hpp"
+#include "core/multicast.hpp"
+#include "overlay/requirement_generator.hpp"
+#include "test_helpers.hpp"
+
+namespace sflow::core {
+namespace {
+
+using overlay::OverlayGraph;
+using overlay::ServiceRequirement;
+using overlay::Sid;
+
+ServiceRequirement fork_tree() {
+  // 0 -> 1 -> {2, 3}: one trunk, two sinks.
+  ServiceRequirement r;
+  r.add_edge(0, 1);
+  r.add_edge(1, 2);
+  r.add_edge(1, 3);
+  return r;
+}
+
+TEST(IsMulticastTree, ClassifiesShapes) {
+  EXPECT_TRUE(is_multicast_tree(fork_tree()));
+
+  ServiceRequirement chain;
+  chain.add_edge(0, 1);
+  chain.add_edge(1, 2);
+  EXPECT_TRUE(is_multicast_tree(chain));  // a path is a degenerate tree
+
+  ServiceRequirement diamond;
+  diamond.add_edge(0, 1);
+  diamond.add_edge(0, 2);
+  diamond.add_edge(1, 3);
+  diamond.add_edge(2, 3);
+  EXPECT_FALSE(is_multicast_tree(diamond));  // merge: in-degree 2
+
+  ServiceRequirement invalid;
+  EXPECT_FALSE(is_multicast_tree(invalid));
+}
+
+TEST(MulticastTree, SharedTrunkUsesOneInstance) {
+  // Overlay: service 1 has two instances; both sinks reachable from both.
+  OverlayGraph ov;
+  ov.add_instance(0, 0);
+  ov.add_instance(1, 1);  // narrow trunk candidate
+  ov.add_instance(1, 2);  // wide trunk candidate
+  ov.add_instance(2, 3);
+  ov.add_instance(3, 4);
+  ov.add_link(0, 1, {10, 1});
+  ov.add_link(0, 2, {50, 2});
+  ov.add_link(1, 3, {10, 1});
+  ov.add_link(1, 4, {10, 1});
+  ov.add_link(2, 3, {40, 2});
+  ov.add_link(2, 4, {45, 2});
+
+  const graph::AllPairsShortestWidest routing(ov.graph());
+  const auto tree = multicast_tree_federation(ov, fork_tree(), routing);
+  ASSERT_TRUE(tree);
+  tree->validate(fork_tree(), ov);
+  // Both root-to-sink paths share the trunk service 1, so exactly one of its
+  // instances is used — the wide one.
+  EXPECT_EQ(tree->assignment(1), 2);
+  EXPECT_DOUBLE_EQ(tree->bottleneck_bandwidth(), 40.0);
+}
+
+TEST(MulticastTree, RejectsNonTreeShapes) {
+  testing::DiamondFixture fx;
+  const graph::AllPairsShortestWidest routing(fx.overlay.graph());
+  EXPECT_THROW(multicast_tree_federation(fx.overlay, fx.requirement, routing),
+               std::invalid_argument);
+}
+
+TEST(MulticastTree, RespectsPins) {
+  OverlayGraph ov;
+  ov.add_instance(0, 0);
+  ov.add_instance(1, 1);
+  ov.add_instance(1, 2);
+  ov.add_instance(2, 3);
+  ov.add_link(0, 1, {10, 1});
+  ov.add_link(0, 2, {50, 1});
+  ov.add_link(1, 3, {10, 1});
+  ov.add_link(2, 3, {50, 1});
+  const graph::AllPairsShortestWidest routing(ov.graph());
+
+  ServiceRequirement chain;
+  chain.add_edge(0, 1);
+  chain.add_edge(1, 2);
+  chain.pin(1, 1);  // force the narrow instance
+  const auto tree = multicast_tree_federation(ov, chain, routing);
+  ASSERT_TRUE(tree);
+  EXPECT_EQ(tree->assignment(1), 1);
+}
+
+TEST(MulticastTree, FailsWhenUnsatisfiable) {
+  OverlayGraph ov;
+  ov.add_instance(0, 0);
+  ov.add_instance(1, 1);  // disconnected
+  const graph::AllPairsShortestWidest routing(ov.graph());
+  ServiceRequirement chain;
+  chain.add_edge(0, 1);
+  EXPECT_EQ(multicast_tree_federation(ov, chain, routing), std::nullopt);
+}
+
+/// Property sweep over generated multicast-tree requirements: the greedy
+/// tree construction is always feasible and valid on feasible scenarios, and
+/// never beats the exact optimum.
+class MulticastSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MulticastSweep, FeasibleValidAndBounded) {
+  core::WorkloadParams params = testing::small_workload(16);
+  params.requirement.shape = overlay::RequirementShape::kMulticastTree;
+  const Scenario scenario = make_scenario(params, GetParam());
+
+  const auto tree = multicast_tree_federation(
+      scenario.overlay, scenario.requirement, *scenario.overlay_routing);
+  const auto optimal = optimal_flow_graph(scenario.overlay, scenario.requirement,
+                                          *scenario.overlay_routing);
+  ASSERT_TRUE(optimal);
+  if (!tree) return;  // greedy dead end is legitimate (rare)
+  tree->validate(scenario.requirement, scenario.overlay);
+  EXPECT_LE(tree->bottleneck_bandwidth(),
+            optimal->bottleneck_bandwidth() + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MulticastSweep,
+                         ::testing::Range<std::uint64_t>(0, 15));
+
+TEST(MulticastGenerator, ProducesTreeShapes) {
+  util::Rng rng(4);
+  std::vector<Sid> sids;
+  for (Sid s = 0; s < 12; ++s) sids.push_back(s);
+  overlay::RequirementSpec spec;
+  spec.shape = overlay::RequirementShape::kMulticastTree;
+  spec.service_count = 8;
+  spec.branch_count = 3;
+  for (int trial = 0; trial < 10; ++trial) {
+    const ServiceRequirement r = overlay::generate_requirement(spec, sids, rng);
+    r.validate();
+    EXPECT_TRUE(is_multicast_tree(r));
+    // Fan-out bounded by branch_count.
+    for (const Sid sid : r.services())
+      EXPECT_LE(r.downstream(sid).size(), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace sflow::core

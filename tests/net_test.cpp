@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "net/generators.hpp"
+#include "net/topology.hpp"
+#include "net/underlay_routing.hpp"
+
+namespace sflow::net {
+namespace {
+
+TEST(UnderlyingNetwork, AddNodesAndLinks) {
+  UnderlyingNetwork network;
+  const Nid a = network.add_node({0, 0});
+  const Nid b = network.add_node({3, 4});
+  network.add_link(a, b, 50.0, 2.0);
+  EXPECT_EQ(network.node_count(), 2u);
+  EXPECT_EQ(network.link_count(), 1u);
+  EXPECT_TRUE(network.has_link(a, b));
+  EXPECT_TRUE(network.has_link(b, a));
+  EXPECT_DOUBLE_EQ(network.link_metrics(a, b).bandwidth, 50.0);
+  EXPECT_DOUBLE_EQ(network.distance(a, b), 5.0);
+}
+
+TEST(UnderlyingNetwork, RejectsBadLinks) {
+  UnderlyingNetwork network;
+  const Nid a = network.add_node();
+  const Nid b = network.add_node();
+  EXPECT_THROW(network.add_link(a, b, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(network.add_link(a, b, 5.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(network.link_metrics(a, b), std::invalid_argument);
+}
+
+TEST(UnderlyingNetwork, ConnectivityCheck) {
+  UnderlyingNetwork network;
+  const Nid a = network.add_node();
+  const Nid b = network.add_node();
+  const Nid c = network.add_node();
+  network.add_link(a, b, 10, 1);
+  EXPECT_FALSE(network.is_connected());
+  network.add_link(b, c, 10, 1);
+  EXPECT_TRUE(network.is_connected());
+  EXPECT_TRUE(UnderlyingNetwork().is_connected());
+}
+
+TEST(LinkModel, ValidatesAndDraws) {
+  LinkModel model;
+  model.validate();
+  util::Rng rng(3);
+  const auto metrics = model.draw(10.0, rng);
+  EXPECT_GE(metrics.bandwidth, model.bandwidth_min);
+  EXPECT_LE(metrics.bandwidth, model.bandwidth_max);
+  EXPECT_DOUBLE_EQ(metrics.latency, model.latency_base + model.latency_per_unit * 10.0);
+
+  LinkModel bad = model;
+  bad.bandwidth_max = bad.bandwidth_min - 1;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+class WaxmanSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WaxmanSweep, GeneratesConnectedNetworksWithModelMetrics) {
+  util::Rng rng(GetParam());
+  WaxmanParams params;
+  params.node_count = 12 + rng.uniform_index(30);
+  const UnderlyingNetwork network = make_waxman(params, rng);
+  EXPECT_EQ(network.node_count(), params.node_count);
+  EXPECT_TRUE(network.is_connected());
+  for (const graph::Edge& e : network.graph().edges()) {
+    EXPECT_GE(e.metrics.bandwidth, params.link.bandwidth_min);
+    EXPECT_LE(e.metrics.bandwidth, params.link.bandwidth_max);
+    EXPECT_GE(e.metrics.latency, params.link.latency_base);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WaxmanSweep, ::testing::Range<std::uint64_t>(0, 10));
+
+TEST(Waxman, DeterministicForSeed) {
+  WaxmanParams params;
+  params.node_count = 15;
+  util::Rng rng1(77);
+  util::Rng rng2(77);
+  const UnderlyingNetwork a = make_waxman(params, rng1);
+  const UnderlyingNetwork b = make_waxman(params, rng2);
+  EXPECT_EQ(a.link_count(), b.link_count());
+  for (const graph::Edge& e : a.graph().edges()) {
+    ASSERT_TRUE(b.has_link(e.from, e.to));
+    EXPECT_DOUBLE_EQ(b.link_metrics(e.from, e.to).bandwidth, e.metrics.bandwidth);
+  }
+}
+
+TEST(Waxman, RejectsBadParameters) {
+  util::Rng rng(1);
+  WaxmanParams params;
+  params.node_count = 0;
+  EXPECT_THROW(make_waxman(params, rng), std::invalid_argument);
+  params.node_count = 5;
+  params.alpha = 0.0;
+  EXPECT_THROW(make_waxman(params, rng), std::invalid_argument);
+}
+
+TEST(RingWithChords, HasRingPlusChords) {
+  util::Rng rng(5);
+  RingParams params;
+  params.node_count = 10;
+  params.chord_count = 3;
+  const UnderlyingNetwork network = make_ring_with_chords(params, rng);
+  EXPECT_TRUE(network.is_connected());
+  EXPECT_GE(network.link_count(), 10u);
+  EXPECT_LE(network.link_count(), 13u);
+  for (std::size_t i = 0; i < 10; ++i)
+    EXPECT_TRUE(network.has_link(static_cast<Nid>(i), static_cast<Nid>((i + 1) % 10)));
+}
+
+TEST(Grid, HasMeshStructure) {
+  util::Rng rng(6);
+  GridParams params;
+  params.rows = 3;
+  params.cols = 4;
+  const UnderlyingNetwork network = make_grid(params, rng);
+  EXPECT_EQ(network.node_count(), 12u);
+  // 3x4 grid: 3*3 horizontal + 2*4 vertical = 17 links.
+  EXPECT_EQ(network.link_count(), 17u);
+  EXPECT_TRUE(network.is_connected());
+}
+
+TEST(RandomTree, IsConnectedAndAcyclicSized) {
+  util::Rng rng(7);
+  TreeParams params;
+  params.node_count = 20;
+  params.max_children = 2;
+  const UnderlyingNetwork network = make_random_tree(params, rng);
+  EXPECT_EQ(network.node_count(), 20u);
+  EXPECT_EQ(network.link_count(), 19u);  // a tree
+  EXPECT_TRUE(network.is_connected());
+}
+
+TEST(UnderlayRouting, RoutesFollowLowestLatency) {
+  UnderlyingNetwork network;
+  const Nid a = network.add_node();
+  const Nid b = network.add_node();
+  const Nid c = network.add_node();
+  network.add_link(a, c, 100.0, 10.0);  // direct but slow
+  network.add_link(a, b, 10.0, 1.0);
+  network.add_link(b, c, 10.0, 1.0);
+  const UnderlayRouting routing(network);
+  EXPECT_TRUE(routing.connected(a, c));
+  EXPECT_DOUBLE_EQ(routing.route_quality(a, c).latency, 2.0);
+  EXPECT_DOUBLE_EQ(routing.route_quality(a, c).bandwidth, 10.0);
+  EXPECT_EQ(routing.route(a, c), (std::vector<Nid>{a, b, c}));
+  EXPECT_DOUBLE_EQ(routing.route_quality(a, a).latency, 0.0);
+}
+
+TEST(UnderlayRouting, DetectsDisconnection) {
+  UnderlyingNetwork network;
+  const Nid a = network.add_node();
+  network.add_node();
+  const Nid c = network.add_node();
+  network.add_link(a, 1, 10, 1);
+  const UnderlayRouting routing(network);
+  EXPECT_FALSE(routing.connected(a, c));
+  EXPECT_EQ(routing.route(a, c), std::nullopt);
+}
+
+}  // namespace
+}  // namespace sflow::net

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "net/underlay_routing.hpp"
+#include "overlay/overlay_graph.hpp"
+#include "overlay/service.hpp"
+
+namespace sflow::overlay {
+namespace {
+
+TEST(ServiceCatalog, InternIsIdempotent) {
+  ServiceCatalog catalog;
+  const Sid a = catalog.intern("Hotel");
+  const Sid b = catalog.intern("Airline");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(catalog.intern("Hotel"), a);
+  EXPECT_EQ(catalog.size(), 2u);
+  EXPECT_EQ(catalog.name(a), "Hotel");
+  EXPECT_EQ(catalog.find("Airline"), b);
+  EXPECT_EQ(catalog.find("Missing"), std::nullopt);
+  EXPECT_THROW(catalog.name(99), std::invalid_argument);
+  EXPECT_THROW(catalog.intern(""), std::invalid_argument);
+}
+
+TEST(OverlayGraph, InstancesIndexedBySidAndNid) {
+  OverlayGraph overlay;
+  const OverlayIndex a = overlay.add_instance(0, 10);
+  const OverlayIndex b = overlay.add_instance(1, 11);
+  const OverlayIndex c = overlay.add_instance(1, 12);
+  EXPECT_EQ(overlay.instance_count(), 3u);
+  EXPECT_EQ(overlay.instance(a).sid, 0);
+  EXPECT_EQ(overlay.instances_of(1), (std::vector<OverlayIndex>{b, c}));
+  EXPECT_TRUE(overlay.instances_of(9).empty());
+  EXPECT_EQ(overlay.instance_at(11), b);
+  EXPECT_EQ(overlay.instance_at(99), std::nullopt);
+}
+
+TEST(OverlayGraph, OneInstancePerNode) {
+  OverlayGraph overlay;
+  overlay.add_instance(0, 10);
+  EXPECT_THROW(overlay.add_instance(1, 10), std::invalid_argument);
+  EXPECT_THROW(overlay.add_instance(-1, 11), std::invalid_argument);
+  EXPECT_THROW(overlay.add_instance(0, -2), std::invalid_argument);
+}
+
+TEST(OverlayGraph, LinkValidation) {
+  OverlayGraph overlay;
+  const OverlayIndex a = overlay.add_instance(0, 0);
+  const OverlayIndex b = overlay.add_instance(1, 1);
+  overlay.add_link(a, b, {10, 2});
+  EXPECT_TRUE(overlay.graph().has_edge(a, b));
+  EXPECT_THROW(overlay.add_link(a, b, {0, 2}), std::invalid_argument);
+  EXPECT_THROW(overlay.add_link(a, b, {5, -1}), std::invalid_argument);
+}
+
+TEST(OverlayGraph, ConnectViaUnderlayUsesRoutesAndCompatibility) {
+  net::UnderlyingNetwork underlay;
+  for (int i = 0; i < 3; ++i) underlay.add_node();
+  underlay.add_link(0, 1, 20.0, 1.0);
+  underlay.add_link(1, 2, 30.0, 2.0);
+  const net::UnderlayRouting routing(underlay);
+
+  OverlayGraph overlay;
+  const OverlayIndex s0 = overlay.add_instance(0, 0);
+  const OverlayIndex s1 = overlay.add_instance(1, 2);
+  overlay.add_instance(2, 1);  // incompatible with everything
+
+  overlay.connect_via_underlay(routing, [](Sid from, Sid to) {
+    return from == 0 && to == 1;
+  });
+
+  ASSERT_TRUE(overlay.graph().has_edge(s0, s1));
+  const graph::Edge& e = overlay.graph().edge(overlay.graph().find_edge(s0, s1));
+  EXPECT_DOUBLE_EQ(e.metrics.bandwidth, 20.0);  // bottleneck of 0-1-2
+  EXPECT_DOUBLE_EQ(e.metrics.latency, 3.0);
+  EXPECT_EQ(overlay.graph().edge_count(), 1u);  // nothing else compatible
+}
+
+TEST(OverlayGraph, InducedPreservesNidsAndMetrics) {
+  OverlayGraph overlay;
+  const OverlayIndex a = overlay.add_instance(0, 5);
+  const OverlayIndex b = overlay.add_instance(1, 6);
+  const OverlayIndex c = overlay.add_instance(2, 7);
+  overlay.add_link(a, b, {10, 1});
+  overlay.add_link(b, c, {20, 2});
+
+  const OverlayGraph sub = overlay.induced({a, b});
+  EXPECT_EQ(sub.instance_count(), 2u);
+  EXPECT_EQ(sub.instance(0).nid, 5);
+  EXPECT_TRUE(sub.graph().has_edge(0, 1));
+  EXPECT_FALSE(sub.instance_at(7).has_value());
+  const graph::Edge& e = sub.graph().edge(sub.graph().find_edge(0, 1));
+  EXPECT_DOUBLE_EQ(e.metrics.bandwidth, 10);
+}
+
+TEST(OverlayGraph, DotIncludesServiceNames) {
+  ServiceCatalog catalog;
+  const Sid hotel = catalog.intern("Hotel");
+  OverlayGraph overlay;
+  overlay.add_instance(hotel, 3);
+  const std::string dot = overlay.to_dot(&catalog);
+  EXPECT_NE(dot.find("Hotel@3"), std::string::npos);
+  const std::string anonymous = overlay.to_dot();
+  EXPECT_NE(anonymous.find("S0@3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sflow::overlay

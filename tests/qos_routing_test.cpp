@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "graph/qos_routing.hpp"
+#include "util/rng.hpp"
+
+namespace sflow::graph {
+namespace {
+
+/// The classic counterexample to single-label lexicographic Dijkstra: the
+/// narrower-but-shorter prefix 0->2 must win after the bottleneck link 2->3
+/// equalizes widths.
+TEST(ShortestWidest, LatencyTieBreakSurvivesBottleneck) {
+  Digraph g(4);
+  g.add_edge(0, 1, {10, 5});  // wide, slow prefix
+  g.add_edge(0, 2, {8, 1});   // narrow, fast prefix
+  g.add_edge(1, 3, {8, 1});
+  g.add_edge(2, 3, {8, 1});
+  const RoutingTree tree = shortest_widest_tree(g, 0);
+  EXPECT_DOUBLE_EQ(tree.quality_to(3).bandwidth, 8);
+  EXPECT_DOUBLE_EQ(tree.quality_to(3).latency, 2);
+  EXPECT_EQ(tree.path_to(3), (std::vector<NodeIndex>{0, 2, 3}));
+}
+
+TEST(ShortestWidest, PrefersWiderOverShorter) {
+  Digraph g(3);
+  g.add_edge(0, 2, {5, 1});    // direct but narrow
+  g.add_edge(0, 1, {50, 10});  // detour, wide
+  g.add_edge(1, 2, {50, 10});
+  const RoutingTree tree = shortest_widest_tree(g, 0);
+  EXPECT_DOUBLE_EQ(tree.quality_to(2).bandwidth, 50);
+  EXPECT_DOUBLE_EQ(tree.quality_to(2).latency, 20);
+}
+
+TEST(ShortestWidest, SourceAndUnreachableLabels) {
+  Digraph g(3);
+  g.add_edge(0, 1, {5, 1});
+  const RoutingTree tree = shortest_widest_tree(g, 0);
+  EXPECT_TRUE(tree.reachable(0));
+  EXPECT_EQ(tree.path_to(0), (std::vector<NodeIndex>{0}));
+  EXPECT_TRUE(tree.reachable(1));
+  EXPECT_FALSE(tree.reachable(2));
+  EXPECT_EQ(tree.path_to(2), std::nullopt);
+  EXPECT_TRUE(tree.quality_to(2).is_unreachable());
+}
+
+TEST(ShortestWidest, RejectsUnknownSource) {
+  const Digraph g(2);
+  EXPECT_THROW(shortest_widest_tree(g, 5), std::invalid_argument);
+}
+
+TEST(ShortestLatency, PicksFastestRoute) {
+  Digraph g(3);
+  g.add_edge(0, 2, {5, 10});
+  g.add_edge(0, 1, {100, 2});
+  g.add_edge(1, 2, {100, 2});
+  const RoutingTree tree = shortest_latency_tree(g, 0);
+  EXPECT_DOUBLE_EQ(tree.quality_to(2).latency, 4);
+  EXPECT_DOUBLE_EQ(tree.quality_to(2).bandwidth, 100);
+  EXPECT_EQ(tree.path_to(2), (std::vector<NodeIndex>{0, 1, 2}));
+}
+
+TEST(PathQualityFn, EvaluatesExplicitPaths) {
+  Digraph g(3);
+  g.add_edge(0, 1, {10, 2});
+  g.add_edge(1, 2, {4, 3});
+  const PathQuality q = path_quality(g, {0, 1, 2});
+  EXPECT_DOUBLE_EQ(q.bandwidth, 4);
+  EXPECT_DOUBLE_EQ(q.latency, 5);
+  EXPECT_TRUE(path_quality(g, {0, 2}).is_unreachable());
+  EXPECT_TRUE(path_quality(g, {}).is_unreachable());
+  EXPECT_FALSE(path_quality(g, {1}).is_unreachable());
+}
+
+TEST(AllPairs, MatchesSingleSourceRuns) {
+  Digraph g(4);
+  g.add_edge(0, 1, {10, 1});
+  g.add_edge(1, 2, {8, 1});
+  g.add_edge(2, 3, {6, 1});
+  g.add_edge(0, 3, {2, 1});
+  const AllPairsShortestWidest all(g);
+  for (NodeIndex s = 0; s < 4; ++s) {
+    const RoutingTree single = shortest_widest_tree(g, s);
+    for (NodeIndex t = 0; t < 4; ++t) {
+      EXPECT_EQ(all.quality(s, t), single.quality_to(t))
+          << "pair " << s << "->" << t;
+    }
+  }
+}
+
+/// Property sweep: on random digraphs the algorithm must agree with the
+/// brute-force enumeration oracle for every pair.
+class ShortestWidestRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ShortestWidestRandom, AgreesWithBruteForceOracle) {
+  util::Rng rng(GetParam());
+  const std::size_t n = 5 + rng.uniform_index(4);  // 5..8 nodes
+  Digraph g(n);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a == b || !rng.chance(0.45)) continue;
+      // Small integer metrics force frequent width ties, stressing the
+      // latency tie-break.
+      g.add_edge(static_cast<NodeIndex>(a), static_cast<NodeIndex>(b),
+                 {static_cast<double>(rng.uniform_int(1, 4)),
+                  static_cast<double>(rng.uniform_int(1, 9))});
+    }
+  }
+  for (std::size_t s = 0; s < n; ++s) {
+    const RoutingTree tree = shortest_widest_tree(g, static_cast<NodeIndex>(s));
+    for (std::size_t t = 0; t < n; ++t) {
+      if (s == t) continue;
+      const auto oracle = brute_force_shortest_widest(
+          g, static_cast<NodeIndex>(s), static_cast<NodeIndex>(t));
+      const PathQuality got = tree.quality_to(static_cast<NodeIndex>(t));
+      if (!oracle) {
+        EXPECT_TRUE(got.is_unreachable()) << s << "->" << t;
+        continue;
+      }
+      EXPECT_DOUBLE_EQ(got.bandwidth, oracle->first.bandwidth) << s << "->" << t;
+      EXPECT_DOUBLE_EQ(got.latency, oracle->first.latency) << s << "->" << t;
+      // The returned path must actually achieve the reported quality.
+      const auto path = tree.path_to(static_cast<NodeIndex>(t));
+      ASSERT_TRUE(path);
+      const PathQuality along = path_quality(g, *path);
+      EXPECT_DOUBLE_EQ(along.bandwidth, got.bandwidth);
+      EXPECT_DOUBLE_EQ(along.latency, got.latency);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShortestWidestRandom,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace sflow::graph

@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include "core/global_optimal.hpp"
+#include "core/reduction.hpp"
+#include "test_helpers.hpp"
+
+namespace sflow::core {
+namespace {
+
+using overlay::ServiceRequirement;
+using overlay::Sid;
+
+ServiceRequirement diamond_requirement() {
+  ServiceRequirement r;
+  r.add_edge(0, 1);
+  r.add_edge(0, 2);
+  r.add_edge(1, 3);
+  r.add_edge(2, 3);
+  return r;
+}
+
+TEST(DecomposeParallelChains, SplitsDiamondIntoTwoChains) {
+  const auto cd = decompose_parallel_chains(diamond_requirement());
+  ASSERT_TRUE(cd);
+  EXPECT_EQ(cd->source, 0);
+  EXPECT_EQ(cd->sink, 3);
+  ASSERT_EQ(cd->chains.size(), 2u);
+  EXPECT_EQ(cd->chains[0], (std::vector<Sid>{1}));
+  EXPECT_EQ(cd->chains[1], (std::vector<Sid>{2}));
+}
+
+TEST(DecomposeParallelChains, HandlesDirectEdgeAsEmptyChain) {
+  ServiceRequirement r;
+  r.add_edge(0, 1);
+  r.add_edge(1, 2);
+  r.add_edge(0, 2);  // direct source->sink edge
+  const auto cd = decompose_parallel_chains(r);
+  ASSERT_TRUE(cd);
+  ASSERT_EQ(cd->chains.size(), 2u);
+  // One chain {1}, one empty chain.
+  const bool has_empty = cd->chains[0].empty() || cd->chains[1].empty();
+  EXPECT_TRUE(has_empty);
+}
+
+TEST(DecomposeParallelChains, RejectsNonChainShapes) {
+  // Interior node with fan-out.
+  ServiceRequirement r;
+  r.add_edge(0, 1);
+  r.add_edge(1, 2);
+  r.add_edge(1, 3);
+  r.add_edge(2, 4);
+  r.add_edge(3, 4);
+  EXPECT_FALSE(decompose_parallel_chains(r).has_value());
+
+  // Two sinks.
+  ServiceRequirement multi_sink;
+  multi_sink.add_edge(0, 1);
+  multi_sink.add_edge(0, 2);
+  EXPECT_FALSE(decompose_parallel_chains(multi_sink).has_value());
+
+  // Single service.
+  ServiceRequirement single;
+  single.add_service(0);
+  EXPECT_FALSE(decompose_parallel_chains(single).has_value());
+}
+
+TEST(FindReducibleBlock, FindsInnerBlockOfNestedStructure) {
+  // 0 -> 1 -> {2, 3} -> 4 -> 5: the block is (1 .. 4).
+  ServiceRequirement r;
+  r.add_edge(0, 1);
+  r.add_edge(1, 2);
+  r.add_edge(1, 3);
+  r.add_edge(2, 4);
+  r.add_edge(3, 4);
+  r.add_edge(4, 5);
+  const auto block = find_reducible_block(r);
+  ASSERT_TRUE(block);
+  EXPECT_EQ(block->split, 1);
+  EXPECT_EQ(block->merge, 4);
+  EXPECT_EQ(block->interior.size(), 2u);
+}
+
+TEST(FindReducibleBlock, NoneOnChainsOrDirtyBlocks) {
+  ServiceRequirement chain;
+  chain.add_edge(0, 1);
+  chain.add_edge(1, 2);
+  EXPECT_FALSE(find_reducible_block(chain).has_value());
+
+  // Branch escaping the block: 1's subtree leaks to the sink directly, so
+  // every split has its merge at the sink with a non-clean interior.
+  ServiceRequirement dirty;
+  dirty.add_edge(0, 1);
+  dirty.add_edge(0, 2);
+  dirty.add_edge(1, 3);
+  dirty.add_edge(2, 3);
+  dirty.add_edge(1, 4);  // leak
+  dirty.add_edge(3, 4);
+  EXPECT_FALSE(find_reducible_block(dirty).has_value());
+}
+
+TEST(RequirementSolver, MatchesOptimalOnDiamond) {
+  testing::DiamondFixture fx;
+  const graph::AllPairsShortestWidest routing(fx.overlay.graph());
+  const RequirementSolver solver(fx.overlay, routing);
+  RequirementSolver::Trace trace;
+  const auto result = solver.solve(fx.requirement, &trace);
+  ASSERT_TRUE(result);
+  result->validate(fx.requirement, fx.overlay);
+  EXPECT_DOUBLE_EQ(result->bottleneck_bandwidth(), 40.0);
+  EXPECT_DOUBLE_EQ(result->end_to_end_latency(fx.requirement), 6.0);
+  // The diamond is one split-and-merge block around parallel chains.
+  EXPECT_GE(trace.path_reductions + trace.split_merge_reductions, 1u);
+  EXPECT_EQ(trace.exhaustive_fallbacks, 0u);
+}
+
+TEST(RequirementSolver, UsesBaselineForChains) {
+  testing::DiamondFixture fx;
+  const graph::AllPairsShortestWidest routing(fx.overlay.graph());
+  ServiceRequirement chain;
+  chain.add_edge(0, 1);
+  chain.add_edge(1, 3);
+  const RequirementSolver solver(fx.overlay, routing);
+  RequirementSolver::Trace trace;
+  const auto result = solver.solve(chain, &trace);
+  ASSERT_TRUE(result);
+  EXPECT_EQ(trace.baseline_calls, 1u);
+  EXPECT_EQ(trace.split_merge_reductions, 0u);
+}
+
+TEST(RequirementSolver, FallsBackWhenReductionsDisabled) {
+  testing::DiamondFixture fx;
+  const graph::AllPairsShortestWidest routing(fx.overlay.graph());
+  RequirementSolver::Options options;
+  options.enable_path_reduction = false;
+  options.enable_split_merge = false;
+  const RequirementSolver solver(fx.overlay, routing, options);
+  RequirementSolver::Trace trace;
+  const auto result = solver.solve(fx.requirement, &trace);
+  ASSERT_TRUE(result);
+  EXPECT_EQ(trace.exhaustive_fallbacks, 1u);
+  // Exhaustive fallback is exact too.
+  EXPECT_DOUBLE_EQ(result->bottleneck_bandwidth(), 40.0);
+}
+
+TEST(RequirementSolver, SolvesNestedSplitMerge) {
+  // 0 -> {1 -> {2,3} -> 4, 5} -> 6: an inner diamond nested in an outer one.
+  ServiceRequirement r;
+  r.add_edge(0, 1);
+  r.add_edge(1, 2);
+  r.add_edge(1, 3);
+  r.add_edge(2, 4);
+  r.add_edge(3, 4);
+  r.add_edge(4, 6);
+  r.add_edge(0, 5);
+  r.add_edge(5, 6);
+
+  // Build an overlay with one instance per service plus an extra S2 choice.
+  overlay::OverlayGraph ov;
+  for (Sid s = 0; s <= 6; ++s) ov.add_instance(s, s);
+  const auto extra = ov.add_instance(2, 7);  // second instance of service 2
+  util::Rng rng(3);
+  for (std::size_t a = 0; a < ov.instance_count(); ++a)
+    for (std::size_t b = 0; b < ov.instance_count(); ++b)
+      if (a != b)
+        ov.add_link(static_cast<overlay::OverlayIndex>(a),
+                    static_cast<overlay::OverlayIndex>(b),
+                    {rng.uniform_real(5, 50), rng.uniform_real(1, 5)});
+  (void)extra;
+
+  const graph::AllPairsShortestWidest routing(ov.graph());
+  const RequirementSolver solver(ov, routing);
+  RequirementSolver::Trace trace;
+  const auto result = solver.solve(r, &trace);
+  ASSERT_TRUE(result);
+  result->validate(r, ov);
+  EXPECT_GE(trace.split_merge_reductions, 1u);
+
+  // The heuristic result must be feasible and close to optimal; on this
+  // instance the nested reduction is in fact exact.
+  const auto optimal = optimal_flow_graph(ov, r, routing);
+  ASSERT_TRUE(optimal);
+  EXPECT_DOUBLE_EQ(result->bottleneck_bandwidth(), optimal->bottleneck_bandwidth());
+}
+
+TEST(RequirementSolver, ReturnsNulloptWhenInfeasible) {
+  overlay::OverlayGraph ov;
+  ov.add_instance(0, 0);
+  ov.add_instance(1, 1);  // disconnected
+  const graph::AllPairsShortestWidest routing(ov.graph());
+  ServiceRequirement r;
+  r.add_edge(0, 1);
+  const RequirementSolver solver(ov, routing);
+  EXPECT_EQ(solver.solve(r), std::nullopt);
+}
+
+/// Property sweep: on parallel-chain requirements, path reduction is exact —
+/// the solver must equal the exhaustive optimum.
+class PathReductionExact : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PathReductionExact, EqualsOptimalOnParallelChains) {
+  WorkloadParams params = testing::small_workload(14);
+  params.service_type_count = 6;
+  params.requirement.shape = overlay::RequirementShape::kDisjointPaths;
+  params.requirement.service_count = 6;
+  const Scenario scenario = make_scenario(params, GetParam());
+
+  const RequirementSolver solver(scenario.overlay, *scenario.overlay_routing);
+  RequirementSolver::Trace trace;
+  const auto heuristic = solver.solve(scenario.requirement, &trace);
+  const auto optimal = optimal_flow_graph(scenario.overlay, scenario.requirement,
+                                          *scenario.overlay_routing);
+  ASSERT_TRUE(heuristic);
+  ASSERT_TRUE(optimal);
+  heuristic->validate(scenario.requirement, scenario.overlay);
+  // Path reduction is exact for the bottleneck bandwidth (each chain
+  // maximizes its own width independently); the latency tie-break is only
+  // approximate — a chain may buy extra width the bottleneck cannot use at
+  // the price of latency — so it is bounded, not equal (the paper's
+  // "acceptable degree of approximation").
+  EXPECT_DOUBLE_EQ(heuristic->bottleneck_bandwidth(),
+                   optimal->bottleneck_bandwidth());
+  EXPECT_GE(heuristic->end_to_end_latency(scenario.requirement) + 1e-9,
+            optimal->end_to_end_latency(scenario.requirement));
+  EXPECT_EQ(trace.exhaustive_fallbacks, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PathReductionExact,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+/// Property sweep: on arbitrary generic DAGs the solver must always produce a
+/// feasible, validated flow graph (never worse than nothing), and never beat
+/// the true optimum.
+class SolverGeneric : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SolverGeneric, FeasibleAndBoundedByOptimal) {
+  WorkloadParams params = testing::small_workload(14);
+  params.requirement.service_count = 5;
+  const Scenario scenario = make_scenario(params, GetParam());
+
+  const RequirementSolver solver(scenario.overlay, *scenario.overlay_routing);
+  const auto heuristic = solver.solve(scenario.requirement);
+  const auto optimal = optimal_flow_graph(scenario.overlay, scenario.requirement,
+                                          *scenario.overlay_routing);
+  ASSERT_TRUE(heuristic);
+  ASSERT_TRUE(optimal);
+  heuristic->validate(scenario.requirement, scenario.overlay);
+  EXPECT_LE(heuristic->bottleneck_bandwidth(),
+            optimal->bottleneck_bandwidth() + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverGeneric,
+                         ::testing::Range<std::uint64_t>(100, 115));
+
+}  // namespace
+}  // namespace sflow::core

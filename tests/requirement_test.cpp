@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include "graph/dag.hpp"
+#include "overlay/requirement.hpp"
+#include "overlay/requirement_generator.hpp"
+#include "overlay/requirement_parser.hpp"
+
+namespace sflow::overlay {
+namespace {
+
+ServiceRequirement chain(std::initializer_list<Sid> sids) {
+  ServiceRequirement r;
+  Sid prev = kInvalidSid;
+  for (const Sid s : sids) {
+    if (prev != kInvalidSid) r.add_edge(prev, s);
+    prev = s;
+  }
+  return r;
+}
+
+TEST(Requirement, BuildAndQuery) {
+  ServiceRequirement r;
+  r.add_edge(0, 1);
+  r.add_edge(0, 2);
+  r.add_edge(1, 3);
+  r.add_edge(2, 3);
+  r.validate();
+  EXPECT_EQ(r.service_count(), 4u);
+  EXPECT_EQ(r.source(), 0);
+  EXPECT_EQ(r.sinks(), (std::vector<Sid>{3}));
+  EXPECT_EQ(r.downstream(0), (std::vector<Sid>{1, 2}));
+  EXPECT_EQ(r.upstream(3), (std::vector<Sid>{1, 2}));
+  EXPECT_TRUE(r.contains(2));
+  EXPECT_FALSE(r.contains(9));
+  EXPECT_EQ(r.sid_of(r.index_of(2)), 2);
+  EXPECT_THROW(r.index_of(9), std::invalid_argument);
+}
+
+TEST(Requirement, ValidationCatchesBadShapes) {
+  ServiceRequirement empty;
+  EXPECT_THROW(empty.validate(), std::invalid_argument);
+
+  ServiceRequirement cyclic;
+  cyclic.add_edge(0, 1);
+  cyclic.add_edge(1, 2);
+  cyclic.add_edge(2, 0);
+  EXPECT_THROW(cyclic.validate(), std::invalid_argument);
+  EXPECT_FALSE(cyclic.is_valid());
+
+  ServiceRequirement two_sources;
+  two_sources.add_edge(0, 2);
+  two_sources.add_edge(1, 2);
+  EXPECT_THROW(two_sources.validate(), std::invalid_argument);
+
+  ServiceRequirement self_edge;
+  EXPECT_THROW(self_edge.add_edge(3, 3), std::invalid_argument);
+}
+
+TEST(Requirement, PinsTravelAndValidate) {
+  ServiceRequirement r = chain({0, 1, 2});
+  r.pin(1, 42);
+  EXPECT_EQ(r.pinned(1), 42);
+  EXPECT_EQ(r.pinned(0), std::nullopt);
+  EXPECT_THROW(r.pin(9, 1), std::invalid_argument);
+}
+
+TEST(Requirement, SinglePathDetection) {
+  EXPECT_TRUE(chain({0, 1, 2, 3}).is_single_path());
+  EXPECT_EQ(chain({0, 1, 2}).as_path(), (std::vector<Sid>{0, 1, 2}));
+
+  ServiceRequirement diamond;
+  diamond.add_edge(0, 1);
+  diamond.add_edge(0, 2);
+  diamond.add_edge(1, 3);
+  diamond.add_edge(2, 3);
+  EXPECT_FALSE(diamond.is_single_path());
+  EXPECT_THROW(diamond.as_path(), std::logic_error);
+
+  ServiceRequirement single;
+  single.add_service(7);
+  EXPECT_TRUE(single.is_single_path());
+  EXPECT_EQ(single.as_path(), (std::vector<Sid>{7}));
+}
+
+TEST(Requirement, SubrequirementKeepsReachablePart) {
+  ServiceRequirement r;
+  r.add_edge(0, 1);
+  r.add_edge(0, 2);
+  r.add_edge(1, 3);
+  r.add_edge(2, 3);
+  r.add_edge(3, 4);
+  r.pin(3, 30);
+  r.pin(2, 20);
+
+  const ServiceRequirement sub = r.subrequirement_from(1);
+  EXPECT_EQ(sub.service_count(), 3u);  // 1, 3, 4
+  EXPECT_TRUE(sub.contains(1));
+  EXPECT_FALSE(sub.contains(2));
+  EXPECT_EQ(sub.source(), 1);
+  EXPECT_EQ(sub.pinned(3), 30);
+  EXPECT_EQ(sub.pinned(2), std::nullopt);
+  sub.validate();
+}
+
+TEST(Requirement, EqualityComparesStructureAndPins) {
+  ServiceRequirement a = chain({0, 1, 2});
+  ServiceRequirement b = chain({0, 1, 2});
+  EXPECT_EQ(a, b);
+  b.pin(1, 5);
+  EXPECT_FALSE(a == b);
+  ServiceRequirement c = chain({0, 2, 1});
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Requirement, ToStringMentionsEdgesAndPins) {
+  ServiceCatalog catalog;
+  const Sid src = catalog.intern("Src");
+  const Sid dst = catalog.intern("Dst");
+  ServiceRequirement r;
+  r.add_edge(src, dst);
+  r.pin(dst, 4);
+  const std::string text = r.to_string(&catalog);
+  EXPECT_NE(text.find("Src -> Dst"), std::string::npos);
+  EXPECT_NE(text.find("pin Dst@4"), std::string::npos);
+}
+
+TEST(Parser, ParsesEdgesFanOutAndPins) {
+  ServiceCatalog catalog;
+  const std::string text = R"(
+    # travel example
+    TravelEngine -> Airline, Hotel
+    Airline -> AgencyA
+    Hotel -> AgencyA   # merge
+    pin TravelEngine @ 3
+  )";
+  const ServiceRequirement r = parse_requirement(text, catalog);
+  EXPECT_EQ(r.service_count(), 4u);
+  EXPECT_EQ(r.source(), catalog.find("TravelEngine"));
+  EXPECT_EQ(r.sinks().size(), 1u);
+  EXPECT_EQ(r.pinned(*catalog.find("TravelEngine")), 3);
+}
+
+TEST(Parser, RejectsSyntaxErrors) {
+  ServiceCatalog catalog;
+  EXPECT_THROW(parse_requirement("A B", catalog), std::invalid_argument);
+  EXPECT_THROW(parse_requirement("A -> ", catalog), std::invalid_argument);
+  EXPECT_THROW(parse_requirement("A -> A", catalog), std::invalid_argument);
+  EXPECT_THROW(parse_requirement("pin A @ x", catalog), std::invalid_argument);
+  EXPECT_THROW(parse_requirement("pin A @ -2", catalog), std::invalid_argument);
+  EXPECT_THROW(parse_requirement("pin Unseen @ 2", catalog), std::invalid_argument);
+  // Valid edges but invalid topology (cycle).
+  EXPECT_THROW(parse_requirement("A -> B\nB -> A", catalog), std::invalid_argument);
+}
+
+struct GeneratorCase {
+  RequirementShape shape;
+  std::size_t service_count;
+  std::uint64_t seed;
+};
+
+class GeneratorSweep : public ::testing::TestWithParam<GeneratorCase> {};
+
+TEST_P(GeneratorSweep, ProducesValidRequirementOfRequestedShape) {
+  const GeneratorCase& param = GetParam();
+  util::Rng rng(param.seed);
+  std::vector<Sid> sids;
+  for (Sid s = 0; s < 12; ++s) sids.push_back(s);
+
+  RequirementSpec spec;
+  spec.shape = param.shape;
+  spec.service_count = param.service_count;
+  const ServiceRequirement r = generate_requirement(spec, sids, rng);
+  r.validate();
+  EXPECT_EQ(r.service_count(), param.service_count);
+
+  switch (param.shape) {
+    case RequirementShape::kSinglePath:
+      EXPECT_TRUE(r.is_single_path());
+      break;
+    case RequirementShape::kDisjointPaths:
+    case RequirementShape::kSplitMerge: {
+      // Interior services form chains: in = out = 1.
+      const Sid source = r.source();
+      const auto sinks = r.sinks();
+      ASSERT_EQ(sinks.size(), 1u);
+      for (const Sid sid : r.services()) {
+        if (sid == source || sid == sinks.front()) continue;
+        EXPECT_EQ(r.upstream(sid).size(), 1u);
+        EXPECT_EQ(r.downstream(sid).size(), 1u);
+      }
+      EXPECT_GE(r.downstream(source).size(), 2u);
+      break;
+    }
+    case RequirementShape::kMulticastTree:
+      for (const Sid sid : r.services())
+        EXPECT_LE(r.upstream(sid).size(), 1u);
+      break;
+    case RequirementShape::kGenericDag:
+      EXPECT_TRUE(graph::is_dag(r.dag()));
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GeneratorSweep,
+    ::testing::Values(GeneratorCase{RequirementShape::kSinglePath, 2, 1},
+                      GeneratorCase{RequirementShape::kSinglePath, 6, 2},
+                      GeneratorCase{RequirementShape::kDisjointPaths, 5, 3},
+                      GeneratorCase{RequirementShape::kDisjointPaths, 8, 4},
+                      GeneratorCase{RequirementShape::kSplitMerge, 6, 5},
+                      GeneratorCase{RequirementShape::kGenericDag, 2, 6},
+                      GeneratorCase{RequirementShape::kGenericDag, 6, 7},
+                      GeneratorCase{RequirementShape::kGenericDag, 10, 8}));
+
+class GeneratorSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorSeedSweep, GenericDagsAreAlwaysValid) {
+  util::Rng rng(GetParam());
+  std::vector<Sid> sids;
+  for (Sid s = 0; s < 15; ++s) sids.push_back(s);
+  RequirementSpec spec;
+  spec.shape = RequirementShape::kGenericDag;
+  spec.service_count = 4 + rng.uniform_index(8);
+  const ServiceRequirement r = generate_requirement(spec, sids, rng);
+  r.validate();
+  EXPECT_TRUE(graph::is_dag(r.dag()));
+  EXPECT_EQ(graph::source_nodes(r.dag()).size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSeedSweep,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+TEST(Generator, RejectsBadSpecs) {
+  util::Rng rng(1);
+  std::vector<Sid> sids{0, 1, 2};
+  RequirementSpec spec;
+  spec.service_count = 5;  // more than available SIDs
+  EXPECT_THROW(generate_requirement(spec, sids, rng), std::invalid_argument);
+  spec.service_count = 1;
+  EXPECT_THROW(generate_requirement(spec, sids, rng), std::invalid_argument);
+  spec.service_count = 3;
+  spec.shape = RequirementShape::kDisjointPaths;
+  spec.branch_count = 4;  // cannot fit 4 branches in 1 interior service
+  EXPECT_THROW(generate_requirement(spec, sids, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sflow::overlay

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/global_optimal.hpp"
+#include "overlay/resources.hpp"
+#include "test_helpers.hpp"
+
+namespace sflow::overlay {
+namespace {
+
+TEST(ResourceModel, DefaultsAreFreeAndUnbounded) {
+  ResourceModel model;
+  const InstanceResources& r = model.get(7);
+  EXPECT_DOUBLE_EQ(r.processing_latency_ms, 0.0);
+  EXPECT_TRUE(std::isinf(r.capacity_mbps));
+}
+
+TEST(ResourceModel, SetAndValidate) {
+  ResourceModel model;
+  model.set(3, {2.5, 40.0});
+  EXPECT_DOUBLE_EQ(model.get(3).processing_latency_ms, 2.5);
+  EXPECT_DOUBLE_EQ(model.get(3).capacity_mbps, 40.0);
+  EXPECT_THROW(model.set(-1, {1, 1}), std::invalid_argument);
+  EXPECT_THROW(model.set(3, {-1, 1}), std::invalid_argument);
+  EXPECT_THROW(model.set(3, {1, 0}), std::invalid_argument);
+}
+
+TEST(ResourceModel, RandomCoversEveryInstance) {
+  testing::DiamondFixture fx;
+  util::Rng rng(3);
+  const ResourceModel model = ResourceModel::random(fx.overlay, 5.0, 20.0, 80.0, rng);
+  for (const ServiceInstance& inst : fx.overlay.instances()) {
+    const InstanceResources& r = model.get(inst.nid);
+    EXPECT_GE(r.processing_latency_ms, 0.0);
+    EXPECT_LE(r.processing_latency_ms, 5.0);
+    EXPECT_GE(r.capacity_mbps, 20.0);
+    EXPECT_LE(r.capacity_mbps, 80.0);
+  }
+  EXPECT_THROW(ResourceModel::random(fx.overlay, -1.0, 1, 2, rng),
+               std::invalid_argument);
+  EXPECT_THROW(ResourceModel::random(fx.overlay, 1.0, 5, 2, rng),
+               std::invalid_argument);
+}
+
+class ResourceQualityTest : public ::testing::Test {
+ protected:
+  ResourceQualityTest()
+      : routing_(fx_.overlay.graph()),
+        flow_(*core::optimal_flow_graph(fx_.overlay, fx_.requirement, routing_)) {}
+
+  testing::DiamondFixture fx_;
+  graph::AllPairsShortestWidest routing_;
+  ServiceFlowGraph flow_;
+};
+
+TEST_F(ResourceQualityTest, EmptyModelMatchesNetworkQuality) {
+  const ResourceModel empty;
+  const graph::PathQuality q =
+      resource_aware_quality(fx_.overlay, fx_.requirement, flow_, empty);
+  EXPECT_DOUBLE_EQ(q.bandwidth, flow_.bottleneck_bandwidth());
+  EXPECT_DOUBLE_EQ(q.latency, flow_.end_to_end_latency(fx_.requirement));
+}
+
+TEST_F(ResourceQualityTest, CapacityCapsBottleneck) {
+  // The optimal diamond assigns S1 to the instance at NID 2; cap it below
+  // the network bottleneck (40 Mbps).
+  ResourceModel model;
+  model.set(2, {0.0, 25.0});
+  const graph::PathQuality q =
+      resource_aware_quality(fx_.overlay, fx_.requirement, flow_, model);
+  EXPECT_DOUBLE_EQ(q.bandwidth, 25.0);
+}
+
+TEST_F(ResourceQualityTest, ProcessingAddsAlongCriticalPath) {
+  // Network critical path is via S2 (instance at NID 4): 3 + 3 = 6 ms.
+  // Loading S2 with 10 ms moves the critical path to 3 + 10 + 3 = 16; the
+  // source's processing (1 ms) is added once on top.
+  ResourceModel model;
+  model.set(4, {10.0, 1000.0});
+  model.set(0, {1.0, 1000.0});
+  const graph::PathQuality q =
+      resource_aware_quality(fx_.overlay, fx_.requirement, flow_, model);
+  EXPECT_DOUBLE_EQ(q.latency, 17.0);
+}
+
+TEST_F(ResourceQualityTest, SourceCapacityCounts) {
+  ResourceModel model;
+  model.set(0, {0.0, 5.0});  // the source instance itself is the bottleneck
+  const graph::PathQuality q =
+      resource_aware_quality(fx_.overlay, fx_.requirement, flow_, model);
+  EXPECT_DOUBLE_EQ(q.bandwidth, 5.0);
+}
+
+TEST_F(ResourceQualityTest, IncompleteFlowGraphRejected) {
+  ServiceFlowGraph incomplete;
+  EXPECT_THROW(resource_aware_quality(fx_.overlay, fx_.requirement, incomplete,
+                                      ResourceModel{}),
+               std::invalid_argument);
+}
+
+TEST_F(ResourceQualityTest, ResourceAwareSelectionAvoidsLoadedInstances) {
+  // Choke the wide S1 instance (NID 2): a resource-aware optimizer must
+  // switch S1 to the narrow instance, a resource-blind one keeps the choke.
+  ResourceModel model;
+  model.set(2, {0.0, 3.0});
+
+  const auto aware_quality =
+      resource_aware_edge_quality(fx_.overlay, routing_, model);
+  const auto aware = core::optimal_flow_graph_custom(
+      fx_.overlay, fx_.requirement, aware_quality,
+      core::routing_edge_path(routing_));
+  ASSERT_TRUE(aware);
+  EXPECT_EQ(aware->assignment(1), 1);  // switched to the narrow instance
+
+  const graph::PathQuality aware_q =
+      resource_aware_quality(fx_.overlay, fx_.requirement, *aware, model);
+  const graph::PathQuality blind_q =
+      resource_aware_quality(fx_.overlay, fx_.requirement, flow_, model);
+  EXPECT_GT(aware_q.bandwidth, blind_q.bandwidth);
+}
+
+/// Property sweep: resource-aware selection never does worse than
+/// resource-blind selection under the resource-aware metric.
+class ResourceAwareSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ResourceAwareSweep, AwareSelectionDominatesBlind) {
+  const core::Scenario scenario =
+      core::make_scenario(testing::small_workload(14), GetParam());
+  util::Rng rng(GetParam() ^ 0xbeef);
+  const ResourceModel model =
+      ResourceModel::random(scenario.overlay, 4.0, 10.0, 60.0, rng);
+
+  const auto blind = core::optimal_flow_graph(
+      scenario.overlay, scenario.requirement, *scenario.overlay_routing);
+  ASSERT_TRUE(blind);
+  const auto aware = core::optimal_flow_graph_custom(
+      scenario.overlay, scenario.requirement,
+      resource_aware_edge_quality(scenario.overlay, *scenario.overlay_routing,
+                                  model),
+      core::routing_edge_path(*scenario.overlay_routing));
+  ASSERT_TRUE(aware);
+
+  const double blind_bw =
+      resource_aware_quality(scenario.overlay, scenario.requirement, *blind, model)
+          .bandwidth;
+  const double aware_bw =
+      resource_aware_quality(scenario.overlay, scenario.requirement, *aware, model)
+          .bandwidth;
+  EXPECT_GE(aware_bw + 1e-9, blind_bw);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ResourceAwareSweep,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace sflow::overlay

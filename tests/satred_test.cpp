@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "satred/cnf.hpp"
+#include "satred/dpll.hpp"
+#include "satred/reduction.hpp"
+
+namespace sflow::sat {
+namespace {
+
+CnfFormula simple_sat() {
+  // (x1 | x2) & (~x1 | x2) & (x1 | ~x2) — satisfied by x1 = x2 = true.
+  CnfFormula f(2);
+  f.add_clause({1, 2});
+  f.add_clause({-1, 2});
+  f.add_clause({1, -2});
+  return f;
+}
+
+CnfFormula simple_unsat() {
+  // All four polarities of two variables: unsatisfiable.
+  CnfFormula f(2);
+  f.add_clause({1, 2});
+  f.add_clause({-1, 2});
+  f.add_clause({1, -2});
+  f.add_clause({-1, -2});
+  return f;
+}
+
+TEST(Cnf, ClauseValidation) {
+  CnfFormula f(2);
+  EXPECT_THROW(f.add_clause({}), std::invalid_argument);
+  EXPECT_THROW(f.add_clause({3}), std::invalid_argument);
+  EXPECT_THROW(f.add_clause({0}), std::invalid_argument);
+  EXPECT_THROW(f.add_clause({1, -1}), std::invalid_argument);
+  EXPECT_THROW(CnfFormula(-1), std::invalid_argument);
+}
+
+TEST(Cnf, SatisfiedByEvaluatesClauses) {
+  const CnfFormula f = simple_sat();
+  EXPECT_TRUE(f.satisfied_by({false, true, true}));
+  EXPECT_FALSE(f.satisfied_by({false, false, true}));
+  EXPECT_THROW(f.satisfied_by({false}), std::invalid_argument);
+}
+
+TEST(Cnf, DimacsOutput) {
+  const std::string dimacs = simple_sat().to_dimacs();
+  EXPECT_NE(dimacs.find("p cnf 2 3"), std::string::npos);
+  EXPECT_NE(dimacs.find("-1 2 0"), std::string::npos);
+}
+
+TEST(Cnf, RandomKsatShape) {
+  util::Rng rng(5);
+  const CnfFormula f = random_ksat(10, 20, 3, rng);
+  EXPECT_EQ(f.variable_count(), 10);
+  EXPECT_EQ(f.clause_count(), 20u);
+  for (const Clause& c : f.clauses()) EXPECT_EQ(c.size(), 3u);
+  EXPECT_THROW(random_ksat(2, 5, 3, rng), std::invalid_argument);
+  EXPECT_THROW(random_ksat(0, 5, 1, rng), std::invalid_argument);
+}
+
+TEST(Dpll, DecidesKnownInstances) {
+  const DpllResult sat = dpll_solve(simple_sat());
+  EXPECT_TRUE(sat.satisfiable);
+  EXPECT_TRUE(simple_sat().satisfied_by(sat.assignment));
+
+  const DpllResult unsat = dpll_solve(simple_unsat());
+  EXPECT_FALSE(unsat.satisfiable);
+  EXPECT_TRUE(unsat.assignment.empty());
+}
+
+TEST(Dpll, HandlesUnitAndPureLiterals) {
+  CnfFormula f(3);
+  f.add_clause({1});        // unit: x1 must be true
+  f.add_clause({-1, 2});    // forces x2
+  f.add_clause({-2, 3});    // forces x3
+  const DpllResult result = dpll_solve(f);
+  ASSERT_TRUE(result.satisfiable);
+  EXPECT_TRUE(result.assignment[1]);
+  EXPECT_TRUE(result.assignment[2]);
+  EXPECT_TRUE(result.assignment[3]);
+  EXPECT_EQ(result.decisions, 0u);  // pure propagation, no branching
+}
+
+TEST(Reduction, PaperExampleStructure) {
+  // The paper's Fig. 7 example: U = {x, y, z, w},
+  // C = {{x,y,z,w}, {x,~y,z}, {~x,y,~w}, {~y,~z}} (polarity choices that make
+  // complementary pairs appear, matching the darkness pattern).
+  CnfFormula f(4);
+  f.add_clause({1, 2, 3, 4});
+  f.add_clause({1, -2, 3});
+  f.add_clause({-1, 2, -4});
+  f.add_clause({-2, -3});
+  const MsfgInstance instance = reduce_sat_to_msfg(f);
+  EXPECT_EQ(instance.groups.size(), 4u);
+  EXPECT_EQ(instance.node_count(), 12u);
+  EXPECT_DOUBLE_EQ(instance.threshold, 2.0);
+  // x in clause 1 vs ~x in clause 3: complementary => weight 1.
+  EXPECT_DOUBLE_EQ(instance.weight(0, 0, 2, 0), 1.0);
+  // x in clause 1 vs y in clause 3: weight 2.
+  EXPECT_DOUBLE_EQ(instance.weight(0, 0, 2, 1), 2.0);
+  EXPECT_THROW(instance.weight(1, 0, 1, 1), std::invalid_argument);
+}
+
+TEST(Reduction, DigraphHasCompleteInterGroupEdges) {
+  CnfFormula f(2);
+  f.add_clause({1, 2});
+  f.add_clause({-1, -2});
+  f.add_clause({1, -2});
+  const MsfgInstance instance = reduce_sat_to_msfg(f);
+  const graph::Digraph g = instance.to_digraph();
+  EXPECT_EQ(g.node_count(), 6u);
+  // Three group pairs x (2x2) edges each = 12, all directed low -> high.
+  EXPECT_EQ(g.edge_count(), 12u);
+  for (const graph::Edge& e : g.edges()) EXPECT_LT(e.from, e.to);
+}
+
+TEST(Reduction, SolveMsfgFindsSelectionForSatisfiable) {
+  const MsfgInstance instance = reduce_sat_to_msfg(simple_sat());
+  const auto solution = solve_msfg(instance);
+  ASSERT_TRUE(solution);
+  EXPECT_GE(solution->min_weight, instance.threshold);
+  const Assignment assignment =
+      decode_selection(simple_sat(), instance, solution->chosen);
+  EXPECT_TRUE(simple_sat().satisfied_by(assignment));
+}
+
+TEST(Reduction, SolveMsfgRejectsUnsatisfiable) {
+  const MsfgInstance instance = reduce_sat_to_msfg(simple_unsat());
+  EXPECT_FALSE(solve_msfg(instance).has_value());
+}
+
+TEST(Reduction, DecodeRejectsComplementarySelections) {
+  CnfFormula f(1);
+  f.add_clause({1});
+  f.add_clause({-1});
+  const MsfgInstance instance = reduce_sat_to_msfg(f);
+  EXPECT_THROW(decode_selection(f, instance, {0, 0}), std::invalid_argument);
+  EXPECT_THROW(decode_selection(f, instance, {0}), std::invalid_argument);
+}
+
+TEST(Reduction, RejectsDegenerateInputs) {
+  EXPECT_THROW(reduce_sat_to_msfg(CnfFormula(3)), std::invalid_argument);
+  EXPECT_THROW(solve_msfg(MsfgInstance{}), std::invalid_argument);
+}
+
+/// Theorem 1, both directions, on random 3-SAT around the phase transition:
+/// the formula is satisfiable iff the reduced MSFG instance admits a flow
+/// graph with min weight >= K.
+class Theorem1Sweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Theorem1Sweep, SatEquivalentToMsfg) {
+  util::Rng rng(GetParam());
+  const std::int32_t variables = 4 + static_cast<std::int32_t>(rng.uniform_index(4));
+  const std::size_t clauses =
+      static_cast<std::size_t>(static_cast<double>(variables) *
+                               rng.uniform_real(2.0, 5.5));
+  const CnfFormula f = random_ksat(variables, clauses, 3, rng);
+
+  const DpllResult ground_truth = dpll_solve(f);
+  const MsfgInstance instance = reduce_sat_to_msfg(f);
+  const auto msfg = solve_msfg(instance);
+
+  EXPECT_EQ(ground_truth.satisfiable, msfg.has_value());
+  if (msfg) {
+    EXPECT_GE(msfg->min_weight, instance.threshold);
+    const Assignment decoded = decode_selection(f, instance, msfg->chosen);
+    EXPECT_TRUE(f.satisfied_by(decoded));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem1Sweep,
+                         ::testing::Range<std::uint64_t>(0, 30));
+
+}  // namespace
+}  // namespace sflow::sat

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/underlay_routing.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace sflow::sim {
+namespace {
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(3.0, [&] { order.push_back(3); });
+  queue.schedule(1.0, [&] { order.push_back(1); });
+  queue.schedule(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(queue.run_all(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(queue.now(), 3.0);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, FifoAmongEqualTimestamps) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) queue.schedule(1.0, [&order, i] { order.push_back(i); });
+  queue.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents) {
+  EventQueue queue;
+  int fired = 0;
+  queue.schedule(1.0, [&] {
+    ++fired;
+    queue.schedule_in(2.0, [&] { ++fired; });
+  });
+  queue.run_all();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(queue.now(), 3.0);
+}
+
+TEST(EventQueue, RejectsPastAndEmptyActions) {
+  EventQueue queue;
+  queue.schedule(5.0, [] {});
+  queue.run_all();
+  EXPECT_THROW(queue.schedule(1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(queue.schedule(9.0, EventQueue::Action{}), std::invalid_argument);
+}
+
+TEST(EventQueue, RunAllGuardsAgainstRunaway) {
+  EventQueue queue;
+  // Self-perpetuating event chain.
+  std::function<void()> loop = [&] { queue.schedule_in(1.0, loop); };
+  queue.schedule(0.0, loop);
+  EXPECT_THROW(queue.run_all(100), std::runtime_error);
+}
+
+TEST(EventQueue, RunNextOnEmptyReturnsFalse) {
+  EventQueue queue;
+  EXPECT_FALSE(queue.run_next());
+}
+
+class SimulatorTest : public ::testing::Test {
+ protected:
+  SimulatorTest() {
+    for (int i = 0; i < 3; ++i) network_.add_node();
+    network_.add_link(0, 1, 10.0, 2.0);   // 10 Mbps, 2 ms
+    network_.add_link(1, 2, 100.0, 1.0);  // 100 Mbps, 1 ms
+    routing_ = std::make_unique<net::UnderlayRouting>(network_);
+    simulator_ = std::make_unique<Simulator>(network_, *routing_);
+  }
+
+  net::UnderlyingNetwork network_;
+  std::unique_ptr<net::UnderlayRouting> routing_;
+  std::unique_ptr<Simulator> simulator_;
+};
+
+TEST_F(SimulatorTest, DeliversWithPropagationAndTransmissionDelay) {
+  // 0 -> 2 routes via 1: 3 ms propagation; 1250 bytes = 10^4 bits over the
+  // 10 Mbps bottleneck adds 1 ms.
+  EXPECT_DOUBLE_EQ(simulator_->transfer_delay(0, 2, 1250), 4.0);
+  EXPECT_DOUBLE_EQ(simulator_->transfer_delay(0, 2, 0), 3.0);
+  EXPECT_DOUBLE_EQ(simulator_->transfer_delay(1, 1, 999), 0.01);  // local
+
+  std::vector<std::string> received;
+  simulator_->register_handler(2, [&](const Message& msg) {
+    received.push_back(msg.type);
+    EXPECT_EQ(msg.from, 0);
+    EXPECT_EQ(std::any_cast<int>(msg.payload), 42);
+  });
+  simulator_->send(Message{0, 2, "hello", 42, 1250});
+  simulator_->run();
+  EXPECT_EQ(received, (std::vector<std::string>{"hello"}));
+  EXPECT_DOUBLE_EQ(simulator_->now(), 4.0);
+  EXPECT_EQ(simulator_->stats().messages_delivered, 1u);
+  EXPECT_EQ(simulator_->stats().bytes_delivered, 1250u);
+  EXPECT_DOUBLE_EQ(simulator_->stats().last_delivery_time, 4.0);
+}
+
+TEST_F(SimulatorTest, HandlersCanReply) {
+  int pings = 0;
+  int pongs = 0;
+  simulator_->register_handler(0, [&](const Message&) { ++pongs; });
+  simulator_->register_handler(2, [&](const Message& msg) {
+    ++pings;
+    simulator_->send(Message{2, msg.from, "pong", {}, 10});
+  });
+  simulator_->send(Message{0, 2, "ping", {}, 10});
+  simulator_->run();
+  EXPECT_EQ(pings, 1);
+  EXPECT_EQ(pongs, 1);
+  EXPECT_EQ(simulator_->stats().messages_delivered, 2u);
+}
+
+TEST_F(SimulatorTest, PostLocalDelivers) {
+  bool handled = false;
+  simulator_->register_handler(1, [&](const Message& msg) {
+    handled = true;
+    EXPECT_EQ(msg.type, "tick");
+  });
+  simulator_->post_local(1, "tick", {});
+  simulator_->run();
+  EXPECT_TRUE(handled);
+}
+
+TEST_F(SimulatorTest, RejectsBadEndpointsAndMissingHandlers) {
+  EXPECT_THROW(simulator_->send(Message{0, 99, "x", {}, 0}), std::invalid_argument);
+  EXPECT_THROW(simulator_->register_handler(99, [](const Message&) {}),
+               std::invalid_argument);
+  EXPECT_THROW(simulator_->register_handler(0, MessageHandler{}),
+               std::invalid_argument);
+  // No handler at destination: surfaced when the event fires.
+  simulator_->send(Message{0, 1, "orphan", {}, 0});
+  EXPECT_THROW(simulator_->run(), std::logic_error);
+}
+
+TEST_F(SimulatorTest, MessageLossDropsDeterministically) {
+  int delivered = 0;
+  simulator_->register_handler(2, [&](const Message&) { ++delivered; });
+  simulator_->set_message_loss(0.5, 99);
+  for (int i = 0; i < 200; ++i) simulator_->send(Message{0, 2, "x", {}, 1});
+  simulator_->run();
+  EXPECT_EQ(delivered + static_cast<int>(simulator_->stats().messages_dropped),
+            200);
+  // Roughly half drop; deterministic for the seed.
+  EXPECT_GT(simulator_->stats().messages_dropped, 60u);
+  EXPECT_LT(simulator_->stats().messages_dropped, 140u);
+  EXPECT_THROW(simulator_->set_message_loss(1.0, 1), std::invalid_argument);
+  EXPECT_THROW(simulator_->set_message_loss(-0.1, 1), std::invalid_argument);
+}
+
+TEST_F(SimulatorTest, LocalMessagesNeverDrop) {
+  int delivered = 0;
+  simulator_->register_handler(1, [&](const Message&) { ++delivered; });
+  simulator_->set_message_loss(0.9, 7);
+  for (int i = 0; i < 50; ++i) simulator_->post_local(1, "tick", {});
+  simulator_->run();
+  EXPECT_EQ(delivered, 50);
+  EXPECT_EQ(simulator_->stats().messages_dropped, 0u);
+}
+
+TEST_F(SimulatorTest, DisconnectedDestinationThrowsOnSend) {
+  net::UnderlyingNetwork split;
+  split.add_node();
+  split.add_node();
+  const net::UnderlayRouting routing(split);
+  Simulator simulator(split, routing);
+  simulator.register_handler(1, [](const Message&) {});
+  EXPECT_THROW(simulator.send(Message{0, 1, "x", {}, 0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sflow::sim

@@ -1,0 +1,115 @@
+// Shared fixtures for the test suite: tiny hand-built overlays with known
+// optima, and random-scenario builders for property sweeps.
+#pragma once
+
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "core/evaluation.hpp"
+#include "graph/dag.hpp"
+#include "graph/digraph.hpp"
+#include "net/generators.hpp"
+#include "overlay/overlay_graph.hpp"
+#include "overlay/requirement.hpp"
+#include "util/rng.hpp"
+
+namespace sflow::testing {
+
+/// A hand-built diamond overlay used across algorithm tests.
+///
+/// Services: 0 (source) -> {1, 2} -> 3 (sink); service 1 and 2 each have two
+/// instances, with link metrics arranged so the optimal assignment is
+/// unambiguous: instance "b" of each service sits on the wide links.
+///
+///   overlay indices: 0=S0@0, 1=S1@1 (narrow), 2=S1@2 (wide),
+///                    3=S2@3 (narrow), 4=S2@4 (wide), 5=S3@5
+struct DiamondFixture {
+  overlay::OverlayGraph overlay;
+  overlay::ServiceRequirement requirement;
+
+  DiamondFixture() {
+    overlay.add_instance(0, 0);
+    overlay.add_instance(1, 1);
+    overlay.add_instance(1, 2);
+    overlay.add_instance(2, 3);
+    overlay.add_instance(2, 4);
+    overlay.add_instance(3, 5);
+
+    // Narrow branch instances.
+    overlay.add_link(0, 1, {10.0, 1.0});
+    overlay.add_link(1, 5, {10.0, 1.0});
+    overlay.add_link(0, 3, {12.0, 1.0});
+    overlay.add_link(3, 5, {12.0, 1.0});
+    // Wide branch instances.
+    overlay.add_link(0, 2, {50.0, 2.0});
+    overlay.add_link(2, 5, {40.0, 2.0});
+    overlay.add_link(0, 4, {45.0, 3.0});
+    overlay.add_link(4, 5, {60.0, 3.0});
+
+    requirement.add_edge(0, 1);
+    requirement.add_edge(0, 2);
+    requirement.add_edge(1, 3);
+    requirement.add_edge(2, 3);
+    requirement.validate();
+  }
+};
+
+/// Exhaustive oracle: enumerates every instance assignment of `requirement`
+/// on `overlay` and returns the best (bottleneck bandwidth, critical-path
+/// latency) quality, or unreachable() when infeasible.  Exponential; tests
+/// only.
+inline graph::PathQuality brute_force_best_quality(
+    const overlay::OverlayGraph& ov, const overlay::ServiceRequirement& req,
+    const graph::AllPairsShortestWidest& routing) {
+  const std::vector<overlay::Sid>& services = req.services();
+  std::vector<std::vector<overlay::OverlayIndex>> cand;
+  for (const overlay::Sid sid : services) {
+    cand.push_back(core::candidate_instances(ov, req, sid));
+    if (cand.back().empty()) return graph::PathQuality::unreachable();
+  }
+
+  graph::PathQuality best = graph::PathQuality::unreachable();
+  std::vector<std::size_t> pick(services.size(), 0);
+  for (;;) {
+    // Evaluate this assignment.
+    std::map<overlay::Sid, overlay::OverlayIndex> chosen;
+    for (std::size_t i = 0; i < services.size(); ++i)
+      chosen[services[i]] = cand[i][pick[i]];
+    bool feasible = true;
+    double bottleneck = std::numeric_limits<double>::infinity();
+    graph::Digraph weighted(req.dag().node_count());
+    for (const graph::Edge& e : req.dag().edges()) {
+      const graph::PathQuality q = routing.quality(chosen[req.sid_of(e.from)],
+                                                   chosen[req.sid_of(e.to)]);
+      if (q.is_unreachable()) {
+        feasible = false;
+        break;
+      }
+      bottleneck = std::min(bottleneck, q.bandwidth);
+      weighted.add_edge(e.from, e.to, graph::LinkMetrics{1.0, q.latency});
+    }
+    if (feasible) {
+      const graph::PathQuality quality{bottleneck,
+                                       graph::critical_path_latency(weighted)};
+      if (best.is_unreachable() || quality.better_than(best)) best = quality;
+    }
+    // Odometer increment.
+    std::size_t i = 0;
+    while (i < pick.size() && ++pick[i] == cand[i].size()) pick[i++] = 0;
+    if (i == pick.size()) break;
+  }
+  return best;
+}
+
+/// Random workload parameters scaled for quick tests.
+inline core::WorkloadParams small_workload(std::size_t network_size = 16) {
+  core::WorkloadParams params;
+  params.network_size = network_size;
+  params.service_type_count = 5;
+  params.requirement.service_count = 5;
+  params.requirement.shape = overlay::RequirementShape::kGenericDag;
+  return params;
+}
+
+}  // namespace sflow::testing

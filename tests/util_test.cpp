@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace sflow::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, UniformIntCoversAllValues) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_int(0, 4));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_int(2, 1), std::invalid_argument);
+}
+
+TEST(Rng, UniformRealStaysInRange) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform_real(0.5, 2.5);
+    EXPECT_GE(v, 0.5);
+    EXPECT_LT(v, 2.5);
+  }
+}
+
+TEST(Rng, ChanceExtremesAreDeterministic) {
+  Rng rng(13);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(Rng, ChanceIsRoughlyCalibrated) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i)
+    if (rng.chance(0.3)) ++hits;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, PickRejectsEmpty) {
+  Rng rng(1);
+  std::vector<int> empty;
+  EXPECT_THROW(rng.pick(empty), std::invalid_argument);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), shuffled.begin()));
+}
+
+TEST(Rng, SampleIndicesAreDistinctAndInRange) {
+  Rng rng(29);
+  const auto sample = rng.sample_indices(20, 8);
+  EXPECT_EQ(sample.size(), 8u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 8u);
+  for (const auto i : sample) EXPECT_LT(i, 20u);
+}
+
+TEST(Rng, SampleIndicesRejectsOverdraw) {
+  Rng rng(1);
+  EXPECT_THROW(rng.sample_indices(3, 4), std::invalid_argument);
+}
+
+TEST(Rng, DeriveSeedSeparatesStreams) {
+  EXPECT_NE(derive_seed(1, 0), derive_seed(1, 1));
+  EXPECT_NE(derive_seed(1, 0), derive_seed(2, 0));
+  EXPECT_EQ(derive_seed(5, 3), derive_seed(5, 3));
+}
+
+TEST(Accumulator, BasicMoments) {
+  Accumulator acc;
+  for (const double v : {1.0, 2.0, 3.0, 4.0}) acc.add(v);
+  EXPECT_EQ(acc.count(), 4u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 4.0);
+  EXPECT_NEAR(acc.stddev(), 1.29099, 1e-4);
+}
+
+TEST(Accumulator, EmptyThrows) {
+  Accumulator acc;
+  EXPECT_THROW(acc.mean(), std::logic_error);
+  EXPECT_THROW(acc.min(), std::logic_error);
+  EXPECT_THROW(acc.percentile(50), std::logic_error);
+}
+
+TEST(Accumulator, Percentiles) {
+  Accumulator acc;
+  for (int i = 1; i <= 100; ++i) acc.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(acc.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(acc.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(acc.percentile(100), 100.0);
+  EXPECT_THROW(acc.percentile(101), std::invalid_argument);
+}
+
+TEST(Accumulator, SingleSampleStddevIsZero) {
+  Accumulator acc;
+  acc.add(5.0);
+  EXPECT_DOUBLE_EQ(acc.stddev(), 0.0);
+}
+
+TEST(SeriesTable, RowsAccumulateByKey) {
+  SeriesTable table;
+  table.row("a", 10).add(1.0);
+  table.row("a", 10).add(3.0);
+  table.row("b", 20).add(7.0);
+  ASSERT_NE(table.find("a", 10), nullptr);
+  EXPECT_DOUBLE_EQ(table.find("a", 10)->mean(), 2.0);
+  EXPECT_EQ(table.find("a", 20), nullptr);
+  EXPECT_EQ(table.find("c", 10), nullptr);
+  EXPECT_EQ(table.series_names(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(table.x_values(), (std::vector<double>{10, 20}));
+}
+
+TEST(TablePrinter, RendersAlignedGrid) {
+  TablePrinter printer({"name", "value"});
+  printer.add_row({"alpha", "1"});
+  printer.add_row_numeric("beta", {2.5}, 1);
+  const std::string out = printer.to_string();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("2.5"), std::string::npos);
+}
+
+TEST(TablePrinter, RejectsBadShapes) {
+  EXPECT_THROW(TablePrinter({}), std::invalid_argument);
+  TablePrinter printer({"a", "b"});
+  EXPECT_THROW(printer.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch watch;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  EXPECT_GT(watch.elapsed_us(), 0.0);
+  EXPECT_GE(watch.elapsed_ms(), 0.0);
+}
+
+TEST(CpuTimeAccumulator, ScopesAccumulate) {
+  CpuTimeAccumulator acc;
+  {
+    const auto scope = acc.scope();
+    volatile double sink = 0.0;
+    for (int i = 0; i < 10000; ++i) sink = sink + 1.0;
+  }
+  const double first = acc.total_us();
+  EXPECT_GT(first, 0.0);
+  { const auto scope = acc.scope(); }
+  EXPECT_GE(acc.total_us(), first);
+  acc.reset();
+  EXPECT_DOUBLE_EQ(acc.total_us(), 0.0);
+}
+
+}  // namespace
+}  // namespace sflow::util

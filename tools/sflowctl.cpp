@@ -1,0 +1,271 @@
+// sflowctl — command-line driver for the sflow library.
+//
+// Subcommands:
+//
+//   sflowctl scenario  --network-size N --seed S [--services K]
+//                      [--dot-underlay FILE] [--dot-overlay FILE]
+//                      [--save FILE]
+//       Generates a workload scenario, prints its summary, and optionally
+//       dumps Graphviz renderings and/or the reloadable bundle format
+//       (overlay/serialization.hpp).
+//
+//   sflowctl federate  --requirement FILE --network-size N --seed S
+//                      [--algorithm sflow|optimal|fixed|random|path]
+//                      [--radius R] [--instances-per-service M]
+//                      [--save-flow FILE]
+//       Reads a service requirement (the text format of
+//       overlay/requirement_parser.hpp), builds a random overlay hosting M
+//       instances of every named service, runs the chosen federation
+//       algorithm, and prints (optionally saves) the service flow graph.
+//
+//   sflowctl satcheck  --vars V --clauses C --seed S
+//       Random 3-SAT instance: solves it by DPLL and through the Theorem 1
+//       reduction, reporting both verdicts (they must agree).
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "core/evaluation.hpp"
+#include "core/sflow_federation.hpp"
+#include "net/generators.hpp"
+#include "overlay/requirement_parser.hpp"
+#include "overlay/serialization.hpp"
+#include "satred/dpll.hpp"
+#include "satred/reduction.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace sflow;
+
+[[noreturn]] void usage(const std::string& message = "") {
+  if (!message.empty()) std::cerr << "error: " << message << "\n\n";
+  std::cerr <<
+      "usage:\n"
+      "  sflowctl scenario --network-size N --seed S [--services K]\n"
+      "                    [--dot-underlay FILE] [--dot-overlay FILE]\n"
+      "  sflowctl federate --requirement FILE --network-size N --seed S\n"
+      "                    [--algorithm sflow|optimal|fixed|random|path]\n"
+      "                    [--radius R] [--instances-per-service M]\n"
+      "  sflowctl satcheck --vars V --clauses C --seed S\n";
+  std::exit(2);
+}
+
+/// Minimal --key value argument map.
+std::map<std::string, std::string> parse_flags(int argc, char** argv, int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i < argc; ++i) {
+    const std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) usage("unexpected argument '" + key + "'");
+    if (i + 1 >= argc) usage("missing value for " + key);
+    flags[key.substr(2)] = argv[++i];
+  }
+  return flags;
+}
+
+std::string get(const std::map<std::string, std::string>& flags,
+                const std::string& key, const std::string& fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+long get_long(const std::map<std::string, std::string>& flags,
+              const std::string& key, long fallback, bool required = false) {
+  const auto it = flags.find(key);
+  if (it == flags.end()) {
+    if (required) usage("--" + key + " is required");
+    return fallback;
+  }
+  try {
+    return std::stol(it->second);
+  } catch (const std::exception&) {
+    usage("bad integer for --" + key + ": '" + it->second + "'");
+  }
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "error: cannot write " << path << "\n";
+    std::exit(1);
+  }
+  out << content;
+  std::cout << "wrote " << path << "\n";
+}
+
+int cmd_scenario(const std::map<std::string, std::string>& flags) {
+  core::WorkloadParams params;
+  params.network_size = static_cast<std::size_t>(
+      get_long(flags, "network-size", 0, /*required=*/true));
+  params.service_type_count =
+      static_cast<std::size_t>(get_long(flags, "services", 6));
+  params.requirement.service_count =
+      std::min<std::size_t>(params.service_type_count, 6);
+  const auto seed =
+      static_cast<std::uint64_t>(get_long(flags, "seed", 0, /*required=*/true));
+
+  const core::Scenario scenario = core::make_scenario(params, seed);
+  std::cout << "underlay: " << scenario.underlay.node_count() << " nodes, "
+            << scenario.underlay.link_count() << " links\n";
+  std::cout << "overlay:  " << scenario.overlay.instance_count()
+            << " service instances, " << scenario.overlay.graph().edge_count()
+            << " service links\n";
+  std::cout << "requirement: "
+            << scenario.requirement.to_string(&scenario.catalog) << "\n";
+
+  if (const std::string path = get(flags, "dot-underlay", ""); !path.empty())
+    write_file(path, scenario.underlay.to_dot());
+  if (const std::string path = get(flags, "dot-overlay", ""); !path.empty())
+    write_file(path, scenario.overlay.to_dot(&scenario.catalog));
+  if (const std::string path = get(flags, "save", ""); !path.empty()) {
+    const overlay::OverlayBundle bundle{scenario.underlay, scenario.overlay};
+    write_file(path, overlay::format_bundle(bundle, scenario.catalog));
+  }
+  return 0;
+}
+
+int cmd_federate(const std::map<std::string, std::string>& flags) {
+  const std::string requirement_path =
+      get(flags, "requirement", "");
+  if (requirement_path.empty()) usage("--requirement is required");
+  std::ifstream in(requirement_path);
+  if (!in) {
+    std::cerr << "error: cannot read " << requirement_path << "\n";
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  overlay::ServiceCatalog catalog;
+  overlay::ServiceRequirement requirement =
+      overlay::parse_requirement(buffer.str(), catalog);
+
+  const auto network_size = static_cast<std::size_t>(
+      get_long(flags, "network-size", 0, /*required=*/true));
+  const auto seed =
+      static_cast<std::uint64_t>(get_long(flags, "seed", 0, /*required=*/true));
+  const auto per_service =
+      static_cast<std::size_t>(get_long(flags, "instances-per-service", 3));
+  const int radius = static_cast<int>(get_long(flags, "radius", 2));
+  const std::string algorithm = get(flags, "algorithm", "sflow");
+
+  const std::size_t needed = requirement.service_count() * per_service;
+  if (network_size < needed) {
+    std::cerr << "error: need at least " << needed << " nodes to host "
+              << requirement.service_count() << " services x " << per_service
+              << " instances\n";
+    return 1;
+  }
+
+  // Build the hosting scenario: Waxman underlay, per_service instances of
+  // every named service placed on random nodes, full compatibility.
+  util::Rng rng(seed);
+  net::WaxmanParams waxman;
+  waxman.node_count = network_size;
+  const net::UnderlyingNetwork underlay = net::make_waxman(waxman, rng);
+  const net::UnderlayRouting routing(underlay);
+
+  overlay::OverlayGraph ov;
+  std::vector<std::size_t> slots = rng.sample_indices(network_size, needed);
+  std::size_t next_slot = 0;
+  for (const overlay::Sid sid : requirement.services())
+    for (std::size_t i = 0; i < per_service; ++i)
+      ov.add_instance(sid, static_cast<net::Nid>(slots[next_slot++]));
+  ov.connect_via_underlay(
+      routing, [](overlay::Sid a, overlay::Sid b) { return a != b; });
+
+  // Honour an existing pin of the source; otherwise pin its first instance.
+  const overlay::Sid source = requirement.source();
+  if (!requirement.pinned(source))
+    requirement.pin(source, ov.instance(ov.instances_of(source).front()).nid);
+
+  const graph::AllPairsShortestWidest overlay_routing(ov.graph());
+  std::optional<overlay::ServiceFlowGraph> flow;
+  overlay::ServiceRequirement effective = requirement;
+
+  if (algorithm == "sflow") {
+    core::SFlowNodeConfig config;
+    config.knowledge_radius = radius;
+    const core::SFlowFederationResult result = core::run_sflow_federation(
+        underlay, routing, ov, overlay_routing, requirement, config);
+    flow = result.flow_graph;
+    if (flow)
+      std::cout << "protocol: " << result.messages << " messages, "
+                << result.bytes << " bytes, setup " << result.federation_time_ms
+                << " ms (simulated)\n";
+  } else if (algorithm == "optimal") {
+    flow = core::optimal_flow_graph(ov, requirement, overlay_routing);
+  } else if (algorithm == "fixed") {
+    if (auto r = core::fixed_federation(ov, requirement, overlay_routing))
+      flow = std::move(r->graph);
+  } else if (algorithm == "random") {
+    if (auto r = core::random_federation(ov, requirement, overlay_routing, rng))
+      flow = std::move(r->graph);
+  } else if (algorithm == "path") {
+    if (auto r = core::service_path_federation(ov, requirement, overlay_routing)) {
+      effective = r->effective_requirement;
+      flow = std::move(r->graph);
+    }
+  } else {
+    usage("unknown algorithm '" + algorithm + "'");
+  }
+
+  if (!flow) {
+    std::cerr << "federation failed: no feasible service flow graph\n";
+    return 1;
+  }
+  std::cout << flow->to_string(&catalog) << "\n";
+  std::cout << "bandwidth: " << flow->bottleneck_bandwidth() << " Mbps\n";
+  std::cout << "latency:   " << flow->end_to_end_latency(effective) << " ms\n";
+  if (const std::string path = get(flags, "save-flow", ""); !path.empty())
+    write_file(path, overlay::format_flow_graph(*flow, ov, catalog));
+  return 0;
+}
+
+int cmd_satcheck(const std::map<std::string, std::string>& flags) {
+  const auto vars =
+      static_cast<std::int32_t>(get_long(flags, "vars", 0, /*required=*/true));
+  const auto clauses = static_cast<std::size_t>(
+      get_long(flags, "clauses", 0, /*required=*/true));
+  const auto seed =
+      static_cast<std::uint64_t>(get_long(flags, "seed", 0, /*required=*/true));
+
+  util::Rng rng(seed);
+  const sat::CnfFormula formula = sat::random_ksat(vars, clauses, 3, rng);
+  std::cout << formula.to_dimacs();
+
+  const sat::DpllResult by_dpll = sat::dpll_solve(formula);
+  const sat::MsfgInstance instance = sat::reduce_sat_to_msfg(formula);
+  const auto msfg = sat::solve_msfg(instance);
+
+  std::cout << "DPLL:       " << (by_dpll.satisfiable ? "SAT" : "UNSAT") << " ("
+            << by_dpll.decisions << " decisions)\n";
+  std::cout << "Theorem 1:  " << (msfg ? "flow graph exists (SAT)" : "no flow graph (UNSAT)")
+            << "\n";
+  if (by_dpll.satisfiable != msfg.has_value()) {
+    std::cerr << "BUG: reduction disagrees with DPLL\n";
+    return 1;
+  }
+  if (msfg) {
+    const sat::Assignment decoded =
+        sat::decode_selection(formula, instance, msfg->chosen);
+    std::cout << "decoded assignment satisfies formula: "
+              << (formula.satisfied_by(decoded) ? "yes" : "NO (bug)") << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string command = argv[1];
+  const auto flags = parse_flags(argc, argv, 2);
+  if (command == "scenario") return cmd_scenario(flags);
+  if (command == "federate") return cmd_federate(flags);
+  if (command == "satcheck") return cmd_satcheck(flags);
+  usage("unknown command '" + command + "'");
+}
