@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/churn_refederation.dir/churn_refederation.cpp.o"
+  "CMakeFiles/churn_refederation.dir/churn_refederation.cpp.o.d"
+  "churn_refederation"
+  "churn_refederation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/churn_refederation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

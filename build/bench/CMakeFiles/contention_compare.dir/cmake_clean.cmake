@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contention_compare.dir/contention_compare.cpp.o"
+  "CMakeFiles/contention_compare.dir/contention_compare.cpp.o.d"
+  "contention_compare"
+  "contention_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contention_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10a_correctness.dir/fig10a_correctness.cpp.o"
+  "CMakeFiles/fig10a_correctness.dir/fig10a_correctness.cpp.o.d"
+  "fig10a_correctness"
+  "fig10a_correctness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10a_correctness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

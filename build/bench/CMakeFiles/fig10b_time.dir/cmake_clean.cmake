@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10b_time.dir/fig10b_time.cpp.o"
+  "CMakeFiles/fig10b_time.dir/fig10b_time.cpp.o.d"
+  "fig10b_time"
+  "fig10b_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10b_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

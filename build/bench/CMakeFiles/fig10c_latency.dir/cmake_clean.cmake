@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10c_latency.dir/fig10c_latency.cpp.o"
+  "CMakeFiles/fig10c_latency.dir/fig10c_latency.cpp.o.d"
+  "fig10c_latency"
+  "fig10c_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10c_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

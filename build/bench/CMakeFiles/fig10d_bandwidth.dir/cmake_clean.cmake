@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10d_bandwidth.dir/fig10d_bandwidth.cpp.o"
+  "CMakeFiles/fig10d_bandwidth.dir/fig10d_bandwidth.cpp.o.d"
+  "fig10d_bandwidth"
+  "fig10d_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10d_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_state_cost.dir/link_state_cost.cpp.o"
+  "CMakeFiles/link_state_cost.dir/link_state_cost.cpp.o.d"
+  "link_state_cost"
+  "link_state_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_state_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

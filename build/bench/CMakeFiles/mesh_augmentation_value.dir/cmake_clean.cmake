@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_augmentation_value.dir/mesh_augmentation_value.cpp.o"
+  "CMakeFiles/mesh_augmentation_value.dir/mesh_augmentation_value.cpp.o.d"
+  "mesh_augmentation_value"
+  "mesh_augmentation_value.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_augmentation_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mesh_augmentation_value.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_overhead.dir/protocol_overhead.cpp.o"
+  "CMakeFiles/protocol_overhead.dir/protocol_overhead.cpp.o.d"
+  "protocol_overhead"
+  "protocol_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resource_ablation.dir/resource_ablation.cpp.o"
+  "CMakeFiles/resource_ablation.dir/resource_ablation.cpp.o.d"
+  "resource_ablation"
+  "resource_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resource_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satred_demo.dir/satred_demo.cpp.o"
+  "CMakeFiles/satred_demo.dir/satred_demo.cpp.o.d"
+  "satred_demo"
+  "satred_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satred_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

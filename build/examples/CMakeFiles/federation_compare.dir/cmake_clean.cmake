@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federation_compare.dir/federation_compare.cpp.o"
+  "CMakeFiles/federation_compare.dir/federation_compare.cpp.o.d"
+  "federation_compare"
+  "federation_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federation_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

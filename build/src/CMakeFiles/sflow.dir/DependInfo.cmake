@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baseline.cpp" "src/CMakeFiles/sflow.dir/core/baseline.cpp.o" "gcc" "src/CMakeFiles/sflow.dir/core/baseline.cpp.o.d"
+  "/root/repo/src/core/clustered.cpp" "src/CMakeFiles/sflow.dir/core/clustered.cpp.o" "gcc" "src/CMakeFiles/sflow.dir/core/clustered.cpp.o.d"
+  "/root/repo/src/core/comparators.cpp" "src/CMakeFiles/sflow.dir/core/comparators.cpp.o" "gcc" "src/CMakeFiles/sflow.dir/core/comparators.cpp.o.d"
+  "/root/repo/src/core/demands.cpp" "src/CMakeFiles/sflow.dir/core/demands.cpp.o" "gcc" "src/CMakeFiles/sflow.dir/core/demands.cpp.o.d"
+  "/root/repo/src/core/evaluation.cpp" "src/CMakeFiles/sflow.dir/core/evaluation.cpp.o" "gcc" "src/CMakeFiles/sflow.dir/core/evaluation.cpp.o.d"
+  "/root/repo/src/core/federation_trace.cpp" "src/CMakeFiles/sflow.dir/core/federation_trace.cpp.o" "gcc" "src/CMakeFiles/sflow.dir/core/federation_trace.cpp.o.d"
+  "/root/repo/src/core/global_optimal.cpp" "src/CMakeFiles/sflow.dir/core/global_optimal.cpp.o" "gcc" "src/CMakeFiles/sflow.dir/core/global_optimal.cpp.o.d"
+  "/root/repo/src/core/link_state.cpp" "src/CMakeFiles/sflow.dir/core/link_state.cpp.o" "gcc" "src/CMakeFiles/sflow.dir/core/link_state.cpp.o.d"
+  "/root/repo/src/core/membership.cpp" "src/CMakeFiles/sflow.dir/core/membership.cpp.o" "gcc" "src/CMakeFiles/sflow.dir/core/membership.cpp.o.d"
+  "/root/repo/src/core/mesh_augmentation.cpp" "src/CMakeFiles/sflow.dir/core/mesh_augmentation.cpp.o" "gcc" "src/CMakeFiles/sflow.dir/core/mesh_augmentation.cpp.o.d"
+  "/root/repo/src/core/multicast.cpp" "src/CMakeFiles/sflow.dir/core/multicast.cpp.o" "gcc" "src/CMakeFiles/sflow.dir/core/multicast.cpp.o.d"
+  "/root/repo/src/core/reduction.cpp" "src/CMakeFiles/sflow.dir/core/reduction.cpp.o" "gcc" "src/CMakeFiles/sflow.dir/core/reduction.cpp.o.d"
+  "/root/repo/src/core/refederation.cpp" "src/CMakeFiles/sflow.dir/core/refederation.cpp.o" "gcc" "src/CMakeFiles/sflow.dir/core/refederation.cpp.o.d"
+  "/root/repo/src/core/sflow_federation.cpp" "src/CMakeFiles/sflow.dir/core/sflow_federation.cpp.o" "gcc" "src/CMakeFiles/sflow.dir/core/sflow_federation.cpp.o.d"
+  "/root/repo/src/core/sflow_node.cpp" "src/CMakeFiles/sflow.dir/core/sflow_node.cpp.o" "gcc" "src/CMakeFiles/sflow.dir/core/sflow_node.cpp.o.d"
+  "/root/repo/src/graph/dag.cpp" "src/CMakeFiles/sflow.dir/graph/dag.cpp.o" "gcc" "src/CMakeFiles/sflow.dir/graph/dag.cpp.o.d"
+  "/root/repo/src/graph/digraph.cpp" "src/CMakeFiles/sflow.dir/graph/digraph.cpp.o" "gcc" "src/CMakeFiles/sflow.dir/graph/digraph.cpp.o.d"
+  "/root/repo/src/graph/qos_routing.cpp" "src/CMakeFiles/sflow.dir/graph/qos_routing.cpp.o" "gcc" "src/CMakeFiles/sflow.dir/graph/qos_routing.cpp.o.d"
+  "/root/repo/src/net/contention.cpp" "src/CMakeFiles/sflow.dir/net/contention.cpp.o" "gcc" "src/CMakeFiles/sflow.dir/net/contention.cpp.o.d"
+  "/root/repo/src/net/generators.cpp" "src/CMakeFiles/sflow.dir/net/generators.cpp.o" "gcc" "src/CMakeFiles/sflow.dir/net/generators.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/CMakeFiles/sflow.dir/net/topology.cpp.o" "gcc" "src/CMakeFiles/sflow.dir/net/topology.cpp.o.d"
+  "/root/repo/src/net/underlay_routing.cpp" "src/CMakeFiles/sflow.dir/net/underlay_routing.cpp.o" "gcc" "src/CMakeFiles/sflow.dir/net/underlay_routing.cpp.o.d"
+  "/root/repo/src/overlay/abstract_graph.cpp" "src/CMakeFiles/sflow.dir/overlay/abstract_graph.cpp.o" "gcc" "src/CMakeFiles/sflow.dir/overlay/abstract_graph.cpp.o.d"
+  "/root/repo/src/overlay/compatibility.cpp" "src/CMakeFiles/sflow.dir/overlay/compatibility.cpp.o" "gcc" "src/CMakeFiles/sflow.dir/overlay/compatibility.cpp.o.d"
+  "/root/repo/src/overlay/flow_graph.cpp" "src/CMakeFiles/sflow.dir/overlay/flow_graph.cpp.o" "gcc" "src/CMakeFiles/sflow.dir/overlay/flow_graph.cpp.o.d"
+  "/root/repo/src/overlay/overlay_graph.cpp" "src/CMakeFiles/sflow.dir/overlay/overlay_graph.cpp.o" "gcc" "src/CMakeFiles/sflow.dir/overlay/overlay_graph.cpp.o.d"
+  "/root/repo/src/overlay/requirement.cpp" "src/CMakeFiles/sflow.dir/overlay/requirement.cpp.o" "gcc" "src/CMakeFiles/sflow.dir/overlay/requirement.cpp.o.d"
+  "/root/repo/src/overlay/requirement_generator.cpp" "src/CMakeFiles/sflow.dir/overlay/requirement_generator.cpp.o" "gcc" "src/CMakeFiles/sflow.dir/overlay/requirement_generator.cpp.o.d"
+  "/root/repo/src/overlay/requirement_parser.cpp" "src/CMakeFiles/sflow.dir/overlay/requirement_parser.cpp.o" "gcc" "src/CMakeFiles/sflow.dir/overlay/requirement_parser.cpp.o.d"
+  "/root/repo/src/overlay/resources.cpp" "src/CMakeFiles/sflow.dir/overlay/resources.cpp.o" "gcc" "src/CMakeFiles/sflow.dir/overlay/resources.cpp.o.d"
+  "/root/repo/src/overlay/serialization.cpp" "src/CMakeFiles/sflow.dir/overlay/serialization.cpp.o" "gcc" "src/CMakeFiles/sflow.dir/overlay/serialization.cpp.o.d"
+  "/root/repo/src/overlay/service.cpp" "src/CMakeFiles/sflow.dir/overlay/service.cpp.o" "gcc" "src/CMakeFiles/sflow.dir/overlay/service.cpp.o.d"
+  "/root/repo/src/satred/cnf.cpp" "src/CMakeFiles/sflow.dir/satred/cnf.cpp.o" "gcc" "src/CMakeFiles/sflow.dir/satred/cnf.cpp.o.d"
+  "/root/repo/src/satred/dpll.cpp" "src/CMakeFiles/sflow.dir/satred/dpll.cpp.o" "gcc" "src/CMakeFiles/sflow.dir/satred/dpll.cpp.o.d"
+  "/root/repo/src/satred/reduction.cpp" "src/CMakeFiles/sflow.dir/satred/reduction.cpp.o" "gcc" "src/CMakeFiles/sflow.dir/satred/reduction.cpp.o.d"
+  "/root/repo/src/sim/data_plane.cpp" "src/CMakeFiles/sflow.dir/sim/data_plane.cpp.o" "gcc" "src/CMakeFiles/sflow.dir/sim/data_plane.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/sflow.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/sflow.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/sflow.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/sflow.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/sflow.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/sflow.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/sflow.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/sflow.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/sflow.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/sflow.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/timer.cpp" "src/CMakeFiles/sflow.dir/util/timer.cpp.o" "gcc" "src/CMakeFiles/sflow.dir/util/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

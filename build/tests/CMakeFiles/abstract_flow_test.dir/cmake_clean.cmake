@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abstract_flow_test.dir/abstract_flow_test.cpp.o"
+  "CMakeFiles/abstract_flow_test.dir/abstract_flow_test.cpp.o.d"
+  "abstract_flow_test"
+  "abstract_flow_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abstract_flow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

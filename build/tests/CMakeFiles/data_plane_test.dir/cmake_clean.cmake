@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_plane_test.dir/data_plane_test.cpp.o"
+  "CMakeFiles/data_plane_test.dir/data_plane_test.cpp.o.d"
+  "data_plane_test"
+  "data_plane_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_plane_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

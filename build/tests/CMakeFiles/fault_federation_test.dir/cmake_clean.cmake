@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_federation_test.dir/fault_federation_test.cpp.o"
+  "CMakeFiles/fault_federation_test.dir/fault_federation_test.cpp.o.d"
+  "fault_federation_test"
+  "fault_federation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_federation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

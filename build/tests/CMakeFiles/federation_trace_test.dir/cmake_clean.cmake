@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federation_trace_test.dir/federation_trace_test.cpp.o"
+  "CMakeFiles/federation_trace_test.dir/federation_trace_test.cpp.o.d"
+  "federation_trace_test"
+  "federation_trace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federation_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

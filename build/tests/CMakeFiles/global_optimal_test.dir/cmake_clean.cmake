@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_optimal_test.dir/global_optimal_test.cpp.o"
+  "CMakeFiles/global_optimal_test.dir/global_optimal_test.cpp.o.d"
+  "global_optimal_test"
+  "global_optimal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_optimal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_state_test.dir/link_state_test.cpp.o"
+  "CMakeFiles/link_state_test.dir/link_state_test.cpp.o.d"
+  "link_state_test"
+  "link_state_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_augmentation_test.dir/mesh_augmentation_test.cpp.o"
+  "CMakeFiles/mesh_augmentation_test.dir/mesh_augmentation_test.cpp.o.d"
+  "mesh_augmentation_test"
+  "mesh_augmentation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_augmentation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

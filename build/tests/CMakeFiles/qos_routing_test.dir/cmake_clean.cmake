@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qos_routing_test.dir/qos_routing_test.cpp.o"
+  "CMakeFiles/qos_routing_test.dir/qos_routing_test.cpp.o.d"
+  "qos_routing_test"
+  "qos_routing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qos_routing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refederation_test.dir/refederation_test.cpp.o"
+  "CMakeFiles/refederation_test.dir/refederation_test.cpp.o.d"
+  "refederation_test"
+  "refederation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refederation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/requirement_test.dir/requirement_test.cpp.o"
+  "CMakeFiles/requirement_test.dir/requirement_test.cpp.o.d"
+  "requirement_test"
+  "requirement_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/requirement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

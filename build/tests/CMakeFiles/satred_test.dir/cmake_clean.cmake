@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satred_test.dir/satred_test.cpp.o"
+  "CMakeFiles/satred_test.dir/satred_test.cpp.o.d"
+  "satred_test"
+  "satred_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satred_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

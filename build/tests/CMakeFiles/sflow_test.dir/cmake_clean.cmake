@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sflow_test.dir/sflow_test.cpp.o"
+  "CMakeFiles/sflow_test.dir/sflow_test.cpp.o.d"
+  "sflow_test"
+  "sflow_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sflow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sflowctl.dir/sflowctl.cpp.o"
+  "CMakeFiles/sflowctl.dir/sflowctl.cpp.o.d"
+  "sflowctl"
+  "sflowctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sflowctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
