@@ -1,0 +1,113 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace sflow::util {
+
+ThreadPool::ThreadPool(std::size_t thread_count) {
+  const std::size_t count = thread_count == 0 ? 1 : thread_count;
+  workers_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock lock(mutex_);
+    // Let queued work finish: stopping_ only stops workers once the queue is
+    // empty (see worker_loop), so no submitted task is dropped.
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::unique_lock lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::unique_lock lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body) {
+  if (begin >= end) return;
+
+  struct Shared {
+    std::atomic<std::size_t> next;
+    std::atomic<std::size_t> remaining;
+    std::mutex mutex;
+    std::condition_variable done;
+    std::exception_ptr first_error;
+    std::size_t end;
+  };
+  auto shared = std::make_shared<Shared>();
+  shared->next = begin;
+  shared->end = end;
+
+  // One task per worker; each loops over a shared atomic index so uneven
+  // iteration costs balance naturally.
+  const std::size_t tasks = std::min(size(), end - begin);
+  shared->remaining = tasks;
+  for (std::size_t t = 0; t < tasks; ++t) {
+    submit([shared, &body] {
+      for (;;) {
+        const std::size_t i = shared->next.fetch_add(1);
+        if (i >= shared->end) break;
+        try {
+          body(i);
+        } catch (...) {
+          std::unique_lock lock(shared->mutex);
+          if (!shared->first_error)
+            shared->first_error = std::current_exception();
+          // Abandon the remaining iterations: errors in trial generation are
+          // programming mistakes, not data, so fail fast.
+          shared->next.store(shared->end);
+        }
+      }
+      std::unique_lock lock(shared->mutex);
+      if (--shared->remaining == 0) shared->done.notify_all();
+    });
+  }
+
+  std::unique_lock lock(shared->mutex);
+  shared->done.wait(lock, [&] { return shared->remaining == 0; });
+  if (shared->first_error) std::rethrow_exception(shared->first_error);
+}
+
+std::size_t ThreadPool::hardware_threads() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+}  // namespace sflow::util

@@ -1,0 +1,67 @@
+// Fixed-size thread pool for the evaluation engine (no work stealing: a
+// single locked deque is plenty for trial-granularity tasks, and keeping the
+// scheduler trivial makes the determinism argument trivial too — tasks carry
+// their own seeds, so execution order never affects results).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sflow::util {
+
+/// Fixed set of worker threads draining a shared FIFO queue.
+///
+/// submit() never blocks (the queue is unbounded); wait_idle() blocks until
+/// every submitted task has finished.  The destructor drains the queue before
+/// joining, so submitted work is never silently dropped.
+class ThreadPool {
+ public:
+  /// Spawns `thread_count` workers (at least 1; 0 is clamped to 1).
+  explicit ThreadPool(std::size_t thread_count);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues one task.  Tasks must not submit to the pool they run on while
+  /// the caller holds wait_idle() expectations of completion ordering; plain
+  /// fan-out (submit all, then wait) is the supported pattern.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no worker is executing a task.
+  void wait_idle();
+
+  /// Runs body(i) for every i in [begin, end) across the pool and blocks
+  /// until all iterations finish.  Iterations are handed out one index at a
+  /// time (trial-sized tasks dwarf the locking cost).  If any iteration
+  /// throws, the first exception (in completion order) is rethrown here
+  /// after all iterations finish or are abandoned.  Must be called from
+  /// outside the pool's own workers (a worker calling it would wait on
+  /// tasks that need its slot).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static std::size_t hardware_threads() noexcept;
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sflow::util
