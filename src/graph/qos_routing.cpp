@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "graph/dag.hpp"
+#include "util/thread_pool.hpp"
 
 namespace sflow::graph {
 
@@ -153,14 +154,23 @@ PathQuality path_quality(const Digraph& g, const std::vector<NodeIndex>& path) {
 }
 
 const RoutingTree& AllPairsShortestWidest::tree(NodeIndex from) const {
-  auto& slot = trees_.at(static_cast<std::size_t>(from));
-  if (!slot) slot = shortest_widest_tree(graph_, from);
-  return *slot;
+  const auto index = static_cast<std::size_t>(from);
+  if (from < 0 || index >= graph_.node_count())
+    throw std::out_of_range("AllPairsShortestWidest::tree: unknown source");
+  Slot& slot = slots_[index];
+  std::call_once(slot.once,
+                 [&] { slot.tree = shortest_widest_tree(graph_, from); });
+  return *slot.tree;
 }
 
 void AllPairsShortestWidest::precompute_all() const {
-  for (std::size_t v = 0; v < trees_.size(); ++v)
+  for (std::size_t v = 0; v < graph_.node_count(); ++v)
     tree(static_cast<NodeIndex>(v));
+}
+
+void AllPairsShortestWidest::precompute_all(util::ThreadPool& pool) const {
+  pool.parallel_for(0, graph_.node_count(),
+                    [this](std::size_t v) { tree(static_cast<NodeIndex>(v)); });
 }
 
 std::optional<std::pair<PathQuality, std::vector<NodeIndex>>>

@@ -17,10 +17,16 @@
 // different pruning rounds cannot be mixed.
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "graph/digraph.hpp"
+
+namespace sflow::util {
+class ThreadPool;
+}
 
 namespace sflow::graph {
 
@@ -73,11 +79,20 @@ PathQuality path_quality(const Digraph& g, const std::vector<NodeIndex>& path);
 /// in the distributed algorithm) pays only for what it uses; call
 /// precompute_all() to force the eager O(N^3)-ish behaviour.  The graph is
 /// copied, so the database stays valid independent of the source's lifetime.
+///
+/// Thread safety: const queries are safe from any number of threads.  Each
+/// cache slot is guarded by a std::once_flag, so concurrent first touches of
+/// the same source block until one thread has built the tree; subsequent
+/// reads are wait-free.  (The class is consequently neither copyable nor
+/// movable — a shared database outliving its queries is the intended use.)
 class AllPairsShortestWidest {
  public:
-  explicit AllPairsShortestWidest(Digraph g) : graph_(std::move(g)) {
-    trees_.resize(graph_.node_count());
-  }
+  explicit AllPairsShortestWidest(Digraph g)
+      : graph_(std::move(g)),
+        slots_(std::make_unique<Slot[]>(graph_.node_count())) {}
+
+  AllPairsShortestWidest(const AllPairsShortestWidest&) = delete;
+  AllPairsShortestWidest& operator=(const AllPairsShortestWidest&) = delete;
 
   const PathQuality& quality(NodeIndex from, NodeIndex to) const {
     return tree(from).quality_to(to);
@@ -87,12 +102,24 @@ class AllPairsShortestWidest {
   }
   const RoutingTree& tree(NodeIndex from) const;
 
+  std::size_t node_count() const noexcept { return graph_.node_count(); }
+
   /// Forces computation of every source's tree.
   void precompute_all() const;
+  /// Same, but builds the source trees concurrently on `pool`.
+  void precompute_all(util::ThreadPool& pool) const;
 
  private:
+  /// One lazily-initialized source tree.  call_once publishes the tree with
+  /// the necessary release/acquire ordering; `tree` is logically immutable
+  /// once set.
+  struct Slot {
+    std::once_flag once;
+    std::optional<RoutingTree> tree;
+  };
+
   Digraph graph_;
-  mutable std::vector<std::optional<RoutingTree>> trees_;
+  std::unique_ptr<Slot[]> slots_;
 };
 
 /// Exhaustive oracle for tests: enumerates every simple path and returns the

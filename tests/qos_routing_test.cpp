@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "graph/qos_routing.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace sflow::graph {
 namespace {
@@ -85,6 +89,73 @@ TEST(AllPairs, MatchesSingleSourceRuns) {
           << "pair " << s << "->" << t;
     }
   }
+}
+
+namespace {
+Digraph random_routing_graph(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Digraph g(n);
+  for (std::size_t a = 0; a < n; ++a)
+    for (std::size_t b = 0; b < n; ++b)
+      if (a != b && rng.chance(0.3))
+        g.add_edge(static_cast<NodeIndex>(a), static_cast<NodeIndex>(b),
+                   {rng.uniform_real(1, 100), rng.uniform_real(1, 10)});
+  return g;
+}
+}  // namespace
+
+/// Regression for the const-laundered lazy cache: one shared database must
+/// serve cold queries from many threads (run under TSan via
+/// SFLOW_SANITIZE=thread to check the synchronization, not just the values).
+TEST(AllPairs, ConcurrentColdQueriesAreSafeAndConsistent) {
+  const std::size_t n = 24;
+  const Digraph g = random_routing_graph(n, 77);
+
+  // Serial reference on an independent database.
+  const AllPairsShortestWidest reference(g);
+  reference.precompute_all();
+
+  const AllPairsShortestWidest shared(g);
+  constexpr std::size_t kThreads = 8;
+  std::vector<int> mismatches(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Each thread starts from a different source so first touches collide.
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto s = static_cast<NodeIndex>((t * 3 + i) % n);
+        for (std::size_t v = 0; v < n; ++v) {
+          const auto d = static_cast<NodeIndex>(v);
+          if (!(shared.quality(s, d) == reference.quality(s, d)))
+            ++mismatches[t];
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (std::size_t t = 0; t < kThreads; ++t)
+    EXPECT_EQ(mismatches[t], 0) << "thread " << t;
+}
+
+TEST(AllPairs, ParallelPrecomputeMatchesSerial) {
+  const Digraph g = random_routing_graph(20, 99);
+  const AllPairsShortestWidest serial(g);
+  serial.precompute_all();
+
+  util::ThreadPool pool(4);
+  const AllPairsShortestWidest parallel(g);
+  parallel.precompute_all(pool);
+
+  for (NodeIndex s = 0; s < 20; ++s)
+    for (NodeIndex t = 0; t < 20; ++t) {
+      EXPECT_EQ(parallel.quality(s, t), serial.quality(s, t));
+      EXPECT_EQ(parallel.path(s, t), serial.path(s, t));
+    }
+}
+
+TEST(AllPairs, RejectsUnknownSource) {
+  const AllPairsShortestWidest all(Digraph(3));
+  EXPECT_THROW(all.tree(7), std::out_of_range);
 }
 
 /// Property sweep: on random digraphs the algorithm must agree with the
