@@ -1,11 +1,15 @@
 // Side-by-side comparison of all five federation algorithms on one random
-// scenario — a single-trial preview of the paper's Fig. 10 evaluation.
+// scenario — a single-trial preview of the paper's Fig. 10 evaluation, and
+// the smallest demo of the unified Federator interface: every algorithm is
+// a core::Federator built by make_federator, every result a
+// core::FederationOutcome.
 //
 //   $ ./examples/federation_compare [network_size] [seed]
 #include <cstdlib>
 #include <iostream>
 
-#include "core/evaluation.hpp"
+#include "core/federator.hpp"
+#include "core/scenario.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -22,18 +26,18 @@ int main(int argc, char** argv) {
             << scenario.requirement.to_string(&scenario.catalog) << "\n\n";
 
   util::Rng rng(seed);
-  const core::AlgorithmOutcome optimal =
-      core::run_algorithm(core::Algorithm::kGlobalOptimal, scenario, rng);
+  const core::FederationOutcome optimal =
+      core::make_federator(core::Algorithm::kGlobalOptimal)
+          ->federate(scenario, rng);
 
   util::TablePrinter table({"algorithm", "ok", "bandwidth (Mbps)", "latency (ms)",
                             "correctness", "compute (us)"});
-  for (const core::Algorithm algorithm :
-       {core::Algorithm::kGlobalOptimal, core::Algorithm::kSflow,
-        core::Algorithm::kFixed, core::Algorithm::kRandom,
-        core::Algorithm::kServicePath}) {
-    const core::AlgorithmOutcome outcome =
-        core::run_algorithm(algorithm, scenario, rng);
-    std::vector<std::string> row{core::algorithm_name(algorithm),
+  core::FederationOutcome sflow;
+  for (const core::Algorithm algorithm : core::all_algorithms()) {
+    const auto federator = core::make_federator(algorithm);
+    const core::FederationOutcome outcome = federator->federate(scenario, rng);
+    if (algorithm == core::Algorithm::kSflow) sflow = outcome;
+    std::vector<std::string> row{federator->name(),
                                  outcome.success ? "yes" : "no"};
     if (outcome.success) {
       row.push_back(util::TablePrinter::fmt(outcome.bandwidth, 2));
@@ -51,8 +55,6 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
 
-  const core::AlgorithmOutcome sflow =
-      core::run_algorithm(core::Algorithm::kSflow, scenario, rng);
   if (sflow.success) {
     std::cout << "\nsFlow protocol: " << sflow.messages << " messages, "
               << sflow.bytes << " bytes, federation completed at "

@@ -1,96 +1,27 @@
-// Evaluation harness (paper §5): workload generation and a uniform runner
-// for the five algorithms the paper compares — sFlow, global optimal, fixed,
-// random, and single service path.
+// Compatibility façade for the evaluation harness.
 //
-// A Scenario bundles everything one trial needs: a Waxman underlay, the
-// underlay routing, a service catalog, an overlay with one instance per
-// underlay node, the overlay link-state database, and a requirement whose
-// source service is pinned to the instance the consumer contacts (so every
-// algorithm faces the same decision problem).  All randomness derives from
-// the (params, seed) pair.
+// The harness was split along its two concerns:
+//   * core/scenario.hpp   — workload generation (WorkloadParams, Scenario,
+//                           make_scenario, the Algorithm enum);
+//   * core/federator.hpp  — the unified Federator interface, the
+//                           FederationOutcome struct, make_federator, and the
+//                           one-shot run_algorithm wrapper;
+//   * core/parallel_runner.hpp — the multi-threaded sweep engine.
+//
+// Existing call sites that include this header keep compiling; new code
+// should include the specific headers instead.
 #pragma once
 
-#include <cstdint>
-#include <memory>
-#include <string>
-
 #include "core/comparators.hpp"
+#include "core/federator.hpp"
 #include "core/global_optimal.hpp"
 #include "core/reduction.hpp"
+#include "core/scenario.hpp"
 #include "core/sflow_federation.hpp"
-#include "net/generators.hpp"
-#include "net/underlay_routing.hpp"
-#include "overlay/overlay_graph.hpp"
-#include "overlay/requirement_generator.hpp"
-#include "util/rng.hpp"
 
 namespace sflow::core {
 
-struct WorkloadParams {
-  /// Underlay/overlay node count (the paper sweeps 10..50).
-  std::size_t network_size = 20;
-  /// Distinct service types; each underlay node hosts one instance, every
-  /// type has at least one instance.
-  std::size_t service_type_count = 6;
-  /// Probability that an ordered pair of types is compatible, in addition to
-  /// the pairs adjacent in the requirement (which are always compatible).
-  double type_compatibility = 0.35;
-  /// When true, compatibility is derived from a random *typed* signature
-  /// model (overlay/compatibility.hpp: output type must match an input type)
-  /// instead of the flat random relation above; the model is drawn so the
-  /// requirement always type-checks.
-  bool typed_compatibility = false;
-  overlay::RequirementSpec requirement;
-  /// Waxman underlay parameters; node_count is overridden by network_size.
-  net::WaxmanParams waxman;
-};
-
-struct Scenario {
-  net::UnderlyingNetwork underlay;
-  std::unique_ptr<net::UnderlayRouting> routing;
-  overlay::ServiceCatalog catalog;
-  overlay::OverlayGraph overlay;
-  std::unique_ptr<graph::AllPairsShortestWidest> overlay_routing;
-  overlay::ServiceRequirement requirement;
-};
-
-/// Builds a feasible scenario deterministically from (params, seed),
-/// re-deriving the seed until a cheap feasibility probe passes (the retry
-/// count is bounded; throws std::runtime_error if no feasible scenario is
-/// found, which indicates pathological parameters).
-Scenario make_scenario(const WorkloadParams& params, std::uint64_t seed);
-
-enum class Algorithm {
-  kSflow,
-  kGlobalOptimal,
-  kFixed,
-  kRandom,
-  kServicePath,
-};
-
-std::string algorithm_name(Algorithm algorithm);
-
-struct AlgorithmOutcome {
-  bool success = false;
-  overlay::ServiceFlowGraph graph;
-  /// The requirement the graph realizes — the scenario requirement except for
-  /// the service-path algorithm, which serializes it into a chain.
-  overlay::ServiceRequirement effective_requirement;
-  double bandwidth = 0.0;      // bottleneck, Mbps
-  double latency = 0.0;        // end-to-end critical path, ms
-  double compute_time_us = 0.0;
-
-  // Distributed-protocol accounting (sFlow only).
-  std::size_t messages = 0;
-  std::size_t bytes = 0;
-  double federation_time_ms = 0.0;
-  std::size_t global_fallbacks = 0;
-};
-
-/// Runs one algorithm on a scenario.  `rng` feeds the random comparator;
-/// `config` parameterizes the distributed algorithm (knowledge radius,
-/// reduction toggles).
-AlgorithmOutcome run_algorithm(Algorithm algorithm, const Scenario& scenario,
-                               util::Rng& rng, const SFlowNodeConfig& config = {});
+/// Pre-redesign name of FederationOutcome.
+using AlgorithmOutcome = FederationOutcome;
 
 }  // namespace sflow::core

@@ -1,0 +1,177 @@
+#include "core/federator.hpp"
+
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "core/comparators.hpp"
+#include "core/global_optimal.hpp"
+#include "core/sflow_federation.hpp"
+#include "util/timer.hpp"
+
+namespace sflow::core {
+
+bool FederationOutcome::deterministically_equal(
+    const FederationOutcome& other) const {
+  return success == other.success && graph == other.graph &&
+         effective_requirement == other.effective_requirement &&
+         bandwidth == other.bandwidth && latency == other.latency &&
+         messages == other.messages && bytes == other.bytes &&
+         federation_time_ms == other.federation_time_ms &&
+         global_fallbacks == other.global_fallbacks;
+}
+
+namespace {
+
+/// Fills the quality fields shared by every adapter.
+void finish(FederationOutcome& outcome,
+            std::optional<overlay::ServiceFlowGraph> graph) {
+  if (!graph) return;
+  outcome.success = true;
+  outcome.graph = std::move(*graph);
+  outcome.bandwidth = outcome.graph.bottleneck_bandwidth();
+  outcome.latency =
+      outcome.graph.end_to_end_latency(outcome.effective_requirement);
+}
+
+class SflowFederator final : public Federator {
+ public:
+  explicit SflowFederator(SFlowNodeConfig config) : config_(std::move(config)) {}
+
+  Algorithm algorithm() const noexcept override { return Algorithm::kSflow; }
+
+  FederationOutcome federate(const Scenario& scenario,
+                             util::Rng& /*rng*/) const override {
+    FederationOutcome outcome;
+    outcome.effective_requirement = scenario.requirement;
+    SFlowFederationResult result = run_sflow_federation(
+        scenario.underlay, *scenario.routing, scenario.overlay,
+        *scenario.overlay_routing, scenario.requirement, config_);
+    outcome.compute_time_us = result.compute_time_us;
+    outcome.messages = result.messages;
+    outcome.bytes = result.bytes;
+    outcome.federation_time_ms = result.federation_time_ms;
+    outcome.global_fallbacks = result.global_fallbacks;
+    finish(outcome, std::move(result.flow_graph));
+    return outcome;
+  }
+
+ private:
+  SFlowNodeConfig config_;
+};
+
+class GlobalOptimalFederator final : public Federator {
+ public:
+  Algorithm algorithm() const noexcept override {
+    return Algorithm::kGlobalOptimal;
+  }
+
+  FederationOutcome federate(const Scenario& scenario,
+                             util::Rng& /*rng*/) const override {
+    FederationOutcome outcome;
+    outcome.effective_requirement = scenario.requirement;
+    util::Stopwatch watch;
+    finish(outcome, optimal_flow_graph(scenario.overlay, scenario.requirement,
+                                       *scenario.overlay_routing));
+    outcome.compute_time_us = watch.elapsed_us();
+    return outcome;
+  }
+};
+
+class FixedFederator final : public Federator {
+ public:
+  Algorithm algorithm() const noexcept override { return Algorithm::kFixed; }
+
+  FederationOutcome federate(const Scenario& scenario,
+                             util::Rng& /*rng*/) const override {
+    FederationOutcome outcome;
+    outcome.effective_requirement = scenario.requirement;
+    util::Stopwatch watch;
+    auto result = fixed_federation(scenario.overlay, scenario.requirement,
+                                   *scenario.overlay_routing);
+    if (result) {
+      outcome.effective_requirement = std::move(result->effective_requirement);
+      finish(outcome, std::move(result->graph));
+    }
+    outcome.compute_time_us = watch.elapsed_us();
+    return outcome;
+  }
+};
+
+class RandomFederator final : public Federator {
+ public:
+  Algorithm algorithm() const noexcept override { return Algorithm::kRandom; }
+
+  FederationOutcome federate(const Scenario& scenario,
+                             util::Rng& rng) const override {
+    FederationOutcome outcome;
+    outcome.effective_requirement = scenario.requirement;
+    util::Stopwatch watch;
+    auto result = random_federation(scenario.overlay, scenario.requirement,
+                                    *scenario.overlay_routing, rng);
+    if (result) {
+      outcome.effective_requirement = std::move(result->effective_requirement);
+      finish(outcome, std::move(result->graph));
+    }
+    outcome.compute_time_us = watch.elapsed_us();
+    return outcome;
+  }
+};
+
+class ServicePathFederator final : public Federator {
+ public:
+  explicit ServicePathFederator(bool serialize_dags)
+      : serialize_dags_(serialize_dags) {}
+
+  Algorithm algorithm() const noexcept override {
+    return serialize_dags_ ? Algorithm::kServicePath
+                           : Algorithm::kServicePathStrict;
+  }
+
+  FederationOutcome federate(const Scenario& scenario,
+                             util::Rng& /*rng*/) const override {
+    FederationOutcome outcome;
+    outcome.effective_requirement = scenario.requirement;
+    util::Stopwatch watch;
+    auto result =
+        service_path_federation(scenario.overlay, scenario.requirement,
+                                *scenario.overlay_routing, serialize_dags_);
+    if (result) {
+      outcome.effective_requirement = std::move(result->effective_requirement);
+      finish(outcome, std::move(result->graph));
+    }
+    outcome.compute_time_us = watch.elapsed_us();
+    return outcome;
+  }
+
+ private:
+  bool serialize_dags_;
+};
+
+}  // namespace
+
+std::unique_ptr<Federator> make_federator(Algorithm algorithm,
+                                          const SFlowNodeConfig& config) {
+  switch (algorithm) {
+    case Algorithm::kSflow:
+      return std::make_unique<SflowFederator>(config);
+    case Algorithm::kGlobalOptimal:
+      return std::make_unique<GlobalOptimalFederator>();
+    case Algorithm::kFixed:
+      return std::make_unique<FixedFederator>();
+    case Algorithm::kRandom:
+      return std::make_unique<RandomFederator>();
+    case Algorithm::kServicePath:
+      return std::make_unique<ServicePathFederator>(/*serialize_dags=*/true);
+    case Algorithm::kServicePathStrict:
+      return std::make_unique<ServicePathFederator>(/*serialize_dags=*/false);
+  }
+  throw std::invalid_argument("make_federator: unknown algorithm");
+}
+
+FederationOutcome run_algorithm(Algorithm algorithm, const Scenario& scenario,
+                                util::Rng& rng, const SFlowNodeConfig& config) {
+  return make_federator(algorithm, config)->federate(scenario, rng);
+}
+
+}  // namespace sflow::core

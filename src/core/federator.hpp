@@ -1,0 +1,81 @@
+// The unified federation API: one polymorphic interface over the paper's
+// five algorithms, one result struct for all of them.
+//
+// Before this interface existed the algorithms were five unrelated free
+// functions with five incompatible result types; every bench re-implemented
+// the metric extraction.  A Federator adapter normalizes each into
+//
+//     FederationOutcome federate(scenario, rng) const
+//
+// where the outcome carries the flow graph, its quality, the compute time,
+// and — for the distributed algorithm — the protocol's message/byte
+// accounting.  Adapters are stateless (configuration is captured at
+// construction), so a single federator may serve any number of threads
+// concurrently; all per-trial randomness enters through `rng`.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/scenario.hpp"
+#include "core/sflow_node.hpp"
+#include "overlay/flow_graph.hpp"
+#include "util/rng.hpp"
+
+namespace sflow::core {
+
+/// Uniform per-trial result of any federation algorithm.
+struct FederationOutcome {
+  bool success = false;
+  overlay::ServiceFlowGraph graph;
+  /// The requirement the graph realizes — the scenario requirement except for
+  /// the service-path algorithm, which serializes it into a chain.
+  overlay::ServiceRequirement effective_requirement;
+  double bandwidth = 0.0;      // bottleneck, Mbps
+  double latency = 0.0;        // end-to-end critical path, ms
+  double compute_time_us = 0.0;
+
+  // Distributed-protocol accounting (sFlow only).
+  std::size_t messages = 0;
+  std::size_t bytes = 0;
+  double federation_time_ms = 0.0;
+  std::size_t global_fallbacks = 0;
+
+  /// Equality over every seed-determined field — everything except
+  /// compute_time_us, which is wall-clock measurement noise.  This is the
+  /// contract the parallel evaluation engine is tested against: identical
+  /// (scenario, rng) input must give deterministically_equal outcomes at any
+  /// thread count.
+  bool deterministically_equal(const FederationOutcome& other) const;
+};
+
+/// Polymorphic federation algorithm.
+class Federator {
+ public:
+  virtual ~Federator() = default;
+
+  virtual Algorithm algorithm() const noexcept = 0;
+  std::string name() const { return algorithm_name(algorithm()); }
+
+  /// Runs one federation on the scenario.  `rng` feeds stochastic selection
+  /// (only the random algorithm draws from it).  Implementations are const
+  /// and share no mutable state, so one instance may be used from many
+  /// threads as long as each thread passes its own Rng.
+  virtual FederationOutcome federate(const Scenario& scenario,
+                                     util::Rng& rng) const = 0;
+};
+
+/// Builds the adapter for `algorithm`.  `config` parameterizes the
+/// distributed algorithm (knowledge radius, reduction toggles) and is
+/// ignored by the centralized ones.
+std::unique_ptr<Federator> make_federator(Algorithm algorithm,
+                                          const SFlowNodeConfig& config = {});
+
+/// Runs one algorithm on a scenario — a thin wrapper over
+/// make_federator(algorithm, config)->federate(scenario, rng), kept for the
+/// one-shot call sites.
+FederationOutcome run_algorithm(Algorithm algorithm, const Scenario& scenario,
+                                util::Rng& rng,
+                                const SFlowNodeConfig& config = {});
+
+}  // namespace sflow::core

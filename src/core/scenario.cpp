@@ -1,10 +1,10 @@
-#include "core/evaluation.hpp"
+#include "core/scenario.hpp"
 
 #include <set>
 #include <stdexcept>
 
+#include "core/comparators.hpp"
 #include "overlay/compatibility.hpp"
-#include "util/timer.hpp"
 
 namespace sflow::core {
 
@@ -113,73 +113,17 @@ std::string algorithm_name(Algorithm algorithm) {
     case Algorithm::kFixed: return "Fixed";
     case Algorithm::kRandom: return "Random";
     case Algorithm::kServicePath: return "Service Path";
+    case Algorithm::kServicePathStrict: return "Service Path (strict)";
   }
   throw std::invalid_argument("algorithm_name: unknown algorithm");
 }
 
-AlgorithmOutcome run_algorithm(Algorithm algorithm, const Scenario& scenario,
-                               util::Rng& rng, const SFlowNodeConfig& config) {
-  AlgorithmOutcome outcome;
-  outcome.effective_requirement = scenario.requirement;
-
-  const auto finish = [&](std::optional<overlay::ServiceFlowGraph> graph) {
-    if (!graph) return;
-    outcome.success = true;
-    outcome.graph = std::move(*graph);
-    outcome.bandwidth = outcome.graph.bottleneck_bandwidth();
-    outcome.latency =
-        outcome.graph.end_to_end_latency(outcome.effective_requirement);
+const std::vector<Algorithm>& all_algorithms() {
+  static const std::vector<Algorithm> kAll = {
+      Algorithm::kGlobalOptimal, Algorithm::kSflow,     Algorithm::kFixed,
+      Algorithm::kRandom,        Algorithm::kServicePath,
   };
-
-  util::Stopwatch watch;
-  switch (algorithm) {
-    case Algorithm::kSflow: {
-      SFlowFederationResult result = run_sflow_federation(
-          scenario.underlay, *scenario.routing, scenario.overlay,
-          *scenario.overlay_routing, scenario.requirement, config);
-      outcome.compute_time_us = result.compute_time_us;
-      outcome.messages = result.messages;
-      outcome.bytes = result.bytes;
-      outcome.federation_time_ms = result.federation_time_ms;
-      outcome.global_fallbacks = result.global_fallbacks;
-      finish(std::move(result.flow_graph));
-      return outcome;
-    }
-    case Algorithm::kGlobalOptimal: {
-      finish(optimal_flow_graph(scenario.overlay, scenario.requirement,
-                                *scenario.overlay_routing));
-      break;
-    }
-    case Algorithm::kFixed: {
-      auto result = fixed_federation(scenario.overlay, scenario.requirement,
-                                     *scenario.overlay_routing);
-      if (result) {
-        outcome.effective_requirement = std::move(result->effective_requirement);
-        finish(std::move(result->graph));
-      }
-      break;
-    }
-    case Algorithm::kRandom: {
-      auto result = random_federation(scenario.overlay, scenario.requirement,
-                                      *scenario.overlay_routing, rng);
-      if (result) {
-        outcome.effective_requirement = std::move(result->effective_requirement);
-        finish(std::move(result->graph));
-      }
-      break;
-    }
-    case Algorithm::kServicePath: {
-      auto result = service_path_federation(scenario.overlay, scenario.requirement,
-                                            *scenario.overlay_routing);
-      if (result) {
-        outcome.effective_requirement = std::move(result->effective_requirement);
-        finish(std::move(result->graph));
-      }
-      break;
-    }
-  }
-  outcome.compute_time_us = watch.elapsed_us();
-  return outcome;
+  return kAll;
 }
 
 }  // namespace sflow::core

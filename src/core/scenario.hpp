@@ -1,0 +1,75 @@
+// Workload generation for the paper's §5 evaluation: a Scenario bundles
+// everything one trial needs — a Waxman underlay, the underlay routing, a
+// service catalog, an overlay with one instance per underlay node, the
+// overlay link-state database, and a requirement whose source service is
+// pinned to the instance the consumer contacts (so every algorithm faces the
+// same decision problem).  All randomness derives from the (params, seed)
+// pair, which is what makes the parallel evaluation engine deterministic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/qos_routing.hpp"
+#include "net/generators.hpp"
+#include "net/underlay_routing.hpp"
+#include "overlay/overlay_graph.hpp"
+#include "overlay/requirement_generator.hpp"
+#include "util/rng.hpp"
+
+namespace sflow::core {
+
+struct WorkloadParams {
+  /// Underlay/overlay node count (the paper sweeps 10..50).
+  std::size_t network_size = 20;
+  /// Distinct service types; each underlay node hosts one instance, every
+  /// type has at least one instance.
+  std::size_t service_type_count = 6;
+  /// Probability that an ordered pair of types is compatible, in addition to
+  /// the pairs adjacent in the requirement (which are always compatible).
+  double type_compatibility = 0.35;
+  /// When true, compatibility is derived from a random *typed* signature
+  /// model (overlay/compatibility.hpp: output type must match an input type)
+  /// instead of the flat random relation above; the model is drawn so the
+  /// requirement always type-checks.
+  bool typed_compatibility = false;
+  overlay::RequirementSpec requirement;
+  /// Waxman underlay parameters; node_count is overridden by network_size.
+  net::WaxmanParams waxman;
+};
+
+struct Scenario {
+  net::UnderlyingNetwork underlay;
+  std::unique_ptr<net::UnderlayRouting> routing;
+  overlay::ServiceCatalog catalog;
+  overlay::OverlayGraph overlay;
+  std::unique_ptr<graph::AllPairsShortestWidest> overlay_routing;
+  overlay::ServiceRequirement requirement;
+};
+
+/// Builds a feasible scenario deterministically from (params, seed),
+/// re-deriving the seed until a cheap feasibility probe passes (the retry
+/// count is bounded; throws std::runtime_error if no feasible scenario is
+/// found, which indicates pathological parameters).
+Scenario make_scenario(const WorkloadParams& params, std::uint64_t seed);
+
+/// The five algorithms of the paper's comparison, plus the strict variant of
+/// the service-path comparator (fails on non-chain requirements instead of
+/// serializing them — the paper's Fig. 10(a) success-rate framing).
+enum class Algorithm {
+  kSflow,
+  kGlobalOptimal,
+  kFixed,
+  kRandom,
+  kServicePath,
+  kServicePathStrict,
+};
+
+std::string algorithm_name(Algorithm algorithm);
+
+/// The paper's Fig. 10 line-up, in the order the figures list them.
+const std::vector<Algorithm>& all_algorithms();
+
+}  // namespace sflow::core

@@ -30,6 +30,8 @@ struct FlowEdge {
   /// `to` instance (both inclusive); interior nodes are bridging instances.
   std::vector<OverlayIndex> overlay_path;
   graph::PathQuality quality = graph::PathQuality::unreachable();
+
+  friend bool operator==(const FlowEdge&, const FlowEdge&) = default;
 };
 
 class ServiceFlowGraph {
@@ -93,6 +95,12 @@ class ServiceFlowGraph {
                                         const ServiceFlowGraph& optimal);
 
   std::string to_string(const ServiceCatalog* catalog = nullptr) const;
+
+  /// Structural equality: same assignments and the same realized edges in
+  /// the same order (edge order is deterministic for every algorithm here —
+  /// used by the evaluation engine's determinism contract).
+  friend bool operator==(const ServiceFlowGraph&,
+                         const ServiceFlowGraph&) = default;
 
  private:
   std::map<Sid, OverlayIndex> assignments_;
