@@ -1,17 +1,23 @@
 // Shared machinery for the figure-reproduction benches: the network-size
 // sweep of the paper's §5 (sizes 10..50, multiple seeds per size), per-
-// algorithm metric collection, and table/series rendering.
+// algorithm metric collection, table/series rendering, and — since the
+// parallel evaluation engine — thread-count/JSON plumbing for the Fig. 10
+// benches (`--threads N --json out.bench.json`).
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "core/evaluation.hpp"
+#include "core/parallel_runner.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
 
 namespace sflow::bench {
 
@@ -39,7 +45,10 @@ struct SweepConfig {
   }
 };
 
-/// Runs `body(scenario, trial_rng)` for every (size, trial) pair.
+/// Runs `body(scenario, trial_rng)` for every (size, trial) pair.  The
+/// serial legacy entry point — benches that need scenario internals (traces,
+/// fault injection) keep using it; the Fig. 10 benches go through
+/// run_sweep() below instead.
 template <typename Body>
 void sweep(const SweepConfig& config, Body body) {
   for (const std::size_t size : config.network_sizes) {
@@ -54,6 +63,151 @@ void sweep(const SweepConfig& config, Body body) {
       body(scenario, rng, size);
     }
   }
+}
+
+/// Command-line options shared by the engine-based benches.
+struct RunnerOptions {
+  std::size_t threads = 1;
+  std::string json_path;  // empty = no JSON output
+};
+
+inline RunnerOptions parse_runner_options(int argc, char** argv) {
+  RunnerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      options.threads = std::strtoul(argv[++i], nullptr, 10);
+      if (options.threads == 0) options.threads = 1;
+    } else if (arg == "--json" && i + 1 < argc) {
+      options.json_path = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--threads N] [--json PATH]\n";
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+/// One sweep point: the network size a trial belongs to plus its spec.
+struct SweepTrial {
+  std::size_t size = 0;
+  core::TrialSpec spec;
+};
+
+/// Expands a SweepConfig into the flat trial list the engine consumes.  The
+/// per-trial seed matches the legacy sweep()'s derivation, so scenario
+/// streams are unchanged.
+inline std::vector<SweepTrial> make_sweep_trials(
+    const SweepConfig& config, std::vector<core::Algorithm> algorithms) {
+  std::vector<SweepTrial> trials;
+  trials.reserve(config.network_sizes.size() * config.trials_per_size);
+  for (const std::size_t size : config.network_sizes) {
+    for (std::size_t trial = 0; trial < config.trials_per_size; ++trial) {
+      SweepTrial entry;
+      entry.size = size;
+      entry.spec.params = config.workload;
+      entry.spec.params.network_size = size;
+      entry.spec.params.requirement.shape =
+          config.shapes[trial % config.shapes.size()];
+      entry.spec.scenario_seed =
+          util::derive_seed(config.base_seed, size * 1000 + trial);
+      entry.spec.algorithms = algorithms;
+      trials.push_back(std::move(entry));
+    }
+  }
+  return trials;
+}
+
+/// A timed engine run over a sweep.
+struct SweepRun {
+  std::vector<SweepTrial> trials;
+  std::vector<core::TrialResult> results;  // parallel to `trials`
+  std::size_t threads = 1;
+  double wall_ms = 0.0;
+  /// Single-thread wall clock of the same sweep; 0 when not measured (only
+  /// measured when JSON output is requested and threads > 1, to record the
+  /// serial-vs-parallel throughput without doubling every interactive run).
+  double serial_wall_ms = 0.0;
+};
+
+inline std::vector<core::TrialResult> run_trials(
+    const std::vector<SweepTrial>& trials, std::size_t threads) {
+  std::vector<core::TrialSpec> specs;
+  specs.reserve(trials.size());
+  for (const SweepTrial& t : trials) specs.push_back(t.spec);
+  return core::ParallelSweepRunner(threads).run(specs);
+}
+
+/// Runs the sweep on `options.threads` threads, timing it; with JSON output
+/// requested and threads > 1, also times a serial run for the speedup record.
+inline SweepRun run_sweep(const SweepConfig& config,
+                          const std::vector<core::Algorithm>& algorithms,
+                          const RunnerOptions& options) {
+  SweepRun run;
+  run.trials = make_sweep_trials(config, algorithms);
+  run.threads = options.threads;
+
+  util::Stopwatch watch;
+  run.results = run_trials(run.trials, options.threads);
+  run.wall_ms = watch.elapsed_ms();
+
+  if (!options.json_path.empty() && options.threads > 1) {
+    watch.restart();
+    run_trials(run.trials, 1);
+    run.serial_wall_ms = watch.elapsed_ms();
+  }
+  return run;
+}
+
+/// Writes the bench record: throughput (parallel and, when measured, serial)
+/// plus the figure's series means.  Minimal hand-rolled JSON — keys are
+/// plain ASCII identifiers throughout.
+inline void write_sweep_json(const RunnerOptions& options,
+                             const std::string& bench_name,
+                             const SweepRun& run,
+                             const util::SeriesTable& table) {
+  if (options.json_path.empty()) return;
+  std::ofstream out(options.json_path);
+  if (!out) {
+    std::cerr << "cannot write " << options.json_path << "\n";
+    std::exit(1);
+  }
+  const double secs = run.wall_ms / 1000.0;
+  out << "{\n"
+      << "  \"bench\": \"" << bench_name << "\",\n"
+      << "  \"threads\": " << run.threads << ",\n"
+      << "  \"trials\": " << run.trials.size() << ",\n"
+      << "  \"wall_ms\": " << run.wall_ms << ",\n"
+      << "  \"trials_per_sec\": "
+      << (secs > 0 ? static_cast<double>(run.trials.size()) / secs : 0.0);
+  if (run.serial_wall_ms > 0.0) {
+    const double serial_secs = run.serial_wall_ms / 1000.0;
+    out << ",\n  \"serial_wall_ms\": " << run.serial_wall_ms
+        << ",\n  \"serial_trials_per_sec\": "
+        << static_cast<double>(run.trials.size()) / serial_secs
+        << ",\n  \"speedup\": " << run.serial_wall_ms / run.wall_ms;
+  }
+  out << ",\n  \"series\": {";
+  bool first_series = true;
+  for (const std::string& series : table.series_names()) {
+    out << (first_series ? "" : ",") << "\n    \"" << series << "\": {";
+    first_series = false;
+    bool first_x = true;
+    for (const double x : table.x_values()) {
+      const util::Accumulator* acc = table.find(series, x);
+      if (acc == nullptr || acc->empty()) continue;
+      out << (first_x ? "" : ", ") << "\"" << x << "\": " << acc->mean();
+      first_x = false;
+    }
+    out << "}";
+  }
+  out << "\n  }\n}\n";
+  std::cout << "\nwrote " << options.json_path << " (threads=" << run.threads
+            << ", wall " << run.wall_ms << " ms";
+  if (run.serial_wall_ms > 0.0)
+    std::cout << ", serial " << run.serial_wall_ms << " ms, speedup "
+              << run.serial_wall_ms / run.wall_ms;
+  std::cout << ")\n";
 }
 
 /// Prints one figure panel: rows = series, columns = network sizes.

@@ -6,26 +6,29 @@
 // time is the sum of per-node local computations (excluding simulated network
 // time); it sits slightly above the centralized optimum because of
 // re-computation at the service nodes, and both grow polynomially.
+//
+//   $ ./fig10b_time [--threads N] [--json PATH]
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sflow;
+  const bench::RunnerOptions options = bench::parse_runner_options(argc, argv);
   bench::SweepConfig config;
   config.shapes = {overlay::RequirementShape::kSinglePath};
-  util::SeriesTable time_us;
 
-  bench::sweep(config, [&](const core::Scenario& scenario, util::Rng& rng,
-                           std::size_t size) {
-    const core::AlgorithmOutcome sflow =
-        core::run_algorithm(core::Algorithm::kSflow, scenario, rng);
-    const core::AlgorithmOutcome optimal =
-        core::run_algorithm(core::Algorithm::kGlobalOptimal, scenario, rng);
-    if (!sflow.success || !optimal.success) return;
-    time_us.row("sFlow (sum over nodes)", static_cast<double>(size))
-        .add(sflow.compute_time_us);
-    time_us.row("Global Optimal", static_cast<double>(size))
-        .add(optimal.compute_time_us);
-  });
+  const std::vector<core::Algorithm> algorithms = {
+      core::Algorithm::kSflow, core::Algorithm::kGlobalOptimal};
+  const bench::SweepRun run = bench::run_sweep(config, algorithms, options);
+
+  util::SeriesTable time_us;
+  for (std::size_t i = 0; i < run.trials.size(); ++i) {
+    const auto size = static_cast<double>(run.trials[i].size);
+    const core::FederationOutcome& sflow = run.results[i].outcomes[0];
+    const core::FederationOutcome& optimal = run.results[i].outcomes[1];
+    if (!sflow.success || !optimal.success) continue;
+    time_us.row("sFlow (sum over nodes)", size).add(sflow.compute_time_us);
+    time_us.row("Global Optimal", size).add(optimal.compute_time_us);
+  }
 
   bench::print_series(std::cout,
                       "Fig. 10(b)  Computation time (us) vs network size",
@@ -33,5 +36,6 @@ int main() {
   std::cout << "\nExpected shape: both grow gradually (polynomial); sFlow "
                "slightly above Global Optimal due to re-computation at "
                "service nodes.\n";
+  bench::write_sweep_json(options, "fig10b_time", run, time_us);
   return 0;
 }

@@ -5,25 +5,30 @@
 // beats the fixed and random selectors, and beats the serialized service
 // path by a wide margin ("the latter fails to consider the parallel
 // processing cases").  Service-path failures are skipped, as in the paper.
+//
+//   $ ./fig10c_latency [--threads N] [--json PATH]
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sflow;
+  const bench::RunnerOptions options = bench::parse_runner_options(argc, argv);
   bench::SweepConfig config;
-  util::SeriesTable latency;
 
-  bench::sweep(config, [&](const core::Scenario& scenario, util::Rng& rng,
-                           std::size_t size) {
-    for (const core::Algorithm algorithm :
-         {core::Algorithm::kSflow, core::Algorithm::kFixed,
-          core::Algorithm::kRandom, core::Algorithm::kServicePath}) {
-      const core::AlgorithmOutcome outcome =
-          core::run_algorithm(algorithm, scenario, rng);
+  const std::vector<core::Algorithm> algorithms = {
+      core::Algorithm::kSflow, core::Algorithm::kFixed,
+      core::Algorithm::kRandom, core::Algorithm::kServicePath};
+  const bench::SweepRun run = bench::run_sweep(config, algorithms, options);
+
+  util::SeriesTable latency;
+  for (std::size_t i = 0; i < run.trials.size(); ++i) {
+    const auto size = static_cast<double>(run.trials[i].size);
+    for (std::size_t slot = 0; slot < algorithms.size(); ++slot) {
+      const core::FederationOutcome& outcome = run.results[i].outcomes[slot];
       if (!outcome.success) continue;
-      latency.row(core::algorithm_name(algorithm), static_cast<double>(size))
+      latency.row(core::algorithm_name(algorithms[slot]), size)
           .add(outcome.latency);
     }
-  });
+  }
 
   bench::print_series(std::cout,
                       "Fig. 10(c)  End-to-end latency (ms) vs network size",
@@ -31,5 +36,6 @@ int main() {
   std::cout << "\nExpected shape: sFlow lowest at every size; Service Path "
                "pays a visible serialization penalty vs sFlow (it cannot "
                "overlap parallel stages); Random worst at scale.\n";
+  bench::write_sweep_json(options, "fig10c_latency", run, latency);
   return 0;
 }

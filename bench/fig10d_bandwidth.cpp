@@ -3,30 +3,36 @@
 // Paper shape: Global Optimal >= sFlow > Fixed > Random at every size; sFlow
 // "consistently produces service flow graphs with higher end-to-end
 // throughput, regardless of the network size".
+//
+//   $ ./fig10d_bandwidth [--threads N] [--json PATH]
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sflow;
+  const bench::RunnerOptions options = bench::parse_runner_options(argc, argv);
   bench::SweepConfig config;
-  util::SeriesTable bandwidth;
 
-  bench::sweep(config, [&](const core::Scenario& scenario, util::Rng& rng,
-                           std::size_t size) {
-    for (const core::Algorithm algorithm :
-         {core::Algorithm::kGlobalOptimal, core::Algorithm::kSflow,
-          core::Algorithm::kFixed, core::Algorithm::kRandom}) {
-      const core::AlgorithmOutcome outcome =
-          core::run_algorithm(algorithm, scenario, rng);
+  const std::vector<core::Algorithm> algorithms = {
+      core::Algorithm::kGlobalOptimal, core::Algorithm::kSflow,
+      core::Algorithm::kFixed, core::Algorithm::kRandom};
+  const bench::SweepRun run = bench::run_sweep(config, algorithms, options);
+
+  util::SeriesTable bandwidth;
+  for (std::size_t i = 0; i < run.trials.size(); ++i) {
+    const auto size = static_cast<double>(run.trials[i].size);
+    for (std::size_t slot = 0; slot < algorithms.size(); ++slot) {
+      const core::FederationOutcome& outcome = run.results[i].outcomes[slot];
       if (!outcome.success) continue;
-      bandwidth.row(core::algorithm_name(algorithm), static_cast<double>(size))
+      bandwidth.row(core::algorithm_name(algorithms[slot]), size)
           .add(outcome.bandwidth);
     }
-  });
+  }
 
   bench::print_series(std::cout,
                       "Fig. 10(d)  End-to-end bandwidth (Mbps) vs network size",
                       bandwidth, 2);
   std::cout << "\nExpected shape: Global Optimal >= sFlow > Fixed > Random at "
                "every network size.\n";
+  bench::write_sweep_json(options, "fig10d_bandwidth", run, bandwidth);
   return 0;
 }

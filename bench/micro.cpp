@@ -1,10 +1,12 @@
 // E7: google-benchmark microbenchmarks for the building blocks — the
-// Wang-Crowcroft routing core, abstract-graph construction, and the solvers.
+// Wang-Crowcroft routing core, abstract-graph construction, the solvers,
+// and the parallel evaluation engine (threads on the x axis).
 #include <benchmark/benchmark.h>
 
 #include "core/baseline.hpp"
 #include "core/evaluation.hpp"
 #include "core/global_optimal.hpp"
+#include "core/parallel_runner.hpp"
 #include "core/reduction.hpp"
 #include "graph/qos_routing.hpp"
 #include "net/generators.hpp"
@@ -12,6 +14,7 @@
 #include "satred/dpll.hpp"
 #include "satred/reduction.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -110,6 +113,45 @@ void BM_GlobalOptimal(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GlobalOptimal)->Arg(20)->Arg(50);
+
+void BM_AllPairsParallelPrecompute(benchmark::State& state) {
+  const graph::Digraph g = random_digraph(64, 0.3, 11);
+  util::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const graph::AllPairsShortestWidest all(g);
+    all.precompute_all(pool);
+    benchmark::DoNotOptimize(&all);
+  }
+}
+BENCHMARK(BM_AllPairsParallelPrecompute)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+/// The evaluation engine end to end: a small Fig. 10-style batch (two sizes,
+/// four trials each, full algorithm line-up) per iteration, with the thread
+/// count on the x axis.  Outcomes are bit-identical across the Args by the
+/// engine's determinism contract; only the wall clock moves.
+void BM_ParallelSweep(benchmark::State& state) {
+  std::vector<core::TrialSpec> trials;
+  for (const std::size_t size : {20u, 30u}) {
+    for (std::uint64_t t = 0; t < 4; ++t) {
+      core::TrialSpec spec;
+      spec.params.network_size = size;
+      spec.params.service_type_count = 6;
+      spec.params.requirement.service_count = 6;
+      spec.params.requirement.shape = overlay::RequirementShape::kGenericDag;
+      spec.scenario_seed = util::derive_seed(7, size * 100 + t);
+      spec.algorithms = {core::Algorithm::kGlobalOptimal,
+                         core::Algorithm::kSflow, core::Algorithm::kFixed,
+                         core::Algorithm::kRandom};
+      trials.push_back(std::move(spec));
+    }
+  }
+  const core::ParallelSweepRunner runner(
+      static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.run(trials));
+  }
+}
+BENCHMARK(BM_ParallelSweep)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 void BM_DpllPhaseTransition(benchmark::State& state) {
   util::Rng rng(13);

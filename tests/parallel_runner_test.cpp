@@ -1,0 +1,119 @@
+// The evaluation engine's determinism contract: the same trial batch must
+// produce deterministically-equal outcomes at any thread count.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/parallel_runner.hpp"
+#include "test_helpers.hpp"
+
+namespace sflow::core {
+namespace {
+
+std::vector<TrialSpec> sweep_trials(std::size_t seeds) {
+  std::vector<TrialSpec> trials;
+  for (std::uint64_t seed = 0; seed < seeds; ++seed) {
+    TrialSpec spec;
+    spec.params = testing::small_workload(16);
+    spec.scenario_seed = 4200 + seed;
+    spec.algorithms = {Algorithm::kSflow, Algorithm::kGlobalOptimal,
+                       Algorithm::kRandom};
+    trials.push_back(std::move(spec));
+  }
+  return trials;
+}
+
+/// The ISSUE 1 acceptance test: a 3-algorithm x 20-seed sweep is
+/// bit-identical (modulo wall-clock compute_time_us) at 1 and 8 threads.
+TEST(ParallelSweepRunner, ThreadCountDoesNotChangeOutcomes) {
+  const std::vector<TrialSpec> trials = sweep_trials(20);
+  const std::vector<TrialResult> serial = ParallelSweepRunner(1).run(trials);
+  const std::vector<TrialResult> parallel = ParallelSweepRunner(8).run(trials);
+
+  ASSERT_EQ(serial.size(), trials.size());
+  ASSERT_EQ(parallel.size(), trials.size());
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    ASSERT_EQ(serial[i].outcomes.size(), trials[i].algorithms.size());
+    ASSERT_EQ(parallel[i].outcomes.size(), trials[i].algorithms.size());
+    for (std::size_t slot = 0; slot < trials[i].algorithms.size(); ++slot) {
+      EXPECT_TRUE(serial[i].outcomes[slot].deterministically_equal(
+          parallel[i].outcomes[slot]))
+          << "trial " << i << ", "
+          << algorithm_name(trials[i].algorithms[slot]);
+    }
+  }
+}
+
+/// Two parallel runs must also agree with each other (no scheduling leak).
+TEST(ParallelSweepRunner, RepeatedParallelRunsAgree) {
+  const std::vector<TrialSpec> trials = sweep_trials(6);
+  const ParallelSweepRunner runner(8);
+  const std::vector<TrialResult> a = runner.run(trials);
+  const std::vector<TrialResult> b = runner.run(trials);
+  for (std::size_t i = 0; i < trials.size(); ++i)
+    for (std::size_t slot = 0; slot < trials[i].algorithms.size(); ++slot)
+      EXPECT_TRUE(
+          a[i].outcomes[slot].deterministically_equal(b[i].outcomes[slot]));
+}
+
+TEST(ParallelSweepRunner, OutcomesAreMeaningful) {
+  const std::vector<TrialSpec> trials = sweep_trials(3);
+  const std::vector<TrialResult> results = ParallelSweepRunner(4).run(trials);
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    // make_scenario guarantees feasibility, so the exact solver and sFlow
+    // both succeed; outcomes stay within the optimum.
+    const FederationOutcome& sflow = results[i].outcomes[0];
+    const FederationOutcome& optimal = results[i].outcomes[1];
+    ASSERT_TRUE(optimal.success);
+    ASSERT_TRUE(sflow.success);
+    EXPECT_GT(sflow.messages, 0u);
+    EXPECT_LE(sflow.bandwidth, optimal.bandwidth + 1e-9);
+  }
+}
+
+TEST(ParallelSweepRunner, EmptyBatch) {
+  EXPECT_TRUE(ParallelSweepRunner(4).run({}).empty());
+}
+
+TEST(ParallelSweepRunner, ZeroThreadsClampedToOne) {
+  EXPECT_EQ(ParallelSweepRunner(0).threads(), 1u);
+}
+
+TEST(ParallelSweepRunner, PropagatesTrialErrors) {
+  TrialSpec bad;
+  bad.params = testing::small_workload(4);
+  bad.params.service_type_count = 9;  // more types than nodes
+  bad.algorithms = {Algorithm::kFixed};
+  EXPECT_THROW(ParallelSweepRunner(1).run({bad}), std::invalid_argument);
+  EXPECT_THROW(ParallelSweepRunner(4).run({bad}), std::invalid_argument);
+}
+
+/// run_algorithm is now a thin wrapper over make_federator: both paths must
+/// agree outcome-for-outcome given equal Rngs.
+TEST(Federator, RunAlgorithmMatchesFederateCall) {
+  const Scenario scenario = make_scenario(testing::small_workload(14), 11);
+  for (const Algorithm algorithm : all_algorithms()) {
+    util::Rng a(99);
+    util::Rng b(99);
+    const FederationOutcome via_wrapper =
+        run_algorithm(algorithm, scenario, a);
+    const FederationOutcome via_interface =
+        make_federator(algorithm)->federate(scenario, b);
+    EXPECT_TRUE(via_wrapper.deterministically_equal(via_interface))
+        << algorithm_name(algorithm);
+  }
+}
+
+TEST(Federator, NamesAndAlgorithmsRoundTrip) {
+  for (const Algorithm algorithm :
+       {Algorithm::kSflow, Algorithm::kGlobalOptimal, Algorithm::kFixed,
+        Algorithm::kRandom, Algorithm::kServicePath,
+        Algorithm::kServicePathStrict}) {
+    const auto federator = make_federator(algorithm);
+    EXPECT_EQ(federator->algorithm(), algorithm);
+    EXPECT_EQ(federator->name(), algorithm_name(algorithm));
+  }
+}
+
+}  // namespace
+}  // namespace sflow::core
