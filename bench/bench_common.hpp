@@ -15,6 +15,8 @@
 
 #include "core/evaluation.hpp"
 #include "core/parallel_runner.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -187,6 +189,11 @@ inline void write_sweep_json(const RunnerOptions& options,
         << static_cast<double>(run.trials.size()) / serial_secs
         << ",\n  \"speedup\": " << run.serial_wall_ms / run.wall_ms;
   }
+  // The process-wide metric registry (docs/observability.md): routing-cache
+  // hits/misses, per-trial wall-clock and queue-wait histograms, protocol
+  // counters — everything the run touched.
+  out << ",\n  \"metrics\": "
+      << obs::to_json(obs::Registry::global().snapshot(), "  ");
   out << ",\n  \"series\": {";
   bool first_series = true;
   for (const std::string& series : table.series_names()) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <iomanip>
+#include <set>
 #include <sstream>
 
 namespace sflow::core {
@@ -55,6 +56,69 @@ std::string FederationTrace::to_string(
     }
     os << "\n";
   }
+  return os.str();
+}
+
+namespace {
+
+/// Minimal JSON string escaping; service names are identifiers, but quoting
+/// defensively keeps arbitrary catalogs safe.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) continue;  // drop control chars
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FederationTrace::to_chrome_trace_json(
+    const overlay::ServiceCatalog* catalog) const {
+  const auto service = [&](overlay::Sid sid) -> std::string {
+    if (catalog != nullptr) return json_escape(catalog->name(sid));
+    return "S" + std::to_string(sid);
+  };
+
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  bool first = true;
+  const auto emit = [&](const std::string& event) {
+    os << (first ? "" : ",\n") << "  " << event;
+    first = false;
+  };
+
+  // Name each node track so Perfetto shows "node N" instead of bare tids.
+  std::set<net::Nid> nodes;
+  for (const TraceEvent& e : events_)
+    if (e.node != graph::kInvalidNode) nodes.insert(e.node);
+  emit("{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+       "\"args\": {\"name\": \"sflow federation\"}}");
+  for (const net::Nid node : nodes)
+    emit("{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": " +
+         std::to_string(node) + ", \"args\": {\"name\": \"node " +
+         std::to_string(node) + "\"}}");
+
+  for (const TraceEvent& e : events_) {
+    std::string name = kind_name(e.kind);
+    if (e.subject != overlay::kInvalidSid) name += ": " + service(e.subject);
+    std::string args;
+    if (e.subject != overlay::kInvalidSid)
+      args += "\"service\": \"" + service(e.subject) + "\"";
+    if (e.peer != graph::kInvalidNode)
+      args += std::string(args.empty() ? "" : ", ") +
+              "\"peer\": " + std::to_string(e.peer);
+    std::ostringstream ev;
+    ev << "{\"name\": \"" << json_escape(name)
+       << "\", \"ph\": \"i\", \"s\": \"t\", \"ts\": " << std::fixed
+       << std::setprecision(3) << e.at_ms * 1000.0 << ", \"pid\": 1, \"tid\": "
+       << e.node << ", \"args\": {" << args << "}}";
+    emit(ev.str());
+  }
+  os << "\n]}\n";
   return os.str();
 }
 

@@ -47,6 +47,14 @@ class FederationTrace {
   /// given.
   std::string to_string(const overlay::ServiceCatalog* catalog = nullptr) const;
 
+  /// Chrome trace-event JSON (the `about:tracing` / Perfetto format): one
+  /// instant event per TraceEvent on a per-node track (tid = acting node,
+  /// ts = simulated time in microseconds), plus thread-name metadata.  Write
+  /// it to a file and load it in ui.perfetto.dev or chrome://tracing to see
+  /// the federation timeline.
+  std::string to_chrome_trace_json(
+      const overlay::ServiceCatalog* catalog = nullptr) const;
+
  private:
   std::vector<TraceEvent> events_;
 };

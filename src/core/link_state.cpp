@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "graph/dag.hpp"
+#include "obs/metrics.hpp"
 
 namespace sflow::core {
 
@@ -162,6 +163,26 @@ LinkStateStats LinkStateProtocol::disseminate() {
   stats.messages = simulator.stats().messages_delivered;
   stats.bytes = simulator.stats().bytes_delivered;
   stats.convergence_time_ms = simulator.stats().last_delivery_time;
+
+  // Dissemination cost metrics; the protocol_* aggregates are shared with
+  // the sFlow protocol so the §7 messaging-overhead ordering can be read off
+  // the exported registry directly.
+  obs::Registry& registry = obs::Registry::global();
+  static obs::Counter& rounds = registry.counter(
+      "link_state_rounds_total", "link-state advertisement rounds run");
+  static obs::Counter& messages = registry.counter(
+      "link_state_messages_total", "LSA messages delivered");
+  static obs::Counter& bytes = registry.counter(
+      "link_state_payload_bytes_total", "LSA payload bytes delivered");
+  static obs::Counter& protocol_messages = registry.counter(
+      "protocol_messages_total", "simulated protocol messages delivered");
+  static obs::Counter& protocol_bytes = registry.counter(
+      "protocol_payload_bytes_total", "simulated protocol bytes delivered");
+  rounds.increment();
+  messages.add(stats.messages);
+  bytes.add(stats.bytes);
+  protocol_messages.add(stats.messages);
+  protocol_bytes.add(stats.bytes);
   return stats;
 }
 

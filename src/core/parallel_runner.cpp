@@ -1,6 +1,8 @@
 #include "core/parallel_runner.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace sflow::core {
 
@@ -9,6 +11,24 @@ namespace {
 /// construction from the streams make_scenario derives (attempt indices,
 /// small integers) because of the high bits.
 constexpr std::uint64_t kAlgorithmStream = 0xF3DE7A700000000ULL;
+
+/// Sweep-engine metrics: how many trials ran, how long each took, and how
+/// long each sat queued before a worker picked it up.
+struct SweepMetrics {
+  obs::Counter& trials = obs::Registry::global().counter(
+      "sweep_trials_total", "trials executed by the sweep engine");
+  obs::Histogram& trial_wall_ms = obs::Registry::global().histogram(
+      "sweep_trial_wall_ms", obs::default_duration_buckets_ms(),
+      "per-trial wall clock");
+  obs::Histogram& queue_wait_ms = obs::Registry::global().histogram(
+      "sweep_queue_wait_ms", obs::default_duration_buckets_ms(),
+      "delay between batch submission and trial start");
+};
+
+SweepMetrics& sweep_metrics() {
+  static SweepMetrics instance;
+  return instance;
+}
 }  // namespace
 
 TrialResult ParallelSweepRunner::run_trial(const TrialSpec& trial) {
@@ -31,15 +51,22 @@ TrialResult ParallelSweepRunner::run_trial(const TrialSpec& trial) {
 std::vector<TrialResult> ParallelSweepRunner::run(
     const std::vector<TrialSpec>& trials) const {
   std::vector<TrialResult> results(trials.size());
+  SweepMetrics& metrics = sweep_metrics();
+  // Queue wait = batch submission to trial start; in the serial path that is
+  // simply the time earlier trials of the batch took.
+  const util::Stopwatch batch_watch;
+  const auto timed_trial = [&](std::size_t i) {
+    metrics.queue_wait_ms.observe(batch_watch.elapsed_ms());
+    metrics.trials.increment();
+    const obs::ScopedTimer timer(metrics.trial_wall_ms);
+    results[i] = run_trial(trials[i]);
+  };
   if (threads_ == 1) {
-    for (std::size_t i = 0; i < trials.size(); ++i)
-      results[i] = run_trial(trials[i]);
+    for (std::size_t i = 0; i < trials.size(); ++i) timed_trial(i);
     return results;
   }
   util::ThreadPool pool(threads_);
-  pool.parallel_for(0, trials.size(), [&](std::size_t i) {
-    results[i] = run_trial(trials[i]);
-  });
+  pool.parallel_for(0, trials.size(), timed_trial);
   return results;
 }
 

@@ -4,6 +4,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "util/timer.hpp"
 
 namespace sflow::core {
@@ -14,6 +15,48 @@ using overlay::ServiceRequirement;
 using overlay::Sid;
 
 namespace {
+
+/// Protocol metrics (docs/observability.md).  The registry references are
+/// resolved once; mutation on the message paths is a relaxed atomic add.
+struct ProtocolMetrics {
+  obs::Counter& runs = obs::Registry::global().counter(
+      "federation_runs_total", "sFlow federations started");
+  obs::Counter& sfederate_messages = obs::Registry::global().counter(
+      "sfederate_messages_total", "sfederate messages sent");
+  obs::Counter& sfederate_bytes = obs::Registry::global().counter(
+      "sfederate_payload_bytes_total", "sfederate payload bytes sent");
+  obs::Counter& sfederate_hops = obs::Registry::global().counter(
+      "sfederate_underlay_hops_total",
+      "underlay hops traversed by sfederate messages");
+  obs::Counter& sreport_messages = obs::Registry::global().counter(
+      "sreport_messages_total", "sreport messages sent to the collector");
+  obs::Counter& sreport_bytes = obs::Registry::global().counter(
+      "sreport_payload_bytes_total", "sreport payload bytes sent");
+  obs::Counter& sack_messages = obs::Registry::global().counter(
+      "sack_messages_total", "sack acknowledgements sent (fault mode)");
+  obs::Counter& scorrect_messages = obs::Registry::global().counter(
+      "scorrect_messages_total", "scorrect failover corrections sent");
+  obs::Counter& ack_timeouts = obs::Registry::global().counter(
+      "ack_timeouts_total", "ack timers that fired without an ack");
+  obs::Counter& failovers = obs::Registry::global().counter(
+      "failovers_total", "failovers performed after ack timeouts");
+  obs::Counter& node_computations = obs::Registry::global().counter(
+      "federation_node_computations_total", "local sFlow computations run");
+  obs::Counter& global_fallbacks = obs::Registry::global().counter(
+      "federation_global_fallbacks_total",
+      "pins that fell back to the global link-state database");
+  /// Shared with core/link_state.cpp: every protocol message/byte, whatever
+  /// the protocol — the §7 overhead comparison reads these two.
+  obs::Counter& protocol_messages = obs::Registry::global().counter(
+      "protocol_messages_total", "simulated protocol messages delivered");
+  obs::Counter& protocol_bytes = obs::Registry::global().counter(
+      "protocol_payload_bytes_total", "simulated protocol bytes delivered");
+};
+
+ProtocolMetrics& metrics() {
+  static ProtocolMetrics instance;
+  return instance;
+}
 
 /// Payload of sfederate and sreport messages.
 struct Payload {
@@ -156,6 +199,14 @@ SFlowFederationResult run_sflow_federation(
   requirement.validate();
   SFlowFederationResult result;
   util::CpuTimeAccumulator compute_time;
+  ProtocolMetrics& counters = metrics();
+  counters.runs.increment();
+  // Underlay hop count of one message, for the per-message hop accounting.
+  const auto underlay_hops = [&routing](net::Nid a, net::Nid b) -> std::size_t {
+    if (a == b) return 0;
+    const auto route = routing.route(a, b);
+    return route ? route->size() - 1 : 0;
+  };
 
   // The consumer contacts a concrete source instance.
   const Sid source_sid = requirement.source();
@@ -221,7 +272,11 @@ SFlowFederationResult run_sflow_federation(
         NodeState& state = states[self_nid];
         Payload out{original, state.pins, state.accumulated};
         const std::size_t size = estimate_size(out);
-        simulator.send(sim::Message{self_nid, overlay.instance(target).nid,
+        const net::Nid target_nid = overlay.instance(target).nid;
+        counters.sfederate_messages.increment();
+        counters.sfederate_bytes.add(size);
+        counters.sfederate_hops.add(underlay_hops(self_nid, target_nid));
+        simulator.send(sim::Message{self_nid, target_nid,
                                     "sfederate", std::move(out), size});
         if (trace != nullptr)
           trace->record({simulator.now(), self_nid,
@@ -236,12 +291,14 @@ SFlowFederationResult run_sflow_federation(
           const auto it = sender.pending.find(sid);
           if (it == sender.pending.end() || it->second.target != target)
             return;  // acked or already failed over: stale timer
+          counters.ack_timeouts.increment();
           it->second.excluded.insert(target);
           if (++it->second.attempts > faults.max_failovers) return;  // give up
           const OverlayIndex replacement =
               pick_replacement(sid, it->second.excluded);
           if (replacement == graph::kInvalidNode) return;  // nobody left
           result.failovers += 1;
+          counters.failovers.increment();
           if (trace != nullptr)
             trace->record({simulator.now(), nid, TraceEvent::Kind::kFailover,
                            sid, overlay.instance(replacement).nid});
@@ -271,6 +328,7 @@ SFlowFederationResult run_sflow_federation(
 
           // Tell the collector; stale copies of the old edge may still be
           // snowballing through sibling branches.
+          counters.scorrect_messages.increment();
           simulator.send(sim::Message{
               nid, collector_nid, "scorrect",
               Correction{corrected, replacement},
@@ -331,8 +389,10 @@ SFlowFederationResult run_sflow_federation(
 
       // sfederate: acknowledge first (even duplicates), then process.
       const Sid self_sid = overlay.instance(self).sid;
-      if (!faults.crashed.empty() && msg.from != nid)
+      if (!faults.crashed.empty() && msg.from != nid) {
+        counters.sack_messages.increment();
         simulator.send(sim::Message{nid, msg.from, "sack", Ack{self_sid}, 16});
+      }
 
       if (trace != nullptr)
         trace->record({simulator.now(), nid, TraceEvent::Kind::kDelivered,
@@ -354,6 +414,7 @@ SFlowFederationResult run_sflow_federation(
       if (state.computed || state.received < expected) return;
       state.computed = true;
       result.node_computations += 1;
+      counters.node_computations.increment();
       if (trace != nullptr)
         trace->record({simulator.now(), nid, TraceEvent::Kind::kComputed,
                        self_sid, graph::kInvalidNode});
@@ -365,6 +426,7 @@ SFlowFederationResult run_sflow_federation(
                                        state.pins, config);
       }
       result.global_fallbacks += decision.global_fallbacks;
+      counters.global_fallbacks.add(decision.global_fallbacks);
       for (const auto& [sid, pin_nid] : decision.new_pins) {
         state.pins.emplace(sid, pin_nid);
         if (trace != nullptr)
@@ -385,6 +447,8 @@ SFlowFederationResult run_sflow_federation(
           contribution.set_edge(e.from_sid, e.to_sid, e.overlay_path, e.quality);
         Payload out{original, {}, std::move(contribution)};
         const std::size_t size = estimate_size(out);
+        counters.sreport_messages.increment();
+        counters.sreport_bytes.add(size);
         simulator.send(
             sim::Message{nid, collector_nid, "sreport", std::move(out), size});
         if (trace != nullptr)
@@ -400,6 +464,8 @@ SFlowFederationResult run_sflow_federation(
   {
     Payload initial{original, {{source_sid, collector_nid}}, ServiceFlowGraph{}};
     const std::size_t size = estimate_size(initial);
+    counters.sfederate_messages.increment();
+    counters.sfederate_bytes.add(size);
     simulator.send(sim::Message{collector_nid, collector_nid, "sfederate",
                                 std::move(initial), size});
   }
@@ -408,6 +474,8 @@ SFlowFederationResult run_sflow_federation(
   result.compute_time_us = compute_time.total_us();
   result.messages = simulator.stats().messages_delivered;
   result.bytes = simulator.stats().bytes_delivered;
+  counters.protocol_messages.add(result.messages);
+  counters.protocol_bytes.add(result.bytes);
   if (assembled) {
     result.flow_graph = std::move(*assembled);
     result.federation_time_ms = completion_time;

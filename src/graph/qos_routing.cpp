@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "graph/dag.hpp"
+#include "obs/metrics.hpp"
 #include "util/thread_pool.hpp"
 
 namespace sflow::graph {
@@ -153,22 +154,54 @@ PathQuality path_quality(const Digraph& g, const std::vector<NodeIndex>& path) {
   return q;
 }
 
+namespace {
+
+/// Routing-database metrics.  Under concurrent first touches of one source,
+/// every contender counts a miss though only one builds — an accepted
+/// overcount; the counters are observational and never feed back into
+/// routing decisions.
+struct RoutingMetrics {
+  obs::Counter& hits = obs::Registry::global().counter(
+      "routing_cache_hits_total", "routing-tree queries served from cache");
+  obs::Counter& misses = obs::Registry::global().counter(
+      "routing_cache_misses_total", "routing-tree queries that built a tree");
+  obs::Histogram& precompute_ms = obs::Registry::global().histogram(
+      "routing_precompute_ms", obs::default_duration_buckets_ms(),
+      "wall clock of AllPairsShortestWidest::precompute_all calls");
+};
+
+RoutingMetrics& routing_metrics() {
+  static RoutingMetrics instance;
+  return instance;
+}
+
+}  // namespace
+
 const RoutingTree& AllPairsShortestWidest::tree(NodeIndex from) const {
   const auto index = static_cast<std::size_t>(from);
   if (from < 0 || index >= graph_.node_count())
     throw std::out_of_range("AllPairsShortestWidest::tree: unknown source");
   Slot& slot = slots_[index];
-  std::call_once(slot.once,
-                 [&] { slot.tree = shortest_widest_tree(graph_, from); });
+  RoutingMetrics& metrics = routing_metrics();
+  if (slot.built.load(std::memory_order_relaxed))
+    metrics.hits.increment();
+  else
+    metrics.misses.increment();
+  std::call_once(slot.once, [&] {
+    slot.tree = shortest_widest_tree(graph_, from);
+    slot.built.store(true, std::memory_order_relaxed);
+  });
   return *slot.tree;
 }
 
 void AllPairsShortestWidest::precompute_all() const {
+  const obs::ScopedTimer timer(routing_metrics().precompute_ms);
   for (std::size_t v = 0; v < graph_.node_count(); ++v)
     tree(static_cast<NodeIndex>(v));
 }
 
 void AllPairsShortestWidest::precompute_all(util::ThreadPool& pool) const {
+  const obs::ScopedTimer timer(routing_metrics().precompute_ms);
   pool.parallel_for(0, graph_.node_count(),
                     [this](std::size_t v) { tree(static_cast<NodeIndex>(v)); });
 }

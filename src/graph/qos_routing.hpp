@@ -17,6 +17,7 @@
 // different pruning rounds cannot be mixed.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -112,9 +113,11 @@ class AllPairsShortestWidest {
  private:
   /// One lazily-initialized source tree.  call_once publishes the tree with
   /// the necessary release/acquire ordering; `tree` is logically immutable
-  /// once set.
+  /// once set.  `built` is observability only (cache hit/miss counting) —
+  /// correctness rests solely on the once_flag.
   struct Slot {
     std::once_flag once;
+    std::atomic<bool> built{false};
     std::optional<RoutingTree> tree;
   };
 

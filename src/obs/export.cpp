@@ -1,0 +1,101 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+
+namespace sflow::obs {
+
+namespace {
+
+/// Shortest round-ish representation; %g keeps integers bare and avoids the
+/// ostream default of 6 significant digits truncating large byte counts.
+std::string fmt(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.10g", v);
+  return buffer;
+}
+
+std::string fmt(std::uint64_t v) { return std::to_string(v); }
+
+const char* type_name(MetricSnapshot::Type type) {
+  switch (type) {
+    case MetricSnapshot::Type::kCounter: return "counter";
+    case MetricSnapshot::Type::kGauge: return "gauge";
+    case MetricSnapshot::Type::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+std::string to_prometheus(const std::vector<MetricSnapshot>& snapshot) {
+  std::string out;
+  for (const MetricSnapshot& m : snapshot) {
+    if (!m.help.empty()) out += "# HELP " + m.name + " " + m.help + "\n";
+    out += "# TYPE " + m.name + " " + type_name(m.type) + "\n";
+    switch (m.type) {
+      case MetricSnapshot::Type::kCounter:
+        out += m.name + " " + fmt(static_cast<std::uint64_t>(m.value)) + "\n";
+        break;
+      case MetricSnapshot::Type::kGauge:
+        out += m.name + " " + fmt(m.value) + "\n";
+        break;
+      case MetricSnapshot::Type::kHistogram:
+        for (std::size_t i = 0; i < m.bounds.size(); ++i)
+          out += m.name + "_bucket{le=\"" + fmt(m.bounds[i]) + "\"} " +
+                 fmt(m.cumulative[i]) + "\n";
+        out += m.name + "_bucket{le=\"+Inf\"} " + fmt(m.count) + "\n";
+        out += m.name + "_sum " + fmt(m.sum) + "\n";
+        out += m.name + "_count " + fmt(m.count) + "\n";
+        break;
+    }
+  }
+  return out;
+}
+
+std::string to_json(const std::vector<MetricSnapshot>& snapshot,
+                    const std::string& indent) {
+  const std::string i1 = indent + "  ";
+  const std::string i2 = i1 + "  ";
+  const std::string i3 = i2 + "  ";
+
+  std::string counters, gauges, histograms;
+  for (const MetricSnapshot& m : snapshot) {
+    switch (m.type) {
+      case MetricSnapshot::Type::kCounter:
+        counters += (counters.empty() ? "" : ",") + std::string("\n") + i2 +
+                    "\"" + m.name + "\": " +
+                    fmt(static_cast<std::uint64_t>(m.value));
+        break;
+      case MetricSnapshot::Type::kGauge:
+        gauges += (gauges.empty() ? "" : ",") + std::string("\n") + i2 + "\"" +
+                  m.name + "\": " + fmt(m.value);
+        break;
+      case MetricSnapshot::Type::kHistogram: {
+        std::string buckets;
+        for (std::size_t b = 0; b < m.bounds.size(); ++b)
+          buckets += (b == 0 ? "" : ", ") + std::string("{\"le\": ") +
+                     fmt(m.bounds[b]) + ", \"count\": " + fmt(m.cumulative[b]) +
+                     "}";
+        buckets += std::string(m.bounds.empty() ? "" : ", ") +
+                   "{\"le\": \"+Inf\", \"count\": " + fmt(m.count) + "}";
+        histograms += (histograms.empty() ? "" : ",") + std::string("\n") + i2 +
+                      "\"" + m.name + "\": {\n" + i3 +
+                      "\"count\": " + fmt(m.count) + ", \"sum\": " + fmt(m.sum) +
+                      ",\n" + i3 + "\"buckets\": [" + buckets + "]\n" + i2 + "}";
+        break;
+      }
+    }
+  }
+
+  std::string out = "{\n";
+  out += i1 + "\"counters\": {" + counters +
+         (counters.empty() ? "" : "\n" + i1) + "},\n";
+  out += i1 + "\"gauges\": {" + gauges + (gauges.empty() ? "" : "\n" + i1) +
+         "},\n";
+  out += i1 + "\"histograms\": {" + histograms +
+         (histograms.empty() ? "" : "\n" + i1) + "}\n";
+  out += indent + "}";
+  return out;
+}
+
+}  // namespace sflow::obs

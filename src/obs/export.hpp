@@ -1,0 +1,27 @@
+// Exporters for registry snapshots: the Prometheus text exposition format
+// (scrapeable / grep-able) and a JSON object (embeddable in bench records).
+// Both operate on the point-in-time MetricSnapshot copies, so formatting
+// never holds the registry lock.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace sflow::obs {
+
+/// Prometheus text exposition format, one # HELP/# TYPE block per metric.
+/// Histograms expand into `<name>_bucket{le="..."}` series plus `<name>_sum`
+/// and `<name>_count`, cumulative counts, `+Inf` last — exactly what a
+/// Prometheus scraper parses.
+std::string to_prometheus(const std::vector<MetricSnapshot>& snapshot);
+
+/// JSON object with "counters", "gauges", and "histograms" members.
+/// Histograms carry count, sum, and a bucket array of {"le", "count"} pairs
+/// (cumulative, "+Inf" last).  `indent` prefixes every line — embedding in an
+/// outer document (bench records) keeps its indentation.
+std::string to_json(const std::vector<MetricSnapshot>& snapshot,
+                    const std::string& indent = "");
+
+}  // namespace sflow::obs

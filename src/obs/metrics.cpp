@@ -1,0 +1,169 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sflow::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  if (bounds_.empty())
+    throw std::invalid_argument("Histogram: no buckets");
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end())
+    throw std::invalid_argument("Histogram: bounds must be strictly increasing");
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::observe(double v) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto index = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  double current = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(current, current + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    total += buckets_[i].load(std::memory_order_relaxed);
+  return total;
+}
+
+void Histogram::reset() noexcept {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    buckets_[i].store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+bool Registry::is_valid_name(const std::string& name) {
+  if (name.empty()) return false;
+  if (name.front() < 'a' || name.front() > 'z') return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+    if (!ok) return false;
+  }
+  const auto ends_with = [&](const char* suffix) {
+    const std::string s(suffix);
+    return name.size() > s.size() &&
+           name.compare(name.size() - s.size(), s.size(), s) == 0;
+  };
+  return ends_with("_total") || ends_with("_bytes") || ends_with("_ms");
+}
+
+Registry::Entry& Registry::find_or_create(const std::string& name,
+                                          const std::string& help,
+                                          MetricSnapshot::Type type) {
+  if (!is_valid_name(name))
+    throw std::invalid_argument(
+        "Registry: metric name '" + name +
+        "' must be snake_case with a _total/_bytes/_ms unit suffix");
+  for (const auto& entry : entries_) {
+    if (entry->name != name) continue;
+    if (entry->type != type)
+      throw std::invalid_argument("Registry: metric '" + name +
+                                  "' already registered with another type");
+    return *entry;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->help = help;
+  entry->type = type;
+  entries_.push_back(std::move(entry));
+  return *entries_.back();
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = find_or_create(name, help, MetricSnapshot::Type::kCounter);
+  if (!entry.counter) entry.counter = std::make_unique<Counter>();
+  return *entry.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = find_or_create(name, help, MetricSnapshot::Type::kGauge);
+  if (!entry.gauge) entry.gauge = std::make_unique<Gauge>();
+  return *entry.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> upper_bounds,
+                               const std::string& help) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = find_or_create(name, help, MetricSnapshot::Type::kHistogram);
+  if (!entry.histogram) {
+    entry.histogram = std::make_unique<Histogram>(std::move(upper_bounds));
+  } else if (!upper_bounds.empty() &&
+             upper_bounds != entry.histogram->upper_bounds()) {
+    throw std::invalid_argument("Registry: histogram '" + name +
+                                "' re-registered with different bounds");
+  }
+  return *entry.histogram;
+}
+
+std::vector<MetricSnapshot> Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    MetricSnapshot snap;
+    snap.name = entry->name;
+    snap.help = entry->help;
+    snap.type = entry->type;
+    switch (entry->type) {
+      case MetricSnapshot::Type::kCounter:
+        snap.value = static_cast<double>(entry->counter->value());
+        break;
+      case MetricSnapshot::Type::kGauge:
+        snap.value = entry->gauge->value();
+        break;
+      case MetricSnapshot::Type::kHistogram: {
+        const Histogram& h = *entry->histogram;
+        snap.bounds = h.upper_bounds();
+        snap.cumulative.reserve(snap.bounds.size() + 1);
+        std::uint64_t running = 0;
+        for (std::size_t i = 0; i <= snap.bounds.size(); ++i) {
+          running += h.bucket(i);
+          snap.cumulative.push_back(running);
+        }
+        snap.count = running;
+        snap.sum = h.sum();
+        break;
+      }
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& entry : entries_) {
+    if (entry->counter) entry->counter->reset();
+    if (entry->gauge) entry->gauge->reset();
+    if (entry->histogram) entry->histogram->reset();
+  }
+}
+
+std::size_t Registry::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+const std::vector<double>& default_duration_buckets_ms() {
+  static const std::vector<double> buckets = {
+      0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0,
+      5000.0, 10000.0};
+  return buckets;
+}
+
+}  // namespace sflow::obs

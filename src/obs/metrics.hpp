@@ -1,0 +1,210 @@
+// Process-wide observability: named counters, gauges, and fixed-bucket
+// histograms every subsystem reports into and every tool can export.
+//
+// The paper's evaluation hinges on quantities that must be visible from
+// outside a run — sFlow's headline claim is that it federates with far less
+// messaging overhead than link-state flooding (§7).  Instrumented hot paths
+// (the simulator's send loop, the routing cache, per-trial sweeps) only touch
+// std::atomic values with relaxed ordering, so metrics stay cheap, TSan-clean,
+// and strictly observational: an instrumented run is bit-identical to an
+// uninstrumented one (pinned by tests/parallel_runner_test.cpp).
+//
+// Naming convention (enforced at registration): snake_case, with a unit
+// suffix — `_total` for dimensionless counts, `_bytes` for byte volumes,
+// `_ms` for durations.  See docs/observability.md for the metric catalog.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sflow::obs {
+
+/// Monotonically increasing count.  add() is wait-free; value() may be read
+/// concurrently with mutation.
+class Counter {
+ public:
+  void add(std::uint64_t n) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void increment() noexcept { add(1); }
+
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  /// Zeroes the counter (Registry::reset(); per-run CLI dumps and tests).
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-value metric with an atomic max-update for high-water marks.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+
+  void add(double delta) noexcept {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Raises the gauge to `v` if `v` exceeds the current value (high-water
+  /// marks like the event queue's peak depth).
+  void update_max(double v) noexcept {
+    double current = value_.load(std::memory_order_relaxed);
+    while (current < v && !value_.compare_exchange_weak(
+                              current, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram.  Bucket upper bounds are set at registration and
+/// immutable afterwards; an implicit +Inf bucket catches the overflow.  The
+/// observation count is derived from the buckets themselves, so a snapshot's
+/// cumulative counts are internally consistent even while observers run.
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v) noexcept;
+
+  const std::vector<double>& upper_bounds() const noexcept { return bounds_; }
+
+  /// Observations in bucket i (i == upper_bounds().size() is the +Inf
+  /// bucket).  Non-cumulative.
+  std::uint64_t bucket(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Total observations (sum over all buckets).
+  std::uint64_t count() const noexcept;
+  /// Sum of observed values.  Updated separately from the buckets, so it may
+  /// trail count() by in-flight observations; exact once writers quiesce.
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+
+  void reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds_.size()+1
+  std::atomic<double> sum_{0.0};
+};
+
+/// RAII timer: observes its elapsed milliseconds into a histogram on
+/// destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& histogram)
+      : histogram_(histogram), start_(std::chrono::steady_clock::now()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    const auto delta = std::chrono::steady_clock::now() - start_;
+    histogram_.observe(
+        std::chrono::duration<double, std::milli>(delta).count());
+  }
+
+ private:
+  Histogram& histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Point-in-time copy of one metric, safe to format/serialize at leisure.
+struct MetricSnapshot {
+  enum class Type { kCounter, kGauge, kHistogram };
+
+  std::string name;
+  std::string help;
+  Type type = Type::kCounter;
+
+  double value = 0.0;  // counter (as double) / gauge
+
+  // Histogram only: per-bound cumulative counts, the +Inf count (== total),
+  // and the value sum.
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> cumulative;  // bounds.size() + 1 (+Inf last)
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// Thread-safe registry of named metrics.  Registration takes a lock and
+/// validates the name; the returned references are stable for the registry's
+/// lifetime, and mutation through them is lock-free.  snapshot() may be
+/// called at any time, including while trials mutate concurrently.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry every subsystem reports into.
+  static Registry& global();
+
+  /// Returns the counter named `name`, creating it on first use.  Throws
+  /// std::invalid_argument when the name is invalid (see is_valid_name) or
+  /// already registered as a different metric type.
+  Counter& counter(const std::string& name, const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& help = "");
+  /// `upper_bounds` applies on first registration; later calls must pass the
+  /// same bounds (or empty to mean "don't care").
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> upper_bounds,
+                       const std::string& help = "");
+
+  /// Copies every metric's current value, in registration order.  Readable
+  /// while writers mutate: counters/gauges are single atomic loads, histogram
+  /// cumulative counts are rebuilt from per-bucket atomics (monotone per
+  /// bucket, never tearing backwards).
+  std::vector<MetricSnapshot> snapshot() const;
+
+  /// Zeroes every registered metric (names and bounds stay registered, and
+  /// previously returned references stay valid).
+  void reset();
+
+  std::size_t size() const;
+
+  /// Name rule: snake_case ([a-z0-9_], starting with a letter) with a unit
+  /// suffix `_total`, `_bytes`, or `_ms` — keeps the Prometheus export
+  /// parseable and the catalog self-describing.
+  static bool is_valid_name(const std::string& name);
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string help;
+    MetricSnapshot::Type type = MetricSnapshot::Type::kCounter;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& find_or_create(const std::string& name, const std::string& help,
+                        MetricSnapshot::Type type);
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Entry>> entries_;  // registration order
+};
+
+/// Default duration buckets (ms) for ScopedTimer-fed histograms: 10 us up to
+/// 10 s in decade-and-half steps.
+const std::vector<double>& default_duration_buckets_ms();
+
+}  // namespace sflow::obs

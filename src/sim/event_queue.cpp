@@ -3,12 +3,28 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace sflow::sim {
+
+namespace {
+
+/// Highest simultaneous pending-event count seen by any queue in the process
+/// — the simulator's memory high-water mark across all trials/threads.
+obs::Gauge& depth_peak() {
+  static obs::Gauge& gauge = obs::Registry::global().gauge(
+      "sim_event_queue_depth_peak_total",
+      "peak pending events across all event queues");
+  return gauge;
+}
+
+}  // namespace
 
 void EventQueue::schedule(Time at, Action action) {
   if (!action) throw std::invalid_argument("EventQueue::schedule: empty action");
   if (at < now_) throw std::invalid_argument("EventQueue::schedule: time in the past");
   heap_.push(Event{at, next_sequence_++, std::move(action)});
+  depth_peak().update_max(static_cast<double>(heap_.size()));
 }
 
 bool EventQueue::run_next() {

@@ -37,13 +37,22 @@ double Accumulator::max() const {
 
 double Accumulator::percentile(double p) const {
   if (samples_.empty()) throw std::logic_error("Accumulator::percentile: no samples");
-  if (p < 0.0 || p > 100.0)
+  if (std::isnan(p) || p < 0.0 || p > 100.0)
     throw std::invalid_argument("Accumulator::percentile: p out of [0,100]");
   std::vector<double> sorted = samples_;
   std::sort(sorted.begin(), sorted.end());
   if (p == 0.0) return sorted.front();
-  const auto rank = static_cast<std::size_t>(
-      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  // Nearest-rank: rank = ceil(p*n/100), computed multiply-first so ranks
+  // that are exactly representable stay exact (0.07*100 != 7 in binary, but
+  // 7*100/100 == 7), snapped across residual rounding noise, and clamped so
+  // p = 100 can never index past the end.
+  const auto n = static_cast<double>(sorted.size());
+  double exact = p * n / 100.0;
+  if (std::abs(exact - std::round(exact)) < 1e-9 * std::max(1.0, exact))
+    exact = std::round(exact);
+  const auto rank = std::min<std::size_t>(
+      sorted.size(), std::max<std::size_t>(
+                         1, static_cast<std::size_t>(std::ceil(exact))));
   return sorted[rank - 1];
 }
 

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+
 #include "core/sflow_federation.hpp"
 #include "test_helpers.hpp"
 
@@ -84,6 +87,56 @@ TEST(FederationTrace, RendersReadableTimeline) {
   EXPECT_NE(text.find("ms"), std::string::npos);
   // Catalog names appear instead of raw SIDs.
   EXPECT_NE(text.find("S0"), std::string::npos);
+}
+
+TEST(FederationTrace, ChromeTraceJsonCoversEveryEvent) {
+  const Scenario scenario = make_scenario(testing::small_workload(12), 8);
+  FederationTrace trace;
+  ASSERT_TRUE(run_sflow_federation(scenario.underlay, *scenario.routing,
+                                   scenario.overlay, *scenario.overlay_routing,
+                                   scenario.requirement, {}, {}, &trace)
+                  .flow_graph);
+
+  const std::string json = trace.to_chrome_trace_json(&scenario.catalog);
+  EXPECT_EQ(json.rfind("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [", 0),
+            0u);
+  // Process/thread metadata so Perfetto labels the node tracks.
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"sflow federation\""), std::string::npos);
+  // One instant event per recorded TraceEvent.
+  std::size_t instants = 0;
+  for (std::size_t pos = json.find("\"ph\": \"i\""); pos != std::string::npos;
+       pos = json.find("\"ph\": \"i\"", pos + 1))
+    ++instants;
+  EXPECT_EQ(instants, trace.events().size());
+  // Instant events carry thread scope; catalog names label them.
+  EXPECT_NE(json.find("\"s\": \"t\""), std::string::npos);
+  EXPECT_NE(json.find("S0"), std::string::npos);
+  // Cheap structural sanity: braces and brackets balance.
+  const auto occurrences = [&](char c) {
+    return std::count(json.begin(), json.end(), c);
+  };
+  EXPECT_EQ(occurrences('{'), occurrences('}'));
+  EXPECT_EQ(occurrences('['), occurrences(']'));
+}
+
+TEST(FederationTrace, ChromeTraceJsonScalesTimestampsToMicroseconds) {
+  FederationTrace trace;
+  TraceEvent event;
+  event.at_ms = 1.5;
+  event.node = 3;
+  event.kind = Kind::kComputed;
+  event.subject = 2;
+  event.peer = 7;
+  trace.record(event);
+
+  const std::string json = trace.to_chrome_trace_json();
+  EXPECT_NE(json.find("\"ts\": 1500.000"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\": 3"), std::string::npos);
+  // Without a catalog the S<sid> fallback names the service.
+  EXPECT_NE(json.find("\"service\": \"S2\""), std::string::npos);
+  EXPECT_NE(json.find("\"peer\": 7"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,262 @@
+// The observability subsystem's contracts: lock-free metric mutation, the
+// registry's naming/type rules, tear-free snapshots under concurrent writers,
+// the exporter formats, and — after a representative sweep — the hygiene of
+// every metric name the instrumented subsystems actually register.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/parallel_runner.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "test_helpers.hpp"
+
+namespace sflow::obs {
+namespace {
+
+TEST(Counter, AddIncrementReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.increment();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SetAddUpdateMax) {
+  Gauge g;
+  g.set(3.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.update_max(10.0);
+  EXPECT_DOUBLE_EQ(g.value(), 10.0);
+  g.update_max(4.0);  // lower value must not pull the high-water mark down
+  EXPECT_DOUBLE_EQ(g.value(), 10.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Histogram, PlacesObservationsInBuckets) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.observe(0.5);    // <= 1
+  h.observe(1.0);    // <= 1 (upper bounds are inclusive)
+  h.observe(7.0);    // <= 10
+  h.observe(500.0);  // +Inf overflow
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 0u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 508.5);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_THROW(Histogram({}), std::invalid_argument);
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(ScopedTimer, ObservesOnceOnDestruction) {
+  Histogram h(default_duration_buckets_ms());
+  { const ScopedTimer timer(h); }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.sum(), 0.0);
+}
+
+TEST(Registry, NameRule) {
+  EXPECT_TRUE(Registry::is_valid_name("sfederate_messages_total"));
+  EXPECT_TRUE(Registry::is_valid_name("x2_payload_bytes"));
+  EXPECT_TRUE(Registry::is_valid_name("trial_wall_ms"));
+  EXPECT_FALSE(Registry::is_valid_name(""));
+  EXPECT_FALSE(Registry::is_valid_name("_total"));            // no base name
+  EXPECT_FALSE(Registry::is_valid_name("1abc_total"));        // leading digit
+  EXPECT_FALSE(Registry::is_valid_name("Messages_total"));    // upper case
+  EXPECT_FALSE(Registry::is_valid_name("messages-total"));    // dash
+  EXPECT_FALSE(Registry::is_valid_name("messages_count"));    // bad suffix
+  EXPECT_FALSE(Registry::is_valid_name("messages"));          // no suffix
+}
+
+TEST(Registry, SameNameReturnsSameMetric) {
+  Registry registry;
+  Counter& a = registry.counter("a_total", "help");
+  Counter& b = registry.counter("a_total");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(Registry, RejectsInvalidAndConflictingRegistrations) {
+  Registry registry;
+  EXPECT_THROW(registry.counter("BadName_total"), std::invalid_argument);
+  registry.counter("thing_total");
+  EXPECT_THROW(registry.gauge("thing_total"), std::invalid_argument);
+  registry.histogram("lat_ms", {1.0, 2.0});
+  // Empty bounds mean "don't care"; different non-empty bounds conflict.
+  EXPECT_NO_THROW(registry.histogram("lat_ms", {}));
+  EXPECT_THROW(registry.histogram("lat_ms", {1.0, 3.0}), std::invalid_argument);
+}
+
+TEST(Registry, SnapshotPreservesRegistrationOrderAndValues) {
+  Registry registry;
+  registry.counter("c_total").add(7);
+  registry.gauge("g_ms").set(2.5);
+  Histogram& h = registry.histogram("h_ms", {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(50.0);
+
+  const std::vector<MetricSnapshot> snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[0].name, "c_total");
+  EXPECT_EQ(snapshot[0].type, MetricSnapshot::Type::kCounter);
+  EXPECT_DOUBLE_EQ(snapshot[0].value, 7.0);
+  EXPECT_EQ(snapshot[1].name, "g_ms");
+  EXPECT_DOUBLE_EQ(snapshot[1].value, 2.5);
+  EXPECT_EQ(snapshot[2].name, "h_ms");
+  EXPECT_EQ(snapshot[2].cumulative,
+            (std::vector<std::uint64_t>{1, 2, 3}));  // cumulative, +Inf last
+  EXPECT_EQ(snapshot[2].count, 3u);
+  EXPECT_DOUBLE_EQ(snapshot[2].sum, 55.5);
+
+  registry.reset();
+  const std::vector<MetricSnapshot> zeroed = registry.snapshot();
+  EXPECT_DOUBLE_EQ(zeroed[0].value, 0.0);
+  EXPECT_EQ(zeroed[2].count, 0u);
+}
+
+/// Snapshots taken while writer threads hammer the metrics must never tear:
+/// counters and per-bucket cumulative counts are monotone across successive
+/// snapshots, and a histogram's count always equals its +Inf cumulative.
+TEST(Registry, SnapshotsNeverTearUnderConcurrentMutation) {
+  Registry registry;
+  Counter& counter = registry.counter("writes_total");
+  Gauge& gauge = registry.gauge("peak_total");
+  Histogram& histogram = registry.histogram("obs_ms", {1.0, 2.0, 4.0});
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&, t] {
+      double v = 0.0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        counter.increment();
+        gauge.update_max(v);
+        histogram.observe(v);
+        v += 0.1 * (t + 1);
+        if (v > 8.0) v = 0.0;
+      }
+    });
+  }
+
+  std::uint64_t last_counter = 0;
+  std::vector<std::uint64_t> last_cumulative(4, 0);
+  for (int round = 0; round < 200; ++round) {
+    const std::vector<MetricSnapshot> snapshot = registry.snapshot();
+    ASSERT_EQ(snapshot.size(), 3u);
+    const auto counter_now = static_cast<std::uint64_t>(snapshot[0].value);
+    EXPECT_GE(counter_now, last_counter);
+    last_counter = counter_now;
+
+    const MetricSnapshot& h = snapshot[2];
+    ASSERT_EQ(h.cumulative.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i) {
+      if (i > 0) {
+        EXPECT_GE(h.cumulative[i], h.cumulative[i - 1]);
+      }
+      EXPECT_GE(h.cumulative[i], last_cumulative[i]);
+      last_cumulative[i] = h.cumulative[i];
+    }
+    EXPECT_EQ(h.count, h.cumulative.back());
+  }
+  stop.store(true);
+  for (std::thread& w : writers) w.join();
+}
+
+TEST(Export, PrometheusTextFormat) {
+  Registry registry;
+  registry.counter("msgs_total", "messages sent").add(3);
+  registry.gauge("depth_total").set(7);
+  Histogram& h = registry.histogram("wall_ms", {1.0, 10.0}, "wall clock");
+  h.observe(0.5);
+  h.observe(99.0);
+
+  const std::string text = to_prometheus(registry.snapshot());
+  EXPECT_NE(text.find("# HELP msgs_total messages sent"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE msgs_total counter"), std::string::npos);
+  EXPECT_NE(text.find("msgs_total 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE depth_total gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE wall_ms histogram"), std::string::npos);
+  EXPECT_NE(text.find("wall_ms_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("wall_ms_bucket{le=\"10\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("wall_ms_bucket{le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("wall_ms_count 2"), std::string::npos);
+  EXPECT_NE(text.find("wall_ms_sum 99.5"), std::string::npos);
+  // +Inf must come after the finite buckets.
+  EXPECT_LT(text.find("le=\"10\""), text.find("le=\"+Inf\""));
+}
+
+TEST(Export, JsonStructure) {
+  Registry registry;
+  registry.counter("msgs_total").add(11);
+  registry.gauge("depth_total").set(2);
+  registry.histogram("wall_ms", {1.0}).observe(3.0);
+
+  const std::string json = to_json(registry.snapshot());
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"msgs_total\": 11"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"le\": \"+Inf\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+}
+
+TEST(DefaultDurationBuckets, StrictlyIncreasing) {
+  const std::vector<double>& buckets = default_duration_buckets_ms();
+  ASSERT_GE(buckets.size(), 2u);
+  for (std::size_t i = 1; i < buckets.size(); ++i)
+    EXPECT_LT(buckets[i - 1], buckets[i]);
+}
+
+/// Metric-name hygiene (tier 1): after a representative instrumented sweep,
+/// every name in the global registry is unique, snake_case, and carries a
+/// `_total` / `_bytes` / `_ms` unit suffix.  Guards every instrumentation
+/// site at once — a new metric with a sloppy name fails here.
+TEST(Registry, GlobalMetricNamesAreHygienic) {
+  core::TrialSpec spec;
+  spec.params = testing::small_workload(16);
+  spec.scenario_seed = 77;
+  spec.algorithms = {core::Algorithm::kSflow, core::Algorithm::kGlobalOptimal};
+  core::ParallelSweepRunner(2).run({spec, spec});
+
+  const std::vector<MetricSnapshot> snapshot = Registry::global().snapshot();
+  ASSERT_FALSE(snapshot.empty());
+  std::set<std::string> seen;
+  for (const MetricSnapshot& metric : snapshot) {
+    EXPECT_TRUE(seen.insert(metric.name).second)
+        << "duplicate metric name: " << metric.name;
+    EXPECT_TRUE(Registry::is_valid_name(metric.name))
+        << "bad metric name: " << metric.name;
+    // Spell the rule out independently of is_valid_name.
+    EXPECT_GE(metric.name.front(), 'a');
+    EXPECT_LE(metric.name.front(), 'z');
+    for (const char c : metric.name)
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_')
+          << "bad character in " << metric.name;
+    const bool suffixed = metric.name.ends_with("_total") ||
+                          metric.name.ends_with("_bytes") ||
+                          metric.name.ends_with("_ms");
+    EXPECT_TRUE(suffixed) << "missing unit suffix: " << metric.name;
+  }
+}
+
+}  // namespace
+}  // namespace sflow::obs

@@ -2,9 +2,13 @@
 // produce deterministically-equal outcomes at any thread count.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <map>
 #include <stdexcept>
+#include <thread>
 
 #include "core/parallel_runner.hpp"
+#include "obs/metrics.hpp"
 #include "test_helpers.hpp"
 
 namespace sflow::core {
@@ -54,6 +58,54 @@ TEST(ParallelSweepRunner, RepeatedParallelRunsAgree) {
     for (std::size_t slot = 0; slot < trials[i].algorithms.size(); ++slot)
       EXPECT_TRUE(
           a[i].outcomes[slot].deterministically_equal(b[i].outcomes[slot]));
+}
+
+/// The observability contract (ISSUE 2): metrics are strictly observational.
+/// A fully instrumented sweep — every trial bumping the global registry's
+/// protocol counters, routing-cache counters, and wall-clock histograms —
+/// still produces bit-identical outcomes at 1 and 8 threads, and registry
+/// snapshots taken from another thread mid-sweep never tear (counters and
+/// per-bucket cumulative histogram counts are monotone non-decreasing).
+TEST(ParallelSweepRunner, InstrumentedSweepIsDeterministicAndTearFree) {
+  const std::vector<TrialSpec> trials = sweep_trials(12);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn{0};
+  std::thread reader([&] {
+    std::map<std::string, double> last_counter;
+    std::map<std::string, std::vector<std::uint64_t>> last_cumulative;
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (const obs::MetricSnapshot& m : obs::Registry::global().snapshot()) {
+        if (m.type == obs::MetricSnapshot::Type::kCounter) {
+          if (m.value < last_counter[m.name]) ++torn;
+          last_counter[m.name] = m.value;
+        } else if (m.type == obs::MetricSnapshot::Type::kHistogram) {
+          std::vector<std::uint64_t>& last = last_cumulative[m.name];
+          last.resize(m.cumulative.size(), 0);
+          for (std::size_t i = 0; i < m.cumulative.size(); ++i) {
+            if (i > 0 && m.cumulative[i] < m.cumulative[i - 1]) ++torn;
+            if (m.cumulative[i] < last[i]) ++torn;
+            last[i] = m.cumulative[i];
+          }
+          if (m.count != m.cumulative.back()) ++torn;
+        }
+      }
+    }
+  });
+
+  const std::vector<TrialResult> serial = ParallelSweepRunner(1).run(trials);
+  const std::vector<TrialResult> parallel = ParallelSweepRunner(8).run(trials);
+  stop.store(true);
+  reader.join();
+
+  EXPECT_EQ(torn.load(), 0) << "registry snapshot tore mid-sweep";
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < trials.size(); ++i)
+    for (std::size_t slot = 0; slot < trials[i].algorithms.size(); ++slot)
+      EXPECT_TRUE(serial[i].outcomes[slot].deterministically_equal(
+          parallel[i].outcomes[slot]))
+          << "instrumentation changed trial " << i << ", "
+          << algorithm_name(trials[i].algorithms[slot]);
 }
 
 TEST(ParallelSweepRunner, OutcomesAreMeaningful) {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <set>
 #include <vector>
 
@@ -136,6 +137,48 @@ TEST(Accumulator, SingleSampleStddevIsZero) {
   Accumulator acc;
   acc.add(5.0);
   EXPECT_DOUBLE_EQ(acc.stddev(), 0.0);
+}
+
+TEST(Accumulator, SingleSamplePercentilesAllReturnIt) {
+  Accumulator acc;
+  acc.add(7.5);
+  for (const double p : {0.0, 1.0, 50.0, 99.0, 100.0})
+    EXPECT_DOUBLE_EQ(acc.percentile(p), 7.5) << "p=" << p;
+  EXPECT_DOUBLE_EQ(acc.median(), 7.5);
+}
+
+TEST(Accumulator, PercentileNearestRankIsExactForIntegerRanks) {
+  // Regression: ceil(p/100 * n) overshot ranks that binary floating point
+  // cannot represent as p/100 (e.g. 0.07 * 100 = 7.000...001 -> rank 8).
+  Accumulator acc;
+  for (int i = 1; i <= 100; ++i) acc.add(static_cast<double>(i));
+  for (int p = 1; p <= 100; ++p)
+    EXPECT_DOUBLE_EQ(acc.percentile(p), static_cast<double>(p)) << "p=" << p;
+}
+
+TEST(Accumulator, PercentileEdgeValidation) {
+  Accumulator acc;
+  acc.add(1.0);
+  acc.add(2.0);
+  EXPECT_THROW(acc.percentile(-0.5), std::invalid_argument);
+  EXPECT_THROW(acc.percentile(100.5), std::invalid_argument);
+  EXPECT_THROW(acc.percentile(std::nan("")), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(acc.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(acc.percentile(100.0), 2.0);
+  // Fractional p between rank points lands on the nearest rank above.
+  EXPECT_DOUBLE_EQ(acc.percentile(49.9), 1.0);
+  EXPECT_DOUBLE_EQ(acc.percentile(50.1), 2.0);
+}
+
+TEST(Accumulator, SumAndSamplesTrackAdds) {
+  Accumulator acc;
+  EXPECT_TRUE(acc.empty());
+  EXPECT_DOUBLE_EQ(acc.sum(), 0.0);
+  acc.add(1.5);
+  acc.add(-0.5);
+  EXPECT_FALSE(acc.empty());
+  EXPECT_DOUBLE_EQ(acc.sum(), 1.0);
+  EXPECT_EQ(acc.samples(), (std::vector<double>{1.5, -0.5}));
 }
 
 TEST(SeriesTable, RowsAccumulateByKey) {

@@ -1,23 +1,25 @@
 #!/usr/bin/env bash
-# Builds the tree with SFLOW_SANITIZE=<thread|address> and runs the tier-1
-# suite under the sanitizer.  This is the check that keeps the evaluation
-# engine's concurrency claims honest: the routing database and the thread
-# pool are exercised from many threads by qos_routing_test, util_test, and
-# parallel_runner_test.
+# Builds the tree with SFLOW_SANITIZE=<thread|address|undefined> and runs the
+# tier-1 suite under the sanitizer.  This is the check that keeps the
+# evaluation engine's concurrency claims honest: the routing database, the
+# thread pool, and the lock-free metrics registry are exercised from many
+# threads by qos_routing_test, util_test, obs_test, and parallel_runner_test.
 #
 #   $ tools/run_sanitized_tests.sh            # thread sanitizer (default)
 #   $ tools/run_sanitized_tests.sh address    # address sanitizer
+#   $ tools/run_sanitized_tests.sh undefined  # undefined-behaviour sanitizer
 #   $ tools/run_sanitized_tests.sh thread build-tsan   # custom build dir
 set -euo pipefail
 
 SANITIZER="${1:-thread}"
 BUILD_DIR="${2:-build-${SANITIZER/thread/tsan}}"
 BUILD_DIR="${BUILD_DIR/address/asan}"
+BUILD_DIR="${BUILD_DIR/undefined/ubsan}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 
 case "$SANITIZER" in
-  thread|address) ;;
-  *) echo "usage: $0 [thread|address] [build-dir]" >&2; exit 2 ;;
+  thread|address|undefined) ;;
+  *) echo "usage: $0 [thread|address|undefined] [build-dir]" >&2; exit 2 ;;
 esac
 
 cmake -B "$ROOT/$BUILD_DIR" -S "$ROOT" -DSFLOW_SANITIZE="$SANITIZER"

@@ -10,27 +10,49 @@
 //       (overlay/serialization.hpp).
 //
 //   sflowctl federate  --requirement FILE --network-size N --seed S
-//                      [--algorithm sflow|optimal|fixed|random|path]
+//                      [--algorithm sflow|flooding|optimal|fixed|random|path]
 //                      [--radius R] [--instances-per-service M]
-//                      [--save-flow FILE]
+//                      [--save-flow FILE] [--trace]
+//                      [--metrics PATH] [--metrics-format prom|json]
+//                      [--trace-json PATH]
 //       Reads a service requirement (the text format of
 //       overlay/requirement_parser.hpp), builds a random overlay hosting M
 //       instances of every named service, runs the chosen federation
 //       algorithm, and prints (optionally saves) the service flow graph.
 //
+//       `flooding` is the link-state comparison point of the paper's §7:
+//       every node floods its LSA to the whole overlay (full scope, not
+//       sFlow's two-hop vicinity) and the source then computes centrally.
+//       Its message cost dwarfs sFlow's — visible directly in the exported
+//       protocol_messages_total / protocol_payload_bytes_total counters.
+//
+//       Observability (docs/observability.md): `--metrics PATH` dumps the
+//       process-wide metric registry after the run (Prometheus text by
+//       default, JSON with `--metrics-format json`; PATH `-` means stdout).
+//       `--trace` prints the human-readable FederationTrace timeline and
+//       `--trace-json PATH` writes the same timeline as Chrome trace-event
+//       JSON for about:tracing / Perfetto; both are sFlow-only (the other
+//       algorithms run no distributed protocol).
+//
 //   sflowctl satcheck  --vars V --clauses C --seed S
 //       Random 3-SAT instance: solves it by DPLL and through the Theorem 1
 //       reduction, reporting both verdicts (they must agree).
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 
 #include "core/evaluation.hpp"
+#include "core/federation_trace.hpp"
+#include "core/link_state.hpp"
 #include "core/sflow_federation.hpp"
 #include "net/generators.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "overlay/requirement_parser.hpp"
 #include "overlay/serialization.hpp"
 #include "satred/dpll.hpp"
@@ -48,20 +70,29 @@ using namespace sflow;
       "  sflowctl scenario --network-size N --seed S [--services K]\n"
       "                    [--dot-underlay FILE] [--dot-overlay FILE]\n"
       "  sflowctl federate --requirement FILE --network-size N --seed S\n"
-      "                    [--algorithm sflow|optimal|fixed|random|path]\n"
+      "                    [--algorithm sflow|flooding|optimal|fixed|random|path]\n"
       "                    [--radius R] [--instances-per-service M]\n"
+      "                    [--trace] [--trace-json PATH]\n"
+      "                    [--metrics PATH] [--metrics-format prom|json]\n"
       "  sflowctl satcheck --vars V --clauses C --seed S\n";
   std::exit(2);
 }
 
-/// Minimal --key value argument map.
+/// Minimal --key value argument map; boolean flags take no value and map to
+/// "1".
 std::map<std::string, std::string> parse_flags(int argc, char** argv, int first) {
+  const std::set<std::string> boolean_flags = {"trace"};
   std::map<std::string, std::string> flags;
   for (int i = first; i < argc; ++i) {
     const std::string key = argv[i];
     if (key.rfind("--", 0) != 0) usage("unexpected argument '" + key + "'");
+    const std::string name = key.substr(2);
+    if (boolean_flags.contains(name)) {
+      flags[name] = "1";
+      continue;
+    }
     if (i + 1 >= argc) usage("missing value for " + key);
-    flags[key.substr(2)] = argv[++i];
+    flags[name] = argv[++i];
   }
   return flags;
 }
@@ -186,16 +217,36 @@ int cmd_federate(const std::map<std::string, std::string>& flags) {
   std::optional<overlay::ServiceFlowGraph> flow;
   overlay::ServiceRequirement effective = requirement;
 
+  const bool want_trace = get(flags, "trace", "") == "1";
+  const std::string trace_json_path = get(flags, "trace-json", "");
+  if ((want_trace || !trace_json_path.empty()) && algorithm != "sflow")
+    std::cerr << "note: --trace/--trace-json only apply to --algorithm sflow "
+                 "(the other algorithms run no distributed protocol)\n";
+  core::FederationTrace trace;
+
   if (algorithm == "sflow") {
     core::SFlowNodeConfig config;
     config.knowledge_radius = radius;
     const core::SFlowFederationResult result = core::run_sflow_federation(
-        underlay, routing, ov, overlay_routing, requirement, config);
+        underlay, routing, ov, overlay_routing, requirement, config, {},
+        &trace);
     flow = result.flow_graph;
     if (flow)
       std::cout << "protocol: " << result.messages << " messages, "
                 << result.bytes << " bytes, setup " << result.federation_time_ms
                 << " ms (simulated)\n";
+  } else if (algorithm == "flooding") {
+    // Link-state-style federation (§7 comparison): flood every LSA across
+    // the whole overlay (TTL = instance count reaches everyone), then solve
+    // centrally on the now-global knowledge.
+    core::LinkStateProtocol protocol(
+        underlay, routing, ov,
+        static_cast<int>(std::max<std::size_t>(1, ov.instance_count())));
+    const core::LinkStateStats stats = protocol.disseminate();
+    std::cout << "protocol: " << stats.messages << " LSA messages, "
+              << stats.bytes << " bytes, convergence "
+              << stats.convergence_time_ms << " ms (simulated)\n";
+    flow = core::optimal_flow_graph(ov, requirement, overlay_routing);
   } else if (algorithm == "optimal") {
     flow = core::optimal_flow_graph(ov, requirement, overlay_routing);
   } else if (algorithm == "fixed") {
@@ -211,6 +262,25 @@ int cmd_federate(const std::map<std::string, std::string>& flags) {
     }
   } else {
     usage("unknown algorithm '" + algorithm + "'");
+  }
+
+  // Observability outputs are emitted even when federation fails — a failed
+  // run's message accounting is exactly what one wants to inspect.
+  if (want_trace && algorithm == "sflow")
+    std::cout << "protocol timeline:\n" << trace.to_string(&catalog);
+  if (!trace_json_path.empty() && algorithm == "sflow")
+    write_file(trace_json_path, trace.to_chrome_trace_json(&catalog));
+  if (const std::string path = get(flags, "metrics", ""); !path.empty()) {
+    const std::string format = get(flags, "metrics-format", "prom");
+    if (format != "prom" && format != "json")
+      usage("bad --metrics-format '" + format + "' (want prom|json)");
+    const auto snapshot = obs::Registry::global().snapshot();
+    const std::string dump = format == "json" ? obs::to_json(snapshot) + "\n"
+                                              : obs::to_prometheus(snapshot);
+    if (path == "-")
+      std::cout << dump;
+    else
+      write_file(path, dump);
   }
 
   if (!flow) {
