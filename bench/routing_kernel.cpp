@@ -1,0 +1,220 @@
+// Routing-kernel microbench: the width-class sweep kernel vs the legacy
+// per-class Dijkstra kernel, over the paper's evaluation topology sizes
+// (§5/§7, Waxman graphs with continuous random bandwidths — the worst case
+// for Wang–Crowcroft, since every destination tends to be its own width
+// class).
+//
+// For each size the bench builds the full all-pairs link-state database both
+// ways, verifies the results are identical pair-by-pair (qualities AND
+// paths — the tie-break contract), and records wall clock, Dijkstra arc
+// relaxations (via the obs registry's routing_edge_relaxations_total), and
+// resident tree bytes.  `--json PATH` writes the BENCH_routing.json record
+// documented in docs/formats.md; `--smoke` is the fast ctest configuration.
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "graph/qos_routing.hpp"
+#include "net/generators.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace sflow;
+
+struct KernelSample {
+  double wall_ms = 0.0;
+  std::uint64_t relaxations = 0;
+  std::size_t tree_bytes = 0;
+};
+
+struct SizeRecord {
+  std::size_t nodes = 0;
+  double edges = 0.0;  // mean over seeds
+  KernelSample legacy;
+  KernelSample sweep;
+};
+
+std::uint64_t relaxation_count() {
+  return obs::Registry::global()
+      .counter("routing_edge_relaxations_total")
+      .value();
+}
+
+/// Footprint the legacy representation held before the arena: one
+/// std::vector per destination (3-pointer header) plus the node buffers,
+/// plus the quality labels.
+std::size_t legacy_tree_bytes(const graph::RoutingTree& tree, std::size_t n) {
+  std::size_t path_nodes = 0;
+  for (std::size_t v = 0; v < n; ++v)
+    path_nodes += tree.path_view(static_cast<graph::NodeIndex>(v)).size();
+  return n * (3 * sizeof(void*) + sizeof(graph::PathQuality)) +
+         path_nodes * sizeof(graph::NodeIndex);
+}
+
+bool trees_identical(const graph::RoutingTree& a, const graph::RoutingTree& b,
+                     std::size_t n) {
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto t = static_cast<graph::NodeIndex>(v);
+    if (!(a.quality_to(t) == b.quality_to(t))) return false;
+    const auto pa = a.path_view(t);
+    const auto pb = b.path_view(t);
+    if (!std::equal(pa.begin(), pa.end(), pb.begin(), pb.end())) return false;
+  }
+  return true;
+}
+
+int run(const std::vector<std::size_t>& sizes, std::size_t seeds,
+        const std::string& json_path) {
+  std::vector<SizeRecord> records;
+  bool all_identical = true;
+
+  for (const std::size_t size : sizes) {
+    SizeRecord record;
+    record.nodes = size;
+
+    for (std::size_t seed = 0; seed < seeds; ++seed) {
+      net::WaxmanParams params;
+      params.node_count = size;
+      util::Rng rng(util::derive_seed(7100, size * 100 + seed));
+      const net::UnderlyingNetwork network = net::make_waxman(params, rng);
+      const graph::Digraph& g = network.graph();
+      record.edges += static_cast<double>(g.edge_count()) /
+                      static_cast<double>(seeds);
+
+      // Legacy kernel: one tree per source, timed, relaxations via the
+      // shared registry counter delta.
+      std::vector<graph::RoutingTree> legacy_trees;
+      legacy_trees.reserve(size);
+      const std::uint64_t legacy_relax_before = relaxation_count();
+      util::Stopwatch watch;
+      for (std::size_t v = 0; v < size; ++v)
+        legacy_trees.push_back(graph::shortest_widest_tree_legacy(
+            g, static_cast<graph::NodeIndex>(v)));
+      record.legacy.wall_ms += watch.elapsed_ms();
+      record.legacy.relaxations += relaxation_count() - legacy_relax_before;
+      for (const graph::RoutingTree& tree : legacy_trees)
+        record.legacy.tree_bytes += legacy_tree_bytes(tree, size);
+
+      // Sweep kernel through the production database (CSR snapshot shared
+      // across sources, thread-local workspace reused).
+      const graph::AllPairsShortestWidest all(g);
+      const std::uint64_t sweep_relax_before = relaxation_count();
+      watch.restart();
+      all.precompute_all();
+      record.sweep.wall_ms += watch.elapsed_ms();
+      record.sweep.relaxations += relaxation_count() - sweep_relax_before;
+      for (std::size_t v = 0; v < size; ++v) {
+        const graph::RoutingTree& tree =
+            all.tree(static_cast<graph::NodeIndex>(v));
+        record.sweep.tree_bytes += tree.memory_bytes();
+        if (!trees_identical(tree, legacy_trees[v], size)) {
+          std::cerr << "MISMATCH: size " << size << " seed " << seed
+                    << " source " << v << "\n";
+          all_identical = false;
+        }
+      }
+    }
+    records.push_back(record);
+  }
+
+  util::TablePrinter table({"nodes", "edges", "legacy ms", "sweep ms",
+                            "speedup", "legacy relax", "sweep relax",
+                            "relax ratio", "legacy MB", "sweep MB"});
+  for (const SizeRecord& r : records) {
+    table.add_row(
+        {util::TablePrinter::fmt(static_cast<double>(r.nodes), 0),
+         util::TablePrinter::fmt(r.edges, 0),
+         util::TablePrinter::fmt(r.legacy.wall_ms, 2),
+         util::TablePrinter::fmt(r.sweep.wall_ms, 2),
+         util::TablePrinter::fmt(r.legacy.wall_ms / r.sweep.wall_ms, 2),
+         util::TablePrinter::fmt(static_cast<double>(r.legacy.relaxations), 0),
+         util::TablePrinter::fmt(static_cast<double>(r.sweep.relaxations), 0),
+         util::TablePrinter::fmt(static_cast<double>(r.legacy.relaxations) /
+                                     static_cast<double>(r.sweep.relaxations),
+                                 2),
+         util::TablePrinter::fmt(
+             static_cast<double>(r.legacy.tree_bytes) / 1e6, 3),
+         util::TablePrinter::fmt(
+             static_cast<double>(r.sweep.tree_bytes) / 1e6, 3)});
+  }
+  table.print(std::cout);
+  std::cout << (all_identical ? "\nkernels identical on every pair\n"
+                              : "\nKERNEL MISMATCH — see above\n");
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 1;
+    }
+    out << "{\n  \"bench\": \"routing_kernel\",\n"
+        << "  \"generator\": \"waxman\",\n"
+        << "  \"seeds_per_size\": " << seeds << ",\n"
+        << "  \"identical\": " << (all_identical ? "true" : "false") << ",\n"
+        << "  \"sizes\": [";
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      const SizeRecord& r = records[i];
+      const auto trees = static_cast<double>(r.nodes * seeds);
+      auto kernel_json = [&](const char* name, const KernelSample& k,
+                             bool trailing_comma) {
+        out << "      \"" << name << "\": {\"wall_ms\": " << k.wall_ms
+            << ", \"relaxations\": " << k.relaxations
+            << ", \"tree_bytes\": " << k.tree_bytes << ", \"trees_per_sec\": "
+            << (k.wall_ms > 0 ? trees / (k.wall_ms / 1000.0) : 0.0)
+            << ", \"ns_per_relaxation\": "
+            << (k.relaxations > 0
+                    ? k.wall_ms * 1e6 / static_cast<double>(k.relaxations)
+                    : 0.0)
+            << "}" << (trailing_comma ? "," : "") << "\n";
+      };
+      out << (i ? "," : "") << "\n    {\n      \"nodes\": " << r.nodes
+          << ", \"edges\": " << r.edges << ",\n";
+      kernel_json("legacy", r.legacy, true);
+      kernel_json("sweep", r.sweep, true);
+      out << "      \"speedup\": " << r.legacy.wall_ms / r.sweep.wall_ms
+          << ",\n      \"relaxation_ratio\": "
+          << static_cast<double>(r.legacy.relaxations) /
+                 static_cast<double>(r.sweep.relaxations)
+          << "\n    }";
+    }
+    // Registry snapshot: includes routing_precompute_ms (fed by the sweep
+    // phases above) and the cache counters.
+    out << "\n  ],\n  \"metrics\": "
+        << obs::to_json(obs::Registry::global().snapshot(), "  ") << "\n}\n";
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return all_identical ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::size_t> sizes = {10, 20, 30, 40, 50, 100};
+  std::size_t seeds = 3;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      sizes = {10, 20};
+      seeds = 1;
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--seeds" && i + 1 < argc) {
+      seeds = std::strtoul(argv[++i], nullptr, 10);
+      if (seeds == 0) seeds = 1;
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--smoke] [--seeds N] [--json PATH]\n";
+      return 2;
+    }
+  }
+  return run(sizes, seeds, json_path);
+}

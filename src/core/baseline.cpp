@@ -105,15 +105,16 @@ std::optional<ServiceFlowGraph> baseline_single_path_custom(
   }
   if (best_sink == graph::kInvalidNode) return std::nullopt;
 
-  const auto abstract_path = tree.path_to(best_sink);
   // abstract_path = [super-source, layer0 candidate, ..., sink candidate].
-  if (!abstract_path || abstract_path->size() != layers.size() + 1)
+  // Iteration only, so the non-allocating view suffices (`tree` is local).
+  const graph::RoutingTree::PathView abstract_path = tree.path_view(best_sink);
+  if (abstract_path.size() != layers.size() + 1)
     throw std::logic_error("baseline: malformed abstract path");
 
   // Decode the chosen candidate per layer.
   std::vector<OverlayIndex> chosen(layers.size());
   for (std::size_t l = 0; l < layers.size(); ++l) {
-    const auto node = static_cast<std::size_t>((*abstract_path)[l + 1]);
+    const auto node = static_cast<std::size_t>(abstract_path[l + 1]);
     chosen[l] = layers[l][node - 1 - offset[l]];
   }
 

@@ -167,9 +167,11 @@ LocalDecision sflow_local_compute(const OverlayGraph& overlay,
     const auto local_target = local.instance_at(overlay.instance(target).nid);
     const auto local_self = local.instance_at(self_nid);
     if (local_target && local_self) {
-      const auto local_path = local_routing.path(*local_self, *local_target);
-      if (local_path) {
-        for (const OverlayIndex lv : *local_path) {
+      // View, not copy: the hops are remapped into `path` element-wise.
+      const graph::RoutingTree::PathView local_path =
+          local_routing.path_view(*local_self, *local_target);
+      if (!local_path.empty()) {
+        for (const OverlayIndex lv : local_path) {
           const auto global = overlay.instance_at(local.instance(lv).nid);
           path.push_back(*global);
         }

@@ -1,0 +1,48 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+
+namespace sflow::graph {
+
+CsrView::CsrView(const Digraph& g) {
+  const std::size_t n = g.node_count();
+  offsets_.assign(n + 1, 0);
+  arcs_.reserve(g.edge_count());
+  by_target_.resize(g.edge_count());
+
+  for (std::size_t v = 0; v < n; ++v) {
+    offsets_[v] = static_cast<std::uint32_t>(arcs_.size());
+    for (const EdgeIndex e : g.out_edges(static_cast<NodeIndex>(v))) {
+      const Edge& edge = g.edge(e);
+      arcs_.push_back(Arc{edge.to, e, edge.metrics.bandwidth, edge.metrics.latency});
+    }
+    // Descending bandwidth; stable so equal-bandwidth arcs keep insertion
+    // order and snapshots of the same graph are identical.
+    std::stable_sort(arcs_.begin() + offsets_[v], arcs_.end(),
+                     [](const Arc& a, const Arc& b) { return a.bandwidth > b.bandwidth; });
+  }
+  offsets_[n] = static_cast<std::uint32_t>(arcs_.size());
+
+  for (std::uint32_t i = 0; i < arcs_.size(); ++i) by_target_[i] = i;
+  for (std::size_t v = 0; v < n; ++v) {
+    std::sort(by_target_.begin() + offsets_[v], by_target_.begin() + offsets_[v + 1],
+              [this](std::uint32_t a, std::uint32_t b) {
+                return arcs_[a].to < arcs_[b].to;
+              });
+  }
+}
+
+EdgeIndex CsrView::find_edge(NodeIndex from, NodeIndex to) const noexcept {
+  if (!has_node(from) || !has_node(to)) return kInvalidEdge;
+  const auto vi = static_cast<std::size_t>(from);
+  const auto begin = by_target_.begin() + offsets_[vi];
+  const auto end = by_target_.begin() + offsets_[vi + 1];
+  const auto it = std::lower_bound(begin, end, to,
+                                   [this](std::uint32_t pos, NodeIndex target) {
+                                     return arcs_[pos].to < target;
+                                   });
+  if (it == end || arcs_[*it].to != to) return kInvalidEdge;
+  return arcs_[*it].edge;
+}
+
+}  // namespace sflow::graph

@@ -1,0 +1,63 @@
+// Immutable CSR (compressed sparse row) adjacency snapshot of a Digraph.
+//
+// The routing kernels walk adjacency lists millions of times per sweep; the
+// Digraph's vector-of-vectors layout costs a pointer chase per node and keeps
+// edge metrics in a separate array.  CsrView flattens the out-adjacency into
+// one contiguous arc array with the metrics inlined, and sorts each node's
+// arcs by *descending bandwidth* so the `bandwidth >= b` prune of the
+// Wang–Crowcroft width-class sweep becomes a prefix scan with early break
+// (see qos_routing.hpp).
+//
+// The snapshot is decoupled from the Digraph: build it once per graph, use it
+// from any number of threads (it is immutable), and rebuild after mutation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace sflow::graph {
+
+class CsrView {
+ public:
+  /// One out-edge with its metrics inlined.  `edge` is the index of the
+  /// originating Digraph edge, so callers can get back to Edge when needed.
+  struct Arc {
+    NodeIndex to = kInvalidNode;
+    EdgeIndex edge = kInvalidEdge;
+    double bandwidth = 0.0;
+    double latency = 0.0;
+  };
+
+  CsrView() = default;
+  explicit CsrView(const Digraph& g);
+
+  std::size_t node_count() const noexcept {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  std::size_t arc_count() const noexcept { return arcs_.size(); }
+
+  bool has_node(NodeIndex v) const noexcept {
+    return v >= 0 && static_cast<std::size_t>(v) < node_count();
+  }
+
+  /// Out-arcs of v, sorted by descending bandwidth (ties keep the Digraph's
+  /// insertion order).
+  std::span<const Arc> out_arcs(NodeIndex v) const {
+    const auto vi = static_cast<std::size_t>(v);
+    return {arcs_.data() + offsets_[vi], offsets_[vi + 1] - offsets_[vi]};
+  }
+
+  /// Index of edge (from, to) in the snapshotted Digraph, or kInvalidEdge.
+  /// O(log out-degree) via a per-node target-sorted secondary index.
+  EdgeIndex find_edge(NodeIndex from, NodeIndex to) const noexcept;
+
+ private:
+  std::vector<std::uint32_t> offsets_;    // node_count()+1
+  std::vector<Arc> arcs_;                 // bandwidth-descending per node
+  std::vector<std::uint32_t> by_target_;  // arc positions, target-sorted per node
+};
+
+}  // namespace sflow::graph

@@ -26,11 +26,12 @@ EdgeIndex Digraph::add_edge(NodeIndex from, NodeIndex to, LinkMetrics metrics) {
   check_node(from, "add_edge(from)");
   check_node(to, "add_edge(to)");
   if (from == to) throw std::invalid_argument("Digraph::add_edge: self loop");
-  if (const EdgeIndex existing = find_edge(from, to); existing != kInvalidEdge) {
-    edges_[static_cast<std::size_t>(existing)].metrics = metrics;
-    return existing;
-  }
   const auto e = static_cast<EdgeIndex>(edges_.size());
+  const auto [it, inserted] = edge_index_.try_emplace(pair_key(from, to), e);
+  if (!inserted) {
+    edges_[static_cast<std::size_t>(it->second)].metrics = metrics;
+    return it->second;
+  }
   edges_.push_back(Edge{from, to, metrics});
   out_[static_cast<std::size_t>(from)].push_back(e);
   in_[static_cast<std::size_t>(to)].push_back(e);
@@ -44,9 +45,8 @@ void Digraph::add_symmetric_edge(NodeIndex a, NodeIndex b, LinkMetrics metrics) 
 
 EdgeIndex Digraph::find_edge(NodeIndex from, NodeIndex to) const noexcept {
   if (!has_node(from) || !has_node(to)) return kInvalidEdge;
-  for (const EdgeIndex e : out_[static_cast<std::size_t>(from)])
-    if (edges_[static_cast<std::size_t>(e)].to == to) return e;
-  return kInvalidEdge;
+  const auto it = edge_index_.find(pair_key(from, to));
+  return it == edge_index_.end() ? kInvalidEdge : it->second;
 }
 
 const std::vector<EdgeIndex>& Digraph::out_edges(NodeIndex v) const {

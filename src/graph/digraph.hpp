@@ -14,6 +14,7 @@
 #include <limits>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace sflow::graph {
@@ -107,7 +108,9 @@ class Digraph {
     return find_edge(from, to) != kInvalidEdge;
   }
 
-  /// Index of edge (from, to), or kInvalidEdge.
+  /// Index of edge (from, to), or kInvalidEdge.  O(1): backed by a hashed
+  /// (from, to) index maintained by add_edge, so per-hop lookups on the
+  /// path_quality hot loop do not scan the out-adjacency.
   EdgeIndex find_edge(NodeIndex from, NodeIndex to) const noexcept;
 
   const Edge& edge(EdgeIndex e) const { return edges_.at(static_cast<std::size_t>(e)); }
@@ -134,9 +137,15 @@ class Digraph {
  private:
   void check_node(NodeIndex v, const char* what) const;
 
+  static std::uint64_t pair_key(NodeIndex from, NodeIndex to) noexcept {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 32) |
+           static_cast<std::uint32_t>(to);
+  }
+
   std::vector<Edge> edges_;
   std::vector<std::vector<EdgeIndex>> out_;
   std::vector<std::vector<EdgeIndex>> in_;
+  std::unordered_map<std::uint64_t, EdgeIndex> edge_index_;  // (from, to) -> edge
 };
 
 }  // namespace sflow::graph

@@ -1,6 +1,7 @@
 #include "graph/qos_routing.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <queue>
 #include <set>
 #include <stdexcept>
@@ -15,9 +16,328 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// Widest-path Dijkstra: returns the maximum achievable bottleneck bandwidth
-/// from `source` to every node (0 when unreachable, +inf for the source).
-std::vector<double> widest_widths(const Digraph& g, NodeIndex source) {
+/// Routing metrics.  Under concurrent first touches of one source, every
+/// contender counts a miss though only one builds — an accepted overcount;
+/// the counters are observational and never feed back into routing decisions.
+/// `relaxations` counts every arc examined by a Dijkstra scan (both kernels,
+/// batched once per tree build, so the hot loop touches no atomics).
+struct RoutingMetrics {
+  obs::Counter& hits = obs::Registry::global().counter(
+      "routing_cache_hits_total", "routing-tree queries served from cache");
+  obs::Counter& misses = obs::Registry::global().counter(
+      "routing_cache_misses_total", "routing-tree queries that built a tree");
+  obs::Histogram& precompute_ms = obs::Registry::global().histogram(
+      "routing_precompute_ms", obs::default_duration_buckets_ms(),
+      "wall clock of AllPairsShortestWidest::precompute_all calls");
+  obs::Counter& relaxations = obs::Registry::global().counter(
+      "routing_edge_relaxations_total",
+      "arcs examined by routing Dijkstra scans (sweep and legacy kernels)");
+  obs::Gauge& tree_peak_bytes = obs::Registry::global().gauge(
+      "routing_tree_peak_bytes",
+      "largest single routing tree footprint built so far");
+};
+
+RoutingMetrics& routing_metrics() {
+  static RoutingMetrics instance;
+  return instance;
+}
+
+/// Per-thread scratch for callers that do not manage a workspace themselves.
+RoutingWorkspace& thread_workspace() {
+  thread_local RoutingWorkspace ws;
+  return ws;
+}
+
+using HeapEntry = std::pair<double, NodeIndex>;
+
+/// Walks the predecessor chain source..v (set during the current epoch) into
+/// the arena, recording the destination's offset/length.
+void append_pred_path(RoutingWorkspace& ws, NodeIndex source, NodeIndex v,
+                      std::vector<NodeIndex>& arena,
+                      std::vector<std::uint32_t>& offsets,
+                      std::vector<std::uint32_t>& lengths) {
+  std::vector<NodeIndex>& chain = ws.scratch_path;
+  chain.clear();
+  for (NodeIndex cur = v;;) {
+    chain.push_back(cur);
+    if (cur == source) break;
+    cur = ws.pred[static_cast<std::size_t>(cur)];
+    if (cur == kInvalidNode || chain.size() > ws.pred.size())
+      throw std::logic_error("qos_routing: broken predecessor chain");
+  }
+  const auto vi = static_cast<std::size_t>(v);
+  offsets[vi] = static_cast<std::uint32_t>(arena.size());
+  lengths[vi] = static_cast<std::uint32_t>(chain.size());
+  arena.insert(arena.end(), chain.rbegin(), chain.rend());
+}
+
+/// Widest-path Dijkstra over the CSR snapshot: fills ws.width with the
+/// maximum achievable bottleneck bandwidth from `source` to every node
+/// (0 when unreachable, +inf for the source).  Returns arcs examined.
+std::uint64_t widest_pass(const CsrView& csr, NodeIndex source,
+                          RoutingWorkspace& ws) {
+  std::uint64_t scanned = 0;
+  std::fill(ws.width.begin(), ws.width.end(), 0.0);
+  ws.width[static_cast<std::size_t>(source)] = kInf;
+
+  const std::uint32_t epoch = ws.next_epoch();
+  auto& heap = ws.heap;  // max-heap under std::less (default heap order)
+  heap.clear();
+  heap.push_back({kInf, source});
+
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end());
+    const auto [w, v] = heap.back();
+    heap.pop_back();
+    const auto vi = static_cast<std::size_t>(v);
+    if (ws.done_epoch[vi] == epoch) continue;
+    ws.done_epoch[vi] = epoch;
+    for (const CsrView::Arc& arc : csr.out_arcs(v)) {
+      ++scanned;
+      const auto ti = static_cast<std::size_t>(arc.to);
+      const double cand = std::min(w, arc.bandwidth);
+      if (cand > ws.width[ti]) {
+        ws.width[ti] = cand;
+        heap.push_back({cand, arc.to});
+        std::push_heap(heap.begin(), heap.end());
+      }
+    }
+  }
+  return scanned;
+}
+
+}  // namespace
+
+RoutingTree::RoutingTree(NodeIndex source, std::vector<PathQuality> qualities,
+                         const std::vector<std::vector<NodeIndex>>& paths)
+    : source_(source),
+      qualities_(std::move(qualities)),
+      offsets_(qualities_.size(), 0),
+      lengths_(qualities_.size(), 0) {
+  std::size_t total = 0;
+  for (const auto& path : paths) total += path.size();
+  arena_.reserve(total);
+  for (std::size_t v = 0; v < qualities_.size() && v < paths.size(); ++v) {
+    offsets_[v] = static_cast<std::uint32_t>(arena_.size());
+    lengths_[v] = static_cast<std::uint32_t>(paths[v].size());
+    arena_.insert(arena_.end(), paths[v].begin(), paths[v].end());
+  }
+}
+
+std::size_t RoutingTree::memory_bytes() const noexcept {
+  return sizeof(*this) + qualities_.capacity() * sizeof(PathQuality) +
+         arena_.capacity() * sizeof(NodeIndex) +
+         (offsets_.capacity() + lengths_.capacity()) * sizeof(std::uint32_t);
+}
+
+void RoutingWorkspace::prepare(std::size_t node_count) {
+  if (width.size() != node_count) {
+    width.assign(node_count, 0.0);
+    dist.assign(node_count, 0.0);
+    band.assign(node_count, 0.0);
+    pred.assign(node_count, kInvalidNode);
+    visit_epoch.assign(node_count, 0);
+    done_epoch.assign(node_count, 0);
+    epoch = 0;
+  }
+  heap.clear();
+  scratch_path.clear();
+  order.clear();
+}
+
+std::uint32_t RoutingWorkspace::next_epoch() {
+  if (epoch == std::numeric_limits<std::uint32_t>::max()) {
+    std::fill(visit_epoch.begin(), visit_epoch.end(), 0);
+    std::fill(done_epoch.begin(), done_epoch.end(), 0);
+    epoch = 0;
+  }
+  return ++epoch;
+}
+
+RoutingTree shortest_widest_tree(const CsrView& csr, NodeIndex source,
+                                 RoutingWorkspace* workspace) {
+  if (!csr.has_node(source))
+    throw std::invalid_argument("shortest_widest_tree: unknown source node");
+  RoutingWorkspace& ws = workspace != nullptr ? *workspace : thread_workspace();
+  const std::size_t n = csr.node_count();
+  ws.prepare(n);
+
+  // Stage 1: per-destination maximum widths.
+  std::uint64_t scanned = widest_pass(csr, source, ws);
+
+  // Destinations grouped by width class, widest class first.  Processing
+  // order across classes does not affect results (each round restarts from
+  // fresh labels); descending keeps the rounds aligned with the legacy
+  // kernel's std::set<double, greater<>> iteration for easy tracing.
+  std::vector<NodeIndex>& order = ws.order;
+  for (std::size_t v = 0; v < n; ++v)
+    if (static_cast<NodeIndex>(v) != source && ws.width[v] > 0.0)
+      order.push_back(static_cast<NodeIndex>(v));
+  std::sort(order.begin(), order.end(), [&ws](NodeIndex a, NodeIndex b) {
+    const double wa = ws.width[static_cast<std::size_t>(a)];
+    const double wb = ws.width[static_cast<std::size_t>(b)];
+    if (wa != wb) return wa > wb;
+    return a < b;
+  });
+
+  std::vector<PathQuality> qualities(n, PathQuality::unreachable());
+  std::vector<std::uint32_t> offsets(n, 0);
+  std::vector<std::uint32_t> lengths(n, 0);
+  std::vector<NodeIndex> arena;
+  qualities[static_cast<std::size_t>(source)] = PathQuality::source();
+  lengths[static_cast<std::size_t>(source)] = 1;
+  arena.push_back(source);
+
+  // Stage 2: descending width-class sweep.  One pruned latency Dijkstra per
+  // class, over reused labels (epoch-stamped), scanning only the
+  // bandwidth >= b prefix of each node's arcs, stopping as soon as every
+  // destination of the class is finalized.  Nodes with width < b are
+  // unreachable through >= b arcs by construction, so no explicit filter is
+  // needed for them.
+  std::size_t i = 0;
+  while (i < order.size()) {
+    const double b = ws.width[static_cast<std::size_t>(order[i])];
+    std::size_t j = i;
+    while (j < order.size() && ws.width[static_cast<std::size_t>(order[j])] == b)
+      ++j;
+    std::size_t remaining = j - i;
+
+    const std::uint32_t epoch = ws.next_epoch();
+    ws.visit_epoch[static_cast<std::size_t>(source)] = epoch;
+    ws.dist[static_cast<std::size_t>(source)] = 0.0;
+    ws.pred[static_cast<std::size_t>(source)] = kInvalidNode;
+    auto& heap = ws.heap;  // min-heap under std::greater
+    heap.clear();
+    heap.push_back({0.0, source});
+
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+      const auto [d, v] = heap.back();
+      heap.pop_back();
+      const auto vi = static_cast<std::size_t>(v);
+      if (ws.done_epoch[vi] == epoch) continue;
+      ws.done_epoch[vi] = epoch;
+
+      // A finalized label is exact; class members can be materialized
+      // immediately (their whole predecessor chain is already finalized).
+      if (v != source && ws.width[vi] == b) {
+        qualities[vi] = PathQuality{b, d};
+        append_pred_path(ws, source, v, arena, offsets, lengths);
+        if (--remaining == 0) break;
+      }
+
+      for (const CsrView::Arc& arc : csr.out_arcs(v)) {
+        ++scanned;
+        if (arc.bandwidth < b) break;  // descending prefix exhausted
+        const auto ti = static_cast<std::size_t>(arc.to);
+        const double cand = d + arc.latency;
+        if (ws.visit_epoch[ti] != epoch || cand < ws.dist[ti]) {
+          ws.visit_epoch[ti] = epoch;
+          ws.dist[ti] = cand;
+          ws.pred[ti] = v;
+          heap.push_back({cand, arc.to});
+          std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+        }
+      }
+    }
+    if (remaining != 0)
+      throw std::logic_error("shortest_widest_tree: width class unreachable");
+    i = j;
+  }
+
+  RoutingTree tree(source, std::move(qualities), std::move(arena),
+                   std::move(offsets), std::move(lengths));
+  RoutingMetrics& metrics = routing_metrics();
+  metrics.relaxations.add(scanned);
+  metrics.tree_peak_bytes.update_max(static_cast<double>(tree.memory_bytes()));
+  return tree;
+}
+
+RoutingTree shortest_widest_tree(const Digraph& g, NodeIndex source) {
+  if (!g.has_node(source))
+    throw std::invalid_argument("shortest_widest_tree: unknown source node");
+  return shortest_widest_tree(CsrView(g), source);
+}
+
+RoutingTree shortest_latency_tree(const CsrView& csr, NodeIndex source,
+                                  RoutingWorkspace* workspace) {
+  if (!csr.has_node(source))
+    throw std::invalid_argument("shortest_latency_tree: unknown source node");
+  RoutingWorkspace& ws = workspace != nullptr ? *workspace : thread_workspace();
+  const std::size_t n = csr.node_count();
+  ws.prepare(n);
+
+  std::uint64_t scanned = 0;
+  const std::uint32_t epoch = ws.next_epoch();
+  ws.visit_epoch[static_cast<std::size_t>(source)] = epoch;
+  ws.dist[static_cast<std::size_t>(source)] = 0.0;
+  ws.band[static_cast<std::size_t>(source)] = kInf;
+  ws.pred[static_cast<std::size_t>(source)] = kInvalidNode;
+  auto& heap = ws.heap;
+  heap.clear();
+  heap.push_back({0.0, source});
+
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+    const auto [d, v] = heap.back();
+    heap.pop_back();
+    const auto vi = static_cast<std::size_t>(v);
+    if (ws.done_epoch[vi] == epoch) continue;
+    ws.done_epoch[vi] = epoch;
+    for (const CsrView::Arc& arc : csr.out_arcs(v)) {
+      ++scanned;
+      const auto ti = static_cast<std::size_t>(arc.to);
+      const double cand = d + arc.latency;
+      if (ws.visit_epoch[ti] != epoch || cand < ws.dist[ti]) {
+        ws.visit_epoch[ti] = epoch;
+        ws.dist[ti] = cand;
+        // Track the bottleneck along the chosen predecessor chain so path
+        // quality needs no re-walk: ws.band[vi] is final once v is popped.
+        ws.band[ti] = std::min(ws.band[vi], arc.bandwidth);
+        ws.pred[ti] = v;
+        heap.push_back({cand, arc.to});
+        std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+      }
+    }
+  }
+
+  std::vector<PathQuality> qualities(n, PathQuality::unreachable());
+  std::vector<std::uint32_t> offsets(n, 0);
+  std::vector<std::uint32_t> lengths(n, 0);
+  std::vector<NodeIndex> arena;
+  qualities[static_cast<std::size_t>(source)] = PathQuality::source();
+  lengths[static_cast<std::size_t>(source)] = 1;
+  arena.push_back(source);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (static_cast<NodeIndex>(v) == source || ws.done_epoch[v] != epoch)
+      continue;
+    qualities[v] = PathQuality{ws.band[v], ws.dist[v]};
+    append_pred_path(ws, source, static_cast<NodeIndex>(v), arena, offsets,
+                     lengths);
+  }
+
+  routing_metrics().relaxations.add(scanned);
+  return RoutingTree(source, std::move(qualities), std::move(arena),
+                     std::move(offsets), std::move(lengths));
+}
+
+RoutingTree shortest_latency_tree(const Digraph& g, NodeIndex source) {
+  if (!g.has_node(source))
+    throw std::invalid_argument("shortest_latency_tree: unknown source node");
+  return shortest_latency_tree(CsrView(g), source);
+}
+
+// --- Legacy reference kernel -------------------------------------------------
+//
+// The pre-sweep implementation, kept verbatim (plus relaxation counting):
+// per-class label allocation, full Dijkstra per class, eager path vectors.
+// It is the equivalence oracle for the sweep kernel and the before/after
+// baseline of bench/routing_kernel.cpp.
+
+namespace {
+
+std::vector<double> legacy_widest_widths(const Digraph& g, NodeIndex source,
+                                         std::uint64_t& scanned) {
   std::vector<double> width(g.node_count(), 0.0);
   width[static_cast<std::size_t>(source)] = kInf;
 
@@ -33,6 +353,7 @@ std::vector<double> widest_widths(const Digraph& g, NodeIndex source) {
     if (done[vi]) continue;
     done[vi] = true;
     for (const EdgeIndex e : g.out_edges(v)) {
+      ++scanned;
       const Edge& edge = g.edge(e);
       const auto ti = static_cast<std::size_t>(edge.to);
       const double cand = std::min(w, edge.metrics.bandwidth);
@@ -45,10 +366,9 @@ std::vector<double> widest_widths(const Digraph& g, NodeIndex source) {
   return width;
 }
 
-/// Latency Dijkstra restricted to edges with bandwidth >= min_bandwidth.
-/// Returns (latency, predecessor) labels.
-std::pair<std::vector<double>, std::vector<NodeIndex>> pruned_latency_dijkstra(
-    const Digraph& g, NodeIndex source, double min_bandwidth) {
+std::pair<std::vector<double>, std::vector<NodeIndex>>
+legacy_pruned_latency_dijkstra(const Digraph& g, NodeIndex source,
+                               double min_bandwidth, std::uint64_t& scanned) {
   std::vector<double> dist(g.node_count(), kInf);
   std::vector<NodeIndex> pred(g.node_count(), kInvalidNode);
   dist[static_cast<std::size_t>(source)] = 0.0;
@@ -65,6 +385,7 @@ std::pair<std::vector<double>, std::vector<NodeIndex>> pruned_latency_dijkstra(
     if (done[vi]) continue;
     done[vi] = true;
     for (const EdgeIndex e : g.out_edges(v)) {
+      ++scanned;
       const Edge& edge = g.edge(e);
       if (edge.metrics.bandwidth < min_bandwidth) continue;
       const auto ti = static_cast<std::size_t>(edge.to);
@@ -79,8 +400,8 @@ std::pair<std::vector<double>, std::vector<NodeIndex>> pruned_latency_dijkstra(
   return {std::move(dist), std::move(pred)};
 }
 
-std::vector<NodeIndex> materialize_path(const std::vector<NodeIndex>& pred,
-                                        NodeIndex source, NodeIndex v) {
+std::vector<NodeIndex> legacy_materialize_path(const std::vector<NodeIndex>& pred,
+                                               NodeIndex source, NodeIndex v) {
   std::vector<NodeIndex> path;
   for (NodeIndex cur = v; cur != kInvalidNode;) {
     path.push_back(cur);
@@ -97,11 +418,12 @@ std::vector<NodeIndex> materialize_path(const std::vector<NodeIndex>& pred,
 
 }  // namespace
 
-RoutingTree shortest_widest_tree(const Digraph& g, NodeIndex source) {
+RoutingTree shortest_widest_tree_legacy(const Digraph& g, NodeIndex source) {
   if (!g.has_node(source))
     throw std::invalid_argument("shortest_widest_tree: unknown source node");
 
-  const std::vector<double> width = widest_widths(g, source);
+  std::uint64_t scanned = 0;
+  const std::vector<double> width = legacy_widest_widths(g, source, scanned);
 
   std::vector<PathQuality> qualities(g.node_count(), PathQuality::unreachable());
   std::vector<std::vector<NodeIndex>> paths(g.node_count());
@@ -114,36 +436,21 @@ RoutingTree shortest_widest_tree(const Digraph& g, NodeIndex source) {
     if (static_cast<NodeIndex>(v) != source && width[v] > 0.0) classes.insert(width[v]);
 
   for (const double b : classes) {
-    const auto [dist, pred] = pruned_latency_dijkstra(g, source, b);
+    const auto [dist, pred] =
+        legacy_pruned_latency_dijkstra(g, source, b, scanned);
     for (std::size_t v = 0; v < g.node_count(); ++v) {
       if (static_cast<NodeIndex>(v) == source || width[v] != b) continue;
       if (dist[v] == kInf)
         throw std::logic_error("shortest_widest_tree: width class unreachable");
       qualities[v] = PathQuality{b, dist[v]};
-      paths[v] = materialize_path(pred, source, static_cast<NodeIndex>(v));
+      paths[v] = legacy_materialize_path(pred, source, static_cast<NodeIndex>(v));
     }
   }
-  return RoutingTree(source, std::move(qualities), std::move(paths));
+  routing_metrics().relaxations.add(scanned);
+  return RoutingTree(source, std::move(qualities), paths);
 }
 
-RoutingTree shortest_latency_tree(const Digraph& g, NodeIndex source) {
-  if (!g.has_node(source))
-    throw std::invalid_argument("shortest_latency_tree: unknown source node");
-  const auto [dist, pred] = pruned_latency_dijkstra(g, source, 0.0);
-
-  std::vector<PathQuality> qualities(g.node_count(), PathQuality::unreachable());
-  std::vector<std::vector<NodeIndex>> paths(g.node_count());
-  for (std::size_t v = 0; v < g.node_count(); ++v) {
-    if (dist[v] == kInf) continue;
-    paths[v] = materialize_path(pred, source, static_cast<NodeIndex>(v));
-    qualities[v] = static_cast<NodeIndex>(v) == source
-                       ? PathQuality::source()
-                       : path_quality(g, paths[v]);
-  }
-  return RoutingTree(source, std::move(qualities), std::move(paths));
-}
-
-PathQuality path_quality(const Digraph& g, const std::vector<NodeIndex>& path) {
+PathQuality path_quality(const Digraph& g, std::span<const NodeIndex> path) {
   if (path.empty()) return PathQuality::unreachable();
   PathQuality q = PathQuality::source();
   for (std::size_t i = 0; i + 1 < path.size(); ++i) {
@@ -153,29 +460,6 @@ PathQuality path_quality(const Digraph& g, const std::vector<NodeIndex>& path) {
   }
   return q;
 }
-
-namespace {
-
-/// Routing-database metrics.  Under concurrent first touches of one source,
-/// every contender counts a miss though only one builds — an accepted
-/// overcount; the counters are observational and never feed back into
-/// routing decisions.
-struct RoutingMetrics {
-  obs::Counter& hits = obs::Registry::global().counter(
-      "routing_cache_hits_total", "routing-tree queries served from cache");
-  obs::Counter& misses = obs::Registry::global().counter(
-      "routing_cache_misses_total", "routing-tree queries that built a tree");
-  obs::Histogram& precompute_ms = obs::Registry::global().histogram(
-      "routing_precompute_ms", obs::default_duration_buckets_ms(),
-      "wall clock of AllPairsShortestWidest::precompute_all calls");
-};
-
-RoutingMetrics& routing_metrics() {
-  static RoutingMetrics instance;
-  return instance;
-}
-
-}  // namespace
 
 const RoutingTree& AllPairsShortestWidest::tree(NodeIndex from) const {
   const auto index = static_cast<std::size_t>(from);
@@ -188,7 +472,7 @@ const RoutingTree& AllPairsShortestWidest::tree(NodeIndex from) const {
   else
     metrics.misses.increment();
   std::call_once(slot.once, [&] {
-    slot.tree = shortest_widest_tree(graph_, from);
+    slot.tree = shortest_widest_tree(csr_, from);
     slot.built.store(true, std::memory_order_relaxed);
   });
   return *slot.tree;

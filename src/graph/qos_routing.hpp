@@ -15,14 +15,27 @@
 // yields the shortest path among the widest ones for every destination with
 // W(v) == B.  Paths are materialized eagerly because predecessor pointers from
 // different pruning rounds cannot be mixed.
+//
+// The production kernel runs the class rounds as a *descending width-class
+// sweep* over a CsrView snapshot: one scratch workspace (labels + heap
+// storage) is reused across every round via epoch stamping, each round's
+// Dijkstra scans only the bandwidth-descending prefix of a node's arcs
+// (everything past the first arc narrower than B is pruned by construction),
+// and a round stops as soon as all of its class's destinations are finalized.
+// This is an optimization only — results are bit-identical to the plain
+// two-stage scheme, pinned by the legacy-equivalence tests; see
+// docs/algorithms.md for the argument.
 #pragma once
 
 #include <atomic>
+#include <initializer_list>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <vector>
 
+#include "graph/csr.hpp"
 #include "graph/digraph.hpp"
 
 namespace sflow::util {
@@ -32,11 +45,32 @@ class ThreadPool;
 namespace sflow::graph {
 
 /// Result of a single-source shortest-widest computation.
+///
+/// Paths live in one contiguous arena (node buffer + per-destination
+/// offset/length) instead of a vector per destination: an all-pairs database
+/// over N sources holds N of these, and the arena removes ~N heap blocks and
+/// ~3 pointers of header per destination from the resident footprint.
 class RoutingTree {
  public:
+  /// Non-owning view of a stored path (empty when unreachable).  Valid for
+  /// the lifetime of the RoutingTree it came from.
+  using PathView = std::span<const NodeIndex>;
+
+  /// Arena form: `paths[v]` is arena[offset[v] .. offset[v]+length[v]).
   RoutingTree(NodeIndex source, std::vector<PathQuality> qualities,
-              std::vector<std::vector<NodeIndex>> paths)
-      : source_(source), qualities_(std::move(qualities)), paths_(std::move(paths)) {}
+              std::vector<NodeIndex> path_arena,
+              std::vector<std::uint32_t> path_offsets,
+              std::vector<std::uint32_t> path_lengths)
+      : source_(source),
+        qualities_(std::move(qualities)),
+        arena_(std::move(path_arena)),
+        offsets_(std::move(path_offsets)),
+        lengths_(std::move(path_lengths)) {}
+
+  /// Compatibility form: flattens per-destination vectors into the arena
+  /// (legacy kernel and hand-built trees in tests).
+  RoutingTree(NodeIndex source, std::vector<PathQuality> qualities,
+              const std::vector<std::vector<NodeIndex>>& paths);
 
   NodeIndex source() const noexcept { return source_; }
 
@@ -49,28 +83,83 @@ class RoutingTree {
     return qualities_.at(static_cast<std::size_t>(v));
   }
 
-  /// The node sequence source..v of the best path, or nullopt if unreachable.
-  std::optional<std::vector<NodeIndex>> path_to(NodeIndex v) const {
-    if (!reachable(v)) return std::nullopt;
-    return paths_.at(static_cast<std::size_t>(v));
+  /// Non-allocating view of the best path source..v; empty if unreachable.
+  PathView path_view(NodeIndex v) const {
+    qualities_.at(static_cast<std::size_t>(v));  // bounds check
+    const auto vi = static_cast<std::size_t>(v);
+    return {arena_.data() + offsets_[vi], lengths_[vi]};
   }
+
+  /// The node sequence source..v of the best path, or nullopt if unreachable.
+  /// Allocates a fresh vector per call; prefer path_view() when only
+  /// iterating.
+  std::optional<std::vector<NodeIndex>> path_to(NodeIndex v) const {
+    const PathView view = path_view(v);
+    if (view.empty()) return std::nullopt;
+    return std::vector<NodeIndex>(view.begin(), view.end());
+  }
+
+  /// Resident heap footprint of this tree (labels + arena + offsets).
+  std::size_t memory_bytes() const noexcept;
 
  private:
   NodeIndex source_;
   std::vector<PathQuality> qualities_;
-  std::vector<std::vector<NodeIndex>> paths_;
+  std::vector<NodeIndex> arena_;
+  std::vector<std::uint32_t> offsets_;
+  std::vector<std::uint32_t> lengths_;
 };
 
-/// Wang–Crowcroft single-source shortest-widest paths (exact).
+/// Reusable scratch space for the routing kernels: Dijkstra labels, epoch
+/// stamps (so per-round resets are O(touched) instead of O(N)), heap storage,
+/// and the path-materialization buffer.  One workspace serves any number of
+/// sequential kernel calls; it is not thread-safe — use one per thread.
+struct RoutingWorkspace {
+  std::vector<double> width;   // widest-path labels
+  std::vector<double> dist;    // latency labels
+  std::vector<double> band;    // bottleneck labels (shortest_latency_tree)
+  std::vector<NodeIndex> pred;
+  std::vector<std::uint32_t> visit_epoch;  // dist/pred/band valid markers
+  std::vector<std::uint32_t> done_epoch;   // finalized markers
+  std::uint32_t epoch = 0;
+  std::vector<std::pair<double, NodeIndex>> heap;
+  std::vector<NodeIndex> scratch_path;
+  std::vector<NodeIndex> order;  // destinations grouped by width class
+
+  void prepare(std::size_t node_count);
+  std::uint32_t next_epoch();
+};
+
+/// Wang–Crowcroft single-source shortest-widest paths (exact).  The CsrView
+/// overload is the production kernel; the Digraph overload snapshots the
+/// graph first and is intended for one-off calls.  Passing a workspace reuses
+/// its storage; nullptr uses a per-thread scratch workspace.
+RoutingTree shortest_widest_tree(const CsrView& csr, NodeIndex source,
+                                 RoutingWorkspace* workspace = nullptr);
 RoutingTree shortest_widest_tree(const Digraph& g, NodeIndex source);
 
+/// The pre-sweep reference implementation: one full pruned latency Dijkstra
+/// per width class over the Digraph adjacency, with per-class label
+/// allocation.  Kept verbatim as the equivalence oracle for the sweep kernel
+/// (tests/qos_routing_test.cpp) and the before/after baseline of
+/// bench/routing_kernel.cpp.  Bit-identical results to shortest_widest_tree.
+RoutingTree shortest_widest_tree_legacy(const Digraph& g, NodeIndex source);
+
 /// Plain Dijkstra minimizing latency only (used for underlay hop routing,
-/// where a flow follows the lowest-latency physical route).
+/// where a flow follows the lowest-latency physical route).  Path qualities
+/// come from the Dijkstra labels themselves (bottleneck tracked alongside
+/// distance), not from re-walking each materialized path.
+RoutingTree shortest_latency_tree(const CsrView& csr, NodeIndex source,
+                                  RoutingWorkspace* workspace = nullptr);
 RoutingTree shortest_latency_tree(const Digraph& g, NodeIndex source);
 
 /// Quality of an explicit node sequence (PathQuality::unreachable() if any
 /// consecutive pair lacks an edge; PathQuality::source() for a 1-node path).
-PathQuality path_quality(const Digraph& g, const std::vector<NodeIndex>& path);
+PathQuality path_quality(const Digraph& g, std::span<const NodeIndex> path);
+inline PathQuality path_quality(const Digraph& g,
+                                std::initializer_list<NodeIndex> path) {
+  return path_quality(g, std::span<const NodeIndex>(path.begin(), path.size()));
+}
 
 /// All-pairs shortest-widest paths — the paper's Table 1 step 1 (the overlay
 /// link-state database every algorithm consults).
@@ -79,7 +168,8 @@ PathQuality path_quality(const Digraph& g, const std::vector<NodeIndex>& path);
 /// consumer that only touches a few sources (e.g. a node's local-view solve
 /// in the distributed algorithm) pays only for what it uses; call
 /// precompute_all() to force the eager O(N^3)-ish behaviour.  The graph is
-/// copied, so the database stays valid independent of the source's lifetime.
+/// copied (and snapshotted into a CsrView shared by every per-source solve),
+/// so the database stays valid independent of the source's lifetime.
 ///
 /// Thread safety: const queries are safe from any number of threads.  Each
 /// cache slot is guarded by a std::once_flag, so concurrent first touches of
@@ -90,6 +180,7 @@ class AllPairsShortestWidest {
  public:
   explicit AllPairsShortestWidest(Digraph g)
       : graph_(std::move(g)),
+        csr_(graph_),
         slots_(std::make_unique<Slot[]>(graph_.node_count())) {}
 
   AllPairsShortestWidest(const AllPairsShortestWidest&) = delete;
@@ -101,9 +192,17 @@ class AllPairsShortestWidest {
   std::optional<std::vector<NodeIndex>> path(NodeIndex from, NodeIndex to) const {
     return tree(from).path_to(to);
   }
+  /// Non-allocating path view; empty when unreachable.  Valid as long as the
+  /// database is alive.
+  RoutingTree::PathView path_view(NodeIndex from, NodeIndex to) const {
+    return tree(from).path_view(to);
+  }
   const RoutingTree& tree(NodeIndex from) const;
 
   std::size_t node_count() const noexcept { return graph_.node_count(); }
+
+  /// The shared adjacency snapshot (descending-bandwidth CSR).
+  const CsrView& csr() const noexcept { return csr_; }
 
   /// Forces computation of every source's tree.
   void precompute_all() const;
@@ -122,6 +221,7 @@ class AllPairsShortestWidest {
   };
 
   Digraph graph_;
+  CsrView csr_;
   std::unique_ptr<Slot[]> slots_;
 };
 

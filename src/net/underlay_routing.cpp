@@ -3,10 +3,13 @@
 namespace sflow::net {
 
 UnderlayRouting::UnderlayRouting(const UnderlyingNetwork& network) {
+  // One CSR snapshot and one label workspace shared across all sources.
+  const graph::CsrView csr(network.graph());
+  graph::RoutingWorkspace workspace;
   trees_.reserve(network.node_count());
   for (std::size_t v = 0; v < network.node_count(); ++v)
     trees_.push_back(
-        graph::shortest_latency_tree(network.graph(), static_cast<Nid>(v)));
+        graph::shortest_latency_tree(csr, static_cast<Nid>(v), &workspace));
 }
 
 }  // namespace sflow::net

@@ -30,6 +30,12 @@ class UnderlayRouting {
     return trees_.at(static_cast<std::size_t>(a)).path_to(b);
   }
 
+  /// Non-allocating hop view (empty when disconnected); valid for the
+  /// router's lifetime.
+  graph::RoutingTree::PathView route_view(Nid a, Nid b) const {
+    return trees_.at(static_cast<std::size_t>(a)).path_view(b);
+  }
+
   bool connected(Nid a, Nid b) const {
     return trees_.at(static_cast<std::size_t>(a)).reachable(b);
   }

@@ -1,6 +1,7 @@
 #include "overlay/resources.hpp"
 
 #include <algorithm>
+#include <span>
 #include <stdexcept>
 
 #include "graph/dag.hpp"
@@ -46,7 +47,7 @@ namespace {
 /// latencies add up.  (The first node's cost is attributed to the upstream
 /// edge — or, for the flow-graph source, added once at the top level.)
 graph::PathQuality fold_path_resources(const OverlayGraph& overlay,
-                                       const std::vector<OverlayIndex>& path,
+                                       std::span<const OverlayIndex> path,
                                        graph::PathQuality quality,
                                        const ResourceModel& resources) {
   for (std::size_t i = 1; i < path.size(); ++i) {
@@ -102,9 +103,11 @@ ResourceQualityFn resource_aware_edge_quality(
     const ResourceModel& resources) {
   return [&overlay, &routing, &resources](Sid, OverlayIndex u, Sid,
                                           OverlayIndex v) -> graph::PathQuality {
-    const auto path = routing.path(u, v);
-    if (!path) return graph::PathQuality::unreachable();
-    return fold_path_resources(overlay, *path, routing.quality(u, v), resources);
+    // Iteration only — the non-allocating view skips a path copy per edge
+    // quality probe (the view stays valid: `routing` outlives the lambda).
+    const graph::RoutingTree::PathView path = routing.path_view(u, v);
+    if (path.empty()) return graph::PathQuality::unreachable();
+    return fold_path_resources(overlay, path, routing.quality(u, v), resources);
   };
 }
 

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include "graph/csr.hpp"
 #include "graph/dag.hpp"
 #include "graph/digraph.hpp"
+#include "util/rng.hpp"
 
 namespace sflow::graph {
 namespace {
@@ -210,6 +212,66 @@ TEST(Dag, CriticalPathLatency) {
   EXPECT_DOUBLE_EQ(critical_path_latency(g), 10.0);
   const Digraph empty(3);
   EXPECT_DOUBLE_EQ(critical_path_latency(empty), 0.0);
+}
+
+TEST(CsrView, ArcsSortedByDescendingBandwidth) {
+  Digraph g(4);
+  g.add_edge(0, 1, {5, 1});
+  g.add_edge(0, 2, {50, 2});
+  g.add_edge(0, 3, {20, 3});
+  g.add_edge(2, 3, {7, 4});
+  const CsrView csr(g);
+  ASSERT_EQ(csr.node_count(), 4u);
+  ASSERT_EQ(csr.arc_count(), 4u);
+
+  const auto arcs = csr.out_arcs(0);
+  ASSERT_EQ(arcs.size(), 3u);
+  EXPECT_DOUBLE_EQ(arcs[0].bandwidth, 50);
+  EXPECT_EQ(arcs[0].to, 2);
+  EXPECT_DOUBLE_EQ(arcs[1].bandwidth, 20);
+  EXPECT_EQ(arcs[1].to, 3);
+  EXPECT_DOUBLE_EQ(arcs[2].bandwidth, 5);
+  EXPECT_EQ(arcs[2].to, 1);
+  EXPECT_TRUE(csr.out_arcs(1).empty());
+
+  // Arc carries the originating edge's metrics and index.
+  EXPECT_EQ(arcs[1].edge, g.find_edge(0, 3));
+  EXPECT_DOUBLE_EQ(arcs[1].latency, 3);
+}
+
+TEST(CsrView, EqualBandwidthKeepsInsertionOrder) {
+  Digraph g(4);
+  g.add_edge(0, 3, {5, 1});
+  g.add_edge(0, 1, {5, 2});
+  g.add_edge(0, 2, {5, 3});
+  const CsrView csr(g);
+  const auto arcs = csr.out_arcs(0);
+  ASSERT_EQ(arcs.size(), 3u);
+  EXPECT_EQ(arcs[0].to, 3);
+  EXPECT_EQ(arcs[1].to, 1);
+  EXPECT_EQ(arcs[2].to, 2);
+}
+
+TEST(CsrView, FindEdgeMatchesDigraphOnRandomGraphs) {
+  util::Rng rng(4242);
+  Digraph g(30);
+  for (int a = 0; a < 30; ++a)
+    for (int b = 0; b < 30; ++b)
+      if (a != b && rng.chance(0.2))
+        g.add_edge(a, b, {rng.uniform_real(1, 100), rng.uniform_real(0, 10)});
+  const CsrView csr(g);
+  for (NodeIndex a = 0; a < 30; ++a)
+    for (NodeIndex b = 0; b < 30; ++b)
+      EXPECT_EQ(csr.find_edge(a, b), g.find_edge(a, b)) << a << "->" << b;
+  EXPECT_EQ(csr.find_edge(-1, 0), kInvalidEdge);
+  EXPECT_EQ(csr.find_edge(0, 99), kInvalidEdge);
+}
+
+TEST(CsrView, EmptyGraph) {
+  const CsrView csr{Digraph(0)};
+  EXPECT_EQ(csr.node_count(), 0u);
+  EXPECT_EQ(csr.arc_count(), 0u);
+  EXPECT_FALSE(csr.has_node(0));
 }
 
 }  // namespace

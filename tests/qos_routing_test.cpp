@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <thread>
 #include <vector>
 
@@ -201,6 +202,151 @@ TEST_P(ShortestWidestRandom, AgreesWithBruteForceOracle) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ShortestWidestRandom,
                          ::testing::Range<std::uint64_t>(0, 25));
+
+/// Zero-latency variant of the oracle sweep: latency draws include 0, so the
+/// latency tie-break has to pick among equal-cost prefixes deterministically.
+TEST(ShortestWidestRandom, AgreesWithBruteForceOracleOnZeroLatencyLinks) {
+  for (std::uint64_t seed = 100; seed < 110; ++seed) {
+    util::Rng rng(seed);
+    const std::size_t n = 5 + rng.uniform_index(3);
+    Digraph g(n);
+    for (std::size_t a = 0; a < n; ++a)
+      for (std::size_t b = 0; b < n; ++b)
+        if (a != b && rng.chance(0.45))
+          g.add_edge(static_cast<NodeIndex>(a), static_cast<NodeIndex>(b),
+                     {static_cast<double>(rng.uniform_int(1, 3)),
+                      static_cast<double>(rng.uniform_int(0, 4))});
+    for (std::size_t s = 0; s < n; ++s) {
+      const RoutingTree tree = shortest_widest_tree(g, static_cast<NodeIndex>(s));
+      for (std::size_t t = 0; t < n; ++t) {
+        if (s == t) continue;
+        const auto oracle = brute_force_shortest_widest(
+            g, static_cast<NodeIndex>(s), static_cast<NodeIndex>(t));
+        const PathQuality got = tree.quality_to(static_cast<NodeIndex>(t));
+        if (!oracle) {
+          EXPECT_TRUE(got.is_unreachable()) << s << "->" << t;
+          continue;
+        }
+        EXPECT_EQ(got, oracle->first) << "seed " << seed << " " << s << "->" << t;
+      }
+    }
+  }
+}
+
+// --- Sweep kernel vs legacy reference kernel ---------------------------------
+//
+// The production width-class sweep (CSR prefix scans, reused workspace,
+// per-class early exit) must be *bit-identical* to the pre-sweep two-stage
+// implementation: same PathQuality per pair AND the same chosen path (the
+// shortest-widest tie-break contract).
+
+/// Random digraph generator with the adversarial shapes the sweep optimizes
+/// around: duplicated bandwidths (shared width classes), zero-latency links
+/// (latency-tie storms), and isolated nodes (empty width classes).
+Digraph equivalence_graph(std::size_t n, std::uint64_t seed, bool shared_classes,
+                          bool zero_latency, std::size_t isolated,
+                          double edge_prob) {
+  util::Rng rng(seed);
+  Digraph g(n);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a == b || a >= n - isolated || b >= n - isolated) continue;
+      if (!rng.chance(edge_prob)) continue;
+      const double bandwidth =
+          shared_classes ? static_cast<double>(rng.uniform_int(1, 5))
+                         : rng.uniform_real(1.0, 100.0);
+      const double latency = zero_latency && rng.chance(0.3)
+                                 ? 0.0
+                                 : rng.uniform_real(0.1, 10.0);
+      g.add_edge(static_cast<NodeIndex>(a), static_cast<NodeIndex>(b),
+                 {bandwidth, latency});
+    }
+  }
+  return g;
+}
+
+void expect_trees_identical(const Digraph& g) {
+  const std::size_t n = g.node_count();
+  const CsrView csr(g);
+  RoutingWorkspace workspace;
+  for (std::size_t s = 0; s < n; ++s) {
+    const auto source = static_cast<NodeIndex>(s);
+    const RoutingTree legacy = shortest_widest_tree_legacy(g, source);
+    const RoutingTree sweep = shortest_widest_tree(csr, source, &workspace);
+    for (std::size_t t = 0; t < n; ++t) {
+      const auto dest = static_cast<NodeIndex>(t);
+      ASSERT_EQ(sweep.quality_to(dest), legacy.quality_to(dest))
+          << "quality " << s << "->" << t;
+      ASSERT_EQ(sweep.path_to(dest), legacy.path_to(dest))
+          << "path " << s << "->" << t;
+    }
+  }
+}
+
+TEST(SweepLegacyEquivalence, ContinuousBandwidths100Nodes) {
+  // Every destination tends to be its own width class — the sweep's worst
+  // case and the paper's §5 regime.
+  expect_trees_identical(
+      equivalence_graph(100, 1001, false, false, 0, 0.06));
+}
+
+TEST(SweepLegacyEquivalence, SharedWidthClasses100Nodes) {
+  // Five distinct bandwidths: classes hold many destinations each, so the
+  // per-class early exit has to wait for the *last* member.
+  expect_trees_identical(equivalence_graph(100, 2002, true, false, 0, 0.06));
+}
+
+TEST(SweepLegacyEquivalence, ZeroLatencyLinks) {
+  expect_trees_identical(equivalence_graph(80, 3003, true, true, 0, 0.07));
+}
+
+TEST(SweepLegacyEquivalence, DisconnectedNodes) {
+  // Sparse graph plus 6 fully isolated nodes: unreachable destinations must
+  // stay PathQuality::unreachable() with empty paths in both kernels.
+  expect_trees_identical(equivalence_graph(60, 4004, false, false, 6, 0.03));
+}
+
+TEST(SweepLegacyEquivalence, SmallGraphsManySeeds) {
+  for (std::uint64_t seed = 0; seed < 40; ++seed)
+    expect_trees_identical(
+        equivalence_graph(12, 5000 + seed, seed % 2 == 0, seed % 3 == 0,
+                          seed % 5 == 0 ? 2 : 0, 0.3));
+}
+
+// --- Arena-backed RoutingTree ------------------------------------------------
+
+TEST(RoutingTree, PathViewMatchesPathTo) {
+  const Digraph g = random_routing_graph(24, 31);
+  const RoutingTree tree = shortest_widest_tree(g, 0);
+  for (NodeIndex v = 0; v < 24; ++v) {
+    const auto copy = tree.path_to(v);
+    const RoutingTree::PathView view = tree.path_view(v);
+    if (!copy) {
+      EXPECT_TRUE(view.empty()) << v;
+      continue;
+    }
+    ASSERT_EQ(view.size(), copy->size()) << v;
+    EXPECT_TRUE(std::equal(view.begin(), view.end(), copy->begin())) << v;
+  }
+}
+
+TEST(RoutingTree, PathViewOfSourceAndUnreachable) {
+  Digraph g(3);
+  g.add_edge(0, 1, {5, 1});
+  const RoutingTree tree = shortest_widest_tree(g, 0);
+  const RoutingTree::PathView source_view = tree.path_view(0);
+  ASSERT_EQ(source_view.size(), 1u);
+  EXPECT_EQ(source_view[0], 0);
+  EXPECT_TRUE(tree.path_view(2).empty());
+  EXPECT_THROW(tree.path_view(9), std::out_of_range);
+}
+
+TEST(RoutingTree, ReportsMemoryFootprint) {
+  const Digraph g = random_routing_graph(16, 7);
+  const RoutingTree tree = shortest_widest_tree(g, 0);
+  // At minimum the quality labels are resident.
+  EXPECT_GE(tree.memory_bytes(), 16 * sizeof(PathQuality));
+}
 
 }  // namespace
 }  // namespace sflow::graph

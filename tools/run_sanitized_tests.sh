@@ -4,6 +4,9 @@
 # evaluation engine's concurrency claims honest: the routing database, the
 # thread pool, and the lock-free metrics registry are exercised from many
 # threads by qos_routing_test, util_test, obs_test, and parallel_runner_test.
+# The routing-kernel rewrite rides along: the SweepLegacyEquivalence suite
+# and the routing_kernel_smoke ctest entry run the CSR sweep kernel (epoch-
+# stamped workspace reuse, arena materialization) under the same sanitizers.
 #
 #   $ tools/run_sanitized_tests.sh            # thread sanitizer (default)
 #   $ tools/run_sanitized_tests.sh address    # address sanitizer
