@@ -67,6 +67,45 @@ void sweep(const SweepConfig& config, Body body) {
   }
 }
 
+/// Seed-derived workload draw for the differential fuzzer
+/// (tools/fuzz_federation): the same parameter space the Fig. 10 sweeps walk
+/// deterministically, but sampled per seed — every fuzz case lands on a
+/// different corner of (size, catalog, shape, fan-out, compatibility model).
+/// Kept here so the fuzzer and the benches can never drift apart on what a
+/// "representative workload" means.
+inline core::WorkloadParams fuzz_workload(util::Rng& rng) {
+  core::WorkloadParams params;
+  params.network_size = static_cast<std::size_t>(rng.uniform_int(8, 20));
+  params.service_type_count = static_cast<std::size_t>(rng.uniform_int(4, 7));
+  params.type_compatibility = rng.uniform_real(0.15, 0.6);
+  params.typed_compatibility = rng.chance(0.25);
+
+  static const overlay::RequirementShape kShapes[] = {
+      overlay::RequirementShape::kSinglePath,
+      overlay::RequirementShape::kDisjointPaths,
+      overlay::RequirementShape::kSplitMerge,
+      overlay::RequirementShape::kMulticastTree,
+      overlay::RequirementShape::kGenericDag,
+  };
+  params.requirement.shape = kShapes[rng.uniform_index(std::size(kShapes))];
+  params.requirement.service_count = static_cast<std::size_t>(
+      rng.uniform_int(3, static_cast<std::int64_t>(params.service_type_count)));
+  const bool branched =
+      params.requirement.shape == overlay::RequirementShape::kDisjointPaths ||
+      params.requirement.shape == overlay::RequirementShape::kSplitMerge;
+  if (branched && params.requirement.service_count < 4)
+    params.requirement.service_count = 4;
+  params.requirement.branch_count =
+      static_cast<std::size_t>(rng.uniform_int(2, 3));
+  // Branched shapes need a source, a sink, and one middle service per branch.
+  if (branched)
+    params.requirement.branch_count =
+        std::min(params.requirement.branch_count,
+                 params.requirement.service_count - 2);
+  params.requirement.skip_edge_probability = rng.uniform_real(0.0, 0.4);
+  return params;
+}
+
 /// Command-line options shared by the engine-based benches.
 struct RunnerOptions {
   std::size_t threads = 1;

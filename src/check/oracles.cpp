@@ -1,0 +1,211 @@
+#include "check/oracles.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "core/baseline.hpp"
+#include "graph/csr.hpp"
+
+namespace sflow::check {
+
+using core::Algorithm;
+using core::FederationOutcome;
+using overlay::OverlayIndex;
+using overlay::ServiceRequirement;
+using overlay::Sid;
+
+namespace {
+
+graph::PathQuality quality_of(const FederationOutcome& outcome) {
+  return {outcome.bandwidth, outcome.latency};
+}
+
+std::string fmt_quality(const graph::PathQuality& q) {
+  std::ostringstream os;
+  os << "(bw=" << q.bandwidth << ", lat=" << q.latency << ")";
+  return os.str();
+}
+
+}  // namespace
+
+std::optional<graph::PathQuality> brute_force_best_quality(
+    const overlay::OverlayGraph& overlay, const ServiceRequirement& requirement,
+    const graph::AllPairsShortestWidest& routing, std::size_t max_assignments) {
+  const std::vector<Sid>& services = requirement.services();
+  std::vector<std::vector<OverlayIndex>> candidates;
+  std::size_t assignments = 1;
+  for (const Sid sid : services) {
+    candidates.push_back(core::candidate_instances(overlay, requirement, sid));
+    if (candidates.back().empty()) return graph::PathQuality::unreachable();
+    if (assignments > max_assignments / candidates.back().size()) return std::nullopt;
+    assignments *= candidates.back().size();
+  }
+
+  graph::PathQuality best = graph::PathQuality::unreachable();
+  std::vector<std::size_t> pick(services.size(), 0);
+  std::vector<OverlayIndex> chosen(services.size());
+  for (;;) {
+    for (std::size_t i = 0; i < services.size(); ++i)
+      chosen[i] = candidates[i][pick[i]];
+
+    bool feasible = true;
+    double bottleneck = std::numeric_limits<double>::infinity();
+    std::vector<std::pair<std::pair<Sid, Sid>, double>> latencies;
+    for (const graph::Edge& e : requirement.dag().edges()) {
+      const graph::PathQuality q =
+          routing.quality(chosen[static_cast<std::size_t>(e.from)],
+                          chosen[static_cast<std::size_t>(e.to)]);
+      if (q.is_unreachable()) {
+        feasible = false;
+        break;
+      }
+      bottleneck = std::min(bottleneck, q.bandwidth);
+      latencies.push_back(
+          {{requirement.sid_of(e.from), requirement.sid_of(e.to)}, q.latency});
+    }
+    if (feasible) {
+      const graph::PathQuality quality{
+          bottleneck, critical_path_latency(requirement, latencies)};
+      if (best.is_unreachable() || quality.better_than(best)) best = quality;
+    }
+
+    std::size_t i = 0;  // odometer increment over the assignment space
+    while (i < pick.size() && ++pick[i] == candidates[i].size()) pick[i++] = 0;
+    if (i == pick.size()) break;
+  }
+  return best;
+}
+
+std::vector<Violation> check_outcome_hierarchy(
+    const core::Scenario& scenario,
+    const std::map<Algorithm, FederationOutcome>& outcomes,
+    bool generated_scenario, std::size_t brute_force_limit) {
+  std::vector<Violation> out;
+  const auto find = [&](Algorithm a) -> const FederationOutcome* {
+    const auto it = outcomes.find(a);
+    return it == outcomes.end() ? nullptr : &it->second;
+  };
+
+  const FederationOutcome* optimal = find(Algorithm::kGlobalOptimal);
+  const FederationOutcome* fixed = find(Algorithm::kFixed);
+  const FederationOutcome* sflow = find(Algorithm::kSflow);
+
+  if (generated_scenario && fixed != nullptr && !fixed->success) {
+    out.push_back({"fixed-infeasible",
+                   "fixed greedy failed on a make_scenario workload whose "
+                   "feasibility probe is the fixed greedy itself"});
+  }
+  const bool any_success =
+      std::any_of(outcomes.begin(), outcomes.end(),
+                  [](const auto& kv) { return kv.second.success; });
+  if (optimal != nullptr && !optimal->success && any_success) {
+    out.push_back({"optimal-infeasible",
+                   "an algorithm found a flow graph but the complete "
+                   "branch-and-bound solver reported infeasible"});
+  }
+
+  if (optimal != nullptr && optimal->success) {
+    const graph::PathQuality opt = quality_of(*optimal);
+    for (const auto& [algorithm, outcome] : outcomes) {
+      if (!outcome.success || algorithm == Algorithm::kGlobalOptimal) continue;
+      const graph::PathQuality q = quality_of(outcome);
+      const bool serialized =
+          algorithm == Algorithm::kServicePath ||
+          algorithm == Algorithm::kServicePathStrict;
+      // The service-path algorithm realizes a *chain* restructuring of the
+      // requirement, so only its bandwidth is comparable to the DAG optimum;
+      // same-requirement algorithms are bounded on the full lexicographic
+      // order.
+      const bool beats = serialized ? q.bandwidth > opt.bandwidth
+                                    : q.better_than(opt);
+      if (beats) {
+        out.push_back({"beats-optimal",
+                       core::algorithm_name(algorithm) + " " + fmt_quality(q) +
+                           " strictly better than global optimal " +
+                           fmt_quality(opt)});
+      }
+    }
+  }
+
+  if (sflow != nullptr && fixed != nullptr && sflow->success && fixed->success) {
+    // Bandwidth only, deliberately: the paper's sFlow ⪰ greedy ordering
+    // (Fig. 10) is about the bottleneck, and per-instance *latency* dominance
+    // is not an invariant of a radius-limited heuristic — fuzzing shows
+    // equal-bandwidth ties where sFlow's local-view paths run a longer
+    // critical path than the omniscient greedy's (invariants_test documents
+    // the same caveat).  A bandwidth regression, by contrast, has never been
+    // observed and would indicate a real selection bug.
+    if (quality_of(*fixed).bandwidth > quality_of(*sflow).bandwidth) {
+      out.push_back({"sflow-worse-than-greedy",
+                     "fixed greedy " + fmt_quality(quality_of(*fixed)) +
+                         " strictly wider than sFlow " +
+                         fmt_quality(quality_of(*sflow))});
+    }
+  }
+
+  const auto brute = brute_force_best_quality(
+      scenario.overlay, scenario.requirement, *scenario.overlay_routing,
+      brute_force_limit);
+  if (brute) {
+    if (optimal != nullptr) {
+      const graph::PathQuality got = optimal->success
+                                         ? quality_of(*optimal)
+                                         : graph::PathQuality::unreachable();
+      if (!(got == *brute)) {
+        out.push_back({"optimal-vs-brute-force",
+                       "global optimal " + fmt_quality(got) +
+                           " != exhaustive enumeration " + fmt_quality(*brute)});
+      }
+    }
+    if (scenario.requirement.is_single_path()) {
+      // On a chain the Table 1 baseline (the strict service-path algorithm)
+      // is exact, so it must reproduce the brute-force optimum bit for bit.
+      const FederationOutcome* path = find(Algorithm::kServicePathStrict);
+      if (path == nullptr) path = find(Algorithm::kServicePath);
+      if (path != nullptr) {
+        const graph::PathQuality got = path->success
+                                           ? quality_of(*path)
+                                           : graph::PathQuality::unreachable();
+        if (!(got == *brute)) {
+          out.push_back({"baseline-vs-brute-force",
+                         "service path " + fmt_quality(got) +
+                             " != exhaustive enumeration on a chain " +
+                             fmt_quality(*brute)});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> check_routing_equivalence(
+    const graph::Digraph& g, std::span<const graph::NodeIndex> sources) {
+  std::vector<Violation> out;
+  const graph::CsrView csr(g);
+  graph::RoutingWorkspace workspace;
+  for (const graph::NodeIndex source : sources) {
+    const graph::RoutingTree sweep =
+        graph::shortest_widest_tree(csr, source, &workspace);
+    const graph::RoutingTree legacy =
+        graph::shortest_widest_tree_legacy(g, source);
+    for (std::size_t v = 0; v < g.node_count(); ++v) {
+      const auto dest = static_cast<graph::NodeIndex>(v);
+      const bool quality_differs =
+          !(sweep.quality_to(dest) == legacy.quality_to(dest));
+      const graph::RoutingTree::PathView a = sweep.path_view(dest);
+      const graph::RoutingTree::PathView b = legacy.path_view(dest);
+      const bool path_differs = !std::equal(a.begin(), a.end(), b.begin(), b.end());
+      if (quality_differs || path_differs) {
+        std::ostringstream os;
+        os << "sweep and legacy kernels disagree for " << source << " -> "
+           << dest << (quality_differs ? " (quality)" : " (path)");
+        out.push_back({"routing-sweep-divergence", os.str()});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace sflow::check

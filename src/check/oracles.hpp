@@ -1,0 +1,70 @@
+// Cross-algorithm oracles for differential testing (docs/testing.md).
+//
+// Where validate.hpp checks one outcome in isolation, this layer checks the
+// *relations* the paper's claim chain rests on:
+//
+//   brute force  ==  global optimal            (small instances, exact)
+//   global optimal  ⪰  every other algorithm   (shortest-widest lexicographic)
+//   sFlow  ⪰  greedy (fixed)                   (the Fig. 10 ordering; bandwidth)
+//   service path  ==  brute force              (single-path requirements)
+//   sweep kernel  ==  legacy kernel            (routing sub-oracle)
+//
+// plus feasibility coherence: make_scenario guarantees the fixed greedy
+// completes, so on generated scenarios `fixed` — and therefore the complete
+// solvers — must succeed.  All comparisons are exact (no epsilon): qualities
+// flow from the same routing database, so disagreement means a bug, not
+// noise.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <span>
+
+#include "check/validate.hpp"
+#include "core/federator.hpp"
+#include "core/scenario.hpp"
+#include "graph/qos_routing.hpp"
+
+namespace sflow::check {
+
+/// Exhaustive first-principles oracle: enumerates every instance assignment
+/// of `requirement` (respecting pins) and returns the best quality under the
+/// shortest-widest lexicographic order, with each requirement edge taking the
+/// routing database's quality and the latency aggregated by the independent
+/// critical-path DP of validate.hpp.  Returns nullopt when the assignment
+/// space exceeds `max_assignments` (the caller skips the oracle), and
+/// PathQuality::unreachable() when no feasible assignment exists.
+std::optional<graph::PathQuality> brute_force_best_quality(
+    const overlay::OverlayGraph& overlay,
+    const overlay::ServiceRequirement& requirement,
+    const graph::AllPairsShortestWidest& routing,
+    std::size_t max_assignments = 50000);
+
+/// Checks the oracle hierarchy over one scenario's outcomes (keyed by
+/// algorithm; absent algorithms are simply not checked).  Violation codes:
+///
+///   fixed-infeasible           fixed failed on a make_scenario workload
+///   optimal-infeasible         another algorithm succeeded but optimal failed
+///   beats-optimal              outcome strictly better than global optimal
+///   sflow-worse-than-greedy    fixed strictly wider than sFlow (bandwidth
+///                              only; per-instance latency dominance is not
+///                              an invariant of the local-knowledge heuristic)
+///   optimal-vs-brute-force     optimal quality != exhaustive enumeration
+///   baseline-vs-brute-force    service path != exhaustive on a chain
+///
+/// `generated_scenario` should be true only for workloads produced by
+/// make_scenario (whose feasibility probe is the fixed greedy); replayed or
+/// minimized scenarios carry no such guarantee.
+std::vector<Violation> check_outcome_hierarchy(
+    const core::Scenario& scenario,
+    const std::map<core::Algorithm, core::FederationOutcome>& outcomes,
+    bool generated_scenario = true, std::size_t brute_force_limit = 50000);
+
+/// Routing sub-oracle: the production descending width-class sweep must agree
+/// with the legacy per-class reference kernel on qualities AND materialized
+/// paths for every destination of each given source.  Violation code:
+/// routing-sweep-divergence.
+std::vector<Violation> check_routing_equivalence(
+    const graph::Digraph& g, std::span<const graph::NodeIndex> sources);
+
+}  // namespace sflow::check

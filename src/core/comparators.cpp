@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <limits>
 #include <map>
-#include <stdexcept>
 
 #include "core/baseline.hpp"
 #include "graph/dag.hpp"
@@ -57,7 +56,11 @@ std::optional<FederationResult> greedy_federation(
     const Sid from = requirement.sid_of(e.from);
     const Sid to = requirement.sid_of(e.to);
     const auto path = routing.path(chosen.at(from), chosen.at(to));
-    if (!path) throw std::logic_error("greedy_federation: viable edge vanished");
+    // A chosen edge without a realizable path means some candidate slipped
+    // past the viability pre-check (e.g. a pinned but disconnected instance).
+    // Fail the federation the same way the pre-check does — a partial flow
+    // graph must never escape as an exception mid-assembly.
+    if (!path) return std::nullopt;
     result.graph.set_edge(from, to, *path,
                           routing.quality(chosen.at(from), chosen.at(to)));
   }

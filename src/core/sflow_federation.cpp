@@ -427,6 +427,13 @@ SFlowFederationResult run_sflow_federation(
       }
       result.global_fallbacks += decision.global_fallbacks;
       counters.global_fallbacks.add(decision.global_fallbacks);
+      if (decision.infeasible) {
+        // This node found a required service unreachable: its branch dies
+        // here, the collector never assembles a complete graph, and the
+        // federation reports failure (flow_graph == nullopt) instead of an
+        // exception unwinding through the simulator.
+        return;
+      }
       for (const auto& [sid, pin_nid] : decision.new_pins) {
         state.pins.emplace(sid, pin_nid);
         if (trace != nullptr)

@@ -132,8 +132,14 @@ LocalDecision sflow_local_compute(const OverlayGraph& overlay,
       choice = best_global_instance(overlay, global_routing, self, sid);
       ++decision.global_fallbacks;
     }
-    if (choice == graph::kInvalidNode)
-      throw std::logic_error("sflow_local_compute: required service unreachable");
+    if (choice == graph::kInvalidNode) {
+      // No reachable instance even with full link-state knowledge: the
+      // federation is infeasible from this node.  Flag it instead of
+      // throwing — an exception escaping mid-protocol would tear down the
+      // whole simulation rather than failing this federation.
+      decision.infeasible = true;
+      return graph::kInvalidNode;
+    }
     decision.new_pins[sid] = overlay.instance(choice).nid;
     rooted.pin(sid, overlay.instance(choice).nid);
     return choice;
@@ -141,7 +147,10 @@ LocalDecision sflow_local_compute(const OverlayGraph& overlay,
 
   // (a) Immediate downstream services.
   std::map<Sid, OverlayIndex> chosen;
-  for (const Sid d : downstream) chosen[d] = decide(d);
+  for (const Sid d : downstream) {
+    chosen[d] = decide(d);
+    if (decision.infeasible) return decision;
+  }
 
   // (b) Forced merge pins: any unpinned service reachable from >= 2 of this
   // node's branches must be fixed here, or the branches would diverge.
@@ -155,6 +164,7 @@ LocalDecision sflow_local_compute(const OverlayGraph& overlay,
     for (const auto& [sid, hits] : branch_hits) {
       if (hits < 2 || rooted.pinned(sid)) continue;
       decide(sid);
+      if (decision.infeasible) return decision;
     }
   }
 
@@ -180,8 +190,14 @@ LocalDecision sflow_local_compute(const OverlayGraph& overlay,
     }
     if (path.empty()) {
       const auto global_path = global_routing.path(self, target);
-      if (!global_path)
-        throw std::logic_error("sflow_local_compute: chosen downstream unreachable");
+      if (!global_path) {
+        // The chosen instance was reachable when decided but no concrete
+        // path materializes (possible when the choice came from a pin on a
+        // node this instance cannot reach).  Same contract as decide():
+        // fail the branch, never throw mid-protocol.
+        decision.infeasible = true;
+        return decision;
+      }
       path = *global_path;
       quality = global_routing.quality(self, target);
       ++decision.global_fallbacks;

@@ -56,6 +56,11 @@ struct LocalDecision {
   std::vector<std::pair<overlay::Sid, overlay::OverlayIndex>> forward;
   /// How often the global link-state fallback was needed.
   std::size_t global_fallbacks = 0;
+  /// Set when the node could not complete its decision (a required service
+  /// with no reachable instance, or a chosen edge with no realizable path).
+  /// The federation must treat the branch as failed — the decision's pins,
+  /// edges, and forwards are partial and must not be applied.
+  bool infeasible = false;
   RequirementSolver::Trace solver_trace;
 };
 

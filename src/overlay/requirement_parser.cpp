@@ -1,9 +1,13 @@
 #include "overlay/requirement_parser.hpp"
 
 #include <cctype>
+#include <set>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 #include <vector>
+
+#include "graph/dag.hpp"
 
 namespace sflow::overlay {
 
@@ -21,6 +25,11 @@ std::string trim(const std::string& s) {
   std::ostringstream os;
   os << "parse_requirement: line " << line_no << ": " << message;
   throw std::invalid_argument(os.str());
+}
+
+/// Document-level failure (no single line to blame).
+[[noreturn]] void fail(const std::string& message) {
+  throw std::invalid_argument("parse_requirement: " + message);
 }
 
 std::vector<std::string> split(const std::string& s, char sep) {
@@ -54,6 +63,7 @@ ServiceRequirement parse_requirement(const std::string& text,
   std::istringstream stream(text);
   std::string raw;
   std::size_t line_no = 0;
+  std::set<std::pair<Sid, Sid>> seen_edges;
 
   while (std::getline(stream, raw)) {
     ++line_no;
@@ -61,6 +71,17 @@ ServiceRequirement parse_requirement(const std::string& text,
     if (const auto hash = line.find('#'); hash != std::string::npos)
       line = trim(line.substr(0, hash));
     if (line.empty()) continue;
+
+    if (line.rfind("service ", 0) == 0) {
+      // Explicit declaration: registers the service (fixing its DAG index to
+      // the declaration order) without requiring an edge to mention it first.
+      // format_requirement emits these so insertion order — which downstream
+      // tie-breaking depends on — survives a round trip.
+      const std::string name = trim(line.substr(8));
+      if (!valid_name(name)) fail(line_no, "bad service name '" + name + "'");
+      requirement.add_service(catalog.intern(name));
+      continue;
+    }
 
     if (line.rfind("pin ", 0) == 0) {
       const auto at = line.find('@');
@@ -96,8 +117,33 @@ ServiceRequirement parse_requirement(const std::string& text,
       if (!valid_name(to_name)) fail(line_no, "bad target name '" + to_name + "'");
       const Sid to = catalog.intern(to_name);
       if (from == to) fail(line_no, "self edge on '" + from_name + "'");
+      if (!seen_edges.emplace(from, to).second)
+        fail(line_no,
+             "duplicate edge '" + from_name + " -> " + to_name + "'");
       requirement.add_edge(from, to);
     }
+  }
+
+  // Document-level structure, diagnosed with the culprit services named —
+  // ServiceRequirement::validate would reject these too, but only later and
+  // without parser context.
+  if (requirement.service_count() == 0) fail("empty requirement (no edges)");
+  if (!graph::is_dag(requirement.dag())) fail("requirement contains a cycle");
+  const auto sources = graph::source_nodes(requirement.dag());
+  if (sources.size() != 1) {
+    std::ostringstream os;
+    os << "requirement must have exactly one source service, found "
+       << sources.size() << ":";
+    for (const graph::NodeIndex v : sources)
+      os << " '" << catalog.name(requirement.sid_of(v)) << "'";
+    fail(os.str());
+  }
+  const auto reach = graph::reachable_from(requirement.dag(), sources.front());
+  for (std::size_t v = 0; v < reach.size(); ++v) {
+    if (!reach[v])
+      fail("service '" +
+           catalog.name(requirement.sid_of(static_cast<graph::NodeIndex>(v))) +
+           "' is not reachable from the source");
   }
 
   requirement.validate();

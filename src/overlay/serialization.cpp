@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "overlay/requirement_parser.hpp"
+
 namespace sflow::overlay {
 
 namespace {
@@ -64,6 +66,12 @@ std::string format_requirement(const ServiceRequirement& requirement,
                                const ServiceCatalog& catalog) {
   std::ostringstream os;
   os << "# service requirement (" << requirement.service_count() << " services)\n";
+  // Explicit declarations pin the insertion order (== DAG node index), which
+  // edge lines alone cannot reproduce: services first mentioned by a later
+  // edge would re-register in a different order, silently renumbering the DAG
+  // and perturbing every order-dependent tie-break downstream.
+  for (const Sid sid : requirement.services())
+    os << "service " << catalog.name(sid) << "\n";
   for (const graph::Edge& e : requirement.dag().edges())
     os << catalog.name(requirement.sid_of(e.from)) << " -> "
        << catalog.name(requirement.sid_of(e.to)) << "\n";
@@ -152,6 +160,62 @@ OverlayBundle parse_bundle(const std::string& text, ServiceCatalog& catalog) {
     }
   }
   return bundle;
+}
+
+std::string format_scenario(const ScenarioFile& scenario,
+                            const ServiceCatalog& catalog) {
+  std::ostringstream os;
+  os << "[bundle]\n"
+     << format_bundle(scenario.bundle, catalog) << "[requirement]\n"
+     << format_requirement(scenario.requirement, catalog);
+  return os.str();
+}
+
+ScenarioFile parse_scenario(const std::string& text, ServiceCatalog& catalog) {
+  constexpr const char* kWhat = "parse_scenario";
+  std::string bundle_text;
+  std::string requirement_text;
+  std::string* current = nullptr;
+  bool saw_bundle = false;
+  bool saw_requirement = false;
+
+  std::istringstream stream(text);
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(stream, raw)) {
+    ++line_no;
+    std::string line = raw;
+    if (const auto hash = line.find('#'); hash != std::string::npos)
+      line = line.substr(0, hash);
+    const auto begin = line.find_first_not_of(" \t\r");
+    const auto end = line.find_last_not_of(" \t\r");
+    const std::string trimmed =
+        begin == std::string::npos ? "" : line.substr(begin, end - begin + 1);
+    if (trimmed == "[bundle]") {
+      if (saw_bundle) fail(kWhat, line_no, "duplicate [bundle] section");
+      saw_bundle = true;
+      current = &bundle_text;
+      continue;
+    }
+    if (trimmed == "[requirement]") {
+      if (saw_requirement) fail(kWhat, line_no, "duplicate [requirement] section");
+      saw_requirement = true;
+      current = &requirement_text;
+      continue;
+    }
+    if (trimmed.empty()) continue;
+    if (current == nullptr)
+      fail(kWhat, line_no, "content before the first section header");
+    *current += raw;
+    *current += '\n';
+  }
+  if (!saw_bundle) fail(kWhat, line_no, "missing [bundle] section");
+  if (!saw_requirement) fail(kWhat, line_no, "missing [requirement] section");
+
+  ScenarioFile scenario;
+  scenario.bundle = parse_bundle(bundle_text, catalog);
+  scenario.requirement = parse_requirement(requirement_text, catalog);
+  return scenario;
 }
 
 std::string format_flow_graph(const ServiceFlowGraph& flow,

@@ -49,6 +49,26 @@ std::string format_bundle(const OverlayBundle& bundle, const ServiceCatalog& cat
 /// Parses a bundle; service names are interned into `catalog`.
 OverlayBundle parse_bundle(const std::string& text, ServiceCatalog& catalog);
 
+/// A complete replayable federation scenario: an overlay bundle plus the
+/// requirement it must satisfy.  This is the file the differential fuzzer
+/// (tools/fuzz_federation) writes when an oracle fails and re-reads with
+/// --replay; two sections, each in its established line format:
+///
+///   [bundle]
+///   ...bundle lines...
+///   [requirement]
+///   ...requirement-parser lines...
+struct ScenarioFile {
+  OverlayBundle bundle;
+  ServiceRequirement requirement;
+};
+
+std::string format_scenario(const ScenarioFile& scenario,
+                            const ServiceCatalog& catalog);
+
+/// Parses a scenario; both sections must be present.
+ScenarioFile parse_scenario(const std::string& text, ServiceCatalog& catalog);
+
 std::string format_flow_graph(const ServiceFlowGraph& flow,
                               const OverlayGraph& overlay,
                               const ServiceCatalog& catalog);

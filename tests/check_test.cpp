@@ -1,0 +1,351 @@
+// Tests for the independent correctness layer (src/check/): the structural
+// validator, the outcome-level quality recheck, and the cross-algorithm
+// oracles.  The tampering tests work like mutation testing — each one breaks
+// exactly one invariant of a known-good flow graph and asserts the validator
+// names it by its stable code (the codes the fuzzer's minimizer keys on).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "check/oracles.hpp"
+#include "check/validate.hpp"
+#include "core/federator.hpp"
+#include "core/sflow_federation.hpp"
+#include "net/underlay_routing.hpp"
+#include "overlay/serialization.hpp"
+#include "test_helpers.hpp"
+
+namespace sflow::check {
+namespace {
+
+using core::Algorithm;
+using core::FederationOutcome;
+using overlay::ServiceFlowGraph;
+using overlay::ServiceRequirement;
+
+class CheckTest : public ::testing::Test {
+ protected:
+  CheckTest() : routing_(fx_.overlay.graph()) {}
+
+  /// The known-optimal diamond flow graph: wide instances (2, 4), every edge
+  /// a direct link whose stored quality equals the link metrics.
+  ServiceFlowGraph good_flow() const {
+    ServiceFlowGraph flow;
+    flow.set_edge(0, 1, {0, 2}, {50.0, 2.0});
+    flow.set_edge(0, 2, {0, 4}, {45.0, 3.0});
+    flow.set_edge(1, 3, {2, 5}, {40.0, 2.0});
+    flow.set_edge(2, 3, {4, 5}, {60.0, 3.0});
+    return flow;
+  }
+
+  testing::DiamondFixture fx_;
+  graph::AllPairsShortestWidest routing_;
+};
+
+TEST_F(CheckTest, ValidFlowGraphPasses) {
+  const ValidationReport report =
+      validate_flow_graph(fx_.overlay, fx_.requirement, good_flow());
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST_F(CheckTest, ReportsInvalidRequirement) {
+  ServiceRequirement cyclic;
+  cyclic.add_edge(0, 1);
+  cyclic.add_edge(1, 0);
+  const ValidationReport report =
+      validate_flow_graph(fx_.overlay, cyclic, good_flow());
+  EXPECT_TRUE(report.has("invalid-requirement")) << report.to_string();
+}
+
+TEST_F(CheckTest, ReportsUnassignedServiceAndUnrealizedEdge) {
+  ServiceFlowGraph partial;
+  partial.set_edge(0, 1, {0, 2}, {50.0, 2.0});  // services 2 and 3 untouched
+  const ValidationReport report =
+      validate_flow_graph(fx_.overlay, fx_.requirement, partial);
+  EXPECT_TRUE(report.has("unassigned-service")) << report.to_string();
+  EXPECT_TRUE(report.has("unrealized-edge")) << report.to_string();
+}
+
+TEST_F(CheckTest, ReportsSidMismatch) {
+  // A consistently wrong graph: service 1 rides instance 3, which hosts
+  // service 2.  Paths and qualities are all real, so the *only* assignment
+  // defect is the SID.
+  ServiceFlowGraph flow;
+  flow.set_edge(0, 1, {0, 3}, {12.0, 1.0});
+  flow.set_edge(0, 2, {0, 4}, {45.0, 3.0});
+  flow.set_edge(1, 3, {3, 5}, {12.0, 1.0});
+  flow.set_edge(2, 3, {4, 5}, {60.0, 3.0});
+  const ValidationReport report =
+      validate_flow_graph(fx_.overlay, fx_.requirement, flow);
+  EXPECT_TRUE(report.has("sid-mismatch")) << report.to_string();
+  EXPECT_FALSE(report.has("missing-link")) << report.to_string();
+  EXPECT_FALSE(report.has("edge-quality-mismatch")) << report.to_string();
+}
+
+TEST_F(CheckTest, ReportsBadInstance) {
+  ServiceFlowGraph tampered;
+  tampered.assign(1, 42);  // out of range for a six-instance overlay
+  const ValidationReport report =
+      validate_flow_graph(fx_.overlay, fx_.requirement, tampered);
+  EXPECT_TRUE(report.has("bad-instance")) << report.to_string();
+}
+
+TEST_F(CheckTest, ReportsPinViolation) {
+  ServiceRequirement pinned = fx_.requirement;
+  pinned.pin(1, 1);  // require the narrow S1 instance at node 1...
+  const ValidationReport report =
+      validate_flow_graph(fx_.overlay, pinned, good_flow());  // ...but use 2
+  EXPECT_TRUE(report.has("pin-violated")) << report.to_string();
+}
+
+TEST_F(CheckTest, ReportsExtraAssignmentAndExtraEdge) {
+  // Validate the full diamond flow against a requirement missing service 2:
+  // its assignment and its two edges are now surplus.
+  ServiceRequirement reduced;
+  reduced.add_edge(0, 1);
+  reduced.add_edge(1, 3);
+  reduced.validate();
+  const ValidationReport report =
+      validate_flow_graph(fx_.overlay, reduced, good_flow());
+  EXPECT_TRUE(report.has("extra-assignment")) << report.to_string();
+  EXPECT_TRUE(report.has("extra-edge")) << report.to_string();
+}
+
+TEST_F(CheckTest, ReportsMissingLink) {
+  ServiceFlowGraph flow;
+  // Endpoints agree with the assignments, but the first hop 0 -> 5 is not an
+  // overlay link (nothing connects the source straight to the sink).
+  flow.set_edge(0, 1, {0, 5, 2}, {50.0, 2.0});
+  flow.set_edge(0, 2, {0, 4}, {45.0, 3.0});
+  flow.set_edge(1, 3, {2, 5}, {40.0, 2.0});
+  flow.set_edge(2, 3, {4, 5}, {60.0, 3.0});
+  const ValidationReport report =
+      validate_flow_graph(fx_.overlay, fx_.requirement, flow);
+  EXPECT_TRUE(report.has("missing-link")) << report.to_string();
+}
+
+TEST_F(CheckTest, ReportsEdgeQualityMismatch) {
+  ServiceFlowGraph flow;
+  flow.set_edge(0, 1, {0, 2}, {50.0, 99.0});  // real latency is 2.0
+  flow.set_edge(0, 2, {0, 4}, {45.0, 3.0});
+  flow.set_edge(1, 3, {2, 5}, {40.0, 2.0});
+  flow.set_edge(2, 3, {4, 5}, {60.0, 3.0});
+  const ValidationReport report =
+      validate_flow_graph(fx_.overlay, fx_.requirement, flow);
+  EXPECT_TRUE(report.has("edge-quality-mismatch")) << report.to_string();
+}
+
+TEST_F(CheckTest, ReportsNanQuality) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  ServiceFlowGraph flow;
+  flow.set_edge(0, 1, {0, 2}, {nan, 2.0});
+  flow.set_edge(0, 2, {0, 4}, {45.0, 3.0});
+  flow.set_edge(1, 3, {2, 5}, {40.0, 2.0});
+  flow.set_edge(2, 3, {4, 5}, {60.0, 3.0});
+  const ValidationReport report =
+      validate_flow_graph(fx_.overlay, fx_.requirement, flow);
+  EXPECT_TRUE(report.has("nan-quality")) << report.to_string();
+}
+
+TEST_F(CheckTest, CriticalPathOverlapsParallelBranches) {
+  // Diamond with one slow branch: 0->2->3 costs 5+1, 0->1->3 costs 1+1; the
+  // critical path is the longer branch alone, not the sum of both.
+  const std::vector<std::pair<std::pair<overlay::Sid, overlay::Sid>, double>>
+      latencies = {{{0, 1}, 1.0}, {{0, 2}, 5.0}, {{1, 3}, 1.0}, {{2, 3}, 1.0}};
+  EXPECT_DOUBLE_EQ(critical_path_latency(fx_.requirement, latencies), 6.0);
+}
+
+TEST_F(CheckTest, CriticalPathPropagatesNan) {
+  const std::vector<std::pair<std::pair<overlay::Sid, overlay::Sid>, double>>
+      latencies = {{{0, 1}, 1.0}, {{1, 3}, 1.0}, {{2, 3}, 1.0}};  // (0,2) absent
+  EXPECT_TRUE(
+      std::isnan(critical_path_latency(fx_.requirement, latencies)));
+}
+
+TEST_F(CheckTest, BruteForceOracleFindsDiamondOptimum) {
+  const auto best =
+      brute_force_best_quality(fx_.overlay, fx_.requirement, routing_);
+  ASSERT_TRUE(best.has_value());
+  // Wide instances: bottleneck min(50, 45, 40, 60) = 40, critical path
+  // max(2+2, 3+3) = 6 — and it must agree with the test helper's oracle.
+  EXPECT_DOUBLE_EQ(best->bandwidth, 40.0);
+  EXPECT_DOUBLE_EQ(best->latency, 6.0);
+  const graph::PathQuality reference =
+      testing::brute_force_best_quality(fx_.overlay, fx_.requirement, routing_);
+  EXPECT_TRUE(*best == reference);
+}
+
+TEST_F(CheckTest, BruteForceOracleDeclinesOversizedSpaces) {
+  EXPECT_FALSE(
+      brute_force_best_quality(fx_.overlay, fx_.requirement, routing_, 2)
+          .has_value());
+}
+
+TEST_F(CheckTest, RoutingEquivalenceCleanOnDiamond) {
+  const graph::NodeIndex sources[] = {0, 2};
+  const std::vector<Violation> violations =
+      check_routing_equivalence(fx_.overlay.graph(), sources);
+  EXPECT_TRUE(violations.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Outcome-level checks on a generated scenario.
+
+class OutcomeCheckTest : public ::testing::Test {
+ protected:
+  OutcomeCheckTest() : scenario_(core::make_scenario(testing::small_workload(), 4242)) {}
+
+  FederationOutcome run(Algorithm algorithm) {
+    util::Rng rng(991);
+    return core::run_algorithm(algorithm, scenario_, rng);
+  }
+
+  core::Scenario scenario_;
+};
+
+TEST_F(OutcomeCheckTest, AllAlgorithmsValidateClean) {
+  for (const Algorithm algorithm : core::all_algorithms()) {
+    const FederationOutcome outcome = run(algorithm);
+    const ValidationReport report =
+        validate_flow_graph(scenario_.overlay, scenario_.requirement, outcome);
+    EXPECT_TRUE(report.ok())
+        << core::algorithm_name(algorithm) << ":\n" << report.to_string();
+  }
+}
+
+TEST_F(OutcomeCheckTest, FailedOutcomeValidatesTrivially) {
+  FederationOutcome failed;
+  failed.success = false;
+  EXPECT_TRUE(
+      validate_flow_graph(scenario_.overlay, scenario_.requirement, failed).ok());
+}
+
+TEST_F(OutcomeCheckTest, ReportsBandwidthAndLatencyMismatch) {
+  FederationOutcome outcome = run(Algorithm::kFixed);
+  ASSERT_TRUE(outcome.success);
+  outcome.bandwidth += 1.0;
+  outcome.latency += 1.0;
+  const ValidationReport report =
+      validate_flow_graph(scenario_.overlay, scenario_.requirement, outcome);
+  EXPECT_TRUE(report.has("bandwidth-mismatch")) << report.to_string();
+  EXPECT_TRUE(report.has("latency-mismatch")) << report.to_string();
+}
+
+TEST_F(OutcomeCheckTest, ReportsDroppedPin) {
+  FederationOutcome outcome = run(Algorithm::kFixed);
+  ASSERT_TRUE(outcome.success);
+  ASSERT_FALSE(scenario_.requirement.pins().empty());
+  // Rebuild the effective requirement without any pins.
+  ServiceRequirement stripped;
+  for (const overlay::Sid sid : outcome.effective_requirement.services())
+    stripped.add_service(sid);
+  for (const graph::Edge& e : outcome.effective_requirement.dag().edges())
+    stripped.add_edge(outcome.effective_requirement.sid_of(e.from),
+                      outcome.effective_requirement.sid_of(e.to));
+  outcome.effective_requirement = stripped;
+  const ValidationReport report =
+      validate_flow_graph(scenario_.overlay, scenario_.requirement, outcome);
+  EXPECT_TRUE(report.has("effective-pin-dropped")) << report.to_string();
+}
+
+TEST_F(OutcomeCheckTest, ReportsServiceSetDrift) {
+  FederationOutcome outcome = run(Algorithm::kFixed);
+  ASSERT_TRUE(outcome.success);
+  // Graft an extra service onto a sink of the effective requirement: still a
+  // valid DAG, but no longer the scenario's service set.
+  ServiceRequirement widened = outcome.effective_requirement;
+  widened.add_edge(widened.sinks().front(), 9999);
+  outcome.effective_requirement = widened;
+  const ValidationReport report =
+      validate_flow_graph(scenario_.overlay, scenario_.requirement, outcome);
+  EXPECT_TRUE(report.has("effective-service-set")) << report.to_string();
+}
+
+TEST_F(OutcomeCheckTest, HierarchyCleanOnGeneratedScenario) {
+  std::map<Algorithm, FederationOutcome> outcomes;
+  for (const Algorithm algorithm : core::all_algorithms())
+    outcomes.emplace(algorithm, run(algorithm));
+  const std::vector<Violation> violations =
+      check_outcome_hierarchy(scenario_, outcomes, /*generated_scenario=*/true);
+  std::ostringstream os;
+  for (const Violation& v : violations) os << v.code << ": " << v.detail << "\n";
+  EXPECT_TRUE(violations.empty()) << os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Regressions found by the differential fuzzer (tools/fuzz_federation).
+
+/// sflow_local_compute used to throw std::logic_error("required service
+/// unreachable") through the simulator when some required service had no
+/// reachable instance in any view.  The federation must fail gracefully
+/// (flow_graph == nullopt) instead.
+TEST(FuzzRegression, UnreachableServiceFailsWithoutThrowing) {
+  net::UnderlyingNetwork underlay;
+  for (int i = 0; i < 3; ++i) underlay.add_node();
+  underlay.add_link(0, 1, 100.0, 1.0);
+  underlay.add_link(1, 2, 100.0, 1.0);
+  const net::UnderlayRouting routing(underlay);
+
+  overlay::OverlayGraph overlay;
+  overlay.add_instance(0, 0);
+  overlay.add_instance(1, 1);
+  overlay.add_instance(2, 2);
+  overlay.add_link(0, 1, {100.0, 1.0});  // nothing reaches service 2
+
+  const graph::AllPairsShortestWidest overlay_routing(overlay.graph());
+  overlay::ServiceRequirement requirement;
+  requirement.add_edge(0, 1);
+  requirement.add_edge(1, 2);
+  requirement.pin(0, 0);
+
+  core::SFlowFederationResult result;
+  EXPECT_NO_THROW(result = core::run_sflow_federation(
+                      underlay, routing, overlay, overlay_routing, requirement));
+  EXPECT_FALSE(result.flow_graph.has_value());
+}
+
+/// Minimized fuzz reproducer (tests/data/sflow_latency_tie.scenario): sFlow
+/// and the fixed greedy tie on bottleneck bandwidth while sFlow's
+/// radius-limited local views run a longer critical path.  This is the case
+/// that calibrated the sflow-worse-than-greedy oracle to bandwidth only —
+/// the pinned facts are that both validate clean and that sFlow is never
+/// narrower.
+TEST(FuzzRegression, LatencyTieScenarioStaysBandwidthEqual) {
+  const std::string path =
+      std::string(SFLOW_TEST_DATA_DIR) + "/sflow_latency_tie.scenario";
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "cannot read " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  overlay::ServiceCatalog catalog;
+  overlay::ScenarioFile file = overlay::parse_scenario(buffer.str(), catalog);
+
+  core::Scenario scenario;
+  scenario.underlay = std::move(file.bundle.underlay);
+  scenario.routing = std::make_unique<net::UnderlayRouting>(scenario.underlay);
+  scenario.catalog = std::move(catalog);
+  scenario.overlay = std::move(file.bundle.overlay);
+  scenario.overlay_routing =
+      std::make_unique<graph::AllPairsShortestWidest>(scenario.overlay.graph());
+  scenario.requirement = std::move(file.requirement);
+
+  util::Rng rng(7);
+  const FederationOutcome sflow =
+      core::run_algorithm(Algorithm::kSflow, scenario, rng);
+  const FederationOutcome fixed =
+      core::run_algorithm(Algorithm::kFixed, scenario, rng);
+  ASSERT_TRUE(sflow.success);
+  ASSERT_TRUE(fixed.success);
+  EXPECT_TRUE(
+      validate_flow_graph(scenario.overlay, scenario.requirement, sflow).ok());
+  EXPECT_TRUE(
+      validate_flow_graph(scenario.overlay, scenario.requirement, fixed).ok());
+  EXPECT_DOUBLE_EQ(sflow.bandwidth, fixed.bandwidth);
+}
+
+}  // namespace
+}  // namespace sflow::check

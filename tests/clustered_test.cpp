@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "check/validate.hpp"
 #include "core/clustered.hpp"
 #include "core/global_optimal.hpp"
 #include "test_helpers.hpp"
@@ -84,6 +85,9 @@ TEST_P(ClusteredSweep, FeasibleValidAndBoundedByOptimal) {
   ASSERT_TRUE(optimal);
   if (!result) return;  // coarse level may dead-end; that is the point of [2]
   result->validate(scenario.requirement, scenario.overlay);
+  const check::ValidationReport report = check::validate_flow_graph(
+      scenario.overlay, scenario.requirement, *result);
+  EXPECT_TRUE(report.ok()) << report.to_string();
   EXPECT_LE(result->bottleneck_bandwidth(),
             optimal->bottleneck_bandwidth() + 1e-9);
 }

@@ -127,6 +127,26 @@ TEST(Comparators, FailOnInfeasibleOverlay) {
   EXPECT_EQ(service_path_federation(ov, r, routing), std::nullopt);
 }
 
+/// Regression: the greedy comparators used to throw std::logic_error when a
+/// *candidate* existed but routing.path() to it came back empty mid-federation
+/// (here S1@1 has a healthy downstream link yet is unreachable from the chosen
+/// source) — an infeasible scenario must be a nullopt, not an exception.
+TEST(Comparators, DisconnectedCandidateMidFederationReturnsNullopt) {
+  overlay::OverlayGraph ov;
+  ov.add_instance(0, 0);
+  ov.add_instance(1, 1);
+  ov.add_instance(2, 2);
+  ov.add_link(1, 2, {10.0, 1.0});  // nothing connects the source to S1
+  const graph::AllPairsShortestWidest routing(ov.graph());
+  ServiceRequirement r;
+  r.add_edge(0, 1);
+  r.add_edge(1, 2);
+  util::Rng rng(1);
+  EXPECT_EQ(fixed_federation(ov, r, routing), std::nullopt);
+  EXPECT_EQ(random_federation(ov, r, routing, rng), std::nullopt);
+  EXPECT_EQ(service_path_federation(ov, r, routing), std::nullopt);
+}
+
 /// Property sweep: fixed and random always emit feasible graphs on feasible
 /// scenarios, and neither beats the global optimum's bandwidth.
 class ComparatorsRandom : public ::testing::TestWithParam<std::uint64_t> {};

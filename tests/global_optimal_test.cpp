@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "check/validate.hpp"
 #include "core/global_optimal.hpp"
 #include "test_helpers.hpp"
 
@@ -71,6 +72,9 @@ TEST_P(GlobalOptimalRandom, MatchesExhaustiveOracle) {
   ASSERT_TRUE(result);
   ASSERT_FALSE(oracle.is_unreachable());
   result->validate(scenario.requirement, scenario.overlay);
+  const check::ValidationReport report = check::validate_flow_graph(
+      scenario.overlay, scenario.requirement, *result);
+  EXPECT_TRUE(report.ok()) << report.to_string();
   EXPECT_DOUBLE_EQ(result->bottleneck_bandwidth(), oracle.bandwidth);
   EXPECT_DOUBLE_EQ(result->end_to_end_latency(scenario.requirement),
                    oracle.latency);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "check/validate.hpp"
 #include "core/link_state.hpp"
 #include "core/sflow_federation.hpp"
 #include "graph/dag.hpp"
@@ -165,6 +166,9 @@ TEST_P(LinkStateFederationSweep, ProtocolViewsReproduceDirectViewFederation) {
   ASSERT_TRUE(via_protocol.flow_graph);
   ASSERT_TRUE(direct.flow_graph);
   via_protocol.flow_graph->validate(scenario.requirement, scenario.overlay);
+  const check::ValidationReport report = check::validate_flow_graph(
+      scenario.overlay, scenario.requirement, *via_protocol.flow_graph);
+  EXPECT_TRUE(report.ok()) << report.to_string();
   EXPECT_EQ(via_protocol.flow_graph->assignments(),
             direct.flow_graph->assignments());
 }

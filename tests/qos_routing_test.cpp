@@ -64,6 +64,52 @@ TEST(ShortestLatency, PicksFastestRoute) {
   EXPECT_EQ(tree.path_to(2), (std::vector<NodeIndex>{0, 1, 2}));
 }
 
+/// Pins the exact lexicographic order the width-class sweep assumes (and the
+/// check layer re-derives): wider wins, equal width breaks ties on lower
+/// latency, and the degenerate corners behave deterministically.
+TEST(PathQuality, UnreachableVersusZeroBandwidth) {
+  const PathQuality unreachable = PathQuality::unreachable();  // {0, inf}
+  const PathQuality zero_width{0.0, 5.0};
+
+  // Both count as unreachable to routing (width <= 0)...
+  EXPECT_TRUE(unreachable.is_unreachable());
+  EXPECT_TRUE(zero_width.is_unreachable());
+  // ...but the order still ranks the finite-latency one strictly better at
+  // equal (zero) width, so unreachable() is the unique bottom element.
+  EXPECT_TRUE(zero_width.better_than(unreachable));
+  EXPECT_FALSE(unreachable.better_than(zero_width));
+  EXPECT_TRUE(PathQuality({1.0, 100.0}).better_than(zero_width));
+}
+
+TEST(PathQuality, EqualBandwidthInfiniteLatencyTies) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const PathQuality a{10.0, inf};
+  const PathQuality b{10.0, inf};
+  // inf < inf is false on both sides: a genuine tie, not a win.
+  EXPECT_FALSE(a.better_than(b));
+  EXPECT_FALSE(b.better_than(a));
+  EXPECT_TRUE(a == b);
+  // Any finite latency beats infinite at equal width.
+  EXPECT_TRUE(PathQuality({10.0, 1e12}).better_than(a));
+  EXPECT_FALSE(a.better_than(PathQuality({10.0, 1e12})));
+}
+
+TEST(PathQuality, NanNeverWinsOrLoses) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const PathQuality sound{1.0, 2.0};
+  const PathQuality nan_width{nan, 1.0};
+  const PathQuality nan_latency{1.0, nan};
+  // A NaN quality is unordered against everything — it can neither win nor
+  // lose, so better_than never silently launders it through a comparison.
+  // Rejecting NaNs outright is the check layer's job (nan-quality /
+  // bad-metric in check::validate_flow_graph).
+  EXPECT_FALSE(nan_width.better_than(sound));
+  EXPECT_FALSE(sound.better_than(nan_width));
+  EXPECT_FALSE(nan_latency.better_than(sound));
+  EXPECT_FALSE(sound.better_than(nan_latency));
+  EXPECT_FALSE(nan_width.better_than(nan_width));
+}
+
 TEST(PathQualityFn, EvaluatesExplicitPaths) {
   Digraph g(3);
   g.add_edge(0, 1, {10, 2});

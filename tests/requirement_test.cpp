@@ -152,6 +152,48 @@ TEST(Parser, RejectsSyntaxErrors) {
   EXPECT_THROW(parse_requirement("A -> B\nB -> A", catalog), std::invalid_argument);
 }
 
+/// Every rejection must *name* the problem: each malformed document maps to a
+/// specific diagnostic substring, so CLI users (sflowctl) and replay tooling
+/// see what to fix rather than a bare parse failure.
+TEST(Parser, NegativeTableWithDiagnostics) {
+  struct Case {
+    const char* name;
+    const char* doc;
+    const char* message;  // required substring of the thrown diagnostic
+  };
+  const Case cases[] = {
+      {"self-loop", "A -> A", "self edge on 'A'"},
+      {"duplicate-edge", "A -> B\nA -> B", "duplicate edge 'A -> B'"},
+      {"duplicate-in-fanout", "A -> B, B", "duplicate edge 'A -> B'"},
+      {"two-sources", "A -> B\nC -> B",
+       "exactly one source service, found 2: 'A' 'C'"},
+      {"cycle", "A -> B\nB -> A", "contains a cycle"},
+      {"dangling-pin", "A -> B\npin Unseen @ 2",
+       "pin on service not mentioned by any edge: Unseen"},
+      {"pin-without-nid", "A -> B\npin A", "pin requires '@ <nid>'"},
+      {"bad-nid", "A -> B\npin A @ x", "bad NID in pin"},
+      {"negative-nid", "A -> B\npin A @ -2", "negative NID in pin"},
+      {"bad-source-name", "A$ -> B", "bad source name"},
+      {"bad-target-name", "A -> B$", "bad target name"},
+      {"missing-target", "A -> ", "missing edge target"},
+      {"no-arrow", "A B", "expected '->' or 'pin'"},
+      {"bad-service-decl", "service !", "bad service name"},
+      {"empty", "", "empty requirement"},
+      {"comment-only", "# nothing here\n\n", "empty requirement"},
+  };
+  for (const Case& c : cases) {
+    ServiceCatalog catalog;
+    try {
+      parse_requirement(c.doc, catalog);
+      ADD_FAILURE() << c.name << ": expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(c.message), std::string::npos)
+          << c.name << ": diagnostic \"" << e.what() << "\" lacks \""
+          << c.message << "\"";
+    }
+  }
+}
+
 struct GeneratorCase {
   RequirementShape shape;
   std::size_t service_count;

@@ -21,6 +21,65 @@ TEST(RequirementRoundTrip, FormatThenParseIsIdentity) {
   EXPECT_EQ(original, reparsed);
 }
 
+TEST(RequirementRoundTrip, PreservesServiceInsertionOrder) {
+  // Insertion order is the DAG node index (downstream tie-breaking depends on
+  // it), and it is NOT derivable from the edge list: declaring C first makes
+  // the order [C, A, B], which an edge-only emission would silently
+  // "normalize" back to [A, B, C].  The `service` declaration lines are what
+  // carry it across a round trip.
+  ServiceCatalog catalog;
+  ServiceRequirement original;
+  original.add_service(catalog.intern("C"));
+  original.add_edge(catalog.intern("A"), catalog.intern("B"));
+  original.add_edge(catalog.intern("B"), catalog.intern("C"));
+  original.validate();
+
+  const std::string text = format_requirement(original, catalog);
+  const ServiceRequirement reparsed = parse_requirement(text, catalog);
+  ASSERT_EQ(reparsed.services(), original.services());
+  EXPECT_EQ(reparsed, original);  // order-sensitive equality
+}
+
+TEST(ScenarioRoundTrip, FormatThenParseIsIdentity) {
+  core::Scenario scenario =
+      core::make_scenario(sflow::testing::small_workload(14), 24);
+  ScenarioFile file{{scenario.underlay, scenario.overlay}, scenario.requirement};
+
+  ServiceCatalog catalog = scenario.catalog;
+  const std::string text = format_scenario(file, catalog);
+  const ScenarioFile reparsed = parse_scenario(text, catalog);
+
+  // Same catalog, so SIDs line up and requirement equality is exact —
+  // including pins and service order.
+  EXPECT_EQ(reparsed.requirement, file.requirement);
+  EXPECT_EQ(reparsed.bundle.underlay.node_count(),
+            file.bundle.underlay.node_count());
+  EXPECT_EQ(reparsed.bundle.underlay.link_count(),
+            file.bundle.underlay.link_count());
+  ASSERT_EQ(reparsed.bundle.overlay.instance_count(),
+            file.bundle.overlay.instance_count());
+  EXPECT_EQ(reparsed.bundle.overlay.instances(),
+            file.bundle.overlay.instances());
+  ASSERT_EQ(reparsed.bundle.overlay.graph().edge_count(),
+            file.bundle.overlay.graph().edge_count());
+  for (std::size_t i = 0; i < file.bundle.overlay.graph().edges().size(); ++i) {
+    const graph::Edge& a = file.bundle.overlay.graph().edges()[i];
+    const graph::Edge& b = reparsed.bundle.overlay.graph().edges()[i];
+    EXPECT_EQ(a.from, b.from);
+    EXPECT_EQ(a.to, b.to);
+    EXPECT_DOUBLE_EQ(a.metrics.bandwidth, b.metrics.bandwidth);
+    EXPECT_DOUBLE_EQ(a.metrics.latency, b.metrics.latency);
+  }
+}
+
+TEST(ScenarioParser, RequiresBothSections) {
+  ServiceCatalog catalog;
+  EXPECT_THROW(parse_scenario("[bundle]\nnode 0 0 0\n", catalog),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario("[requirement]\nA -> B\n", catalog),
+               std::invalid_argument);
+}
+
 TEST(BundleRoundTrip, PreservesTopologyAndMetrics) {
   core::Scenario scenario = core::make_scenario(
       sflow::testing::small_workload(14), 21);

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "check/validate.hpp"
 #include "core/global_optimal.hpp"
 #include "core/sflow_federation.hpp"
 #include "core/sflow_node.hpp"
@@ -102,6 +103,9 @@ TEST_P(SflowFederationSweep, ProducesCompleteValidFlowGraphs) {
   ASSERT_TRUE(result.flow_graph);
   EXPECT_TRUE(result.flow_graph->complete(scenario.requirement));
   result.flow_graph->validate(scenario.requirement, scenario.overlay);
+  const check::ValidationReport report = check::validate_flow_graph(
+      scenario.overlay, scenario.requirement, *result.flow_graph);
+  EXPECT_TRUE(report.ok()) << report.to_string();
 
   // Never better than the global optimum, and the source pin is honoured.
   const auto optimal = optimal_flow_graph(scenario.overlay, scenario.requirement,

@@ -1,0 +1,325 @@
+// fuzz_federation — differential fuzzer for the federation algorithms
+// (docs/testing.md).
+//
+// Each seed draws a workload from the bench parameter space
+// (bench::fuzz_workload), builds a feasible scenario, runs the paper's five
+// algorithms plus the strict service-path variant, and then:
+//
+//   1. validates every successful outcome from first principles
+//      (check::validate_flow_graph — structure, hop-by-hop path re-measurement,
+//      exact quality agreement);
+//   2. enforces the cross-algorithm oracle hierarchy
+//      (check::check_outcome_hierarchy — brute force == optimal, optimal ⪰
+//      everyone, sFlow ⪰ fixed greedy, baseline == brute force on chains);
+//   3. re-checks the routing sub-oracle on sampled sources
+//      (check::check_routing_equivalence — sweep kernel == legacy kernel).
+//
+// On failure the scenario is greedily minimized (dropping service links while
+// the same violation code reproduces) and dumped in the [bundle]/[requirement]
+// scenario format of overlay/serialization.hpp; `--replay PATH` re-runs such a
+// file and reports the violations it still triggers.
+//
+//   fuzz_federation [--seeds N] [--base-seed S] [--smoke]
+//                   [--replay PATH] [--dump-dir DIR]
+//
+// `--smoke` is the ctest/CI configuration: 200 seeds, summary output, exit
+// nonzero on any violation.
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "check/oracles.hpp"
+#include "check/validate.hpp"
+#include "core/federator.hpp"
+#include "core/scenario.hpp"
+#include "overlay/serialization.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace sflow;
+
+[[noreturn]] void usage(const std::string& message = "") {
+  if (!message.empty()) std::cerr << "error: " << message << "\n\n";
+  std::cerr << "usage: fuzz_federation [--seeds N] [--base-seed S] [--smoke]\n"
+               "                       [--replay PATH] [--dump-dir DIR]\n";
+  std::exit(2);
+}
+
+/// The full battery: the Fig. 10 line-up plus the strict service-path
+/// variant (whose chain-only failures exercise the success=false paths).
+const std::vector<core::Algorithm>& battery_algorithms() {
+  static const std::vector<core::Algorithm> kBattery = {
+      core::Algorithm::kGlobalOptimal,     core::Algorithm::kSflow,
+      core::Algorithm::kFixed,             core::Algorithm::kRandom,
+      core::Algorithm::kServicePath,       core::Algorithm::kServicePathStrict,
+  };
+  return kBattery;
+}
+
+struct BatteryReport {
+  std::map<core::Algorithm, core::FederationOutcome> outcomes;
+  std::vector<check::Violation> violations;
+};
+
+/// Runs every algorithm on `scenario` and applies the whole oracle stack.
+/// All randomness (the random comparator, the sampled routing sources)
+/// derives from `case_seed`, so a battery re-run — and a replay from a dumped
+/// file — is bit-for-bit repeatable.
+BatteryReport run_battery(const core::Scenario& scenario, std::uint64_t case_seed,
+                          bool generated_scenario) {
+  BatteryReport report;
+  std::size_t stream = 0;
+  for (const core::Algorithm algorithm : battery_algorithms()) {
+    util::Rng rng(util::derive_seed(case_seed, 0xA150 + stream++));
+    core::FederationOutcome outcome =
+        core::run_algorithm(algorithm, scenario, rng);
+    const check::ValidationReport validation = check::validate_flow_graph(
+        scenario.overlay, scenario.requirement, outcome);
+    for (const check::Violation& v : validation.violations)
+      report.violations.push_back(
+          {v.code, core::algorithm_name(algorithm) + ": " + v.detail});
+    report.outcomes.emplace(algorithm, std::move(outcome));
+  }
+
+  const std::vector<check::Violation> hierarchy = check::check_outcome_hierarchy(
+      scenario, report.outcomes, generated_scenario);
+  report.violations.insert(report.violations.end(), hierarchy.begin(),
+                           hierarchy.end());
+
+  util::Rng source_rng(util::derive_seed(case_seed, 0x5093));
+  const std::size_t n = scenario.overlay.graph().node_count();
+  if (n > 0) {
+    const std::vector<graph::NodeIndex> sources = {
+        static_cast<graph::NodeIndex>(source_rng.uniform_index(n)),
+        static_cast<graph::NodeIndex>(source_rng.uniform_index(n)),
+    };
+    const std::vector<check::Violation> routing =
+        check::check_routing_equivalence(scenario.overlay.graph(), sources);
+    report.violations.insert(report.violations.end(), routing.begin(),
+                             routing.end());
+  }
+  return report;
+}
+
+/// Rebuilds a runnable Scenario from a (possibly minimized or replayed)
+/// scenario file.  The overlay keeps its serialized link metrics rather than
+/// re-deriving them from the underlay, so a dump re-runs exactly.
+core::Scenario scenario_from_file(overlay::ScenarioFile file,
+                                  overlay::ServiceCatalog catalog) {
+  core::Scenario scenario;
+  scenario.underlay = std::move(file.bundle.underlay);
+  scenario.routing = std::make_unique<net::UnderlayRouting>(scenario.underlay);
+  scenario.catalog = std::move(catalog);
+  scenario.overlay = std::move(file.bundle.overlay);
+  scenario.overlay_routing =
+      std::make_unique<graph::AllPairsShortestWidest>(scenario.overlay.graph());
+  scenario.requirement = std::move(file.requirement);
+  return scenario;
+}
+
+overlay::ScenarioFile file_from_scenario(const core::Scenario& scenario) {
+  overlay::ScenarioFile file;
+  file.bundle.underlay = scenario.underlay;
+  file.bundle.overlay = scenario.overlay;
+  file.requirement = scenario.requirement;
+  return file;
+}
+
+/// Copy of `file` with overlay service link `edge_index` removed (instances
+/// and the underlay untouched; indices are stable because instances are
+/// re-added in order).
+overlay::ScenarioFile drop_slink(const overlay::ScenarioFile& file,
+                                 std::size_t edge_index) {
+  overlay::ScenarioFile out;
+  out.bundle.underlay = file.bundle.underlay;
+  for (const overlay::ServiceInstance& inst : file.bundle.overlay.instances())
+    out.bundle.overlay.add_instance(inst.sid, inst.nid);
+  const std::vector<graph::Edge>& edges = file.bundle.overlay.graph().edges();
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (i == edge_index) continue;
+    out.bundle.overlay.add_link(edges[i].from, edges[i].to, edges[i].metrics);
+  }
+  out.requirement = file.requirement;
+  return out;
+}
+
+/// Greedy delta-debugging over the overlay link set: repeatedly drop the
+/// service link whose removal still reproduces one of the original violation
+/// codes, until a fixed point (or the re-run budget runs out).  Shrunk
+/// scenarios are checked with generated_scenario=false — removing links can
+/// legitimately starve the fixed greedy, which is not the bug being chased.
+overlay::ScenarioFile minimize_scenario(overlay::ScenarioFile file,
+                                        const overlay::ServiceCatalog& catalog,
+                                        std::uint64_t case_seed,
+                                        const std::set<std::string>& codes) {
+  const auto reproduces = [&](const overlay::ScenarioFile& candidate) {
+    const core::Scenario scenario = scenario_from_file(candidate, catalog);
+    const BatteryReport report = run_battery(scenario, case_seed, false);
+    for (const check::Violation& v : report.violations)
+      if (codes.contains(v.code)) return true;
+    return false;
+  };
+
+  std::size_t budget = 200;
+  bool shrunk = true;
+  while (shrunk && budget > 0) {
+    shrunk = false;
+    for (std::size_t i = file.bundle.overlay.graph().edges().size();
+         i-- > 0 && budget > 0;) {
+      --budget;
+      overlay::ScenarioFile candidate = drop_slink(file, i);
+      if (reproduces(candidate)) {
+        file = std::move(candidate);
+        shrunk = true;
+      }
+    }
+  }
+  return file;
+}
+
+void print_violations(std::ostream& os, const std::vector<check::Violation>& vs) {
+  for (const check::Violation& v : vs)
+    os << "    " << v.code << ": " << v.detail << "\n";
+}
+
+int replay(const std::string& path, std::uint64_t base_seed) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "fuzz_federation: cannot read " << path << "\n";
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+
+  overlay::ServiceCatalog catalog;
+  overlay::ScenarioFile file = overlay::parse_scenario(text.str(), catalog);
+  const core::Scenario scenario =
+      scenario_from_file(std::move(file), std::move(catalog));
+  const BatteryReport report = run_battery(scenario, base_seed, false);
+
+  std::cout << "replayed " << path << " ("
+            << scenario.overlay.instance_count() << " instances, "
+            << scenario.overlay.graph().edges().size() << " slinks, "
+            << scenario.requirement.service_count() << " services)\n";
+  for (const auto& [algorithm, outcome] : report.outcomes) {
+    std::cout << "  " << core::algorithm_name(algorithm) << ": "
+              << (outcome.success ? "success" : "infeasible");
+    if (outcome.success)
+      std::cout << " (bw=" << outcome.bandwidth << ", lat=" << outcome.latency
+                << ")";
+    std::cout << "\n";
+  }
+  if (report.violations.empty()) {
+    std::cout << "  no violations\n";
+    return 0;
+  }
+  std::cout << "  " << report.violations.size() << " violation(s):\n";
+  print_violations(std::cout, report.violations);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t seeds = 50;
+  bool seeds_given = false;
+  std::uint64_t base_seed = 0x5F10;
+  bool smoke = false;
+  std::string replay_path;
+  std::string dump_dir = ".";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--seeds" && i + 1 < argc) {
+      seeds = std::strtoul(argv[++i], nullptr, 10);
+      seeds_given = true;
+    } else if (arg == "--base-seed" && i + 1 < argc) {
+      base_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--replay" && i + 1 < argc) {
+      replay_path = argv[++i];
+    } else if (arg == "--dump-dir" && i + 1 < argc) {
+      dump_dir = argv[++i];
+    } else {
+      usage("unknown argument '" + arg + "'");
+    }
+  }
+  if (smoke && !seeds_given) seeds = 200;
+
+  try {
+    if (!replay_path.empty()) return replay(replay_path, base_seed);
+
+    std::size_t failures = 0;
+    std::size_t infeasible_workloads = 0;
+    std::size_t successes_total = 0;
+    constexpr std::size_t kMaxDumps = 5;
+
+    for (std::size_t s = 0; s < seeds; ++s) {
+      const std::uint64_t case_seed = util::derive_seed(base_seed, s);
+      util::Rng workload_rng(util::derive_seed(case_seed, 0xF00D));
+      const core::WorkloadParams params = bench::fuzz_workload(workload_rng);
+
+      core::Scenario scenario;
+      try {
+        scenario = core::make_scenario(params, util::derive_seed(case_seed, 1));
+      } catch (const std::runtime_error&) {
+        // No feasible scenario for this parameter draw — a workload
+        // pathology, not an algorithm bug; skip the seed but count it.
+        ++infeasible_workloads;
+        continue;
+      }
+
+      const BatteryReport report = run_battery(scenario, case_seed, true);
+      for (const auto& [algorithm, outcome] : report.outcomes)
+        if (outcome.success) ++successes_total;
+
+      if (!report.violations.empty()) {
+        ++failures;
+        std::cerr << "seed " << s << " (base " << base_seed << "): "
+                  << report.violations.size() << " violation(s)\n";
+        print_violations(std::cerr, report.violations);
+
+        if (failures <= kMaxDumps) {
+          std::set<std::string> codes;
+          for (const check::Violation& v : report.violations)
+            codes.insert(v.code);
+          const overlay::ScenarioFile minimized = minimize_scenario(
+              file_from_scenario(scenario), scenario.catalog, case_seed, codes);
+          const std::string path =
+              dump_dir + "/fuzz-fail-seed" + std::to_string(s) + ".scenario";
+          std::ofstream out(path);
+          if (!out) {
+            std::cerr << "  cannot write " << path << "\n";
+            continue;
+          }
+          out << "# fuzz_federation failure: base-seed " << base_seed
+              << ", seed " << s << "\n# replay: fuzz_federation --base-seed "
+              << base_seed << " --replay " << path << "\n"
+              << overlay::format_scenario(minimized, scenario.catalog);
+          std::cerr << "  minimized reproducer written to " << path << "\n";
+        }
+      } else if (!smoke && (s + 1) % 25 == 0) {
+        std::cout << "  " << (s + 1) << "/" << seeds << " seeds clean\n";
+      }
+    }
+
+    std::cout << "fuzz_federation: " << seeds << " seeds, "
+              << battery_algorithms().size() << " algorithms, "
+              << successes_total << " successful federations, "
+              << infeasible_workloads << " infeasible workload draws, "
+              << failures << " failing seed(s)\n";
+    return failures == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "fuzz_federation: error: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -7,6 +7,9 @@
 # The routing-kernel rewrite rides along: the SweepLegacyEquivalence suite
 # and the routing_kernel_smoke ctest entry run the CSR sweep kernel (epoch-
 # stamped workspace reuse, arena materialization) under the same sanitizers.
+# So does the differential fuzzer: the fuzz_federation_smoke ctest entry
+# drives all five algorithms through 200 randomized scenarios with the
+# check-layer validator and oracles on every outcome (docs/testing.md).
 #
 #   $ tools/run_sanitized_tests.sh            # thread sanitizer (default)
 #   $ tools/run_sanitized_tests.sh address    # address sanitizer

@@ -334,8 +334,16 @@ int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string command = argv[1];
   const auto flags = parse_flags(argc, argv, 2);
-  if (command == "scenario") return cmd_scenario(flags);
-  if (command == "federate") return cmd_federate(flags);
-  if (command == "satcheck") return cmd_satcheck(flags);
+  // Operational failures (unreadable files, parse errors, infeasible
+  // workloads) are user input problems: report them as a one-line diagnostic
+  // with a nonzero exit, never as an uncaught-exception backtrace.
+  try {
+    if (command == "scenario") return cmd_scenario(flags);
+    if (command == "federate") return cmd_federate(flags);
+    if (command == "satcheck") return cmd_satcheck(flags);
+  } catch (const std::exception& e) {
+    std::cerr << "sflowctl: error: " << e.what() << "\n";
+    return 1;
+  }
   usage("unknown command '" + command + "'");
 }

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# CLI-contract test for sflowctl (registered in ctest as sflowctl_cli).
+#
+# Operational failures — a requirement file that does not exist, or one that
+# does not parse — must produce a nonzero exit code and a one-line stderr
+# diagnostic, never an uncaught-exception backtrace (no "terminate called"
+# noise).  A well-formed invocation must still succeed.
+set -u
+
+SFLOWCTL="${1:?usage: sflowctl_cli_test.sh <path-to-sflowctl>}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+failures=0
+
+# check <name> <expected-exit> <stderr-pattern> -- <args...>
+check() {
+  local name="$1" expected="$2" pattern="$3"
+  shift 3
+  [ "$1" = "--" ] && shift
+  "$SFLOWCTL" "$@" >"$TMP/out" 2>"$TMP/err"
+  local status=$?
+  if [ "$status" -ne "$expected" ]; then
+    echo "FAIL $name: exit $status, expected $expected" >&2
+    sed 's/^/  stderr: /' "$TMP/err" >&2
+    failures=$((failures + 1))
+    return
+  fi
+  if [ -n "$pattern" ] && ! grep -q "$pattern" "$TMP/err"; then
+    echo "FAIL $name: stderr does not match '$pattern'" >&2
+    sed 's/^/  stderr: /' "$TMP/err" >&2
+    failures=$((failures + 1))
+    return
+  fi
+  if grep -q "terminate called" "$TMP/err"; then
+    echo "FAIL $name: uncaught-exception backtrace on stderr" >&2
+    failures=$((failures + 1))
+    return
+  fi
+  echo "ok   $name"
+}
+
+# Missing requirement file: diagnostic naming the path, exit 1.
+check missing-file 1 "cannot read" -- \
+  federate --requirement "$TMP/does-not-exist.req" --network-size 12 --seed 7
+
+# Unparseable requirement: the parser's line-numbered message, exit 1.
+printf 'A -> A\n' > "$TMP/selfloop.req"
+check self-loop 1 "self edge" -- \
+  federate --requirement "$TMP/selfloop.req" --network-size 12 --seed 7
+
+printf 'not a requirement at all\n' > "$TMP/garbage.req"
+check garbage 1 "parse_requirement" -- \
+  federate --requirement "$TMP/garbage.req" --network-size 12 --seed 7
+
+# Unknown command / bad flags still hit usage() with exit 2.
+check unknown-command 2 "unknown command" -- frobnicate
+check bad-integer 2 "bad integer" -- scenario --network-size twelve --seed 7
+
+# A well-formed run stays healthy.
+printf 'A -> B\nB -> C\n' > "$TMP/chain.req"
+check good-run 0 "" -- \
+  federate --requirement "$TMP/chain.req" --network-size 12 --seed 7 \
+  --algorithm fixed
+
+if [ "$failures" -ne 0 ]; then
+  echo "$failures sflowctl CLI check(s) failed" >&2
+  exit 1
+fi
+echo "all sflowctl CLI checks passed"
