@@ -1,0 +1,41 @@
+#include "core/abstract_dp.hpp"
+
+#include <algorithm>
+
+namespace sflow::core {
+
+bool DominanceFrontier::insert(DpLabel label) {
+  // Frontier is sorted by descending bandwidth.  Find the insertion point;
+  // every kept label left of it has bandwidth >= label.bandwidth, every one
+  // right of it strictly less.
+  const auto pos = std::lower_bound(
+      labels_.begin(), labels_.end(), label,
+      [](const DpLabel& a, const DpLabel& b) { return a.bandwidth > b.bandwidth; });
+
+  // Dominated check.  Strictly wider labels all sit left of pos, and among
+  // them the one just left of pos has the lowest latency (frontier latencies
+  // strictly decrease with descending bandwidth), so one probe suffices; an
+  // equal-bandwidth label, if any, is the single element at pos.
+  if (pos != labels_.begin() && std::prev(pos)->latency <= label.latency) {
+    ++pruned_;
+    return false;
+  }
+  if (pos != labels_.end() && pos->bandwidth == label.bandwidth &&
+      pos->latency <= label.latency) {
+    ++pruned_;
+    return false;
+  }
+
+  // Evict labels the newcomer dominates: narrower-or-equal ones with
+  // higher-or-equal latency form a contiguous run starting at pos.
+  auto last = pos;
+  while (last != labels_.end() && last->latency >= label.latency) {
+    ++last;
+    ++pruned_;
+  }
+  const auto at = labels_.erase(pos, last);
+  labels_.insert(at, label);
+  return true;
+}
+
+}  // namespace sflow::core

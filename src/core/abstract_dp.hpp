@@ -1,0 +1,98 @@
+// Flat-arena building blocks of the layered service-abstract-graph DP
+// (core/baseline.cpp, docs/algorithms.md "Complexity & pruning").
+//
+// The baseline solver used to materialize the abstract graph as a
+// graph::Digraph — one add_node/add_edge call per candidate pair — and run
+// the full shortest-widest kernel over it.  The production path now stores
+// the abstract graph as a single contiguous buffer of per-layer-pair quality
+// matrices (CSR-style: one cell array plus per-pair offsets, mirroring
+// graph::CsrView's single-buffer layout) and runs a layer-sequential DP on
+// it.  The DP carries, per (layer, candidate), the Pareto frontier of
+// achievable (bottleneck bandwidth, accumulated latency) prefix labels;
+// dominance pruning is the exactness lever: a label worse in both dimensions
+// than a sibling label of the same candidate can never complete into a
+// better chain, so it is dead and dropped on insert.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace sflow::core {
+
+/// All abstract-edge qualities of a layered chain requirement in one flat
+/// buffer.  Cell (l, i, j) is the abstract-edge quality between candidate i
+/// of layer l and candidate j of layer l + 1; absent edges are
+/// PathQuality::unreachable().
+class AbstractArena {
+ public:
+  /// `widths[l]` is the candidate count of layer l (all > 0).
+  explicit AbstractArena(const std::vector<std::size_t>& widths) : widths_(widths) {
+    offsets_.reserve(widths.size());
+    std::size_t total = 0;
+    for (std::size_t l = 0; l + 1 < widths.size(); ++l) {
+      offsets_.push_back(total);
+      total += widths[l] * widths[l + 1];
+    }
+    cells_.assign(total, graph::PathQuality::unreachable());
+  }
+
+  graph::PathQuality& cell(std::size_t l, std::size_t i, std::size_t j) {
+    return cells_[offsets_[l] + i * widths_[l + 1] + j];
+  }
+  const graph::PathQuality& cell(std::size_t l, std::size_t i,
+                                 std::size_t j) const {
+    return cells_[offsets_[l] + i * widths_[l + 1] + j];
+  }
+
+  std::size_t layer_width(std::size_t l) const { return widths_[l]; }
+  std::size_t layer_count() const { return widths_.size(); }
+
+  std::size_t memory_bytes() const {
+    return cells_.capacity() * sizeof(graph::PathQuality) +
+           offsets_.capacity() * sizeof(std::size_t) +
+           widths_.capacity() * sizeof(std::size_t);
+  }
+
+ private:
+  std::vector<std::size_t> widths_;
+  std::vector<std::size_t> offsets_;
+  std::vector<graph::PathQuality> cells_;
+};
+
+/// One DP label: the (bottleneck bandwidth, accumulated latency) of some
+/// prefix chain ending at a fixed (layer, candidate).
+struct DpLabel {
+  double bandwidth = 0.0;
+  double latency = 0.0;
+};
+
+/// Pareto frontier of DP labels under (maximize bandwidth, minimize
+/// latency), kept sorted by strictly descending bandwidth — and therefore
+/// strictly descending latency (wider prefixes are slower, or they would
+/// dominate).  This is where dominance pruning happens: insert() rejects a
+/// label dominated by a kept one (worse-or-equal in both dimensions) and
+/// evicts kept labels the newcomer dominates.
+class DominanceFrontier {
+ public:
+  /// Returns true when the label was kept (not dominated).
+  bool insert(DpLabel label);
+
+  const std::vector<DpLabel>& labels() const noexcept { return labels_; }
+  bool empty() const noexcept { return labels_.empty(); }
+
+  /// The lexicographically best completion at this node: maximum bandwidth,
+  /// then its minimum latency — the frontier's first label by construction.
+  /// Precondition: !empty().
+  const DpLabel& best() const { return labels_.front(); }
+
+  /// Labels rejected or evicted as dominated so far.
+  std::size_t pruned() const noexcept { return pruned_; }
+
+ private:
+  std::vector<DpLabel> labels_;
+  std::size_t pruned_ = 0;
+};
+
+}  // namespace sflow::core

@@ -7,10 +7,17 @@
 //   3. shortest-widest abstract path from the source layer to the sink layer;
 //   4. expand each abstract edge back into the real overlay path.
 //
-// The abstract-path step reuses the exact shortest-widest routine on the
-// layered abstract digraph (augmented with a super-source over the source
-// layer), so the chain result is optimal — the property the reduction
-// heuristics of §3.4 build on.
+// The production path builds the abstract graph once into a flat arena
+// (core/abstract_dp.hpp) and solves step 3 with a layer-sequential DP that
+// carries Pareto frontiers of (bottleneck, latency) prefix labels per
+// candidate — dominance pruning between same-layer labels keeps the DP exact
+// (a label worse in both dimensions is dead); the chosen path replicates the
+// shortest-widest kernel's tie-breaking, so results are bit-identical to the
+// pre-arena implementation, which is kept verbatim as
+// `baseline_single_path_legacy` / `baseline_single_path_custom_legacy` (the
+// equivalence oracle of tests/federation_equiv_test.cpp and the before/after
+// baseline of bench/federation_kernel.cpp).  The chain result is optimal —
+// the property the reduction heuristics of §3.4 build on.
 //
 // The *_custom variant lets the caller override how an abstract edge's
 // quality and expansion are obtained; the split-and-merge reduction uses this
@@ -50,16 +57,40 @@ std::vector<overlay::OverlayIndex> candidate_instances(
     const overlay::OverlayGraph& overlay,
     const overlay::ServiceRequirement& requirement, overlay::Sid sid);
 
+/// Observability of one abstract-graph DP solve (0 for the legacy path).
+struct BaselineStats {
+  /// Flat abstract-graph arena footprint.
+  std::size_t arena_bytes = 0;
+  /// Pareto labels kept across all (layer, candidate) frontiers.
+  std::size_t dp_labels = 0;
+  /// Labels dropped by dominance pruning (rejected or evicted).
+  std::size_t dp_labels_pruned = 0;
+};
+
 /// Solves a single-path requirement optimally (Table 1).  Respects pins.
 /// Returns nullopt when no feasible flow graph exists.
 /// Precondition: requirement.is_single_path().
 std::optional<overlay::ServiceFlowGraph> baseline_single_path(
     const overlay::OverlayGraph& overlay,
     const overlay::ServiceRequirement& requirement,
-    const graph::AllPairsShortestWidest& routing);
+    const graph::AllPairsShortestWidest& routing, BaselineStats* stats = nullptr);
 
 /// As above with caller-supplied edge quality/expansion.
 std::optional<overlay::ServiceFlowGraph> baseline_single_path_custom(
+    const overlay::OverlayGraph& overlay,
+    const overlay::ServiceRequirement& requirement, const EdgeQualityFn& quality,
+    const EdgePathFn& expand, BaselineStats* stats = nullptr);
+
+/// The pre-arena implementation, kept verbatim: node-at-a-time Digraph
+/// construction plus the full shortest-widest kernel.  Bit-identical results
+/// to the production DP (pinned by tests/federation_equiv_test.cpp).
+std::optional<overlay::ServiceFlowGraph> baseline_single_path_legacy(
+    const overlay::OverlayGraph& overlay,
+    const overlay::ServiceRequirement& requirement,
+    const graph::AllPairsShortestWidest& routing);
+
+/// As above with caller-supplied edge quality/expansion.
+std::optional<overlay::ServiceFlowGraph> baseline_single_path_custom_legacy(
     const overlay::OverlayGraph& overlay,
     const overlay::ServiceRequirement& requirement, const EdgeQualityFn& quality,
     const EdgePathFn& expand);

@@ -9,6 +9,22 @@
 // running critical-path latency monotone non-decreasing, so a partial
 // assignment that cannot beat the incumbent is pruned.
 //
+// The production search (docs/algorithms.md, "Complexity & pruning") works
+// off dense per-position quality tables materialized once up front — the
+// inner loop is array indexing, not std::function dispatch — and prunes with
+// an admissible future-bandwidth bound conditioned on the partial
+// assignment: after tentatively placing a move, a remaining topological
+// position where no candidate can reach the incumbent's bandwidth through
+// its already-assigned predecessors proves every completion strictly
+// narrower, so the branch is cut before expansion instead of being
+// discovered as a dead-end several levels deeper.  The
+// pre-table implementation is kept verbatim as `optimal_flow_graph_legacy` /
+// `optimal_flow_graph_custom_legacy`: the equivalence oracle
+// (tests/federation_equiv_test.cpp) and the before/after baseline of
+// bench/federation_kernel.cpp.  Outcomes are bit-identical by construction —
+// the bound only removes subtrees that cannot strictly beat the incumbent,
+// and tie-breaking (move order, incumbent updates) is unchanged.
+//
 // The same solver doubles as the exhaustive fallback of the heuristic
 // requirement solver on the small 2-hop local views of the distributed
 // algorithm.
@@ -25,8 +41,12 @@
 namespace sflow::core {
 
 struct OptimalStats {
+  /// search() invocations (partial assignments expanded, full ones included).
   std::size_t nodes_explored = 0;
-  std::size_t pruned = 0;
+  /// Moves cut before recursion (incumbent check or future-bandwidth bound).
+  std::size_t nodes_pruned = 0;
+  /// Footprint of the materialized quality tables (0 for the legacy search).
+  std::size_t table_bytes = 0;
 };
 
 /// Finds the optimal flow graph (maximum bottleneck bandwidth, then minimum
@@ -40,6 +60,21 @@ std::optional<overlay::ServiceFlowGraph> optimal_flow_graph(
 /// As above with caller-supplied abstract-edge quality/expansion (used by the
 /// heuristic solver on requirements containing virtual block edges).
 std::optional<overlay::ServiceFlowGraph> optimal_flow_graph_custom(
+    const overlay::OverlayGraph& overlay,
+    const overlay::ServiceRequirement& requirement, const EdgeQualityFn& quality,
+    const EdgePathFn& expand, OptimalStats* stats = nullptr);
+
+/// The pre-table branch-and-bound search, kept verbatim as the equivalence
+/// oracle: per-(pred,candidate) EdgeQualityFn dispatch, incumbent-only
+/// pruning.  Bit-identical results to the production search; its explored
+/// node count is an upper bound on the production search's.
+std::optional<overlay::ServiceFlowGraph> optimal_flow_graph_legacy(
+    const overlay::OverlayGraph& overlay,
+    const overlay::ServiceRequirement& requirement,
+    const graph::AllPairsShortestWidest& routing, OptimalStats* stats = nullptr);
+
+/// As above with caller-supplied quality/expansion.
+std::optional<overlay::ServiceFlowGraph> optimal_flow_graph_custom_legacy(
     const overlay::OverlayGraph& overlay,
     const overlay::ServiceRequirement& requirement, const EdgeQualityFn& quality,
     const EdgePathFn& expand, OptimalStats* stats = nullptr);

@@ -46,11 +46,18 @@ struct ProtocolMetrics {
       "federation_global_fallbacks_total",
       "pins that fell back to the global link-state database");
   /// Shared with core/link_state.cpp: every protocol message/byte, whatever
-  /// the protocol — the §7 overhead comparison reads these two.
+  /// the protocol — the §7 overhead comparison reads these two.  These stay
+  /// *logical* wire bytes; snapshot sharing below changes only what the host
+  /// process physically copies.
   obs::Counter& protocol_messages = obs::Registry::global().counter(
       "protocol_messages_total", "simulated protocol messages delivered");
   obs::Counter& protocol_bytes = obs::Registry::global().counter(
       "protocol_payload_bytes_total", "simulated protocol bytes delivered");
+  /// Host-side bytes actually deep-copied for payloads: every dispatch in
+  /// copy_payloads mode, only copy-on-write clones in zero-copy mode.
+  obs::Counter& payload_copy_bytes = obs::Registry::global().counter(
+      "payload_physical_copy_bytes_total",
+      "payload bytes physically deep-copied (copy-mode sends + COW clones)");
 };
 
 ProtocolMetrics& metrics() {
@@ -58,11 +65,19 @@ ProtocolMetrics& metrics() {
   return instance;
 }
 
-/// Payload of sfederate and sreport messages.
-struct Payload {
-  std::shared_ptr<const ServiceRequirement> original;
+/// The mutable federation state a payload snapshots: accumulated pins and
+/// the snowballed partial flow graph.
+struct Snapshot {
   std::map<Sid, net::Nid> pins;
   ServiceFlowGraph partial;
+};
+
+/// Payload of sfederate and sreport messages.  The snapshot is shared,
+/// immutable, between the sender's state and every in-flight message —
+/// senders clone on write (see `owned`) instead of deep-copying per send.
+struct Payload {
+  std::shared_ptr<const ServiceRequirement> original;
+  std::shared_ptr<const Snapshot> state;
 };
 
 /// Payload of sack messages: the acknowledged service.
@@ -80,14 +95,15 @@ struct Correction {
 
 /// Rough wire-size model for protocol accounting: fixed header, 8 bytes per
 /// requirement element, 12 per pin, 16 per assignment, and the realized
-/// paths at 8 bytes per hop.
-std::size_t estimate_size(const Payload& payload) {
+/// paths at 8 bytes per hop.  Logical bytes: a message "carries" its whole
+/// snapshot on the wire no matter how the host process shares memory.
+std::size_t estimate_size(const ServiceRequirement& original,
+                          const Snapshot& snap) {
   std::size_t size = 64;
-  size += 8 * (payload.original->service_count() +
-               payload.original->dag().edge_count());
-  size += 12 * payload.pins.size();
-  size += 16 * payload.partial.assignments().size();
-  for (const overlay::FlowEdge& e : payload.partial.edges())
+  size += 8 * (original.service_count() + original.dag().edge_count());
+  size += 12 * snap.pins.size();
+  size += 16 * snap.partial.assignments().size();
+  for (const overlay::FlowEdge& e : snap.partial.edges())
     size += 16 + 8 * e.overlay_path.size();
   return size;
 }
@@ -102,10 +118,23 @@ struct PendingAck {
 struct NodeState {
   std::size_t received = 0;
   bool computed = false;
-  std::map<Sid, net::Nid> pins;
-  ServiceFlowGraph accumulated;
+  /// This node's pins + accumulated partial, shared read-only with every
+  /// in-flight payload that snapshotted it.  Mutate only through `owned`.
+  std::shared_ptr<Snapshot> snap = std::make_shared<Snapshot>();
   std::map<Sid, PendingAck> pending;  // downstream service -> awaited ack
 };
+
+/// The single mutating hop of the zero-copy scheme: clones the snapshot iff
+/// in-flight payloads still reference it (the simulation is single-threaded,
+/// so use_count is exact) and returns a safely writable view.
+Snapshot& owned(NodeState& state, const ServiceRequirement& original,
+                obs::Counter& copy_bytes) {
+  if (state.snap.use_count() > 1) {
+    copy_bytes.add(estimate_size(original, *state.snap));
+    state.snap = std::make_shared<Snapshot>(*state.snap);
+  }
+  return *state.snap;
+}
 
 /// First-writer merge that silently skips superseded copies.  After a
 /// failover, stale snowballed partials (referencing the dead instance) and
@@ -270,8 +299,14 @@ SFlowFederationResult run_sflow_federation(
       [&](OverlayIndex self, Sid sid, OverlayIndex target) {
         const net::Nid self_nid = overlay.instance(self).nid;
         NodeState& state = states[self_nid];
-        Payload out{original, state.pins, state.accumulated};
-        const std::size_t size = estimate_size(out);
+        Payload out{original, nullptr};
+        if (config.copy_payloads) {
+          counters.payload_copy_bytes.add(estimate_size(*original, *state.snap));
+          out.state = std::make_shared<const Snapshot>(*state.snap);
+        } else {
+          out.state = state.snap;  // shared; the sender clones on write
+        }
+        const std::size_t size = estimate_size(*original, *out.state);
         const net::Nid target_nid = overlay.instance(target).nid;
         counters.sfederate_messages.increment();
         counters.sfederate_bytes.add(size);
@@ -313,18 +348,19 @@ SFlowFederationResult run_sflow_federation(
           // edge (other stale edges touching the dead instance — e.g. a
           // snowballed copy of a sibling upstream's edge — are skipped; their
           // owners run their own failovers and corrections).
-          sender.pins[sid] = overlay.instance(replacement).nid;
+          Snapshot& mine = owned(sender, *original, counters.payload_copy_bytes);
+          mine.pins[sid] = overlay.instance(replacement).nid;
           ServiceFlowGraph repaired;
-          for (const auto& [s, inst] : sender.accumulated.assignments())
+          for (const auto& [s, inst] : mine.partial.assignments())
             if (s != sid) repaired.assign(s, inst);
           repaired.set_edge(corrected.from_sid, corrected.to_sid,
                             corrected.overlay_path, corrected.quality);
           ServiceFlowGraph old_edges;
-          for (const overlay::FlowEdge& e : sender.accumulated.edges())
+          for (const overlay::FlowEdge& e : mine.partial.edges())
             if (!(e.from_sid == self_sid && e.to_sid == sid))
               old_edges.set_edge(e.from_sid, e.to_sid, e.overlay_path, e.quality);
           merge_lenient(repaired, old_edges);
-          sender.accumulated = std::move(repaired);
+          mine.partial = std::move(repaired);
 
           // Tell the collector; stale copies of the old edge may still be
           // snowballing through sibling branches.
@@ -378,10 +414,10 @@ SFlowFederationResult run_sflow_federation(
         const auto owner = overlay.instance_at(msg.from);
         if (owner) {
           const Sid owner_sid = overlay.instance(*owner).sid;
-          if (const auto claimed = payload.partial.assignment(owner_sid))
+          if (const auto claimed = payload.state->partial.assignment(owner_sid))
             assembly.absorb_assignment(owner_sid, *claimed, /*corrected=*/false);
         }
-        for (const overlay::FlowEdge& e : payload.partial.edges())
+        for (const overlay::FlowEdge& e : payload.state->partial.edges())
           assembly.absorb_edge(e, /*corrected=*/false);
         check_complete();
         return;
@@ -400,14 +436,18 @@ SFlowFederationResult run_sflow_federation(
 
       NodeState& state = states[nid];
       state.received += 1;
+      // Writable view of the own snapshot (clones it iff in-flight payloads
+      // still share it); `payload.state` stays valid across the clone — the
+      // message keeps its reference alive.
+      Snapshot& mine = owned(state, *original, counters.payload_copy_bytes);
       // Claim the own assignment before merging: after a failover, payloads
       // may still carry the dead predecessor's assignment of this service,
       // and the receiving instance's identity is authoritative.
-      if (!state.accumulated.assignment(self_sid))
-        state.accumulated.assign(self_sid, self);
-      merge_lenient(state.accumulated, payload.partial);
-      for (const auto& [sid, pin_nid] : payload.pins)
-        state.pins.emplace(sid, pin_nid);  // first writer wins
+      if (!mine.partial.assignment(self_sid))
+        mine.partial.assign(self_sid, self);
+      merge_lenient(mine.partial, payload.state->partial);
+      for (const auto& [sid, pin_nid] : payload.state->pins)
+        mine.pins.emplace(sid, pin_nid);  // first writer wins
 
       const std::size_t expected =
           std::max<std::size_t>(1, original->upstream(self_sid).size());
@@ -423,7 +463,7 @@ SFlowFederationResult run_sflow_federation(
       {
         const auto scope = compute_time.scope();
         decision = sflow_local_compute(overlay, overlay_routing, self, *original,
-                                       state.pins, config);
+                                       mine.pins, config);
       }
       result.global_fallbacks += decision.global_fallbacks;
       counters.global_fallbacks.add(decision.global_fallbacks);
@@ -435,25 +475,26 @@ SFlowFederationResult run_sflow_federation(
         return;
       }
       for (const auto& [sid, pin_nid] : decision.new_pins) {
-        state.pins.emplace(sid, pin_nid);
+        mine.pins.emplace(sid, pin_nid);
         if (trace != nullptr)
           trace->record({simulator.now(), nid, TraceEvent::Kind::kPinned, sid,
                          pin_nid});
       }
       for (const overlay::FlowEdge& e : decision.new_edges)
-        state.accumulated.set_edge(e.from_sid, e.to_sid, e.overlay_path, e.quality);
+        mine.partial.set_edge(e.from_sid, e.to_sid, e.overlay_path, e.quality);
 
       // Report the own contribution straight to the collector.  Snowballed
       // partials keep travelling with sfederate (the paper's design), but
       // assembly must not depend on their fidelity: after a failover, stale
       // copies can shadow corrected edges at downstream joins.
       {
-        ServiceFlowGraph contribution;
-        contribution.assign(self_sid, self);
+        auto contribution = std::make_shared<Snapshot>();
+        contribution->partial.assign(self_sid, self);
         for (const overlay::FlowEdge& e : decision.new_edges)
-          contribution.set_edge(e.from_sid, e.to_sid, e.overlay_path, e.quality);
-        Payload out{original, {}, std::move(contribution)};
-        const std::size_t size = estimate_size(out);
+          contribution->partial.set_edge(e.from_sid, e.to_sid, e.overlay_path,
+                                         e.quality);
+        Payload out{original, std::move(contribution)};
+        const std::size_t size = estimate_size(*original, *out.state);
         counters.sreport_messages.increment();
         counters.sreport_bytes.add(size);
         simulator.send(
@@ -469,8 +510,10 @@ SFlowFederationResult run_sflow_federation(
 
   // The consumer (co-located with the collector) kicks off the federation.
   {
-    Payload initial{original, {{source_sid, collector_nid}}, ServiceFlowGraph{}};
-    const std::size_t size = estimate_size(initial);
+    auto kickoff = std::make_shared<Snapshot>();
+    kickoff->pins.emplace(source_sid, collector_nid);
+    Payload initial{original, std::move(kickoff)};
+    const std::size_t size = estimate_size(*original, *initial.state);
     counters.sfederate_messages.increment();
     counters.sfederate_bytes.add(size);
     simulator.send(sim::Message{collector_nid, collector_nid, "sfederate",

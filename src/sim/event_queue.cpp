@@ -1,5 +1,6 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -23,16 +24,20 @@ obs::Gauge& depth_peak() {
 void EventQueue::schedule(Time at, Action action) {
   if (!action) throw std::invalid_argument("EventQueue::schedule: empty action");
   if (at < now_) throw std::invalid_argument("EventQueue::schedule: time in the past");
-  heap_.push(Event{at, next_sequence_++, std::move(action)});
+  heap_.push_back(Event{at, next_sequence_++, std::move(action)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   depth_peak().update_max(static_cast<double>(heap_.size()));
 }
 
 bool EventQueue::run_next() {
   if (heap_.empty()) return false;
-  // priority_queue::top() is const; move out via const_cast is UB-adjacent, so
-  // copy the small struct's action handle instead.
-  Event event = heap_.top();
-  heap_.pop();
+  // pop_heap rotates the earliest event to the back; moving from there (no
+  // copy of the action closure or its captured payload) is the point of the
+  // hand-rolled heap.  Pop order is identical to the priority_queue days:
+  // (at, sequence) is a total order, so the heap's tie handling is unique.
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event event = std::move(heap_.back());
+  heap_.pop_back();
   now_ = event.at;
   event.action();
   return true;

@@ -8,7 +8,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 namespace sflow::sim {
@@ -51,7 +50,13 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  // Binary heap over a plain vector (std::push_heap/std::pop_heap) instead
+  // of std::priority_queue: the popped event is *moved* out of the storage —
+  // priority_queue's const top() forces a copy of the action closure and
+  // everything it captures (for protocol messages, the whole payload) — and
+  // the vector's capacity is retained across pops, so steady-state scheduling
+  // allocates no event nodes.
+  std::vector<Event> heap_;
   Time now_ = 0.0;
   std::uint64_t next_sequence_ = 0;
 };

@@ -29,6 +29,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <string>
@@ -69,16 +70,36 @@ struct BatteryReport {
   std::vector<check::Violation> violations;
 };
 
-/// Runs every algorithm on `scenario` and applies the whole oracle stack.
-/// All randomness (the random comparator, the sampled routing sources)
-/// derives from `case_seed`, so a battery re-run — and a replay from a dumped
-/// file — is bit-for-bit repeatable.
+/// Restriction of a battery re-run to what a violation actually implicates:
+/// the algorithms to re-run (empty = all) and whether the routing-kernel
+/// equivalence sub-oracle must run.  Minimization re-runs are dominated by
+/// the algorithm executions, so replaying only the disagreeing variants is
+/// the difference between shrinking one pair and shrinking six solvers.
+struct BatteryFilter {
+  /// nullopt = the full battery; a set (possibly empty, for pure routing
+  /// divergences) = only those algorithms.
+  std::optional<std::set<core::Algorithm>> algorithms;
+  bool check_routing = true;
+
+  bool wants(core::Algorithm a) const {
+    return !algorithms || algorithms->contains(a);
+  }
+};
+
+/// Runs the (possibly filtered) battery on `scenario` and applies the oracle
+/// stack.  All randomness (the random comparator, the sampled routing
+/// sources) derives from `case_seed` with per-algorithm streams, so a re-run
+/// — filtered or not, or a replay from a dumped file — is bit-for-bit
+/// repeatable and a filtered algorithm behaves exactly as in the full run.
 BatteryReport run_battery(const core::Scenario& scenario, std::uint64_t case_seed,
-                          bool generated_scenario) {
+                          bool generated_scenario,
+                          const BatteryFilter& filter = {}) {
   BatteryReport report;
   std::size_t stream = 0;
   for (const core::Algorithm algorithm : battery_algorithms()) {
-    util::Rng rng(util::derive_seed(case_seed, 0xA150 + stream++));
+    const std::size_t algorithm_stream = stream++;  // stable across filters
+    if (!filter.wants(algorithm)) continue;
+    util::Rng rng(util::derive_seed(case_seed, 0xA150 + algorithm_stream));
     core::FederationOutcome outcome =
         core::run_algorithm(algorithm, scenario, rng);
     const check::ValidationReport validation = check::validate_flow_graph(
@@ -94,19 +115,71 @@ BatteryReport run_battery(const core::Scenario& scenario, std::uint64_t case_see
   report.violations.insert(report.violations.end(), hierarchy.begin(),
                            hierarchy.end());
 
-  util::Rng source_rng(util::derive_seed(case_seed, 0x5093));
-  const std::size_t n = scenario.overlay.graph().node_count();
-  if (n > 0) {
-    const std::vector<graph::NodeIndex> sources = {
-        static_cast<graph::NodeIndex>(source_rng.uniform_index(n)),
-        static_cast<graph::NodeIndex>(source_rng.uniform_index(n)),
-    };
-    const std::vector<check::Violation> routing =
-        check::check_routing_equivalence(scenario.overlay.graph(), sources);
-    report.violations.insert(report.violations.end(), routing.begin(),
-                             routing.end());
+  if (filter.check_routing) {
+    util::Rng source_rng(util::derive_seed(case_seed, 0x5093));
+    const std::size_t n = scenario.overlay.graph().node_count();
+    if (n > 0) {
+      const std::vector<graph::NodeIndex> sources = {
+          static_cast<graph::NodeIndex>(source_rng.uniform_index(n)),
+          static_cast<graph::NodeIndex>(source_rng.uniform_index(n)),
+      };
+      const std::vector<check::Violation> routing =
+          check::check_routing_equivalence(scenario.overlay.graph(), sources);
+      report.violations.insert(report.violations.end(), routing.begin(),
+                               routing.end());
+    }
   }
   return report;
+}
+
+/// Which battery subset can reproduce `violations`.  Hierarchy codes name
+/// their variant pair; validation violations prefix their detail with the
+/// algorithm's name; routing divergence implicates no algorithm at all.
+/// Anything unrecognized falls back to the full battery (empty filter).
+BatteryFilter implicated_filter(const std::vector<check::Violation>& violations) {
+  BatteryFilter filter;
+  filter.algorithms.emplace();
+  filter.check_routing = false;
+  for (const check::Violation& v : violations) {
+    if (v.code == "routing-sweep-divergence") {
+      filter.check_routing = true;
+      continue;
+    }
+    if (v.code == "fixed-infeasible") {
+      filter.algorithms->insert(core::Algorithm::kFixed);
+      continue;
+    }
+    if (v.code == "sflow-worse-than-greedy") {
+      filter.algorithms->insert(core::Algorithm::kSflow);
+      filter.algorithms->insert(core::Algorithm::kFixed);
+      continue;
+    }
+    if (v.code == "optimal-vs-brute-force") {
+      filter.algorithms->insert(core::Algorithm::kGlobalOptimal);
+      continue;
+    }
+    if (v.code == "baseline-vs-brute-force") {
+      filter.algorithms->insert(core::Algorithm::kServicePathStrict);
+      filter.algorithms->insert(core::Algorithm::kServicePath);
+      continue;
+    }
+    // beats-optimal compares the named variant against the optimum;
+    // validation violations prefix their detail with the culprit's name.
+    // Scan the detail for algorithm names; an unattributable violation
+    // (e.g. optimal-infeasible, which quantifies over every algorithm)
+    // falls back to the full battery.
+    if (v.code == "beats-optimal")
+      filter.algorithms->insert(core::Algorithm::kGlobalOptimal);
+    bool named = false;
+    for (const core::Algorithm a : battery_algorithms()) {
+      if (v.detail.find(core::algorithm_name(a)) != std::string::npos) {
+        filter.algorithms->insert(a);
+        named = true;
+      }
+    }
+    if (!named) return {};
+  }
+  return filter;
 }
 
 /// Rebuilds a runnable Scenario from a (possibly minimized or replayed)
@@ -153,16 +226,19 @@ overlay::ScenarioFile drop_slink(const overlay::ScenarioFile& file,
 
 /// Greedy delta-debugging over the overlay link set: repeatedly drop the
 /// service link whose removal still reproduces one of the original violation
-/// codes, until a fixed point (or the re-run budget runs out).  Shrunk
+/// codes, until a fixed point (or the re-run budget runs out).  Each re-run
+/// executes only the implicated variants (`filter`) — when a single pair
+/// disagreed, only that pair is replayed per candidate shrink.  Shrunk
 /// scenarios are checked with generated_scenario=false — removing links can
 /// legitimately starve the fixed greedy, which is not the bug being chased.
 overlay::ScenarioFile minimize_scenario(overlay::ScenarioFile file,
                                         const overlay::ServiceCatalog& catalog,
                                         std::uint64_t case_seed,
-                                        const std::set<std::string>& codes) {
+                                        const std::set<std::string>& codes,
+                                        const BatteryFilter& filter) {
   const auto reproduces = [&](const overlay::ScenarioFile& candidate) {
     const core::Scenario scenario = scenario_from_file(candidate, catalog);
-    const BatteryReport report = run_battery(scenario, case_seed, false);
+    const BatteryReport report = run_battery(scenario, case_seed, false, filter);
     for (const check::Violation& v : report.violations)
       if (codes.contains(v.code)) return true;
     return false;
@@ -293,7 +369,8 @@ int main(int argc, char** argv) {
           for (const check::Violation& v : report.violations)
             codes.insert(v.code);
           const overlay::ScenarioFile minimized = minimize_scenario(
-              file_from_scenario(scenario), scenario.catalog, case_seed, codes);
+              file_from_scenario(scenario), scenario.catalog, case_seed, codes,
+              implicated_filter(report.violations));
           const std::string path =
               dump_dir + "/fuzz-fail-seed" + std::to_string(s) + ".scenario";
           std::ofstream out(path);

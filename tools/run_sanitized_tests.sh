@@ -10,6 +10,11 @@
 # So does the differential fuzzer: the fuzz_federation_smoke ctest entry
 # drives all five algorithms through 200 randomized scenarios with the
 # check-layer validator and oracles on every outcome (docs/testing.md).
+# The federation hot-path rewrites ride along too: federation_equiv_test
+# (table search vs legacy, arena DP vs legacy, dominance frontier) and
+# federation_kernel_smoke exercise the quality tables, the future-bandwidth
+# bound, and the zero-copy sfederate payload sharing (shared_ptr
+# copy-on-write) under the same sanitizers.
 #
 #   $ tools/run_sanitized_tests.sh            # thread sanitizer (default)
 #   $ tools/run_sanitized_tests.sh address    # address sanitizer
