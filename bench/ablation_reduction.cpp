@@ -33,8 +33,8 @@ void run_variants(const core::Scenario& scenario, double x,
   for (const auto& [label, options] : variants) {
     // Fresh database: the variant pays for the shortest-widest trees it
     // actually queries, like a node computing Table 1 step 1 on demand.
-    const graph::AllPairsShortestWidest routing(scenario.overlay.graph());
-    const core::RequirementSolver solver(scenario.overlay, routing, options);
+    const graph::AllPairsShortestWidest routing(scenario.overlay().graph());
+    const core::RequirementSolver solver(scenario.overlay(), routing, options);
     util::Stopwatch watch;
     const auto result = solver.solve(scenario.requirement);
     const double elapsed = watch.elapsed_us();

@@ -13,7 +13,8 @@
 #include <string>
 #include <vector>
 
-#include "core/evaluation.hpp"
+#include "core/federator.hpp"
+#include "core/scenario.hpp"
 #include "core/parallel_runner.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"

@@ -38,7 +38,7 @@ int main() {
       const core::Scenario scenario = core::make_scenario(params, seed);
 
       const auto before = core::optimal_flow_graph(
-          scenario.overlay, scenario.requirement, *scenario.overlay_routing);
+          scenario.overlay(), scenario.requirement, scenario.overlay_routing());
       if (!before) continue;
 
       util::Rng rng(util::derive_seed(seed, 0xc4a0));
@@ -47,7 +47,7 @@ int main() {
       churn_params.bandwidth_jitter = 0.8;
       churn_params.latency_jitter = 0.8;
       const overlay::OverlayGraph after =
-          core::apply_churn(scenario.overlay, churn_params, rng);
+          core::apply_churn(scenario.overlay(), churn_params, rng);
       // One shortest-widest cache per churned overlay, shared by both repair
       // strategies below: it is an input both consume, not part of either
       // repair's measured work (the stopwatches start after construction),
@@ -57,7 +57,7 @@ int main() {
       // Incremental repair.
       util::Stopwatch incremental_watch;
       const core::RefederationResult repaired = core::refederate(
-          scenario.overlay, after, routing, scenario.requirement, *before);
+          scenario.overlay(), after, routing, scenario.requirement, *before);
       const double incremental_us = incremental_watch.elapsed_us();
       if (!repaired.graph) continue;
 

@@ -24,8 +24,8 @@ int main() {
   bench::sweep(config, [&](const core::Scenario& scenario, util::Rng& rng,
                            std::size_t size) {
     const core::SFlowFederationResult healthy = core::run_sflow_federation(
-        scenario.underlay, *scenario.routing, scenario.overlay,
-        *scenario.overlay_routing, scenario.requirement);
+        scenario.underlay, *scenario.routing, scenario.overlay(),
+        scenario.overlay_routing(), scenario.requirement);
     if (!healthy.flow_graph) return;
 
     for (const std::size_t crashes : {1u, 2u}) {
@@ -35,17 +35,17 @@ int main() {
       std::vector<overlay::OverlayIndex> candidates;
       for (const auto& [sid, instance] : healthy.flow_graph->assignments()) {
         if (sid == source) continue;
-        if (scenario.overlay.instances_of(sid).size() >= 2)
+        if (scenario.overlay().instances_of(sid).size() >= 2)
           candidates.push_back(instance);
       }
       if (candidates.size() < crashes) continue;
       rng.shuffle(candidates);
       for (std::size_t i = 0; i < crashes; ++i)
-        faults.crashed.insert(scenario.overlay.instance(candidates[i]).nid);
+        faults.crashed.insert(scenario.overlay().instance(candidates[i]).nid);
 
       const core::SFlowFederationResult result = core::run_sflow_federation(
-          scenario.underlay, *scenario.routing, scenario.overlay,
-          *scenario.overlay_routing, scenario.requirement, {}, faults);
+          scenario.underlay, *scenario.routing, scenario.overlay(),
+          scenario.overlay_routing(), scenario.requirement, {}, faults);
       const std::string label = std::to_string(crashes) + " crash(es)";
       survival.row(label, static_cast<double>(size))
           .add(result.flow_graph ? 1.0 : 0.0);

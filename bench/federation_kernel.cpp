@@ -79,7 +79,7 @@ bool validate_or_complain(const core::Scenario& scenario,
                           const overlay::ServiceFlowGraph& graph,
                           const char* what, std::size_t size, std::size_t seed) {
   const check::ValidationReport report = check::validate_flow_graph(
-      scenario.overlay, scenario.requirement, graph);
+      scenario.overlay(), scenario.requirement, graph);
   if (report.ok()) return true;
   std::cerr << "VALIDATION FAILURE (" << what << ", size " << size << ", seed "
             << seed << "):\n" << report.to_string() << "\n";
@@ -115,19 +115,19 @@ int run(const std::vector<std::size_t>& sizes, std::size_t seeds,
                                 util::derive_seed(7200, size * 100 + seed));
         // Warm the shortest-widest cache so neither search pays for lazy
         // tree construction inside its timed region.
-        scenario.overlay_routing->precompute_all();
+        scenario.overlay_routing().precompute_all();
 
         core::OptimalStats legacy_stats;
         util::Stopwatch watch;
         const auto legacy = core::optimal_flow_graph_legacy(
-            scenario.overlay, scenario.requirement, *scenario.overlay_routing,
+            scenario.overlay(), scenario.requirement, scenario.overlay_routing(),
             &legacy_stats);
         record.optimal_legacy.wall_ms += watch.elapsed_ms();
 
         core::OptimalStats stats;
         watch.restart();
         const auto fresh = core::optimal_flow_graph(
-            scenario.overlay, scenario.requirement, *scenario.overlay_routing,
+            scenario.overlay(), scenario.requirement, scenario.overlay_routing(),
             &stats);
         record.optimal_tables.wall_ms += watch.elapsed_ms();
 
@@ -152,17 +152,17 @@ int run(const std::vector<std::size_t>& sizes, std::size_t seeds,
         const core::Scenario scenario =
             core::make_scenario(workload(size, overlay::RequirementShape::kSinglePath),
                                 util::derive_seed(7300, size * 100 + seed));
-        scenario.overlay_routing->precompute_all();
+        scenario.overlay_routing().precompute_all();
 
         util::Stopwatch watch;
         const auto legacy = core::baseline_single_path_legacy(
-            scenario.overlay, scenario.requirement, *scenario.overlay_routing);
+            scenario.overlay(), scenario.requirement, scenario.overlay_routing());
         record.baseline_legacy.wall_ms += watch.elapsed_ms();
 
         core::BaselineStats stats;
         watch.restart();
         const auto fresh = core::baseline_single_path(
-            scenario.overlay, scenario.requirement, *scenario.overlay_routing,
+            scenario.overlay(), scenario.requirement, scenario.overlay_routing(),
             &stats);
         record.baseline_arena.wall_ms += watch.elapsed_ms();
 
@@ -185,7 +185,7 @@ int run(const std::vector<std::size_t>& sizes, std::size_t seeds,
         const core::Scenario scenario =
             core::make_scenario(workload(size, overlay::RequirementShape::kGenericDag),
                                 util::derive_seed(7400, size * 100 + seed));
-        scenario.overlay_routing->precompute_all();
+        scenario.overlay_routing().precompute_all();
 
         const auto federate = [&](bool copy_payloads, FederationSample& sample) {
           core::SFlowNodeConfig config;
@@ -193,8 +193,8 @@ int run(const std::vector<std::size_t>& sizes, std::size_t seeds,
           const std::uint64_t copied_before = copied_bytes_counter();
           util::Stopwatch watch;
           const core::SFlowFederationResult result = core::run_sflow_federation(
-              scenario.underlay, *scenario.routing, scenario.overlay,
-              *scenario.overlay_routing, scenario.requirement, config);
+              scenario.underlay, *scenario.routing, scenario.overlay(),
+              scenario.overlay_routing(), scenario.requirement, config);
           sample.wall_ms += watch.elapsed_ms();
           sample.copied_bytes += copied_bytes_counter() - copied_before;
           sample.wire_bytes += result.bytes;

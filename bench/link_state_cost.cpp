@@ -23,7 +23,7 @@ int main() {
                            std::size_t size) {
     for (const int radius : {1, 2, 3}) {
       core::LinkStateProtocol protocol(scenario.underlay, *scenario.routing,
-                                       scenario.overlay, radius);
+                                       scenario.overlay(), radius);
       const core::LinkStateStats stats = protocol.disseminate();
       const std::string label = "radius " + std::to_string(radius);
       messages.row(label, static_cast<double>(size))

@@ -33,7 +33,7 @@ int main() {
       const core::Scenario scenario = core::make_scenario(params, seed);
 
       core::LinkStateProtocol protocol(scenario.underlay, *scenario.routing,
-                                       scenario.overlay, 2);
+                                       scenario.overlay(), 2);
       if (loss > 0.0) protocol.set_loss(loss, util::derive_seed(seed, 0x105e));
 
       int rounds = 0;

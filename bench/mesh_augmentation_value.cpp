@@ -11,6 +11,8 @@
 // saturates; the path algorithm's success rate benefits the most — sparse
 // meshes are what starve it.
 #include "bench_common.hpp"
+#include "core/comparators.hpp"
+#include "core/global_optimal.hpp"
 #include "core/mesh_augmentation.hpp"
 
 int main() {
@@ -30,7 +32,7 @@ int main() {
       const core::Scenario scenario = core::make_scenario(params, seed);
       util::Rng rng(util::derive_seed(seed, 0xae6));
 
-      overlay::OverlayGraph mesh = scenario.overlay;
+      overlay::OverlayGraph mesh = scenario.overlay();
       std::size_t budget_so_far = 0;
       for (const std::size_t budget : {0u, 6u, 12u}) {
         if (budget > budget_so_far) {

@@ -4,7 +4,8 @@
 #include <benchmark/benchmark.h>
 
 #include "core/baseline.hpp"
-#include "core/evaluation.hpp"
+#include "core/federator.hpp"
+#include "core/scenario.hpp"
 #include "core/global_optimal.hpp"
 #include "core/parallel_runner.hpp"
 #include "core/reduction.hpp"
@@ -79,7 +80,7 @@ void BM_AbstractGraphBuild(benchmark::State& state) {
       static_cast<std::size_t>(state.range(0)), overlay::RequirementShape::kGenericDag);
   for (auto _ : state) {
     benchmark::DoNotOptimize(overlay::ServiceAbstractGraph(
-        scenario.overlay, scenario.requirement, *scenario.overlay_routing));
+        scenario.overlay(), scenario.requirement, scenario.overlay_routing()));
   }
 }
 BENCHMARK(BM_AbstractGraphBuild)->Arg(20)->Arg(50);
@@ -89,7 +90,7 @@ void BM_BaselineChain(benchmark::State& state) {
       static_cast<std::size_t>(state.range(0)), overlay::RequirementShape::kSinglePath);
   for (auto _ : state) {
     benchmark::DoNotOptimize(core::baseline_single_path(
-        scenario.overlay, scenario.requirement, *scenario.overlay_routing));
+        scenario.overlay(), scenario.requirement, scenario.overlay_routing()));
   }
 }
 BENCHMARK(BM_BaselineChain)->Arg(20)->Arg(50);
@@ -97,7 +98,7 @@ BENCHMARK(BM_BaselineChain)->Arg(20)->Arg(50);
 void BM_RequirementSolver(benchmark::State& state) {
   const core::Scenario scenario = bench_scenario(
       static_cast<std::size_t>(state.range(0)), overlay::RequirementShape::kSplitMerge);
-  const core::RequirementSolver solver(scenario.overlay, *scenario.overlay_routing);
+  const core::RequirementSolver solver(scenario.overlay(), scenario.overlay_routing());
   for (auto _ : state) {
     benchmark::DoNotOptimize(solver.solve(scenario.requirement));
   }
@@ -109,7 +110,7 @@ void BM_GlobalOptimal(benchmark::State& state) {
       static_cast<std::size_t>(state.range(0)), overlay::RequirementShape::kGenericDag);
   for (auto _ : state) {
     benchmark::DoNotOptimize(core::optimal_flow_graph(
-        scenario.overlay, scenario.requirement, *scenario.overlay_routing));
+        scenario.overlay(), scenario.requirement, scenario.overlay_routing()));
   }
 }
 BENCHMARK(BM_GlobalOptimal)->Arg(20)->Arg(50);

@@ -1,113 +1,217 @@
-// E16: multi-tenant resource efficiency — several consumers federate
-// concurrently on the same overlay and their streams share the underlay.
+// E16: shared-capacity multi-request federation — K consumers arrive on the
+// same overlay snapshot and admission control (core/admission.hpp) charges
+// each granted flow against the residual overlay and the physical links
+// beneath it.
 //
-// For k = 1..6 concurrent federations on an N = 40 overlay (full type
-// compatibility so every consumer's requirement is hostable), each algorithm
-// selects a flow graph per consumer; all streams are then pooled into one
-// max-min fair allocation.  Reported: mean delivered throughput per consumer.
+// For k in {1, 2, 3, 4, 6} concurrent requests on an N = 40 overlay (full
+// type compatibility so every consumer's requirement is hostable), each
+// {algorithm} x {ordering policy} pair serves the batch through
+// run_admission_sequence.  Reported: acceptance-rate and delivered-throughput
+// trajectories as tenancy grows.
 //
-// Expected shape: delivered throughput falls as tenants join; quality-aware
-// selection (Global Optimal / sFlow) keeps a margin over Random at every
-// tenancy level, though the margin compresses — everyone competes for the
-// same fat links.
+// Every result is checked by the replay + conservation oracle
+// (check::validate_admission_sequence); the process exits non-zero on any
+// violation, so the ctest smoke registration doubles as a tier-1 safety net.
+// In --smoke mode a joint brute-force oracle additionally bounds the ordering
+// policies: no policy may beat the best of all K! processing orders.
+//
+// Expected shape: acceptance and per-consumer throughput fall as tenants
+// join; quality-aware selection (Global Optimal / sFlow) keeps a margin over
+// Random at every tenancy level; widest-first tends to deliver the most
+// throughput while smallest-first tends to admit the most requests.
 #include "bench_common.hpp"
-#include "net/contention.hpp"
+#include "check/validate.hpp"
+#include "core/admission.hpp"
 #include "overlay/requirement_generator.hpp"
 
-int main() {
-  using namespace sflow;
-  constexpr std::size_t kNetworkSize = 40;
-  constexpr std::size_t kTrials = 12;
-  util::SeriesTable delivered;
+namespace {
 
-  for (const std::size_t tenants : {1u, 2u, 3u, 4u, 6u}) {
-    for (std::size_t trial = 0; trial < kTrials; ++trial) {
+using namespace sflow;
+
+struct Options {
+  bool smoke = false;
+  std::string json_path;
+};
+
+Options parse_options(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      options.smoke = true;
+    } else if (arg == "--json" && i + 1 < argc) {
+      options.json_path = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--smoke] [--json PATH]\n";
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+/// The batch: the scenario's own requirement plus tenants-1 generated DAGs,
+/// each pinned to a hosting instance of its source.  Request i's draws come
+/// from derive_seed(seed, i), so the batch is position-stable — growing
+/// `tenants` never changes the earlier requests.
+std::vector<overlay::ServiceRequirement> make_requests(
+    const core::Scenario& scenario, const core::WorkloadParams& params,
+    std::size_t tenants, std::uint64_t seed) {
+  std::vector<overlay::Sid> sids;
+  for (std::size_t t = 0; t < params.service_type_count; ++t)
+    sids.push_back(static_cast<overlay::Sid>(t));
+  std::vector<overlay::ServiceRequirement> requests{scenario.requirement};
+  while (requests.size() < tenants) {
+    util::Rng rng(util::derive_seed(seed, 0x7e7a00 + requests.size()));
+    overlay::RequirementSpec spec = params.requirement;
+    overlay::ServiceRequirement r = overlay::generate_requirement(spec, sids, rng);
+    const auto sources = scenario.overlay().instances_of(r.source());
+    r.pin(r.source(),
+          scenario.overlay()
+              .instance(sources[rng.uniform_index(sources.size())])
+              .nid);
+    requests.push_back(std::move(r));
+  }
+  return requests;
+}
+
+/// Lexicographic batch value, the brute-force oracle's objective.
+std::pair<std::size_t, double> batch_value(const core::AdmissionResult& r) {
+  return {r.admitted_count(), r.total_rate()};
+}
+
+void write_json(const Options& options, const std::vector<std::size_t>& tenancies,
+                std::size_t trials, const util::SeriesTable& acceptance,
+                const util::SeriesTable& throughput) {
+  if (options.json_path.empty()) return;
+  std::ofstream out(options.json_path);
+  if (!out) {
+    std::cerr << "cannot write " << options.json_path << "\n";
+    std::exit(1);
+  }
+  const auto emit_table = [&](const util::SeriesTable& table) {
+    bool first_series = true;
+    out << "{";
+    for (const std::string& series : table.series_names()) {
+      out << (first_series ? "" : ",") << "\n      \"" << series << "\": {";
+      first_series = false;
+      bool first_x = true;
+      for (const double x : table.x_values()) {
+        const util::Accumulator* acc = table.find(series, x);
+        if (acc == nullptr || acc->empty()) continue;
+        out << (first_x ? "" : ", ") << "\"" << x << "\": " << acc->mean();
+        first_x = false;
+      }
+      out << "}";
+    }
+    out << "\n    }";
+  };
+  out << "{\n  \"bench\": \"multi_tenant_contention\",\n  \"tenancies\": [";
+  for (std::size_t i = 0; i < tenancies.size(); ++i)
+    out << (i ? ", " : "") << tenancies[i];
+  out << "],\n  \"trials_per_tenancy\": " << trials
+      << ",\n  \"validated\": true,\n  \"series\": {\n    \"acceptance_rate\": ";
+  emit_table(acceptance);
+  out << ",\n    \"delivered_throughput\": ";
+  emit_table(throughput);
+  out << "\n  }\n}\n";
+  std::cout << "\nwrote " << options.json_path << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = parse_options(argc, argv);
+
+  const std::vector<std::size_t> tenancies =
+      options.smoke ? std::vector<std::size_t>{2, 3}
+                    : std::vector<std::size_t>{1, 2, 3, 4, 6};
+  const std::size_t network_size = options.smoke ? 16 : 40;
+  const std::size_t trials = options.smoke ? 2 : 12;
+
+  util::SeriesTable acceptance;
+  util::SeriesTable throughput;
+  std::size_t violations = 0;
+
+  for (const std::size_t tenants : tenancies) {
+    for (std::size_t trial = 0; trial < trials; ++trial) {
       core::WorkloadParams params;
-      params.network_size = kNetworkSize;
+      params.network_size = network_size;
       params.service_type_count = 6;
-      params.requirement.service_count = 5;
+      params.requirement.service_count = options.smoke ? 4 : 5;
       params.type_compatibility = 1.0;  // every consumer's DAG is hostable
       const std::uint64_t seed = util::derive_seed(616, tenants * 100 + trial);
       const core::Scenario scenario = core::make_scenario(params, seed);
-      util::Rng rng(util::derive_seed(seed, 0x7e7a));
-
-      // Consumer requirements: the scenario's own plus fresh random DAGs.
-      std::vector<overlay::Sid> sids;
-      for (std::size_t t = 0; t < params.service_type_count; ++t)
-        sids.push_back(static_cast<overlay::Sid>(t));
-      std::vector<overlay::ServiceRequirement> demands{scenario.requirement};
-      while (demands.size() < tenants) {
-        overlay::RequirementSpec spec = params.requirement;
-        overlay::ServiceRequirement r =
-            overlay::generate_requirement(spec, sids, rng);
-        const auto sources = scenario.overlay.instances_of(r.source());
-        r.pin(r.source(),
-              scenario.overlay
-                  .instance(sources[rng.uniform_index(sources.size())])
-                  .nid);
-        demands.push_back(std::move(r));
-      }
+      const std::vector<overlay::ServiceRequirement> requests =
+          make_requests(scenario, params, tenants, seed);
 
       for (const core::Algorithm algorithm :
            {core::Algorithm::kGlobalOptimal, core::Algorithm::kSflow,
             core::Algorithm::kRandom}) {
-        // Select per consumer, then pool every stream into one allocation.
-        std::vector<net::StreamDemand> pooled;
-        std::vector<std::pair<std::size_t, std::size_t>> spans;  // per consumer
-        bool ok = true;
-        for (const overlay::ServiceRequirement& demand : demands) {
-          std::optional<overlay::ServiceFlowGraph> flow;
-          switch (algorithm) {
-            case core::Algorithm::kGlobalOptimal:
-              flow = core::optimal_flow_graph(scenario.overlay, demand,
-                                              *scenario.overlay_routing);
-              break;
-            case core::Algorithm::kSflow: {
-              const core::SFlowFederationResult result =
-                  core::run_sflow_federation(scenario.underlay, *scenario.routing,
-                                             scenario.overlay,
-                                             *scenario.overlay_routing, demand);
-              flow = result.flow_graph;
-              break;
-            }
-            default: {
-              auto r = core::random_federation(scenario.overlay, demand,
-                                               *scenario.overlay_routing, rng);
-              if (r) flow = std::move(r->graph);
-              break;
-            }
-          }
-          if (!flow) {
-            ok = false;
-            break;
-          }
-          const auto streams = net::flow_graph_streams(scenario.overlay, *flow,
-                                                       *scenario.routing);
-          spans.emplace_back(pooled.size(), streams.size());
-          pooled.insert(pooled.end(), streams.begin(), streams.end());
-        }
-        if (!ok) continue;
+        for (const core::AdmissionOrder order : core::all_admission_orders()) {
+          core::AdmissionConfig config;
+          config.order = order;
+          config.algorithm = algorithm;
+          const core::AdmissionResult result =
+              core::run_admission_sequence(scenario, requests, config, seed);
 
-        const auto rates = net::max_min_fair_rates(scenario.underlay, pooled);
-        double total = 0.0;
-        for (const auto& [offset, count] : spans) {
-          double consumer_rate = std::numeric_limits<double>::infinity();
-          for (std::size_t i = 0; i < count; ++i)
-            consumer_rate = std::min(consumer_rate, rates[offset + i]);
-          total += count == 0 ? 0.0 : consumer_rate;
+          const check::ValidationReport report =
+              check::validate_admission_sequence(scenario, requests, result,
+                                                 config);
+          if (!report.ok()) {
+            std::cerr << "E16 violation (" << core::algorithm_name(algorithm)
+                      << " / " << core::admission_order_name(order)
+                      << ", tenants=" << tenants << ", trial=" << trial
+                      << "):\n"
+                      << report.to_string();
+            ++violations;
+          }
+
+          if (options.smoke) {
+            // No ordering policy may beat the joint K!-order oracle.
+            const core::AdmissionResult oracle =
+                core::brute_force_admission(scenario, requests, config, seed);
+            if (batch_value(result) > batch_value(oracle)) {
+              std::cerr << "E16 oracle breach: "
+                        << core::algorithm_name(algorithm) << " / "
+                        << core::admission_order_name(order) << " admitted "
+                        << result.admitted_count() << " @ "
+                        << result.total_rate() << " but the oracle caps at "
+                        << oracle.admitted_count() << " @ "
+                        << oracle.total_rate() << "\n";
+              ++violations;
+            }
+          }
+
+          const std::string label = core::algorithm_name(algorithm) + " / " +
+                                    core::admission_order_name(order);
+          const auto x = static_cast<double>(tenants);
+          acceptance.row(label, x).add(
+              static_cast<double>(result.admitted_count()) /
+              static_cast<double>(requests.size()));
+          throughput.row(label, x).add(result.total_rate());
         }
-        delivered.row(core::algorithm_name(algorithm),
-                      static_cast<double>(tenants))
-            .add(total / static_cast<double>(demands.size()));
       }
     }
   }
 
+  bench::print_series(std::cout,
+                      "E16  Acceptance rate vs concurrent requests", acceptance,
+                      3);
   bench::print_series(
-      std::cout, "E16  Mean delivered throughput per consumer (Mbps) vs tenants",
-      delivered, 2);
-  std::cout << "\nExpected shape: throughput falls with tenancy; "
-               "quality-aware selection keeps a margin over Random "
-               "throughout.\n";
+      std::cout, "E16  Delivered throughput (Mbps, batch total) vs requests",
+      throughput, 2);
+  std::cout << "\nExpected shape: acceptance and throughput margins fall as "
+               "tenants join; quality-aware selection stays ahead of Random; "
+               "widest-first leads on throughput, smallest-first on "
+               "acceptance.\n";
+
+  write_json(options, tenancies, trials, acceptance, throughput);
+
+  if (violations > 0) {
+    std::cerr << "\n" << violations << " violation(s) — failing the run.\n";
+    return 1;
+  }
+  std::cout << "\nAll admission sequences validated (replay + conservation"
+            << (options.smoke ? " + brute-force oracle bound" : "") << ").\n";
   return 0;
 }

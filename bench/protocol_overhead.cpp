@@ -20,8 +20,8 @@ int main() {
   bench::sweep(config, [&](const core::Scenario& scenario, util::Rng&,
                            std::size_t size) {
     const core::SFlowFederationResult result = core::run_sflow_federation(
-        scenario.underlay, *scenario.routing, scenario.overlay,
-        *scenario.overlay_routing, scenario.requirement);
+        scenario.underlay, *scenario.routing, scenario.overlay(),
+        scenario.overlay_routing(), scenario.requirement);
     if (!result.flow_graph) return;
     const auto x = static_cast<double>(size);
     messages.row("messages per federation", x)

@@ -26,21 +26,21 @@ int main() {
                            std::size_t size) {
     // Capacities drawn across the link-bandwidth range: some instances choke.
     const overlay::ResourceModel model =
-        overlay::ResourceModel::random(scenario.overlay, 5.0, 15.0, 90.0, rng);
+        overlay::ResourceModel::random(scenario.overlay(), 5.0, 15.0, 90.0, rng);
 
     const auto blind = core::optimal_flow_graph(
-        scenario.overlay, scenario.requirement, *scenario.overlay_routing);
+        scenario.overlay(), scenario.requirement, scenario.overlay_routing());
     const auto aware = core::optimal_flow_graph_custom(
-        scenario.overlay, scenario.requirement,
-        overlay::resource_aware_edge_quality(scenario.overlay,
-                                             *scenario.overlay_routing, model),
-        core::routing_edge_path(*scenario.overlay_routing));
+        scenario.overlay(), scenario.requirement,
+        overlay::resource_aware_edge_quality(scenario.overlay(),
+                                             scenario.overlay_routing(), model),
+        core::routing_edge_path(scenario.overlay_routing()));
     if (!blind || !aware) return;
 
     const graph::PathQuality blind_q = overlay::resource_aware_quality(
-        scenario.overlay, scenario.requirement, *blind, model);
+        scenario.overlay(), scenario.requirement, *blind, model);
     const graph::PathQuality aware_q = overlay::resource_aware_quality(
-        scenario.overlay, scenario.requirement, *aware, model);
+        scenario.overlay(), scenario.requirement, *aware, model);
     const auto x = static_cast<double>(size);
     bandwidth.row("resource-blind (paper)", x).add(blind_q.bandwidth);
     bandwidth.row("resource-aware", x).add(aware_q.bandwidth);

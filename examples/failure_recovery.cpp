@@ -10,7 +10,8 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "core/evaluation.hpp"
+#include "core/federator.hpp"
+#include "core/scenario.hpp"
 #include "core/global_optimal.hpp"
 #include "core/refederation.hpp"
 
@@ -29,7 +30,7 @@ int main(int argc, char** argv) {
 
   // 1. Federate.
   const auto flow = core::optimal_flow_graph(
-      scenario.overlay, scenario.requirement, *scenario.overlay_routing);
+      scenario.overlay(), scenario.requirement, scenario.overlay_routing());
   if (!flow) {
     std::cerr << "Initial federation failed.\n";
     return 1;
@@ -48,16 +49,16 @@ int main(int argc, char** argv) {
       *scenario.requirement.pinned(scenario.requirement.source())};
   for (const overlay::Sid sid : scenario.requirement.services())
     protected_nids.push_back(
-        scenario.overlay.instance(scenario.overlay.instances_of(sid).front()).nid);
+        scenario.overlay().instance(scenario.overlay().instances_of(sid).front()).nid);
   core::ChurnReport report;
   const overlay::OverlayGraph after =
-      core::apply_churn(scenario.overlay, churn, rng, &report, protected_nids);
+      core::apply_churn(scenario.overlay(), churn, rng, &report, protected_nids);
   std::cout << "\nChurn: " << report.links_rewritten << " links re-drawn, "
             << report.failed_instances.size() << " instances failed\n";
 
   // 3. Diagnose.
   const auto violations =
-      core::diagnose_flow(scenario.overlay, after, scenario.requirement, *flow);
+      core::diagnose_flow(scenario.overlay(), after, scenario.requirement, *flow);
   std::cout << "Diagnosis: " << violations.size() << " violated edges\n";
   for (const core::EdgeViolation& v : violations) {
     std::cout << "  " << scenario.catalog.name(v.from) << " -> "
@@ -72,7 +73,7 @@ int main(int argc, char** argv) {
   // 4. Repair incrementally.
   const graph::AllPairsShortestWidest routing(after.graph());
   const core::RefederationResult repaired = core::refederate(
-      scenario.overlay, after, routing, scenario.requirement, *flow);
+      scenario.overlay(), after, routing, scenario.requirement, *flow);
   if (!repaired.graph) {
     std::cerr << "Re-federation failed.\n";
     return 1;

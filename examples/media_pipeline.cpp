@@ -14,7 +14,8 @@
 #include <iostream>
 
 #include "core/comparators.hpp"
-#include "core/evaluation.hpp"
+#include "core/federator.hpp"
+#include "core/scenario.hpp"
 #include "core/reduction.hpp"
 #include "overlay/requirement_parser.hpp"
 #include "sim/data_plane.hpp"

@@ -146,7 +146,7 @@ std::vector<Violation> check_outcome_hierarchy(
   }
 
   const auto brute = brute_force_best_quality(
-      scenario.overlay, scenario.requirement, *scenario.overlay_routing,
+      scenario.overlay(), scenario.requirement, scenario.overlay_routing(),
       brute_force_limit);
   if (brute) {
     if (optimal != nullptr) {

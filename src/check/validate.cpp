@@ -220,6 +220,181 @@ double critical_path_latency(
   return best;
 }
 
+namespace {
+
+/// Absolute-plus-relative slack for comparisons involving summed rates; the
+/// per-flow math is exact but a sum of K doubles is not.
+double conservation_tolerance(double scale) {
+  return 1e-9 * std::max(1.0, std::abs(scale));
+}
+
+}  // namespace
+
+ValidationReport validate_conservation(
+    const overlay::OverlayGraph& base_overlay,
+    const net::UnderlyingNetwork& underlay, const net::UnderlayRouting* routing,
+    const std::vector<overlay::AdmittedFlow>& admitted) {
+  ValidationReport report;
+  std::vector<Violation>& out = report.violations;
+
+  // Deliberately independent of the ResidualOverlay ledgers: consumption is
+  // re-accumulated here from the flow graphs via the shared distinct-link
+  // walks, then compared against *base* capacities.
+  std::map<std::pair<OverlayIndex, OverlayIndex>, double> overlay_sum;
+  std::map<std::pair<net::Nid, net::Nid>, double> underlay_sum;
+
+  for (std::size_t i = 0; i < admitted.size(); ++i) {
+    const overlay::AdmittedFlow& a = admitted[i];
+    const std::string label = "admitted[" + std::to_string(i) + "]";
+    if (!(a.rate > 0.0)) {
+      std::ostringstream os;
+      os << label << " granted non-positive rate " << a.rate;
+      add(out, "rate-nonpositive", os.str());
+      continue;
+    }
+    const auto links = overlay::distinct_overlay_links(a.flow);
+    double bottleneck = std::numeric_limits<double>::infinity();
+    for (const auto& [from, to] : links) {
+      const graph::EdgeIndex e = base_overlay.graph().find_edge(from, to);
+      if (e == graph::kInvalidEdge) {
+        std::ostringstream os;
+        os << label << ": no overlay link " << from << " -> " << to;
+        add(out, "missing-link", os.str());
+        continue;
+      }
+      bottleneck =
+          std::min(bottleneck, base_overlay.graph().edge(e).metrics.bandwidth);
+      overlay_sum[{from, to}] += a.rate;
+    }
+    if (a.rate > bottleneck + conservation_tolerance(bottleneck)) {
+      std::ostringstream os;
+      os << label << " granted " << a.rate
+         << " above its base-overlay bottleneck " << bottleneck;
+      add(out, "rate-above-bottleneck", os.str());
+    }
+    if (routing != nullptr) {
+      for (const auto& [from, to] :
+           overlay::distinct_underlay_links(a.flow, base_overlay, *routing))
+        underlay_sum[{from, to}] += a.rate;
+    }
+  }
+
+  for (const auto& [link, sum] : overlay_sum) {
+    const graph::EdgeIndex e =
+        base_overlay.graph().find_edge(link.first, link.second);
+    if (e == graph::kInvalidEdge) continue;  // reported above
+    const double capacity = base_overlay.graph().edge(e).metrics.bandwidth;
+    if (sum > capacity + conservation_tolerance(capacity)) {
+      std::ostringstream os;
+      os << "overlay link " << link.first << " -> " << link.second
+         << " oversubscribed: granted " << sum << " of " << capacity;
+      add(out, "conservation-overlay", os.str());
+    }
+  }
+  for (const auto& [link, sum] : underlay_sum) {
+    if (!underlay.has_link(link.first, link.second)) {
+      std::ostringstream os;
+      os << "underlay link " << link.first << " -> " << link.second
+         << " charged but absent from the network";
+      add(out, "conservation-underlay", os.str());
+      continue;
+    }
+    const double capacity =
+        underlay.link_metrics(link.first, link.second).bandwidth;
+    if (sum > capacity + conservation_tolerance(capacity)) {
+      std::ostringstream os;
+      os << "underlay link " << link.first << " -> " << link.second
+         << " oversubscribed: granted " << sum << " of " << capacity;
+      add(out, "conservation-underlay", os.str());
+    }
+  }
+  return report;
+}
+
+ValidationReport validate_admission_sequence(
+    const core::Scenario& scenario,
+    const std::vector<ServiceRequirement>& requests,
+    const core::AdmissionResult& result, const core::AdmissionConfig& config) {
+  ValidationReport report;
+  std::vector<Violation>& out = report.violations;
+
+  // The decisions must be a permutation of the batch.
+  std::vector<std::size_t> seen(requests.size(), 0);
+  bool order_ok = result.decisions.size() == requests.size();
+  for (const core::AdmissionDecision& d : result.decisions) {
+    if (d.request_index >= requests.size() || ++seen[d.request_index] > 1)
+      order_ok = false;
+  }
+  if (!order_ok) {
+    add(out, "admission-order",
+        "decisions are not a permutation of the request batch");
+    return report;
+  }
+
+  const net::UnderlayRouting* routing =
+      config.charge_underlay ? scenario.routing.get() : nullptr;
+
+  // Replay each decision against the residual state at its decision time.
+  overlay::ResidualOverlay view = scenario.view;
+  for (const core::AdmissionDecision& d : result.decisions) {
+    const std::string label = "request " + std::to_string(d.request_index);
+    if (!d.admitted) {
+      if (d.rate != 0.0) {
+        std::ostringstream os;
+        os << label << " rejected but carries rate " << d.rate;
+        add(out, "admission-rejected-rate", os.str());
+      }
+      continue;
+    }
+    if (!d.outcome.success) {
+      add(out, "admission-rate", label + " admitted without a successful outcome");
+      continue;
+    }
+    // Structural + exact-quality validation on the overlay the request was
+    // actually solved against (the residual graph at this generation).
+    ValidationReport structural = validate_flow_graph(
+        view.graph(), requests[d.request_index], d.outcome);
+    for (Violation v : structural.violations) {
+      v.detail = label + ": " + v.detail;
+      out.push_back(std::move(v));
+    }
+    if (d.rate > d.outcome.bandwidth + conservation_tolerance(d.outcome.bandwidth)) {
+      std::ostringstream os;
+      os << label << " granted " << d.rate << " above its solved bandwidth "
+         << d.outcome.bandwidth;
+      add(out, "admission-rate", os.str());
+    }
+    if (routing != nullptr) {
+      const double headroom =
+          view.underlay_headroom(d.outcome.graph, *routing, scenario.underlay);
+      if (d.rate > headroom + conservation_tolerance(headroom)) {
+        std::ostringstream os;
+        os << label << " granted " << d.rate << " above physical headroom "
+           << headroom;
+        add(out, "admission-rate", os.str());
+      }
+    }
+    if (d.rate < config.bandwidth_floor) {
+      std::ostringstream os;
+      os << label << " admitted at rate " << d.rate
+         << " below the configured floor " << config.bandwidth_floor;
+      add(out, "admission-floor", os.str());
+    }
+    if (d.rate > 0.0) view.admit(d.outcome.graph, d.rate, routing);
+  }
+
+  if (!(view.admitted() == result.view.admitted())) {
+    add(out, "admission-view-mismatch",
+        "replayed admitted set disagrees with the result's view");
+  }
+
+  ValidationReport conservation = validate_conservation(
+      view.base(), scenario.underlay, routing, result.view.admitted());
+  out.insert(out.end(), conservation.violations.begin(),
+             conservation.violations.end());
+  return report;
+}
+
 ValidationReport validate_flow_graph(const overlay::OverlayGraph& overlay,
                                      const ServiceRequirement& requirement,
                                      const core::FederationOutcome& outcome) {

@@ -21,10 +21,14 @@
 #include <string>
 #include <vector>
 
+#include "core/admission.hpp"
 #include "core/federator.hpp"
+#include "net/topology.hpp"
+#include "net/underlay_routing.hpp"
 #include "overlay/flow_graph.hpp"
 #include "overlay/overlay_graph.hpp"
 #include "overlay/requirement.hpp"
+#include "overlay/residual.hpp"
 
 namespace sflow::check {
 
@@ -74,6 +78,43 @@ ValidationReport validate_flow_graph(const overlay::OverlayGraph& overlay,
 ValidationReport validate_flow_graph(const overlay::OverlayGraph& overlay,
                                      const overlay::ServiceRequirement& requirement,
                                      const core::FederationOutcome& outcome);
+
+/// Conservation oracle over an admitted set: re-derives every flow's
+/// consumption from first principles (the same distinct-link semantics the
+/// ledger uses, but re-walked here from the flow graphs) and checks that
+///
+///  * every granted rate is positive and no larger than the flow's bottleneck
+///    re-measured on the *base* overlay (a residual-solved flow can never
+///    exceed pristine capacity);
+///  * on every overlay link, the sum of granted rates of the flows crossing
+///    it never exceeds the base capacity;
+///  * when `routing` is non-null, the same holds for every physical link
+///    beneath the flows' overlay hops against the underlay capacities.
+///
+/// Floating-point sums earn a tiny relative tolerance (1e-9); everything else
+/// is exact.  Violation codes: rate-nonpositive, rate-above-bottleneck,
+/// conservation-overlay, conservation-underlay.
+ValidationReport validate_conservation(
+    const overlay::OverlayGraph& base_overlay,
+    const net::UnderlyingNetwork& underlay, const net::UnderlayRouting* routing,
+    const std::vector<overlay::AdmittedFlow>& admitted);
+
+/// Replay oracle for a whole admission sequence: re-applies `result`'s
+/// decisions to a fresh copy of `scenario`'s view and checks each against the
+/// residual state *at its decision time* — structural/quality validation of
+/// every admitted outcome on the residual overlay it was solved against
+/// (codes of validate_flow_graph), the granted rate's clamps (rate <=
+/// re-measured bottleneck; rate <= physical headroom when charging the
+/// underlay; rate >= the configured floor), rejected decisions charging
+/// nothing — then checks the replayed view agrees with the result's and runs
+/// the conservation oracle over the final admitted set.
+///
+/// Additional codes: admission-order, admission-rate, admission-floor,
+/// admission-rejected-rate, admission-view-mismatch.
+ValidationReport validate_admission_sequence(
+    const core::Scenario& scenario,
+    const std::vector<overlay::ServiceRequirement>& requests,
+    const core::AdmissionResult& result, const core::AdmissionConfig& config);
 
 /// First-principles critical path of `requirement` with each edge weighted by
 /// `edge_latency(from_sid, to_sid)` — an independent re-implementation of the

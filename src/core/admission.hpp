@@ -1,0 +1,108 @@
+// Multi-request admission under shared capacity: K consumers ask for
+// federations on the same overlay snapshot, and each admission depletes the
+// capacity the next request sees (overlay/residual.hpp).
+//
+// The sequence solver is deliberately simple — it is the paper's §5 setting
+// extended from one request to a stream, and its point is the *ordering*
+// question: does serving requests first-come-first-served leave capacity on
+// the table compared to serving wide (high-bandwidth) or small (few-service)
+// requests first?  A joint brute-force oracle (every processing order, K <= 8)
+// bounds what any ordering policy can achieve, which is what the tests pin:
+// no policy may ever beat the oracle, because each policy's run IS one of the
+// permutations the oracle enumerates.
+//
+// Determinism contract: request i's randomness comes from
+// derive_seed(seed, i) regardless of the position i is processed at, so a
+// policy's outcome depends only on the *set order* it induces — identical
+// orders give bit-identical results, which makes the oracle comparison exact
+// rather than tolerance-based.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/federator.hpp"
+#include "core/scenario.hpp"
+#include "core/sflow_node.hpp"
+#include "overlay/requirement.hpp"
+#include "overlay/residual.hpp"
+
+namespace sflow::core {
+
+/// Processing-order policies for a batch of requests.
+enum class AdmissionOrder {
+  kFcfs,           ///< batch order as given
+  kWidestFirst,    ///< by standalone achievable bandwidth, descending
+  kSmallestFirst,  ///< by requirement service count, ascending
+};
+
+std::string admission_order_name(AdmissionOrder order);
+const std::vector<AdmissionOrder>& all_admission_orders();
+
+struct AdmissionConfig {
+  AdmissionOrder order = AdmissionOrder::kFcfs;
+  Algorithm algorithm = Algorithm::kSflow;
+  /// Minimum granted rate (Mbps) for an admission to count; a solved flow
+  /// whose rate lands below the floor is rejected and charges nothing.
+  double bandwidth_floor = 1e-9;
+  /// When true, granted rates are clamped to physical headroom and charged
+  /// against underlay links too (requires scenario.routing).
+  bool charge_underlay = true;
+  /// Parameters for the distributed algorithm; ignored by the others.
+  SFlowNodeConfig sflow;
+};
+
+/// One request's fate.  `request_index` is its position in the input batch
+/// (not the position it was processed at — decisions are recorded in
+/// processing order).
+struct AdmissionDecision {
+  std::size_t request_index = 0;
+  bool admitted = false;
+  /// Granted rate: the flow's bottleneck on the residual overlay it was
+  /// solved against, possibly clamped down to underlay headroom.  Zero when
+  /// not admitted.
+  double rate = 0.0;
+  FederationOutcome outcome;
+};
+
+struct AdmissionResult {
+  /// In processing order.
+  std::vector<AdmissionDecision> decisions;
+  /// Residual state after the whole batch (base snapshot shared with the
+  /// scenario; generation == admitted_count()).
+  overlay::ResidualOverlay view;
+
+  std::size_t admitted_count() const;
+  /// Sum of granted rates — the delivered throughput of the batch.
+  double total_rate() const;
+};
+
+/// Serves `requests` on a copy of `scenario`'s residual view under
+/// `config.order`, admitting each request the configured algorithm can solve
+/// at a positive rate >= bandwidth_floor.  The scenario's own view is not
+/// mutated.  Request i draws randomness from derive_seed(seed, i).
+AdmissionResult run_admission_sequence(
+    const Scenario& scenario,
+    const std::vector<overlay::ServiceRequirement>& requests,
+    const AdmissionConfig& config, std::uint64_t seed);
+
+/// As above but with an explicit processing order (a permutation of request
+/// indices).  This is the primitive both the policies and the brute-force
+/// oracle reduce to.
+AdmissionResult run_admission_in_order(
+    const Scenario& scenario,
+    const std::vector<overlay::ServiceRequirement>& requests,
+    const std::vector<std::size_t>& order, const AdmissionConfig& config,
+    std::uint64_t seed);
+
+/// Joint oracle: tries every processing order (K! of them; throws
+/// std::invalid_argument for K > 8) and returns the best batch by
+/// (admitted_count, total_rate) lexicographically, first permutation winning
+/// ties.  `config.order` is ignored.
+AdmissionResult brute_force_admission(
+    const Scenario& scenario,
+    const std::vector<overlay::ServiceRequirement>& requests,
+    const AdmissionConfig& config, std::uint64_t seed);
+
+}  // namespace sflow::core

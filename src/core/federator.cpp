@@ -21,6 +21,16 @@ bool FederationOutcome::deterministically_equal(
          global_fallbacks == other.global_fallbacks;
 }
 
+FederationView FederationView::of(const Scenario& scenario) {
+  FederationView view;
+  view.underlay = &scenario.underlay;
+  view.routing = scenario.routing.get();
+  view.overlay = &scenario.overlay();
+  view.overlay_routing = &scenario.overlay_routing();
+  view.requirement = &scenario.requirement;
+  return view;
+}
+
 namespace {
 
 /// Fills the quality fields shared by every adapter.
@@ -40,13 +50,13 @@ class SflowFederator final : public Federator {
 
   Algorithm algorithm() const noexcept override { return Algorithm::kSflow; }
 
-  FederationOutcome federate(const Scenario& scenario,
+  FederationOutcome federate(const FederationView& view,
                              util::Rng& /*rng*/) const override {
     FederationOutcome outcome;
-    outcome.effective_requirement = scenario.requirement;
+    outcome.effective_requirement = *view.requirement;
     SFlowFederationResult result = run_sflow_federation(
-        scenario.underlay, *scenario.routing, scenario.overlay,
-        *scenario.overlay_routing, scenario.requirement, config_);
+        *view.underlay, *view.routing, *view.overlay, *view.overlay_routing,
+        *view.requirement, config_);
     outcome.compute_time_us = result.compute_time_us;
     outcome.messages = result.messages;
     outcome.bytes = result.bytes;
@@ -66,13 +76,13 @@ class GlobalOptimalFederator final : public Federator {
     return Algorithm::kGlobalOptimal;
   }
 
-  FederationOutcome federate(const Scenario& scenario,
+  FederationOutcome federate(const FederationView& view,
                              util::Rng& /*rng*/) const override {
     FederationOutcome outcome;
-    outcome.effective_requirement = scenario.requirement;
+    outcome.effective_requirement = *view.requirement;
     util::Stopwatch watch;
-    finish(outcome, optimal_flow_graph(scenario.overlay, scenario.requirement,
-                                       *scenario.overlay_routing));
+    finish(outcome, optimal_flow_graph(*view.overlay, *view.requirement,
+                                       *view.overlay_routing));
     outcome.compute_time_us = watch.elapsed_us();
     return outcome;
   }
@@ -82,13 +92,13 @@ class FixedFederator final : public Federator {
  public:
   Algorithm algorithm() const noexcept override { return Algorithm::kFixed; }
 
-  FederationOutcome federate(const Scenario& scenario,
+  FederationOutcome federate(const FederationView& view,
                              util::Rng& /*rng*/) const override {
     FederationOutcome outcome;
-    outcome.effective_requirement = scenario.requirement;
+    outcome.effective_requirement = *view.requirement;
     util::Stopwatch watch;
-    auto result = fixed_federation(scenario.overlay, scenario.requirement,
-                                   *scenario.overlay_routing);
+    auto result = fixed_federation(*view.overlay, *view.requirement,
+                                   *view.overlay_routing);
     if (result) {
       outcome.effective_requirement = std::move(result->effective_requirement);
       finish(outcome, std::move(result->graph));
@@ -102,13 +112,13 @@ class RandomFederator final : public Federator {
  public:
   Algorithm algorithm() const noexcept override { return Algorithm::kRandom; }
 
-  FederationOutcome federate(const Scenario& scenario,
+  FederationOutcome federate(const FederationView& view,
                              util::Rng& rng) const override {
     FederationOutcome outcome;
-    outcome.effective_requirement = scenario.requirement;
+    outcome.effective_requirement = *view.requirement;
     util::Stopwatch watch;
-    auto result = random_federation(scenario.overlay, scenario.requirement,
-                                    *scenario.overlay_routing, rng);
+    auto result = random_federation(*view.overlay, *view.requirement,
+                                    *view.overlay_routing, rng);
     if (result) {
       outcome.effective_requirement = std::move(result->effective_requirement);
       finish(outcome, std::move(result->graph));
@@ -128,14 +138,13 @@ class ServicePathFederator final : public Federator {
                            : Algorithm::kServicePathStrict;
   }
 
-  FederationOutcome federate(const Scenario& scenario,
+  FederationOutcome federate(const FederationView& view,
                              util::Rng& /*rng*/) const override {
     FederationOutcome outcome;
-    outcome.effective_requirement = scenario.requirement;
+    outcome.effective_requirement = *view.requirement;
     util::Stopwatch watch;
-    auto result =
-        service_path_federation(scenario.overlay, scenario.requirement,
-                                *scenario.overlay_routing, serialize_dags_);
+    auto result = service_path_federation(*view.overlay, *view.requirement,
+                                          *view.overlay_routing, serialize_dags_);
     if (result) {
       outcome.effective_requirement = std::move(result->effective_requirement);
       finish(outcome, std::move(result->graph));
@@ -172,6 +181,11 @@ std::unique_ptr<Federator> make_federator(Algorithm algorithm,
 FederationOutcome run_algorithm(Algorithm algorithm, const Scenario& scenario,
                                 util::Rng& rng, const SFlowNodeConfig& config) {
   return make_federator(algorithm, config)->federate(scenario, rng);
+}
+
+FederationOutcome run_algorithm(Algorithm algorithm, const FederationView& view,
+                                util::Rng& rng, const SFlowNodeConfig& config) {
+  return make_federator(algorithm, config)->federate(view, rng);
 }
 
 }  // namespace sflow::core

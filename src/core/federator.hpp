@@ -12,6 +12,13 @@
 // accounting.  Adapters are stateless (configuration is captured at
 // construction), so a single federator may serve any number of threads
 // concurrently; all per-trial randomness enters through `rng`.
+//
+// Solvers read the overlay and its link-state database through a
+// FederationView — a window assembled from a ResidualOverlay (pristine at
+// generation 0, capacity-depleted after admissions) — never from mutable
+// OverlayGraph state.  federate(Scenario) is the single-request convenience:
+// it views the scenario's own residual state, so a fresh scenario solves on
+// the base snapshot bit-identically to the pre-view API.
 #pragma once
 
 #include <memory>
@@ -49,6 +56,31 @@ struct FederationOutcome {
   bool deterministically_equal(const FederationOutcome& other) const;
 };
 
+/// A solver's read-only window onto one federation problem.  All pointers
+/// are non-owning; the referenced state must outlive the federate() call.
+/// Assemble one per request from a ResidualOverlay (FederationView::of, or
+/// by hand for custom residual state) — this is how K concurrent requests
+/// share one immutable base snapshot while each sees the capacity its
+/// predecessors left behind.
+struct FederationView {
+  const net::UnderlyingNetwork* underlay = nullptr;
+  const net::UnderlayRouting* routing = nullptr;
+  const overlay::OverlayGraph* overlay = nullptr;
+  const graph::AllPairsShortestWidest* overlay_routing = nullptr;
+  const overlay::ServiceRequirement* requirement = nullptr;
+
+  /// The scenario's own view: its residual overlay state (the base snapshot
+  /// for a fresh scenario) and its requirement.
+  static FederationView of(const Scenario& scenario);
+
+  /// The same network/overlay window solving a different requirement.
+  FederationView with_requirement(const overlay::ServiceRequirement& r) const {
+    FederationView v = *this;
+    v.requirement = &r;
+    return v;
+  }
+};
+
 /// Polymorphic federation algorithm.
 class Federator {
  public:
@@ -57,12 +89,17 @@ class Federator {
   virtual Algorithm algorithm() const noexcept = 0;
   std::string name() const { return algorithm_name(algorithm()); }
 
-  /// Runs one federation on the scenario.  `rng` feeds stochastic selection
+  /// Runs one federation on the view.  `rng` feeds stochastic selection
   /// (only the random algorithm draws from it).  Implementations are const
   /// and share no mutable state, so one instance may be used from many
   /// threads as long as each thread passes its own Rng.
-  virtual FederationOutcome federate(const Scenario& scenario,
+  virtual FederationOutcome federate(const FederationView& view,
                                      util::Rng& rng) const = 0;
+
+  /// Single-request convenience: federates the scenario's own view.
+  FederationOutcome federate(const Scenario& scenario, util::Rng& rng) const {
+    return federate(FederationView::of(scenario), rng);
+  }
 };
 
 /// Builds the adapter for `algorithm`.  `config` parameterizes the
@@ -75,6 +112,9 @@ std::unique_ptr<Federator> make_federator(Algorithm algorithm,
 /// make_federator(algorithm, config)->federate(scenario, rng), kept for the
 /// one-shot call sites.
 FederationOutcome run_algorithm(Algorithm algorithm, const Scenario& scenario,
+                                util::Rng& rng,
+                                const SFlowNodeConfig& config = {});
+FederationOutcome run_algorithm(Algorithm algorithm, const FederationView& view,
                                 util::Rng& rng,
                                 const SFlowNodeConfig& config = {});
 

@@ -31,6 +31,10 @@ Scenario build_scenario(const WorkloadParams& params, std::uint64_t seed) {
   scenario.underlay = net::make_waxman(waxman, rng);
   scenario.routing = std::make_unique<net::UnderlayRouting>(scenario.underlay);
 
+  // The overlay is built locally, then frozen into the scenario's immutable
+  // snapshot — nothing downstream ever mutates it.
+  overlay::OverlayGraph ov;
+
   // Service catalog and instance placement: every type at least once, the
   // remaining nodes drawing types uniformly; placement shuffled.
   std::vector<Sid> sids;
@@ -43,18 +47,17 @@ Scenario build_scenario(const WorkloadParams& params, std::uint64_t seed) {
     placement.push_back(i < sids.size() ? sids[i] : rng.pick(sids));
   rng.shuffle(placement);
   for (std::size_t nid = 0; nid < params.network_size; ++nid)
-    scenario.overlay.add_instance(placement[nid], static_cast<net::Nid>(nid));
+    ov.add_instance(placement[nid], static_cast<net::Nid>(nid));
 
   // Requirement over the catalog; the source service is pinned to a concrete
   // instance (the node the consumer contacts).
   scenario.requirement =
       overlay::generate_requirement(params.requirement, sids, rng);
   const Sid source_sid = scenario.requirement.source();
-  const auto source_instances = scenario.overlay.instances_of(source_sid);
+  const auto source_instances = ov.instances_of(source_sid);
   const OverlayIndex source_instance =
       source_instances[rng.uniform_index(source_instances.size())];
-  scenario.requirement.pin(source_sid,
-                           scenario.overlay.instance(source_instance).nid);
+  scenario.requirement.pin(source_sid, ov.instance(source_instance).nid);
 
   if (params.typed_compatibility) {
     // Semantically typed compatibility (§2.2: "output ... matches the input
@@ -62,8 +65,7 @@ Scenario build_scenario(const WorkloadParams& params, std::uint64_t seed) {
     const overlay::CompatibilityModel model =
         overlay::random_compatibility_for(scenario.requirement, sids,
                                           /*type_count=*/4, rng);
-    scenario.overlay.connect_via_underlay(*scenario.routing,
-                                          model.as_function());
+    ov.connect_via_underlay(*scenario.routing, model.as_function());
   } else {
     // Flat type-level compatibility: requirement edges always compatible,
     // plus a random relation so bridging instances exist.
@@ -75,22 +77,21 @@ Scenario build_scenario(const WorkloadParams& params, std::uint64_t seed) {
     for (const graph::Edge& e : scenario.requirement.dag().edges())
       compatible_pairs.emplace(scenario.requirement.sid_of(e.from),
                                scenario.requirement.sid_of(e.to));
-    scenario.overlay.connect_via_underlay(
-        *scenario.routing, [&compatible_pairs](Sid from, Sid to) {
-          return compatible_pairs.contains({from, to});
-        });
+    ov.connect_via_underlay(*scenario.routing,
+                            [&compatible_pairs](Sid from, Sid to) {
+                              return compatible_pairs.contains({from, to});
+                            });
   }
 
-  scenario.overlay_routing =
-      std::make_unique<graph::AllPairsShortestWidest>(scenario.overlay.graph());
+  scenario.adopt_overlay(std::move(ov));
   return scenario;
 }
 
 bool feasible(const Scenario& scenario) {
   // The fixed greedy is a cheap sufficient probe: if it completes, every
   // algorithm has at least one feasible selection to find.
-  return fixed_federation(scenario.overlay, scenario.requirement,
-                          *scenario.overlay_routing)
+  return fixed_federation(scenario.overlay(), scenario.requirement,
+                          scenario.overlay_routing())
       .has_value();
 }
 

@@ -5,6 +5,14 @@
 // pinned to the instance the consumer contacts (so every algorithm faces the
 // same decision problem).  All randomness derives from the (params, seed)
 // pair, which is what makes the parallel evaluation engine deterministic.
+//
+// The overlay and its link-state database are held behind a residual view
+// (overlay/residual.hpp): an immutable base snapshot plus the capacity
+// admitted flows have consumed.  A fresh scenario is at generation 0, where
+// the view IS the base snapshot — single-request federation is bit-identical
+// to solving on the overlay directly.  Multi-request admission
+// (core/admission.hpp) copies the view (cheap: the snapshot is shared) and
+// depletes it as requests are granted.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +25,7 @@
 #include "net/underlay_routing.hpp"
 #include "overlay/overlay_graph.hpp"
 #include "overlay/requirement_generator.hpp"
+#include "overlay/residual.hpp"
 #include "util/rng.hpp"
 
 namespace sflow::core {
@@ -44,9 +53,23 @@ struct Scenario {
   net::UnderlyingNetwork underlay;
   std::unique_ptr<net::UnderlayRouting> routing;
   overlay::ServiceCatalog catalog;
-  overlay::OverlayGraph overlay;
-  std::unique_ptr<graph::AllPairsShortestWidest> overlay_routing;
+  /// Immutable overlay snapshot + residual delta; every metric read goes
+  /// through this view (generation 0 unless admissions were applied).
+  overlay::ResidualOverlay view;
   overlay::ServiceRequirement requirement;
+
+  /// The (residual) overlay the solvers see.
+  const overlay::OverlayGraph& overlay() const { return view.graph(); }
+  /// The shortest-widest link-state database over it.
+  const graph::AllPairsShortestWidest& overlay_routing() const {
+    return view.routing();
+  }
+
+  /// Wraps a fully built overlay into the immutable snapshot + view.
+  void adopt_overlay(overlay::OverlayGraph&& overlay_graph) {
+    view = overlay::ResidualOverlay(std::make_shared<const overlay::OverlayGraph>(
+        std::move(overlay_graph)));
+  }
 };
 
 /// Builds a feasible scenario deterministically from (params, seed),

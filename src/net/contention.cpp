@@ -1,29 +1,54 @@
 #include "net/contention.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
-#include <map>
 #include <stdexcept>
+#include <unordered_map>
 
 namespace sflow::net {
+
+namespace {
+
+/// Packed directed-pair key, same layout as Digraph's edge index — cheap to
+/// hash, unlike a std::pair tree-map key.
+std::uint64_t pair_key(Nid from, Nid to) noexcept {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 32) |
+         static_cast<std::uint32_t>(to);
+}
+
+}  // namespace
 
 std::vector<double> max_min_fair_rates(const UnderlyingNetwork& network,
                                        const std::vector<StreamDemand>& streams) {
   constexpr double kInf = std::numeric_limits<double>::infinity();
 
-  // Residual capacity per directed link, and the streams crossing it.  A
-  // stream may cross the same link several times (different overlay hops
+  // Interned dense link ids: each distinct directed link is hashed once on
+  // first sight, then every later touch is an O(1) lookup + a vector index.
+  // (The old std::map<std::pair<Nid,Nid>, ...> paid a tree walk with pair
+  // comparisons on every residual charge of every filling round.)  All the
+  // per-round arithmetic below is min-reductions and per-stream updates, so
+  // the result is independent of link enumeration order — the rewrite is
+  // output-identical to the map version.
+  //
+  // A stream may cross the same link several times (different overlay hops
   // carrying differently-processed data) — each crossing is real load, so
-  // multiplicity is kept.
-  std::map<std::pair<Nid, Nid>, double> residual;
-  std::map<std::pair<Nid, Nid>, std::vector<std::size_t>> users;
+  // multiplicity is kept in `stream_links`.
+  std::unordered_map<std::uint64_t, std::size_t> link_index;
+  std::vector<double> residual;             // by link id
+  std::vector<std::size_t> active_users;    // by link id, rebuilt per round
+  std::vector<std::vector<std::size_t>> stream_links(streams.size());
   for (std::size_t s = 0; s < streams.size(); ++s) {
+    stream_links[s].reserve(streams[s].links.size());
     for (const auto& link : streams[s].links) {
       if (!network.has_link(link.first, link.second))
         throw std::invalid_argument("max_min_fair_rates: unknown underlay link");
-      residual.emplace(link,
-                       network.link_metrics(link.first, link.second).bandwidth);
-      users[link].push_back(s);
+      const auto [it, inserted] = link_index.try_emplace(
+          pair_key(link.first, link.second), residual.size());
+      if (inserted)
+        residual.push_back(
+            network.link_metrics(link.first, link.second).bandwidth);
+      stream_links[s].push_back(it->second);
     }
     if (streams[s].demand <= 0.0)
       throw std::invalid_argument("max_min_fair_rates: non-positive demand");
@@ -44,13 +69,15 @@ std::vector<double> max_min_fair_rates(const UnderlyingNetwork& network,
   for (;;) {
     bool any_active = false;
     double step = kInf;
-    for (const auto& [link, cap] : residual) {
-      std::size_t active_users = 0;
-      for (const std::size_t s : users[link])
-        if (!frozen[s]) ++active_users;
-      if (active_users > 0)
-        step = std::min(step, cap / static_cast<double>(active_users));
+    active_users.assign(residual.size(), 0);
+    for (std::size_t s = 0; s < streams.size(); ++s) {
+      if (frozen[s]) continue;
+      for (const std::size_t link : stream_links[s]) ++active_users[link];
     }
+    for (std::size_t link = 0; link < residual.size(); ++link)
+      if (active_users[link] > 0)
+        step = std::min(step,
+                        residual[link] / static_cast<double>(active_users[link]));
     for (std::size_t s = 0; s < streams.size(); ++s) {
       if (frozen[s]) continue;
       any_active = true;
@@ -65,7 +92,7 @@ std::vector<double> max_min_fair_rates(const UnderlyingNetwork& network,
     for (std::size_t s = 0; s < streams.size(); ++s) {
       if (frozen[s]) continue;
       rate[s] += step;
-      for (const auto& link : streams[s].links) residual[link] -= step;
+      for (const std::size_t link : stream_links[s]) residual[link] -= step;
     }
     // Freeze saturated streams: demand met or a used link exhausted.
     constexpr double kEps = 1e-12;
@@ -75,7 +102,7 @@ std::vector<double> max_min_fair_rates(const UnderlyingNetwork& network,
         frozen[s] = true;
         continue;
       }
-      for (const auto& link : streams[s].links) {
+      for (const std::size_t link : stream_links[s]) {
         if (residual[link] <= kEps) {
           frozen[s] = true;
           break;

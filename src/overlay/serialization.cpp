@@ -168,16 +168,24 @@ std::string format_scenario(const ScenarioFile& scenario,
   os << "[bundle]\n"
      << format_bundle(scenario.bundle, catalog) << "[requirement]\n"
      << format_requirement(scenario.requirement, catalog);
+  for (const ServiceRequirement& request : scenario.requests)
+    os << "[requirement]\n" << format_requirement(request, catalog);
+  for (const AdmittedFlow& a : scenario.admitted)
+    os << "[admitted]\nrate " << fmt(a.rate) << "\n"
+       << format_flow_graph(a.flow, scenario.bundle.overlay, catalog);
   return os.str();
 }
 
 ScenarioFile parse_scenario(const std::string& text, ServiceCatalog& catalog) {
   constexpr const char* kWhat = "parse_scenario";
-  std::string bundle_text;
-  std::string requirement_text;
-  std::string* current = nullptr;
+  // Section texts in file order; parsing happens afterwards because
+  // [admitted] flows need the bundle's overlay.
+  struct Section {
+    std::string header;
+    std::string body;
+  };
+  std::vector<Section> sections;
   bool saw_bundle = false;
-  bool saw_requirement = false;
 
   std::istringstream stream(text);
   std::string raw;
@@ -191,30 +199,67 @@ ScenarioFile parse_scenario(const std::string& text, ServiceCatalog& catalog) {
     const auto end = line.find_last_not_of(" \t\r");
     const std::string trimmed =
         begin == std::string::npos ? "" : line.substr(begin, end - begin + 1);
-    if (trimmed == "[bundle]") {
-      if (saw_bundle) fail(kWhat, line_no, "duplicate [bundle] section");
-      saw_bundle = true;
-      current = &bundle_text;
-      continue;
-    }
-    if (trimmed == "[requirement]") {
-      if (saw_requirement) fail(kWhat, line_no, "duplicate [requirement] section");
-      saw_requirement = true;
-      current = &requirement_text;
+    if (trimmed == "[bundle]" || trimmed == "[requirement]" ||
+        trimmed == "[admitted]") {
+      if (trimmed == "[bundle]") {
+        if (saw_bundle) fail(kWhat, line_no, "duplicate [bundle] section");
+        saw_bundle = true;
+      }
+      sections.push_back({trimmed, ""});
       continue;
     }
     if (trimmed.empty()) continue;
-    if (current == nullptr)
+    if (sections.empty())
       fail(kWhat, line_no, "content before the first section header");
-    *current += raw;
-    *current += '\n';
+    sections.back().body += raw;
+    sections.back().body += '\n';
   }
   if (!saw_bundle) fail(kWhat, line_no, "missing [bundle] section");
-  if (!saw_requirement) fail(kWhat, line_no, "missing [requirement] section");
 
   ScenarioFile scenario;
-  scenario.bundle = parse_bundle(bundle_text, catalog);
-  scenario.requirement = parse_requirement(requirement_text, catalog);
+  for (const Section& section : sections)
+    if (section.header == "[bundle]")
+      scenario.bundle = parse_bundle(section.body, catalog);
+
+  bool saw_requirement = false;
+  for (const Section& section : sections) {
+    if (section.header == "[requirement]") {
+      if (!saw_requirement) {
+        scenario.requirement = parse_requirement(section.body, catalog);
+        saw_requirement = true;
+      } else {
+        scenario.requests.push_back(parse_requirement(section.body, catalog));
+      }
+    } else if (section.header == "[admitted]") {
+      // Peel the rate line (exactly one, anywhere in the section); the rest
+      // is a flow graph in the established format.
+      AdmittedFlow admitted;
+      bool saw_rate = false;
+      std::string flow_text;
+      std::istringstream body(section.body);
+      std::string body_raw;
+      std::size_t body_line = 0;
+      while (std::getline(body, body_raw)) {
+        ++body_line;
+        const std::vector<std::string> tokens = tokenize(body_raw);
+        if (!tokens.empty() && tokens.front() == "rate") {
+          if (tokens.size() != 2) fail(kWhat, body_line, "rate <x>");
+          if (saw_rate) fail(kWhat, body_line, "duplicate rate line");
+          saw_rate = true;
+          admitted.rate = parse_double(kWhat, body_line, tokens[1]);
+          continue;
+        }
+        flow_text += body_raw;
+        flow_text += '\n';
+      }
+      if (!saw_rate)
+        fail(kWhat, line_no, "[admitted] section missing its rate line");
+      admitted.flow =
+          parse_flow_graph(flow_text, scenario.bundle.overlay, catalog);
+      scenario.admitted.push_back(std::move(admitted));
+    }
+  }
+  if (!saw_requirement) fail(kWhat, line_no, "missing [requirement] section");
   return scenario;
 }
 

@@ -25,11 +25,13 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "net/topology.hpp"
 #include "overlay/flow_graph.hpp"
 #include "overlay/overlay_graph.hpp"
 #include "overlay/requirement.hpp"
+#include "overlay/residual.hpp"
 #include "overlay/service.hpp"
 
 namespace sflow::overlay {
@@ -50,17 +52,31 @@ std::string format_bundle(const OverlayBundle& bundle, const ServiceCatalog& cat
 OverlayBundle parse_bundle(const std::string& text, ServiceCatalog& catalog);
 
 /// A complete replayable federation scenario: an overlay bundle plus the
-/// requirement it must satisfy.  This is the file the differential fuzzer
-/// (tools/fuzz_federation) writes when an oracle fails and re-reads with
-/// --replay; two sections, each in its established line format:
+/// requirement(s) it must satisfy and, for multi-request admission scenarios,
+/// the flows already granted capacity.  This is the file the differential
+/// fuzzer (tools/fuzz_federation) writes when an oracle fails and re-reads
+/// with --replay; sections in their established line formats:
 ///
 ///   [bundle]
 ///   ...bundle lines...
-///   [requirement]
+///   [requirement]          # primary request; required
 ///   ...requirement-parser lines...
+///   [requirement]          # optional: one section per extra batch request
+///   ...
+///   [admitted]             # optional: one section per admitted flow
+///   rate <x>
+///   ...flow-graph lines (assign/edge)...
+///
+/// The first [requirement] is the primary; later ones land in `requests`.
+/// Admitted flows parse against the bundle's overlay, so [admitted] sections
+/// must follow [bundle].
 struct ScenarioFile {
   OverlayBundle bundle;
   ServiceRequirement requirement;
+  /// Extra batch requests beyond the primary, in file order.
+  std::vector<ServiceRequirement> requests;
+  /// Flows already granted capacity (admission-sequence state), in file order.
+  std::vector<AdmittedFlow> admitted;
 };
 
 std::string format_scenario(const ScenarioFile& scenario,

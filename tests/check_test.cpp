@@ -210,7 +210,7 @@ TEST_F(OutcomeCheckTest, AllAlgorithmsValidateClean) {
   for (const Algorithm algorithm : core::all_algorithms()) {
     const FederationOutcome outcome = run(algorithm);
     const ValidationReport report =
-        validate_flow_graph(scenario_.overlay, scenario_.requirement, outcome);
+        validate_flow_graph(scenario_.overlay(), scenario_.requirement, outcome);
     EXPECT_TRUE(report.ok())
         << core::algorithm_name(algorithm) << ":\n" << report.to_string();
   }
@@ -220,7 +220,7 @@ TEST_F(OutcomeCheckTest, FailedOutcomeValidatesTrivially) {
   FederationOutcome failed;
   failed.success = false;
   EXPECT_TRUE(
-      validate_flow_graph(scenario_.overlay, scenario_.requirement, failed).ok());
+      validate_flow_graph(scenario_.overlay(), scenario_.requirement, failed).ok());
 }
 
 TEST_F(OutcomeCheckTest, ReportsBandwidthAndLatencyMismatch) {
@@ -229,7 +229,7 @@ TEST_F(OutcomeCheckTest, ReportsBandwidthAndLatencyMismatch) {
   outcome.bandwidth += 1.0;
   outcome.latency += 1.0;
   const ValidationReport report =
-      validate_flow_graph(scenario_.overlay, scenario_.requirement, outcome);
+      validate_flow_graph(scenario_.overlay(), scenario_.requirement, outcome);
   EXPECT_TRUE(report.has("bandwidth-mismatch")) << report.to_string();
   EXPECT_TRUE(report.has("latency-mismatch")) << report.to_string();
 }
@@ -247,7 +247,7 @@ TEST_F(OutcomeCheckTest, ReportsDroppedPin) {
                       outcome.effective_requirement.sid_of(e.to));
   outcome.effective_requirement = stripped;
   const ValidationReport report =
-      validate_flow_graph(scenario_.overlay, scenario_.requirement, outcome);
+      validate_flow_graph(scenario_.overlay(), scenario_.requirement, outcome);
   EXPECT_TRUE(report.has("effective-pin-dropped")) << report.to_string();
 }
 
@@ -260,7 +260,7 @@ TEST_F(OutcomeCheckTest, ReportsServiceSetDrift) {
   widened.add_edge(widened.sinks().front(), 9999);
   outcome.effective_requirement = widened;
   const ValidationReport report =
-      validate_flow_graph(scenario_.overlay, scenario_.requirement, outcome);
+      validate_flow_graph(scenario_.overlay(), scenario_.requirement, outcome);
   EXPECT_TRUE(report.has("effective-service-set")) << report.to_string();
 }
 
@@ -328,9 +328,7 @@ TEST(FuzzRegression, LatencyTieScenarioStaysBandwidthEqual) {
   scenario.underlay = std::move(file.bundle.underlay);
   scenario.routing = std::make_unique<net::UnderlayRouting>(scenario.underlay);
   scenario.catalog = std::move(catalog);
-  scenario.overlay = std::move(file.bundle.overlay);
-  scenario.overlay_routing =
-      std::make_unique<graph::AllPairsShortestWidest>(scenario.overlay.graph());
+  scenario.adopt_overlay(std::move(file.bundle.overlay));
   scenario.requirement = std::move(file.requirement);
 
   util::Rng rng(7);
@@ -341,9 +339,9 @@ TEST(FuzzRegression, LatencyTieScenarioStaysBandwidthEqual) {
   ASSERT_TRUE(sflow.success);
   ASSERT_TRUE(fixed.success);
   EXPECT_TRUE(
-      validate_flow_graph(scenario.overlay, scenario.requirement, sflow).ok());
+      validate_flow_graph(scenario.overlay(), scenario.requirement, sflow).ok());
   EXPECT_TRUE(
-      validate_flow_graph(scenario.overlay, scenario.requirement, fixed).ok());
+      validate_flow_graph(scenario.overlay(), scenario.requirement, fixed).ok());
   EXPECT_DOUBLE_EQ(sflow.bandwidth, fixed.bandwidth);
 }
 

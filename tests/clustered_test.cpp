@@ -14,8 +14,8 @@ using overlay::OverlayIndex;
 TEST(ClusterOverlay, ZeroRadiusMakesSingletons) {
   const Scenario scenario = make_scenario(testing::small_workload(12), 1);
   const auto clusters =
-      cluster_overlay(scenario.overlay, *scenario.routing, 0.0);
-  EXPECT_EQ(clusters.size(), scenario.overlay.instance_count());
+      cluster_overlay(scenario.overlay(), *scenario.routing, 0.0);
+  EXPECT_EQ(clusters.size(), scenario.overlay().instance_count());
   for (const Cluster& c : clusters) {
     EXPECT_EQ(c.members.size(), 1u);
     EXPECT_EQ(c.members.front(), c.head);
@@ -25,21 +25,21 @@ TEST(ClusterOverlay, ZeroRadiusMakesSingletons) {
 TEST(ClusterOverlay, HugeRadiusMakesOneCluster) {
   const Scenario scenario = make_scenario(testing::small_workload(12), 2);
   const auto clusters =
-      cluster_overlay(scenario.overlay, *scenario.routing, 1e9);
+      cluster_overlay(scenario.overlay(), *scenario.routing, 1e9);
   ASSERT_EQ(clusters.size(), 1u);
-  EXPECT_EQ(clusters.front().members.size(), scenario.overlay.instance_count());
+  EXPECT_EQ(clusters.front().members.size(), scenario.overlay().instance_count());
 }
 
 TEST(ClusterOverlay, PartitionsAllInstancesExactlyOnce) {
   const Scenario scenario = make_scenario(testing::small_workload(16), 3);
   const auto clusters =
-      cluster_overlay(scenario.overlay, *scenario.routing, 10.0);
-  std::vector<int> seen(scenario.overlay.instance_count(), 0);
+      cluster_overlay(scenario.overlay(), *scenario.routing, 10.0);
+  std::vector<int> seen(scenario.overlay().instance_count(), 0);
   for (const Cluster& c : clusters)
     for (const OverlayIndex member : c.members)
       ++seen[static_cast<std::size_t>(member)];
   for (const int count : seen) EXPECT_EQ(count, 1);
-  EXPECT_THROW(cluster_overlay(scenario.overlay, *scenario.routing, -1.0),
+  EXPECT_THROW(cluster_overlay(scenario.overlay(), *scenario.routing, -1.0),
                std::invalid_argument);
 }
 
@@ -48,18 +48,18 @@ TEST(ClusteredFederation, SingletonClustersMatchInstanceLevelSearch) {
   // the result must be feasible and close to optimal bandwidth-wise (the
   // two-pass decision is bandwidth-driven at the top level).
   const Scenario scenario = make_scenario(testing::small_workload(14), 4);
-  const auto clusters = cluster_overlay(scenario.overlay, *scenario.routing, 0.0);
+  const auto clusters = cluster_overlay(scenario.overlay(), *scenario.routing, 0.0);
   ClusteredStats stats;
   const auto result =
-      clustered_federation(scenario.overlay, scenario.requirement,
-                           *scenario.overlay_routing, clusters, &stats);
+      clustered_federation(scenario.overlay(), scenario.requirement,
+                           scenario.overlay_routing(), clusters, &stats);
   ASSERT_TRUE(result);
-  result->validate(scenario.requirement, scenario.overlay);
-  EXPECT_EQ(stats.clusters, scenario.overlay.instance_count());
+  result->validate(scenario.requirement, scenario.overlay());
+  EXPECT_EQ(stats.clusters, scenario.overlay().instance_count());
   EXPECT_GT(stats.cluster_level_nodes, 0u);
 
-  const auto optimal = optimal_flow_graph(scenario.overlay, scenario.requirement,
-                                          *scenario.overlay_routing);
+  const auto optimal = optimal_flow_graph(scenario.overlay(), scenario.requirement,
+                                          scenario.overlay_routing());
   ASSERT_TRUE(optimal);
   EXPECT_DOUBLE_EQ(result->bottleneck_bandwidth(),
                    optimal->bottleneck_bandwidth());
@@ -67,8 +67,8 @@ TEST(ClusteredFederation, SingletonClustersMatchInstanceLevelSearch) {
 
 TEST(ClusteredFederation, RejectsEmptyClusterSet) {
   const Scenario scenario = make_scenario(testing::small_workload(10), 5);
-  EXPECT_THROW(clustered_federation(scenario.overlay, scenario.requirement,
-                                    *scenario.overlay_routing, {}),
+  EXPECT_THROW(clustered_federation(scenario.overlay(), scenario.requirement,
+                                    scenario.overlay_routing(), {}),
                std::invalid_argument);
 }
 
@@ -77,16 +77,16 @@ class ClusteredSweep : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(ClusteredSweep, FeasibleValidAndBoundedByOptimal) {
   const Scenario scenario = make_scenario(testing::small_workload(16), GetParam());
   const auto clusters =
-      cluster_overlay(scenario.overlay, *scenario.routing, 8.0);
+      cluster_overlay(scenario.overlay(), *scenario.routing, 8.0);
   const auto result = clustered_federation(
-      scenario.overlay, scenario.requirement, *scenario.overlay_routing, clusters);
-  const auto optimal = optimal_flow_graph(scenario.overlay, scenario.requirement,
-                                          *scenario.overlay_routing);
+      scenario.overlay(), scenario.requirement, scenario.overlay_routing(), clusters);
+  const auto optimal = optimal_flow_graph(scenario.overlay(), scenario.requirement,
+                                          scenario.overlay_routing());
   ASSERT_TRUE(optimal);
   if (!result) return;  // coarse level may dead-end; that is the point of [2]
-  result->validate(scenario.requirement, scenario.overlay);
+  result->validate(scenario.requirement, scenario.overlay());
   const check::ValidationReport report = check::validate_flow_graph(
-      scenario.overlay, scenario.requirement, *result);
+      scenario.overlay(), scenario.requirement, *result);
   EXPECT_TRUE(report.ok()) << report.to_string();
   EXPECT_LE(result->bottleneck_bandwidth(),
             optimal->bottleneck_bandwidth() + 1e-9);
@@ -97,14 +97,14 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ClusteredSweep,
 
 TEST(ClusteredFederation, HonoursPins) {
   const Scenario scenario = make_scenario(testing::small_workload(14), 7);
-  const auto clusters = cluster_overlay(scenario.overlay, *scenario.routing, 8.0);
+  const auto clusters = cluster_overlay(scenario.overlay(), *scenario.routing, 8.0);
   const auto result = clustered_federation(
-      scenario.overlay, scenario.requirement, *scenario.overlay_routing, clusters);
+      scenario.overlay(), scenario.requirement, scenario.overlay_routing(), clusters);
   if (!result) GTEST_SKIP() << "coarse level infeasible for this seed";
   const auto source = scenario.requirement.source();
   const auto pin = scenario.requirement.pinned(source);
   ASSERT_TRUE(pin);
-  EXPECT_EQ(scenario.overlay.instance(*result->assignment(source)).nid, *pin);
+  EXPECT_EQ(scenario.overlay().instance(*result->assignment(source)).nid, *pin);
 }
 
 }  // namespace

@@ -155,21 +155,21 @@ TEST_P(ComparatorsRandom, FeasibleAndBoundedByOptimal) {
   const Scenario scenario = make_scenario(testing::small_workload(14), GetParam());
   util::Rng rng(GetParam() ^ 0xabcdef);
 
-  const auto optimal = optimal_flow_graph(scenario.overlay, scenario.requirement,
-                                          *scenario.overlay_routing);
+  const auto optimal = optimal_flow_graph(scenario.overlay(), scenario.requirement,
+                                          scenario.overlay_routing());
   ASSERT_TRUE(optimal);
   const double best = optimal->bottleneck_bandwidth();
 
-  const auto fixed = fixed_federation(scenario.overlay, scenario.requirement,
-                                      *scenario.overlay_routing);
+  const auto fixed = fixed_federation(scenario.overlay(), scenario.requirement,
+                                      scenario.overlay_routing());
   ASSERT_TRUE(fixed);
-  fixed->graph.validate(scenario.requirement, scenario.overlay);
+  fixed->graph.validate(scenario.requirement, scenario.overlay());
   EXPECT_LE(fixed->graph.bottleneck_bandwidth(), best + 1e-9);
 
-  const auto random = random_federation(scenario.overlay, scenario.requirement,
-                                        *scenario.overlay_routing, rng);
+  const auto random = random_federation(scenario.overlay(), scenario.requirement,
+                                        scenario.overlay_routing(), rng);
   ASSERT_TRUE(random);
-  random->graph.validate(scenario.requirement, scenario.overlay);
+  random->graph.validate(scenario.requirement, scenario.overlay());
   EXPECT_LE(random->graph.bottleneck_bandwidth(), best + 1e-9);
 }
 

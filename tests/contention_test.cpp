@@ -111,10 +111,10 @@ TEST_P(ContentionSweep, DeliveredNeverExceedsPromised) {
   const core::Scenario scenario =
       core::make_scenario(sflow::testing::small_workload(16), GetParam());
   const auto flow = core::optimal_flow_graph(
-      scenario.overlay, scenario.requirement, *scenario.overlay_routing);
+      scenario.overlay(), scenario.requirement, scenario.overlay_routing());
   ASSERT_TRUE(flow);
   const ContentionReport report = evaluate_contention(
-      scenario.overlay, *flow, scenario.underlay, *scenario.routing);
+      scenario.overlay(), *flow, scenario.underlay, *scenario.routing);
   ASSERT_EQ(report.edge_rates.size(), flow->edges().size());
   for (const double rate : report.edge_rates) EXPECT_GT(rate, 0.0);
   EXPECT_LE(report.delivered_throughput, report.promised_throughput + 1e-9);

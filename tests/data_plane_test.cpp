@@ -66,7 +66,7 @@ TEST_P(DataPlaneSweep, MeasuredAlwaysMatchesPredictionOnRandomScenarios) {
   const core::Scenario scenario =
       core::make_scenario(sflow::testing::small_workload(16), GetParam());
   const auto flow = core::optimal_flow_graph(
-      scenario.overlay, scenario.requirement, *scenario.overlay_routing);
+      scenario.overlay(), scenario.requirement, scenario.overlay_routing());
   ASSERT_TRUE(flow);
   for (const std::size_t payload : {0u, 10000u, 1000000u}) {
     const DeliveryResult result =
@@ -91,10 +91,10 @@ TEST(DataPlane, DagDeliveryBeatsSerializedDeliveryOnAverage) {
     const core::Scenario scenario =
         core::make_scenario(sflow::testing::small_workload(16), seed);
     const auto dag_flow = core::optimal_flow_graph(
-        scenario.overlay, scenario.requirement, *scenario.overlay_routing);
+        scenario.overlay(), scenario.requirement, scenario.overlay_routing());
     ASSERT_TRUE(dag_flow);
     const auto path = core::service_path_federation(
-        scenario.overlay, scenario.requirement, *scenario.overlay_routing);
+        scenario.overlay(), scenario.requirement, scenario.overlay_routing());
     if (!path) continue;  // serialization unroutable: the path model failing
     constexpr std::size_t kPayload = 100000;
     dag_total +=

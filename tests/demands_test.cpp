@@ -105,8 +105,8 @@ class AdmissionSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(AdmissionSweep, AdmissionMatchesOptimalBottleneck) {
   const Scenario scenario = make_scenario(testing::small_workload(14), GetParam());
-  const auto optimal = optimal_flow_graph(scenario.overlay, scenario.requirement,
-                                          *scenario.overlay_routing);
+  const auto optimal = optimal_flow_graph(scenario.overlay(), scenario.requirement,
+                                          scenario.overlay_routing());
   ASSERT_TRUE(optimal);
   const double bottleneck = optimal->bottleneck_bandwidth();
 
@@ -114,10 +114,10 @@ TEST_P(AdmissionSweep, AdmissionMatchesOptimalBottleneck) {
     const DemandProfile profile =
         DemandProfile::uniform(scenario.requirement, alpha * bottleneck);
     const auto admitted = optimal_flow_graph_custom(
-        scenario.overlay, scenario.requirement,
-        demand_filtered_quality(routing_edge_quality(*scenario.overlay_routing),
+        scenario.overlay(), scenario.requirement,
+        demand_filtered_quality(routing_edge_quality(scenario.overlay_routing()),
                                 profile),
-        routing_edge_path(*scenario.overlay_routing));
+        routing_edge_path(scenario.overlay_routing()));
     if (alpha <= 1.0) {
       ASSERT_TRUE(admitted) << "alpha " << alpha;
       EXPECT_TRUE(meets_demands(scenario.requirement, *admitted, profile));

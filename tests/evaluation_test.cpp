@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
-#include "core/evaluation.hpp"
+#include "core/federator.hpp"
+#include "core/scenario.hpp"
 #include "test_helpers.hpp"
 
 namespace sflow::core {
@@ -11,7 +12,7 @@ TEST(Evaluation, ScenarioIsDeterministicForSeed) {
   const Scenario a = make_scenario(params, 42);
   const Scenario b = make_scenario(params, 42);
   EXPECT_EQ(a.underlay.link_count(), b.underlay.link_count());
-  EXPECT_EQ(a.overlay.graph().edge_count(), b.overlay.graph().edge_count());
+  EXPECT_EQ(a.overlay().graph().edge_count(), b.overlay().graph().edge_count());
   EXPECT_EQ(a.requirement, b.requirement);
 }
 
@@ -20,16 +21,16 @@ TEST(Evaluation, ScenarioStructureIsSound) {
   const Scenario scenario = make_scenario(params, 7);
   EXPECT_EQ(scenario.underlay.node_count(), params.network_size);
   EXPECT_TRUE(scenario.underlay.is_connected());
-  EXPECT_EQ(scenario.overlay.instance_count(), params.network_size);
+  EXPECT_EQ(scenario.overlay().instance_count(), params.network_size);
   // Every service type is hosted somewhere.
   for (std::size_t t = 0; t < params.service_type_count; ++t)
-    EXPECT_FALSE(scenario.overlay.instances_of(static_cast<overlay::Sid>(t)).empty());
+    EXPECT_FALSE(scenario.overlay().instances_of(static_cast<overlay::Sid>(t)).empty());
   // The requirement's source is pinned to a hosting instance.
   const auto pin = scenario.requirement.pinned(scenario.requirement.source());
   ASSERT_TRUE(pin);
-  const auto inst = scenario.overlay.instance_at(*pin);
+  const auto inst = scenario.overlay().instance_at(*pin);
   ASSERT_TRUE(inst);
-  EXPECT_EQ(scenario.overlay.instance(*inst).sid, scenario.requirement.source());
+  EXPECT_EQ(scenario.overlay().instance(*inst).sid, scenario.requirement.source());
 }
 
 TEST(Evaluation, ScenarioRejectsImpossibleParams) {
@@ -51,12 +52,12 @@ TEST(Evaluation, TypedCompatibilityScenariosAreFeasible) {
     // Feasibility probe passed inside make_scenario; the exact solver must
     // therefore succeed too, and so must sFlow.
     util::Rng rng(seed);
-    const AlgorithmOutcome optimal =
+    const FederationOutcome optimal =
         run_algorithm(Algorithm::kGlobalOptimal, scenario, rng);
-    const AlgorithmOutcome sflow = run_algorithm(Algorithm::kSflow, scenario, rng);
+    const FederationOutcome sflow = run_algorithm(Algorithm::kSflow, scenario, rng);
     ASSERT_TRUE(optimal.success);
     ASSERT_TRUE(sflow.success);
-    sflow.graph.validate(scenario.requirement, scenario.overlay);
+    sflow.graph.validate(scenario.requirement, scenario.overlay());
   }
 }
 
@@ -74,22 +75,22 @@ TEST_P(RunAlgorithmSweep, AllAlgorithmsProduceConsistentOutcomes) {
   const Scenario scenario = make_scenario(testing::small_workload(16), GetParam());
   util::Rng rng(GetParam());
 
-  const AlgorithmOutcome optimal =
+  const FederationOutcome optimal =
       run_algorithm(Algorithm::kGlobalOptimal, scenario, rng);
   ASSERT_TRUE(optimal.success);
-  optimal.graph.validate(scenario.requirement, scenario.overlay);
+  optimal.graph.validate(scenario.requirement, scenario.overlay());
 
   for (const Algorithm algorithm :
        {Algorithm::kSflow, Algorithm::kFixed, Algorithm::kRandom,
         Algorithm::kServicePath}) {
-    const AlgorithmOutcome outcome = run_algorithm(algorithm, scenario, rng);
+    const FederationOutcome outcome = run_algorithm(algorithm, scenario, rng);
     if (algorithm == Algorithm::kServicePath && !outcome.success) {
       // The path algorithm legitimately fails on DAG requirements whose
       // serialization is unroutable — the paper's "lowest success rate".
       continue;
     }
     ASSERT_TRUE(outcome.success) << algorithm_name(algorithm);
-    outcome.graph.validate(outcome.effective_requirement, scenario.overlay);
+    outcome.graph.validate(outcome.effective_requirement, scenario.overlay());
     EXPECT_GT(outcome.bandwidth, 0.0);
     EXPECT_GE(outcome.latency, 0.0);
     EXPECT_LE(outcome.bandwidth, optimal.bandwidth + 1e-9)
@@ -108,7 +109,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, RunAlgorithmSweep,
 TEST(Evaluation, SflowOutcomeCarriesProtocolStats) {
   const Scenario scenario = make_scenario(testing::small_workload(16), 3);
   util::Rng rng(3);
-  const AlgorithmOutcome outcome = run_algorithm(Algorithm::kSflow, scenario, rng);
+  const FederationOutcome outcome = run_algorithm(Algorithm::kSflow, scenario, rng);
   ASSERT_TRUE(outcome.success);
   EXPECT_GT(outcome.messages, 0u);
   EXPECT_GT(outcome.bytes, 0u);

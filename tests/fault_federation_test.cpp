@@ -13,7 +13,7 @@ using overlay::Sid;
 SFlowFederationResult run(const Scenario& scenario,
                           const FederationFaultOptions& faults = {}) {
   return run_sflow_federation(scenario.underlay, *scenario.routing,
-                              scenario.overlay, *scenario.overlay_routing,
+                              scenario.overlay(), scenario.overlay_routing(),
                               scenario.requirement, {}, faults);
 }
 
@@ -25,7 +25,7 @@ OverlayIndex replaceable_choice(const Scenario& scenario,
   const Sid source = scenario.requirement.source();
   for (const auto& [sid, instance] : flow.assignments()) {
     if (sid == source) continue;
-    if (scenario.overlay.instances_of(sid).size() >= 2) return instance;
+    if (scenario.overlay().instances_of(sid).size() >= 2) return instance;
   }
   return graph::kInvalidNode;
 }
@@ -54,8 +54,8 @@ TEST(FaultFederation, FailsGracefullyWhenEveryInstanceOfAServiceIsDead) {
   ASSERT_NE(victim_sid, overlay::kInvalidSid);
 
   FederationFaultOptions faults;
-  for (const OverlayIndex inst : scenario.overlay.instances_of(victim_sid))
-    faults.crashed.insert(scenario.overlay.instance(inst).nid);
+  for (const OverlayIndex inst : scenario.overlay().instances_of(victim_sid))
+    faults.crashed.insert(scenario.overlay().instance(inst).nid);
   const SFlowFederationResult result = run(scenario, faults);
   EXPECT_FALSE(result.flow_graph.has_value());
 }
@@ -70,23 +70,23 @@ TEST_P(FaultSweep, FailsOverAroundACrashedChosenInstance) {
   const OverlayIndex victim = replaceable_choice(scenario, *healthy.flow_graph);
   if (victim == graph::kInvalidNode)
     GTEST_SKIP() << "no replaceable chosen instance for this seed";
-  const net::Nid victim_nid = scenario.overlay.instance(victim).nid;
+  const net::Nid victim_nid = scenario.overlay().instance(victim).nid;
 
   FederationFaultOptions faults;
   faults.crashed.insert(victim_nid);
   const SFlowFederationResult result = run(scenario, faults);
   ASSERT_TRUE(result.flow_graph) << "federation did not survive the crash";
-  result.flow_graph->validate(scenario.requirement, scenario.overlay);
+  result.flow_graph->validate(scenario.requirement, scenario.overlay());
   EXPECT_GE(result.failovers, 1u);
 
   // The dead node hosts nothing in the final graph...
   for (const auto& [sid, instance] : result.flow_graph->assignments())
-    EXPECT_NE(scenario.overlay.instance(instance).nid, victim_nid);
+    EXPECT_NE(scenario.overlay().instance(instance).nid, victim_nid);
   // ...and no realized path endpoint touches it (bridging through a crashed
   // node's links is a data-plane concern; selection must avoid assigning it).
   for (const overlay::FlowEdge& e : result.flow_graph->edges()) {
-    EXPECT_NE(scenario.overlay.instance(e.overlay_path.front()).nid, victim_nid);
-    EXPECT_NE(scenario.overlay.instance(e.overlay_path.back()).nid, victim_nid);
+    EXPECT_NE(scenario.overlay().instance(e.overlay_path.front()).nid, victim_nid);
+    EXPECT_NE(scenario.overlay().instance(e.overlay_path.back()).nid, victim_nid);
   }
 }
 
@@ -103,18 +103,18 @@ TEST(FaultFederation, SurvivesTwoSimultaneousCrashes) {
     const Sid source = scenario.requirement.source();
     for (const auto& [sid, instance] : healthy.flow_graph->assignments()) {
       if (sid == source) continue;
-      if (scenario.overlay.instances_of(sid).size() >= 2)
-        faults.crashed.insert(scenario.overlay.instance(instance).nid);
+      if (scenario.overlay().instances_of(sid).size() >= 2)
+        faults.crashed.insert(scenario.overlay().instance(instance).nid);
       if (faults.crashed.size() == 2) break;
     }
     if (faults.crashed.size() < 2) continue;
 
     const SFlowFederationResult result = run(scenario, faults);
     if (!result.flow_graph) continue;  // replacements may be unreachable; rare
-    result.flow_graph->validate(scenario.requirement, scenario.overlay);
+    result.flow_graph->validate(scenario.requirement, scenario.overlay());
     for (const auto& [sid, instance] : result.flow_graph->assignments())
       EXPECT_FALSE(
-          faults.crashed.contains(scenario.overlay.instance(instance).nid));
+          faults.crashed.contains(scenario.overlay().instance(instance).nid));
   }
 }
 
@@ -125,13 +125,13 @@ TEST(FaultFederation, CrashOfUnchosenInstanceIsFree) {
 
   // Crash an instance nobody selected.
   FederationFaultOptions faults;
-  for (std::size_t v = 0; v < scenario.overlay.instance_count(); ++v) {
+  for (std::size_t v = 0; v < scenario.overlay().instance_count(); ++v) {
     const auto inst = static_cast<OverlayIndex>(v);
     bool chosen = false;
     for (const auto& [sid, assigned] : healthy.flow_graph->assignments())
       if (assigned == inst) chosen = true;
     if (!chosen) {
-      faults.crashed.insert(scenario.overlay.instance(inst).nid);
+      faults.crashed.insert(scenario.overlay().instance(inst).nid);
       break;
     }
   }

@@ -170,16 +170,16 @@ TEST_P(BaselineEquivalence, FlatDpMatchesLegacyBitForBit) {
   const Scenario scenario = make_scenario(params, GetParam());
 
   const auto legacy = baseline_single_path_legacy(
-      scenario.overlay, scenario.requirement, *scenario.overlay_routing);
+      scenario.overlay(), scenario.requirement, scenario.overlay_routing());
   BaselineStats stats;
-  const auto fresh = baseline_single_path(scenario.overlay, scenario.requirement,
-                                          *scenario.overlay_routing, &stats);
+  const auto fresh = baseline_single_path(scenario.overlay(), scenario.requirement,
+                                          scenario.overlay_routing(), &stats);
 
   ASSERT_EQ(fresh.has_value(), legacy.has_value());
   if (!fresh) return;
   EXPECT_EQ(*fresh, *legacy);
   const check::ValidationReport report = check::validate_flow_graph(
-      scenario.overlay, scenario.requirement, *fresh);
+      scenario.overlay(), scenario.requirement, *fresh);
   EXPECT_TRUE(report.ok()) << report.to_string();
 }
 
@@ -195,10 +195,10 @@ TEST_P(OptimalEquivalence, BoundedSearchMatchesLegacyBitForBit) {
 
   OptimalStats legacy_stats, fresh_stats;
   const auto legacy =
-      optimal_flow_graph_legacy(scenario.overlay, scenario.requirement,
-                                *scenario.overlay_routing, &legacy_stats);
-  const auto fresh = optimal_flow_graph(scenario.overlay, scenario.requirement,
-                                        *scenario.overlay_routing, &fresh_stats);
+      optimal_flow_graph_legacy(scenario.overlay(), scenario.requirement,
+                                scenario.overlay_routing(), &legacy_stats);
+  const auto fresh = optimal_flow_graph(scenario.overlay(), scenario.requirement,
+                                        scenario.overlay_routing(), &fresh_stats);
 
   ASSERT_EQ(fresh.has_value(), legacy.has_value());
   // The future-bandwidth bound only removes subtrees that cannot win: never
@@ -207,7 +207,7 @@ TEST_P(OptimalEquivalence, BoundedSearchMatchesLegacyBitForBit) {
   if (!fresh) return;
   EXPECT_EQ(*fresh, *legacy);
   const check::ValidationReport report = check::validate_flow_graph(
-      scenario.overlay, scenario.requirement, *fresh);
+      scenario.overlay(), scenario.requirement, *fresh);
   EXPECT_TRUE(report.ok()) << report.to_string();
 }
 

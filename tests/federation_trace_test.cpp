@@ -15,8 +15,8 @@ TEST(FederationTrace, RecordsTheWholeTimeline) {
   const Scenario scenario = make_scenario(testing::small_workload(16), 4);
   FederationTrace trace;
   const SFlowFederationResult result = run_sflow_federation(
-      scenario.underlay, *scenario.routing, scenario.overlay,
-      *scenario.overlay_routing, scenario.requirement, {}, {}, &trace);
+      scenario.underlay, *scenario.routing, scenario.overlay(),
+      scenario.overlay_routing(), scenario.requirement, {}, {}, &trace);
   ASSERT_TRUE(result.flow_graph);
 
   // One computed + one reported event per computing node, one assembly.
@@ -49,16 +49,16 @@ TEST(FederationTrace, RecordsTheWholeTimeline) {
 TEST(FederationTrace, RecordsFailovers) {
   const Scenario scenario = make_scenario(testing::small_workload(18), 6);
   const SFlowFederationResult healthy = run_sflow_federation(
-      scenario.underlay, *scenario.routing, scenario.overlay,
-      *scenario.overlay_routing, scenario.requirement);
+      scenario.underlay, *scenario.routing, scenario.overlay(),
+      scenario.overlay_routing(), scenario.requirement);
   ASSERT_TRUE(healthy.flow_graph);
 
   // Crash a replaceable chosen instance.
   FederationFaultOptions faults;
   for (const auto& [sid, instance] : healthy.flow_graph->assignments()) {
     if (sid == scenario.requirement.source()) continue;
-    if (scenario.overlay.instances_of(sid).size() >= 2) {
-      faults.crashed.insert(scenario.overlay.instance(instance).nid);
+    if (scenario.overlay().instances_of(sid).size() >= 2) {
+      faults.crashed.insert(scenario.overlay().instance(instance).nid);
       break;
     }
   }
@@ -66,8 +66,8 @@ TEST(FederationTrace, RecordsFailovers) {
 
   FederationTrace trace;
   const SFlowFederationResult result = run_sflow_federation(
-      scenario.underlay, *scenario.routing, scenario.overlay,
-      *scenario.overlay_routing, scenario.requirement, {}, faults, &trace);
+      scenario.underlay, *scenario.routing, scenario.overlay(),
+      scenario.overlay_routing(), scenario.requirement, {}, faults, &trace);
   ASSERT_TRUE(result.flow_graph);
   EXPECT_EQ(trace.count(Kind::kFailover), result.failovers);
   EXPECT_GE(result.failovers, 1u);
@@ -77,7 +77,7 @@ TEST(FederationTrace, RendersReadableTimeline) {
   const Scenario scenario = make_scenario(testing::small_workload(12), 8);
   FederationTrace trace;
   ASSERT_TRUE(run_sflow_federation(scenario.underlay, *scenario.routing,
-                                   scenario.overlay, *scenario.overlay_routing,
+                                   scenario.overlay(), scenario.overlay_routing(),
                                    scenario.requirement, {}, {}, &trace)
                   .flow_graph);
   const std::string text = trace.to_string(&scenario.catalog);
@@ -93,7 +93,7 @@ TEST(FederationTrace, ChromeTraceJsonCoversEveryEvent) {
   const Scenario scenario = make_scenario(testing::small_workload(12), 8);
   FederationTrace trace;
   ASSERT_TRUE(run_sflow_federation(scenario.underlay, *scenario.routing,
-                                   scenario.overlay, *scenario.overlay_routing,
+                                   scenario.overlay(), scenario.overlay_routing(),
                                    scenario.requirement, {}, {}, &trace)
                   .flow_graph);
 

@@ -64,16 +64,16 @@ TEST_P(GlobalOptimalRandom, MatchesExhaustiveOracle) {
   params.requirement.service_count = 5;
   const Scenario scenario = make_scenario(params, GetParam());
 
-  const auto result = optimal_flow_graph(scenario.overlay, scenario.requirement,
-                                         *scenario.overlay_routing);
+  const auto result = optimal_flow_graph(scenario.overlay(), scenario.requirement,
+                                         scenario.overlay_routing());
   const graph::PathQuality oracle = testing::brute_force_best_quality(
-      scenario.overlay, scenario.requirement, *scenario.overlay_routing);
+      scenario.overlay(), scenario.requirement, scenario.overlay_routing());
 
   ASSERT_TRUE(result);
   ASSERT_FALSE(oracle.is_unreachable());
-  result->validate(scenario.requirement, scenario.overlay);
+  result->validate(scenario.requirement, scenario.overlay());
   const check::ValidationReport report = check::validate_flow_graph(
-      scenario.overlay, scenario.requirement, *result);
+      scenario.overlay(), scenario.requirement, *result);
   EXPECT_TRUE(report.ok()) << report.to_string();
   EXPECT_DOUBLE_EQ(result->bottleneck_bandwidth(), oracle.bandwidth);
   EXPECT_DOUBLE_EQ(result->end_to_end_latency(scenario.requirement),

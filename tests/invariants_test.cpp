@@ -2,7 +2,8 @@
 // network size, and algorithm — the repository's "model checking" sweep.
 #include <gtest/gtest.h>
 
-#include "core/evaluation.hpp"
+#include "core/federator.hpp"
+#include "core/scenario.hpp"
 #include "core/global_optimal.hpp"
 #include "core/sflow_federation.hpp"
 #include "test_helpers.hpp"
@@ -46,17 +47,17 @@ TEST_P(InvariantSweep, AllOutputsValidateAndRespectTheOptimum) {
   const Scenario scenario = scenario_for(GetParam());
   util::Rng rng(GetParam().seed);
 
-  const AlgorithmOutcome optimal =
+  const FederationOutcome optimal =
       run_algorithm(Algorithm::kGlobalOptimal, scenario, rng);
   ASSERT_TRUE(optimal.success);
-  optimal.graph.validate(scenario.requirement, scenario.overlay);
+  optimal.graph.validate(scenario.requirement, scenario.overlay());
 
   for (const Algorithm algorithm :
        {Algorithm::kSflow, Algorithm::kFixed, Algorithm::kRandom,
         Algorithm::kServicePath}) {
-    const AlgorithmOutcome outcome = run_algorithm(algorithm, scenario, rng);
+    const FederationOutcome outcome = run_algorithm(algorithm, scenario, rng);
     if (!outcome.success) continue;
-    outcome.graph.validate(outcome.effective_requirement, scenario.overlay);
+    outcome.graph.validate(outcome.effective_requirement, scenario.overlay());
     EXPECT_LE(outcome.bandwidth, optimal.bandwidth + 1e-9)
         << algorithm_name(algorithm);
     EXPECT_GE(outcome.latency, 0.0);
@@ -68,11 +69,11 @@ TEST_P(InvariantSweep, AllOutputsValidateAndRespectTheOptimum) {
 TEST_P(InvariantSweep, DistributedFederationIsDeterministic) {
   const Scenario scenario = scenario_for(GetParam());
   const SFlowFederationResult a = run_sflow_federation(
-      scenario.underlay, *scenario.routing, scenario.overlay,
-      *scenario.overlay_routing, scenario.requirement);
+      scenario.underlay, *scenario.routing, scenario.overlay(),
+      scenario.overlay_routing(), scenario.requirement);
   const SFlowFederationResult b = run_sflow_federation(
-      scenario.underlay, *scenario.routing, scenario.overlay,
-      *scenario.overlay_routing, scenario.requirement);
+      scenario.underlay, *scenario.routing, scenario.overlay(),
+      scenario.overlay_routing(), scenario.requirement);
   ASSERT_TRUE(a.flow_graph);
   ASSERT_TRUE(b.flow_graph);
   EXPECT_EQ(a.flow_graph->assignments(), b.flow_graph->assignments());
@@ -85,13 +86,13 @@ TEST_P(InvariantSweep, DistributedFederationIsDeterministic) {
 /// for the bottleneck on chain/parallel/tree-free split-merge shapes.
 TEST_P(InvariantSweep, HeuristicSolverBoundedByOptimum) {
   const Scenario scenario = scenario_for(GetParam());
-  const RequirementSolver solver(scenario.overlay, *scenario.overlay_routing);
+  const RequirementSolver solver(scenario.overlay(), scenario.overlay_routing());
   const auto heuristic = solver.solve(scenario.requirement);
-  const auto optimal = optimal_flow_graph(scenario.overlay, scenario.requirement,
-                                          *scenario.overlay_routing);
+  const auto optimal = optimal_flow_graph(scenario.overlay(), scenario.requirement,
+                                          scenario.overlay_routing());
   ASSERT_TRUE(optimal);
   ASSERT_TRUE(heuristic);
-  heuristic->validate(scenario.requirement, scenario.overlay);
+  heuristic->validate(scenario.requirement, scenario.overlay());
   EXPECT_LE(heuristic->bottleneck_bandwidth(),
             optimal->bottleneck_bandwidth() + 1e-9);
   const auto shape = GetParam().shape;
@@ -112,17 +113,17 @@ TEST_P(InvariantSweep, HeuristicSolverBoundedByOptimum) {
 /// *worst* draw cannot be asserted deterministically, so bound by optimum.
 TEST_P(InvariantSweep, KnowledgeSweepStaysBounded) {
   const Scenario scenario = scenario_for(GetParam());
-  const auto optimal = optimal_flow_graph(scenario.overlay, scenario.requirement,
-                                          *scenario.overlay_routing);
+  const auto optimal = optimal_flow_graph(scenario.overlay(), scenario.requirement,
+                                          scenario.overlay_routing());
   ASSERT_TRUE(optimal);
   for (const int radius : {1, 2, -1}) {
     SFlowNodeConfig config;
     config.knowledge_radius = radius;
     const SFlowFederationResult result = run_sflow_federation(
-        scenario.underlay, *scenario.routing, scenario.overlay,
-        *scenario.overlay_routing, scenario.requirement, config);
+        scenario.underlay, *scenario.routing, scenario.overlay(),
+        scenario.overlay_routing(), scenario.requirement, config);
     ASSERT_TRUE(result.flow_graph) << "radius " << radius;
-    result.flow_graph->validate(scenario.requirement, scenario.overlay);
+    result.flow_graph->validate(scenario.requirement, scenario.overlay());
     EXPECT_LE(result.flow_graph->bottleneck_bandwidth(),
               optimal->bottleneck_bandwidth() + 1e-9)
         << "radius " << radius;
@@ -135,8 +136,8 @@ INSTANTIATE_TEST_SUITE_P(ShapesAndSizes, InvariantSweep,
 /// Merging partial flow graphs is order-independent when the partials agree.
 TEST(FlowGraphMerge, OrderIndependentForDisjointPartials) {
   const Scenario scenario = make_scenario(testing::small_workload(14), 77);
-  const auto full = optimal_flow_graph(scenario.overlay, scenario.requirement,
-                                       *scenario.overlay_routing);
+  const auto full = optimal_flow_graph(scenario.overlay(), scenario.requirement,
+                                       scenario.overlay_routing());
   ASSERT_TRUE(full);
 
   // Split the edges into two partials.

@@ -29,7 +29,7 @@ TEST_P(LifecycleSweep, FullLifecycleHoldsTogether) {
 
   // 1. Nodes learn their two-hop views through the link-state protocol.
   LinkStateProtocol link_state(scenario.underlay, *scenario.routing,
-                               scenario.overlay, 2);
+                               scenario.overlay(), 2);
   link_state.disseminate();
   ASSERT_TRUE(link_state.converged());
 
@@ -40,10 +40,10 @@ TEST_P(LifecycleSweep, FullLifecycleHoldsTogether) {
   };
   FederationTrace trace;
   const SFlowFederationResult federated = run_sflow_federation(
-      scenario.underlay, *scenario.routing, scenario.overlay,
-      *scenario.overlay_routing, scenario.requirement, config, {}, &trace);
+      scenario.underlay, *scenario.routing, scenario.overlay(),
+      scenario.overlay_routing(), scenario.requirement, config, {}, &trace);
   ASSERT_TRUE(federated.flow_graph);
-  federated.flow_graph->validate(scenario.requirement, scenario.overlay);
+  federated.flow_graph->validate(scenario.requirement, scenario.overlay());
   EXPECT_EQ(trace.count(TraceEvent::Kind::kAssembled), 1u);
 
   // 3. Deliver a payload; the measured schedule matches the analytic model.
@@ -53,7 +53,7 @@ TEST_P(LifecycleSweep, FullLifecycleHoldsTogether) {
 
   // 4. Contention: delivered throughput never exceeds the promise.
   const net::ContentionReport contention =
-      net::evaluate_contention(scenario.overlay, *federated.flow_graph,
+      net::evaluate_contention(scenario.overlay(), *federated.flow_graph,
                                scenario.underlay, *scenario.routing);
   EXPECT_LE(contention.delivered_throughput,
             contention.promised_throughput + 1e-9);
@@ -61,16 +61,16 @@ TEST_P(LifecycleSweep, FullLifecycleHoldsTogether) {
   // 5. A new consumer joins under some federated service, if a spare hosted
   //    service type exists.
   overlay::Sid spare = overlay::kInvalidSid;
-  for (const overlay::ServiceInstance& inst : scenario.overlay.instances())
+  for (const overlay::ServiceInstance& inst : scenario.overlay().instances())
     if (!scenario.requirement.contains(inst.sid)) spare = inst.sid;
   overlay::ServiceRequirement requirement = scenario.requirement;
   overlay::ServiceFlowGraph flow = *federated.flow_graph;
   if (spare != overlay::kInvalidSid) {
     const auto grafted =
-        graft_sink(scenario.overlay, *scenario.overlay_routing, requirement,
+        graft_sink(scenario.overlay(), scenario.overlay_routing(), requirement,
                    flow, requirement.source(), {spare});
     ASSERT_TRUE(grafted);
-    grafted->flow.validate(grafted->requirement, scenario.overlay);
+    grafted->flow.validate(grafted->requirement, scenario.overlay());
 
     // 6. ... and one of the original sinks leaves again (when removable).
     const auto sinks = grafted->requirement.sinks();
@@ -81,7 +81,7 @@ TEST_P(LifecycleSweep, FullLifecycleHoldsTogether) {
       if (removable != overlay::kInvalidSid) {
         const MembershipResult pruned =
             prune_sink(grafted->requirement, grafted->flow, removable);
-        pruned.flow.validate(pruned.requirement, scenario.overlay);
+        pruned.flow.validate(pruned.requirement, scenario.overlay());
         requirement = pruned.requirement;
         flow = pruned.flow;
       } else {
@@ -100,10 +100,10 @@ TEST_P(LifecycleSweep, FullLifecycleHoldsTogether) {
   ChurnParams churn;
   churn.link_churn_fraction = 0.4;
   churn.bandwidth_jitter = 0.7;
-  const overlay::OverlayGraph after = apply_churn(scenario.overlay, churn, rng);
+  const overlay::OverlayGraph after = apply_churn(scenario.overlay(), churn, rng);
   const graph::AllPairsShortestWidest routing(after.graph());
   const RefederationResult repaired =
-      refederate(scenario.overlay, after, routing, requirement, flow);
+      refederate(scenario.overlay(), after, routing, requirement, flow);
   ASSERT_TRUE(repaired.graph);
   repaired.graph->validate(requirement, after);
 }

@@ -80,17 +80,17 @@ TEST_P(LinkStateSweep, DisseminationYieldsExactNeighbourhoodViews) {
   const Scenario scenario = make_scenario(testing::small_workload(14), GetParam());
   constexpr int kRadius = 2;
   LinkStateProtocol protocol(scenario.underlay, *scenario.routing,
-                             scenario.overlay, kRadius);
+                             scenario.overlay(), kRadius);
   const LinkStateStats stats = protocol.disseminate();
   EXPECT_GT(stats.messages, 0u);
   EXPECT_GT(stats.bytes, 0u);
   EXPECT_GT(stats.convergence_time_ms, 0.0);
 
-  for (std::size_t v = 0; v < scenario.overlay.instance_count(); ++v) {
+  for (std::size_t v = 0; v < scenario.overlay().instance_count(); ++v) {
     const auto self = static_cast<OverlayIndex>(v);
     const OverlayGraph from_protocol = protocol.local_view(self);
-    const OverlayGraph reference = scenario.overlay.induced(
-        graph::neighborhood(scenario.overlay.graph(), self, kRadius));
+    const OverlayGraph reference = scenario.overlay().induced(
+        graph::neighborhood(scenario.overlay().graph(), self, kRadius));
     const ViewShape got(from_protocol);
     const ViewShape want(reference);
     EXPECT_EQ(got.nodes, want.nodes) << "node " << v;
@@ -104,7 +104,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, LinkStateSweep,
 TEST(LinkStateProtocol, RepeatedRoundsRefreshDatabases) {
   const Scenario scenario = make_scenario(testing::small_workload(12), 5);
   LinkStateProtocol protocol(scenario.underlay, *scenario.routing,
-                             scenario.overlay, 2);
+                             scenario.overlay(), 2);
   const LinkStateStats first = protocol.disseminate();
   const LinkStateStats second = protocol.disseminate();
   // A second advertisement round floods the same scope again.
@@ -114,7 +114,7 @@ TEST(LinkStateProtocol, RepeatedRoundsRefreshDatabases) {
 TEST(LinkStateProtocol, ReAdvertisementRecoversFromLoss) {
   const Scenario scenario = make_scenario(testing::small_workload(14), 9);
   LinkStateProtocol protocol(scenario.underlay, *scenario.routing,
-                             scenario.overlay, 2);
+                             scenario.overlay(), 2);
   protocol.set_loss(0.3, 42);
   int rounds = 0;
   while (!protocol.converged() && rounds < 20) {
@@ -129,7 +129,7 @@ TEST(LinkStateProtocol, ReAdvertisementRecoversFromLoss) {
 TEST(LinkStateProtocol, LossFreeRoundConvergesImmediately) {
   const Scenario scenario = make_scenario(testing::small_workload(12), 10);
   LinkStateProtocol protocol(scenario.underlay, *scenario.routing,
-                             scenario.overlay, 2);
+                             scenario.overlay(), 2);
   EXPECT_FALSE(protocol.converged());  // nothing disseminated yet
   protocol.disseminate();
   EXPECT_TRUE(protocol.converged());
@@ -138,7 +138,7 @@ TEST(LinkStateProtocol, LossFreeRoundConvergesImmediately) {
 TEST(LinkStateProtocol, RejectsBadRadius) {
   const Scenario scenario = make_scenario(testing::small_workload(10), 2);
   EXPECT_THROW(LinkStateProtocol(scenario.underlay, *scenario.routing,
-                                 scenario.overlay, 0),
+                                 scenario.overlay(), 0),
                std::invalid_argument);
 }
 
@@ -149,7 +149,7 @@ TEST_P(LinkStateFederationSweep, ProtocolViewsReproduceDirectViewFederation) {
   // exactly as sFlow running on omniscient neighbourhood cuts.
   const Scenario scenario = make_scenario(testing::small_workload(14), GetParam());
   LinkStateProtocol protocol(scenario.underlay, *scenario.routing,
-                             scenario.overlay, 2);
+                             scenario.overlay(), 2);
   protocol.disseminate();
 
   SFlowNodeConfig with_protocol;
@@ -157,17 +157,17 @@ TEST_P(LinkStateFederationSweep, ProtocolViewsReproduceDirectViewFederation) {
     return protocol.local_view(self);
   };
   const SFlowFederationResult via_protocol = run_sflow_federation(
-      scenario.underlay, *scenario.routing, scenario.overlay,
-      *scenario.overlay_routing, scenario.requirement, with_protocol);
+      scenario.underlay, *scenario.routing, scenario.overlay(),
+      scenario.overlay_routing(), scenario.requirement, with_protocol);
   const SFlowFederationResult direct = run_sflow_federation(
-      scenario.underlay, *scenario.routing, scenario.overlay,
-      *scenario.overlay_routing, scenario.requirement);
+      scenario.underlay, *scenario.routing, scenario.overlay(),
+      scenario.overlay_routing(), scenario.requirement);
 
   ASSERT_TRUE(via_protocol.flow_graph);
   ASSERT_TRUE(direct.flow_graph);
-  via_protocol.flow_graph->validate(scenario.requirement, scenario.overlay);
+  via_protocol.flow_graph->validate(scenario.requirement, scenario.overlay());
   const check::ValidationReport report = check::validate_flow_graph(
-      scenario.overlay, scenario.requirement, *via_protocol.flow_graph);
+      scenario.overlay(), scenario.requirement, *via_protocol.flow_graph);
   EXPECT_TRUE(report.ok()) << report.to_string();
   EXPECT_EQ(via_protocol.flow_graph->assignments(),
             direct.flow_graph->assignments());

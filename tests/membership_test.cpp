@@ -136,8 +136,8 @@ class MembershipSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(MembershipSweep, GraftThenPruneIsIdentity) {
   const Scenario scenario = make_scenario(testing::small_workload(16), GetParam());
-  const auto flow = optimal_flow_graph(scenario.overlay, scenario.requirement,
-                                       *scenario.overlay_routing);
+  const auto flow = optimal_flow_graph(scenario.overlay(), scenario.requirement,
+                                       scenario.overlay_routing());
   ASSERT_TRUE(flow);
 
   // A service type not used by the requirement (guaranteed: the catalog has
@@ -145,17 +145,17 @@ TEST_P(MembershipSweep, GraftThenPruneIsIdentity) {
   // fresh SID hosted nowhere is unsatisfiable, so reuse an instance-backed
   // spare when one exists.
   Sid spare = overlay::kInvalidSid;
-  for (const overlay::ServiceInstance& inst : scenario.overlay.instances())
+  for (const overlay::ServiceInstance& inst : scenario.overlay().instances())
     if (!scenario.requirement.contains(inst.sid)) spare = inst.sid;
   if (spare == overlay::kInvalidSid)
     GTEST_SKIP() << "requirement uses every hosted service type";
 
   util::Rng rng(GetParam());
   const Sid attach = rng.pick(scenario.requirement.services());
-  const auto grafted = graft_sink(scenario.overlay, *scenario.overlay_routing,
+  const auto grafted = graft_sink(scenario.overlay(), scenario.overlay_routing(),
                                   scenario.requirement, *flow, attach, {spare});
   ASSERT_TRUE(grafted);
-  grafted->flow.validate(grafted->requirement, scenario.overlay);
+  grafted->flow.validate(grafted->requirement, scenario.overlay());
 
   const MembershipResult pruned =
       prune_sink(grafted->requirement, grafted->flow, spare);

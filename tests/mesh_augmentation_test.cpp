@@ -104,8 +104,8 @@ TEST_P(AugmentationSweep, FederationQualityIsMonotone) {
   workload.type_compatibility = 0.15;  // sparse: room to augment
   const Scenario scenario = make_scenario(workload, GetParam());
 
-  const auto before = optimal_flow_graph(scenario.overlay, scenario.requirement,
-                                         *scenario.overlay_routing);
+  const auto before = optimal_flow_graph(scenario.overlay(), scenario.requirement,
+                                         scenario.overlay_routing());
   ASSERT_TRUE(before);
 
   AugmentationParams params;
@@ -114,7 +114,7 @@ TEST_P(AugmentationSweep, FederationQualityIsMonotone) {
   params.candidate_sample = 24;
   util::Rng rng(GetParam() ^ 0xafff);
   const OverlayGraph augmented = augment_mesh(
-      scenario.overlay, *scenario.routing,
+      scenario.overlay(), *scenario.routing,
       [](Sid a, Sid b) { return a != b; }, params, rng);
 
   const graph::AllPairsShortestWidest routing(augmented.graph());

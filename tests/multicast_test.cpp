@@ -114,12 +114,12 @@ TEST_P(MulticastSweep, FeasibleValidAndBounded) {
   const Scenario scenario = make_scenario(params, GetParam());
 
   const auto tree = multicast_tree_federation(
-      scenario.overlay, scenario.requirement, *scenario.overlay_routing);
-  const auto optimal = optimal_flow_graph(scenario.overlay, scenario.requirement,
-                                          *scenario.overlay_routing);
+      scenario.overlay(), scenario.requirement, scenario.overlay_routing());
+  const auto optimal = optimal_flow_graph(scenario.overlay(), scenario.requirement,
+                                          scenario.overlay_routing());
   ASSERT_TRUE(optimal);
   if (!tree) return;  // greedy dead end is legitimate (rare)
-  tree->validate(scenario.requirement, scenario.overlay);
+  tree->validate(scenario.requirement, scenario.overlay());
   EXPECT_LE(tree->bottleneck_bandwidth(),
             optimal->bottleneck_bandwidth() + 1e-9);
 }

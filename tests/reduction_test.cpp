@@ -204,14 +204,14 @@ TEST_P(PathReductionExact, EqualsOptimalOnParallelChains) {
   params.requirement.service_count = 6;
   const Scenario scenario = make_scenario(params, GetParam());
 
-  const RequirementSolver solver(scenario.overlay, *scenario.overlay_routing);
+  const RequirementSolver solver(scenario.overlay(), scenario.overlay_routing());
   RequirementSolver::Trace trace;
   const auto heuristic = solver.solve(scenario.requirement, &trace);
-  const auto optimal = optimal_flow_graph(scenario.overlay, scenario.requirement,
-                                          *scenario.overlay_routing);
+  const auto optimal = optimal_flow_graph(scenario.overlay(), scenario.requirement,
+                                          scenario.overlay_routing());
   ASSERT_TRUE(heuristic);
   ASSERT_TRUE(optimal);
-  heuristic->validate(scenario.requirement, scenario.overlay);
+  heuristic->validate(scenario.requirement, scenario.overlay());
   // Path reduction is exact for the bottleneck bandwidth (each chain
   // maximizes its own width independently); the latency tie-break is only
   // approximate — a chain may buy extra width the bottleneck cannot use at
@@ -237,13 +237,13 @@ TEST_P(SolverGeneric, FeasibleAndBoundedByOptimal) {
   params.requirement.service_count = 5;
   const Scenario scenario = make_scenario(params, GetParam());
 
-  const RequirementSolver solver(scenario.overlay, *scenario.overlay_routing);
+  const RequirementSolver solver(scenario.overlay(), scenario.overlay_routing());
   const auto heuristic = solver.solve(scenario.requirement);
-  const auto optimal = optimal_flow_graph(scenario.overlay, scenario.requirement,
-                                          *scenario.overlay_routing);
+  const auto optimal = optimal_flow_graph(scenario.overlay(), scenario.requirement,
+                                          scenario.overlay_routing());
   ASSERT_TRUE(heuristic);
   ASSERT_TRUE(optimal);
-  heuristic->validate(scenario.requirement, scenario.overlay);
+  heuristic->validate(scenario.requirement, scenario.overlay());
   EXPECT_LE(heuristic->bottleneck_bandwidth(),
             optimal->bottleneck_bandwidth() + 1e-9);
 }

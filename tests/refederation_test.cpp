@@ -18,11 +18,11 @@ TEST(ApplyChurn, NoChurnIsIdentity) {
   params.link_churn_fraction = 0.0;
   params.instance_failure_probability = 0.0;
   ChurnReport report;
-  const OverlayGraph after = apply_churn(scenario.overlay, params, rng, &report);
+  const OverlayGraph after = apply_churn(scenario.overlay(), params, rng, &report);
   EXPECT_EQ(report.links_rewritten, 0u);
   EXPECT_TRUE(report.failed_instances.empty());
-  EXPECT_EQ(after.instance_count(), scenario.overlay.instance_count());
-  EXPECT_EQ(after.graph().edge_count(), scenario.overlay.graph().edge_count());
+  EXPECT_EQ(after.instance_count(), scenario.overlay().instance_count());
+  EXPECT_EQ(after.graph().edge_count(), scenario.overlay().graph().edge_count());
 }
 
 TEST(ApplyChurn, RewritesLinksAndFailsInstances) {
@@ -35,7 +35,7 @@ TEST(ApplyChurn, RewritesLinksAndFailsInstances) {
       *scenario.requirement.pinned(scenario.requirement.source());
   ChurnReport report;
   const OverlayGraph after =
-      apply_churn(scenario.overlay, params, rng, &report, {source_nid});
+      apply_churn(scenario.overlay(), params, rng, &report, {source_nid});
   EXPECT_GT(report.links_rewritten, 0u);
   EXPECT_FALSE(report.failed_instances.empty());
   // Protected node survives.
@@ -44,7 +44,7 @@ TEST(ApplyChurn, RewritesLinksAndFailsInstances) {
   for (const net::Nid nid : report.failed_instances)
     EXPECT_FALSE(after.instance_at(nid).has_value());
   EXPECT_EQ(after.instance_count() + report.failed_instances.size(),
-            scenario.overlay.instance_count());
+            scenario.overlay().instance_count());
 }
 
 TEST(ApplyChurn, RejectsBadFractions) {
@@ -52,23 +52,23 @@ TEST(ApplyChurn, RejectsBadFractions) {
   util::Rng rng(1);
   ChurnParams params;
   params.link_churn_fraction = 1.5;
-  EXPECT_THROW(apply_churn(scenario.overlay, params, rng), std::invalid_argument);
+  EXPECT_THROW(apply_churn(scenario.overlay(), params, rng), std::invalid_argument);
 }
 
 TEST(DiagnoseFlow, CleanOverlayHasNoViolations) {
   const Scenario scenario = make_scenario(testing::small_workload(14), 4);
-  const auto flow = optimal_flow_graph(scenario.overlay, scenario.requirement,
-                                       *scenario.overlay_routing);
+  const auto flow = optimal_flow_graph(scenario.overlay(), scenario.requirement,
+                                       scenario.overlay_routing());
   ASSERT_TRUE(flow);
-  const auto violations = diagnose_flow(scenario.overlay, scenario.overlay,
+  const auto violations = diagnose_flow(scenario.overlay(), scenario.overlay(),
                                         scenario.requirement, *flow);
   EXPECT_TRUE(violations.empty());
 }
 
 TEST(DiagnoseFlow, DetectsBrokenAndDegradedEdges) {
   const Scenario scenario = make_scenario(testing::small_workload(14), 5);
-  const auto flow = optimal_flow_graph(scenario.overlay, scenario.requirement,
-                                       *scenario.overlay_routing);
+  const auto flow = optimal_flow_graph(scenario.overlay(), scenario.requirement,
+                                       scenario.overlay_routing());
   ASSERT_TRUE(flow);
 
   // Fail every non-protected instance: essentially all realized paths break.
@@ -78,14 +78,14 @@ TEST(DiagnoseFlow, DetectsBrokenAndDegradedEdges) {
   const net::Nid source_nid =
       *scenario.requirement.pinned(scenario.requirement.source());
   const OverlayGraph wrecked =
-      apply_churn(scenario.overlay, params, rng, nullptr, {source_nid});
+      apply_churn(scenario.overlay(), params, rng, nullptr, {source_nid});
   const auto violations =
-      diagnose_flow(scenario.overlay, wrecked, scenario.requirement, *flow);
+      diagnose_flow(scenario.overlay(), wrecked, scenario.requirement, *flow);
   EXPECT_EQ(violations.size(), scenario.requirement.dag().edge_count());
   for (const EdgeViolation& v : violations)
     EXPECT_EQ(v.kind, EdgeViolation::Kind::kBroken);
 
-  EXPECT_THROW(diagnose_flow(scenario.overlay, wrecked, scenario.requirement,
+  EXPECT_THROW(diagnose_flow(scenario.overlay(), wrecked, scenario.requirement,
                              *flow, 1.5),
                std::invalid_argument);
 }
@@ -94,19 +94,19 @@ class RefederationSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(RefederationSweep, RepairsAfterLinkChurn) {
   const Scenario scenario = make_scenario(testing::small_workload(16), GetParam());
-  const auto flow = optimal_flow_graph(scenario.overlay, scenario.requirement,
-                                       *scenario.overlay_routing);
+  const auto flow = optimal_flow_graph(scenario.overlay(), scenario.requirement,
+                                       scenario.overlay_routing());
   ASSERT_TRUE(flow);
 
   util::Rng rng(GetParam() ^ 0x0c0ffee);
   ChurnParams params;
   params.link_churn_fraction = 0.5;
   params.bandwidth_jitter = 0.8;
-  const OverlayGraph after = apply_churn(scenario.overlay, params, rng);
+  const OverlayGraph after = apply_churn(scenario.overlay(), params, rng);
   const graph::AllPairsShortestWidest routing(after.graph());
 
   const RefederationResult result = refederate(
-      scenario.overlay, after, routing, scenario.requirement, *flow);
+      scenario.overlay(), after, routing, scenario.requirement, *flow);
   ASSERT_TRUE(result.graph);
   result.graph->validate(scenario.requirement, after);
   EXPECT_EQ(result.services_kept + result.services_resolved,
@@ -120,8 +120,8 @@ class RefederationFailureSweep : public ::testing::TestWithParam<std::uint64_t> 
 
 TEST_P(RefederationFailureSweep, SurvivesInstanceFailures) {
   const Scenario scenario = make_scenario(testing::small_workload(18), GetParam());
-  const auto flow = optimal_flow_graph(scenario.overlay, scenario.requirement,
-                                       *scenario.overlay_routing);
+  const auto flow = optimal_flow_graph(scenario.overlay(), scenario.requirement,
+                                       scenario.overlay_routing());
   ASSERT_TRUE(flow);
 
   util::Rng rng(GetParam() + 99);
@@ -133,14 +133,14 @@ TEST_P(RefederationFailureSweep, SurvivesInstanceFailures) {
       *scenario.requirement.pinned(scenario.requirement.source())};
   for (const overlay::Sid sid : scenario.requirement.services())
     protected_nids.push_back(
-        scenario.overlay.instance(scenario.overlay.instances_of(sid).front()).nid);
+        scenario.overlay().instance(scenario.overlay().instances_of(sid).front()).nid);
 
   const OverlayGraph after =
-      apply_churn(scenario.overlay, params, rng, nullptr, protected_nids);
+      apply_churn(scenario.overlay(), params, rng, nullptr, protected_nids);
   const graph::AllPairsShortestWidest routing(after.graph());
 
   const RefederationResult result = refederate(
-      scenario.overlay, after, routing, scenario.requirement, *flow);
+      scenario.overlay(), after, routing, scenario.requirement, *flow);
   ASSERT_TRUE(result.graph);
   result.graph->validate(scenario.requirement, after);
   // Any service whose instance died must have been re-decided.
@@ -157,11 +157,11 @@ INSTANTIATE_TEST_SUITE_P(Seeds, RefederationFailureSweep,
 TEST(Refederation, KeepsIntactServicesPinned) {
   // Churn nothing: a re-federation must keep every assignment.
   const Scenario scenario = make_scenario(testing::small_workload(14), 8);
-  const auto flow = optimal_flow_graph(scenario.overlay, scenario.requirement,
-                                       *scenario.overlay_routing);
+  const auto flow = optimal_flow_graph(scenario.overlay(), scenario.requirement,
+                                       scenario.overlay_routing());
   ASSERT_TRUE(flow);
   const RefederationResult result =
-      refederate(scenario.overlay, scenario.overlay, *scenario.overlay_routing,
+      refederate(scenario.overlay(), scenario.overlay(), scenario.overlay_routing(),
                  scenario.requirement, *flow);
   ASSERT_TRUE(result.graph);
   EXPECT_EQ(result.violations, 0u);

@@ -129,23 +129,23 @@ TEST_P(ResourceAwareSweep, AwareSelectionDominatesBlind) {
       core::make_scenario(testing::small_workload(14), GetParam());
   util::Rng rng(GetParam() ^ 0xbeef);
   const ResourceModel model =
-      ResourceModel::random(scenario.overlay, 4.0, 10.0, 60.0, rng);
+      ResourceModel::random(scenario.overlay(), 4.0, 10.0, 60.0, rng);
 
   const auto blind = core::optimal_flow_graph(
-      scenario.overlay, scenario.requirement, *scenario.overlay_routing);
+      scenario.overlay(), scenario.requirement, scenario.overlay_routing());
   ASSERT_TRUE(blind);
   const auto aware = core::optimal_flow_graph_custom(
-      scenario.overlay, scenario.requirement,
-      resource_aware_edge_quality(scenario.overlay, *scenario.overlay_routing,
+      scenario.overlay(), scenario.requirement,
+      resource_aware_edge_quality(scenario.overlay(), scenario.overlay_routing(),
                                   model),
-      core::routing_edge_path(*scenario.overlay_routing));
+      core::routing_edge_path(scenario.overlay_routing()));
   ASSERT_TRUE(aware);
 
   const double blind_bw =
-      resource_aware_quality(scenario.overlay, scenario.requirement, *blind, model)
+      resource_aware_quality(scenario.overlay(), scenario.requirement, *blind, model)
           .bandwidth;
   const double aware_bw =
-      resource_aware_quality(scenario.overlay, scenario.requirement, *aware, model)
+      resource_aware_quality(scenario.overlay(), scenario.requirement, *aware, model)
           .bandwidth;
   EXPECT_GE(aware_bw + 1e-9, blind_bw);
 }

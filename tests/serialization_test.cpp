@@ -43,7 +43,7 @@ TEST(RequirementRoundTrip, PreservesServiceInsertionOrder) {
 TEST(ScenarioRoundTrip, FormatThenParseIsIdentity) {
   core::Scenario scenario =
       core::make_scenario(sflow::testing::small_workload(14), 24);
-  ScenarioFile file{{scenario.underlay, scenario.overlay}, scenario.requirement};
+  ScenarioFile file{{scenario.underlay, scenario.overlay()}, scenario.requirement};
 
   ServiceCatalog catalog = scenario.catalog;
   const std::string text = format_scenario(file, catalog);
@@ -72,6 +72,63 @@ TEST(ScenarioRoundTrip, FormatThenParseIsIdentity) {
   }
 }
 
+TEST(ScenarioRoundTrip, PreservesBatchRequestsAndAdmittedFlows) {
+  // Multi-request admission state: K extra requirements plus already-granted
+  // flows must survive the text format bit-for-bit (the fuzzer's --contention
+  // reproducers depend on this).
+  core::Scenario scenario =
+      core::make_scenario(sflow::testing::small_workload(14), 25);
+  const auto flow = core::optimal_flow_graph(
+      scenario.overlay(), scenario.requirement, scenario.overlay_routing());
+  ASSERT_TRUE(flow);
+
+  ScenarioFile file{{scenario.underlay, scenario.overlay()},
+                    scenario.requirement};
+  file.requests.push_back(scenario.requirement);
+  file.requests.push_back(scenario.requirement);
+  file.admitted.push_back({*flow, 3.25});
+  file.admitted.push_back({*flow, 0.5});
+
+  ServiceCatalog catalog = scenario.catalog;
+  const std::string text = format_scenario(file, catalog);
+  const ScenarioFile reparsed = parse_scenario(text, catalog);
+
+  EXPECT_EQ(reparsed.requirement, file.requirement);
+  ASSERT_EQ(reparsed.requests.size(), file.requests.size());
+  for (std::size_t i = 0; i < file.requests.size(); ++i)
+    EXPECT_EQ(reparsed.requests[i], file.requests[i]);
+  ASSERT_EQ(reparsed.admitted.size(), file.admitted.size());
+  for (std::size_t i = 0; i < file.admitted.size(); ++i) {
+    EXPECT_DOUBLE_EQ(reparsed.admitted[i].rate, file.admitted[i].rate);
+    EXPECT_EQ(reparsed.admitted[i].flow.assignments(),
+              file.admitted[i].flow.assignments());
+    EXPECT_EQ(reparsed.admitted[i].flow.edges().size(),
+              file.admitted[i].flow.edges().size());
+  }
+
+  // A second round trip is the fixed point.
+  EXPECT_EQ(format_scenario(reparsed, catalog), text);
+}
+
+TEST(ScenarioParser, RejectsMalformedAdmittedSections) {
+  core::Scenario scenario =
+      core::make_scenario(sflow::testing::small_workload(12), 26);
+  ScenarioFile file{{scenario.underlay, scenario.overlay()},
+                    scenario.requirement};
+  ServiceCatalog catalog = scenario.catalog;
+  const std::string text = format_scenario(file, catalog);
+
+  // An [admitted] section needs exactly one rate line.
+  EXPECT_THROW(parse_scenario(text + "[admitted]\n", catalog),
+               std::invalid_argument);
+  EXPECT_THROW(
+      parse_scenario(text + "[admitted]\nrate 1\nrate 2\n", catalog),
+      std::invalid_argument);
+  // Duplicate bundles are ambiguous.
+  EXPECT_THROW(parse_scenario(text + "[bundle]\n", catalog),
+               std::invalid_argument);
+}
+
 TEST(ScenarioParser, RequiresBothSections) {
   ServiceCatalog catalog;
   EXPECT_THROW(parse_scenario("[bundle]\nnode 0 0 0\n", catalog),
@@ -83,7 +140,7 @@ TEST(ScenarioParser, RequiresBothSections) {
 TEST(BundleRoundTrip, PreservesTopologyAndMetrics) {
   core::Scenario scenario = core::make_scenario(
       sflow::testing::small_workload(14), 21);
-  OverlayBundle bundle{std::move(scenario.underlay), std::move(scenario.overlay)};
+  OverlayBundle bundle{std::move(scenario.underlay), std::move(scenario.overlay())};
 
   const std::string text = format_bundle(bundle, scenario.catalog);
   ServiceCatalog fresh;
@@ -129,41 +186,41 @@ TEST(FlowGraphRoundTrip, PreservesAssignmentsEdgesAndQuality) {
   const core::Scenario scenario =
       core::make_scenario(sflow::testing::small_workload(14), 22);
   const auto flow = core::optimal_flow_graph(
-      scenario.overlay, scenario.requirement, *scenario.overlay_routing);
+      scenario.overlay(), scenario.requirement, scenario.overlay_routing());
   ASSERT_TRUE(flow);
 
   ServiceCatalog catalog = scenario.catalog;
-  const std::string text = format_flow_graph(*flow, scenario.overlay, catalog);
+  const std::string text = format_flow_graph(*flow, scenario.overlay(), catalog);
   const ServiceFlowGraph reparsed =
-      parse_flow_graph(text, scenario.overlay, catalog);
+      parse_flow_graph(text, scenario.overlay(), catalog);
 
   EXPECT_EQ(reparsed.assignments(), flow->assignments());
   ASSERT_EQ(reparsed.edges().size(), flow->edges().size());
   // The reparsed graph still validates bit-for-bit against the overlay.
-  reparsed.validate(scenario.requirement, scenario.overlay);
+  reparsed.validate(scenario.requirement, scenario.overlay());
 }
 
 TEST(FlowGraphParser, RejectsInconsistentDocuments) {
   const core::Scenario scenario =
       core::make_scenario(sflow::testing::small_workload(12), 23);
   ServiceCatalog catalog = scenario.catalog;
-  EXPECT_THROW(parse_flow_graph("assign S0 @ 9999\n", scenario.overlay, catalog),
+  EXPECT_THROW(parse_flow_graph("assign S0 @ 9999\n", scenario.overlay(), catalog),
                std::invalid_argument);
-  EXPECT_THROW(parse_flow_graph("bogus\n", scenario.overlay, catalog),
+  EXPECT_THROW(parse_flow_graph("bogus\n", scenario.overlay(), catalog),
                std::invalid_argument);
   EXPECT_THROW(
-      parse_flow_graph("edge A -> B via 0 bw 1 lat 1\n", scenario.overlay,
+      parse_flow_graph("edge A -> B via 0 bw 1 lat 1\n", scenario.overlay(),
                        catalog),
       std::invalid_argument);
   // Assigning a service to a node hosting a different service.
-  const net::Nid nid0 = scenario.overlay.instance(0).nid;
-  const Sid hosted = scenario.overlay.instance(0).sid;
+  const net::Nid nid0 = scenario.overlay().instance(0).nid;
+  const Sid hosted = scenario.overlay().instance(0).sid;
   const std::string wrong_service =
       "assign " + catalog.name((hosted + 1) % 5) + " @ " + std::to_string(nid0) +
       "\n";
   // Only throws when the named service differs from the hosted one.
   if (catalog.name((hosted + 1) % 5) != catalog.name(hosted))
-    EXPECT_THROW(parse_flow_graph(wrong_service, scenario.overlay, catalog),
+    EXPECT_THROW(parse_flow_graph(wrong_service, scenario.overlay(), catalog),
                  std::invalid_argument);
 }
 
@@ -173,10 +230,10 @@ TEST_P(SerializationSweep, ScenarioBundlesRoundTripAndStaySolvable) {
   core::Scenario scenario =
       core::make_scenario(sflow::testing::small_workload(14), GetParam());
   const auto before = core::optimal_flow_graph(
-      scenario.overlay, scenario.requirement, *scenario.overlay_routing);
+      scenario.overlay(), scenario.requirement, scenario.overlay_routing());
   ASSERT_TRUE(before);
 
-  OverlayBundle bundle{scenario.underlay, scenario.overlay};
+  OverlayBundle bundle{scenario.underlay, scenario.overlay()};
   ServiceCatalog fresh;
   const OverlayBundle reparsed =
       parse_bundle(format_bundle(bundle, scenario.catalog), fresh);

@@ -15,10 +15,10 @@ using overlay::ServiceRequirement;
 TEST(SflowLocalCompute, SinkHasNothingToDo) {
   const Scenario scenario = make_scenario(testing::small_workload(12), 1);
   const auto sinks = scenario.requirement.sinks();
-  const auto sink_instances = scenario.overlay.instances_of(sinks.front());
+  const auto sink_instances = scenario.overlay().instances_of(sinks.front());
   ASSERT_FALSE(sink_instances.empty());
   const LocalDecision decision = sflow_local_compute(
-      scenario.overlay, *scenario.overlay_routing, sink_instances.front(),
+      scenario.overlay(), scenario.overlay_routing(), sink_instances.front(),
       scenario.requirement, {});
   EXPECT_TRUE(decision.forward.empty());
   EXPECT_TRUE(decision.new_edges.empty());
@@ -28,24 +28,24 @@ TEST(SflowLocalCompute, SourceForwardsToEveryImmediateDownstream) {
   const Scenario scenario = make_scenario(testing::small_workload(12), 2);
   const auto source_pin = scenario.requirement.pinned(scenario.requirement.source());
   ASSERT_TRUE(source_pin);
-  const auto self = scenario.overlay.instance_at(*source_pin);
+  const auto self = scenario.overlay().instance_at(*source_pin);
   ASSERT_TRUE(self);
 
   const LocalDecision decision =
-      sflow_local_compute(scenario.overlay, *scenario.overlay_routing, *self,
+      sflow_local_compute(scenario.overlay(), scenario.overlay_routing(), *self,
                           scenario.requirement, {});
   const auto downstream =
       scenario.requirement.downstream(scenario.requirement.source());
   EXPECT_EQ(decision.forward.size(), downstream.size());
   EXPECT_EQ(decision.new_edges.size(), downstream.size());
   for (const auto& [sid, instance] : decision.forward) {
-    EXPECT_EQ(scenario.overlay.instance(instance).sid, sid);
+    EXPECT_EQ(scenario.overlay().instance(instance).sid, sid);
     EXPECT_TRUE(decision.new_pins.contains(sid));
   }
   // Realized edges carry real overlay paths.
   for (const overlay::FlowEdge& e : decision.new_edges) {
     const graph::PathQuality q =
-        graph::path_quality(scenario.overlay.graph(), e.overlay_path);
+        graph::path_quality(scenario.overlay().graph(), e.overlay_path);
     EXPECT_FALSE(q.is_unreachable());
   }
 }
@@ -54,18 +54,18 @@ TEST(SflowLocalCompute, RespectsExistingPins) {
   const Scenario scenario = make_scenario(testing::small_workload(12), 3);
   const auto source_sid = scenario.requirement.source();
   const auto self =
-      scenario.overlay.instance_at(*scenario.requirement.pinned(source_sid));
+      scenario.overlay().instance_at(*scenario.requirement.pinned(source_sid));
   const auto downstream = scenario.requirement.downstream(source_sid);
   ASSERT_FALSE(downstream.empty());
   const auto target_sid = downstream.front();
-  const auto instances = scenario.overlay.instances_of(target_sid);
+  const auto instances = scenario.overlay().instances_of(target_sid);
   ASSERT_FALSE(instances.empty());
   const auto forced = instances.back();
 
   std::map<overlay::Sid, net::Nid> pins{
-      {target_sid, scenario.overlay.instance(forced).nid}};
+      {target_sid, scenario.overlay().instance(forced).nid}};
   const LocalDecision decision = sflow_local_compute(
-      scenario.overlay, *scenario.overlay_routing, *self, scenario.requirement, pins);
+      scenario.overlay(), scenario.overlay_routing(), *self, scenario.requirement, pins);
   for (const auto& [sid, instance] : decision.forward)
     if (sid == target_sid) EXPECT_EQ(instance, forced);
   // A pinned service is not re-pinned.
@@ -98,24 +98,24 @@ class SflowFederationSweep : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(SflowFederationSweep, ProducesCompleteValidFlowGraphs) {
   const Scenario scenario = make_scenario(testing::small_workload(16), GetParam());
   const SFlowFederationResult result = run_sflow_federation(
-      scenario.underlay, *scenario.routing, scenario.overlay,
-      *scenario.overlay_routing, scenario.requirement);
+      scenario.underlay, *scenario.routing, scenario.overlay(),
+      scenario.overlay_routing(), scenario.requirement);
   ASSERT_TRUE(result.flow_graph);
   EXPECT_TRUE(result.flow_graph->complete(scenario.requirement));
-  result.flow_graph->validate(scenario.requirement, scenario.overlay);
+  result.flow_graph->validate(scenario.requirement, scenario.overlay());
   const check::ValidationReport report = check::validate_flow_graph(
-      scenario.overlay, scenario.requirement, *result.flow_graph);
+      scenario.overlay(), scenario.requirement, *result.flow_graph);
   EXPECT_TRUE(report.ok()) << report.to_string();
 
   // Never better than the global optimum, and the source pin is honoured.
-  const auto optimal = optimal_flow_graph(scenario.overlay, scenario.requirement,
-                                          *scenario.overlay_routing);
+  const auto optimal = optimal_flow_graph(scenario.overlay(), scenario.requirement,
+                                          scenario.overlay_routing());
   ASSERT_TRUE(optimal);
   EXPECT_LE(result.flow_graph->bottleneck_bandwidth(),
             optimal->bottleneck_bandwidth() + 1e-9);
   const auto source_pin =
       scenario.requirement.pinned(scenario.requirement.source());
-  EXPECT_EQ(scenario.overlay.instance(
+  EXPECT_EQ(scenario.overlay().instance(
                 *result.flow_graph->assignment(scenario.requirement.source())).nid,
             *source_pin);
 }
@@ -136,12 +136,12 @@ TEST_P(SflowKnowledgeSweep, FullKnowledgeMatchesOptimalBandwidthOnSpShapes) {
   SFlowNodeConfig config;
   config.knowledge_radius = -1;  // full overlay
   const SFlowFederationResult result = run_sflow_federation(
-      scenario.underlay, *scenario.routing, scenario.overlay,
-      *scenario.overlay_routing, scenario.requirement, config);
+      scenario.underlay, *scenario.routing, scenario.overlay(),
+      scenario.overlay_routing(), scenario.requirement, config);
   ASSERT_TRUE(result.flow_graph);
 
-  const auto optimal = optimal_flow_graph(scenario.overlay, scenario.requirement,
-                                          *scenario.overlay_routing);
+  const auto optimal = optimal_flow_graph(scenario.overlay(), scenario.requirement,
+                                          scenario.overlay_routing());
   ASSERT_TRUE(optimal);
   EXPECT_DOUBLE_EQ(result.flow_graph->bottleneck_bandwidth(),
                    optimal->bottleneck_bandwidth());
@@ -161,10 +161,10 @@ TEST(SflowFederation, WiderKnowledgeNeverHurtsOnAverage) {
     SFlowNodeConfig wide;
     wide.knowledge_radius = 3;
     const auto a = run_sflow_federation(scenario.underlay, *scenario.routing,
-                                        scenario.overlay, *scenario.overlay_routing,
+                                        scenario.overlay(), scenario.overlay_routing(),
                                         scenario.requirement, narrow);
     const auto b = run_sflow_federation(scenario.underlay, *scenario.routing,
-                                        scenario.overlay, *scenario.overlay_routing,
+                                        scenario.overlay(), scenario.overlay_routing(),
                                         scenario.requirement, wide);
     ASSERT_TRUE(a.flow_graph);
     ASSERT_TRUE(b.flow_graph);
@@ -284,8 +284,8 @@ TEST(SflowFederation, SingleServiceRequirement) {
   single.add_service(source_sid);
   single.pin(source_sid, *scenario.requirement.pinned(source_sid));
   const SFlowFederationResult result = run_sflow_federation(
-      scenario.underlay, *scenario.routing, scenario.overlay,
-      *scenario.overlay_routing, single);
+      scenario.underlay, *scenario.routing, scenario.overlay(),
+      scenario.overlay_routing(), single);
   ASSERT_TRUE(result.flow_graph);
   EXPECT_TRUE(result.flow_graph->complete(single));
 }

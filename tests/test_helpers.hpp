@@ -6,7 +6,8 @@
 #include <map>
 #include <vector>
 
-#include "core/evaluation.hpp"
+#include "core/federator.hpp"
+#include "core/scenario.hpp"
 #include "graph/dag.hpp"
 #include "graph/digraph.hpp"
 #include "net/generators.hpp"

@@ -19,11 +19,21 @@
 // scenario format of overlay/serialization.hpp; `--replay PATH` re-runs such a
 // file and reports the violations it still triggers.
 //
-//   fuzz_federation [--seeds N] [--base-seed S] [--smoke]
+//   fuzz_federation [--seeds N] [--base-seed S] [--smoke] [--contention]
 //                   [--replay PATH] [--dump-dir DIR]
 //
 // `--smoke` is the ctest/CI configuration: 200 seeds, summary output, exit
 // nonzero on any violation.
+//
+// `--contention` switches to the multi-request admission battery: each seed
+// additionally draws 1-3 extra pinned requests and serves the batch through
+// core::run_admission_sequence under every ordering policy and a set of
+// algorithms, checking (a) the replay + conservation oracle
+// (check::validate_admission_sequence — on every link the granted rates sum
+// to at most its capacity) and (b) that no policy beats the joint K!-order
+// brute-force oracle.  Failures dump the multi-request scenario file
+// ([bundle] + repeated [requirement] sections); --replay detects such files
+// and re-runs the admission battery on them.
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
@@ -38,8 +48,10 @@
 #include "bench_common.hpp"
 #include "check/oracles.hpp"
 #include "check/validate.hpp"
+#include "core/admission.hpp"
 #include "core/federator.hpp"
 #include "core/scenario.hpp"
+#include "overlay/requirement_generator.hpp"
 #include "overlay/serialization.hpp"
 #include "util/rng.hpp"
 
@@ -50,7 +62,8 @@ using namespace sflow;
 [[noreturn]] void usage(const std::string& message = "") {
   if (!message.empty()) std::cerr << "error: " << message << "\n\n";
   std::cerr << "usage: fuzz_federation [--seeds N] [--base-seed S] [--smoke]\n"
-               "                       [--replay PATH] [--dump-dir DIR]\n";
+               "                       [--contention] [--replay PATH]\n"
+               "                       [--dump-dir DIR]\n";
   std::exit(2);
 }
 
@@ -103,7 +116,7 @@ BatteryReport run_battery(const core::Scenario& scenario, std::uint64_t case_see
     core::FederationOutcome outcome =
         core::run_algorithm(algorithm, scenario, rng);
     const check::ValidationReport validation = check::validate_flow_graph(
-        scenario.overlay, scenario.requirement, outcome);
+        scenario.overlay(), scenario.requirement, outcome);
     for (const check::Violation& v : validation.violations)
       report.violations.push_back(
           {v.code, core::algorithm_name(algorithm) + ": " + v.detail});
@@ -117,14 +130,14 @@ BatteryReport run_battery(const core::Scenario& scenario, std::uint64_t case_see
 
   if (filter.check_routing) {
     util::Rng source_rng(util::derive_seed(case_seed, 0x5093));
-    const std::size_t n = scenario.overlay.graph().node_count();
+    const std::size_t n = scenario.overlay().graph().node_count();
     if (n > 0) {
       const std::vector<graph::NodeIndex> sources = {
           static_cast<graph::NodeIndex>(source_rng.uniform_index(n)),
           static_cast<graph::NodeIndex>(source_rng.uniform_index(n)),
       };
       const std::vector<check::Violation> routing =
-          check::check_routing_equivalence(scenario.overlay.graph(), sources);
+          check::check_routing_equivalence(scenario.overlay().graph(), sources);
       report.violations.insert(report.violations.end(), routing.begin(),
                                routing.end());
     }
@@ -191,9 +204,7 @@ core::Scenario scenario_from_file(overlay::ScenarioFile file,
   scenario.underlay = std::move(file.bundle.underlay);
   scenario.routing = std::make_unique<net::UnderlayRouting>(scenario.underlay);
   scenario.catalog = std::move(catalog);
-  scenario.overlay = std::move(file.bundle.overlay);
-  scenario.overlay_routing =
-      std::make_unique<graph::AllPairsShortestWidest>(scenario.overlay.graph());
+  scenario.adopt_overlay(std::move(file.bundle.overlay));
   scenario.requirement = std::move(file.requirement);
   return scenario;
 }
@@ -201,7 +212,7 @@ core::Scenario scenario_from_file(overlay::ScenarioFile file,
 overlay::ScenarioFile file_from_scenario(const core::Scenario& scenario) {
   overlay::ScenarioFile file;
   file.bundle.underlay = scenario.underlay;
-  file.bundle.overlay = scenario.overlay;
+  file.bundle.overlay = scenario.overlay();
   file.requirement = scenario.requirement;
   return file;
 }
@@ -266,6 +277,99 @@ void print_violations(std::ostream& os, const std::vector<check::Violation>& vs)
     os << "    " << v.code << ": " << v.detail << "\n";
 }
 
+/// Algorithms exercised by the admission battery.  Fixed and the service-path
+/// variants are omitted: their selections ignore residual bandwidth entirely,
+/// so they add brute-force cost without exercising new admission paths.
+const std::vector<core::Algorithm>& contention_algorithms() {
+  static const std::vector<core::Algorithm> kBattery = {
+      core::Algorithm::kGlobalOptimal,
+      core::Algorithm::kSflow,
+      core::Algorithm::kRandom,
+  };
+  return kBattery;
+}
+
+/// Extra batch requests for a contention case: 1-3 generated DAGs over the
+/// scenario's catalog, each pinned at a hosting instance of its source.
+/// Request i's draws come from derive_seed(case_seed, stream + i), so the
+/// batch is position-stable.
+std::vector<overlay::ServiceRequirement> contention_requests(
+    const core::Scenario& scenario, const overlay::RequirementSpec& spec,
+    std::size_t type_count, std::uint64_t case_seed) {
+  util::Rng count_rng(util::derive_seed(case_seed, 0xC0DE));
+  const std::size_t extra =
+      static_cast<std::size_t>(count_rng.uniform_int(1, 3));
+
+  std::vector<overlay::Sid> sids;
+  for (std::size_t t = 0; t < type_count; ++t)
+    sids.push_back(static_cast<overlay::Sid>(t));
+
+  std::vector<overlay::ServiceRequirement> requests{scenario.requirement};
+  for (std::size_t i = 0; i < extra; ++i) {
+    util::Rng rng(util::derive_seed(case_seed, 0xC0DE00 + i));
+    overlay::ServiceRequirement r =
+        overlay::generate_requirement(spec, sids, rng);
+    const auto sources = scenario.overlay().instances_of(r.source());
+    if (sources.empty()) continue;  // unhostable draw; skip, keep the stream
+    r.pin(r.source(),
+          scenario.overlay()
+              .instance(sources[rng.uniform_index(sources.size())])
+              .nid);
+    requests.push_back(std::move(r));
+  }
+  return requests;
+}
+
+std::pair<std::size_t, double> batch_value(const core::AdmissionResult& r) {
+  return {r.admitted_count(), r.total_rate()};
+}
+
+/// The multi-request battery: every ordering policy x contention algorithm
+/// through run_admission_sequence, each result replayed through the
+/// conservation oracle, each policy bounded by the joint brute-force oracle.
+/// K <= 4 here, so the K! enumeration is at most 24 sequences per algorithm.
+std::vector<check::Violation> run_contention_battery(
+    const core::Scenario& scenario,
+    const std::vector<overlay::ServiceRequirement>& requests,
+    std::uint64_t case_seed) {
+  std::vector<check::Violation> violations;
+  const auto absorb = [&](const check::ValidationReport& report,
+                          const std::string& who) {
+    for (const check::Violation& v : report.violations)
+      violations.push_back({v.code, who + ": " + v.detail});
+  };
+
+  for (const core::Algorithm algorithm : contention_algorithms()) {
+    core::AdmissionConfig config;
+    config.algorithm = algorithm;
+    const core::AdmissionResult oracle =
+        core::brute_force_admission(scenario, requests, config, case_seed);
+    absorb(check::validate_admission_sequence(scenario, requests, oracle, config),
+           core::algorithm_name(algorithm) + " (brute force)");
+
+    for (const core::AdmissionOrder order : core::all_admission_orders()) {
+      config.order = order;
+      const std::string who = core::algorithm_name(algorithm) + " / " +
+                              core::admission_order_name(order);
+      const core::AdmissionResult result =
+          core::run_admission_sequence(scenario, requests, config, case_seed);
+      absorb(check::validate_admission_sequence(scenario, requests, result,
+                                                config),
+             who);
+      // Exact, not tolerance-based: the policy's run is bit-identical to one
+      // of the permutations the oracle enumerated.
+      if (batch_value(result) > batch_value(oracle)) {
+        std::ostringstream os;
+        os << who << " admitted " << result.admitted_count() << " @ "
+           << result.total_rate() << " but the joint oracle caps at "
+           << oracle.admitted_count() << " @ " << oracle.total_rate();
+        violations.push_back({"policy-beats-oracle", os.str()});
+      }
+    }
+  }
+  return violations;
+}
+
 int replay(const std::string& path, std::uint64_t base_seed) {
   std::ifstream in(path);
   if (!in) {
@@ -277,13 +381,38 @@ int replay(const std::string& path, std::uint64_t base_seed) {
 
   overlay::ServiceCatalog catalog;
   overlay::ScenarioFile file = overlay::parse_scenario(text.str(), catalog);
+  std::vector<overlay::ServiceRequirement> extra_requests =
+      std::move(file.requests);
+  overlay::ServiceRequirement primary = file.requirement;
   const core::Scenario scenario =
       scenario_from_file(std::move(file), std::move(catalog));
+
+  // Multi-request dumps (repeated [requirement] sections) replay through the
+  // admission battery; single-request dumps through the algorithm battery.
+  if (!extra_requests.empty()) {
+    std::vector<overlay::ServiceRequirement> requests{std::move(primary)};
+    for (overlay::ServiceRequirement& r : extra_requests)
+      requests.push_back(std::move(r));
+    const std::vector<check::Violation> violations =
+        run_contention_battery(scenario, requests, base_seed);
+    std::cout << "replayed " << path << " (" << requests.size()
+              << " requests, " << scenario.overlay().instance_count()
+              << " instances, " << scenario.overlay().graph().edges().size()
+              << " slinks)\n";
+    if (violations.empty()) {
+      std::cout << "  no violations\n";
+      return 0;
+    }
+    std::cout << "  " << violations.size() << " violation(s):\n";
+    print_violations(std::cout, violations);
+    return 1;
+  }
+
   const BatteryReport report = run_battery(scenario, base_seed, false);
 
   std::cout << "replayed " << path << " ("
-            << scenario.overlay.instance_count() << " instances, "
-            << scenario.overlay.graph().edges().size() << " slinks, "
+            << scenario.overlay().instance_count() << " instances, "
+            << scenario.overlay().graph().edges().size() << " slinks, "
             << scenario.requirement.service_count() << " services)\n";
   for (const auto& [algorithm, outcome] : report.outcomes) {
     std::cout << "  " << core::algorithm_name(algorithm) << ": "
@@ -309,6 +438,7 @@ int main(int argc, char** argv) {
   bool seeds_given = false;
   std::uint64_t base_seed = 0x5F10;
   bool smoke = false;
+  bool contention = false;
   std::string replay_path;
   std::string dump_dir = ".";
 
@@ -321,6 +451,8 @@ int main(int argc, char** argv) {
       base_seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--smoke") {
       smoke = true;
+    } else if (arg == "--contention") {
+      contention = true;
     } else if (arg == "--replay" && i + 1 < argc) {
       replay_path = argv[++i];
     } else if (arg == "--dump-dir" && i + 1 < argc) {
@@ -329,10 +461,74 @@ int main(int argc, char** argv) {
       usage("unknown argument '" + arg + "'");
     }
   }
-  if (smoke && !seeds_given) seeds = 200;
+  // Contention cases cost ~K! sequences each, so their smoke budget is lower.
+  if (smoke && !seeds_given) seeds = contention ? 40 : 200;
 
   try {
     if (!replay_path.empty()) return replay(replay_path, base_seed);
+
+    if (contention) {
+      std::size_t failures = 0;
+      std::size_t infeasible_workloads = 0;
+      std::size_t batches_total = 0;
+      constexpr std::size_t kMaxDumps = 5;
+
+      for (std::size_t s = 0; s < seeds; ++s) {
+        const std::uint64_t case_seed = util::derive_seed(base_seed, s);
+        util::Rng workload_rng(util::derive_seed(case_seed, 0xF00D));
+        const core::WorkloadParams params = bench::fuzz_workload(workload_rng);
+
+        core::Scenario scenario;
+        try {
+          scenario = core::make_scenario(params, util::derive_seed(case_seed, 1));
+        } catch (const std::runtime_error&) {
+          ++infeasible_workloads;
+          continue;
+        }
+
+        const std::vector<overlay::ServiceRequirement> requests =
+            contention_requests(scenario, params.requirement,
+                                params.service_type_count, case_seed);
+        ++batches_total;
+        const std::vector<check::Violation> violations =
+            run_contention_battery(scenario, requests, case_seed);
+        if (violations.empty()) {
+          if (!smoke && (s + 1) % 10 == 0)
+            std::cout << "  " << (s + 1) << "/" << seeds << " seeds clean\n";
+          continue;
+        }
+
+        ++failures;
+        std::cerr << "seed " << s << " (base " << base_seed << "): "
+                  << violations.size() << " violation(s)\n";
+        print_violations(std::cerr, violations);
+        if (failures <= kMaxDumps) {
+          overlay::ScenarioFile file = file_from_scenario(scenario);
+          file.requests.assign(requests.begin() + 1, requests.end());
+          const std::string path = dump_dir + "/fuzz-contention-seed" +
+                                   std::to_string(s) + ".scenario";
+          std::ofstream out(path);
+          if (!out) {
+            std::cerr << "  cannot write " << path << "\n";
+            continue;
+          }
+          out << "# fuzz_federation contention failure: base-seed " << base_seed
+              << ", seed " << s << "\n# replay: fuzz_federation --base-seed "
+              << base_seed << " --replay " << path << "\n"
+              << overlay::format_scenario(file, scenario.catalog);
+          std::cerr << "  reproducer written to " << path << "\n";
+        }
+      }
+
+      std::cout << "fuzz_federation --contention: " << seeds << " seeds, "
+                << batches_total << " admission batches ("
+                << contention_algorithms().size() << " algorithms x "
+                << core::all_admission_orders().size()
+                << " orders + brute force), " << infeasible_workloads
+                << " infeasible workload draws, " << failures
+                << " failing seed(s)\n";
+      return failures == 0 ? 0 : 1;
+    }
 
     std::size_t failures = 0;
     std::size_t infeasible_workloads = 0;

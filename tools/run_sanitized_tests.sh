@@ -15,6 +15,11 @@
 # federation_kernel_smoke exercise the quality tables, the future-bandwidth
 # bound, and the zero-copy sfederate payload sharing (shared_ptr
 # copy-on-write) under the same sanitizers.
+# The residual-overlay / admission stack rides along as well: admission_test
+# (single-request equivalence pin, ordering-vs-oracle bound, conservation
+# oracle), multi_tenant_smoke (contention bench self-check) and
+# fuzz_federation_contention_smoke (randomized multi-request batches under
+# the conservation oracle) all run in the same ctest pass.
 #
 #   $ tools/run_sanitized_tests.sh            # thread sanitizer (default)
 #   $ tools/run_sanitized_tests.sh address    # address sanitizer

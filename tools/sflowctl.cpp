@@ -46,7 +46,10 @@
 #include <sstream>
 #include <string>
 
-#include "core/evaluation.hpp"
+#include "core/comparators.hpp"
+#include "core/federator.hpp"
+#include "core/global_optimal.hpp"
+#include "core/scenario.hpp"
 #include "core/federation_trace.hpp"
 #include "core/link_state.hpp"
 #include "core/sflow_federation.hpp"
@@ -141,8 +144,8 @@ int cmd_scenario(const std::map<std::string, std::string>& flags) {
   const core::Scenario scenario = core::make_scenario(params, seed);
   std::cout << "underlay: " << scenario.underlay.node_count() << " nodes, "
             << scenario.underlay.link_count() << " links\n";
-  std::cout << "overlay:  " << scenario.overlay.instance_count()
-            << " service instances, " << scenario.overlay.graph().edge_count()
+  std::cout << "overlay:  " << scenario.overlay().instance_count()
+            << " service instances, " << scenario.overlay().graph().edge_count()
             << " service links\n";
   std::cout << "requirement: "
             << scenario.requirement.to_string(&scenario.catalog) << "\n";
@@ -150,9 +153,9 @@ int cmd_scenario(const std::map<std::string, std::string>& flags) {
   if (const std::string path = get(flags, "dot-underlay", ""); !path.empty())
     write_file(path, scenario.underlay.to_dot());
   if (const std::string path = get(flags, "dot-overlay", ""); !path.empty())
-    write_file(path, scenario.overlay.to_dot(&scenario.catalog));
+    write_file(path, scenario.overlay().to_dot(&scenario.catalog));
   if (const std::string path = get(flags, "save", ""); !path.empty()) {
-    const overlay::OverlayBundle bundle{scenario.underlay, scenario.overlay};
+    const overlay::OverlayBundle bundle{scenario.underlay, scenario.overlay()};
     write_file(path, overlay::format_bundle(bundle, scenario.catalog));
   }
   return 0;
