@@ -1,33 +1,91 @@
-// E11: agility under churn — incremental re-federation vs federating from
-// scratch.
+// E11: agility under churn — now a *closed* loop.
 //
-// For increasing link-churn intensity (at N = 40): build the optimal flow
-// graph, churn the overlay, diagnose the damage, then repair it two ways —
-// incrementally (intact services keep their instances; only the damaged
-// region is re-decided) and from scratch.  Reported: violations found,
-// services kept, repair compute time, and the bandwidth of the repaired
-// graph relative to the fresh optimum on the churned overlay.
+// The open-loop half (kept from the original bench) hands the repair
+// machinery the damage directly: build the optimal flow graph, churn the
+// overlay, then repair incrementally vs from scratch.  The closed-loop half
+// runs the same trial through core::run_closed_loop — probe deliveries feed
+// per-link sliding-window monitors (obs/telemetry), an undershoot alert
+// triggers diagnosis, and confirmed damage triggers the same incremental
+// refederate call.  Reported on top of the original series: detection
+// latency, repair latency (alert → repaired flow active), false-trigger
+// rate, and the delivered-bandwidth-over-time trajectory.
 //
-// Expected shape: the incremental repair re-decides only a fraction of the
-// services and is cheaper than a full re-federation, at a small bandwidth
-// cost that grows with churn intensity.
+// The smoke configuration (`--smoke`, registered in ctest) doubles as a
+// tier-1 check of the loop; the run exits non-zero if
+//   * a trial with confirmed flow-level damage goes undetected,
+//   * the closed-loop repaired graph differs from the open-loop repaired
+//     graph (same refederate arguments ⇒ must be bit-identical), or
+//   * a thresholds-disabled run is not pure observation (flow unchanged,
+//     zero alerts).
+//
+// `--json PATH` writes the BENCH_telemetry.json record (docs/formats.md).
 #include "bench_common.hpp"
 #include "core/global_optimal.hpp"
 #include "core/refederation.hpp"
+#include "core/telemetry_loop.hpp"
 #include "util/timer.hpp"
 
-int main() {
+namespace {
+
+[[noreturn]] void fail(const std::string& message) {
+  std::cerr << "churn_refederation: FAIL: " << message << "\n";
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace sflow;
+
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--smoke] [--json PATH]\n";
+      return 2;
+    }
+  }
+
   constexpr std::size_t kNetworkSize = 40;
-  constexpr std::size_t kTrials = 20;
+  const std::size_t trials_per_level = smoke ? 4 : 20;
+  const std::vector<double> churn_levels =
+      smoke ? std::vector<double>{0.3, 0.7}
+            : std::vector<double>{0.1, 0.3, 0.5, 0.7, 0.9};
+
+  // The loop configuration: undershoot fraction equals the repair's degrade
+  // threshold, so detection is sound (core/telemetry_loop.hpp file comment).
+  core::ClosedLoopConfig loop;
+  loop.telemetry.window = 4;
+  loop.telemetry.min_samples = 2;
+  loop.telemetry.undershoot_fraction = 0.5;
+  loop.telemetry.hysteresis_fraction = 0.05;
+  loop.degrade_threshold = 0.5;
+  loop.probes = smoke ? 10 : 16;
+  loop.probe_interval_ms = 50.0;
+  loop.churn_at_ms = 250.0;  // probe 5 of 10/16: damage mid-run
+  loop.payload_bytes = 100000;
 
   util::SeriesTable kept;
   util::SeriesTable violations;
   util::SeriesTable time_us;
   util::SeriesTable bandwidth_ratio;
+  util::SeriesTable latency_ms;
+  util::SeriesTable trigger_rate;
+  // Delivered-bandwidth trajectory, normalized to the pre-churn optimum so
+  // trials are comparable: one series per churn level, x = probe time.
+  util::SeriesTable trajectory;
 
-  for (const double churn : {0.1, 0.3, 0.5, 0.7, 0.9}) {
-    for (std::size_t trial = 0; trial < kTrials; ++trial) {
+  std::size_t trials_run = 0;
+  std::size_t trials_detected = 0;
+  std::size_t trials_with_damage = 0;
+
+  for (const double churn : churn_levels) {
+    for (std::size_t trial = 0; trial < trials_per_level; ++trial) {
       core::WorkloadParams params;
       params.network_size = kNetworkSize;
       params.service_type_count = 6;
@@ -48,26 +106,59 @@ int main() {
       churn_params.latency_jitter = 0.8;
       const overlay::OverlayGraph after =
           core::apply_churn(scenario.overlay(), churn_params, rng);
-      // One shortest-widest cache per churned overlay, shared by both repair
-      // strategies below: it is an input both consume, not part of either
-      // repair's measured work (the stopwatches start after construction),
-      // and rebuilding it per strategy doubled the dominant cost of a trial.
+      // One shortest-widest cache per churned overlay, shared by the two
+      // open-loop repair strategies *and* the closed loop: it is an input all
+      // three consume, not part of any repair's measured work.
       const graph::AllPairsShortestWidest routing(after.graph());
 
-      // Incremental repair.
+      // Open-loop incremental repair (the damage handed over directly).
       util::Stopwatch incremental_watch;
       const core::RefederationResult repaired = core::refederate(
           scenario.overlay(), after, routing, scenario.requirement, *before);
       const double incremental_us = incremental_watch.elapsed_us();
       if (!repaired.graph) continue;
 
-      // Full re-federation from scratch.
+      // Open-loop full re-federation from scratch.
       const core::RequirementSolver solver(after, routing);
       util::Stopwatch full_watch;
       const auto from_scratch = solver.solve(scenario.requirement);
       const double full_us = full_watch.elapsed_us();
       if (!from_scratch) continue;
 
+      // Closed loop: same churn event, but the damage must be *detected*
+      // through probe samples before the same refederate call runs.
+      core::ClosedLoopConfig config = loop;
+      config.post_churn_routing = &routing;
+      const core::ClosedLoopResult closed = core::run_closed_loop(
+          scenario.overlay(), after, scenario.requirement, *before, config);
+
+      // Pure-observation control: thresholds disabled, nothing may change.
+      core::ClosedLoopConfig observe_only = config;
+      observe_only.telemetry = obs::TelemetryConfig{};
+      const core::ClosedLoopResult observed = core::run_closed_loop(
+          scenario.overlay(), after, scenario.requirement, *before,
+          observe_only);
+      if (observed.alerts != 0 || observed.repaired ||
+          !(observed.flow == *before))
+        fail("thresholds-disabled run was not pure observation");
+
+      ++trials_run;
+      const bool damaged = repaired.violations > 0;
+      if (damaged) {
+        ++trials_with_damage;
+        if (closed.detection_latency_ms < 0.0 && closed.alerts == 0)
+          fail("flow-level damage raised no alert (detection unsound)");
+      }
+      if (closed.repaired) {
+        ++trials_detected;
+        if (!(closed.flow == *repaired.graph))
+          fail("closed-loop repair differs from open-loop repaired graph");
+        if (closed.flow.bottleneck_bandwidth() + 1e-9 <
+            repaired.graph->bottleneck_bandwidth())
+          fail("closed-loop recovered less bandwidth than open-loop repair");
+      }
+
+      // Original open-loop series.
       kept.row("services kept (of 6)", churn)
           .add(static_cast<double>(repaired.services_kept));
       violations.row("edge violations (of 5+)", churn)
@@ -78,8 +169,31 @@ int main() {
       if (fresh_bw > 0.0)
         bandwidth_ratio.row("repaired / from-scratch bandwidth", churn)
             .add(repaired.graph->bottleneck_bandwidth() / fresh_bw);
+
+      // Closed-loop series.
+      if (closed.detection_latency_ms >= 0.0)
+        latency_ms.row("detection latency", churn)
+            .add(closed.detection_latency_ms);
+      if (closed.repair_latency_ms >= 0.0)
+        latency_ms.row("repair latency", churn).add(closed.repair_latency_ms);
+      trigger_rate.row("alerts / trial", churn)
+          .add(static_cast<double>(closed.alerts));
+      trigger_rate.row("false triggers / trial", churn)
+          .add(static_cast<double>(closed.false_alerts));
+      trigger_rate.row("refederations / trial", churn)
+          .add(static_cast<double>(closed.refederations));
+
+      const double baseline_bw = before->bottleneck_bandwidth();
+      if (baseline_bw > 0.0) {
+        char label[48];
+        std::snprintf(label, sizeof label, "churn %.1f", churn);
+        for (const auto& [t_ms, bw] : closed.delivered_bandwidth)
+          trajectory.row(label, t_ms).add(bw / baseline_bw);
+      }
     }
   }
+
+  if (trials_run == 0) fail("no trial completed");
 
   bench::print_series(std::cout, "E11  Damage and retention vs churn fraction",
                       kept, 2);
@@ -90,8 +204,76 @@ int main() {
   bench::print_series(std::cout,
                       "E11  Quality retention (repaired / from-scratch)",
                       bandwidth_ratio, 3);
+  bench::print_series(std::cout,
+                      "E11  Closed-loop latency (ms) vs churn fraction",
+                      latency_ms, 1);
+  bench::print_series(std::cout,
+                      "E11  Closed-loop triggers vs churn fraction",
+                      trigger_rate, 2);
+  bench::print_series(
+      std::cout,
+      "E11  Delivered bandwidth over time (fraction of pre-churn optimum)",
+      trajectory, 3);
   std::cout << "\nExpected shape: services kept falls and violations rise "
                "with churn; incremental repair is cheaper than a full "
-               "re-federation with quality retention near 1 at low churn.\n";
+               "re-federation with quality retention near 1 at low churn.  "
+               "The closed loop detects within one monitor window of the "
+               "churn (detection latency < window x probe interval), repairs "
+               "at the next probe boundary, and the delivered-bandwidth "
+               "trajectory dips at t = " << loop.churn_at_ms
+            << " ms then recovers to the open-loop repaired level.\n";
+  std::cout << "\nclosed loop: " << trials_run << " trials, "
+            << trials_with_damage << " with flow-level damage, "
+            << trials_detected << " repaired through the loop\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 1;
+    }
+    out << "{\n"
+        << "  \"bench\": \"churn_refederation\",\n"
+        << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+        << "  \"trials\": " << trials_run << ",\n"
+        << "  \"trials_with_damage\": " << trials_with_damage << ",\n"
+        << "  \"trials_repaired_closed_loop\": " << trials_detected << ",\n"
+        << "  \"config\": {\n"
+        << "    \"probes\": " << loop.probes << ",\n"
+        << "    \"probe_interval_ms\": " << loop.probe_interval_ms << ",\n"
+        << "    \"churn_at_ms\": " << loop.churn_at_ms << ",\n"
+        << "    \"payload_bytes\": " << loop.payload_bytes << ",\n"
+        << "    \"monitor_window\": " << loop.telemetry.window << ",\n"
+        << "    \"undershoot_fraction\": " << loop.telemetry.undershoot_fraction
+        << ",\n"
+        << "    \"degrade_threshold\": " << loop.degrade_threshold << "\n"
+        << "  }";
+    const auto dump_series = [&out](const char* name,
+                                    const util::SeriesTable& table) {
+      out << ",\n  \"" << name << "\": {";
+      bool first_series = true;
+      for (const std::string& series : table.series_names()) {
+        out << (first_series ? "" : ",") << "\n    \"" << series << "\": {";
+        first_series = false;
+        bool first_x = true;
+        for (const double x : table.x_values()) {
+          const util::Accumulator* acc = table.find(series, x);
+          if (acc == nullptr || acc->empty()) continue;
+          out << (first_x ? "" : ", ") << "\"" << x << "\": " << acc->mean();
+          first_x = false;
+        }
+        out << "}";
+      }
+      out << "\n  }";
+    };
+    dump_series("open_loop", time_us);
+    dump_series("quality", bandwidth_ratio);
+    dump_series("latency_ms", latency_ms);
+    dump_series("triggers", trigger_rate);
+    dump_series("delivered_bandwidth", trajectory);
+    out << ",\n  \"metrics\": "
+        << obs::to_json(obs::Registry::global().snapshot(), "  ") << "\n}\n";
+    std::cout << "\nwrote " << json_path << "\n";
+  }
   return 0;
 }

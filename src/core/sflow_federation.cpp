@@ -4,6 +4,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "util/timer.hpp"
 
@@ -269,6 +270,11 @@ SFlowFederationResult run_sflow_federation(
         trace->record({simulator.now(), collector_nid,
                        TraceEvent::Kind::kAssembled, overlay::kInvalidSid,
                        graph::kInvalidNode});
+      if (obs::EventJournal::global().enabled())
+        obs::EventJournal::global().append(
+            {simulator.now(), obs::JournalEvent::Kind::kMilestone,
+             collector_nid, -1, assembled->bottleneck_bandwidth(), 0.0,
+             "flow_assembled"});
     }
   };
 
@@ -337,6 +343,11 @@ SFlowFederationResult run_sflow_federation(
           if (trace != nullptr)
             trace->record({simulator.now(), nid, TraceEvent::Kind::kFailover,
                            sid, overlay.instance(replacement).nid});
+          if (obs::EventJournal::global().enabled())
+            obs::EventJournal::global().append(
+                {simulator.now(), obs::JournalEvent::Kind::kMilestone, nid,
+                 overlay.instance(replacement).nid, static_cast<double>(sid),
+                 0.0, "failover"});
 
           const Sid self_sid = overlay.instance(self).sid;
           const auto path = overlay_routing.path(self, replacement);
@@ -510,6 +521,11 @@ SFlowFederationResult run_sflow_federation(
 
   // The consumer (co-located with the collector) kicks off the federation.
   {
+    if (obs::EventJournal::global().enabled())
+      obs::EventJournal::global().append(
+          {simulator.now(), obs::JournalEvent::Kind::kMilestone, collector_nid,
+           -1, static_cast<double>(requirement.service_count()), 0.0,
+           "federation_start"});
     auto kickoff = std::make_shared<Snapshot>();
     kickoff->pins.emplace(source_sid, collector_nid);
     Payload initial{original, std::move(kickoff)};

@@ -1,0 +1,185 @@
+#include "core/telemetry_loop.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+
+#include "obs/metrics.hpp"
+#include "sim/data_plane.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace sflow::core {
+
+namespace {
+
+/// What the ground-truth overlay currently delivers on the underlay link
+/// from -> to: 0 when an endpoint instance or the link itself vanished.
+double truth_bandwidth(const overlay::OverlayGraph& truth, net::Nid from,
+                       net::Nid to) {
+  const std::optional<overlay::OverlayIndex> a = truth.instance_at(from);
+  const std::optional<overlay::OverlayIndex> b = truth.instance_at(to);
+  if (!a || !b) return 0.0;
+  const graph::EdgeIndex link = truth.graph().find_edge(*a, *b);
+  if (link == graph::kInvalidEdge) return 0.0;
+  return truth.graph().edge(link).metrics.bandwidth;
+}
+
+/// Ground-truth bottleneck across every overlay link `flow` traverses.
+/// `base` is the overlay the flow's path indices refer to; `truth` rates the
+/// links.  0 when any traversed link vanished.
+double delivered_bottleneck(const overlay::OverlayGraph& base,
+                            const overlay::OverlayGraph& truth,
+                            const overlay::ServiceFlowGraph& flow) {
+  double bottleneck = std::numeric_limits<double>::infinity();
+  bool any = false;
+  for (const overlay::FlowEdge& fe : flow.edges()) {
+    for (std::size_t h = 0; h + 1 < fe.overlay_path.size(); ++h) {
+      const net::Nid from = base.instance(fe.overlay_path[h]).nid;
+      const net::Nid to = base.instance(fe.overlay_path[h + 1]).nid;
+      bottleneck = std::min(bottleneck, truth_bandwidth(truth, from, to));
+      any = true;
+    }
+  }
+  return any ? bottleneck : flow.bottleneck_bandwidth();
+}
+
+obs::Counter& refederations_counter() {
+  static obs::Counter& counter = obs::Registry::global().counter(
+      "refederations_triggered_total",
+      "alert-confirmed incremental refederations run by the closed loop");
+  return counter;
+}
+
+}  // namespace
+
+void watch_flow_links(obs::OverlayTelemetry& telemetry,
+                      const overlay::OverlayGraph& overlay,
+                      const overlay::ServiceFlowGraph& flow) {
+  for (const overlay::FlowEdge& fe : flow.edges()) {
+    for (std::size_t h = 0; h + 1 < fe.overlay_path.size(); ++h) {
+      const overlay::OverlayIndex a = fe.overlay_path[h];
+      const overlay::OverlayIndex b = fe.overlay_path[h + 1];
+      const graph::EdgeIndex link = overlay.graph().find_edge(a, b);
+      if (link == graph::kInvalidEdge) continue;  // validated elsewhere
+      telemetry.watch(overlay.instance(a).nid, overlay.instance(b).nid,
+                      overlay.graph().edge(link).metrics.bandwidth);
+    }
+  }
+}
+
+ClosedLoopResult run_closed_loop(const overlay::OverlayGraph& overlay_before,
+                                 const overlay::OverlayGraph& overlay_after,
+                                 const overlay::ServiceRequirement& requirement,
+                                 const overlay::ServiceFlowGraph& flow,
+                                 const ClosedLoopConfig& config) {
+  obs::OverlayTelemetry telemetry(config.telemetry);
+  obs::EventJournal* journal = config.telemetry.journal;
+  const auto journal_event = [journal](obs::JournalEvent event) {
+    if (journal != nullptr) journal->append(std::move(event));
+  };
+
+  ClosedLoopResult result;
+  result.flow = flow;
+  // The overlay result.flow's path indices refer to; switches to the
+  // post-churn overlay once a repaired flow activates.
+  const overlay::OverlayGraph* active_base = &overlay_before;
+  watch_flow_links(telemetry, overlay_before, flow);
+
+  util::Rng noise_rng(config.noise_seed);
+  std::optional<graph::AllPairsShortestWidest> local_routing;
+  const graph::AllPairsShortestWidest* routing = config.post_churn_routing;
+
+  journal_event({0.0, obs::JournalEvent::Kind::kMilestone, -1, -1,
+                 static_cast<double>(config.probes), config.churn_at_ms,
+                 "closed_loop_start"});
+  bool churn_journaled = false;
+
+  for (std::size_t i = 0; i < config.probes; ++i) {
+    const double t = static_cast<double>(i) * config.probe_interval_ms;
+    const bool churned = t >= config.churn_at_ms;
+    const overlay::OverlayGraph& truth = churned ? overlay_after : overlay_before;
+    if (churned && !churn_journaled) {
+      journal_event({config.churn_at_ms, obs::JournalEvent::Kind::kMilestone,
+                     -1, -1, 0.0, 0.0, "churn_applied"});
+      churn_journaled = true;
+    }
+
+    // One probe delivery; every traversed link reports what the ground truth
+    // actually carries right now.
+    std::vector<obs::LinkAlert> fired;
+    const sim::LinkProbe probe = [&](double at_ms, net::Nid from, net::Nid to,
+                                     const graph::LinkMetrics&) {
+      double observed = truth_bandwidth(truth, from, to);
+      if (config.sample_noise > 0.0) {
+        observed *= 1.0 + noise_rng.uniform_real(-config.sample_noise,
+                                                 config.sample_noise);
+        observed = std::max(observed, 0.0);
+      }
+      ++result.samples;
+      if (const auto alert = telemetry.record(t + at_ms, from, to, observed))
+        fired.push_back(*alert);
+    };
+    sim::simulate_delivery(requirement, result.flow, config.payload_bytes,
+                           *active_base, probe);
+    result.delivered_bandwidth.emplace_back(
+        t, delivered_bottleneck(*active_base, truth, result.flow));
+
+    // Act on this probe's alerts: diagnose, and repair when confirmed.  The
+    // repaired flow serves from the next probe boundary.
+    result.alerts += fired.size();
+    for (const obs::LinkAlert& alert : fired) {
+      if (!config.repair_on_alert) continue;
+      const std::vector<EdgeViolation> violations =
+          diagnose_flow(*active_base, truth, requirement, result.flow,
+                        config.degrade_threshold);
+      if (violations.empty()) {
+        ++result.false_alerts;
+        journal_event({alert.at_ms, obs::JournalEvent::Kind::kRefederation,
+                       alert.from, alert.to, 0.0, config.degrade_threshold,
+                       "rejected"});
+        continue;
+      }
+      if (result.repaired) continue;  // repaired flow cannot re-degrade here
+
+      if (result.detection_latency_ms < 0.0)
+        result.detection_latency_ms = alert.at_ms - config.churn_at_ms;
+      if (routing == nullptr) {
+        local_routing.emplace(overlay_after.graph());
+        routing = &*local_routing;
+      }
+      // Identical arguments to the open-loop bench's repair: the original
+      // flow against (before, after) — so the repaired graph is bit-identical.
+      util::Stopwatch watch;
+      result.repair =
+          refederate(overlay_before, overlay_after, *routing, requirement,
+                     result.flow, config.degrade_threshold);
+      result.repair_compute_ms = watch.elapsed_ms();
+      ++result.refederations;
+      refederations_counter().increment();
+      journal_event({alert.at_ms, obs::JournalEvent::Kind::kRefederation,
+                     alert.from, alert.to,
+                     static_cast<double>(violations.size()),
+                     config.degrade_threshold,
+                     result.repair.graph ? "applied" : "unrepairable"});
+      if (result.repair.graph) {
+        result.flow = *result.repair.graph;
+        result.repaired = true;
+        active_base = &overlay_after;
+        result.repair_latency_ms =
+            (t + config.probe_interval_ms) - config.churn_at_ms;
+        // Re-watch the repaired flow's link set against its new promises.
+        telemetry.reset();
+        watch_flow_links(telemetry, overlay_after, result.flow);
+      }
+    }
+  }
+
+  journal_event({static_cast<double>(config.probes) * config.probe_interval_ms,
+                 obs::JournalEvent::Kind::kMilestone, -1, -1,
+                 static_cast<double>(result.alerts),
+                 static_cast<double>(result.false_alerts), "closed_loop_end"});
+  return result;
+}
+
+}  // namespace sflow::core

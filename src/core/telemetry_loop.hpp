@@ -1,0 +1,113 @@
+// The closed telemetry loop: detect → diagnose → refederate.
+//
+// PR 6's repair machinery (core/refederation) is *agile* but blind — the
+// churn bench hands it the damage directly.  This driver closes the loop the
+// paper's §6–7 agility story implies: probe payloads are pushed through the
+// active flow on a fixed cadence, every traversed overlay link reports an
+// observed-bandwidth sample into per-link sliding-window monitors
+// (obs/telemetry), and an undershoot alert triggers diagnosis and — when the
+// damage is confirmed — incremental refederation of the damaged region.
+//
+// Detection soundness: with the monitor's undershoot fraction f equal to
+// refederate's degrade threshold f, any flow edge degraded below f × promise
+// has some link on its path observed below f × that link's promise (the
+// path's observed bandwidth is the min over links, and every link promise is
+// ≥ the path promise), so every repair-worthy degradation raises an alert
+// within one monitor window.  Alerts the diagnosis rejects are counted as
+// false triggers instead of causing churn-for-nothing repairs.  The confirmed
+// repair calls core::refederate with exactly the arguments the open-loop
+// bench uses, so the repaired graph is bit-identical to open-loop repair —
+// the closed loop adds detection, not a different answer (asserted by
+// bench/churn_refederation).
+//
+// With thresholds disabled (the default TelemetryConfig) no alert can fire
+// and the run is pure observation: the active flow is returned unchanged
+// (pinned by tests/telemetry_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/refederation.hpp"
+#include "obs/telemetry.hpp"
+#include "overlay/flow_graph.hpp"
+#include "overlay/overlay_graph.hpp"
+#include "overlay/requirement.hpp"
+
+namespace sflow::core {
+
+struct ClosedLoopConfig {
+  /// Monitor configuration.  For a sound loop set undershoot_fraction equal
+  /// to degrade_threshold (see file comment); leave thresholds disabled for a
+  /// pure-observation run.
+  obs::TelemetryConfig telemetry;
+  /// Probe deliveries pushed through the active flow, `probe_interval_ms`
+  /// apart starting at t = 0.
+  std::size_t probes = 24;
+  double probe_interval_ms = 50.0;
+  std::size_t payload_bytes = 100000;
+  /// Simulated time at which ground truth switches from the pre-churn to the
+  /// post-churn overlay.
+  double churn_at_ms = 300.0;
+  /// Passed to diagnose_flow/refederate; keep equal to
+  /// telemetry.undershoot_fraction for recall (file comment).
+  double degrade_threshold = 0.5;
+  /// When false, alerts are recorded but never acted on (detection-only).
+  bool repair_on_alert = true;
+  /// Multiplicative measurement noise: each observed sample is scaled by a
+  /// factor uniform in [1 - sample_noise, 1 + sample_noise].  0 = exact.
+  double sample_noise = 0.0;
+  std::uint64_t noise_seed = 0;
+  /// Optional pre-built shortest-widest database for the post-churn overlay
+  /// (shared with open-loop repair in the bench).  Built lazily at the first
+  /// confirmed alert when null.
+  const graph::AllPairsShortestWidest* post_churn_routing = nullptr;
+};
+
+struct ClosedLoopResult {
+  /// The active flow at the end of the run (the repaired graph once a repair
+  /// activated, otherwise the input flow unchanged).
+  overlay::ServiceFlowGraph flow;
+  bool repaired = false;
+  /// Repair outcome (meaningful when `repaired`).
+  RefederationResult repair;
+
+  std::size_t alerts = 0;
+  /// Alerts the diagnosis rejected (no violation at the flow level).
+  std::size_t false_alerts = 0;
+  std::size_t refederations = 0;
+  std::size_t samples = 0;
+
+  /// First confirmed alert time minus churn_at_ms; negative when the damage
+  /// was never detected.
+  double detection_latency_ms = -1.0;
+  /// Time the repaired flow became the active flow (the probe boundary after
+  /// the repair decision) minus churn_at_ms; negative when no repair ran.
+  double repair_latency_ms = -1.0;
+  /// Wall-clock cost of the refederate call itself (ms).
+  double repair_compute_ms = 0.0;
+
+  /// Ground-truth delivered bandwidth of the active flow, one point per
+  /// probe: (probe time ms, bottleneck over the flow's links as the ground
+  /// truth currently rates them; 0 when a link vanished).
+  std::vector<std::pair<double, double>> delivered_bandwidth;
+};
+
+/// Registers a monitor for every overlay link traversed by `flow`'s realized
+/// paths, promised at the bandwidth `overlay` (the overlay the flow was
+/// federated against) assigns the link.  Monitors are keyed by hosting NIDs.
+void watch_flow_links(obs::OverlayTelemetry& telemetry,
+                      const overlay::OverlayGraph& overlay,
+                      const overlay::ServiceFlowGraph& flow);
+
+/// Runs the closed loop (file comment): `flow` was federated on
+/// `overlay_before`; ground truth switches to `overlay_after` at
+/// config.churn_at_ms.  Purely simulated — neither overlay is modified.
+ClosedLoopResult run_closed_loop(const overlay::OverlayGraph& overlay_before,
+                                 const overlay::OverlayGraph& overlay_after,
+                                 const overlay::ServiceRequirement& requirement,
+                                 const overlay::ServiceFlowGraph& flow,
+                                 const ClosedLoopConfig& config);
+
+}  // namespace sflow::core

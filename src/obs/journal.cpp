@@ -1,0 +1,283 @@
+#include "obs/journal.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+
+namespace sflow::obs {
+
+namespace {
+
+/// Full-precision double formatting: %.17g round-trips every finite double
+/// through strtod, which is what makes parse_jsonl(to_jsonl(e)) exact.
+std::string fmt(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  return buffer;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) continue;  // drop control chars
+    out += c;
+  }
+  return out;
+}
+
+struct JournalMetrics {
+  Counter& events = Registry::global().counter(
+      "journal_events_total", "journal events appended (any journal)");
+  Counter& dropped = Registry::global().counter(
+      "journal_dropped_total", "journal events overwritten by ring wrap");
+};
+
+JournalMetrics& journal_metrics() {
+  static JournalMetrics instance;
+  return instance;
+}
+
+}  // namespace
+
+const char* kind_name(JournalEvent::Kind kind) {
+  switch (kind) {
+    case JournalEvent::Kind::kSample: return "sample";
+    case JournalEvent::Kind::kAlert: return "alert";
+    case JournalEvent::Kind::kAlertCleared: return "alert_cleared";
+    case JournalEvent::Kind::kRefederation: return "refederation";
+    case JournalEvent::Kind::kMilestone: return "milestone";
+  }
+  return "?";
+}
+
+std::optional<JournalEvent::Kind> kind_from_name(std::string_view name) {
+  if (name == "sample") return JournalEvent::Kind::kSample;
+  if (name == "alert") return JournalEvent::Kind::kAlert;
+  if (name == "alert_cleared") return JournalEvent::Kind::kAlertCleared;
+  if (name == "refederation") return JournalEvent::Kind::kRefederation;
+  if (name == "milestone") return JournalEvent::Kind::kMilestone;
+  return std::nullopt;
+}
+
+std::string to_jsonl(const JournalEvent& event) {
+  std::string out = "{\"t_ms\": " + fmt(event.at_ms);
+  out += ", \"kind\": \"" + std::string(kind_name(event.kind)) + "\"";
+  out += ", \"from\": " + std::to_string(event.from);
+  out += ", \"to\": " + std::to_string(event.to);
+  out += ", \"value\": " + fmt(event.value);
+  out += ", \"limit\": " + fmt(event.limit);
+  out += ", \"detail\": \"" + escape(event.detail) + "\"}";
+  return out;
+}
+
+namespace {
+
+[[noreturn]] void bad_line(const std::string& why) {
+  throw std::invalid_argument("parse_jsonl: " + why);
+}
+
+/// Minimal scanner for the one-level-deep objects to_jsonl emits: collects
+/// "key": <number|string> pairs.  Not a general JSON parser on purpose — it
+/// accepts exactly the journal schema and diagnoses everything else.
+void scan_pairs(const std::string& line, std::map<std::string, double>& numbers,
+                std::map<std::string, std::string>& strings) {
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i])) != 0)
+      ++i;
+  };
+  const auto parse_string = [&]() -> std::string {
+    if (i >= line.size() || line[i] != '"') bad_line("expected '\"'");
+    ++i;
+    std::string out;
+    while (i < line.size() && line[i] != '"') {
+      if (line[i] == '\\') {
+        ++i;
+        if (i >= line.size()) bad_line("dangling escape");
+      }
+      out += line[i++];
+    }
+    if (i >= line.size()) bad_line("unterminated string");
+    ++i;  // closing quote
+    return out;
+  };
+
+  skip_ws();
+  if (i >= line.size() || line[i] != '{') bad_line("expected '{'");
+  ++i;
+  for (;;) {
+    skip_ws();
+    if (i < line.size() && line[i] == '}') {
+      ++i;
+      break;
+    }
+    const std::string key = parse_string();
+    skip_ws();
+    if (i >= line.size() || line[i] != ':') bad_line("expected ':' after key");
+    ++i;
+    skip_ws();
+    if (i < line.size() && line[i] == '"') {
+      strings[key] = parse_string();
+    } else {
+      const char* begin = line.c_str() + i;
+      char* end = nullptr;
+      const double v = std::strtod(begin, &end);
+      if (end == begin) bad_line("expected a number for key '" + key + "'");
+      numbers[key] = v;
+      i += static_cast<std::size_t>(end - begin);
+    }
+    skip_ws();
+    if (i < line.size() && line[i] == ',') {
+      ++i;
+      continue;
+    }
+  }
+  skip_ws();
+  if (i != line.size()) bad_line("trailing content after '}'");
+}
+
+}  // namespace
+
+JournalEvent parse_jsonl(const std::string& line) {
+  std::map<std::string, double> numbers;
+  std::map<std::string, std::string> strings;
+  scan_pairs(line, numbers, strings);
+
+  for (const char* key : {"t_ms", "from", "to", "value", "limit"})
+    if (!numbers.contains(key)) bad_line(std::string("missing key '") + key + "'");
+  for (const char* key : {"kind", "detail"})
+    if (!strings.contains(key)) bad_line(std::string("missing key '") + key + "'");
+
+  JournalEvent event;
+  event.at_ms = numbers.at("t_ms");
+  const auto kind = kind_from_name(strings.at("kind"));
+  if (!kind) bad_line("unknown kind '" + strings.at("kind") + "'");
+  event.kind = *kind;
+  event.from = static_cast<std::int32_t>(numbers.at("from"));
+  event.to = static_cast<std::int32_t>(numbers.at("to"));
+  event.value = numbers.at("value");
+  event.limit = numbers.at("limit");
+  event.detail = strings.at("detail");
+  return event;
+}
+
+EventJournal::EventJournal(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(std::min<std::size_t>(capacity_, 1024));
+}
+
+EventJournal& EventJournal::global() {
+  static EventJournal journal;
+  static const bool init = [] {
+    journal.set_enabled(false);  // opt-in; see file comment
+    return true;
+  }();
+  (void)init;
+  return journal;
+}
+
+void EventJournal::append(JournalEvent event) {
+  if (!enabled()) return;
+  JournalMetrics& metrics = journal_metrics();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++recorded_;
+  metrics.events.increment();
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+    return;
+  }
+  ring_[head_] = std::move(event);
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+  metrics.dropped.increment();
+}
+
+std::vector<JournalEvent> EventJournal::events() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<JournalEvent> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  return out;
+}
+
+std::size_t EventJournal::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+std::uint64_t EventJournal::recorded() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return recorded_;
+}
+
+std::uint64_t EventJournal::dropped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void EventJournal::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  head_ = 0;
+}
+
+std::string EventJournal::to_jsonl() const {
+  std::string out;
+  for (const JournalEvent& event : events()) {
+    out += obs::to_jsonl(event);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string EventJournal::to_chrome_trace_json() const {
+  const std::vector<JournalEvent> snapshot = events();
+
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  bool first = true;
+  const auto emit = [&](const std::string& event) {
+    os << (first ? "" : ",\n") << "  " << event;
+    first = false;
+  };
+
+  emit("{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 2, "
+       "\"args\": {\"name\": \"sflow telemetry journal\"}}");
+  std::set<std::int32_t> tracks;
+  for (const JournalEvent& e : snapshot) tracks.insert(e.from < 0 ? -1 : e.from);
+  for (const std::int32_t track : tracks)
+    emit("{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 2, \"tid\": " +
+         std::to_string(track < 0 ? 0 : track + 1) +
+         ", \"args\": {\"name\": \"" +
+         (track < 0 ? std::string("journal") : "node " + std::to_string(track)) +
+         "\"}}");
+
+  for (const JournalEvent& e : snapshot) {
+    std::string name = kind_name(e.kind);
+    if (!e.detail.empty()) name += ": " + escape(e.detail);
+    std::string args = "\"value\": " + fmt(e.value) + ", \"limit\": " +
+                       fmt(e.limit);
+    if (e.from >= 0 && e.to >= 0)
+      args += ", \"link\": \"" + std::to_string(e.from) + "->" +
+              std::to_string(e.to) + "\"";
+    std::ostringstream ev;
+    ev << "{\"name\": \"" << name << "\", \"ph\": \"i\", \"s\": \"t\", \"ts\": "
+       << fmt(e.at_ms * 1000.0) << ", \"pid\": 2, \"tid\": "
+       << (e.from < 0 ? 0 : e.from + 1) << ", \"args\": {" << args << "}}";
+    emit(ev.str());
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+}  // namespace sflow::obs

@@ -1,0 +1,119 @@
+// Structured, sim-time-stamped event journal.
+//
+// Metrics (obs/metrics.hpp) aggregate; the journal *narrates*: one typed,
+// timestamped record per interesting event — an observed-bandwidth sample, a
+// threshold alert firing or clearing, a refederation decision, a protocol
+// milestone — kept in a bounded ring so a long run can always be asked "what
+// just happened?" without unbounded memory.  Export is JSONL (one
+// self-contained JSON object per line, schema in docs/formats.md, round-trip
+// pinned by parse_jsonl) plus a converter into the Chrome trace-event format
+// already used by core::FederationTrace, so journals load in Perfetto next to
+// protocol traces.
+//
+// The process-wide journal (EventJournal::global()) starts *disabled*: an
+// un-consumed run pays one relaxed atomic load per would-be record and
+// nothing else.  `sflowctl federate --journal`, the closed-loop telemetry
+// driver, and the churn bench enable it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sflow::obs {
+
+/// One journal record.  `from`/`to` identify an overlay link by the hosting
+/// underlay node ids when the event concerns one (-1 otherwise); `value` and
+/// `limit` carry the event's measurement and the threshold/promise it was
+/// judged against; `detail` is a short free-form label (alert kind, milestone
+/// name, refederation verdict).
+struct JournalEvent {
+  enum class Kind {
+    kSample,        // observed-bandwidth sample fed to a link monitor
+    kAlert,         // threshold alert fired
+    kAlertCleared,  // alert condition recovered past the hysteresis band
+    kRefederation,  // a repair decision (taken or rejected)
+    kMilestone,     // protocol / lifecycle milestone
+  };
+
+  double at_ms = 0.0;  // simulated time
+  Kind kind = Kind::kMilestone;
+  std::int32_t from = -1;
+  std::int32_t to = -1;
+  double value = 0.0;
+  double limit = 0.0;
+  std::string detail;
+
+  friend bool operator==(const JournalEvent&, const JournalEvent&) = default;
+};
+
+/// Stable wire names for Kind ("sample", "alert", "alert_cleared",
+/// "refederation", "milestone") — the JSONL schema's `kind` values.
+const char* kind_name(JournalEvent::Kind kind);
+std::optional<JournalEvent::Kind> kind_from_name(std::string_view name);
+
+/// One JSONL line (no trailing newline).  Doubles are emitted at full
+/// precision, so parse_jsonl(to_jsonl(e)) == e exactly.
+std::string to_jsonl(const JournalEvent& event);
+
+/// Parses a line produced by to_jsonl (keys in any order).  Throws
+/// std::invalid_argument naming the defect on malformed input.
+JournalEvent parse_jsonl(const std::string& line);
+
+/// Bounded, thread-safe event ring.  Appends are mutex-guarded (journal
+/// consumers are control loops and CLIs, not per-arc hot paths); when the
+/// ring is full the oldest event is overwritten and dropped() grows, so the
+/// journal always holds the most recent `capacity()` events.
+class EventJournal {
+ public:
+  explicit EventJournal(std::size_t capacity = 8192);
+
+  /// The process-wide journal.  Disabled until a consumer enables it.
+  static EventJournal& global();
+
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Records `event` (oldest record overwritten when full).  No-op while
+  /// disabled.
+  void append(JournalEvent event);
+
+  /// Oldest-first copy of the retained events.
+  std::vector<JournalEvent> events() const;
+
+  std::size_t size() const;
+  std::size_t capacity() const noexcept { return capacity_; }
+  /// Total events ever appended / overwritten by ring wrap-around.
+  std::uint64_t recorded() const;
+  std::uint64_t dropped() const;
+
+  /// Drops all retained events (recorded/dropped totals keep counting).
+  void clear();
+
+  /// One JSONL line per retained event, oldest first, trailing newline.
+  std::string to_jsonl() const;
+
+  /// Chrome trace-event JSON (Perfetto-loadable): one instant event per
+  /// record on a per-link-endpoint track, mirroring
+  /// core::FederationTrace::to_chrome_trace_json so both open side by side.
+  std::string to_chrome_trace_json() const;
+
+ private:
+  const std::size_t capacity_;
+  std::atomic<bool> enabled_{true};
+  mutable std::mutex mutex_;
+  std::vector<JournalEvent> ring_;  // capacity_ slots once saturated
+  std::size_t head_ = 0;            // oldest element when saturated
+  std::uint64_t recorded_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace sflow::obs

@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace sflow::obs {
@@ -24,6 +25,36 @@ void Histogram::observe(double v) noexcept {
   while (!sum_.compare_exchange_weak(current, current + v,
                                      std::memory_order_relaxed)) {
   }
+}
+
+double Histogram::quantile(double q) const {
+  if (!(q >= 0.0 && q <= 1.0))
+    throw std::invalid_argument("Histogram::quantile: q must be in [0, 1]");
+
+  // One coherent pass over the bucket atomics; rank against this copy so a
+  // concurrent observe cannot move the target mid-walk.
+  std::vector<std::uint64_t> counts(bounds_.size() + 1);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return std::numeric_limits<double>::quiet_NaN();
+
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+    const double upper = bounds_[i];
+    if (counts[i] == 0) return upper;
+    const std::uint64_t before = cumulative - counts[i];
+    const double within =
+        (rank - static_cast<double>(before)) / static_cast<double>(counts[i]);
+    return lower + (upper - lower) * std::clamp(within, 0.0, 1.0);
+  }
+  return bounds_.back();  // rank lands in the +Inf bucket
 }
 
 std::uint64_t Histogram::count() const noexcept {

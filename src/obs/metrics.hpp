@@ -100,6 +100,15 @@ class Histogram {
   /// trail count() by in-flight observations; exact once writers quiesce.
   double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
 
+  /// Estimates the q-quantile (q in [0, 1]) by linear interpolation within
+  /// the bucket containing the target rank, Prometheus histogram_quantile
+  /// style: the first bucket interpolates from lower edge 0, and a rank that
+  /// lands in the +Inf bucket reports the highest finite bound (the estimate
+  /// saturates — observations beyond the last bound carry no position).
+  /// Returns NaN on an empty histogram; throws std::invalid_argument when q
+  /// is outside [0, 1] or not finite.
+  double quantile(double q) const;
+
   void reset() noexcept;
 
  private:

@@ -1,0 +1,243 @@
+#include "obs/telemetry.hpp"
+
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace sflow::obs {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+std::string fmt(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  return buffer;
+}
+
+struct TelemetryMetrics {
+  Counter& samples = Registry::global().counter(
+      "telemetry_samples_total", "observed-bandwidth samples fed to monitors");
+  Counter& alerts = Registry::global().counter(
+      "telemetry_alerts_total", "link threshold alerts raised");
+};
+
+TelemetryMetrics& telemetry_metrics() {
+  static TelemetryMetrics instance;
+  return instance;
+}
+
+}  // namespace
+
+const char* kind_name(LinkAlert::Kind kind) {
+  switch (kind) {
+    case LinkAlert::Kind::kUndershoot: return "undershoot";
+    case LinkAlert::Kind::kOvershoot: return "overshoot";
+  }
+  return "?";
+}
+
+LinkMonitor::LinkMonitor(const TelemetryConfig& config, std::int32_t from,
+                         std::int32_t to, double promised_bandwidth)
+    : config_(config), from_(from), to_(to), promised_(promised_bandwidth) {
+  ring_.reserve(std::max<std::size_t>(config_.window, 1));
+}
+
+double LinkMonitor::mean_locked() const {
+  if (ring_.empty()) return kNaN;
+  double sum = 0.0;
+  for (const double v : ring_) sum += v;
+  return sum / static_cast<double>(ring_.size());
+}
+
+std::optional<LinkAlert> LinkMonitor::observe(double at_ms, double value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+
+  if (count_ == 0) {
+    ewma_ = value;
+    high_ = value;
+    low_ = value;
+  } else {
+    const double a = config_.ewma_alpha;
+    ewma_ = a * value + (1.0 - a) * ewma_;
+    high_ = std::max(high_, value);
+    low_ = std::min(low_, value);
+  }
+  const std::size_t window = std::max<std::size_t>(config_.window, 1);
+  if (ring_.size() < window) {
+    ring_.push_back(value);
+  } else {
+    ring_[next_] = value;
+    next_ = (next_ + 1) % window;
+  }
+  ++count_;
+
+  if (!config_.thresholds_enabled()) return std::nullopt;
+  if (ring_.size() < std::max<std::size_t>(config_.min_samples, 1))
+    return std::nullopt;
+
+  const double mean = mean_locked();
+  const double under_limit = config_.undershoot_fraction * promised_;
+  const double over_limit = config_.overshoot_fraction * promised_;
+  const double band = config_.hysteresis_fraction * promised_;
+
+  if (alert_active_) {
+    // Re-arm only once the mean recovers past the hysteresis band.
+    const bool cleared =
+        active_kind_ == LinkAlert::Kind::kUndershoot
+            ? mean >= under_limit + band
+            : mean <= over_limit - band;
+    if (cleared) alert_active_ = false;
+    return std::nullopt;
+  }
+
+  std::optional<LinkAlert> alert;
+  if (config_.undershoot_fraction > 0.0 && mean < under_limit) {
+    alert = LinkAlert{from_, to_, LinkAlert::Kind::kUndershoot, at_ms, mean,
+                      under_limit};
+  } else if (config_.overshoot_fraction > 0.0 && mean > over_limit) {
+    alert = LinkAlert{from_, to_, LinkAlert::Kind::kOvershoot, at_ms, mean,
+                      over_limit};
+  }
+  if (alert) {
+    alert_active_ = true;
+    active_kind_ = alert->kind;
+  }
+  return alert;
+}
+
+std::size_t LinkMonitor::samples() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+std::size_t LinkMonitor::window_fill() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+double LinkMonitor::windowed_mean() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return mean_locked();
+}
+
+double LinkMonitor::ewma() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return count_ == 0 ? kNaN : ewma_;
+}
+
+double LinkMonitor::high_watermark() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return count_ == 0 ? kNaN : high_;
+}
+
+double LinkMonitor::low_watermark() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return count_ == 0 ? kNaN : low_;
+}
+
+bool LinkMonitor::alert_active() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return alert_active_;
+}
+
+OverlayTelemetry::OverlayTelemetry(TelemetryConfig config)
+    : config_(std::move(config)) {}
+
+LinkMonitor& OverlayTelemetry::watch(std::int32_t from, std::int32_t to,
+                                     double promised_bandwidth) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = monitors_[key(from, to)];
+  if (!slot)
+    slot = std::make_unique<LinkMonitor>(config_, from, to, promised_bandwidth);
+  return *slot;
+}
+
+const LinkMonitor* OverlayTelemetry::find(std::int32_t from,
+                                          std::int32_t to) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = monitors_.find(key(from, to));
+  return it == monitors_.end() ? nullptr : it->second.get();
+}
+
+std::size_t OverlayTelemetry::monitor_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return monitors_.size();
+}
+
+std::optional<LinkAlert> OverlayTelemetry::record(double at_ms,
+                                                  std::int32_t from,
+                                                  std::int32_t to,
+                                                  double observed_bandwidth) {
+  LinkMonitor* monitor = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = monitors_.find(key(from, to));
+    if (it == monitors_.end()) return std::nullopt;
+    monitor = it->second.get();
+    ++sample_count_;
+  }
+  telemetry_metrics().samples.increment();
+
+  const bool was_active = monitor->alert_active();
+  std::optional<LinkAlert> alert = monitor->observe(at_ms, observed_bandwidth);
+
+  if (config_.journal != nullptr && config_.journal->enabled()) {
+    config_.journal->append({at_ms, JournalEvent::Kind::kSample, from, to,
+                             observed_bandwidth, monitor->promised(), ""});
+    if (alert) {
+      config_.journal->append({at_ms, JournalEvent::Kind::kAlert, from, to,
+                               alert->observed, alert->limit,
+                               kind_name(alert->kind)});
+    } else if (was_active && !monitor->alert_active()) {
+      config_.journal->append({at_ms, JournalEvent::Kind::kAlertCleared, from,
+                               to, monitor->windowed_mean(),
+                               monitor->promised(), ""});
+    }
+  }
+
+  if (alert) {
+    telemetry_metrics().alerts.increment();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    alerts_.push_back(*alert);
+  }
+  return alert;
+}
+
+std::vector<LinkAlert> OverlayTelemetry::alerts() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return alerts_;
+}
+
+std::size_t OverlayTelemetry::sample_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return sample_count_;
+}
+
+void OverlayTelemetry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  monitors_.clear();
+  alerts_.clear();
+}
+
+void MetricsTimeline::sample(double at_ms, const Registry& registry) {
+  entries_.push_back({at_ms, registry.snapshot()});
+}
+
+std::string MetricsTimeline::to_json(const std::string& indent) const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& entry = entries_[i];
+    out += (i == 0 ? "\n" : ",\n") + indent + "  {\"t_ms\": " +
+           fmt(entry.at_ms) + ", \"metrics\": " +
+           obs::to_json(entry.metrics, indent + "  ") + "}";
+  }
+  out += entries_.empty() ? "]" : "\n" + indent + "]";
+  return out;
+}
+
+}  // namespace sflow::obs

@@ -1,0 +1,187 @@
+// Windowed per-link telemetry: the detection half of the closed observability
+// loop (ROADMAP item 3).
+//
+// A LinkMonitor keeps sliding-window statistics over *observed* bandwidth
+// samples for one overlay link — windowed moving average, EWMA, high/low
+// watermarks — and judges the windowed mean against configurable overshoot /
+// undershoot thresholds relative to the link's *promised* bandwidth, with a
+// hysteresis band so a value oscillating around a threshold raises one alert,
+// not one per sample (the mavg/overlimit design of xenoeye's monitoring
+// objects).  OverlayTelemetry is the per-flow monitor set, keyed by the
+// hosting underlay node ids so identity survives overlay rebuilds across
+// churn; samples are fed from the data-plane simulation
+// (sim::simulate_delivery's probe overload).
+//
+// Everything here is strictly observational: monitors only *read* the
+// simulation, and with thresholds disabled (the default-constructed config)
+// no alert can fire, so an instrumented run is bit-identical to an
+// uninstrumented one (pinned by tests/telemetry_test.cpp).  Reads are safe
+// concurrently with observes (mutex per monitor; TSan-exercised).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/journal.hpp"
+#include "obs/metrics.hpp"
+
+namespace sflow::obs {
+
+struct TelemetryConfig {
+  /// Sliding-window length in samples.
+  std::size_t window = 8;
+  /// EWMA smoothing factor in (0, 1]; larger tracks faster.
+  double ewma_alpha = 0.25;
+  /// Samples required before thresholds arm — an empty or nearly empty
+  /// window never alerts.
+  std::size_t min_samples = 2;
+  /// Undershoot: alert when the windowed mean falls below
+  /// undershoot_fraction * promised bandwidth.  <= 0 disables.
+  double undershoot_fraction = 0.0;
+  /// Overshoot: alert when the windowed mean exceeds
+  /// overshoot_fraction * promised bandwidth (overload watch).  <= 0 disables.
+  double overshoot_fraction = 0.0;
+  /// Hysteresis band: a fired undershoot re-arms only once the mean recovers
+  /// above (undershoot_fraction + hysteresis_fraction) * promised
+  /// (symmetrically below for overshoot).
+  double hysteresis_fraction = 0.05;
+  /// Optional sink for per-sample / alert / cleared journal records.
+  EventJournal* journal = nullptr;
+
+  bool thresholds_enabled() const noexcept {
+    return undershoot_fraction > 0.0 || overshoot_fraction > 0.0;
+  }
+};
+
+/// A threshold crossing on one monitored link.
+struct LinkAlert {
+  enum class Kind { kUndershoot, kOvershoot };
+
+  std::int32_t from = -1;  // hosting underlay node ids
+  std::int32_t to = -1;
+  Kind kind = Kind::kUndershoot;
+  double at_ms = 0.0;      // simulated time of the triggering sample
+  double observed = 0.0;   // windowed mean that crossed
+  double limit = 0.0;      // threshold value it crossed
+
+  friend bool operator==(const LinkAlert&, const LinkAlert&) = default;
+};
+
+const char* kind_name(LinkAlert::Kind kind);
+
+/// Sliding-window statistics + threshold/hysteresis state for one link.
+class LinkMonitor {
+ public:
+  LinkMonitor(const TelemetryConfig& config, std::int32_t from, std::int32_t to,
+              double promised_bandwidth);
+
+  /// Feeds one observed-bandwidth sample at simulated time `at_ms`; returns
+  /// the alert raised by this sample, if any (at most one — hysteresis).
+  std::optional<LinkAlert> observe(double at_ms, double value);
+
+  // Read side; all safe concurrently with observe().
+  std::size_t samples() const;        // total samples ever fed
+  std::size_t window_fill() const;    // samples currently in the window
+  double windowed_mean() const;       // NaN while the window is empty
+  double ewma() const;                // NaN before the first sample
+  double high_watermark() const;      // NaN before the first sample
+  double low_watermark() const;
+  bool alert_active() const;          // fired and not yet cleared
+
+  std::int32_t from() const noexcept { return from_; }
+  std::int32_t to() const noexcept { return to_; }
+  double promised() const noexcept { return promised_; }
+
+ private:
+  double mean_locked() const;  // requires mutex_ held
+
+  const TelemetryConfig config_;
+  const std::int32_t from_;
+  const std::int32_t to_;
+  const double promised_;
+
+  mutable std::mutex mutex_;
+  std::vector<double> ring_;  // window slots, filled then overwritten oldest-first
+  std::size_t next_ = 0;      // slot the next sample lands in
+  std::size_t count_ = 0;     // total samples
+  double ewma_ = 0.0;
+  double high_ = 0.0;
+  double low_ = 0.0;
+  bool alert_active_ = false;
+  LinkAlert::Kind active_kind_ = LinkAlert::Kind::kUndershoot;
+};
+
+/// The monitor set for the links carried by one federated flow.  Links are
+/// keyed by (from NID, to NID); watch() registers a link with its promised
+/// bandwidth, record() routes a sample to its monitor and collects any alert.
+class OverlayTelemetry {
+ public:
+  explicit OverlayTelemetry(TelemetryConfig config);
+
+  const TelemetryConfig& config() const noexcept { return config_; }
+
+  /// Registers (idempotently) a monitor for the link from->to.
+  LinkMonitor& watch(std::int32_t from, std::int32_t to,
+                     double promised_bandwidth);
+
+  const LinkMonitor* find(std::int32_t from, std::int32_t to) const;
+  std::size_t monitor_count() const;
+
+  /// Feeds a sample to the link's monitor.  Unwatched links are ignored
+  /// (bridging traffic over links the flow does not own).  Journals the
+  /// sample and any alert when a journal is configured.
+  std::optional<LinkAlert> record(double at_ms, std::int32_t from,
+                                  std::int32_t to, double observed_bandwidth);
+
+  /// Every alert raised so far, in firing order.
+  std::vector<LinkAlert> alerts() const;
+  std::size_t sample_count() const;
+
+  /// Drops all monitors and alert history (a repaired flow re-watches its
+  /// new link set from scratch).
+  void reset();
+
+ private:
+  static std::uint64_t key(std::int32_t from, std::int32_t to) noexcept {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 32) |
+           static_cast<std::uint32_t>(to);
+  }
+
+  const TelemetryConfig config_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<LinkMonitor>> monitors_;
+  std::vector<LinkAlert> alerts_;
+  std::size_t sample_count_ = 0;
+};
+
+/// Periodic time-series sampling of a metrics registry: one labelled
+/// snapshot per sample() call, exported as a JSON array of
+/// {"t_ms": ..., "metrics": {...}} records for trajectory plots —
+/// per-window views of the registry instead of a single end-of-run dump.
+class MetricsTimeline {
+ public:
+  struct Entry {
+    double at_ms = 0.0;
+    std::vector<MetricSnapshot> metrics;
+  };
+
+  /// Snapshots Registry::global() at simulated time `at_ms`.
+  void sample(double at_ms) { sample(at_ms, Registry::global()); }
+  void sample(double at_ms, const Registry& registry);
+
+  const std::vector<Entry>& entries() const noexcept { return entries_; }
+  std::size_t size() const noexcept { return entries_.size(); }
+
+  /// JSON array, one element per sample; `indent` prefixes every line.
+  std::string to_json(const std::string& indent = "") const;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace sflow::obs

@@ -22,11 +22,14 @@ double edge_transfer_ms(const graph::PathQuality& quality, std::size_t payload) 
   return quality.latency + transmission_ms;
 }
 
-}  // namespace
-
-DeliveryResult simulate_delivery(const ServiceRequirement& requirement,
-                                 const ServiceFlowGraph& flow,
-                                 std::size_t payload_bytes) {
+/// Shared implementation.  `overlay`/`probe` are null for the plain overload;
+/// the event schedule (and therefore every DeliveryResult field) is the same
+/// either way — the probe only reads the clock at times that already exist.
+DeliveryResult simulate_delivery_impl(const ServiceRequirement& requirement,
+                                      const ServiceFlowGraph& flow,
+                                      std::size_t payload_bytes,
+                                      const overlay::OverlayGraph* overlay,
+                                      const LinkProbe* probe) {
   requirement.validate();
   if (!flow.complete(requirement))
     throw std::invalid_argument("simulate_delivery: incomplete flow graph");
@@ -68,7 +71,20 @@ DeliveryResult simulate_delivery(const ServiceRequirement& requirement,
       const double delay = edge_transfer_ms(fe->quality, payload_bytes);
       result.transfers += 1;
       result.bytes_moved += payload_bytes;
-      queue.schedule_in(delay, [&arrive, next] { arrive(next); });
+      queue.schedule_in(delay, [&arrive, &queue, overlay, probe, fe, next] {
+        if (probe != nullptr && overlay != nullptr) {
+          for (std::size_t h = 0; h + 1 < fe->overlay_path.size(); ++h) {
+            const overlay::OverlayIndex a = fe->overlay_path[h];
+            const overlay::OverlayIndex b = fe->overlay_path[h + 1];
+            const graph::EdgeIndex link = overlay->graph().find_edge(a, b);
+            if (link == graph::kInvalidEdge) continue;  // validated elsewhere
+            (*probe)(queue.now(), overlay->instance(a).nid,
+                     overlay->instance(b).nid,
+                     overlay->graph().edge(link).metrics);
+          }
+        }
+        arrive(next);
+      });
     }
   };
 
@@ -78,6 +94,24 @@ DeliveryResult simulate_delivery(const ServiceRequirement& requirement,
 
   result.completion_time_ms = completion;
   return result;
+}
+
+}  // namespace
+
+DeliveryResult simulate_delivery(const ServiceRequirement& requirement,
+                                 const ServiceFlowGraph& flow,
+                                 std::size_t payload_bytes) {
+  return simulate_delivery_impl(requirement, flow, payload_bytes, nullptr,
+                                nullptr);
+}
+
+DeliveryResult simulate_delivery(const ServiceRequirement& requirement,
+                                 const ServiceFlowGraph& flow,
+                                 std::size_t payload_bytes,
+                                 const overlay::OverlayGraph& overlay,
+                                 const LinkProbe& probe) {
+  return simulate_delivery_impl(requirement, flow, payload_bytes, &overlay,
+                                probe ? &probe : nullptr);
 }
 
 }  // namespace sflow::sim

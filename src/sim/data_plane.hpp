@@ -18,6 +18,8 @@
 // model), where parallel branches cannot overlap — see the examples.
 #pragma once
 
+#include <functional>
+
 #include "overlay/flow_graph.hpp"
 #include "overlay/requirement.hpp"
 #include "sim/event_queue.hpp"
@@ -39,5 +41,25 @@ struct DeliveryResult {
 DeliveryResult simulate_delivery(const overlay::ServiceRequirement& requirement,
                                  const overlay::ServiceFlowGraph& flow,
                                  std::size_t payload_bytes);
+
+/// Per-hop observation hook for the telemetry loop: invoked once for every
+/// overlay link a flow edge's realized path traverses, at the simulated time
+/// that flow edge's transfer completes.  Endpoints are reported as the
+/// hosting underlay node ids (stable across overlay rebuilds) along with the
+/// link metrics *promised* by the flow's overlay — the probe's consumer
+/// supplies the observed ground truth.
+using LinkProbe = std::function<void(double at_ms, net::Nid from, net::Nid to,
+                                     const graph::LinkMetrics& promised)>;
+
+/// As above, additionally firing `probe` per traversed overlay link.  `flow`'s
+/// paths must exist in `overlay` (the overlay it was federated against).
+/// The event schedule is identical to the probe-less overload — probing is
+/// strictly observational, so DeliveryResult is bit-identical (pinned by
+/// tests/data_plane_test.cpp).
+DeliveryResult simulate_delivery(const overlay::ServiceRequirement& requirement,
+                                 const overlay::ServiceFlowGraph& flow,
+                                 std::size_t payload_bytes,
+                                 const overlay::OverlayGraph& overlay,
+                                 const LinkProbe& probe);
 
 }  // namespace sflow::sim

@@ -47,6 +47,97 @@ TEST_F(DataPlaneTest, RejectsIncompleteFlowGraphs) {
                std::invalid_argument);
 }
 
+/// One probe record, as captured during a delivery.
+struct ProbeSample {
+  double at_ms;
+  net::Nid from;
+  net::Nid to;
+  double bandwidth;
+
+  friend bool operator==(const ProbeSample&, const ProbeSample&) = default;
+};
+
+std::vector<ProbeSample> probe_delivery(const overlay::OverlayGraph& overlay,
+                                        const ServiceRequirement& requirement,
+                                        const ServiceFlowGraph& flow,
+                                        std::size_t payload) {
+  std::vector<ProbeSample> samples;
+  simulate_delivery(requirement, flow, payload, overlay,
+                    [&](double at_ms, net::Nid from, net::Nid to,
+                        const graph::LinkMetrics& promised) {
+                      samples.push_back({at_ms, from, to, promised.bandwidth});
+                    });
+  return samples;
+}
+
+TEST_F(DataPlaneTest, ProbeOverloadMatchesPlainDeliveryBitForBit) {
+  const DeliveryResult plain = simulate_delivery(fx_.requirement, flow_, 50000);
+  std::size_t probes = 0;
+  const DeliveryResult probed = simulate_delivery(
+      fx_.requirement, flow_, 50000, fx_.overlay,
+      [&](double, net::Nid, net::Nid, const graph::LinkMetrics&) { ++probes; });
+  EXPECT_EQ(plain.completion_time_ms, probed.completion_time_ms);
+  EXPECT_EQ(plain.predicted_time_ms, probed.predicted_time_ms);
+  EXPECT_EQ(plain.transfers, probed.transfers);
+  EXPECT_EQ(plain.bytes_moved, probed.bytes_moved);
+  // The diamond's realized paths are all single overlay hops: one probe per
+  // flow edge, at that edge's completion time.
+  EXPECT_EQ(probes, fx_.requirement.dag().edge_count());
+
+  // A null probe is accepted and equivalent to the plain overload.
+  const DeliveryResult null_probe =
+      simulate_delivery(fx_.requirement, flow_, 50000, fx_.overlay, nullptr);
+  EXPECT_EQ(plain.completion_time_ms, null_probe.completion_time_ms);
+}
+
+TEST_F(DataPlaneTest, ProbeReportsHostNidsAndPromisedMetrics) {
+  const std::vector<ProbeSample> samples =
+      probe_delivery(fx_.overlay, fx_.requirement, flow_, 1000);
+  ASSERT_EQ(samples.size(), 4u);
+  for (const ProbeSample& s : samples) {
+    // Endpoints are hosting NIDs of real overlay links; the promised
+    // bandwidth is the link's metric in the overlay the flow was built on.
+    const auto a = fx_.overlay.instance_at(s.from);
+    const auto b = fx_.overlay.instance_at(s.to);
+    ASSERT_TRUE(a && b);
+    const graph::EdgeIndex e = fx_.overlay.graph().find_edge(*a, *b);
+    ASSERT_NE(e, graph::kInvalidEdge);
+    EXPECT_DOUBLE_EQ(s.bandwidth, fx_.overlay.graph().edge(e).metrics.bandwidth);
+    EXPECT_GT(s.at_ms, 0.0);  // fires at edge completion, never before start
+  }
+}
+
+/// Probe sequences are a pure function of the (seeded) scenario: two runs of
+/// the same delivery observe identical (time, link, promise) sequences, and
+/// the probed DeliveryResult always equals the plain one.
+class DataPlaneProbeSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DataPlaneProbeSweep, DeterministicSampleSequencesUnderFixedSeeds) {
+  const core::Scenario scenario =
+      core::make_scenario(sflow::testing::small_workload(16), GetParam());
+  const auto flow = core::optimal_flow_graph(
+      scenario.overlay(), scenario.requirement, scenario.overlay_routing());
+  ASSERT_TRUE(flow);
+
+  const std::vector<ProbeSample> first =
+      probe_delivery(scenario.overlay(), scenario.requirement, *flow, 20000);
+  const std::vector<ProbeSample> second =
+      probe_delivery(scenario.overlay(), scenario.requirement, *flow, 20000);
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+
+  const DeliveryResult plain =
+      simulate_delivery(scenario.requirement, *flow, 20000);
+  const DeliveryResult probed = simulate_delivery(
+      scenario.requirement, *flow, 20000, scenario.overlay(),
+      [](double, net::Nid, net::Nid, const graph::LinkMetrics&) {});
+  EXPECT_EQ(plain.completion_time_ms, probed.completion_time_ms);
+  EXPECT_EQ(plain.transfers, probed.transfers);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DataPlaneProbeSweep,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
 TEST(DataPlane, SingleServiceCompletesInstantly) {
   ServiceRequirement single;
   single.add_service(3);

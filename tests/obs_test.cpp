@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -64,6 +65,44 @@ TEST(Histogram, RejectsBadBounds) {
   EXPECT_THROW(Histogram({}), std::invalid_argument);
   EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
   EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Histogram, QuantileInterpolatesWithinBuckets) {
+  Histogram h({10.0, 20.0, 40.0});
+  EXPECT_TRUE(std::isnan(h.quantile(0.5)));  // empty histogram
+
+  // 10 observations in (0, 10], 10 in (10, 20]: uniform interpolation.
+  for (int i = 0; i < 10; ++i) h.observe(5.0);
+  for (int i = 0; i < 10; ++i) h.observe(15.0);
+  // Rank 10 of 20 is the upper edge of the first bucket.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);
+  // Rank 5 of 20 lands halfway through the first bucket [0, 10].
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 5.0);
+  // Rank 15 lands halfway through the second bucket [10, 20].
+  EXPECT_DOUBLE_EQ(h.quantile(0.75), 15.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 20.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+}
+
+TEST(Histogram, QuantileSaturatesAtTheOverflowBucket) {
+  Histogram h({1.0, 2.0});
+  h.observe(0.5);
+  h.observe(100.0);  // +Inf bucket
+  h.observe(200.0);
+  // Ranks landing in the overflow report the highest finite bound — the
+  // estimate cannot place mass beyond the last edge.
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.9), 2.0);
+  // Single observation below the first bound interpolates from lower edge 0.
+  EXPECT_DOUBLE_EQ(h.quantile(1.0 / 6.0), 0.5);
+}
+
+TEST(Histogram, QuantileRejectsOutOfRangeRanks) {
+  Histogram h({1.0});
+  h.observe(0.5);
+  EXPECT_THROW(h.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW(h.quantile(1.1), std::invalid_argument);
+  EXPECT_THROW(h.quantile(std::nan("")), std::invalid_argument);
 }
 
 TEST(ScopedTimer, ObservesOnceOnDestruction) {
@@ -202,6 +241,27 @@ TEST(Export, PrometheusTextFormat) {
   EXPECT_NE(text.find("wall_ms_sum 99.5"), std::string::npos);
   // +Inf must come after the finite buckets.
   EXPECT_LT(text.find("le=\"10\""), text.find("le=\"+Inf\""));
+}
+
+/// Golden histogram exposition: byte-exact Prometheus text for a histogram,
+/// pinning the cumulative-bucket encoding — counts monotone, `+Inf` last and
+/// equal to `_count`, `_sum` consistent with the observations.
+TEST(Export, PrometheusHistogramGolden) {
+  Registry registry;
+  Histogram& h = registry.histogram("probe_wall_ms", {1.0, 10.0}, "probe time");
+  h.observe(0.5);
+  h.observe(7.0);
+  h.observe(99.0);
+
+  const std::string expected =
+      "# HELP probe_wall_ms probe time\n"
+      "# TYPE probe_wall_ms histogram\n"
+      "probe_wall_ms_bucket{le=\"1\"} 1\n"
+      "probe_wall_ms_bucket{le=\"10\"} 2\n"
+      "probe_wall_ms_bucket{le=\"+Inf\"} 3\n"
+      "probe_wall_ms_sum 106.5\n"
+      "probe_wall_ms_count 3\n";
+  EXPECT_EQ(to_prometheus(registry.snapshot()), expected);
 }
 
 TEST(Export, JsonStructure) {

@@ -1,0 +1,544 @@
+// The closed telemetry loop, bottom-up: LinkMonitor window statistics and
+// hysteresis, the event journal (ring bound, JSONL round-trip, Chrome trace),
+// registry timelines, and run_closed_loop — including the two contracts the
+// PR hangs on: thresholds-disabled runs are pure observation (the active flow
+// is returned unchanged), and a confirmed alert repairs to the *same* graph
+// the open-loop refederate produces.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+#include "core/global_optimal.hpp"
+#include "core/telemetry_loop.hpp"
+#include "obs/journal.hpp"
+#include "obs/telemetry.hpp"
+#include "test_helpers.hpp"
+
+namespace sflow {
+namespace {
+
+using obs::EventJournal;
+using obs::JournalEvent;
+using obs::LinkAlert;
+using obs::LinkMonitor;
+using obs::OverlayTelemetry;
+using obs::TelemetryConfig;
+
+TelemetryConfig small_window_config() {
+  TelemetryConfig config;
+  config.window = 3;
+  config.min_samples = 2;
+  config.undershoot_fraction = 0.5;
+  config.hysteresis_fraction = 0.1;
+  return config;
+}
+
+// ---------------------------------------------------------------- LinkMonitor
+
+TEST(LinkMonitor, EmptyWindowReportsNaNAndNeverAlerts) {
+  const LinkMonitor monitor(small_window_config(), 0, 1, 100.0);
+  EXPECT_EQ(monitor.samples(), 0u);
+  EXPECT_EQ(monitor.window_fill(), 0u);
+  EXPECT_TRUE(std::isnan(monitor.windowed_mean()));
+  EXPECT_TRUE(std::isnan(monitor.ewma()));
+  EXPECT_TRUE(std::isnan(monitor.high_watermark()));
+  EXPECT_TRUE(std::isnan(monitor.low_watermark()));
+  EXPECT_FALSE(monitor.alert_active());
+}
+
+TEST(LinkMonitor, SingleSampleSeedsEveryStatistic) {
+  LinkMonitor monitor(small_window_config(), 0, 1, 100.0);
+  // Far below threshold, but min_samples = 2 keeps the threshold disarmed.
+  EXPECT_FALSE(monitor.observe(1.0, 10.0).has_value());
+  EXPECT_EQ(monitor.samples(), 1u);
+  EXPECT_EQ(monitor.window_fill(), 1u);
+  EXPECT_DOUBLE_EQ(monitor.windowed_mean(), 10.0);
+  EXPECT_DOUBLE_EQ(monitor.ewma(), 10.0);
+  EXPECT_DOUBLE_EQ(monitor.high_watermark(), 10.0);
+  EXPECT_DOUBLE_EQ(monitor.low_watermark(), 10.0);
+}
+
+TEST(LinkMonitor, WindowWrapsAroundOldestFirst) {
+  TelemetryConfig config = small_window_config();
+  config.undershoot_fraction = 0.0;  // statistics only
+  LinkMonitor monitor(config, 0, 1, 100.0);
+  for (double v : {10.0, 20.0, 30.0}) monitor.observe(0.0, v);
+  EXPECT_DOUBLE_EQ(monitor.windowed_mean(), 20.0);
+  // The 4th sample evicts the oldest (10): window = {20, 30, 90}.
+  monitor.observe(0.0, 90.0);
+  EXPECT_EQ(monitor.window_fill(), 3u);
+  EXPECT_EQ(monitor.samples(), 4u);
+  EXPECT_NEAR(monitor.windowed_mean(), (20.0 + 30.0 + 90.0) / 3.0, 1e-12);
+  // Watermarks span all history, not just the window.
+  EXPECT_DOUBLE_EQ(monitor.high_watermark(), 90.0);
+  EXPECT_DOUBLE_EQ(monitor.low_watermark(), 10.0);
+}
+
+TEST(LinkMonitor, EwmaTracksWithConfiguredAlpha) {
+  TelemetryConfig config;
+  config.ewma_alpha = 0.5;
+  LinkMonitor monitor(config, 0, 1, 100.0);
+  monitor.observe(0.0, 100.0);
+  monitor.observe(1.0, 0.0);
+  EXPECT_DOUBLE_EQ(monitor.ewma(), 50.0);  // 0.5*0 + 0.5*100
+  monitor.observe(2.0, 50.0);
+  EXPECT_DOUBLE_EQ(monitor.ewma(), 50.0);
+}
+
+TEST(LinkMonitor, UndershootFiresOnceThenRearmsPastHysteresis) {
+  LinkMonitor monitor(small_window_config(), 3, 7, 100.0);  // limit 50, band 10
+  monitor.observe(0.0, 100.0);
+  // Window mean falls below 50 -> one alert carrying the link identity.
+  monitor.observe(1.0, 100.0);
+  const auto alert = monitor.observe(2.0, 10.0);  // mean (100+100+10)/3 = 70
+  EXPECT_FALSE(alert.has_value());
+  const auto fired = monitor.observe(3.0, 10.0);  // mean 40 < 50
+  ASSERT_TRUE(fired.has_value());
+  EXPECT_EQ(fired->kind, LinkAlert::Kind::kUndershoot);
+  EXPECT_EQ(fired->from, 3);
+  EXPECT_EQ(fired->to, 7);
+  EXPECT_DOUBLE_EQ(fired->at_ms, 3.0);
+  EXPECT_DOUBLE_EQ(fired->observed, 40.0);
+  EXPECT_DOUBLE_EQ(fired->limit, 50.0);
+  EXPECT_TRUE(monitor.alert_active());
+  // Still below: suppressed by hysteresis.
+  EXPECT_FALSE(monitor.observe(4.0, 10.0).has_value());
+  // Recovery to mean 55 is inside the re-arm band [50, 60): still suppressed.
+  monitor.observe(5.0, 100.0);   // window {10, 10, 100} mean 40
+  monitor.observe(6.0, 100.0);   // window {10, 100, 100} mean 70 >= 60: cleared
+  EXPECT_FALSE(monitor.alert_active());
+  // Degrade again: re-armed, so a second alert fires at the first
+  // sub-threshold mean.
+  monitor.observe(7.0, 10.0);  // window {100, 10, 100} mean 70: healthy
+  const auto second = monitor.observe(8.0, 10.0);  // {100, 10, 10} mean 40
+  ASSERT_TRUE(second.has_value());
+  EXPECT_DOUBLE_EQ(second->observed, 40.0);
+}
+
+TEST(LinkMonitor, OvershootWatchesTheOtherDirection) {
+  TelemetryConfig config;
+  config.window = 2;
+  config.min_samples = 1;
+  config.overshoot_fraction = 1.5;
+  config.hysteresis_fraction = 0.1;
+  LinkMonitor monitor(config, 0, 1, 100.0);  // limit 150
+  EXPECT_FALSE(monitor.observe(0.0, 140.0).has_value());
+  const auto alert = monitor.observe(1.0, 200.0);  // mean 170 > 150
+  ASSERT_TRUE(alert.has_value());
+  EXPECT_EQ(alert->kind, LinkAlert::Kind::kOvershoot);
+  EXPECT_DOUBLE_EQ(alert->limit, 150.0);
+}
+
+TEST(LinkMonitor, DisabledThresholdsNeverAlert) {
+  TelemetryConfig config;  // both fractions default 0 = disabled
+  ASSERT_FALSE(config.thresholds_enabled());
+  LinkMonitor monitor(config, 0, 1, 100.0);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_FALSE(monitor.observe(i, 0.0).has_value());
+  EXPECT_FALSE(monitor.alert_active());
+}
+
+TEST(LinkMonitor, ConcurrentReadsAreSafeWhileObserving) {
+  TelemetryConfig config = small_window_config();
+  LinkMonitor monitor(config, 0, 1, 100.0);
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (int i = 0; i < 20000; ++i)
+      monitor.observe(static_cast<double>(i), i % 2 == 0 ? 10.0 : 90.0);
+    stop.store(true);
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      double sink = 0.0;
+      while (!stop.load()) {
+        const double mean = monitor.windowed_mean();
+        if (!std::isnan(mean)) {
+          EXPECT_GE(mean, 10.0);
+          EXPECT_LE(mean, 90.0);
+        }
+        sink += monitor.ewma() + monitor.high_watermark();
+        (void)monitor.alert_active();
+        (void)monitor.samples();
+      }
+      (void)sink;
+    });
+  }
+  writer.join();
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(monitor.samples(), 20000u);
+}
+
+// ----------------------------------------------------------- OverlayTelemetry
+
+TEST(OverlayTelemetry, RoutesSamplesAndIgnoresUnwatchedLinks) {
+  OverlayTelemetry telemetry(small_window_config());
+  telemetry.watch(0, 1, 100.0);
+  telemetry.watch(0, 1, 999.0);  // idempotent: first promise wins
+  EXPECT_EQ(telemetry.monitor_count(), 1u);
+  ASSERT_NE(telemetry.find(0, 1), nullptr);
+  EXPECT_DOUBLE_EQ(telemetry.find(0, 1)->promised(), 100.0);
+  EXPECT_EQ(telemetry.find(1, 0), nullptr);  // direction matters
+
+  EXPECT_FALSE(telemetry.record(0.0, 5, 6, 1.0).has_value());  // unwatched
+  EXPECT_EQ(telemetry.sample_count(), 0u);
+
+  telemetry.record(0.0, 0, 1, 100.0);
+  telemetry.record(1.0, 0, 1, 10.0);
+  const auto alert = telemetry.record(2.0, 0, 1, 10.0);  // mean 40 < 50
+  ASSERT_TRUE(alert.has_value());
+  EXPECT_EQ(telemetry.sample_count(), 3u);
+  ASSERT_EQ(telemetry.alerts().size(), 1u);
+  EXPECT_EQ(telemetry.alerts()[0], *alert);
+
+  telemetry.reset();
+  EXPECT_EQ(telemetry.monitor_count(), 0u);
+  EXPECT_TRUE(telemetry.alerts().empty());
+}
+
+TEST(OverlayTelemetry, JournalsSamplesAlertsAndClears) {
+  EventJournal journal(64);
+  TelemetryConfig config = small_window_config();
+  config.window = 2;
+  config.journal = &journal;
+  OverlayTelemetry telemetry(config);
+  telemetry.watch(0, 1, 100.0);
+  telemetry.record(0.0, 0, 1, 10.0);
+  telemetry.record(1.0, 0, 1, 10.0);   // mean 10 < 50: alert
+  telemetry.record(2.0, 0, 1, 100.0);  // mean 55 inside band: suppressed
+  telemetry.record(3.0, 0, 1, 100.0);  // mean 100 >= 60: cleared
+
+  std::vector<JournalEvent::Kind> kinds;
+  for (const JournalEvent& e : journal.events()) kinds.push_back(e.kind);
+  EXPECT_EQ(kinds, (std::vector<JournalEvent::Kind>{
+                       JournalEvent::Kind::kSample, JournalEvent::Kind::kSample,
+                       JournalEvent::Kind::kAlert, JournalEvent::Kind::kSample,
+                       JournalEvent::Kind::kSample,
+                       JournalEvent::Kind::kAlertCleared}));
+  // Every journalled line round-trips through the documented schema.
+  for (const JournalEvent& e : journal.events())
+    EXPECT_EQ(obs::parse_jsonl(obs::to_jsonl(e)), e);
+}
+
+// --------------------------------------------------------------- EventJournal
+
+TEST(EventJournal, RingKeepsTheMostRecentEvents) {
+  EventJournal journal(4);
+  EXPECT_EQ(journal.capacity(), 4u);
+  for (int i = 0; i < 6; ++i)
+    journal.append({static_cast<double>(i), JournalEvent::Kind::kMilestone, -1,
+                    -1, 0.0, 0.0, "m" + std::to_string(i)});
+  EXPECT_EQ(journal.size(), 4u);
+  EXPECT_EQ(journal.recorded(), 6u);
+  EXPECT_EQ(journal.dropped(), 2u);
+  const std::vector<JournalEvent> events = journal.events();
+  ASSERT_EQ(events.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(events[i].at_ms, 2.0 + i);  // oldest-first, 2..5
+    EXPECT_EQ(events[i].detail, "m" + std::to_string(2 + i));
+  }
+  journal.clear();
+  EXPECT_EQ(journal.size(), 0u);
+  EXPECT_EQ(journal.recorded(), 6u);  // totals keep counting
+}
+
+TEST(EventJournal, DisabledJournalRecordsNothing) {
+  EventJournal journal(8);
+  journal.set_enabled(false);
+  journal.append({1.0, JournalEvent::Kind::kAlert, 0, 1, 2.0, 3.0, "x"});
+  EXPECT_EQ(journal.size(), 0u);
+  EXPECT_EQ(journal.recorded(), 0u);
+  journal.set_enabled(true);
+  journal.append({1.0, JournalEvent::Kind::kAlert, 0, 1, 2.0, 3.0, "x"});
+  EXPECT_EQ(journal.size(), 1u);
+}
+
+TEST(EventJournal, GlobalStartsDisabled) {
+  EXPECT_FALSE(EventJournal::global().enabled());
+}
+
+TEST(EventJournal, JsonlRoundTripsEveryKindExactly) {
+  const std::vector<JournalEvent> events = {
+      {0.0, JournalEvent::Kind::kSample, 3, 9, 17.25, 40.0, ""},
+      {1.5, JournalEvent::Kind::kAlert, 0, 1, 0.1234567890123456, 0.5,
+       "undershoot"},
+      {2.75, JournalEvent::Kind::kAlertCleared, 7, 2, 99.0, 50.0, ""},
+      {1e-3, JournalEvent::Kind::kRefederation, -1, -1, 3.0, 0.5, "applied"},
+      {12345.6789, JournalEvent::Kind::kMilestone, -1, -1, 0.0, 0.0,
+       "detail with \"quotes\" and \\backslash"},
+  };
+  for (const JournalEvent& e : events) {
+    const std::string line = obs::to_jsonl(e);
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+    EXPECT_EQ(obs::parse_jsonl(line), e) << line;
+  }
+}
+
+TEST(EventJournal, ParseRejectsMalformedLines) {
+  const auto rejects = [](const std::string& line) {
+    EXPECT_THROW(obs::parse_jsonl(line), std::invalid_argument) << line;
+  };
+  rejects("");
+  rejects("not json");
+  rejects("[1, 2]");
+  rejects("{\"t_ms\": 1}");  // missing keys
+  rejects(
+      "{\"t_ms\": 1, \"kind\": \"nonsense\", \"from\": 0, \"to\": 1, "
+      "\"value\": 0, \"limit\": 0, \"detail\": \"\"}");  // unknown kind
+  rejects(
+      "{\"t_ms\": \"oops\", \"kind\": \"sample\", \"from\": 0, \"to\": 1, "
+      "\"value\": 0, \"limit\": 0, \"detail\": \"\"}");  // string where number
+  rejects(
+      "{\"t_ms\": 1, \"kind\": \"sample\", \"from\": 0, \"to\": 1, "
+      "\"value\": 0, \"limit\": 0, \"detail\": \"unterminated}");
+  rejects(
+      "{\"t_ms\": 1, \"kind\": \"sample\", \"from\": 0, \"to\": 1, "
+      "\"value\": 0, \"limit\": 0, \"detail\": \"\"} trailing");
+}
+
+TEST(EventJournal, KindNamesRoundTrip) {
+  for (const JournalEvent::Kind kind :
+       {JournalEvent::Kind::kSample, JournalEvent::Kind::kAlert,
+        JournalEvent::Kind::kAlertCleared, JournalEvent::Kind::kRefederation,
+        JournalEvent::Kind::kMilestone}) {
+    const auto back = obs::kind_from_name(obs::kind_name(kind));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, kind);
+  }
+  EXPECT_FALSE(obs::kind_from_name("bogus").has_value());
+}
+
+TEST(EventJournal, ChromeTraceExportIsStructured) {
+  EventJournal journal(16);
+  journal.append({1.0, JournalEvent::Kind::kAlert, 2, 5, 10.0, 25.0,
+                  "undershoot"});
+  journal.append({2.0, JournalEvent::Kind::kMilestone, -1, -1, 0.0, 0.0,
+                  "churn_applied"});
+  const std::string trace = journal.to_chrome_trace_json();
+  EXPECT_NE(trace.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("sflow telemetry journal"), std::string::npos);
+  EXPECT_NE(trace.find("\"name\": \"alert: undershoot\""), std::string::npos);
+  EXPECT_NE(trace.find("\"link\": \"2->5\""), std::string::npos);
+  // Instant events carry microsecond timestamps (1 ms -> 1000 us).
+  EXPECT_NE(trace.find("\"ts\": 1000"), std::string::npos);
+}
+
+// ------------------------------------------------------------ MetricsTimeline
+
+TEST(MetricsTimeline, SamplesARegistryOverTime) {
+  obs::Registry registry;
+  obs::Counter& counter = registry.counter("timeline_probe_total");
+  obs::MetricsTimeline timeline;
+  timeline.sample(0.0, registry);
+  counter.add(3);
+  timeline.sample(10.0, registry);
+  ASSERT_EQ(timeline.size(), 2u);
+  EXPECT_DOUBLE_EQ(timeline.entries()[0].at_ms, 0.0);
+  EXPECT_DOUBLE_EQ(timeline.entries()[1].at_ms, 10.0);
+  EXPECT_DOUBLE_EQ(timeline.entries()[0].metrics.at(0).value, 0.0);
+  EXPECT_DOUBLE_EQ(timeline.entries()[1].metrics.at(0).value, 3.0);
+
+  const std::string json = timeline.to_json();
+  EXPECT_NE(json.find("\"t_ms\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"t_ms\": 10"), std::string::npos);
+  EXPECT_NE(json.find("\"timeline_probe_total\": 3"), std::string::npos);
+  EXPECT_EQ(obs::MetricsTimeline().to_json(), "[]");
+}
+
+// ------------------------------------------------------------- run_closed_loop
+
+/// The diamond fixture with the wide S0->S1 link (overlay 0 -> 2) carrying
+/// `bw02` instead of 50: the post-churn ground truth for the loop tests.
+/// NIDs are identical to DiamondFixture's, which is what carries identity.
+overlay::OverlayGraph damaged_diamond(double bw02) {
+  overlay::OverlayGraph ov;
+  ov.add_instance(0, 0);
+  ov.add_instance(1, 1);
+  ov.add_instance(1, 2);
+  ov.add_instance(2, 3);
+  ov.add_instance(2, 4);
+  ov.add_instance(3, 5);
+  ov.add_link(0, 1, {10.0, 1.0});
+  ov.add_link(1, 5, {10.0, 1.0});
+  ov.add_link(0, 3, {12.0, 1.0});
+  ov.add_link(3, 5, {12.0, 1.0});
+  ov.add_link(0, 2, {bw02, 2.0});
+  ov.add_link(2, 5, {40.0, 2.0});
+  ov.add_link(0, 4, {45.0, 3.0});
+  ov.add_link(4, 5, {60.0, 3.0});
+  return ov;
+}
+
+class ClosedLoopTest : public ::testing::Test {
+ protected:
+  ClosedLoopTest()
+      : routing_(fx_.overlay.graph()),
+        flow_(*core::optimal_flow_graph(fx_.overlay, fx_.requirement,
+                                        routing_)),
+        after_(damaged_diamond(5.0)) {}
+
+  core::ClosedLoopConfig loop_config() const {
+    core::ClosedLoopConfig config;
+    config.telemetry.window = 2;
+    config.telemetry.min_samples = 2;
+    config.telemetry.undershoot_fraction = 0.5;
+    config.probes = 10;
+    config.probe_interval_ms = 10.0;
+    config.payload_bytes = 1000;
+    config.churn_at_ms = 25.0;
+    config.degrade_threshold = 0.5;
+    return config;
+  }
+
+  sflow::testing::DiamondFixture fx_;
+  graph::AllPairsShortestWidest routing_;
+  overlay::ServiceFlowGraph flow_;
+  overlay::OverlayGraph after_;
+};
+
+TEST_F(ClosedLoopTest, DetectsDiagnosesAndRepairs) {
+  const core::ClosedLoopResult result = core::run_closed_loop(
+      fx_.overlay, after_, fx_.requirement, flow_, loop_config());
+
+  // The optimal flow rides the wide branch; its 0->2 link degraded 50 -> 5.
+  EXPECT_EQ(result.alerts, 1u);
+  EXPECT_EQ(result.false_alerts, 0u);
+  EXPECT_EQ(result.refederations, 1u);
+  ASSERT_TRUE(result.repaired);
+  ASSERT_TRUE(result.repair.graph);
+  result.flow.validate(fx_.requirement, after_);
+
+  // Window 2 at 10 ms cadence: the first post-churn probe (t = 30) still
+  // averages in a healthy sample; the second (t = 40) crosses.  Detection is
+  // therefore one probe after damage became visible, repair one boundary on.
+  EXPECT_GE(result.detection_latency_ms, 0.0);
+  EXPECT_LT(result.detection_latency_ms, 25.0);
+  EXPECT_GT(result.repair_latency_ms, result.detection_latency_ms);
+  EXPECT_DOUBLE_EQ(result.repair_latency_ms, 25.0);
+  EXPECT_GE(result.repair_compute_ms, 0.0);
+
+  // Delivered ground-truth bandwidth: healthy 40, damaged 5, repaired 10
+  // (the narrow S1 branch: min(10, 10, 45, 60)).
+  ASSERT_EQ(result.delivered_bandwidth.size(), 10u);
+  EXPECT_DOUBLE_EQ(result.delivered_bandwidth[0].second, 40.0);
+  EXPECT_DOUBLE_EQ(result.delivered_bandwidth[2].second, 40.0);
+  EXPECT_DOUBLE_EQ(result.delivered_bandwidth[3].second, 5.0);
+  EXPECT_DOUBLE_EQ(result.delivered_bandwidth[4].second, 5.0);
+  for (std::size_t i = 5; i < 10; ++i)
+    EXPECT_DOUBLE_EQ(result.delivered_bandwidth[i].second, 10.0);
+}
+
+TEST_F(ClosedLoopTest, RepairsToTheOpenLoopGraphExactly) {
+  const core::ClosedLoopResult closed = core::run_closed_loop(
+      fx_.overlay, after_, fx_.requirement, flow_, loop_config());
+  ASSERT_TRUE(closed.repaired);
+
+  const graph::AllPairsShortestWidest after_routing(after_.graph());
+  const core::RefederationResult open = core::refederate(
+      fx_.overlay, after_, after_routing, fx_.requirement, flow_, 0.5);
+  ASSERT_TRUE(open.graph);
+  EXPECT_EQ(closed.flow, *open.graph);
+  EXPECT_EQ(closed.repair.services_kept, open.services_kept);
+  EXPECT_EQ(closed.repair.violations, open.violations);
+}
+
+TEST_F(ClosedLoopTest, DisabledThresholdsArePureObservation) {
+  core::ClosedLoopConfig config = loop_config();
+  config.telemetry.undershoot_fraction = 0.0;  // disabled
+  const core::ClosedLoopResult result = core::run_closed_loop(
+      fx_.overlay, after_, fx_.requirement, flow_, config);
+
+  EXPECT_EQ(result.flow, flow_);  // bit-identical: nothing acted
+  EXPECT_FALSE(result.repaired);
+  EXPECT_EQ(result.alerts, 0u);
+  EXPECT_EQ(result.refederations, 0u);
+  EXPECT_LT(result.detection_latency_ms, 0.0);
+  // Observation still happens: samples flow and the damage shows in the
+  // delivered-bandwidth trajectory.
+  EXPECT_EQ(result.samples, 40u);  // 4 single-hop links x 10 probes
+  EXPECT_DOUBLE_EQ(result.delivered_bandwidth[0].second, 40.0);
+  for (std::size_t i = 3; i < 10; ++i)
+    EXPECT_DOUBLE_EQ(result.delivered_bandwidth[i].second, 5.0);
+}
+
+TEST_F(ClosedLoopTest, RepairOnAlertOffDetectsWithoutActing) {
+  core::ClosedLoopConfig config = loop_config();
+  config.repair_on_alert = false;
+  const core::ClosedLoopResult result = core::run_closed_loop(
+      fx_.overlay, after_, fx_.requirement, flow_, config);
+  EXPECT_GE(result.alerts, 1u);
+  EXPECT_FALSE(result.repaired);
+  EXPECT_EQ(result.refederations, 0u);
+  EXPECT_EQ(result.flow, flow_);
+}
+
+TEST_F(ClosedLoopTest, RejectedAlertsCountAsFalseTriggers) {
+  // A tighter monitor threshold than the repair threshold: degradation to 30
+  // alerts (30 < 0.9 * 50) but does not justify repair (30 >= 0.5 * 50).
+  core::ClosedLoopConfig config = loop_config();
+  config.telemetry.undershoot_fraction = 0.9;
+  const overlay::OverlayGraph mildly_damaged = damaged_diamond(30.0);
+  const core::ClosedLoopResult result = core::run_closed_loop(
+      fx_.overlay, mildly_damaged, fx_.requirement, flow_, config);
+  EXPECT_GE(result.alerts, 1u);
+  EXPECT_EQ(result.false_alerts, result.alerts);
+  EXPECT_EQ(result.refederations, 0u);
+  EXPECT_FALSE(result.repaired);
+  EXPECT_EQ(result.flow, flow_);
+}
+
+TEST_F(ClosedLoopTest, JournalNarratesTheLoopAndRoundTrips) {
+  EventJournal journal(256);
+  core::ClosedLoopConfig config = loop_config();
+  config.telemetry.journal = &journal;
+  const core::ClosedLoopResult result = core::run_closed_loop(
+      fx_.overlay, after_, fx_.requirement, flow_, config);
+  ASSERT_TRUE(result.repaired);
+
+  bool saw_start = false, saw_churn = false, saw_alert = false,
+       saw_refederation = false, saw_end = false;
+  std::size_t samples = 0;
+  for (const JournalEvent& e : journal.events()) {
+    if (e.kind == JournalEvent::Kind::kSample) ++samples;
+    if (e.kind == JournalEvent::Kind::kAlert) saw_alert = true;
+    if (e.kind == JournalEvent::Kind::kRefederation) {
+      saw_refederation = true;
+      EXPECT_EQ(e.detail, "applied");
+    }
+    if (e.detail == "closed_loop_start") saw_start = true;
+    if (e.detail == "churn_applied") {
+      saw_churn = true;
+      EXPECT_DOUBLE_EQ(e.at_ms, 25.0);
+    }
+    if (e.detail == "closed_loop_end") saw_end = true;
+    // Acceptance: every journal line round-trips through the JSONL schema.
+    EXPECT_EQ(obs::parse_jsonl(obs::to_jsonl(e)), e);
+  }
+  EXPECT_TRUE(saw_start);
+  EXPECT_TRUE(saw_churn);
+  EXPECT_TRUE(saw_alert);
+  EXPECT_TRUE(saw_refederation);
+  EXPECT_TRUE(saw_end);
+  EXPECT_EQ(samples, result.samples);
+}
+
+TEST_F(ClosedLoopTest, NoiseIsDeterministicUnderAFixedSeed) {
+  core::ClosedLoopConfig config = loop_config();
+  config.sample_noise = 0.05;
+  config.noise_seed = 42;
+  const core::ClosedLoopResult a = core::run_closed_loop(
+      fx_.overlay, after_, fx_.requirement, flow_, config);
+  const core::ClosedLoopResult b = core::run_closed_loop(
+      fx_.overlay, after_, fx_.requirement, flow_, config);
+  EXPECT_EQ(a.flow, b.flow);
+  EXPECT_EQ(a.alerts, b.alerts);
+  EXPECT_EQ(a.false_alerts, b.false_alerts);
+  EXPECT_EQ(a.delivered_bandwidth, b.delivered_bandwidth);
+  EXPECT_DOUBLE_EQ(a.detection_latency_ms, b.detection_latency_ms);
+}
+
+}  // namespace
+}  // namespace sflow

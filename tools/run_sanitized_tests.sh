@@ -20,6 +20,11 @@
 # oracle), multi_tenant_smoke (contention bench self-check) and
 # fuzz_federation_contention_smoke (randomized multi-request batches under
 # the conservation oracle) all run in the same ctest pass.
+# The telemetry loop rides along: telemetry_test hammers a LinkMonitor from
+# concurrent reader threads while a writer observes (the mutex-guarded
+# monitor state and the journal ring are the shared structures under test),
+# and churn_refederation_smoke runs the closed detect→diagnose→refederate
+# loop end to end with its bit-identical-to-open-loop assertions on.
 #
 #   $ tools/run_sanitized_tests.sh            # thread sanitizer (default)
 #   $ tools/run_sanitized_tests.sh address    # address sanitizer

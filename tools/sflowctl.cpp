@@ -14,7 +14,8 @@
 //                      [--radius R] [--instances-per-service M]
 //                      [--save-flow FILE] [--trace]
 //                      [--metrics PATH] [--metrics-format prom|json]
-//                      [--trace-json PATH]
+//                      [--metrics-interval N] [--trace-json PATH]
+//                      [--journal PATH]
 //       Reads a service requirement (the text format of
 //       overlay/requirement_parser.hpp), builds a random overlay hosting M
 //       instances of every named service, runs the chosen federation
@@ -29,7 +30,15 @@
 //       Observability (docs/observability.md): `--metrics PATH` dumps the
 //       process-wide metric registry after the run (Prometheus text by
 //       default, JSON with `--metrics-format json`; PATH `-` means stdout).
-//       `--trace` prints the human-readable FederationTrace timeline and
+//       `--metrics-interval N` turns the dump into a time series: a sampler
+//       thread snapshots the registry every N wall-clock ms while the run
+//       executes and PATH receives the obs::MetricsTimeline JSON instead of
+//       one end-of-run snapshot (JSON only — it rejects --metrics-format
+//       prom, and requires --metrics).  `--journal PATH` enables the
+//       process-wide event journal (obs/journal.hpp) and writes its JSONL
+//       dump — protocol milestones such as federation_start, failover, and
+//       flow_assembled — after the run (PATH `-` means stdout).  `--trace`
+//       prints the human-readable FederationTrace timeline and
 //       `--trace-json PATH` writes the same timeline as Chrome trace-event
 //       JSON for about:tracing / Perfetto; both are sFlow-only (the other
 //       algorithms run no distributed protocol).
@@ -38,6 +47,8 @@
 //       Random 3-SAT instance: solves it by DPLL and through the Theorem 1
 //       reduction, reporting both verdicts (they must agree).
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -45,6 +56,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "core/comparators.hpp"
 #include "core/federator.hpp"
@@ -55,7 +67,9 @@
 #include "core/sflow_federation.hpp"
 #include "net/generators.hpp"
 #include "obs/export.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "overlay/requirement_parser.hpp"
 #include "overlay/serialization.hpp"
 #include "satred/dpll.hpp"
@@ -77,6 +91,7 @@ using namespace sflow;
       "                    [--radius R] [--instances-per-service M]\n"
       "                    [--trace] [--trace-json PATH]\n"
       "                    [--metrics PATH] [--metrics-format prom|json]\n"
+      "                    [--metrics-interval N] [--journal PATH]\n"
       "  sflowctl satcheck --vars V --clauses C --seed S\n";
   std::exit(2);
 }
@@ -227,6 +242,39 @@ int cmd_federate(const std::map<std::string, std::string>& flags) {
                  "(the other algorithms run no distributed protocol)\n";
   core::FederationTrace trace;
 
+  const std::string journal_path = get(flags, "journal", "");
+  if (!journal_path.empty()) obs::EventJournal::global().set_enabled(true);
+
+  // Periodic registry snapshots: a sampler thread records an
+  // obs::MetricsTimeline entry every N wall-clock ms while the run executes.
+  const long metrics_interval = get_long(flags, "metrics-interval", 0);
+  const std::string metrics_path = get(flags, "metrics", "");
+  if (metrics_interval < 0) usage("bad --metrics-interval (want N >= 1 ms)");
+  if (metrics_interval > 0) {
+    if (metrics_path.empty()) usage("--metrics-interval requires --metrics");
+    if (get(flags, "metrics-format", "json") != "json")
+      usage("--metrics-interval emits a timeline; it requires "
+            "--metrics-format json");
+  }
+  obs::MetricsTimeline timeline;
+  std::atomic<bool> stop_sampler{false};
+  std::thread sampler;
+  const auto run_start = std::chrono::steady_clock::now();
+  const auto elapsed_ms = [&run_start] {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - run_start)
+        .count();
+  };
+  if (metrics_interval > 0) {
+    timeline.sample(0.0);
+    sampler = std::thread([&] {
+      while (!stop_sampler.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(metrics_interval));
+        timeline.sample(elapsed_ms());
+      }
+    });
+  }
+
   if (algorithm == "sflow") {
     core::SFlowNodeConfig config;
     config.knowledge_radius = radius;
@@ -269,21 +317,38 @@ int cmd_federate(const std::map<std::string, std::string>& flags) {
 
   // Observability outputs are emitted even when federation fails — a failed
   // run's message accounting is exactly what one wants to inspect.
+  if (sampler.joinable()) {
+    stop_sampler.store(true, std::memory_order_relaxed);
+    sampler.join();
+    timeline.sample(elapsed_ms());  // always close with an end-of-run entry
+  }
   if (want_trace && algorithm == "sflow")
     std::cout << "protocol timeline:\n" << trace.to_string(&catalog);
   if (!trace_json_path.empty() && algorithm == "sflow")
     write_file(trace_json_path, trace.to_chrome_trace_json(&catalog));
-  if (const std::string path = get(flags, "metrics", ""); !path.empty()) {
+  if (!metrics_path.empty()) {
     const std::string format = get(flags, "metrics-format", "prom");
     if (format != "prom" && format != "json")
       usage("bad --metrics-format '" + format + "' (want prom|json)");
-    const auto snapshot = obs::Registry::global().snapshot();
-    const std::string dump = format == "json" ? obs::to_json(snapshot) + "\n"
-                                              : obs::to_prometheus(snapshot);
-    if (path == "-")
+    std::string dump;
+    if (metrics_interval > 0) {
+      dump = timeline.to_json() + "\n";
+    } else {
+      const auto snapshot = obs::Registry::global().snapshot();
+      dump = format == "json" ? obs::to_json(snapshot) + "\n"
+                              : obs::to_prometheus(snapshot);
+    }
+    if (metrics_path == "-")
       std::cout << dump;
     else
-      write_file(path, dump);
+      write_file(metrics_path, dump);
+  }
+  if (!journal_path.empty()) {
+    const std::string dump = obs::EventJournal::global().to_jsonl();
+    if (journal_path == "-")
+      std::cout << dump;
+    else
+      write_file(journal_path, dump);
   }
 
   if (!flow) {

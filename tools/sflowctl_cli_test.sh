@@ -63,6 +63,45 @@ check good-run 0 "" -- \
   federate --requirement "$TMP/chain.req" --network-size 12 --seed 7 \
   --algorithm fixed
 
+# --metrics-interval contract: requires --metrics, and emits a JSON timeline
+# (explicit prom format is a usage error, exit 2).
+check interval-needs-metrics 2 "requires --metrics" -- \
+  federate --requirement "$TMP/chain.req" --network-size 12 --seed 7 \
+  --metrics-interval 5
+check interval-rejects-prom 2 "requires" -- \
+  federate --requirement "$TMP/chain.req" --network-size 12 --seed 7 \
+  --metrics - --metrics-format prom --metrics-interval 5
+
+# --metrics-interval N writes an obs::MetricsTimeline (entries carry t_ms and
+# a nested metrics snapshot) instead of a single end-of-run dump.
+check interval-timeline 0 "" -- \
+  federate --requirement "$TMP/chain.req" --network-size 12 --seed 7 \
+  --metrics "$TMP/timeline.json" --metrics-format json --metrics-interval 5
+if ! grep -q '"t_ms"' "$TMP/timeline.json" 2>/dev/null; then
+  echo "FAIL interval-timeline: $TMP/timeline.json lacks t_ms entries" >&2
+  failures=$((failures + 1))
+fi
+
+# --journal enables the process-wide event journal and dumps it as JSONL;
+# the sflow protocol records federation_start / flow_assembled milestones.
+check journal-file 0 "" -- \
+  federate --requirement "$TMP/chain.req" --network-size 12 --seed 7 \
+  --journal "$TMP/run.jsonl"
+if ! grep -q '"kind": "milestone"' "$TMP/run.jsonl" 2>/dev/null \
+    || ! grep -q 'federation_start' "$TMP/run.jsonl" 2>/dev/null; then
+  echo "FAIL journal-file: $TMP/run.jsonl lacks protocol milestones" >&2
+  failures=$((failures + 1))
+fi
+
+# --journal - streams the same JSONL to stdout.
+check journal-stdout 0 "" -- \
+  federate --requirement "$TMP/chain.req" --network-size 12 --seed 8 \
+  --journal -
+if ! grep -q '"kind": "milestone"' "$TMP/out"; then
+  echo "FAIL journal-stdout: no milestone lines on stdout" >&2
+  failures=$((failures + 1))
+fi
+
 if [ "$failures" -ne 0 ]; then
   echo "$failures sflowctl CLI check(s) failed" >&2
   exit 1
