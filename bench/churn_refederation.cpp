@@ -18,18 +18,144 @@
 //   * a thresholds-disabled run is not pure observation (flow unchanged,
 //     zero alerts).
 //
-// `--json PATH` writes the BENCH_telemetry.json record (docs/formats.md).
+// The routing-maintenance series (PR 8) measures the other half of agility:
+// keeping the shortest-widest database current under churn.  A fully
+// precomputed database over an N=100 overlay absorbs a long trajectory of
+// single-link insert/remove/reweight events through apply_link_* (dirty-set
+// invalidation, threshold fallback disabled) while a from-scratch rebuild
+// runs beside it for every event; recompute time and dirty-set size are
+// recorded per event, and the maintained database is diffed bit-for-bit —
+// all-pairs qualities AND paths — against the rebuild after every event
+// (always, not only under --smoke: divergence exits non-zero).  The closed
+// loop additionally re-runs each trial with only the *warm pre-churn*
+// database (config.pre_churn_routing), which must repair through
+// core::retarget_routing's incremental clone-and-diff path and produce the
+// bit-identical repaired graph.
+//
+// `--json PATH` writes the BENCH_telemetry.json record (docs/formats.md);
+// `--routing-json PATH` writes the BENCH_churn.json routing-maintenance
+// record (per-event trajectory + summary percentiles, docs/formats.md).
+#include <optional>
+
 #include "bench_common.hpp"
 #include "core/global_optimal.hpp"
 #include "core/refederation.hpp"
 #include "core/telemetry_loop.hpp"
+#include "graph/qos_routing.hpp"
 #include "util/timer.hpp"
 
 namespace {
 
+using namespace sflow;
+
 [[noreturn]] void fail(const std::string& message) {
   std::cerr << "churn_refederation: FAIL: " << message << "\n";
   std::exit(1);
+}
+
+// --- Routing-maintenance series helpers -----------------------------------
+
+struct LinkEvent {
+  enum class Kind { kInsert, kRemove, kReweight };
+  Kind kind = Kind::kInsert;
+  graph::NodeIndex from = graph::kInvalidNode;
+  graph::NodeIndex to = graph::kInvalidNode;
+  graph::LinkMetrics metrics;
+};
+
+const char* kind_name(LinkEvent::Kind kind) {
+  switch (kind) {
+    case LinkEvent::Kind::kInsert: return "insert";
+    case LinkEvent::Kind::kRemove: return "remove";
+    case LinkEvent::Kind::kReweight: return "reweight";
+  }
+  return "?";
+}
+
+/// One random single-link event valid for the current graph.  Reweights
+/// reuse an existing bandwidth half the time (shared width classes keep the
+/// class-round salvage honest); an edgeless graph forces an insert.
+std::optional<LinkEvent> draw_link_event(const graph::Digraph& g,
+                                         util::Rng& rng) {
+  std::vector<const graph::Edge*> live;
+  for (const graph::Edge& e : g.edges())
+    if (e.from != graph::kInvalidNode) live.push_back(&e);
+
+  const auto random_metrics = [&] {
+    graph::LinkMetrics m;
+    if (!live.empty() && rng.chance(0.5))
+      m.bandwidth = live[rng.uniform_int(0, live.size() - 1)]->metrics.bandwidth;
+    else
+      m.bandwidth = static_cast<double>(rng.uniform_int(1, 64));
+    m.latency = rng.chance(0.33) ? 0.0 : rng.uniform_real(0.1, 5.0);
+    return m;
+  };
+
+  const int kind = live.empty() ? 0 : static_cast<int>(rng.uniform_int(0, 2));
+  if (kind == 0) {
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      const auto a = static_cast<graph::NodeIndex>(
+          rng.uniform_int(0, static_cast<std::int64_t>(g.node_count()) - 1));
+      const auto b = static_cast<graph::NodeIndex>(
+          rng.uniform_int(0, static_cast<std::int64_t>(g.node_count()) - 1));
+      if (a == b || g.has_edge(a, b)) continue;
+      return LinkEvent{LinkEvent::Kind::kInsert, a, b, random_metrics()};
+    }
+    return std::nullopt;
+  }
+  const graph::Edge& edge =
+      *live[rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1)];
+  if (kind == 1)
+    return LinkEvent{LinkEvent::Kind::kRemove, edge.from, edge.to, {}};
+  return LinkEvent{LinkEvent::Kind::kReweight, edge.from, edge.to,
+                   random_metrics()};
+}
+
+/// Fresh Digraph holding only the live edges of the database's graph — the
+/// graph a from-scratch rebuild starts from (re-numbered, no tombstones).
+graph::Digraph live_graph_copy(const graph::AllPairsShortestWidest& db) {
+  graph::Digraph fresh(db.graph().node_count());
+  for (const graph::Edge& e : db.graph().edges()) {
+    if (e.from == graph::kInvalidNode) continue;
+    fresh.add_edge(e.from, e.to, e.metrics);
+  }
+  return fresh;
+}
+
+/// All-pairs bit-identity between the incrementally maintained database and
+/// the from-scratch rebuild: qualities and paths.  Exits non-zero on the
+/// first divergence.
+void assert_bit_identical(const graph::AllPairsShortestWidest& db,
+                          const graph::AllPairsShortestWidest& fresh,
+                          std::size_t event_index) {
+  const std::size_t n = db.node_count();
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t t = 0; t < n; ++t) {
+      const auto from = static_cast<graph::NodeIndex>(s);
+      const auto to = static_cast<graph::NodeIndex>(t);
+      if (!(db.quality(from, to) == fresh.quality(from, to)))
+        fail("event " + std::to_string(event_index) + ": quality " +
+             std::to_string(s) + "->" + std::to_string(t) +
+             " diverges from the from-scratch rebuild");
+      const graph::RoutingTree::PathView a = db.path_view(from, to);
+      const graph::RoutingTree::PathView b = fresh.path_view(from, to);
+      bool same = a.size() == b.size();
+      for (std::size_t h = 0; same && h < a.size(); ++h) same = a[h] == b[h];
+      if (!same)
+        fail("event " + std::to_string(event_index) + ": path " +
+             std::to_string(s) + "->" + std::to_string(t) +
+             " diverges from the from-scratch rebuild");
+    }
+  }
+}
+
+/// p-th percentile (0..1) by nearest-rank on a copy; 0 when empty.
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(rank, values.size() - 1)];
 }
 
 }  // namespace
@@ -39,14 +165,18 @@ int main(int argc, char** argv) {
 
   bool smoke = false;
   std::string json_path;
+  std::string routing_json_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
       smoke = true;
     } else if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (arg == "--routing-json" && i + 1 < argc) {
+      routing_json_path = argv[++i];
     } else {
-      std::cerr << "usage: " << argv[0] << " [--smoke] [--json PATH]\n";
+      std::cerr << "usage: " << argv[0]
+                << " [--smoke] [--json PATH] [--routing-json PATH]\n";
       return 2;
     }
   }
@@ -79,6 +209,9 @@ int main(int argc, char** argv) {
   // Delivered-bandwidth trajectory, normalized to the pre-churn optimum so
   // trials are comparable: one series per churn level, x = probe time.
   util::SeriesTable trajectory;
+  // Warm-retarget accounting: cost and dirty-set size of deriving the
+  // post-churn routing database from the warm pre-churn one.
+  util::SeriesTable retarget;
 
   std::size_t trials_run = 0;
   std::size_t trials_detected = 0;
@@ -132,6 +265,26 @@ int main(int argc, char** argv) {
       const core::ClosedLoopResult closed = core::run_closed_loop(
           scenario.overlay(), after, scenario.requirement, *before, config);
 
+      // Warm-retarget variant: no post-churn database — the loop must derive
+      // one from the warm pre-churn database via core::retarget_routing.
+      // Link-only churn preserves the instance roster, so the derivation must
+      // take the incremental clone-and-diff path, and since the retargeted
+      // database answers bit-identically, the repaired flow must match the
+      // shared-database run exactly.
+      core::ClosedLoopConfig warm = config;
+      warm.post_churn_routing = nullptr;
+      warm.pre_churn_routing = &scenario.overlay_routing();
+      const core::ClosedLoopResult retargeted = core::run_closed_loop(
+          scenario.overlay(), after, scenario.requirement, *before, warm);
+      if (retargeted.repaired != closed.repaired)
+        fail("warm-retargeted loop repaired differently than the shared-db loop");
+      if (retargeted.repaired) {
+        if (!(retargeted.flow == closed.flow))
+          fail("warm-retargeted repair differs from shared-database repair");
+        if (!retargeted.routing_incremental)
+          fail("link-only churn fell off retarget_routing's incremental path");
+      }
+
       // Pure-observation control: thresholds disabled, nothing may change.
       core::ClosedLoopConfig observe_only = config;
       observe_only.telemetry = obs::TelemetryConfig{};
@@ -182,6 +335,12 @@ int main(int argc, char** argv) {
           .add(static_cast<double>(closed.false_alerts));
       trigger_rate.row("refederations / trial", churn)
           .add(static_cast<double>(closed.refederations));
+      if (retargeted.repaired) {
+        retarget.row("warm retarget (us)", churn)
+            .add(retargeted.routing_update_ms * 1000.0);
+        retarget.row("dirty source trees", churn)
+            .add(static_cast<double>(retargeted.routing_dirty_sources));
+      }
 
       const double baseline_bw = before->bottleneck_bandwidth();
       if (baseline_bw > 0.0) {
@@ -214,6 +373,9 @@ int main(int argc, char** argv) {
       std::cout,
       "E11  Delivered bandwidth over time (fraction of pre-churn optimum)",
       trajectory, 3);
+  bench::print_series(std::cout,
+                      "E11  Warm routing retarget vs churn fraction", retarget,
+                      1);
   std::cout << "\nExpected shape: services kept falls and violations rise "
                "with churn; incremental repair is cheaper than a full "
                "re-federation with quality retention near 1 at low churn.  "
@@ -225,6 +387,139 @@ int main(int argc, char** argv) {
   std::cout << "\nclosed loop: " << trials_run << " trials, "
             << trials_with_damage << " with flow-level damage, "
             << trials_detected << " repaired through the loop\n";
+
+  // --- Routing maintenance under single-link churn (PR 8) ------------------
+  //
+  // One fully precomputed database over an N=100 overlay absorbs a long
+  // trajectory of single-link events; a from-scratch rebuild (construct +
+  // precompute over the live link set) runs beside it for every event, both
+  // for the timing comparison and as the bit-identity oracle.
+  constexpr std::size_t kRoutingNetworkSize = 100;
+  const std::size_t routing_events = smoke ? 40 : 500;
+
+  core::WorkloadParams routing_params;
+  routing_params.network_size = kRoutingNetworkSize;
+  routing_params.service_type_count = 6;
+  routing_params.requirement.service_count = 6;
+  routing_params.requirement.shape = overlay::RequirementShape::kGenericDag;
+  const core::Scenario routing_scenario =
+      core::make_scenario(routing_params, util::derive_seed(31337, 0x0A11));
+
+  graph::AllPairsShortestWidest db(routing_scenario.overlay().graph());
+  db.set_rebuild_threshold(2.0);  // > 1: every event stays on the dirty path
+  db.precompute_all();
+
+  struct EventRecord {
+    LinkEvent::Kind kind;
+    std::size_t dirty = 0;
+    std::size_t partial = 0;
+    double incremental_us = 0.0;
+    double rebuild_us = 0.0;
+  };
+  std::vector<EventRecord> events;
+  events.reserve(routing_events);
+
+  util::Rng event_rng(util::derive_seed(31337, 0xE0E0));
+  for (std::size_t i = 0; i < routing_events; ++i) {
+    const std::optional<LinkEvent> event = draw_link_event(db.graph(), event_rng);
+    if (!event) continue;
+
+    EventRecord record;
+    record.kind = event->kind;
+    util::Stopwatch incremental_watch;
+    graph::AllPairsShortestWidest::UpdateStats stats;
+    switch (event->kind) {
+      case LinkEvent::Kind::kInsert:
+        stats = db.apply_link_insert(event->from, event->to, event->metrics);
+        break;
+      case LinkEvent::Kind::kRemove:
+        stats = db.apply_link_remove(event->from, event->to);
+        break;
+      case LinkEvent::Kind::kReweight:
+        stats = db.apply_link_reweight(event->from, event->to, event->metrics);
+        break;
+    }
+    record.incremental_us = incremental_watch.elapsed_us();
+    record.dirty = stats.dirty_sources;
+    record.partial = stats.partial_resweeps;
+
+    // From-scratch comparator: everything a rebuild consumer would pay to be
+    // query-ready again.  The graph copy stays outside the timer — a real
+    // rebuild starts from an overlay it already holds.
+    graph::Digraph fresh_graph = live_graph_copy(db);
+    util::Stopwatch rebuild_watch;
+    const graph::AllPairsShortestWidest fresh(std::move(fresh_graph));
+    fresh.precompute_all();
+    record.rebuild_us = rebuild_watch.elapsed_us();
+
+    assert_bit_identical(db, fresh, i);
+    events.push_back(record);
+  }
+  if (events.empty()) fail("routing series produced no events");
+
+  std::vector<double> incremental_us, rebuild_us, dirty_sizes;
+  for (const EventRecord& r : events) {
+    incremental_us.push_back(r.incremental_us);
+    rebuild_us.push_back(r.rebuild_us);
+    dirty_sizes.push_back(static_cast<double>(r.dirty));
+  }
+  const double median_incremental = percentile(incremental_us, 0.5);
+  const double median_rebuild = percentile(rebuild_us, 0.5);
+  const double median_speedup =
+      median_incremental > 0.0 ? median_rebuild / median_incremental : 0.0;
+
+  std::cout << "\nrouting maintenance (N=" << kRoutingNetworkSize << ", "
+            << events.size() << " single-link events, every event diffed "
+            << "bit-for-bit against a from-scratch rebuild):\n"
+            << "  incremental update us: median " << median_incremental
+            << ", p90 " << percentile(incremental_us, 0.9) << "\n"
+            << "  full rebuild us:       median " << median_rebuild << ", p90 "
+            << percentile(rebuild_us, 0.9) << "\n"
+            << "  median speedup:        " << median_speedup << "x\n"
+            << "  dirty source trees:    median " << percentile(dirty_sizes, 0.5)
+            << " of " << db.node_count() << ", p90 "
+            << percentile(dirty_sizes, 0.9) << "\n";
+
+  if (!routing_json_path.empty()) {
+    std::ofstream out(routing_json_path);
+    if (!out) {
+      std::cerr << "cannot write " << routing_json_path << "\n";
+      return 1;
+    }
+    std::size_t inserts = 0, removes = 0, reweights = 0;
+    for (const EventRecord& r : events) {
+      if (r.kind == LinkEvent::Kind::kInsert) ++inserts;
+      else if (r.kind == LinkEvent::Kind::kRemove) ++removes;
+      else ++reweights;
+    }
+    out << "{\n"
+        << "  \"bench\": \"churn_refederation\",\n"
+        << "  \"section\": \"routing_maintenance\",\n"
+        << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+        << "  \"network_size\": " << kRoutingNetworkSize << ",\n"
+        << "  \"source_trees\": " << db.node_count() << ",\n"
+        << "  \"events\": " << events.size() << ",\n"
+        << "  \"event_counts\": {\"insert\": " << inserts << ", \"remove\": "
+        << removes << ", \"reweight\": " << reweights << "},\n"
+        << "  \"incremental_us\": {\"median\": " << median_incremental
+        << ", \"p90\": " << percentile(incremental_us, 0.9) << "},\n"
+        << "  \"rebuild_us\": {\"median\": " << median_rebuild << ", \"p90\": "
+        << percentile(rebuild_us, 0.9) << "},\n"
+        << "  \"median_speedup\": " << median_speedup << ",\n"
+        << "  \"dirty_sources\": {\"median\": " << percentile(dirty_sizes, 0.5)
+        << ", \"p90\": " << percentile(dirty_sizes, 0.9) << ", \"max\": "
+        << percentile(dirty_sizes, 1.0) << "},\n"
+        << "  \"per_event\": [";
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const EventRecord& r = events[i];
+      out << (i == 0 ? "" : ",") << "\n    {\"kind\": \"" << kind_name(r.kind)
+          << "\", \"dirty\": " << r.dirty << ", \"partial\": " << r.partial
+          << ", \"incremental_us\": " << r.incremental_us
+          << ", \"rebuild_us\": " << r.rebuild_us << "}";
+    }
+    out << "\n  ]\n}\n";
+    std::cout << "wrote " << routing_json_path << "\n";
+  }
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);
@@ -271,6 +566,7 @@ int main(int argc, char** argv) {
     dump_series("latency_ms", latency_ms);
     dump_series("triggers", trigger_rate);
     dump_series("delivered_bandwidth", trajectory);
+    dump_series("routing_retarget", retarget);
     out << ",\n  \"metrics\": "
         << obs::to_json(obs::Registry::global().snapshot(), "  ") << "\n}\n";
     std::cout << "\nwrote " << json_path << "\n";

@@ -4,6 +4,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace sflow::core {
 
 using overlay::OverlayGraph;
@@ -177,6 +179,47 @@ RefederationResult refederate(const OverlayGraph& old_overlay,
     result.services_resolved = requirement.service_count();
     result.graph = solver.solve(requirement);
   }
+  return result;
+}
+
+RetargetedRouting retarget_routing(const graph::AllPairsShortestWidest& warm,
+                                   const overlay::OverlayGraph& warm_overlay,
+                                   const overlay::OverlayGraph& target) {
+  RetargetedRouting result;
+
+  // Overlay indices are only comparable across the two overlays when every
+  // index hosts the same (sid, nid) — exactly the link-only-churn case.
+  // Failed instances re-number everything after them; a diff of link events
+  // would relate unrelated endpoints, so build fresh instead.
+  bool roster_unchanged =
+      warm_overlay.instance_count() == target.instance_count() &&
+      warm.node_count() == warm_overlay.instance_count();
+  if (roster_unchanged) {
+    for (std::size_t v = 0; v < target.instance_count(); ++v) {
+      const overlay::ServiceInstance& a =
+          warm_overlay.instance(static_cast<overlay::OverlayIndex>(v));
+      const overlay::ServiceInstance& b =
+          target.instance(static_cast<overlay::OverlayIndex>(v));
+      if (a.sid != b.sid || a.nid != b.nid) {
+        roster_unchanged = false;
+        break;
+      }
+    }
+  }
+
+  if (!roster_unchanged) {
+    result.routing =
+        std::make_unique<graph::AllPairsShortestWidest>(target.graph());
+    obs::Registry::global()
+        .counter("routing_full_rebuilds_total",
+                 "routing database rebuilds that could not stay incremental")
+        .increment();
+    return result;
+  }
+
+  result.routing = warm.clone();
+  result.diff = graph::apply_graph_diff(*result.routing, target.graph());
+  result.incremental = true;
   return result;
 }
 

@@ -23,6 +23,7 @@
 // in every diagnosis.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -95,5 +96,29 @@ RefederationResult refederate(const overlay::OverlayGraph& old_overlay,
                               const overlay::ServiceRequirement& requirement,
                               const overlay::ServiceFlowGraph& old_flow,
                               double degrade_threshold = 0.5);
+
+/// A post-churn routing database derived from a warm pre-churn one.
+struct RetargetedRouting {
+  std::unique_ptr<graph::AllPairsShortestWidest> routing;
+  /// Per-event dirty-set accounting (all zero when `incremental` is false).
+  graph::GraphDiffStats diff;
+  /// True when the warm database was cloned and diffed link-by-link; false
+  /// when the instance set changed (failed instances re-number the overlay)
+  /// and the database had to be built from scratch.
+  bool incremental = false;
+};
+
+/// Converts a warm routing database for `warm_overlay` into one for `target`
+/// without a full rebuild when possible: link-only churn preserves the
+/// instance roster, so the database is clone()d (built trees carried over by
+/// value) and the link diff applied as incremental events, invalidating only
+/// the source trees each event can touch.  When the roster changed — any
+/// index hosts a different (sid, nid) — overlay indices are not comparable
+/// and a fresh lazy database over target.graph() is returned instead.  The
+/// result answers every query bit-identically to a from-scratch build
+/// (asserted by bench/churn_refederation --smoke).
+RetargetedRouting retarget_routing(const graph::AllPairsShortestWidest& warm,
+                                   const overlay::OverlayGraph& warm_overlay,
+                                   const overlay::OverlayGraph& target);
 
 }  // namespace sflow::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 #include <optional>
 
 #include "obs/metrics.hpp"
@@ -87,7 +88,7 @@ ClosedLoopResult run_closed_loop(const overlay::OverlayGraph& overlay_before,
   watch_flow_links(telemetry, overlay_before, flow);
 
   util::Rng noise_rng(config.noise_seed);
-  std::optional<graph::AllPairsShortestWidest> local_routing;
+  std::unique_ptr<graph::AllPairsShortestWidest> local_routing;
   const graph::AllPairsShortestWidest* routing = config.post_churn_routing;
 
   journal_event({0.0, obs::JournalEvent::Kind::kMilestone, -1, -1,
@@ -145,8 +146,22 @@ ClosedLoopResult run_closed_loop(const overlay::OverlayGraph& overlay_before,
       if (result.detection_latency_ms < 0.0)
         result.detection_latency_ms = alert.at_ms - config.churn_at_ms;
       if (routing == nullptr) {
-        local_routing.emplace(overlay_after.graph());
-        routing = &*local_routing;
+        // Derive the post-churn database.  A warm pre-churn database turns
+        // this into clone + incremental link diff — the repair no longer
+        // pays a full rebuild; results stay bit-identical either way.
+        util::Stopwatch routing_watch;
+        if (config.pre_churn_routing != nullptr) {
+          RetargetedRouting retargeted = retarget_routing(
+              *config.pre_churn_routing, overlay_before, overlay_after);
+          result.routing_incremental = retargeted.incremental;
+          result.routing_dirty_sources = retargeted.diff.dirty_sources;
+          local_routing = std::move(retargeted.routing);
+        } else {
+          local_routing = std::make_unique<graph::AllPairsShortestWidest>(
+              overlay_after.graph());
+        }
+        result.routing_update_ms = routing_watch.elapsed_ms();
+        routing = local_routing.get();
       }
       // Identical arguments to the open-loop bench's repair: the original
       // flow against (before, after) — so the repaired graph is bit-identical.

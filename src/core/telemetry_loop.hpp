@@ -63,6 +63,13 @@ struct ClosedLoopConfig {
   /// (shared with open-loop repair in the bench).  Built lazily at the first
   /// confirmed alert when null.
   const graph::AllPairsShortestWidest* post_churn_routing = nullptr;
+  /// Optional *warm* database for the pre-churn overlay.  When
+  /// post_churn_routing is null, the first confirmed alert derives the
+  /// post-churn database from this one via core::retarget_routing — clone +
+  /// incremental link diff instead of a from-scratch build — which is what
+  /// cuts the repair-latency floor under link-only churn.  Ignored when
+  /// post_churn_routing is set.
+  const graph::AllPairsShortestWidest* pre_churn_routing = nullptr;
 };
 
 struct ClosedLoopResult {
@@ -87,6 +94,14 @@ struct ClosedLoopResult {
   double repair_latency_ms = -1.0;
   /// Wall-clock cost of the refederate call itself (ms).
   double repair_compute_ms = 0.0;
+  /// Wall-clock cost of preparing the post-churn routing database at the
+  /// first confirmed alert (0 when config supplied post_churn_routing).
+  double routing_update_ms = 0.0;
+  /// True when that database came from retarget_routing's incremental path
+  /// (warm clone + link diff) rather than a from-scratch build.
+  bool routing_incremental = false;
+  /// Source trees the incremental diff invalidated (0 when not incremental).
+  std::size_t routing_dirty_sources = 0;
 
   /// Ground-truth delivered bandwidth of the active flow, one point per
   /// probe: (probe time ms, bottleneck over the flow's links as the ground

@@ -1,14 +1,14 @@
 #include "graph/csr.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace sflow::graph {
 
 CsrView::CsrView(const Digraph& g) {
   const std::size_t n = g.node_count();
   offsets_.assign(n + 1, 0);
-  arcs_.reserve(g.edge_count());
-  by_target_.resize(g.edge_count());
+  arcs_.reserve(g.live_edge_count());
 
   for (std::size_t v = 0; v < n; ++v) {
     offsets_[v] = static_cast<std::uint32_t>(arcs_.size());
@@ -23,6 +23,7 @@ CsrView::CsrView(const Digraph& g) {
   }
   offsets_[n] = static_cast<std::uint32_t>(arcs_.size());
 
+  by_target_.resize(arcs_.size());
   for (std::uint32_t i = 0; i < arcs_.size(); ++i) by_target_[i] = i;
   for (std::size_t v = 0; v < n; ++v) {
     std::sort(by_target_.begin() + offsets_[v], by_target_.begin() + offsets_[v + 1],
@@ -30,6 +31,34 @@ CsrView::CsrView(const Digraph& g) {
                 return arcs_[a].to < arcs_[b].to;
               });
   }
+}
+
+void CsrView::apply_reweight(NodeIndex from, NodeIndex to, double bandwidth,
+                             double latency) {
+  if (!has_node(from) || !has_node(to))
+    throw std::invalid_argument("CsrView::apply_reweight: unknown node");
+  const auto vi = static_cast<std::size_t>(from);
+  const auto begin = arcs_.begin() + offsets_[vi];
+  const auto end = arcs_.begin() + offsets_[vi + 1];
+  const auto arc = std::find_if(begin, end,
+                                [to](const Arc& a) { return a.to == to; });
+  if (arc == end)
+    throw std::invalid_argument("CsrView::apply_reweight: no such arc");
+  arc->bandwidth = bandwidth;
+  arc->latency = latency;
+  // Restore descending-bandwidth order.  Ascending edge index is the
+  // insertion order the constructor's stable sort preserved, so the patched
+  // slice matches a fresh snapshot bit for bit.
+  std::sort(begin, end, [](const Arc& a, const Arc& b) {
+    if (a.bandwidth != b.bandwidth) return a.bandwidth > b.bandwidth;
+    return a.edge < b.edge;
+  });
+  // Arc positions within the slice moved; recompute the slice's target index.
+  for (std::uint32_t i = offsets_[vi]; i < offsets_[vi + 1]; ++i) by_target_[i] = i;
+  std::sort(by_target_.begin() + offsets_[vi], by_target_.begin() + offsets_[vi + 1],
+            [this](std::uint32_t a, std::uint32_t b) {
+              return arcs_[a].to < arcs_[b].to;
+            });
 }
 
 EdgeIndex CsrView::find_edge(NodeIndex from, NodeIndex to) const noexcept {

@@ -10,6 +10,16 @@
 //
 // The snapshot is decoupled from the Digraph: build it once per graph, use it
 // from any number of threads (it is immutable), and rebuild after mutation.
+//
+// Exception to immutability: the incremental routing database
+// (AllPairsShortestWidest::apply_link_*) patches a snapshot in place instead
+// of rebuilding it.  A re-weight touches exactly one node's arc slice
+// (apply_reweight re-sorts that slice in O(deg log deg)); structural events
+// (insert/remove) shift every later slice, so the database rebuilds the whole
+// snapshot from the Digraph — the O(E log deg) rebuild is already dwarfed by
+// even a single re-swept source tree, which is why there is no finer-grained
+// structural patch.  Patching requires exclusive access, like any non-const
+// vector operation.
 #pragma once
 
 #include <cstdint>
@@ -53,6 +63,16 @@ class CsrView {
   /// Index of edge (from, to) in the snapshotted Digraph, or kInvalidEdge.
   /// O(log out-degree) via a per-node target-sorted secondary index.
   EdgeIndex find_edge(NodeIndex from, NodeIndex to) const noexcept;
+
+  /// In-place metric patch of the arc (from, to): updates its inlined
+  /// bandwidth/latency and restores the slice's descending-bandwidth order.
+  /// Equal-bandwidth ties re-sort by ascending originating edge index, which
+  /// is exactly the insertion order the constructor's stable sort preserves —
+  /// a patched snapshot is indistinguishable from a freshly built one.
+  /// Throws std::invalid_argument when the arc does not exist.  Requires
+  /// exclusive access (see file comment).
+  void apply_reweight(NodeIndex from, NodeIndex to, double bandwidth,
+                      double latency);
 
  private:
   std::vector<std::uint32_t> offsets_;    // node_count()+1

@@ -1,5 +1,6 @@
 #include "graph/digraph.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 #include <unordered_map>
@@ -43,6 +44,22 @@ void Digraph::add_symmetric_edge(NodeIndex a, NodeIndex b, LinkMetrics metrics) 
   add_edge(b, a, metrics);
 }
 
+void Digraph::remove_edge(NodeIndex from, NodeIndex to) {
+  check_node(from, "remove_edge(from)");
+  check_node(to, "remove_edge(to)");
+  const auto it = edge_index_.find(pair_key(from, to));
+  if (it == edge_index_.end())
+    throw std::invalid_argument("Digraph::remove_edge: no such edge");
+  const EdgeIndex e = it->second;
+  edge_index_.erase(it);
+  const auto erase_from = [e](std::vector<EdgeIndex>& list) {
+    list.erase(std::find(list.begin(), list.end(), e));
+  };
+  erase_from(out_[static_cast<std::size_t>(from)]);
+  erase_from(in_[static_cast<std::size_t>(to)]);
+  edges_[static_cast<std::size_t>(e)] = Edge{};  // tombstone: indices stay stable
+}
+
 EdgeIndex Digraph::find_edge(NodeIndex from, NodeIndex to) const noexcept {
   if (!has_node(from) || !has_node(to)) return kInvalidEdge;
   const auto it = edge_index_.find(pair_key(from, to));
@@ -84,6 +101,7 @@ Digraph Digraph::induced_subgraph(const std::vector<NodeIndex>& nodes,
       throw std::invalid_argument("Digraph::induced_subgraph: duplicate node");
   }
   for (const Edge& e : edges_) {
+    if (e.from == kInvalidNode) continue;  // removed-edge tombstone
     const auto f = to_sub.find(e.from);
     const auto t = to_sub.find(e.to);
     if (f != to_sub.end() && t != to_sub.end())
@@ -97,9 +115,11 @@ std::string Digraph::to_dot(const std::string& name) const {
   std::ostringstream os;
   os << "digraph " << name << " {\n";
   for (std::size_t v = 0; v < out_.size(); ++v) os << "  n" << v << ";\n";
-  for (const Edge& e : edges_)
+  for (const Edge& e : edges_) {
+    if (e.from == kInvalidNode) continue;  // removed-edge tombstone
     os << "  n" << e.from << " -> n" << e.to << " [label=\"" << e.metrics.bandwidth
        << "/" << e.metrics.latency << "\"];\n";
+  }
   os << "}\n";
   return os.str();
 }

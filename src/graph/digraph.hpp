@@ -98,8 +98,19 @@ class Digraph {
   /// Adds both (a, b) and (b, a) with the same metrics (symmetric links).
   void add_symmetric_edge(NodeIndex a, NodeIndex b, LinkMetrics metrics);
 
+  /// Removes the edge (from, to), preserving the relative order of the
+  /// surviving out-/in-adjacency (so CSR snapshots of the mutated graph keep
+  /// their deterministic tie-break order).  The edge's slot in edges() becomes
+  /// a tombstone (from == to == kInvalidNode) so other edge indices stay
+  /// stable; edge_count() keeps counting slots, live_edge_count() does not.
+  /// Throws std::invalid_argument when the edge does not exist.
+  void remove_edge(NodeIndex from, NodeIndex to);
+
   std::size_t node_count() const noexcept { return out_.size(); }
+  /// Edge *slots*, including tombstones left by remove_edge.
   std::size_t edge_count() const noexcept { return edges_.size(); }
+  /// Edges actually present.
+  std::size_t live_edge_count() const noexcept { return edge_index_.size(); }
 
   bool has_node(NodeIndex v) const noexcept {
     return v >= 0 && static_cast<std::size_t>(v) < out_.size();

@@ -35,6 +35,15 @@ struct RoutingMetrics {
   obs::Gauge& tree_peak_bytes = obs::Registry::global().gauge(
       "routing_tree_peak_bytes",
       "largest single routing tree footprint built so far");
+  obs::Counter& incremental_updates = obs::Registry::global().counter(
+      "routing_incremental_updates_total",
+      "link events applied to a routing database in place");
+  obs::Counter& dirty_sources = obs::Registry::global().counter(
+      "routing_dirty_sources_total",
+      "source trees invalidated by incremental link events");
+  obs::Counter& full_rebuilds = obs::Registry::global().counter(
+      "routing_full_rebuilds_total",
+      "routing database rebuilds that could not stay incremental");
 };
 
 RoutingMetrics& routing_metrics() {
@@ -106,6 +115,76 @@ std::uint64_t widest_pass(const CsrView& csr, NodeIndex source,
   return scanned;
 }
 
+/// Stage 2 of the Wang–Crowcroft scheme: the descending width-class sweep.
+/// `ws.order` must hold the destinations to materialize, grouped by width
+/// class (ws.width, filled by widest_pass), widest class first, ties by node
+/// index.  One pruned latency Dijkstra per class, over reused epoch-stamped
+/// labels, scanning only the bandwidth >= b prefix of each node's arcs,
+/// stopping as soon as every destination of the class is finalized.  Nodes
+/// with width < b are unreachable through >= b arcs by construction, so no
+/// explicit filter is needed for them.  Shared verbatim between the full
+/// kernel and the incremental partial re-sweep so both stay bit-identical.
+std::uint64_t sweep_class_rounds(const CsrView& csr, NodeIndex source,
+                                 RoutingWorkspace& ws,
+                                 std::vector<PathQuality>& qualities,
+                                 std::vector<std::uint32_t>& offsets,
+                                 std::vector<std::uint32_t>& lengths,
+                                 std::vector<NodeIndex>& arena) {
+  std::uint64_t scanned = 0;
+  const std::vector<NodeIndex>& order = ws.order;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    const double b = ws.width[static_cast<std::size_t>(order[i])];
+    std::size_t j = i;
+    while (j < order.size() && ws.width[static_cast<std::size_t>(order[j])] == b)
+      ++j;
+    std::size_t remaining = j - i;
+
+    const std::uint32_t epoch = ws.next_epoch();
+    ws.visit_epoch[static_cast<std::size_t>(source)] = epoch;
+    ws.dist[static_cast<std::size_t>(source)] = 0.0;
+    ws.pred[static_cast<std::size_t>(source)] = kInvalidNode;
+    auto& heap = ws.heap;  // min-heap under std::greater
+    heap.clear();
+    heap.push_back({0.0, source});
+
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+      const auto [d, v] = heap.back();
+      heap.pop_back();
+      const auto vi = static_cast<std::size_t>(v);
+      if (ws.done_epoch[vi] == epoch) continue;
+      ws.done_epoch[vi] = epoch;
+
+      // A finalized label is exact; class members can be materialized
+      // immediately (their whole predecessor chain is already finalized).
+      if (v != source && ws.width[vi] == b) {
+        qualities[vi] = PathQuality{b, d};
+        append_pred_path(ws, source, v, arena, offsets, lengths);
+        if (--remaining == 0) break;
+      }
+
+      for (const CsrView::Arc& arc : csr.out_arcs(v)) {
+        ++scanned;
+        if (arc.bandwidth < b) break;  // descending prefix exhausted
+        const auto ti = static_cast<std::size_t>(arc.to);
+        const double cand = d + arc.latency;
+        if (ws.visit_epoch[ti] != epoch || cand < ws.dist[ti]) {
+          ws.visit_epoch[ti] = epoch;
+          ws.dist[ti] = cand;
+          ws.pred[ti] = v;
+          heap.push_back({cand, arc.to});
+          std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+        }
+      }
+    }
+    if (remaining != 0)
+      throw std::logic_error("shortest_widest_tree: width class unreachable");
+    i = j;
+  }
+  return scanned;
+}
+
 }  // namespace
 
 RoutingTree::RoutingTree(NodeIndex source, std::vector<PathQuality> qualities,
@@ -122,6 +201,17 @@ RoutingTree::RoutingTree(NodeIndex source, std::vector<PathQuality> qualities,
     lengths_[v] = static_cast<std::uint32_t>(paths[v].size());
     arena_.insert(arena_.end(), paths[v].begin(), paths[v].end());
   }
+  min_positive_width_ = compute_min_positive_width();
+}
+
+double RoutingTree::compute_min_positive_width() const noexcept {
+  double min_width = 0.0;
+  for (std::size_t v = 0; v < qualities_.size(); ++v) {
+    if (static_cast<NodeIndex>(v) == source_) continue;
+    const double w = qualities_[v].bandwidth;
+    if (w > 0.0 && (min_width == 0.0 || w < min_width)) min_width = w;
+  }
+  return min_width;
 }
 
 std::size_t RoutingTree::memory_bytes() const noexcept {
@@ -188,62 +278,10 @@ RoutingTree shortest_widest_tree(const CsrView& csr, NodeIndex source,
   lengths[static_cast<std::size_t>(source)] = 1;
   arena.push_back(source);
 
-  // Stage 2: descending width-class sweep.  One pruned latency Dijkstra per
-  // class, over reused labels (epoch-stamped), scanning only the
-  // bandwidth >= b prefix of each node's arcs, stopping as soon as every
-  // destination of the class is finalized.  Nodes with width < b are
-  // unreachable through >= b arcs by construction, so no explicit filter is
-  // needed for them.
-  std::size_t i = 0;
-  while (i < order.size()) {
-    const double b = ws.width[static_cast<std::size_t>(order[i])];
-    std::size_t j = i;
-    while (j < order.size() && ws.width[static_cast<std::size_t>(order[j])] == b)
-      ++j;
-    std::size_t remaining = j - i;
-
-    const std::uint32_t epoch = ws.next_epoch();
-    ws.visit_epoch[static_cast<std::size_t>(source)] = epoch;
-    ws.dist[static_cast<std::size_t>(source)] = 0.0;
-    ws.pred[static_cast<std::size_t>(source)] = kInvalidNode;
-    auto& heap = ws.heap;  // min-heap under std::greater
-    heap.clear();
-    heap.push_back({0.0, source});
-
-    while (!heap.empty()) {
-      std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
-      const auto [d, v] = heap.back();
-      heap.pop_back();
-      const auto vi = static_cast<std::size_t>(v);
-      if (ws.done_epoch[vi] == epoch) continue;
-      ws.done_epoch[vi] = epoch;
-
-      // A finalized label is exact; class members can be materialized
-      // immediately (their whole predecessor chain is already finalized).
-      if (v != source && ws.width[vi] == b) {
-        qualities[vi] = PathQuality{b, d};
-        append_pred_path(ws, source, v, arena, offsets, lengths);
-        if (--remaining == 0) break;
-      }
-
-      for (const CsrView::Arc& arc : csr.out_arcs(v)) {
-        ++scanned;
-        if (arc.bandwidth < b) break;  // descending prefix exhausted
-        const auto ti = static_cast<std::size_t>(arc.to);
-        const double cand = d + arc.latency;
-        if (ws.visit_epoch[ti] != epoch || cand < ws.dist[ti]) {
-          ws.visit_epoch[ti] = epoch;
-          ws.dist[ti] = cand;
-          ws.pred[ti] = v;
-          heap.push_back({cand, arc.to});
-          std::push_heap(heap.begin(), heap.end(), std::greater<>{});
-        }
-      }
-    }
-    if (remaining != 0)
-      throw std::logic_error("shortest_widest_tree: width class unreachable");
-    i = j;
-  }
+  // Stage 2: descending width-class sweep over ws.order (see
+  // sweep_class_rounds, shared with the incremental partial re-sweep).
+  scanned += sweep_class_rounds(csr, source, ws, qualities, offsets, lengths,
+                                arena);
 
   RoutingTree tree(source, std::move(qualities), std::move(arena),
                    std::move(offsets), std::move(lengths));
@@ -461,21 +499,283 @@ PathQuality path_quality(const Digraph& g, std::span<const NodeIndex> path) {
   return q;
 }
 
+namespace {
+
+/// Re-sweeps one dirty source after an event on link (u, ·) whose old/new
+/// bandwidths max to `cap_width`.  Runs the widest pass on the mutated
+/// snapshot; when every destination width is unchanged, class rounds strictly
+/// above B0 = min(W(s,u), cap_width) cannot have scanned the changed arc in
+/// either the old or the new graph (the arc is pruned by bandwidth or u is
+/// unreachable in the pruned graph), so their qualities and paths are copied
+/// from the old tree and only rounds <= B0 re-run; `partial` reports whether
+/// anything was salvaged.  When widths changed, every class round re-runs.
+RoutingTree resweep_source(const CsrView& csr, const RoutingTree& old,
+                           NodeIndex u, double cap_width, RoutingWorkspace& ws,
+                           bool& partial) {
+  const NodeIndex source = old.source();
+  const std::size_t n = csr.node_count();
+  ws.prepare(n);
+  std::uint64_t scanned = widest_pass(csr, source, ws);
+
+  bool widths_unchanged = true;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (static_cast<NodeIndex>(v) == source) continue;
+    if (ws.width[v] != old.quality_to(static_cast<NodeIndex>(v)).bandwidth) {
+      widths_unchanged = false;
+      break;
+    }
+  }
+  const double width_to_u =
+      source == u ? kInf : ws.width[static_cast<std::size_t>(u)];
+  const double salvage_floor = widths_unchanged
+                                   ? std::min(width_to_u, cap_width)
+                                   : kInf;  // widths moved: nothing salvageable
+
+  // Destinations to re-sweep, grouped by width class, widest first (same
+  // comparator as the full kernel so shared classes keep one round).
+  std::vector<NodeIndex>& order = ws.order;
+  std::size_t copied = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (static_cast<NodeIndex>(v) == source || ws.width[v] <= 0.0) continue;
+    if (ws.width[v] > salvage_floor)
+      ++copied;
+    else
+      order.push_back(static_cast<NodeIndex>(v));
+  }
+  std::sort(order.begin(), order.end(), [&ws](NodeIndex a, NodeIndex b) {
+    const double wa = ws.width[static_cast<std::size_t>(a)];
+    const double wb = ws.width[static_cast<std::size_t>(b)];
+    if (wa != wb) return wa > wb;
+    return a < b;
+  });
+  partial = copied > 0;
+
+  std::vector<PathQuality> qualities(n, PathQuality::unreachable());
+  std::vector<std::uint32_t> offsets(n, 0);
+  std::vector<std::uint32_t> lengths(n, 0);
+  std::vector<NodeIndex> arena;
+  qualities[static_cast<std::size_t>(source)] = PathQuality::source();
+  lengths[static_cast<std::size_t>(source)] = 1;
+  arena.push_back(source);
+
+  scanned += sweep_class_rounds(csr, source, ws, qualities, offsets, lengths,
+                                arena);
+
+  // Salvaged classes: bit-identical in old and new sweeps, copy by value.
+  for (std::size_t v = 0; v < n; ++v) {
+    if (static_cast<NodeIndex>(v) == source || ws.width[v] <= salvage_floor)
+      continue;
+    const auto dest = static_cast<NodeIndex>(v);
+    qualities[v] = old.quality_to(dest);
+    const RoutingTree::PathView path = old.path_view(dest);
+    offsets[v] = static_cast<std::uint32_t>(arena.size());
+    lengths[v] = static_cast<std::uint32_t>(path.size());
+    arena.insert(arena.end(), path.begin(), path.end());
+  }
+
+  RoutingTree tree(source, std::move(qualities), std::move(arena),
+                   std::move(offsets), std::move(lengths));
+  RoutingMetrics& metrics = routing_metrics();
+  metrics.relaxations.add(scanned);
+  metrics.tree_peak_bytes.update_max(static_cast<double>(tree.memory_bytes()));
+  return tree;
+}
+
+}  // namespace
+
 const RoutingTree& AllPairsShortestWidest::tree(NodeIndex from) const {
   const auto index = static_cast<std::size_t>(from);
   if (from < 0 || index >= graph_.node_count())
     throw std::out_of_range("AllPairsShortestWidest::tree: unknown source");
   Slot& slot = slots_[index];
   RoutingMetrics& metrics = routing_metrics();
-  if (slot.built.load(std::memory_order_relaxed))
+  if (const RoutingTree* published = slot.published.load(std::memory_order_acquire)) {
     metrics.hits.increment();
-  else
-    metrics.misses.increment();
-  std::call_once(slot.once, [&] {
-    slot.tree = shortest_widest_tree(csr_, from);
-    slot.built.store(true, std::memory_order_relaxed);
-  });
-  return *slot.tree;
+    return *published;
+  }
+  metrics.misses.increment();
+  const std::lock_guard<std::mutex> lock(slot.build_mutex);
+  if (const RoutingTree* published = slot.published.load(std::memory_order_relaxed))
+    return *published;  // lost the build race; the winner published under the lock
+  slot.owned = std::make_unique<const RoutingTree>(shortest_widest_tree(csr_, from));
+  slot.published.store(slot.owned.get(), std::memory_order_release);
+  return *slot.owned;
+}
+
+AllPairsShortestWidest::UpdateStats AllPairsShortestWidest::apply_link_event(
+    NodeIndex u, NodeIndex v, double old_bandwidth, double new_bandwidth) {
+  UpdateStats stats;
+  const std::size_t n = graph_.node_count();
+  const double cap_width = std::max(old_bandwidth, new_bandwidth);
+
+  // Conservative dirty-set predicate against each *old* tree (still cached;
+  // graph_/csr_ already describe the new state).  See docs/algorithms.md for
+  // the soundness argument; the short form: a source s stays clean when
+  //   - s == v: arcs into the source never join a tree, or
+  //   - u is unreachable from s: no path from s can contain (u, v), and no
+  //     (u, v) change can alter u's reachability, or
+  //   - the event neither creates a wider way into v (cap_new <= W(s,v)) nor
+  //     touches any class round the old sweep ran (min positive width >
+  //     max(cap_old, cap_new), so the arc is pruned or u unreached in every
+  //     round of both the old and the new sweep).
+  std::size_t built = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    const RoutingTree* old_tree =
+        slots_[s].published.load(std::memory_order_relaxed);
+    if (old_tree == nullptr) continue;
+    ++built;
+    const auto source = static_cast<NodeIndex>(s);
+    if (source == v) continue;
+    const double width_to_u =
+        source == u ? kInf : old_tree->quality_to(u).bandwidth;
+    if (width_to_u <= 0.0) continue;
+    const double cap_old = std::min(width_to_u, old_bandwidth);
+    const double cap_new = std::min(width_to_u, new_bandwidth);
+    const double min_class = old_tree->min_positive_width();
+    const bool widens_v = cap_new > old_tree->quality_to(v).bandwidth;
+    const bool touches_round =
+        min_class > 0.0 && min_class <= std::max(cap_old, cap_new);
+    if (widens_v || touches_round) stats.dirty.push_back(source);
+  }
+  stats.dirty_sources = stats.dirty.size();
+  stats.retained_sources = built - stats.dirty.size();
+  stats.unbuilt_sources = n - built;
+
+  RoutingMetrics& metrics = routing_metrics();
+  metrics.incremental_updates.increment();
+  metrics.dirty_sources.add(stats.dirty.size());
+
+  if (!stats.dirty.empty() &&
+      static_cast<double>(stats.dirty.size()) >
+          rebuild_threshold_ * static_cast<double>(built)) {
+    // Too much of the cache is dirty for eager re-sweeps to beat a lazy full
+    // rebuild: drop every slot and let queries repopulate on demand.
+    for (std::size_t s = 0; s < n; ++s) {
+      slots_[s].published.store(nullptr, std::memory_order_relaxed);
+      slots_[s].owned.reset();
+    }
+    stats.full_rebuild = true;
+    stats.retained_sources = 0;
+    metrics.full_rebuilds.increment();
+    return stats;
+  }
+
+  for (const NodeIndex source : stats.dirty) {
+    Slot& slot = slots_[static_cast<std::size_t>(source)];
+    const RoutingTree& old_tree = *slot.published.load(std::memory_order_relaxed);
+    bool partial = false;
+    RoutingTree rebuilt =
+        resweep_source(csr_, old_tree, u, cap_width, update_ws_, partial);
+    if (partial) ++stats.partial_resweeps;
+    slot.published.store(nullptr, std::memory_order_relaxed);
+    slot.owned = std::make_unique<const RoutingTree>(std::move(rebuilt));
+    slot.published.store(slot.owned.get(), std::memory_order_release);
+  }
+  return stats;
+}
+
+AllPairsShortestWidest::UpdateStats AllPairsShortestWidest::apply_link_insert(
+    NodeIndex from, NodeIndex to, LinkMetrics metrics) {
+  if (!graph_.has_node(from) || !graph_.has_node(to))
+    throw std::invalid_argument(
+        "AllPairsShortestWidest::apply_link_insert: unknown node");
+  if (graph_.has_edge(from, to))
+    throw std::invalid_argument(
+        "AllPairsShortestWidest::apply_link_insert: edge already exists");
+  graph_.add_edge(from, to, metrics);
+  csr_ = CsrView(graph_);  // structural change shifts later arc slices
+  return apply_link_event(from, to, 0.0, metrics.bandwidth);
+}
+
+AllPairsShortestWidest::UpdateStats AllPairsShortestWidest::apply_link_remove(
+    NodeIndex from, NodeIndex to) {
+  const EdgeIndex e = graph_.find_edge(from, to);
+  if (e == kInvalidEdge)
+    throw std::invalid_argument(
+        "AllPairsShortestWidest::apply_link_remove: no such edge");
+  const double old_bandwidth = graph_.edge(e).metrics.bandwidth;
+  graph_.remove_edge(from, to);
+  csr_ = CsrView(graph_);  // structural change shifts later arc slices
+  return apply_link_event(from, to, old_bandwidth, 0.0);
+}
+
+AllPairsShortestWidest::UpdateStats AllPairsShortestWidest::apply_link_reweight(
+    NodeIndex from, NodeIndex to, LinkMetrics metrics) {
+  const EdgeIndex e = graph_.find_edge(from, to);
+  if (e == kInvalidEdge)
+    throw std::invalid_argument(
+        "AllPairsShortestWidest::apply_link_reweight: no such edge");
+  const double old_bandwidth = graph_.edge(e).metrics.bandwidth;
+  graph_.add_edge(from, to, metrics);  // existing pair: metrics replaced in place
+  csr_.apply_reweight(from, to, metrics.bandwidth, metrics.latency);
+  return apply_link_event(from, to, old_bandwidth, metrics.bandwidth);
+}
+
+std::unique_ptr<AllPairsShortestWidest> AllPairsShortestWidest::clone() const {
+  std::unique_ptr<AllPairsShortestWidest> copy(
+      new AllPairsShortestWidest(graph_, csr_));
+  copy->rebuild_threshold_ = rebuild_threshold_;
+  for (std::size_t s = 0; s < graph_.node_count(); ++s) {
+    const RoutingTree* published =
+        slots_[s].published.load(std::memory_order_acquire);
+    if (published == nullptr) continue;
+    copy->slots_[s].owned = std::make_unique<const RoutingTree>(*published);
+    copy->slots_[s].published.store(copy->slots_[s].owned.get(),
+                                    std::memory_order_release);
+  }
+  return copy;
+}
+
+GraphDiffStats apply_graph_diff(AllPairsShortestWidest& db,
+                                const Digraph& target) {
+  if (target.node_count() != db.node_count())
+    throw std::invalid_argument("apply_graph_diff: node counts differ");
+
+  // Snapshot the event lists before applying anything: apply_link_* mutates
+  // db.graph(), and the diff must be taken against one consistent state.
+  struct Endpoints {
+    NodeIndex from;
+    NodeIndex to;
+  };
+  std::vector<Endpoints> removals;
+  std::vector<std::pair<Endpoints, LinkMetrics>> reweights;
+  std::vector<std::pair<Endpoints, LinkMetrics>> inserts;
+  const Digraph& current = db.graph();
+  for (const Edge& e : current.edges()) {
+    if (e.from == kInvalidNode) continue;  // removed-edge tombstone
+    const EdgeIndex in_target = target.find_edge(e.from, e.to);
+    if (in_target == kInvalidEdge) {
+      removals.push_back({e.from, e.to});
+    } else if (const LinkMetrics& m = target.edge(in_target).metrics;
+               m != e.metrics) {
+      reweights.push_back({{e.from, e.to}, m});
+    }
+  }
+  for (const Edge& e : target.edges()) {
+    if (e.from == kInvalidNode) continue;
+    if (!current.has_edge(e.from, e.to))
+      inserts.push_back({{e.from, e.to}, e.metrics});
+  }
+
+  GraphDiffStats stats;
+  const auto absorb = [&stats](const AllPairsShortestWidest::UpdateStats& u) {
+    ++stats.events;
+    stats.dirty_sources += u.dirty_sources;
+    if (u.full_rebuild) ++stats.full_rebuilds;
+  };
+  for (const Endpoints& e : removals) {
+    absorb(db.apply_link_remove(e.from, e.to));
+    ++stats.removed;
+  }
+  for (const auto& [e, m] : reweights) {
+    absorb(db.apply_link_reweight(e.from, e.to, m));
+    ++stats.reweighted;
+  }
+  for (const auto& [e, m] : inserts) {
+    absorb(db.apply_link_insert(e.from, e.to, m));
+    ++stats.inserted;
+  }
+  return stats;
 }
 
 void AllPairsShortestWidest::precompute_all() const {

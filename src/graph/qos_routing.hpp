@@ -65,7 +65,9 @@ class RoutingTree {
         qualities_(std::move(qualities)),
         arena_(std::move(path_arena)),
         offsets_(std::move(path_offsets)),
-        lengths_(std::move(path_lengths)) {}
+        lengths_(std::move(path_lengths)) {
+    min_positive_width_ = compute_min_positive_width();
+  }
 
   /// Compatibility form: flattens per-destination vectors into the arena
   /// (legacy kernel and hand-built trees in tests).
@@ -102,12 +104,22 @@ class RoutingTree {
   /// Resident heap footprint of this tree (labels + arena + offsets).
   std::size_t memory_bytes() const noexcept;
 
+  /// Smallest positive path width over reachable non-source destinations —
+  /// the lowest width class the sweep that built this tree ran (0.0 when no
+  /// destination is reachable).  Cached at construction; the incremental
+  /// dirty-set predicate uses it to decide whether a link event can touch
+  /// any class round of this tree (see AllPairsShortestWidest::apply_link_*).
+  double min_positive_width() const noexcept { return min_positive_width_; }
+
  private:
+  double compute_min_positive_width() const noexcept;
+
   NodeIndex source_;
   std::vector<PathQuality> qualities_;
   std::vector<NodeIndex> arena_;
   std::vector<std::uint32_t> offsets_;
   std::vector<std::uint32_t> lengths_;
+  double min_positive_width_ = 0.0;
 };
 
 /// Reusable scratch space for the routing kernels: Dijkstra labels, epoch
@@ -172,10 +184,25 @@ inline PathQuality path_quality(const Digraph& g,
 /// so the database stays valid independent of the source's lifetime.
 ///
 /// Thread safety: const queries are safe from any number of threads.  Each
-/// cache slot is guarded by a std::once_flag, so concurrent first touches of
-/// the same source block until one thread has built the tree; subsequent
-/// reads are wait-free.  (The class is consequently neither copyable nor
-/// movable — a shared database outliving its queries is the intended use.)
+/// cache slot publishes its tree through an acquire/release atomic pointer
+/// behind a per-slot build mutex (double-checked), so concurrent first
+/// touches of the same source block until one thread has built the tree and
+/// subsequent reads are wait-free.  The apply_link_* update API requires
+/// *exclusive* access — no concurrent queries or updates — like any non-const
+/// container operation.  (The class is neither copyable nor movable — a
+/// shared database outliving its queries is the intended use; clone() gives
+/// an explicit deep copy.)
+///
+/// Incremental maintenance: apply_link_insert/remove/reweight mutate the
+/// stored graph and CSR snapshot in place, then invalidate only the source
+/// trees a conservative *dirty-set* predicate cannot prove untouched (see
+/// docs/algorithms.md).  Clean trees are retained by pointer; dirty ones are
+/// re-swept immediately, salvaging the class rounds the event provably did
+/// not reach.  When the dirty set exceeds rebuild_threshold() of the built
+/// trees the database falls back to clearing every slot (lazy full rebuild).
+/// Results after any update are bit-identical — qualities and paths — to a
+/// from-scratch build of the mutated graph, pinned by tests and the churn
+/// fuzz battery.
 class AllPairsShortestWidest {
  public:
   explicit AllPairsShortestWidest(Digraph g)
@@ -193,37 +220,112 @@ class AllPairsShortestWidest {
     return tree(from).path_to(to);
   }
   /// Non-allocating path view; empty when unreachable.  Valid as long as the
-  /// database is alive.
+  /// database is alive and the source's tree is not invalidated by an update.
   RoutingTree::PathView path_view(NodeIndex from, NodeIndex to) const {
     return tree(from).path_view(to);
   }
   const RoutingTree& tree(NodeIndex from) const;
 
+  /// True when the source's tree is currently cached (no build on query).
+  bool tree_cached(NodeIndex from) const noexcept {
+    return from >= 0 && static_cast<std::size_t>(from) < graph_.node_count() &&
+           slots_[static_cast<std::size_t>(from)].published.load(
+               std::memory_order_acquire) != nullptr;
+  }
+
   std::size_t node_count() const noexcept { return graph_.node_count(); }
 
   /// The shared adjacency snapshot (descending-bandwidth CSR).
   const CsrView& csr() const noexcept { return csr_; }
+  /// The graph this database currently describes (mutated by apply_link_*).
+  const Digraph& graph() const noexcept { return graph_; }
 
   /// Forces computation of every source's tree.
   void precompute_all() const;
   /// Same, but builds the source trees concurrently on `pool`.
   void precompute_all(util::ThreadPool& pool) const;
 
- private:
-  /// One lazily-initialized source tree.  call_once publishes the tree with
-  /// the necessary release/acquire ordering; `tree` is logically immutable
-  /// once set.  `built` is observability only (cache hit/miss counting) —
-  /// correctness rests solely on the once_flag.
-  struct Slot {
-    std::once_flag once;
-    std::atomic<bool> built{false};
-    std::optional<RoutingTree> tree;
+  // --- Incremental maintenance (exclusive access required) -----------------
+
+  /// Outcome of one apply_link_* event, for observability and tests.
+  struct UpdateStats {
+    std::size_t dirty_sources = 0;     // built trees the predicate invalidated
+    std::size_t retained_sources = 0;  // built trees kept by pointer
+    std::size_t unbuilt_sources = 0;   // lazy slots, untouched either way
+    std::size_t partial_resweeps = 0;  // dirty trees that salvaged class rounds
+    bool full_rebuild = false;         // threshold fallback: all slots cleared
+    std::vector<NodeIndex> dirty;      // the invalidated sources
   };
+
+  /// Adds the directed link (from, to) and updates the database.  Throws
+  /// std::invalid_argument when the edge already exists (use
+  /// apply_link_reweight) or a node is unknown.
+  UpdateStats apply_link_insert(NodeIndex from, NodeIndex to, LinkMetrics metrics);
+  /// Removes the directed link (from, to) and updates the database.  Throws
+  /// std::invalid_argument when the edge does not exist.
+  UpdateStats apply_link_remove(NodeIndex from, NodeIndex to);
+  /// Replaces the metrics of the existing link (from, to) and updates the
+  /// database.  Throws std::invalid_argument when the edge does not exist.
+  UpdateStats apply_link_reweight(NodeIndex from, NodeIndex to, LinkMetrics metrics);
+
+  /// Dirty-set fraction of *built* trees beyond which an update clears every
+  /// slot instead of re-sweeping eagerly (default 0.5).  > 1 never falls
+  /// back (useful to force incremental behaviour in tests and benches);
+  /// 0 always falls back on a non-empty dirty set.
+  void set_rebuild_threshold(double fraction) noexcept {
+    rebuild_threshold_ = fraction;
+  }
+  double rebuild_threshold() const noexcept { return rebuild_threshold_; }
+
+  /// Deep copy: graph, CSR snapshot, and every *built* tree (no sweeps run).
+  /// The copy starts from this database's current state and evolves
+  /// independently.
+  std::unique_ptr<AllPairsShortestWidest> clone() const;
+
+ private:
+  /// One lazily-initialized source tree.  `published` carries the
+  /// release/acquire ordering: non-null means `owned` holds a fully built
+  /// tree.  The mutex only serializes builders (double-checked locking);
+  /// updates (exclusive access) may reset both fields.
+  struct Slot {
+    std::mutex build_mutex;
+    std::atomic<const RoutingTree*> published{nullptr};
+    std::unique_ptr<const RoutingTree> owned;
+  };
+
+  AllPairsShortestWidest(const Digraph& g, const CsrView& csr)
+      : graph_(g), csr_(csr), slots_(std::make_unique<Slot[]>(g.node_count())) {}
+
+  /// Shared tail of the three public events: computes the dirty set for a
+  /// change of link (u, v) from old_bandwidth to new_bandwidth (0 = absent)
+  /// against the *already mutated* graph/CSR, then re-sweeps or falls back.
+  UpdateStats apply_link_event(NodeIndex u, NodeIndex v, double old_bandwidth,
+                               double new_bandwidth);
 
   Digraph graph_;
   CsrView csr_;
   std::unique_ptr<Slot[]> slots_;
+  double rebuild_threshold_ = 0.5;
+  RoutingWorkspace update_ws_;  // reused across update re-sweeps
 };
+
+/// Aggregate outcome of apply_graph_diff.
+struct GraphDiffStats {
+  std::size_t events = 0;      // individual link events applied
+  std::size_t removed = 0;
+  std::size_t reweighted = 0;
+  std::size_t inserted = 0;
+  std::size_t dirty_sources = 0;  // summed over events
+  std::size_t full_rebuilds = 0;  // events that hit the threshold fallback
+};
+
+/// Diffs db.graph() against `target` (same node count required) and applies
+/// the difference as incremental link events — removals, then re-weights,
+/// then inserts.  Afterwards db describes `target` exactly, with every
+/// still-clean tree retained.  This is how a consumer holding a warm
+/// database for the pre-churn overlay converts it into a post-churn database
+/// without a full rebuild (core::refederation's detect→repair path).
+GraphDiffStats apply_graph_diff(AllPairsShortestWidest& db, const Digraph& target);
 
 /// Exhaustive oracle for tests: enumerates every simple path and returns the
 /// best by shortest-widest ordering.  Exponential; small graphs only.

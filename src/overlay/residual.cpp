@@ -5,6 +5,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace sflow::overlay {
 
 namespace {
@@ -19,6 +21,24 @@ double ledger_get(const std::unordered_map<std::uint64_t, double>& ledger,
                   std::uint64_t key) {
   const auto it = ledger.find(key);
   return it == ledger.end() ? 0.0 : it->second;
+}
+
+/// Admission-path observability: how many admits retargeted the routing
+/// database in place versus rebuilding it.  The rebuild counter is the same
+/// `routing_full_rebuilds_total` the incremental database reports its
+/// threshold fallbacks into — both are "the incremental path gave up".
+struct ResidualMetrics {
+  obs::Counter& incremental_admissions = obs::Registry::global().counter(
+      "residual_incremental_admissions_total",
+      "admissions that retargeted the routing database in place");
+  obs::Counter& full_rebuilds = obs::Registry::global().counter(
+      "routing_full_rebuilds_total",
+      "routing database rebuilds that could not stay incremental");
+};
+
+ResidualMetrics& residual_metrics() {
+  static ResidualMetrics instance;
+  return instance;
 }
 
 }  // namespace
@@ -62,7 +82,7 @@ ResidualOverlay::ResidualOverlay(std::shared_ptr<const OverlayGraph> base)
     : base_(std::move(base)) {
   if (!base_) throw std::invalid_argument("ResidualOverlay: null base snapshot");
   graph_ = base_;  // generation 0: the residual graph IS the base
-  routing_ = std::make_shared<const graph::AllPairsShortestWidest>(base_->graph());
+  routing_ = std::make_shared<graph::AllPairsShortestWidest>(base_->graph());
 }
 
 double ResidualOverlay::overlay_consumed(OverlayIndex from, OverlayIndex to) const {
@@ -101,16 +121,18 @@ void ResidualOverlay::admit(const ServiceFlowGraph& flow, double rate,
   if (!valid()) throw std::invalid_argument("ResidualOverlay::admit: invalid view");
   if (!(rate > 0.0))
     throw std::invalid_argument("ResidualOverlay::admit: non-positive rate");
-  for (const auto& [from, to] : distinct_overlay_links(flow))
+  const auto changed_links = distinct_overlay_links(flow);
+  for (const auto& [from, to] : changed_links)
     overlay_used_[pair_key(from, to)] += rate;
   if (routing != nullptr)
     for (const auto& [from, to] : distinct_underlay_links(flow, base(), *routing))
       underlay_used_[pair_key(from, to)] += rate;
   admitted_.push_back({flow, rate});
-  rebuild();
+  rebuild(changed_links);
 }
 
-void ResidualOverlay::rebuild() {
+void ResidualOverlay::rebuild(
+    const std::vector<std::pair<OverlayIndex, OverlayIndex>>& changed_links) {
   // Materialize the residual graph: same instances, surviving links in the
   // base's insertion order (so order-dependent tie-breaks downstream stay
   // deterministic), bandwidths depleted.  A fully consumed link is dropped
@@ -128,7 +150,33 @@ void ResidualOverlay::rebuild() {
     if (metrics.bandwidth > 0.0) residual.add_link(e.from, e.to, metrics);
   }
   graph_ = std::make_shared<const OverlayGraph>(std::move(residual));
-  routing_ = std::make_shared<const graph::AllPairsShortestWidest>(graph_->graph());
+
+  // Routing database: when this view is the database's sole owner, apply the
+  // admission as per-link events — consumption only shrinks capacities, so a
+  // charged link either re-weights (still has headroom) or drops
+  // (saturated).  The retargeted database answers every query bit-identically
+  // to a fresh build over the residual graph (its internal Digraph differs
+  // only in edge numbering, which the sweep provably never observes).  A
+  // shared database — copied view, or a caller holding routing_ptr() — must
+  // not mutate under its other owners, so those admissions build fresh.
+  if (routing_.use_count() == 1) {
+    for (const auto& [from, to] : changed_links) {
+      const graph::EdgeIndex e = routing_->graph().find_edge(from, to);
+      if (e == graph::kInvalidEdge) continue;  // saturated by an earlier admit
+      const double residual_bw = overlay_residual(from, to);
+      if (residual_bw > 0.0) {
+        graph::LinkMetrics metrics = routing_->graph().edge(e).metrics;
+        metrics.bandwidth = residual_bw;
+        routing_->apply_link_reweight(from, to, metrics);
+      } else {
+        routing_->apply_link_remove(from, to);
+      }
+    }
+    residual_metrics().incremental_admissions.increment();
+  } else {
+    routing_ = std::make_shared<graph::AllPairsShortestWidest>(graph_->graph());
+    residual_metrics().full_rebuilds.increment();
+  }
 }
 
 }  // namespace sflow::overlay

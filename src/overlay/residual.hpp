@@ -12,10 +12,18 @@
 //  * each admitted flow charges its granted rate against every distinct
 //    overlay link it traverses and — via the underlay routes of its overlay
 //    hops — every distinct physical link beneath them;
-//  * the *residual* graph and its all-pairs shortest-widest database are
-//    materialized once per admission (copy-on-write: at generation 0 the
-//    residual graph IS the base pointer, so a pristine view is bit-identical
-//    to solving on the base directly).
+//  * the *residual* graph is materialized once per admission (copy-on-write:
+//    at generation 0 the residual graph IS the base pointer, so a pristine
+//    view is bit-identical to solving on the base directly);
+//  * the all-pairs shortest-widest database is *retargeted in place* when
+//    this view is the database's sole owner: each link the admitted flow
+//    charged becomes one apply_link_reweight (capacity shrank) or
+//    apply_link_remove (saturated) on the incremental database, invalidating
+//    only the source trees the event can touch instead of rebuilding all of
+//    them.  When the database is shared (a copied view, or a caller holding
+//    routing_ptr()) the view falls back to a fresh build so no observer sees
+//    a database mutate under it.  Either way the query results are
+//    bit-identical — pinned by the admission and churn-fuzz suites.
 //
 // A link is charged once per admitted flow, not once per traversal: a flow's
 // rate is a single stream fanned through its realized edges, and charging
@@ -109,17 +117,20 @@ class ResidualOverlay {
   /// Admits `flow` at `rate`: charges `rate` against every distinct overlay
   /// link the flow traverses and, when `routing` is given, every distinct
   /// underlay link beneath its overlay hops; then rematerializes the
-  /// residual graph and its routing database.  Throws std::invalid_argument
-  /// on a non-positive rate or an invalid view.
+  /// residual graph and retargets the routing database (incrementally when
+  /// solely owned — see the file comment).  Throws std::invalid_argument on
+  /// a non-positive rate or an invalid view.
   void admit(const ServiceFlowGraph& flow, double rate,
              const net::UnderlayRouting* routing = nullptr);
 
  private:
-  void rebuild();
+  void rebuild(
+      const std::vector<std::pair<OverlayIndex, OverlayIndex>>& changed_links);
 
   std::shared_ptr<const OverlayGraph> base_;
   std::shared_ptr<const OverlayGraph> graph_;
-  std::shared_ptr<const graph::AllPairsShortestWidest> routing_;
+  /// Non-const so the sole owner can retarget it; exposed const-only.
+  std::shared_ptr<graph::AllPairsShortestWidest> routing_;
   /// Consumption ledgers, keyed by the packed (from, to) pair.
   std::unordered_map<std::uint64_t, double> overlay_used_;
   std::unordered_map<std::uint64_t, double> underlay_used_;

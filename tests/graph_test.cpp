@@ -108,6 +108,50 @@ TEST(Digraph, DotOutputMentionsEdges) {
   EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
 }
 
+TEST(Digraph, RemoveEdgeLeavesTombstoneAndStableIndices) {
+  Digraph g(3);
+  const EdgeIndex first = g.add_edge(0, 1, {5, 1});
+  const EdgeIndex second = g.add_edge(0, 2, {6, 2});
+  const EdgeIndex third = g.add_edge(1, 2, {7, 3});
+  g.remove_edge(0, 2);
+
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.edge_count(), 3u);       // the slot survives as a tombstone
+  EXPECT_EQ(g.live_edge_count(), 2u);  // but is no longer live
+  EXPECT_EQ(g.edge(second).from, kInvalidNode);
+  // Surviving edges keep their indices and adjacency order.
+  EXPECT_EQ(g.find_edge(0, 1), first);
+  EXPECT_EQ(g.find_edge(1, 2), third);
+  EXPECT_EQ(g.out_edges(0), std::vector<EdgeIndex>{first});
+  EXPECT_EQ(g.in_edges(2), std::vector<EdgeIndex>{third});
+
+  EXPECT_THROW(g.remove_edge(0, 2), std::invalid_argument);
+  EXPECT_THROW(g.remove_edge(0, 9), std::invalid_argument);
+
+  // Tombstones are invisible to subgraphs, dot output, and CSR snapshots.
+  EXPECT_EQ(g.to_dot().find("n0 -> n2"), std::string::npos);
+  const Digraph sub = g.induced_subgraph({0, 1, 2});
+  EXPECT_EQ(sub.live_edge_count(), 2u);
+  EXPECT_EQ(CsrView(g).arc_count(), 2u);
+
+  // Removed pairs can be re-added (fresh slot, original pair restored).
+  const EdgeIndex re_added = g.add_edge(0, 2, {9, 9});
+  EXPECT_NE(re_added, second);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_EQ(g.live_edge_count(), 3u);
+}
+
+TEST(Digraph, RemoveEdgePreservesRelativeAdjacencyOrder) {
+  Digraph g(4);
+  const EdgeIndex a = g.add_edge(0, 1, {1, 1});
+  const EdgeIndex b = g.add_edge(0, 2, {2, 1});
+  const EdgeIndex c = g.add_edge(0, 3, {3, 1});
+  g.remove_edge(0, 2);
+  const std::vector<EdgeIndex> expected{a, c};
+  EXPECT_EQ(g.out_edges(0), expected);
+  (void)b;
+}
+
 TEST(Dag, TopologicalOrderRespectsEdges) {
   const Digraph g = diamond();
   const auto order = topological_order(g);

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <optional>
+#include <set>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -392,6 +395,289 @@ TEST(RoutingTree, ReportsMemoryFootprint) {
   const RoutingTree tree = shortest_widest_tree(g, 0);
   // At minimum the quality labels are resident.
   EXPECT_GE(tree.memory_bytes(), 16 * sizeof(PathQuality));
+}
+
+TEST(RoutingTree, MinPositiveWidthIsLowestClass) {
+  Digraph g(4);
+  g.add_edge(0, 1, {10, 1});
+  g.add_edge(1, 2, {3, 1});  // 0->2 has width 3: the lowest class
+  const RoutingTree tree = shortest_widest_tree(g, 0);
+  EXPECT_EQ(tree.min_positive_width(), 3.0);
+  // Node 3 is unreachable and must not drag the minimum to zero.
+  EXPECT_TRUE(tree.path_view(3).empty());
+  // A source with no reachable destination reports 0.
+  EXPECT_EQ(shortest_widest_tree(g, 3).min_positive_width(), 0.0);
+}
+
+// --- Incremental maintenance -------------------------------------------------
+//
+// apply_link_insert/remove/reweight must leave the database bit-identical —
+// qualities AND paths — to a from-scratch build over the mutated graph, for
+// every source, after every event.  The oracle rebuilds the live edge set
+// into a *fresh* Digraph (re-numbered edges, no tombstones), so these tests
+// also pin the sweep's independence from arc and edge numbering.
+
+/// Fresh copy of db's current graph: live edges re-inserted in ascending
+/// edge-index order (the order a from-scratch consumer would produce).
+Digraph live_graph_copy(const AllPairsShortestWidest& db) {
+  Digraph fresh(db.graph().node_count());
+  for (const Edge& e : db.graph().edges()) {
+    if (e.from == kInvalidNode) continue;  // removed-edge tombstone
+    fresh.add_edge(e.from, e.to, e.metrics);
+  }
+  return fresh;
+}
+
+void expect_matches_fresh_build(const AllPairsShortestWidest& db,
+                                const char* context) {
+  const Digraph fresh = live_graph_copy(db);
+  const CsrView csr(fresh);
+  RoutingWorkspace workspace;
+  for (std::size_t s = 0; s < db.node_count(); ++s) {
+    const auto source = static_cast<NodeIndex>(s);
+    const RoutingTree oracle = shortest_widest_tree(csr, source, &workspace);
+    const RoutingTree& incremental = db.tree(source);
+    for (std::size_t t = 0; t < db.node_count(); ++t) {
+      const auto dest = static_cast<NodeIndex>(t);
+      ASSERT_EQ(incremental.quality_to(dest), oracle.quality_to(dest))
+          << context << ": quality " << s << "->" << t;
+      ASSERT_EQ(incremental.path_to(dest), oracle.path_to(dest))
+          << context << ": path " << s << "->" << t;
+    }
+  }
+}
+
+struct ChurnEvent {
+  enum class Kind { kInsert, kRemove, kReweight } kind;
+  NodeIndex from = kInvalidNode;
+  NodeIndex to = kInvalidNode;
+  LinkMetrics metrics;
+};
+
+/// Draws one applicable random event.  Reweights land on an *existing*
+/// bandwidth value half the time (class-boundary crossings, duplicated
+/// widths), and zero latency a third of the time; inserts reconnect pairs
+/// removed earlier as often as not.
+std::optional<ChurnEvent> draw_event(const Digraph& g, util::Rng& rng) {
+  std::vector<const Edge*> live;
+  for (const Edge& e : g.edges())
+    if (e.from != kInvalidNode) live.push_back(&e);
+
+  const auto random_metrics = [&] {
+    LinkMetrics m;
+    if (!live.empty() && rng.chance(0.5))
+      m.bandwidth = live[rng.uniform_int(0, live.size() - 1)]->metrics.bandwidth;
+    else
+      m.bandwidth = static_cast<double>(rng.uniform_int(1, 8));
+    m.latency = rng.chance(0.33) ? 0.0 : rng.uniform_real(0.1, 5.0);
+    return m;
+  };
+
+  const int kind = rng.uniform_int(0, 2);
+  if (kind == 0) {  // insert
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      const auto a = static_cast<NodeIndex>(rng.uniform_int(0, g.node_count() - 1));
+      const auto b = static_cast<NodeIndex>(rng.uniform_int(0, g.node_count() - 1));
+      if (a == b || g.has_edge(a, b)) continue;
+      return ChurnEvent{ChurnEvent::Kind::kInsert, a, b, random_metrics()};
+    }
+    return std::nullopt;
+  }
+  if (live.empty()) return std::nullopt;
+  const Edge& edge = *live[rng.uniform_int(0, live.size() - 1)];
+  if (kind == 1)
+    return ChurnEvent{ChurnEvent::Kind::kRemove, edge.from, edge.to, {}};
+  return ChurnEvent{ChurnEvent::Kind::kReweight, edge.from, edge.to,
+                    random_metrics()};
+}
+
+AllPairsShortestWidest::UpdateStats apply_event(AllPairsShortestWidest& db,
+                                                const ChurnEvent& event) {
+  switch (event.kind) {
+    case ChurnEvent::Kind::kInsert:
+      return db.apply_link_insert(event.from, event.to, event.metrics);
+    case ChurnEvent::Kind::kRemove:
+      return db.apply_link_remove(event.from, event.to);
+    case ChurnEvent::Kind::kReweight:
+      return db.apply_link_reweight(event.from, event.to, event.metrics);
+  }
+  throw std::logic_error("unreachable");
+}
+
+TEST(IncrementalUpdate, RandomChurnSequencesMatchFreshBuild) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    // Shared width classes and zero-latency links: the shapes that stress
+    // class-boundary reweights and latency ties.
+    AllPairsShortestWidest db(
+        equivalence_graph(14, 9000 + seed, seed % 2 == 0, seed % 3 == 0, 0,
+                          0.18));
+    db.set_rebuild_threshold(2.0);  // never fall back: exercise re-sweeps
+    db.precompute_all();
+    util::Rng rng(777 + seed);
+    for (int step = 0; step < 12; ++step) {
+      const auto event = draw_event(db.graph(), rng);
+      if (!event) continue;
+      apply_event(db, *event);
+      expect_matches_fresh_build(db, "churn step");
+    }
+  }
+}
+
+TEST(IncrementalUpdate, DisconnectAndReconnectRoundTrips) {
+  AllPairsShortestWidest db(equivalence_graph(12, 4242, true, true, 0, 0.2));
+  db.set_rebuild_threshold(2.0);
+  db.precompute_all();
+  // Remove every out-link of node 0, then restore them with fresh metrics.
+  std::vector<Edge> removed;
+  for (const Edge& e : db.graph().edges())
+    if (e.from == 0) removed.push_back(e);
+  for (const Edge& e : removed) {
+    db.apply_link_remove(e.from, e.to);
+    expect_matches_fresh_build(db, "disconnect");
+  }
+  EXPECT_TRUE(db.tree(0).path_view(1).empty() || db.graph().has_edge(0, 1));
+  for (const Edge& e : removed) {
+    db.apply_link_insert(e.from, e.to, {e.metrics.bandwidth / 2, 0.0});
+    expect_matches_fresh_build(db, "reconnect");
+  }
+}
+
+TEST(IncrementalUpdate, DirtySetIsConservativeAndCleanTreesRetained) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    AllPairsShortestWidest db(
+        equivalence_graph(16, 6100 + seed, seed % 2 == 1, false, 0, 0.15));
+    db.set_rebuild_threshold(2.0);
+    db.precompute_all();
+    const std::size_t n = db.node_count();
+
+    // Snapshot every tree by value and by address.
+    std::vector<const RoutingTree*> addresses(n);
+    std::vector<std::vector<PathQuality>> qualities(n);
+    std::vector<std::vector<std::vector<NodeIndex>>> paths(n);
+    for (std::size_t s = 0; s < n; ++s) {
+      const RoutingTree& tree = db.tree(static_cast<NodeIndex>(s));
+      addresses[s] = &tree;
+      for (std::size_t t = 0; t < n; ++t) {
+        qualities[s].push_back(tree.quality_to(static_cast<NodeIndex>(t)));
+        const auto path = tree.path_to(static_cast<NodeIndex>(t));
+        paths[s].push_back(path ? *path : std::vector<NodeIndex>{});
+      }
+    }
+
+    util::Rng rng(31 + seed);
+    const auto event = draw_event(db.graph(), rng);
+    ASSERT_TRUE(event.has_value());
+    const auto stats = apply_event(db, *event);
+    ASSERT_FALSE(stats.full_rebuild);
+
+    // Sources the predicate called clean must be untouched: same tree object
+    // (retained by pointer), same qualities, same paths.  Dirty trees are
+    // covered by the fresh-build oracle.
+    const std::set<NodeIndex> dirty(stats.dirty.begin(), stats.dirty.end());
+    for (std::size_t s = 0; s < n; ++s) {
+      const auto source = static_cast<NodeIndex>(s);
+      if (dirty.contains(source)) continue;
+      const RoutingTree& tree = db.tree(source);
+      EXPECT_EQ(&tree, addresses[s]) << "clean tree rebuilt, source " << s;
+      for (std::size_t t = 0; t < n; ++t) {
+        ASSERT_EQ(tree.quality_to(static_cast<NodeIndex>(t)), qualities[s][t]);
+        const auto path = tree.path_to(static_cast<NodeIndex>(t));
+        ASSERT_EQ(path ? *path : std::vector<NodeIndex>{}, paths[s][t]);
+      }
+    }
+    expect_matches_fresh_build(db, "conservative check");
+  }
+}
+
+TEST(IncrementalUpdate, RejectsInvalidEvents) {
+  Digraph g(3);
+  g.add_edge(0, 1, {5, 1});
+  AllPairsShortestWidest db(std::move(g));
+  EXPECT_THROW(db.apply_link_insert(0, 1, {2, 1}), std::invalid_argument);
+  EXPECT_THROW(db.apply_link_remove(1, 2), std::invalid_argument);
+  EXPECT_THROW(db.apply_link_reweight(1, 2, {2, 1}), std::invalid_argument);
+  EXPECT_THROW(db.apply_link_insert(0, 9, {2, 1}), std::invalid_argument);
+}
+
+TEST(IncrementalUpdate, ThresholdFallbackClearsEverySlot) {
+  AllPairsShortestWidest db(equivalence_graph(10, 1234, false, false, 0, 0.3));
+  db.set_rebuild_threshold(0.0);  // any dirty source forces the fallback
+  db.precompute_all();
+  util::Rng rng(5);
+  std::optional<ChurnEvent> event;
+  AllPairsShortestWidest::UpdateStats stats;
+  do {
+    event = draw_event(db.graph(), rng);
+    ASSERT_TRUE(event.has_value());
+    stats = apply_event(db, *event);
+  } while (stats.dirty_sources == 0);
+  EXPECT_TRUE(stats.full_rebuild);
+  EXPECT_EQ(stats.retained_sources, 0u);
+  for (std::size_t s = 0; s < db.node_count(); ++s)
+    EXPECT_FALSE(db.tree_cached(static_cast<NodeIndex>(s))) << s;
+  // Lazy rebuild still answers correctly.
+  expect_matches_fresh_build(db, "after fallback");
+}
+
+TEST(IncrementalUpdate, UnbuiltSlotsStayLazy) {
+  AllPairsShortestWidest db(equivalence_graph(10, 88, true, false, 0, 0.25));
+  db.set_rebuild_threshold(2.0);
+  db.tree(0);
+  db.tree(1);
+  util::Rng rng(17);
+  const auto event = draw_event(db.graph(), rng);
+  ASSERT_TRUE(event.has_value());
+  const auto stats = apply_event(db, *event);
+  EXPECT_EQ(stats.unbuilt_sources, db.node_count() - 2);
+  EXPECT_EQ(stats.dirty_sources + stats.retained_sources, 2u);
+  for (std::size_t s = 2; s < db.node_count(); ++s)
+    EXPECT_FALSE(db.tree_cached(static_cast<NodeIndex>(s))) << s;
+}
+
+TEST(IncrementalUpdate, CloneEvolvesIndependently) {
+  AllPairsShortestWidest db(equivalence_graph(12, 99, false, false, 0, 0.2));
+  db.set_rebuild_threshold(2.0);
+  db.precompute_all();
+  const auto copy = db.clone();
+  // Clone carries the built trees — no rebuild on query.
+  for (std::size_t s = 0; s < copy->node_count(); ++s)
+    EXPECT_TRUE(copy->tree_cached(static_cast<NodeIndex>(s))) << s;
+
+  util::Rng rng(3);
+  const auto event = draw_event(db.graph(), rng);
+  ASSERT_TRUE(event.has_value());
+  apply_event(db, *event);
+
+  // The original reflects the event; the clone still answers for the
+  // pre-event graph.
+  expect_matches_fresh_build(db, "mutated original");
+  expect_matches_fresh_build(*copy, "untouched clone");
+  EXPECT_EQ(copy->graph().live_edge_count() ==
+                db.graph().live_edge_count(),
+            event->kind == ChurnEvent::Kind::kReweight);
+}
+
+TEST(IncrementalUpdate, GraphDiffRetargetsToArbitraryState) {
+  const Digraph before = equivalence_graph(13, 555, true, false, 0, 0.2);
+  const Digraph after = equivalence_graph(13, 556, true, true, 0, 0.2);
+  AllPairsShortestWidest db{Digraph(before)};
+  db.set_rebuild_threshold(2.0);
+  db.precompute_all();
+  const GraphDiffStats stats = apply_graph_diff(db, after);
+  EXPECT_EQ(stats.events,
+            stats.removed + stats.reweighted + stats.inserted);
+  EXPECT_GT(stats.events, 0u);
+  expect_matches_fresh_build(db, "diff retarget");
+  // The database's live edge set now equals the target's.
+  EXPECT_EQ(db.graph().live_edge_count(), after.live_edge_count());
+  for (const Edge& e : after.edges()) {
+    if (e.from == kInvalidNode) continue;
+    const EdgeIndex idx = db.graph().find_edge(e.from, e.to);
+    ASSERT_NE(idx, kInvalidEdge);
+    EXPECT_EQ(db.graph().edge(idx).metrics, e.metrics);
+  }
+  // Node-count mismatches are a caller error, not a silent rebuild.
+  EXPECT_THROW(apply_graph_diff(db, Digraph(5)), std::invalid_argument);
 }
 
 }  // namespace

@@ -20,7 +20,7 @@
 // file and reports the violations it still triggers.
 //
 //   fuzz_federation [--seeds N] [--base-seed S] [--smoke] [--contention]
-//                   [--replay PATH] [--dump-dir DIR]
+//                   [--churn] [--replay PATH] [--dump-dir DIR]
 //
 // `--smoke` is the ctest/CI configuration: 200 seeds, summary output, exit
 // nonzero on any violation.
@@ -34,6 +34,18 @@
 // brute-force oracle.  Failures dump the multi-request scenario file
 // ([bundle] + repeated [requirement] sections); --replay detects such files
 // and re-runs the admission battery on them.
+//
+// `--churn` switches to the incremental-routing battery: each seed builds a
+// fully precomputed shortest-widest database over the scenario overlay, then
+// applies a random sequence of link insert/remove/reweight events through
+// apply_link_* (the dirty-set incremental path, threshold fallback disabled)
+// and after EVERY event diffs the maintained database bit-for-bit — all-pairs
+// qualities AND paths — against a from-scratch build over the mutated link
+// set.  Every few events a federation (sFlow and the global optimum) is run
+// once against the incremental database and once against the fresh one with
+// identically seeded RNGs; the outcomes must be deterministically equal.
+// Failures are reproducible from (base-seed, seed) alone, so no scenario
+// file is dumped.
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
@@ -51,6 +63,8 @@
 #include "core/admission.hpp"
 #include "core/federator.hpp"
 #include "core/scenario.hpp"
+#include "graph/qos_routing.hpp"
+#include "overlay/overlay_graph.hpp"
 #include "overlay/requirement_generator.hpp"
 #include "overlay/serialization.hpp"
 #include "util/rng.hpp"
@@ -62,7 +76,7 @@ using namespace sflow;
 [[noreturn]] void usage(const std::string& message = "") {
   if (!message.empty()) std::cerr << "error: " << message << "\n\n";
   std::cerr << "usage: fuzz_federation [--seeds N] [--base-seed S] [--smoke]\n"
-               "                       [--contention] [--replay PATH]\n"
+               "                       [--contention] [--churn] [--replay PATH]\n"
                "                       [--dump-dir DIR]\n";
   std::exit(2);
 }
@@ -370,6 +384,226 @@ std::vector<check::Violation> run_contention_battery(
   return violations;
 }
 
+// ---------------------------------------------------------------------------
+// Churn battery (--churn): the incrementally maintained routing database
+// against from-scratch truth, one link event at a time.
+
+/// One link event applied to the routing database's graph.
+struct ChurnEvent {
+  enum class Kind { kInsert, kRemove, kReweight };
+  Kind kind = Kind::kInsert;
+  graph::NodeIndex from = graph::kInvalidNode;
+  graph::NodeIndex to = graph::kInvalidNode;
+  graph::LinkMetrics metrics;
+};
+
+/// Draws one event valid for the current graph.  Reweights reuse an existing
+/// bandwidth half the time and draw zero latency a third of the time, so
+/// shared width classes and latency ties — the regimes where the dirty-set
+/// predicate and the class-round salvage earn their keep — stay common
+/// throughout the sequence.  An edgeless graph forces an insert.
+std::optional<ChurnEvent> draw_churn_event(const graph::Digraph& g,
+                                           util::Rng& rng) {
+  std::vector<const graph::Edge*> live;
+  for (const graph::Edge& e : g.edges())
+    if (e.from != graph::kInvalidNode) live.push_back(&e);
+
+  const auto random_metrics = [&] {
+    graph::LinkMetrics m;
+    if (!live.empty() && rng.chance(0.5))
+      m.bandwidth = live[rng.uniform_int(0, live.size() - 1)]->metrics.bandwidth;
+    else
+      m.bandwidth = static_cast<double>(rng.uniform_int(1, 64));
+    m.latency = rng.chance(0.33) ? 0.0 : rng.uniform_real(0.1, 5.0);
+    return m;
+  };
+
+  const int kind = live.empty() ? 0 : static_cast<int>(rng.uniform_int(0, 2));
+  if (kind == 0) {  // insert
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      const auto a = static_cast<graph::NodeIndex>(
+          rng.uniform_int(0, static_cast<std::int64_t>(g.node_count()) - 1));
+      const auto b = static_cast<graph::NodeIndex>(
+          rng.uniform_int(0, static_cast<std::int64_t>(g.node_count()) - 1));
+      if (a == b || g.has_edge(a, b)) continue;
+      return ChurnEvent{ChurnEvent::Kind::kInsert, a, b, random_metrics()};
+    }
+    return std::nullopt;  // graph is (nearly) complete; skip this step
+  }
+  const graph::Edge& edge =
+      *live[rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1)];
+  if (kind == 1)
+    return ChurnEvent{ChurnEvent::Kind::kRemove, edge.from, edge.to, {}};
+  return ChurnEvent{ChurnEvent::Kind::kReweight, edge.from, edge.to,
+                    random_metrics()};
+}
+
+/// Fresh Digraph holding only the live edges of the database's graph, in
+/// slot order.  A from-scratch consumer would build exactly this graph — it
+/// re-numbers edges and carries no tombstones, so the diff below also pins
+/// the sweep's independence from arc and edge numbering.
+graph::Digraph live_graph_copy(const graph::AllPairsShortestWidest& db) {
+  graph::Digraph fresh(db.graph().node_count());
+  for (const graph::Edge& e : db.graph().edges()) {
+    if (e.from == graph::kInvalidNode) continue;
+    fresh.add_edge(e.from, e.to, e.metrics);
+  }
+  return fresh;
+}
+
+/// Overlay with `base`'s instances and the database graph's live link set —
+/// the overlay a federation over the churned topology sees.
+overlay::OverlayGraph overlay_snapshot(const overlay::OverlayGraph& base,
+                                       const graph::AllPairsShortestWidest& db) {
+  overlay::OverlayGraph snapshot;
+  for (const overlay::ServiceInstance& instance : base.instances())
+    snapshot.add_instance(instance.sid, instance.nid);
+  for (const graph::Edge& e : db.graph().edges()) {
+    if (e.from == graph::kInvalidNode) continue;
+    snapshot.add_link(e.from, e.to, e.metrics);
+  }
+  return snapshot;
+}
+
+/// Bit-for-bit diff of the incrementally maintained database against a
+/// from-scratch build: every source, every destination, qualities AND paths.
+/// At most three divergences are reported per event (one is already fatal).
+void diff_against_fresh(const graph::AllPairsShortestWidest& db,
+                        const graph::AllPairsShortestWidest& fresh,
+                        const std::string& context,
+                        std::vector<check::Violation>& violations) {
+  std::size_t reported = 0;
+  const std::size_t n = db.node_count();
+  for (std::size_t s = 0; s < n && reported < 3; ++s) {
+    for (std::size_t t = 0; t < n && reported < 3; ++t) {
+      const auto from = static_cast<graph::NodeIndex>(s);
+      const auto to = static_cast<graph::NodeIndex>(t);
+      const graph::PathQuality& got = db.quality(from, to);
+      const graph::PathQuality& want = fresh.quality(from, to);
+      if (!(got == want)) {
+        std::ostringstream os;
+        os << context << ": quality " << s << "->" << t << " incremental ("
+           << got.bandwidth << ", " << got.latency << ") vs fresh ("
+           << want.bandwidth << ", " << want.latency << ")";
+        violations.push_back({"churn-quality-divergence", os.str()});
+        ++reported;
+        continue;
+      }
+      const graph::RoutingTree::PathView got_path = db.path_view(from, to);
+      const graph::RoutingTree::PathView want_path = fresh.path_view(from, to);
+      bool same = got_path.size() == want_path.size();
+      for (std::size_t h = 0; same && h < got_path.size(); ++h)
+        same = got_path[h] == want_path[h];
+      if (!same) {
+        std::ostringstream os;
+        os << context << ": path " << s << "->" << t << " diverges ("
+           << got_path.size() << " vs " << want_path.size() << " hops)";
+        violations.push_back({"churn-path-divergence", os.str()});
+        ++reported;
+      }
+    }
+  }
+}
+
+struct ChurnTally {
+  std::size_t events = 0;
+  std::size_t federation_checks = 0;
+};
+
+/// Link events diffed per seed, and how often a federation is interleaved.
+constexpr std::size_t kChurnEventsPerSeed = 16;
+constexpr std::size_t kChurnFederationStride = 4;
+
+/// The churn battery for one scenario: precompute the database, hammer it
+/// with random link events (threshold fallback disabled so every event takes
+/// the dirty-set path), and after each event rebuild the truth from scratch
+/// and diff.  Every kChurnFederationStride-th event additionally runs sFlow
+/// and the global optimum against both databases with identically seeded
+/// RNGs — reading qualities and paths the way the solvers actually do — and
+/// requires deterministically equal outcomes.
+std::vector<check::Violation> run_churn_battery(const core::Scenario& scenario,
+                                                std::uint64_t case_seed,
+                                                ChurnTally& tally) {
+  std::vector<check::Violation> violations;
+  graph::AllPairsShortestWidest db(scenario.overlay().graph());
+  db.set_rebuild_threshold(2.0);  // > 1: the fallback can never trigger
+  db.precompute_all();
+
+  util::Rng rng(util::derive_seed(case_seed, 0xC4A2));
+  for (std::size_t step = 0; step < kChurnEventsPerSeed; ++step) {
+    const std::optional<ChurnEvent> event = draw_churn_event(db.graph(), rng);
+    if (!event) continue;
+    graph::AllPairsShortestWidest::UpdateStats stats;
+    switch (event->kind) {
+      case ChurnEvent::Kind::kInsert:
+        stats = db.apply_link_insert(event->from, event->to, event->metrics);
+        break;
+      case ChurnEvent::Kind::kRemove:
+        stats = db.apply_link_remove(event->from, event->to);
+        break;
+      case ChurnEvent::Kind::kReweight:
+        stats = db.apply_link_reweight(event->from, event->to, event->metrics);
+        break;
+    }
+    ++tally.events;
+
+    std::ostringstream context;
+    context << "event " << step << " ("
+            << (event->kind == ChurnEvent::Kind::kInsert     ? "insert"
+                : event->kind == ChurnEvent::Kind::kRemove   ? "remove"
+                                                             : "reweight")
+            << " " << event->from << "->" << event->to << ")";
+    if (stats.full_rebuild)
+      violations.push_back(
+          {"churn-threshold-breach",
+           context.str() + ": fallback fired with the threshold disabled"});
+    if (stats.dirty_sources + stats.retained_sources + stats.unbuilt_sources !=
+        db.node_count())
+      violations.push_back(
+          {"churn-slot-accounting",
+           context.str() + ": dirty + retained + unbuilt != node count"});
+
+    const graph::AllPairsShortestWidest fresh(live_graph_copy(db));
+    diff_against_fresh(db, fresh, context.str(), violations);
+    if (!violations.empty()) return violations;  // deterministic; stop early
+
+    if ((step + 1) % kChurnFederationStride != 0) continue;
+    // Federation cross-check: same overlay, same requirement, same RNG
+    // stream — only the routing database differs.
+    const overlay::OverlayGraph snapshot =
+        overlay_snapshot(scenario.overlay(), db);
+    core::FederationView view;
+    view.underlay = &scenario.underlay;
+    view.routing = scenario.routing.get();
+    view.overlay = &snapshot;
+    view.requirement = &scenario.requirement;
+    for (const core::Algorithm algorithm :
+         {core::Algorithm::kSflow, core::Algorithm::kGlobalOptimal}) {
+      const std::uint64_t run_seed =
+          util::derive_seed(case_seed, 0xFED0 + step);
+      util::Rng inc_rng(run_seed);
+      util::Rng fresh_rng(run_seed);
+      view.overlay_routing = &db;
+      const core::FederationOutcome inc =
+          core::run_algorithm(algorithm, view, inc_rng);
+      view.overlay_routing = &fresh;
+      const core::FederationOutcome want =
+          core::run_algorithm(algorithm, view, fresh_rng);
+      ++tally.federation_checks;
+      if (!inc.deterministically_equal(want)) {
+        std::ostringstream os;
+        os << context.str() << ": " << core::algorithm_name(algorithm)
+           << " diverges between the incremental and fresh databases"
+           << " (success " << inc.success << " vs " << want.success
+           << ", bw " << inc.bandwidth << " vs " << want.bandwidth << ")";
+        violations.push_back({"churn-federation-divergence", os.str()});
+        return violations;
+      }
+    }
+  }
+  return violations;
+}
+
 int replay(const std::string& path, std::uint64_t base_seed) {
   std::ifstream in(path);
   if (!in) {
@@ -439,6 +673,7 @@ int main(int argc, char** argv) {
   std::uint64_t base_seed = 0x5F10;
   bool smoke = false;
   bool contention = false;
+  bool churn = false;
   std::string replay_path;
   std::string dump_dir = ".";
 
@@ -453,6 +688,8 @@ int main(int argc, char** argv) {
       smoke = true;
     } else if (arg == "--contention") {
       contention = true;
+    } else if (arg == "--churn") {
+      churn = true;
     } else if (arg == "--replay" && i + 1 < argc) {
       replay_path = argv[++i];
     } else if (arg == "--dump-dir" && i + 1 < argc) {
@@ -461,11 +698,58 @@ int main(int argc, char** argv) {
       usage("unknown argument '" + arg + "'");
     }
   }
-  // Contention cases cost ~K! sequences each, so their smoke budget is lower.
-  if (smoke && !seeds_given) seeds = contention ? 40 : 200;
+  if (contention && churn)
+    usage("--contention and --churn are mutually exclusive");
+  // Contention cases cost ~K! sequences each and churn cases a from-scratch
+  // rebuild per link event, so their smoke budgets are lower.
+  if (smoke && !seeds_given) seeds = churn ? 60 : contention ? 40 : 200;
 
   try {
     if (!replay_path.empty()) return replay(replay_path, base_seed);
+
+    if (churn) {
+      std::size_t failures = 0;
+      std::size_t infeasible_workloads = 0;
+      ChurnTally tally;
+
+      for (std::size_t s = 0; s < seeds; ++s) {
+        const std::uint64_t case_seed = util::derive_seed(base_seed, s);
+        util::Rng workload_rng(util::derive_seed(case_seed, 0xF00D));
+        const core::WorkloadParams params = bench::fuzz_workload(workload_rng);
+
+        core::Scenario scenario;
+        try {
+          scenario = core::make_scenario(params, util::derive_seed(case_seed, 1));
+        } catch (const std::runtime_error&) {
+          ++infeasible_workloads;
+          continue;
+        }
+
+        const std::vector<check::Violation> violations =
+            run_churn_battery(scenario, case_seed, tally);
+        if (violations.empty()) {
+          if (!smoke && (s + 1) % 25 == 0)
+            std::cout << "  " << (s + 1) << "/" << seeds << " seeds clean\n";
+          continue;
+        }
+
+        ++failures;
+        // Event sequences derive from case_seed alone, so the seed IS the
+        // reproducer: fuzz_federation --churn --base-seed B --seeds s+1
+        // replays it (clean earlier seeds are cheap at this scale).
+        std::cerr << "seed " << s << " (base " << base_seed << "): "
+                  << violations.size() << " violation(s)\n";
+        print_violations(std::cerr, violations);
+      }
+
+      std::cout << "fuzz_federation --churn: " << seeds << " seeds, "
+                << tally.events
+                << " link events diffed against from-scratch rebuilds, "
+                << tally.federation_checks << " federation cross-checks, "
+                << infeasible_workloads << " infeasible workload draws, "
+                << failures << " failing seed(s)\n";
+      return failures == 0 ? 0 : 1;
+    }
 
     if (contention) {
       std::size_t failures = 0;

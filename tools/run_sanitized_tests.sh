@@ -25,6 +25,11 @@
 # monitor state and the journal ring are the shared structures under test),
 # and churn_refederation_smoke runs the closed detect→diagnose→refederate
 # loop end to end with its bit-identical-to-open-loop assertions on.
+# Incremental routing maintenance rides along: qos_routing_test's
+# IncrementalUpdate suite and fuzz_federation_churn_smoke drive
+# apply_link_* event sequences — dirty-set invalidation, partial class-round
+# salvage, atomic tree publication behind double-checked locks — with a
+# from-scratch oracle diff after every event, under the same sanitizers.
 #
 #   $ tools/run_sanitized_tests.sh            # thread sanitizer (default)
 #   $ tools/run_sanitized_tests.sh address    # address sanitizer
