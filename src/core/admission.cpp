@@ -39,14 +39,9 @@ double AdmissionResult::total_rate() const {
   return total;
 }
 
-namespace {
-
-/// The solver window onto the sequence's private residual state.  Pointers
-/// into `view` are taken per request because admit() swaps the residual
-/// graph/routing out from under previous windows.
-FederationView view_of(const Scenario& scenario,
-                       const overlay::ResidualOverlay& view,
-                       const overlay::ServiceRequirement& requirement) {
+FederationView admission_view(const Scenario& scenario,
+                              const overlay::ResidualOverlay& view,
+                              const overlay::ServiceRequirement& requirement) {
   FederationView v;
   v.underlay = &scenario.underlay;
   v.routing = scenario.routing.get();
@@ -55,6 +50,49 @@ FederationView view_of(const Scenario& scenario,
   v.requirement = &requirement;
   return v;
 }
+
+AdmissionDecision apply_admission(const Scenario& scenario,
+                                  overlay::ResidualOverlay& view,
+                                  std::size_t request_index,
+                                  const AdmissionConfig& config,
+                                  FederationOutcome outcome) {
+  if (config.charge_underlay && scenario.routing == nullptr)
+    throw std::invalid_argument(
+        "apply_admission: charge_underlay needs scenario.routing");
+  AdmissionDecision decision;
+  decision.request_index = request_index;
+  decision.outcome = std::move(outcome);
+  if (decision.outcome.success) {
+    double rate = decision.outcome.bandwidth;
+    if (config.charge_underlay)
+      rate = std::min(rate,
+                      view.underlay_headroom(decision.outcome.graph,
+                                             *scenario.routing,
+                                             scenario.underlay));
+    if (rate > 0.0 && rate >= config.bandwidth_floor) {
+      decision.admitted = true;
+      decision.rate = rate;
+      view.admit(decision.outcome.graph, rate,
+                 config.charge_underlay ? scenario.routing.get() : nullptr);
+    }
+  }
+  return decision;
+}
+
+AdmissionDecision admit_one(const Scenario& scenario,
+                            overlay::ResidualOverlay& view,
+                            const overlay::ServiceRequirement& requirement,
+                            std::size_t request_index,
+                            const AdmissionConfig& config, std::uint64_t seed) {
+  util::Rng rng(util::derive_seed(seed, request_index));
+  return apply_admission(
+      scenario, view, request_index, config,
+      run_algorithm(config.algorithm,
+                    admission_view(scenario, view, requirement), rng,
+                    config.sflow));
+}
+
+namespace {
 
 std::vector<std::size_t> policy_order(
     const Scenario& scenario,
@@ -73,8 +111,9 @@ std::vector<std::size_t> policy_order(
       for (std::size_t i = 0; i < requests.size(); ++i) {
         util::Rng rng(util::derive_seed(seed, i));
         const FederationOutcome probe = run_algorithm(
-            config.algorithm, view_of(scenario, scenario.view, requests[i]),
-            rng, config.sflow);
+            config.algorithm,
+            admission_view(scenario, scenario.view, requests[i]), rng,
+            config.sflow);
         if (probe.success) width[i] = probe.bandwidth;
       }
       std::stable_sort(order.begin(), order.end(),
@@ -112,30 +151,9 @@ AdmissionResult run_admission_in_order(
   result.view = scenario.view;  // cheap: shares the base snapshot
   result.decisions.reserve(requests.size());
 
-  for (const std::size_t index : order) {
-    AdmissionDecision decision;
-    decision.request_index = index;
-    util::Rng rng(util::derive_seed(seed, index));
-    decision.outcome =
-        run_algorithm(config.algorithm,
-                      view_of(scenario, result.view, requests[index]), rng,
-                      config.sflow);
-    if (decision.outcome.success) {
-      double rate = decision.outcome.bandwidth;
-      if (config.charge_underlay)
-        rate = std::min(rate, result.view.underlay_headroom(
-                                  decision.outcome.graph, *scenario.routing,
-                                  scenario.underlay));
-      if (rate > 0.0 && rate >= config.bandwidth_floor) {
-        decision.admitted = true;
-        decision.rate = rate;
-        result.view.admit(
-            decision.outcome.graph, rate,
-            config.charge_underlay ? scenario.routing.get() : nullptr);
-      }
-    }
-    result.decisions.push_back(std::move(decision));
-  }
+  for (const std::size_t index : order)
+    result.decisions.push_back(
+        admit_one(scenario, result.view, requests[index], index, config, seed));
   return result;
 }
 

@@ -78,6 +78,40 @@ struct AdmissionResult {
   double total_rate() const;
 };
 
+/// The solver window onto live residual state: `scenario` supplies the
+/// underlay and its routing, `view` the (possibly depleted) overlay and its
+/// shortest-widest database, `requirement` the request.  Pointers into
+/// `view` are per-call — admit() swaps the residual graph/routing out from
+/// under previously assembled windows.
+FederationView admission_view(const Scenario& scenario,
+                              const overlay::ResidualOverlay& view,
+                              const overlay::ServiceRequirement& requirement);
+
+/// Applies the admission policy to an already-solved `outcome` against live
+/// residual state: clamps the granted rate to physical headroom (when
+/// charging the underlay), applies the bandwidth floor, and — when admitted
+/// — charges `view`.  The outcome must have been solved on `view`'s residual
+/// graph in its *current* generation, or the clamp/charge would be against
+/// state the solver never saw (sflowd checks the generation before reusing a
+/// batch pre-solve).
+AdmissionDecision apply_admission(const Scenario& scenario,
+                                  overlay::ResidualOverlay& view,
+                                  std::size_t request_index,
+                                  const AdmissionConfig& config,
+                                  FederationOutcome outcome);
+
+/// One full online admission step: solves `requirement` on `view` with the
+/// request's own derived rng stream (derive_seed(seed, request_index)), then
+/// apply_admission.  This is the primitive run_admission_in_order iterates
+/// over a batch and sflowd serves per request frame — one implementation is
+/// what makes the daemon's FCFS stream bit-identical to a sequential
+/// run_admission_sequence replay of the same requests.
+AdmissionDecision admit_one(const Scenario& scenario,
+                            overlay::ResidualOverlay& view,
+                            const overlay::ServiceRequirement& requirement,
+                            std::size_t request_index,
+                            const AdmissionConfig& config, std::uint64_t seed);
+
 /// Serves `requests` on a copy of `scenario`'s residual view under
 /// `config.order`, admitting each request the configured algorithm can solve
 /// at a positive rate >= bandwidth_floor.  The scenario's own view is not

@@ -1,5 +1,7 @@
 #include "core/parallel_runner.hpp"
 
+#include <algorithm>
+
 #include "obs/metrics.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -68,6 +70,16 @@ std::vector<TrialResult> ParallelSweepRunner::run(
   util::ThreadPool pool(threads_);
   pool.parallel_for(0, trials.size(), timed_trial);
   return results;
+}
+
+void ParallelSweepRunner::for_each(
+    std::size_t count, const std::function<void(std::size_t)>& body) const {
+  if (threads_ == 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  util::ThreadPool pool(std::min(threads_, count));
+  pool.parallel_for(0, count, body);
 }
 
 }  // namespace sflow::core

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/federator.hpp"
@@ -45,6 +46,14 @@ class ParallelSweepRunner {
   /// trial construction or an algorithm propagate (first one wins; remaining
   /// trials are abandoned).
   std::vector<TrialResult> run(const std::vector<TrialSpec>& trials) const;
+
+  /// Generic fan-out on the same thread budget: body(i) for every i in
+  /// [0, count), serial on the caller's thread at threads() == 1 (identical
+  /// code path).  Exceptions propagate as in run().  This is what sflowd's
+  /// batch pre-solve rides on — the body must be safe to run concurrently
+  /// with itself (read-only federation solves are).
+  void for_each(std::size_t count,
+                const std::function<void(std::size_t)>& body) const;
 
   /// The per-trial function both the serial and the parallel path execute.
   static TrialResult run_trial(const TrialSpec& trial);

@@ -1,0 +1,83 @@
+#include "server/frame.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace sflow::server {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+/// Reads exactly `n` bytes.  Returns false on EOF before the first byte
+/// (clean close); throws on EOF mid-buffer or an I/O error.
+bool read_exact(int fd, char* buffer, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t got = ::read(fd, buffer + done, n - done);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("read_frame");
+    }
+    if (got == 0) {
+      if (done == 0) return false;
+      throw std::runtime_error("read_frame: EOF mid-frame after " +
+                               std::to_string(done) + " bytes");
+    }
+    done += static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+void write_all(int fd, const char* buffer, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t put = ::write(fd, buffer + done, n - done);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("write_frame");
+    }
+    done += static_cast<std::size_t>(put);
+  }
+}
+
+}  // namespace
+
+bool read_frame(int fd, std::string& payload) {
+  unsigned char header[4];
+  if (!read_exact(fd, reinterpret_cast<char*>(header), sizeof header))
+    return false;
+  const std::uint32_t length = (std::uint32_t{header[0]} << 24) |
+                               (std::uint32_t{header[1]} << 16) |
+                               (std::uint32_t{header[2]} << 8) |
+                               std::uint32_t{header[3]};
+  if (length > kMaxFrameBytes)
+    throw std::runtime_error("read_frame: announced length " +
+                             std::to_string(length) + " exceeds the " +
+                             std::to_string(kMaxFrameBytes) + "-byte cap");
+  payload.resize(length);
+  if (length > 0 && !read_exact(fd, payload.data(), length))
+    throw std::runtime_error("read_frame: EOF between header and payload");
+  return true;
+}
+
+void write_frame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes)
+    throw std::runtime_error("write_frame: payload exceeds the frame cap");
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  const unsigned char header[4] = {
+      static_cast<unsigned char>(length >> 24),
+      static_cast<unsigned char>(length >> 16),
+      static_cast<unsigned char>(length >> 8),
+      static_cast<unsigned char>(length),
+  };
+  write_all(fd, reinterpret_cast<const char*>(header), sizeof header);
+  write_all(fd, payload.data(), payload.size());
+}
+
+}  // namespace sflow::server

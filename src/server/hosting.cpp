@@ -1,0 +1,69 @@
+#include "server/hosting.hpp"
+
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "net/generators.hpp"
+#include "util/rng.hpp"
+
+namespace sflow::server {
+
+core::Scenario make_hosting_scenario(const HostingConfig& config) {
+  if (config.service_count == 0 || config.instances_per_service == 0)
+    throw std::invalid_argument(
+        "make_hosting_scenario: need at least one service and one instance "
+        "per service");
+  const std::size_t needed =
+      config.service_count * config.instances_per_service;
+  if (config.network_size < needed)
+    throw std::invalid_argument(
+        "make_hosting_scenario: need at least " + std::to_string(needed) +
+        " nodes to host " + std::to_string(config.service_count) +
+        " services x " + std::to_string(config.instances_per_service) +
+        " instances (have " + std::to_string(config.network_size) + ")");
+
+  util::Rng rng(config.seed);
+  net::WaxmanParams waxman;
+  waxman.node_count = config.network_size;
+
+  core::Scenario scenario;
+  scenario.underlay = net::make_waxman(waxman, rng);
+  scenario.routing =
+      std::make_unique<net::UnderlayRouting>(scenario.underlay);
+
+  overlay::OverlayGraph ov;
+  const std::vector<std::size_t> slots =
+      rng.sample_indices(config.network_size, needed);
+  std::size_t next_slot = 0;
+  for (std::size_t s = 0; s < config.service_count; ++s) {
+    const overlay::Sid sid =
+        scenario.catalog.intern("S" + std::to_string(s));
+    for (std::size_t i = 0; i < config.instances_per_service; ++i)
+      ov.add_instance(sid, static_cast<net::Nid>(slots[next_slot++]));
+  }
+  ov.connect_via_underlay(
+      *scenario.routing,
+      [](overlay::Sid a, overlay::Sid b) { return a != b; });
+  scenario.adopt_overlay(std::move(ov));
+  return scenario;
+}
+
+std::string catalog_listing(const core::Scenario& scenario) {
+  std::ostringstream out;
+  const overlay::OverlayGraph& ov = scenario.overlay();
+  for (overlay::Sid sid = 0;
+       sid < static_cast<overlay::Sid>(scenario.catalog.size()); ++sid) {
+    const std::vector<overlay::OverlayIndex> instances = ov.instances_of(sid);
+    out << "service " << scenario.catalog.name(sid) << " instances "
+        << instances.size() << " @";
+    for (const overlay::OverlayIndex v : instances)
+      out << ' ' << ov.instance(v).nid;
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace sflow::server

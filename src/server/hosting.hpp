@@ -1,0 +1,43 @@
+// The daemon's hosting scenario: the overlay sflowd serves every request
+// against, built once at startup.
+//
+// Unlike core::make_scenario — which draws a fresh requirement per trial —
+// the daemon hosts a fixed set of generically named services ("S0".."Sk-1",
+// M instances each on random underlay nodes, full pairwise compatibility)
+// and clients bring their own requirements over those names.  This mirrors
+// `sflowctl federate`'s hosting construction exactly, so a requirement that
+// federates through the CLI federates through the daemon too.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/scenario.hpp"
+
+namespace sflow::server {
+
+struct HostingConfig {
+  /// Underlay node count (Waxman topology).
+  std::size_t network_size = 24;
+  /// Hosted service types, named "S0".."S<k-1>".
+  std::size_t service_count = 4;
+  /// Instances placed per service, each on a distinct random node.
+  std::size_t instances_per_service = 3;
+  /// Seeds the underlay and the instance placement (distinct from the
+  /// request-stream seed — rebuilding the hosting never perturbs requests).
+  std::uint64_t seed = 0;
+};
+
+/// Builds the scenario deterministically from `config`.  The scenario's
+/// requirement is left empty (requests carry their own) and its residual
+/// view is at generation 0.  Throws std::invalid_argument when the network
+/// cannot host service_count * instances_per_service distinct instances.
+core::Scenario make_hosting_scenario(const HostingConfig& config);
+
+/// Human- and script-readable service inventory, one line per hosted
+/// service: `service <name> instances <n> @ <nid> <nid> ...`.  This is the
+/// `GET /catalog` response body; clients use it to learn which names their
+/// requirements may reference.
+std::string catalog_listing(const core::Scenario& scenario);
+
+}  // namespace sflow::server

@@ -1,0 +1,371 @@
+#include "server/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/export.hpp"
+#include "overlay/requirement_parser.hpp"
+#include "overlay/serialization.hpp"
+#include "server/frame.hpp"
+#include "server/hosting.hpp"
+#include "util/rng.hpp"
+
+namespace sflow::server {
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+bool is_query(const std::string& payload, const char* verb) {
+  return payload.rfind(verb, 0) == 0;
+}
+
+}  // namespace
+
+Server::Connection::~Connection() {
+  if (fd >= 0) ::close(fd);
+}
+
+Server::Metrics::Metrics()
+    : connections(obs::Registry::global().counter(
+          "server_connections_total",
+          "connections the daemon accepted or adopted")),
+      requests(obs::Registry::global().counter(
+          "server_requests_total", "requirement frames received")),
+      admitted(obs::Registry::global().counter(
+          "server_admitted_total", "requests granted capacity")),
+      rejected(obs::Registry::global().counter(
+          "server_rejected_total",
+          "parsed requests denied (infeasible or below the floor)")),
+      errors(obs::Registry::global().counter(
+          "server_errors_total",
+          "frames that failed to parse or named unhosted services")),
+      clamped(obs::Registry::global().counter(
+          "server_clamped_total",
+          "admissions clamped below solver bandwidth by physical headroom")),
+      batches(obs::Registry::global().counter(
+          "server_batches_total", "admitter queue drains")),
+      presolve_hits(obs::Registry::global().counter(
+          "server_batch_presolve_hits_total",
+          "pre-solved outcomes committed without a re-solve")),
+      queue_peak(obs::Registry::global().gauge(
+          "server_queue_depth_peak_total",
+          "high-water mark of queued requirement frames")),
+      latency(obs::Registry::global().histogram(
+          "server_request_latency_ms", obs::default_duration_buckets_ms(),
+          "enqueue-to-response latency per requirement frame")) {}
+
+Server::Server(core::Scenario scenario, ServerConfig config)
+    : scenario_(std::move(scenario)),
+      config_(std::move(config)),
+      view_(scenario_.view),
+      presolver_(config_.presolve_threads),
+      catalog_text_(catalog_listing(scenario_)) {
+  admitter_ = std::thread(&Server::admitter_loop, this);
+}
+
+Server::~Server() { stop(); }
+
+void Server::listen_unix(const std::string& path) {
+  sockaddr_un address{};
+  if (path.empty() || path.size() >= sizeof(address.sun_path))
+    throw std::runtime_error("listen_unix: socket path empty or longer than " +
+                             std::to_string(sizeof(address.sun_path) - 1) +
+                             " bytes");
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0)
+    throw std::runtime_error(std::string("listen_unix: socket: ") +
+                             std::strerror(errno));
+  address.sun_family = AF_UNIX;
+  std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());  // a stale socket file from a crashed run
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&address),
+             sizeof(address)) != 0 ||
+      ::listen(fd, 64) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    throw std::runtime_error("listen_unix: cannot listen on '" + path +
+                             "': " + std::strerror(saved));
+  }
+  if (::pipe(stop_pipe_) != 0) {
+    ::close(fd);
+    throw std::runtime_error(std::string("listen_unix: pipe: ") +
+                             std::strerror(errno));
+  }
+  listen_fd_ = fd;
+  socket_path_ = path;
+  accept_thread_ = std::thread(&Server::accept_loop, this);
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (fds[1].revents != 0) return;  // stop() woke us
+    if (fds[0].revents == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;
+    }
+    adopt_connection(fd);
+  }
+}
+
+void Server::adopt_connection(int fd) {
+  if (stopping_.load()) {
+    ::close(fd);
+    return;
+  }
+  // Backstop against a peer that stopped reading: a blocked response write
+  // times out (and is dropped by respond()) instead of wedging the admitter.
+  // Fails harmlessly on non-socket fds (pipes in tests).
+  timeval timeout{};
+  timeout.tv_sec = 5;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+
+  auto conn = std::make_shared<Connection>(fd);
+  std::lock_guard lock(conn_mutex_);
+  if (stopping_.load()) return;  // Connection dtor closes fd
+  connections_.push_back(conn);
+  readers_.emplace_back(&Server::reader_loop, this, std::move(conn));
+  metrics_.connections.increment();
+}
+
+void Server::reader_loop(std::shared_ptr<Connection> conn) {
+  std::string payload;
+  try {
+    while (read_frame(conn->fd, payload)) {
+      if (is_query(payload, "GET /metrics")) {
+        respond(*conn, obs::to_prometheus(obs::Registry::global().snapshot()));
+        continue;
+      }
+      if (is_query(payload, "GET /catalog")) {
+        respond(*conn, catalog_text_);
+        continue;
+      }
+      metrics_.requests.increment();
+      {
+        std::lock_guard lock(queue_mutex_);
+        queue_.push_back({conn, std::move(payload),
+                          std::chrono::steady_clock::now()});
+        metrics_.queue_peak.update_max(static_cast<double>(queue_.size()));
+      }
+      queue_ready_.notify_one();
+      payload.clear();
+    }
+  } catch (const std::exception&) {
+    // A torn frame or I/O error drops the connection; requests already
+    // queued still get served and answered (best-effort).
+  }
+}
+
+void Server::admitter_loop() {
+  for (;;) {
+    std::vector<QueuedFrame> batch;
+    {
+      std::unique_lock lock(queue_mutex_);
+      queue_ready_.wait(lock,
+                        [this] { return !queue_.empty() || queue_closed_; });
+      if (queue_.empty() && queue_closed_) return;
+      // Everything queued right now forms one batch: concurrent arrivals
+      // are pre-solved together, stragglers wait for the next drain.
+      while (!queue_.empty()) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    serve_batch(std::move(batch));
+  }
+}
+
+void Server::serve_batch(std::vector<QueuedFrame> batch) {
+  metrics_.batches.increment();
+
+  // Parse serially (the admitter is the catalog's only writer), assigning
+  // arrival-order sequence numbers to the frames that parse.  Malformed
+  // frames are answered here and draw no randomness, so they cannot shift
+  // any later request's derived seed.
+  struct Parsed {
+    QueuedFrame frame;
+    overlay::ServiceRequirement requirement;
+    std::uint64_t sequence = 0;
+  };
+  std::vector<Parsed> parsed;
+  parsed.reserve(batch.size());
+  const overlay::OverlayGraph& hosting = scenario_.overlay();
+  for (QueuedFrame& frame : batch) {
+    try {
+      overlay::ServiceRequirement requirement =
+          overlay::parse_requirement(frame.payload, scenario_.catalog);
+      for (const overlay::Sid sid : requirement.services())
+        if (hosting.instances_of(sid).empty())
+          throw std::invalid_argument("unknown service '" +
+                                      scenario_.catalog.name(sid) +
+                                      "' (see GET /catalog)");
+      // Honour an existing pin of the source; otherwise pin its first
+      // instance (the sflowctl federate rule — the consumer contacts one
+      // concrete instance).
+      const overlay::Sid source = requirement.source();
+      if (!requirement.pinned(source))
+        requirement.pin(
+            source, hosting.instance(hosting.instances_of(source).front()).nid);
+      parsed.push_back(
+          {std::move(frame), std::move(requirement), next_sequence_++});
+    } catch (const std::exception& e) {
+      metrics_.errors.increment();
+      respond(*frame.conn,
+              std::string("status: error\nreason: ") + e.what() + "\n");
+      metrics_.latency.observe(ms_since(frame.enqueued));
+    }
+  }
+
+  // Read-only pre-solve of the whole batch against the current residual
+  // state.  Safe in parallel: solvers only run const queries against the
+  // shared routing database (thread-safe lazy trees) and the residual graph,
+  // and each request owns its derived rng.
+  std::vector<std::optional<core::FederationOutcome>> presolved(parsed.size());
+  const std::uint64_t presolve_generation = view_.generation();
+  if (parsed.size() > 1 && presolver_.threads() > 1) {
+    presolver_.for_each(parsed.size(), [&](std::size_t i) {
+      util::Rng rng(util::derive_seed(config_.seed, parsed[i].sequence));
+      presolved[i] = core::run_algorithm(
+          config_.admission.algorithm,
+          core::admission_view(scenario_, view_, parsed[i].requirement), rng,
+          config_.admission.sflow);
+    });
+  }
+
+  // Serial commit in sequence order.  A pre-solved outcome is valid only
+  // while the view's generation is what it was solved on; the first admit
+  // invalidates the rest of the batch, which re-solves with the same derived
+  // seeds — bit-identical to the sequential run by construction, so the
+  // pre-solve can only save work (all-reject batches commit entirely from
+  // pre-solved outcomes), never change results.
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    Parsed& p = parsed[i];
+    core::AdmissionDecision decision;
+    if (presolved[i].has_value() &&
+        view_.generation() == presolve_generation) {
+      metrics_.presolve_hits.increment();
+      decision = core::apply_admission(scenario_, view_, p.sequence,
+                                       config_.admission,
+                                       std::move(*presolved[i]));
+    } else {
+      decision = core::admit_one(scenario_, view_, p.requirement, p.sequence,
+                                 config_.admission, config_.seed);
+    }
+
+    const bool clamped =
+        decision.admitted && decision.rate < decision.outcome.bandwidth;
+    (decision.admitted ? metrics_.admitted : metrics_.rejected).increment();
+    if (clamped) metrics_.clamped.increment();
+
+    std::ostringstream out;
+    out.precision(17);
+    out << "status: " << (decision.admitted ? "admitted" : "rejected")
+        << "\nsequence: " << p.sequence << '\n';
+    if (decision.admitted) {
+      out << "rate: " << decision.rate
+          << "\nbandwidth: " << decision.outcome.bandwidth
+          << "\nlatency: " << decision.outcome.latency
+          << "\nclamped: " << (clamped ? 1 : 0) << '\n'
+          << overlay::format_flow_graph(decision.outcome.graph, hosting,
+                                        scenario_.catalog);
+    } else {
+      out << "reason: "
+          << (decision.outcome.success
+                  ? "granted rate below the admission floor"
+                  : "no feasible service flow graph")
+          << '\n';
+    }
+    respond(*p.frame.conn, out.str());
+    metrics_.latency.observe(ms_since(p.frame.enqueued));
+    history_.push_back({std::move(p.requirement), std::move(decision)});
+  }
+}
+
+void Server::respond(Connection& conn, const std::string& payload) {
+  std::lock_guard lock(conn.write_mutex);
+  try {
+    write_frame(conn.fd, payload);
+  } catch (const std::exception&) {
+    // The peer vanished or stalled past the send timeout; its response is
+    // lost but the decision stands (and is in history()).
+  }
+}
+
+void Server::stop() {
+  {
+    std::lock_guard lock(stop_mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  stopping_.store(true);
+
+  // 1. Stop accepting: wake the accept loop's poll, join, close the socket.
+  if (stop_pipe_[1] >= 0) {
+    const char byte = 'x';
+    while (::write(stop_pipe_[1], &byte, 1) < 0 && errno == EINTR) {
+    }
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(socket_path_.c_str());
+  }
+  for (int& fd : stop_pipe_)
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+
+  // 2. EOF every connection's read side; readers finish the frame they are
+  // on, enqueue it, and exit.  Joining them *before* closing the queue is
+  // what guarantees the admitter sees every frame that was fully read.
+  {
+    std::lock_guard lock(conn_mutex_);
+    for (const auto& conn : connections_) ::shutdown(conn->fd, SHUT_RD);
+  }
+  for (std::thread& reader : readers_)
+    if (reader.joinable()) reader.join();
+
+  // 3. Close the queue; the admitter drains and answers everything, then
+  // exits.
+  {
+    std::lock_guard lock(queue_mutex_);
+    queue_closed_ = true;
+  }
+  queue_ready_.notify_all();
+  if (admitter_.joinable()) admitter_.join();
+
+  // 4. Drop the connections (closing their fds — clients see EOF only after
+  // their last response was written).
+  {
+    std::lock_guard lock(conn_mutex_);
+    readers_.clear();
+    connections_.clear();
+  }
+}
+
+}  // namespace sflow::server

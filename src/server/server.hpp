@@ -1,0 +1,194 @@
+// sflowd's engine: a long-running federation server with online admission
+// control over one shared residual overlay.
+//
+// The paper's evaluation federates one request per process; a service
+// overlay in production faces a *stream*.  The Server accepts connections
+// (a unix listening socket, or fds adopted directly — tests and --smoke use
+// socketpairs), reads length-prefixed frames (server/frame.hpp), and serves
+// each [requirement]-grammar frame against one warm ResidualOverlay: the
+// shortest-widest database is retargeted incrementally on every admit
+// (PR 8), so request N+1 pays only for what request N's admission touched.
+//
+// Thread model — three roles, one writer of federation state:
+//
+//   accept thread      blocks in poll(listen_fd, stop_pipe); adopts each
+//                      accepted connection.
+//   reader threads     one per connection; read frames.  Query frames
+//                      (`GET /metrics`, `GET /catalog`) are answered in
+//                      place from immutable or atomic state; requirement
+//                      frames are enqueued FIFO.
+//   admitter thread    the sole owner of the residual view and the service
+//                      catalog.  Drains the queue in batches: parses each
+//                      frame (catalog interning is single-threaded by
+//                      construction), assigns arrival-order sequence
+//                      numbers, pre-solves the batch read-only in parallel
+//                      (ParallelSweepRunner::for_each over the shared
+//                      routing database, which is safe for concurrent const
+//                      queries), then commits in sequence order.
+//
+// Determinism contract: request i draws util::derive_seed(seed, i) and is
+// committed through the same core::admit_one the batch solver iterates, so
+// the daemon's FCFS stream is bit-identical to a sequential
+// run_admission_sequence replay of history() — regardless of how requests
+// interleaved across connections or how the batch pre-solve raced.  A
+// pre-solved outcome is reused only when the view's generation is unchanged
+// since the pre-solve; otherwise the request is re-solved with its same
+// derived seed, which by construction yields the identical outcome the
+// sequential run would.  Parallelism changes wall-clock, never results.
+//
+// Shutdown (stop()): close the listener, EOF every connection's read side,
+// join the readers, close the queue, and let the admitter drain — every
+// frame read before shutdown gets its response before the sockets close.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/admission.hpp"
+#include "core/parallel_runner.hpp"
+#include "core/scenario.hpp"
+#include "obs/metrics.hpp"
+
+namespace sflow::server {
+
+struct ServerConfig {
+  /// Per-request policy: algorithm, bandwidth floor, underlay charging.
+  core::AdmissionConfig admission;
+  /// Request-stream seed; request i draws derive_seed(seed, i).
+  std::uint64_t seed = 0;
+  /// Threads for the read-only batch pre-solve (1 = commit-path only; the
+  /// commit itself is always serial — that is what the determinism pin
+  /// rests on).
+  std::size_t presolve_threads = 1;
+};
+
+/// One answered requirement frame, in sequence (arrival) order.  The
+/// requirement is stored as admitted — after the source auto-pin — so
+/// replaying history() through run_admission_sequence reproduces the
+/// daemon's decisions exactly.
+struct ServedRequest {
+  overlay::ServiceRequirement requirement;
+  core::AdmissionDecision decision;
+};
+
+class Server {
+ public:
+  /// Takes ownership of the hosting scenario (server/hosting.hpp) and
+  /// starts the admitter thread.  No sockets are open yet.
+  Server(core::Scenario scenario, ServerConfig config);
+  ~Server();  // stop()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds a unix listening socket at `path` (removing any stale socket
+  /// file) and starts accepting.  Throws std::runtime_error on bind/listen
+  /// failure.
+  void listen_unix(const std::string& path);
+
+  /// Adopts one end of an already-connected stream socket (tests, --smoke,
+  /// the request_storm bench).  The server owns `fd` from here on.
+  void adopt_connection(int fd);
+
+  /// Stops accepting, EOFs every connection, drains the queue (answering
+  /// everything already read), joins all threads, closes all fds.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+  const core::Scenario& scenario() const noexcept { return scenario_; }
+  const ServerConfig& config() const noexcept { return config_; }
+
+  /// Residual state after the served stream.  Stable only once stop() has
+  /// returned (the admitter is the sole writer while running).
+  const overlay::ResidualOverlay& view() const noexcept { return view_; }
+
+  /// The answered requirement stream in sequence order; stable after
+  /// stop().  Unparseable frames are answered with an error response and do
+  /// not appear here (they draw no randomness, so the replay contract holds
+  /// over exactly these requests).
+  const std::vector<ServedRequest>& history() const noexcept {
+    return history_;
+  }
+
+ private:
+  struct Connection {
+    explicit Connection(int fd_in) : fd(fd_in) {}
+    ~Connection();
+    Connection(const Connection&) = delete;
+    Connection& operator=(const Connection&) = delete;
+
+    int fd;
+    /// Serializes writes: the admitter (responses) and a reader (query
+    /// answers) may target the same connection concurrently.
+    std::mutex write_mutex;
+  };
+
+  struct QueuedFrame {
+    std::shared_ptr<Connection> conn;
+    std::string payload;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  /// Lazily registered process-wide metrics (docs/observability.md).
+  struct Metrics {
+    obs::Counter& connections;
+    obs::Counter& requests;
+    obs::Counter& admitted;
+    obs::Counter& rejected;
+    obs::Counter& errors;
+    obs::Counter& clamped;
+    obs::Counter& batches;
+    obs::Counter& presolve_hits;
+    obs::Gauge& queue_peak;
+    obs::Histogram& latency;
+    Metrics();
+  };
+
+  void accept_loop();
+  void reader_loop(std::shared_ptr<Connection> conn);
+  void admitter_loop();
+  void serve_batch(std::vector<QueuedFrame> batch);
+  /// Best-effort framed reply; a peer that vanished loses its response but
+  /// never wedges the sender (SO_SNDTIMEO backstop on sockets).
+  void respond(Connection& conn, const std::string& payload);
+
+  core::Scenario scenario_;
+  ServerConfig config_;
+  overlay::ResidualOverlay view_;
+  core::ParallelSweepRunner presolver_;
+  /// GET /catalog response, precomputed so readers never touch the catalog
+  /// (the admitter may intern new names from client requirements).
+  std::string catalog_text_;
+  Metrics metrics_;
+
+  int listen_fd_ = -1;
+  std::string socket_path_;
+  int stop_pipe_[2] = {-1, -1};  // wakes the accept loop's poll()
+  std::thread accept_thread_;
+
+  std::mutex conn_mutex_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::vector<std::thread> readers_;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_ready_;
+  std::deque<QueuedFrame> queue_;
+  bool queue_closed_ = false;
+
+  std::thread admitter_;
+  std::uint64_t next_sequence_ = 0;  // admitter-only
+  std::vector<ServedRequest> history_;
+
+  std::mutex stop_mutex_;
+  bool stopped_ = false;
+};
+
+}  // namespace sflow::server

@@ -1,0 +1,40 @@
+#include "util/periodic.hpp"
+
+#include <utility>
+
+namespace sflow::util {
+
+PeriodicTask::PeriodicTask(std::chrono::milliseconds interval,
+                           std::function<void()> tick)
+    : tick_(std::move(tick)), interval_(interval) {
+  thread_ = std::thread([this] {
+    std::unique_lock lock(mutex_);
+    for (;;) {
+      // wait_for returns early the moment stop() flips the flag — shutdown
+      // never waits out the interval (pinned by util_test).
+      if (wake_.wait_for(lock, interval_, [this] { return stop_requested_; }))
+        return;
+      lock.unlock();
+      tick_();
+      lock.lock();
+    }
+  });
+}
+
+bool PeriodicTask::running() const {
+  std::unique_lock lock(mutex_);
+  return thread_.joinable() && !stop_requested_;
+}
+
+void PeriodicTask::stop() {
+  std::thread claimed;
+  {
+    std::unique_lock lock(mutex_);
+    stop_requested_ = true;
+    claimed = std::move(thread_);  // exactly one caller gets to join
+  }
+  wake_.notify_all();
+  if (claimed.joinable()) claimed.join();
+}
+
+}  // namespace sflow::util

@@ -1,0 +1,55 @@
+// RAII periodic background task: runs a callback every `interval` on its own
+// thread, and its destructor stops and joins — so the owning scope can exit
+// by return, throw, or early error path without ever destroying a joinable
+// std::thread (which calls std::terminate, turning a one-line diagnostic
+// into an abort; the sflowctl metrics sampler did exactly that).
+//
+// The sleeper waits on a condition variable with a timeout instead of a
+// plain sleep_for, so stop() (and the destructor) wake it immediately:
+// shutdown latency is bounded by the callback's own runtime, never by the
+// interval.  tests/util_test.cpp pins both properties; sflowctl and sflowd
+// both drive their metrics-timeline samplers through this type.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace sflow::util {
+
+/// Calls `tick` every `interval` until stopped.  The first call happens one
+/// interval after construction (callers wanting a t=0 sample take it
+/// themselves before constructing).  Not restartable: one task, one thread.
+class PeriodicTask {
+ public:
+  /// An idle task (no thread); used for "sampler not requested" paths so the
+  /// owner can hold a PeriodicTask unconditionally.
+  PeriodicTask() = default;
+
+  PeriodicTask(std::chrono::milliseconds interval, std::function<void()> tick);
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  /// Stops and joins.  Never blocks longer than one in-flight tick.
+  ~PeriodicTask() { stop(); }
+
+  /// True while the background thread exists and has not been stopped.
+  bool running() const;
+
+  /// Idempotent: signals the sleeper, joins the thread.  Safe to call from
+  /// any thread except the tick callback itself.
+  void stop();
+
+ private:
+  std::function<void()> tick_;
+  std::chrono::milliseconds interval_{0};
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stop_requested_ = false;
+  std::thread thread_;
+};
+
+}  // namespace sflow::util

@@ -34,9 +34,18 @@ class ThreadPool {
   /// Enqueues one task.  Tasks must not submit to the pool they run on while
   /// the caller holds wait_idle() expectations of completion ordering; plain
   /// fan-out (submit all, then wait) is the supported pattern.
+  ///
+  /// A task that throws does NOT take the process down: the worker catches
+  /// the exception and the pool stores the first one, to be rethrown at the
+  /// next wait_idle() (a long-running server must fail the one request, not
+  /// the daemon — escaping a worker's top frame would std::terminate).
   void submit(std::function<void()> task);
 
   /// Blocks until the queue is empty and no worker is executing a task.
+  /// Rethrows the first exception any submit()ted task threw since the last
+  /// wait_idle(), clearing it — the pool stays usable afterwards.  The
+  /// destructor drains without rethrowing (nothing could catch it there);
+  /// a pending undelivered exception is dropped.
   void wait_idle();
 
   /// Runs body(i) for every i in [begin, end) across the pool and blocks
@@ -61,6 +70,8 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   std::size_t active_ = 0;
   bool stopping_ = false;
+  /// First exception thrown by a submit()ted task since the last wait_idle().
+  std::exception_ptr first_error_;
   std::vector<std::thread> workers_;
 };
 

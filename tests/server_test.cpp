@@ -1,0 +1,304 @@
+// Server engine tests: wire framing round-trips, online admission control
+// (floor accept/reject, error frames), query frames, the unix listening
+// socket, and the load-bearing shutdown contract — stop() drains every frame
+// the readers consumed, and the concurrently served stream is bit-identical
+// to a sequential run_admission_sequence replay of history().
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check/validate.hpp"
+#include "core/admission.hpp"
+#include "obs/metrics.hpp"
+#include "server/frame.hpp"
+#include "server/hosting.hpp"
+#include "server/server.hpp"
+#include "util/rng.hpp"
+
+namespace sflow::server {
+namespace {
+
+/// A connected AF_UNIX stream pair; fds still owned at destruction are
+/// closed.  release()d fds pass to the server, which closes them itself.
+struct SocketPair {
+  int fds[2] = {-1, -1};
+  SocketPair() { EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0); }
+  ~SocketPair() {
+    for (const int fd : fds)
+      if (fd >= 0) ::close(fd);
+  }
+  int release(int i) {
+    const int fd = fds[i];
+    fds[i] = -1;
+    return fd;
+  }
+};
+
+TEST(Framing, RoundTripsPayloads) {
+  SocketPair pair;
+  const std::vector<std::string> payloads = {
+      "", "x", "GET /metrics", "S0 -> S1\nS1 -> S2\n",
+      std::string(10000, 'q') + "\n#end"};
+  std::string read_back;
+  for (const std::string& payload : payloads) {
+    write_frame(pair.fds[0], payload);
+    ASSERT_TRUE(read_frame(pair.fds[1], read_back));
+    EXPECT_EQ(read_back, payload);
+  }
+}
+
+TEST(Framing, CleanEofAtFrameBoundaryReturnsFalse) {
+  SocketPair pair;
+  write_frame(pair.fds[0], "last frame");
+  ::close(pair.release(0));
+  std::string payload;
+  ASSERT_TRUE(read_frame(pair.fds[1], payload));
+  EXPECT_EQ(payload, "last frame");
+  EXPECT_FALSE(read_frame(pair.fds[1], payload));
+}
+
+TEST(Framing, TornHeaderThrows) {
+  SocketPair pair;
+  const char partial[2] = {0, 0};
+  ASSERT_EQ(::write(pair.fds[0], partial, 2), 2);
+  ::close(pair.release(0));
+  std::string payload;
+  EXPECT_THROW(read_frame(pair.fds[1], payload), std::runtime_error);
+}
+
+TEST(Framing, OversizedAnnouncedLengthThrows) {
+  SocketPair pair;
+  const unsigned char header[4] = {0xff, 0xff, 0xff, 0xff};
+  ASSERT_EQ(::write(pair.fds[0], header, 4), 4);
+  std::string payload;
+  EXPECT_THROW(read_frame(pair.fds[1], payload), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+
+constexpr std::uint64_t kSeed = 11;
+
+std::unique_ptr<Server> make_server(double floor = 1e-9,
+                                    std::size_t presolve_threads = 2) {
+  HostingConfig hosting;
+  hosting.network_size = 24;
+  hosting.service_count = 4;
+  hosting.instances_per_service = 3;
+  hosting.seed = kSeed;
+  ServerConfig config;
+  config.admission.bandwidth_floor = floor;
+  config.seed = util::derive_seed(kSeed, 1);
+  config.presolve_threads = presolve_threads;
+  return std::make_unique<Server>(make_hosting_scenario(hosting), config);
+}
+
+std::string request(int fd, const std::string& payload) {
+  write_frame(fd, payload);
+  std::string response;
+  EXPECT_TRUE(read_frame(fd, response));
+  return response;
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+TEST(Server, AnswersCatalogAndMetricsQueries) {
+  auto server = make_server();
+  SocketPair pair;
+  server->adopt_connection(pair.release(0));
+
+  const std::string catalog = request(pair.fds[1], "GET /catalog");
+  EXPECT_TRUE(starts_with(catalog, "service S0 instances 3 @")) << catalog;
+  EXPECT_NE(catalog.find("service S3 instances 3 @"), std::string::npos);
+
+  const std::string metrics = request(pair.fds[1], "GET /metrics");
+  EXPECT_NE(metrics.find("server_connections_total"), std::string::npos);
+}
+
+TEST(Server, AdmitsFeasibleRequestAboveFloor) {
+  auto server = make_server();
+  SocketPair pair;
+  server->adopt_connection(pair.release(0));
+
+  const std::string response = request(pair.fds[1], "S0 -> S1\nS1 -> S2\n");
+  ASSERT_TRUE(starts_with(response, "status: admitted")) << response;
+  EXPECT_NE(response.find("sequence: 0"), std::string::npos);
+  EXPECT_NE(response.find("rate: "), std::string::npos);
+  EXPECT_NE(response.find("assign S0 @"), std::string::npos);  // flow graph
+
+  server->stop();
+  ASSERT_EQ(server->history().size(), 1u);
+  EXPECT_TRUE(server->history()[0].decision.admitted);
+  EXPECT_EQ(server->view().generation(), 1u);
+
+  const check::ValidationReport report = check::validate_conservation(
+      server->view().base(), server->scenario().underlay,
+      server->scenario().routing.get(), server->view().admitted());
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(Server, RejectsWhenGrantedRateFallsBelowTheFloor) {
+  // Same feasible request as above, but an admission floor no overlay link
+  // can clear: the solve succeeds, the admission is denied, nothing is
+  // charged.
+  auto server = make_server(/*floor=*/1e12);
+  SocketPair pair;
+  server->adopt_connection(pair.release(0));
+
+  const std::string response = request(pair.fds[1], "S0 -> S1\nS1 -> S2\n");
+  ASSERT_TRUE(starts_with(response, "status: rejected")) << response;
+  EXPECT_NE(response.find("below the admission floor"), std::string::npos);
+
+  server->stop();
+  ASSERT_EQ(server->history().size(), 1u);
+  EXPECT_FALSE(server->history()[0].decision.admitted);
+  EXPECT_EQ(server->history()[0].decision.rate, 0.0);
+  EXPECT_EQ(server->view().generation(), 0u);
+}
+
+TEST(Server, UnknownServiceIsAnErrorAndDrawsNoSequence) {
+  auto server = make_server();
+  SocketPair pair;
+  server->adopt_connection(pair.release(0));
+
+  const std::string error = request(pair.fds[1], "S0 -> NotHosted\n");
+  ASSERT_TRUE(starts_with(error, "status: error")) << error;
+  EXPECT_NE(error.find("unknown service 'NotHosted'"), std::string::npos);
+
+  // The malformed frame consumed no sequence number: the next request is
+  // sequence 0, exactly as if the error frame never happened.
+  const std::string ok = request(pair.fds[1], "S0 -> S1\n");
+  EXPECT_NE(ok.find("sequence: 0"), std::string::npos) << ok;
+
+  server->stop();
+  EXPECT_EQ(server->history().size(), 1u);
+}
+
+TEST(Server, MalformedRequirementIsAnError) {
+  auto server = make_server();
+  SocketPair pair;
+  server->adopt_connection(pair.release(0));
+  const std::string error = request(pair.fds[1], "this is not a requirement");
+  EXPECT_TRUE(starts_with(error, "status: error")) << error;
+}
+
+TEST(Server, DrainOnStopAnswersEverythingBitIdenticalToSequentialReplay) {
+  constexpr std::size_t kConnections = 3;
+  constexpr std::size_t kPerConnection = 8;
+
+  obs::Counter& received =
+      obs::Registry::global().counter("server_requests_total");
+  const std::uint64_t baseline = received.value();
+
+  auto server = make_server();
+  std::vector<int> clients;
+  std::vector<SocketPair> pairs(kConnections);
+  for (std::size_t c = 0; c < kConnections; ++c) {
+    server->adopt_connection(pairs[c].release(0));
+    clients.push_back(pairs[c].fds[1]);
+  }
+
+  // Fire every frame without reading a single response: chains of varying
+  // length over the hosted services, interleaved across connections.
+  for (std::size_t r = 0; r < kPerConnection; ++r)
+    for (std::size_t c = 0; c < kConnections; ++c) {
+      std::string requirement;
+      const std::size_t hops = 2 + (c + r) % 3;  // 2..4 services
+      for (std::size_t h = 0; h + 1 < hops; ++h)
+        requirement += "S" + std::to_string((c + h) % 4) + " -> S" +
+                       std::to_string((c + h + 1) % 4) + "\n";
+      write_frame(clients[c], requirement);
+    }
+
+  // Wait until the readers consumed every frame, then stop: the drain must
+  // answer all of them even though nothing was read back yet.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (received.value() < baseline + kConnections * kPerConnection &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::yield();
+  ASSERT_EQ(received.value(), baseline + kConnections * kPerConnection);
+  server->stop();
+
+  // Every response is sitting in the socket buffers, then EOF.
+  std::size_t responses = 0;
+  std::string response;
+  for (std::size_t c = 0; c < kConnections; ++c) {
+    while (read_frame(clients[c], response)) {
+      ++responses;
+      EXPECT_TRUE(starts_with(response, "status: admitted") ||
+                  starts_with(response, "status: rejected"))
+          << response;
+    }
+  }
+  EXPECT_EQ(responses, kConnections * kPerConnection);
+  ASSERT_EQ(server->history().size(), kConnections * kPerConnection);
+
+  // Determinism pin: replay the served stream sequentially.
+  std::vector<overlay::ServiceRequirement> stream;
+  for (const ServedRequest& served : server->history())
+    stream.push_back(served.requirement);
+  const core::AdmissionResult replay = core::run_admission_sequence(
+      server->scenario(), stream, server->config().admission,
+      server->config().seed);
+  ASSERT_EQ(replay.decisions.size(), server->history().size());
+  for (std::size_t i = 0; i < replay.decisions.size(); ++i) {
+    const core::AdmissionDecision& live = server->history()[i].decision;
+    const core::AdmissionDecision& seq = replay.decisions[i];
+    EXPECT_EQ(live.admitted, seq.admitted) << "request " << i;
+    EXPECT_EQ(live.rate, seq.rate) << "request " << i;
+    EXPECT_TRUE(live.outcome.deterministically_equal(seq.outcome))
+        << "request " << i;
+  }
+  EXPECT_EQ(server->view().generation(), replay.view.generation());
+
+  const check::ValidationReport report = check::validate_conservation(
+      server->view().base(), server->scenario().underlay,
+      server->scenario().routing.get(), server->view().admitted());
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(Server, ListenUnixServesOverARealSocket) {
+  const std::string path =
+      "/tmp/sflow_server_test_" + std::to_string(::getpid()) + ".sock";
+  auto server = make_server();
+  server->listen_unix(path);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                      sizeof(address)),
+            0)
+      << std::strerror(errno);
+
+  EXPECT_TRUE(starts_with(request(fd, "GET /catalog"), "service S0"));
+  EXPECT_TRUE(starts_with(request(fd, "S0 -> S1\n"), "status: "));
+  ::close(fd);
+  server->stop();
+  // stop() unlinked the socket file.
+  EXPECT_NE(::access(path.c_str(), F_OK), 0);
+}
+
+TEST(Server, StopIsIdempotentAndDestructorIsSafeAfterStop) {
+  auto server = make_server();
+  SocketPair pair;
+  server->adopt_connection(pair.release(0));
+  server->stop();
+  server->stop();
+  server.reset();  // destructor after explicit stop
+}
+
+}  // namespace
+}  // namespace sflow::server

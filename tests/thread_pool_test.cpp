@@ -1,0 +1,125 @@
+// Lifecycle regression tests for the background-thread utilities the server
+// depends on: exception containment in util::ThreadPool (a throwing task must
+// surface at wait_idle(), never unwind a worker's top frame and terminate the
+// process) and bounded-shutdown-latency in util::PeriodicTask (stop() wakes
+// the sleeper immediately instead of waiting out the interval; the destructor
+// joins, so owning scopes may throw).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "util/periodic.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace sflow::util {
+namespace {
+
+TEST(ThreadPoolErrors, ThrowingSubmitSurfacesAtWaitIdle) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+}
+
+TEST(ThreadPoolErrors, FirstExceptionWinsAndCarriesItsMessage) {
+  ThreadPool pool(1);  // one worker serializes the tasks: "first" is exact
+  pool.submit([] { throw std::runtime_error("first"); });
+  pool.submit([] { throw std::runtime_error("second"); });
+  try {
+    pool.wait_idle();
+    FAIL() << "wait_idle() did not rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+}
+
+TEST(ThreadPoolErrors, PoolStaysUsableAfterRethrow) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+
+  // The error was cleared by the rethrow; later batches run clean.
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 16; ++i) pool.submit([&ran] { ++ran; });
+  EXPECT_NO_THROW(pool.wait_idle());
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPoolErrors, HealthyTasksAroundThrowingOneAllRun) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) pool.submit([&ran] { ++ran; });
+  pool.submit([] { throw std::runtime_error("middle"); });
+  for (int i = 0; i < 8; ++i) pool.submit([&ran] { ++ran; });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPoolErrors, DestructorDrainsWithPendingErrorWithoutTerminating) {
+  // Drop the pool with a captured-but-undelivered exception: the destructor
+  // must drain and swallow it (nothing could catch a throw there).
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("undelivered"); });
+    for (int i = 0; i < 4; ++i) pool.submit([&ran] { ++ran; });
+  }
+  EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(ThreadPoolErrors, ParallelForStillPropagatesItsOwnExceptions) {
+  // parallel_for has its own first-error channel; the worker-level capture
+  // must not swallow it.
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 64,
+                                 [](std::size_t i) {
+                                   if (i == 17)
+                                     throw std::runtime_error("iteration");
+                                 }),
+               std::runtime_error);
+  EXPECT_NO_THROW(pool.wait_idle());  // and it is not double-reported
+}
+
+TEST(PeriodicTask, TicksRepeatedly) {
+  std::atomic<int> ticks{0};
+  PeriodicTask task(std::chrono::milliseconds(1), [&ticks] { ++ticks; });
+  const Stopwatch watch;
+  while (ticks.load() < 3 && watch.elapsed_ms() < 5000.0)
+    std::this_thread::yield();
+  EXPECT_GE(ticks.load(), 3);
+}
+
+TEST(PeriodicTask, StopDoesNotWaitOutTheInterval) {
+  // A 1-hour interval with sub-second shutdown: stop() must wake the
+  // condition-variable sleeper immediately (the old sampler slept the full
+  // interval before re-checking its flag, delaying shutdown by up to one
+  // interval).
+  std::atomic<int> ticks{0};
+  const Stopwatch watch;
+  {
+    PeriodicTask task(std::chrono::hours(1), [&ticks] { ++ticks; });
+    EXPECT_TRUE(task.running());
+  }  // destructor = stop + join
+  EXPECT_LT(watch.elapsed_ms(), 10000.0);
+  EXPECT_EQ(ticks.load(), 0);
+}
+
+TEST(PeriodicTask, StopIsIdempotentAndEndsRunning) {
+  PeriodicTask task(std::chrono::milliseconds(5), [] {});
+  task.stop();
+  EXPECT_FALSE(task.running());
+  task.stop();  // second stop is a no-op
+  EXPECT_FALSE(task.running());
+}
+
+TEST(PeriodicTask, DefaultConstructedIsIdle) {
+  PeriodicTask task;
+  EXPECT_FALSE(task.running());
+  task.stop();  // harmless on an idle task
+}
+
+}  // namespace
+}  // namespace sflow::util

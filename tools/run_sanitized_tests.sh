@@ -30,6 +30,12 @@
 # apply_link_* event sequences — dirty-set invalidation, partial class-round
 # salvage, atomic tree publication behind double-checked locks — with a
 # from-scratch oracle diff after every event, under the same sanitizers.
+# The federation server rides along, and TSan is load-bearing for it:
+# thread_pool_test (exception capture across workers), server_test (reader
+# threads racing the admitter, drain-on-stop), sflowd_smoke (whole daemon —
+# accept loop, concurrent clients, signal-style shutdown) and
+# request_storm_smoke (open-loop storm with batched pre-solves) all cross
+# the queue/view/history handoffs that only a sanitizer can audit.
 #
 #   $ tools/run_sanitized_tests.sh            # thread sanitizer (default)
 #   $ tools/run_sanitized_tests.sh address    # address sanitizer

@@ -47,16 +47,15 @@
 //       Random 3-SAT instance: solves it by DPLL and through the Theorem 1
 //       reduction, reporting both verdicts (they must agree).
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <string>
-#include <thread>
 
 #include "core/comparators.hpp"
 #include "core/federator.hpp"
@@ -74,6 +73,7 @@
 #include "overlay/serialization.hpp"
 #include "satred/dpll.hpp"
 #include "satred/reduction.hpp"
+#include "util/periodic.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -200,6 +200,14 @@ int cmd_federate(const std::map<std::string, std::string>& flags) {
       static_cast<std::size_t>(get_long(flags, "instances-per-service", 3));
   const int radius = static_cast<int>(get_long(flags, "radius", 2));
   const std::string algorithm = get(flags, "algorithm", "sflow");
+  // Validate the algorithm name before any background machinery (the metrics
+  // sampler) starts: usage() exits without unwinding, so reaching it with a
+  // live sampler thread would leave that thread running through static
+  // destruction instead of producing the one-line diagnostic.
+  static const std::set<std::string> known_algorithms = {
+      "sflow", "flooding", "optimal", "fixed", "random", "path"};
+  if (!known_algorithms.contains(algorithm))
+    usage("unknown algorithm '" + algorithm + "'");
 
   const std::size_t needed = requirement.service_count() * per_service;
   if (network_size < needed) {
@@ -257,22 +265,21 @@ int cmd_federate(const std::map<std::string, std::string>& flags) {
             "--metrics-format json");
   }
   obs::MetricsTimeline timeline;
-  std::atomic<bool> stop_sampler{false};
-  std::thread sampler;
   const auto run_start = std::chrono::steady_clock::now();
   const auto elapsed_ms = [&run_start] {
     return std::chrono::duration<double, std::milli>(
                std::chrono::steady_clock::now() - run_start)
         .count();
   };
+  // The sampler is a util::PeriodicTask: its destructor stops and joins, so
+  // an exception thrown by any algorithm branch unwinds cleanly to main's
+  // catch instead of destroying a joinable std::thread (std::terminate),
+  // and stopping never waits out a full interval (condition-variable wake).
+  std::optional<util::PeriodicTask> sampler;
   if (metrics_interval > 0) {
     timeline.sample(0.0);
-    sampler = std::thread([&] {
-      while (!stop_sampler.load(std::memory_order_relaxed)) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(metrics_interval));
-        timeline.sample(elapsed_ms());
-      }
-    });
+    sampler.emplace(std::chrono::milliseconds(metrics_interval),
+                    [&timeline, &elapsed_ms] { timeline.sample(elapsed_ms()); });
   }
 
   if (algorithm == "sflow") {
@@ -311,15 +318,12 @@ int cmd_federate(const std::map<std::string, std::string>& flags) {
       effective = r->effective_requirement;
       flow = std::move(r->graph);
     }
-  } else {
-    usage("unknown algorithm '" + algorithm + "'");
   }
 
   // Observability outputs are emitted even when federation fails — a failed
   // run's message accounting is exactly what one wants to inspect.
-  if (sampler.joinable()) {
-    stop_sampler.store(true, std::memory_order_relaxed);
-    sampler.join();
+  if (sampler) {
+    sampler->stop();
     timeline.sample(elapsed_ms());  // always close with an end-of-run entry
   }
   if (want_trace && algorithm == "sflow")

@@ -82,6 +82,18 @@ if ! grep -q '"t_ms"' "$TMP/timeline.json" 2>/dev/null; then
   failures=$((failures + 1))
 fi
 
+# Regression: an unknown algorithm must be a clean usage error (exit 2, one
+# diagnostic line) even with the metrics sampler requested.  It used to reach
+# usage()'s std::exit with the sampler thread live — the thread then raced
+# static destruction (or, on throwing paths, a joinable std::thread destructor
+# called std::terminate) and the user saw an abort instead of the message.
+check bad-algorithm 2 "unknown algorithm" -- \
+  federate --requirement "$TMP/chain.req" --network-size 12 --seed 7 \
+  --algorithm bogus
+check bad-algorithm-with-sampler 2 "unknown algorithm" -- \
+  federate --requirement "$TMP/chain.req" --network-size 12 --seed 7 \
+  --metrics - --metrics-format json --metrics-interval 5 --algorithm bogus
+
 # --journal enables the process-wide event journal and dumps it as JSONL;
 # the sflow protocol records federation_start / flow_assembled milestones.
 check journal-file 0 "" -- \
