@@ -1,7 +1,5 @@
 #include "core/parallel_runner.hpp"
 
-#include <algorithm>
-
 #include "obs/metrics.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -32,6 +30,17 @@ SweepMetrics& sweep_metrics() {
   return instance;
 }
 }  // namespace
+
+ParallelSweepRunner::ParallelSweepRunner(std::size_t threads)
+    : threads_(threads == 0 ? 1 : threads) {}
+
+ParallelSweepRunner::~ParallelSweepRunner() = default;
+
+util::ThreadPool& ParallelSweepRunner::pool() const {
+  std::call_once(pool_once_,
+                 [this] { pool_ = std::make_unique<util::ThreadPool>(threads_); });
+  return *pool_;
+}
 
 TrialResult ParallelSweepRunner::run_trial(const TrialSpec& trial) {
   const Scenario scenario = make_scenario(trial.params, trial.scenario_seed);
@@ -67,8 +76,7 @@ std::vector<TrialResult> ParallelSweepRunner::run(
     for (std::size_t i = 0; i < trials.size(); ++i) timed_trial(i);
     return results;
   }
-  util::ThreadPool pool(threads_);
-  pool.parallel_for(0, trials.size(), timed_trial);
+  pool().parallel_for(0, trials.size(), timed_trial);
   return results;
 }
 
@@ -78,8 +86,9 @@ void ParallelSweepRunner::for_each(
     for (std::size_t i = 0; i < count; ++i) body(i);
     return;
   }
-  util::ThreadPool pool(std::min(threads_, count));
-  pool.parallel_for(0, count, body);
+  // parallel_for submits at most min(pool size, count) tasks, so a batch
+  // smaller than the pool just leaves workers idle.
+  pool().parallel_for(0, count, body);
 }
 
 }  // namespace sflow::core

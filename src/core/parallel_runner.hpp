@@ -11,10 +11,16 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/federator.hpp"
 #include "core/scenario.hpp"
+
+namespace sflow::util {
+class ThreadPool;
+}
 
 namespace sflow::core {
 
@@ -37,8 +43,11 @@ struct TrialResult {
 /// the caller's thread; the code path per trial is identical either way).
 class ParallelSweepRunner {
  public:
-  explicit ParallelSweepRunner(std::size_t threads)
-      : threads_(threads == 0 ? 1 : threads) {}
+  explicit ParallelSweepRunner(std::size_t threads);
+  ~ParallelSweepRunner();
+
+  ParallelSweepRunner(const ParallelSweepRunner&) = delete;
+  ParallelSweepRunner& operator=(const ParallelSweepRunner&) = delete;
 
   std::size_t threads() const noexcept { return threads_; }
 
@@ -59,7 +68,15 @@ class ParallelSweepRunner {
   static TrialResult run_trial(const TrialSpec& trial);
 
  private:
+  /// The worker pool, created once on first parallel use and reused across
+  /// run()/for_each() calls — sflowd pre-solves every admitter batch through
+  /// for_each, so per-call pool construction would put thread spawn/join on
+  /// the serve hot path.
+  util::ThreadPool& pool() const;
+
   std::size_t threads_;
+  mutable std::once_flag pool_once_;
+  mutable std::unique_ptr<util::ThreadPool> pool_;
 };
 
 }  // namespace sflow::core

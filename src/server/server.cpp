@@ -63,6 +63,15 @@ Server::Metrics::Metrics()
       presolve_hits(obs::Registry::global().counter(
           "server_batch_presolve_hits_total",
           "pre-solved outcomes committed without a re-solve")),
+      accept_failures(obs::Registry::global().counter(
+          "server_accept_failures_total",
+          "transient accept() failures survived (fd exhaustion, resets)")),
+      backpressure(obs::Registry::global().counter(
+          "server_backpressure_waits_total",
+          "reader parks on the full requirement queue")),
+      internal_errors(obs::Registry::global().counter(
+          "server_internal_errors_total",
+          "requests answered 'status: error' by a commit-path exception")),
       queue_peak(obs::Registry::global().gauge(
           "server_queue_depth_peak_total",
           "high-water mark of queued requirement frames")),
@@ -125,7 +134,15 @@ void Server::accept_loop() {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR || errno == ECONNABORTED) continue;
-      return;
+      // Everything else — EMFILE/ENFILE fd exhaustion above all — is
+      // transient for a daemon: keep the listener alive instead of silently
+      // never accepting again.  The listen fd stays readable while the
+      // backlog holds the unaccepted connection, so back off on the stop
+      // pipe rather than re-polling in a hot loop.
+      metrics_.accept_failures.increment();
+      pollfd stop_poll{stop_pipe_[0], POLLIN, 0};
+      if (::poll(&stop_poll, 1, 50) > 0) return;
+      continue;
     }
     adopt_connection(fd);
   }
@@ -136,6 +153,7 @@ void Server::adopt_connection(int fd) {
     ::close(fd);
     return;
   }
+  reap_finished_readers();
   // Backstop against a peer that stopped reading: a blocked response write
   // times out (and is dropped by respond()) instead of wedging the admitter.
   // Fails harmlessly on non-socket fds (pipes in tests).
@@ -147,11 +165,28 @@ void Server::adopt_connection(int fd) {
   std::lock_guard lock(conn_mutex_);
   if (stopping_.load()) return;  // Connection dtor closes fd
   connections_.push_back(conn);
-  readers_.emplace_back(&Server::reader_loop, this, std::move(conn));
+  const std::uint64_t reader_id = next_reader_id_++;
+  readers_.push_back({reader_id, std::thread(&Server::reader_loop, this,
+                                             std::move(conn), reader_id)});
   metrics_.connections.increment();
 }
 
-void Server::reader_loop(std::shared_ptr<Connection> conn) {
+void Server::reap_finished_readers() {
+  std::vector<std::thread> finished;
+  {
+    std::lock_guard lock(conn_mutex_);
+    finished.swap(finished_readers_);
+  }
+  for (std::thread& thread : finished) thread.join();
+}
+
+std::size_t Server::active_connections() const {
+  std::lock_guard lock(conn_mutex_);
+  return connections_.size();
+}
+
+void Server::reader_loop(std::shared_ptr<Connection> conn,
+                         std::uint64_t reader_id) {
   std::string payload;
   try {
     while (read_frame(conn->fd, payload)) {
@@ -165,7 +200,20 @@ void Server::reader_loop(std::shared_ptr<Connection> conn) {
       }
       metrics_.requests.increment();
       {
-        std::lock_guard lock(queue_mutex_);
+        std::unique_lock lock(queue_mutex_);
+        if (config_.max_queue_depth > 0 &&
+            queue_.size() >= config_.max_queue_depth && !stopping_.load()) {
+          // Past the high-water mark: park this reader until the admitter
+          // drains, stalling the client's pipeline (it wrote frames we have
+          // not read yet) instead of growing the queue without bound.
+          // stop() flips stopping_ and signals, so shutdown still drains
+          // everything already read.
+          metrics_.backpressure.increment();
+          queue_space_.wait(lock, [this] {
+            return queue_.size() < config_.max_queue_depth ||
+                   stopping_.load();
+          });
+        }
         queue_.push_back({conn, std::move(payload),
                           std::chrono::steady_clock::now()});
         metrics_.queue_peak.update_max(static_cast<double>(queue_.size()));
@@ -177,6 +225,24 @@ void Server::reader_loop(std::shared_ptr<Connection> conn) {
     // A torn frame or I/O error drops the connection; requests already
     // queued still get served and answered (best-effort).
   }
+  // The connection is gone: take it off the roster (its fd closes when the
+  // last queued frame referencing it is answered) and retire this thread's
+  // handle for a janitor join — a daemon must reclaim per-connection
+  // resources while running, not at stop().  During shutdown the handle
+  // stays put: stop() owns every join then.
+  if (stopping_.load()) return;
+  std::lock_guard lock(conn_mutex_);
+  for (auto it = connections_.begin(); it != connections_.end(); ++it)
+    if (it->get() == conn.get()) {
+      connections_.erase(it);
+      break;
+    }
+  for (auto it = readers_.begin(); it != readers_.end(); ++it)
+    if (it->id == reader_id) {
+      finished_readers_.push_back(std::move(it->thread));
+      readers_.erase(it);
+      break;
+    }
 }
 
 void Server::admitter_loop() {
@@ -194,7 +260,18 @@ void Server::admitter_loop() {
         queue_.pop_front();
       }
     }
-    serve_batch(std::move(batch));
+    // The drain emptied the queue: release readers parked on backpressure.
+    queue_space_.notify_all();
+    try {
+      serve_batch(std::move(batch));
+    } catch (...) {
+      // Last-resort backstop: an exception escaping here would unwind the
+      // admitter's top frame and std::terminate the daemon.  serve_batch
+      // answers per-request failures itself; whatever reaches this handler
+      // loses the batch's remaining responses but keeps the server (and its
+      // eventual stop() drain) alive.
+      metrics_.internal_errors.increment();
+    }
   }
 }
 
@@ -203,20 +280,26 @@ void Server::serve_batch(std::vector<QueuedFrame> batch) {
 
   // Parse serially (the admitter is the catalog's only writer), assigning
   // arrival-order sequence numbers to the frames that parse.  Malformed
-  // frames are answered here and draw no randomness, so they cannot shift
-  // any later request's derived seed.
-  struct Parsed {
+  // frames keep their batch slot so the commit loop answers them in arrival
+  // order — docs/formats.md promises per-connection send-order responses,
+  // and error frames carry no sequence a pipelining client could correlate
+  // by — but draw no randomness, so they cannot shift any later request's
+  // derived seed.
+  struct Slot {
     QueuedFrame frame;
-    overlay::ServiceRequirement requirement;
+    std::optional<overlay::ServiceRequirement> requirement;
+    std::string error;  // the response payload when parsing failed
     std::uint64_t sequence = 0;
   };
-  std::vector<Parsed> parsed;
-  parsed.reserve(batch.size());
+  std::vector<Slot> slots;
+  slots.reserve(batch.size());
   const overlay::OverlayGraph& hosting = scenario_.overlay();
+  std::size_t parse_failures = 0;
   for (QueuedFrame& frame : batch) {
+    Slot slot{std::move(frame), std::nullopt, std::string(), 0};
     try {
       overlay::ServiceRequirement requirement =
-          overlay::parse_requirement(frame.payload, scenario_.catalog);
+          overlay::parse_requirement(slot.frame.payload, scenario_.catalog);
       for (const overlay::Sid sid : requirement.services())
         if (hosting.instances_of(sid).empty())
           throw std::invalid_argument("unknown service '" +
@@ -229,30 +312,37 @@ void Server::serve_batch(std::vector<QueuedFrame> batch) {
       if (!requirement.pinned(source))
         requirement.pin(
             source, hosting.instance(hosting.instances_of(source).front()).nid);
-      parsed.push_back(
-          {std::move(frame), std::move(requirement), next_sequence_++});
+      slot.sequence = next_sequence_++;
+      slot.requirement = std::move(requirement);
     } catch (const std::exception& e) {
-      metrics_.errors.increment();
-      respond(*frame.conn,
-              std::string("status: error\nreason: ") + e.what() + "\n");
-      metrics_.latency.observe(ms_since(frame.enqueued));
+      ++parse_failures;
+      slot.error = std::string("status: error\nreason: ") + e.what() + "\n";
     }
+    slots.push_back(std::move(slot));
   }
 
   // Read-only pre-solve of the whole batch against the current residual
   // state.  Safe in parallel: solvers only run const queries against the
   // shared routing database (thread-safe lazy trees) and the residual graph,
   // and each request owns its derived rng.
-  std::vector<std::optional<core::FederationOutcome>> presolved(parsed.size());
+  std::vector<std::optional<core::FederationOutcome>> presolved(slots.size());
   const std::uint64_t presolve_generation = view_.generation();
-  if (parsed.size() > 1 && presolver_.threads() > 1) {
-    presolver_.for_each(parsed.size(), [&](std::size_t i) {
-      util::Rng rng(util::derive_seed(config_.seed, parsed[i].sequence));
-      presolved[i] = core::run_algorithm(
-          config_.admission.algorithm,
-          core::admission_view(scenario_, view_, parsed[i].requirement), rng,
-          config_.admission.sflow);
-    });
+  if (slots.size() - parse_failures > 1 && presolver_.threads() > 1) {
+    try {
+      presolver_.for_each(slots.size(), [&](std::size_t i) {
+        if (!slots[i].requirement) return;
+        util::Rng rng(util::derive_seed(config_.seed, slots[i].sequence));
+        presolved[i] = core::run_algorithm(
+            config_.admission.algorithm,
+            core::admission_view(scenario_, view_, *slots[i].requirement), rng,
+            config_.admission.sflow);
+      });
+    } catch (...) {
+      // A solver throw is contained here: drop every pre-solved outcome and
+      // let the serial commit re-solve, where the per-request handler below
+      // turns the same (deterministic) throw into one error response.
+      for (auto& outcome : presolved) outcome.reset();
+    }
   }
 
   // Serial commit in sequence order.  A pre-solved outcome is valid only
@@ -261,46 +351,66 @@ void Server::serve_batch(std::vector<QueuedFrame> batch) {
   // seeds — bit-identical to the sequential run by construction, so the
   // pre-solve can only save work (all-reject batches commit entirely from
   // pre-solved outcomes), never change results.
-  for (std::size_t i = 0; i < parsed.size(); ++i) {
-    Parsed& p = parsed[i];
-    core::AdmissionDecision decision;
-    if (presolved[i].has_value() &&
-        view_.generation() == presolve_generation) {
-      metrics_.presolve_hits.increment();
-      decision = core::apply_admission(scenario_, view_, p.sequence,
-                                       config_.admission,
-                                       std::move(*presolved[i]));
-    } else {
-      decision = core::admit_one(scenario_, view_, p.requirement, p.sequence,
-                                 config_.admission, config_.seed);
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    Slot& slot = slots[i];
+    if (!slot.requirement.has_value()) {
+      metrics_.errors.increment();
+      respond(*slot.frame.conn, slot.error);
+      metrics_.latency.observe(ms_since(slot.frame.enqueued));
+      continue;
     }
+    try {
+      core::AdmissionDecision decision;
+      if (presolved[i].has_value() &&
+          view_.generation() == presolve_generation) {
+        metrics_.presolve_hits.increment();
+        decision = core::apply_admission(scenario_, view_, slot.sequence,
+                                         config_.admission,
+                                         std::move(*presolved[i]));
+      } else {
+        decision =
+            core::admit_one(scenario_, view_, *slot.requirement, slot.sequence,
+                            config_.admission, config_.seed);
+      }
 
-    const bool clamped =
-        decision.admitted && decision.rate < decision.outcome.bandwidth;
-    (decision.admitted ? metrics_.admitted : metrics_.rejected).increment();
-    if (clamped) metrics_.clamped.increment();
+      const bool clamped =
+          decision.admitted && decision.rate < decision.outcome.bandwidth;
+      (decision.admitted ? metrics_.admitted : metrics_.rejected).increment();
+      if (clamped) metrics_.clamped.increment();
 
-    std::ostringstream out;
-    out.precision(17);
-    out << "status: " << (decision.admitted ? "admitted" : "rejected")
-        << "\nsequence: " << p.sequence << '\n';
-    if (decision.admitted) {
-      out << "rate: " << decision.rate
-          << "\nbandwidth: " << decision.outcome.bandwidth
-          << "\nlatency: " << decision.outcome.latency
-          << "\nclamped: " << (clamped ? 1 : 0) << '\n'
-          << overlay::format_flow_graph(decision.outcome.graph, hosting,
-                                        scenario_.catalog);
-    } else {
-      out << "reason: "
-          << (decision.outcome.success
-                  ? "granted rate below the admission floor"
-                  : "no feasible service flow graph")
-          << '\n';
+      std::ostringstream out;
+      out.precision(17);
+      out << "status: " << (decision.admitted ? "admitted" : "rejected")
+          << "\nsequence: " << slot.sequence << '\n';
+      if (decision.admitted) {
+        out << "rate: " << decision.rate
+            << "\nbandwidth: " << decision.outcome.bandwidth
+            << "\nlatency: " << decision.outcome.latency
+            << "\nclamped: " << (clamped ? 1 : 0) << '\n'
+            << overlay::format_flow_graph(decision.outcome.graph, hosting,
+                                          scenario_.catalog);
+      } else {
+        out << "reason: "
+            << (decision.outcome.success
+                    ? "granted rate below the admission floor"
+                    : "no feasible service flow graph")
+            << '\n';
+      }
+      respond(*slot.frame.conn, out.str());
+      metrics_.latency.observe(ms_since(slot.frame.enqueued));
+      history_.push_back({std::move(*slot.requirement), std::move(decision)});
+    } catch (const std::exception& e) {
+      // A commit-path failure (a solver invariant, allocation pressure while
+      // formatting) fails this one request; the admitter — and the daemon —
+      // live on.  The request consumed its sequence number, which is exactly
+      // what a sequential replay hitting the same deterministic throw would
+      // observe.
+      metrics_.internal_errors.increment();
+      respond(*slot.frame.conn,
+              std::string("status: error\nreason: internal: ") + e.what() +
+                  "\n");
+      metrics_.latency.observe(ms_since(slot.frame.enqueued));
     }
-    respond(*p.frame.conn, out.str());
-    metrics_.latency.observe(ms_since(p.frame.enqueued));
-    history_.push_back({std::move(p.requirement), std::move(decision)});
   }
 }
 
@@ -340,14 +450,30 @@ void Server::stop() {
       fd = -1;
     }
 
-  // 2. EOF every connection's read side; readers finish the frame they are
-  // on, enqueue it, and exit.  Joining them *before* closing the queue is
-  // what guarantees the admitter sees every frame that was fully read.
+  // 2. Release any reader parked on queue backpressure (stopping_ flips its
+  // wait predicate; the lock pulse pairs the notify with a waiter that
+  // checked the predicate just before stopping_ was set), then EOF every
+  // connection's read side; readers finish the frame they are on, enqueue
+  // it, and exit.  Joining them *before* closing the queue is what
+  // guarantees the admitter sees every frame that was fully read.  Handles
+  // are collected under conn_mutex_ because a reader whose client hung up
+  // may concurrently be retiring its own entry.
+  {
+    std::lock_guard lock(queue_mutex_);
+  }
+  queue_space_.notify_all();
+  std::vector<std::thread> reader_threads;
   {
     std::lock_guard lock(conn_mutex_);
     for (const auto& conn : connections_) ::shutdown(conn->fd, SHUT_RD);
+    for (Reader& reader : readers_)
+      reader_threads.push_back(std::move(reader.thread));
+    readers_.clear();
+    for (std::thread& thread : finished_readers_)
+      reader_threads.push_back(std::move(thread));
+    finished_readers_.clear();
   }
-  for (std::thread& reader : readers_)
+  for (std::thread& reader : reader_threads)
     if (reader.joinable()) reader.join();
 
   // 3. Close the queue; the admitter drains and answers everything, then
@@ -363,7 +489,6 @@ void Server::stop() {
   // their last response was written).
   {
     std::lock_guard lock(conn_mutex_);
-    readers_.clear();
     connections_.clear();
   }
 }

@@ -67,6 +67,12 @@ struct ServerConfig {
   /// commit itself is always serial — that is what the determinism pin
   /// rests on).
   std::size_t presolve_threads = 1;
+  /// High-water mark for the requirement queue.  A reader that would push
+  /// past it parks until the admitter drains, so an open-loop client that
+  /// outpaces the solver stalls its own pipeline (per-connection
+  /// backpressure) instead of growing the queue — and its copied frame
+  /// payloads — without bound.  0 = unbounded.
+  std::size_t max_queue_depth = 4096;
 };
 
 /// One answered requirement frame, in sequence (arrival) order.  The
@@ -104,6 +110,12 @@ class Server {
 
   const core::Scenario& scenario() const noexcept { return scenario_; }
   const ServerConfig& config() const noexcept { return config_; }
+
+  /// Connections currently on the roster.  A disconnected client leaves it
+  /// as soon as its reader exits (the fd itself closes once the last queued
+  /// frame referencing it is answered) — a long-running daemon must not
+  /// accumulate one fd per connection ever served.
+  std::size_t active_connections() const;
 
   /// Residual state after the served stream.  Stable only once stop() has
   /// returned (the admitter is the sole writer while running).
@@ -146,13 +158,27 @@ class Server {
     obs::Counter& clamped;
     obs::Counter& batches;
     obs::Counter& presolve_hits;
+    obs::Counter& accept_failures;
+    obs::Counter& backpressure;
+    obs::Counter& internal_errors;
     obs::Gauge& queue_peak;
     obs::Histogram& latency;
     Metrics();
   };
 
+  /// One per-connection reader thread; `id` lets the thread find (and
+  /// retire) its own entry when its connection goes away.
+  struct Reader {
+    std::uint64_t id;
+    std::thread thread;
+  };
+
   void accept_loop();
-  void reader_loop(std::shared_ptr<Connection> conn);
+  void reader_loop(std::shared_ptr<Connection> conn, std::uint64_t reader_id);
+  /// Joins reader threads whose connections have closed (they are already
+  /// finished, so the joins are instant).  Called from adopt_connection —
+  /// each new connection reaps the dead ones — and from stop().
+  void reap_finished_readers();
   void admitter_loop();
   void serve_batch(std::vector<QueuedFrame> batch);
   /// Best-effort framed reply; a peer that vanished loses its response but
@@ -173,13 +199,19 @@ class Server {
   int stop_pipe_[2] = {-1, -1};  // wakes the accept loop's poll()
   std::thread accept_thread_;
 
-  std::mutex conn_mutex_;
+  mutable std::mutex conn_mutex_;
   std::vector<std::shared_ptr<Connection>> connections_;
-  std::vector<std::thread> readers_;
+  std::vector<Reader> readers_;
+  /// Threads of readers that already exited, awaiting a janitor join.
+  std::vector<std::thread> finished_readers_;
+  std::uint64_t next_reader_id_ = 0;  // guarded by conn_mutex_
   std::atomic<bool> stopping_{false};
 
   std::mutex queue_mutex_;
   std::condition_variable queue_ready_;
+  /// Signalled after every admitter drain; readers parked on the
+  /// max_queue_depth high-water mark wait on it.
+  std::condition_variable queue_space_;
   std::deque<QueuedFrame> queue_;
   bool queue_closed_ = false;
 

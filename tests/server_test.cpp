@@ -10,6 +10,8 @@
 
 #include <chrono>
 #include <cstring>
+#include <filesystem>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -87,7 +89,8 @@ TEST(Framing, OversizedAnnouncedLengthThrows) {
 constexpr std::uint64_t kSeed = 11;
 
 std::unique_ptr<Server> make_server(double floor = 1e-9,
-                                    std::size_t presolve_threads = 2) {
+                                    std::size_t presolve_threads = 2,
+                                    std::size_t max_queue_depth = 4096) {
   HostingConfig hosting;
   hosting.network_size = 24;
   hosting.service_count = 4;
@@ -97,6 +100,7 @@ std::unique_ptr<Server> make_server(double floor = 1e-9,
   config.admission.bandwidth_floor = floor;
   config.seed = util::derive_seed(kSeed, 1);
   config.presolve_threads = presolve_threads;
+  config.max_queue_depth = max_queue_depth;
   return std::make_unique<Server>(make_hosting_scenario(hosting), config);
 }
 
@@ -265,6 +269,120 @@ TEST(Server, DrainOnStopAnswersEverythingBitIdenticalToSequentialReplay) {
       server->view().base(), server->scenario().underlay,
       server->scenario().routing.get(), server->view().admitted());
   EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+std::size_t open_fd_count() {
+  std::size_t count = 0;
+  for ([[maybe_unused]] const auto& entry :
+       std::filesystem::directory_iterator("/proc/self/fd"))
+    ++count;
+  return count;
+}
+
+bool spin_until(const std::function<bool()>& condition) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (!condition()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::yield();
+  }
+  return true;
+}
+
+// Regression: a long-running daemon must reclaim per-connection resources
+// (roster entry, fd, reader thread) when the client disconnects, not at
+// stop() — one leaked fd per connection ever served ends in EMFILE and a
+// dead accept loop.
+TEST(Server, ReapsDisconnectedConnectionsWhileRunning) {
+  auto server = make_server();
+  const std::size_t baseline_fds = open_fd_count();
+
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    SocketPair pair;
+    server->adopt_connection(pair.release(0));
+    EXPECT_TRUE(
+        starts_with(request(pair.fds[1], "S0 -> S1\n"), "status: "));
+  }  // ~SocketPair closes the client end; the reader sees EOF and retires
+
+  ASSERT_TRUE(spin_until([&] { return server->active_connections() == 0; }))
+      << "disconnected connections never left the roster";
+  // Every per-connection fd was closed while the server kept running (the
+  // directory_iterator itself costs a transient fd; allow slack for it).
+  ASSERT_TRUE(spin_until([&] { return open_fd_count() <= baseline_fds + 1; }))
+      << "fds leaked: " << open_fd_count() << " open, baseline "
+      << baseline_fds;
+
+  // The server is still fully alive afterwards.
+  SocketPair pair;
+  server->adopt_connection(pair.release(0));
+  EXPECT_TRUE(starts_with(request(pair.fds[1], "S0 -> S1\n"), "status: "));
+}
+
+// Regression: responses on one connection must come back in the order the
+// frames were sent (docs/formats.md), including `status: error` answers for
+// malformed frames — a batch used to answer its parse failures before its
+// earlier valid frames, and error frames carry no sequence number a
+// pipelining client could re-correlate by.
+TEST(Server, MalformedFramesAnswerInPerConnectionSendOrder) {
+  constexpr std::size_t kPairs = 8;
+
+  obs::Counter& received =
+      obs::Registry::global().counter("server_requests_total");
+  const std::uint64_t baseline = received.value();
+
+  auto server = make_server();
+  SocketPair pair;
+  server->adopt_connection(pair.release(0));
+
+  // Open-loop: alternate valid and malformed frames without reading a
+  // single response, so the admitter batches valid and malformed together.
+  for (std::size_t i = 0; i < kPairs; ++i) {
+    write_frame(pair.fds[1], "S0 -> S1\n");
+    write_frame(pair.fds[1], "this is not a requirement");
+  }
+  ASSERT_TRUE(spin_until(
+      [&] { return received.value() >= baseline + 2 * kPairs; }));
+  server->stop();
+
+  std::string response;
+  for (std::size_t i = 0; i < 2 * kPairs; ++i) {
+    ASSERT_TRUE(read_frame(pair.fds[1], response)) << "response " << i;
+    if (i % 2 == 0)
+      EXPECT_TRUE(starts_with(response, "status: admitted") ||
+                  starts_with(response, "status: rejected"))
+          << "response " << i << " out of send order: " << response;
+    else
+      EXPECT_TRUE(starts_with(response, "status: error"))
+          << "response " << i << " out of send order: " << response;
+  }
+  EXPECT_FALSE(read_frame(pair.fds[1], response));
+}
+
+// Regression: the requirement queue is bounded; an open-loop client that
+// outruns the solver parks its reader (per-connection backpressure) instead
+// of growing the queue without limit — and no request is lost to the bound.
+TEST(Server, BoundedQueueBackpressuresWithoutLosingRequests) {
+  constexpr std::size_t kRequests = 12;
+  auto server = make_server(/*floor=*/1e-9, /*presolve_threads=*/2,
+                            /*max_queue_depth=*/1);
+
+  SocketPair pair;
+  server->adopt_connection(pair.release(0));
+  for (std::size_t i = 0; i < kRequests; ++i)
+    write_frame(pair.fds[1], "S0 -> S1\nS1 -> S2\n");
+
+  // Every frame is answered despite the depth-1 queue, in order.
+  std::string response;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(read_frame(pair.fds[1], response)) << "response " << i;
+    EXPECT_TRUE(starts_with(response, "status: admitted") ||
+                starts_with(response, "status: rejected"))
+        << response;
+    EXPECT_NE(response.find("sequence: "), std::string::npos);
+  }
+
+  server->stop();
+  EXPECT_EQ(server->history().size(), kRequests);
 }
 
 TEST(Server, ListenUnixServesOverARealSocket) {
