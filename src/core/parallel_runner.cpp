@@ -42,6 +42,10 @@ util::ThreadPool& ParallelSweepRunner::pool() const {
   return *pool_;
 }
 
+util::ThreadPool* ParallelSweepRunner::pool_if_parallel() const {
+  return threads_ <= 1 ? nullptr : &pool();
+}
+
 TrialResult ParallelSweepRunner::run_trial(const TrialSpec& trial) {
   const Scenario scenario = make_scenario(trial.params, trial.scenario_seed);
   TrialResult result;

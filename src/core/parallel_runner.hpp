@@ -67,6 +67,12 @@ class ParallelSweepRunner {
   /// The per-trial function both the serial and the parallel path execute.
   static TrialResult run_trial(const TrialSpec& trial);
 
+  /// The underlying worker pool when this runner is parallel, nullptr at
+  /// threads() == 1 — lets consumers hand the same thread budget to APIs
+  /// that take a ThreadPool directly (e.g. the routing database's parallel
+  /// precompute_all and update-pool fan-out) without owning a second pool.
+  util::ThreadPool* pool_if_parallel() const;
+
  private:
   /// The worker pool, created once on first parallel use and reused across
   /// run()/for_each() calls — sflowd pre-solves every admitter batch through

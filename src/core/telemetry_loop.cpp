@@ -154,7 +154,8 @@ ClosedLoopResult run_closed_loop(const overlay::OverlayGraph& overlay_before,
           RetargetedRouting retargeted = retarget_routing(
               *config.pre_churn_routing, overlay_before, overlay_after);
           result.routing_incremental = retargeted.incremental;
-          result.routing_dirty_sources = retargeted.diff.dirty_sources;
+          result.routing_invalidated_sources =
+              retargeted.diff.invalidated_sources;
           local_routing = std::move(retargeted.routing);
         } else {
           local_routing = std::make_unique<graph::AllPairsShortestWidest>(

@@ -101,7 +101,7 @@ struct ClosedLoopResult {
   /// (warm clone + link diff) rather than a from-scratch build.
   bool routing_incremental = false;
   /// Source trees the incremental diff invalidated (0 when not incremental).
-  std::size_t routing_dirty_sources = 0;
+  std::size_t routing_invalidated_sources = 0;
 
   /// Ground-truth delivered bandwidth of the active flow, one point per
   /// probe: (probe time ms, bottleneck over the flow's links as the ground

@@ -4,11 +4,13 @@
 #include <functional>
 #include <queue>
 #include <set>
+#include <span>
 #include <stdexcept>
 
 #include "graph/dag.hpp"
 #include "obs/metrics.hpp"
 #include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace sflow::graph {
 
@@ -44,6 +46,17 @@ struct RoutingMetrics {
   obs::Counter& full_rebuilds = obs::Registry::global().counter(
       "routing_full_rebuilds_total",
       "routing database rebuilds that could not stay incremental");
+  obs::Counter& rounds_salvaged = obs::Registry::global().counter(
+      "routing_class_rounds_salvaged_total",
+      "width-class rounds copied wholesale by incremental re-sweeps");
+  obs::Counter& lazy_repairs = obs::Registry::global().counter(
+      "routing_lazy_repairs_total",
+      "stale source trees repaired on first query (lazy repair mode)");
+  obs::Histogram& resweep_us = obs::Registry::global().histogram(
+      "routing_resweep_us",
+      {10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+       25000.0, 50000.0, 100000.0, 250000.0},
+      "wall clock per incremental source-tree re-sweep (microseconds)");
 };
 
 RoutingMetrics& routing_metrics() {
@@ -124,12 +137,73 @@ std::uint64_t widest_pass(const CsrView& csr, NodeIndex source,
 /// with width < b are unreachable through >= b arcs by construction, so no
 /// explicit filter is needed for them.  Shared verbatim between the full
 /// kernel and the incremental partial re-sweep so both stay bit-identical.
+/// Every finished round appends its {width, arena end} boundary to `rounds` —
+/// the table the salvage fast path copies retained rounds through.
+/// One round of the sweep: a pruned latency Dijkstra at class `b`,
+/// materializing the `remaining` destinations whose width equals `b`.  The
+/// settle order (lexicographic on (dist, node index) via the heap's pair
+/// comparison) and the first-achiever predecessor rule make the result — and
+/// the order members land in the arena — a function of the bandwidth >= b
+/// arc *set* alone, independent of arc numbering; that invariance (pinned by
+/// the fuzzer's edge-renumbering oracle) is what the band salvage below
+/// leans on.
+std::uint64_t sweep_round(const CsrView& csr, NodeIndex source, double b,
+                          std::size_t remaining, RoutingWorkspace& ws,
+                          std::vector<PathQuality>& qualities,
+                          std::vector<std::uint32_t>& offsets,
+                          std::vector<std::uint32_t>& lengths,
+                          std::vector<NodeIndex>& arena) {
+  std::uint64_t scanned = 0;
+  const std::uint32_t epoch = ws.next_epoch();
+  ws.visit_epoch[static_cast<std::size_t>(source)] = epoch;
+  ws.dist[static_cast<std::size_t>(source)] = 0.0;
+  ws.pred[static_cast<std::size_t>(source)] = kInvalidNode;
+  auto& heap = ws.heap;  // min-heap under std::greater
+  heap.clear();
+  heap.push_back({0.0, source});
+
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+    const auto [d, v] = heap.back();
+    heap.pop_back();
+    const auto vi = static_cast<std::size_t>(v);
+    if (ws.done_epoch[vi] == epoch) continue;
+    ws.done_epoch[vi] = epoch;
+
+    // A finalized label is exact; class members can be materialized
+    // immediately (their whole predecessor chain is already finalized).
+    if (v != source && ws.width[vi] == b) {
+      qualities[vi] = PathQuality{b, d};
+      append_pred_path(ws, source, v, arena, offsets, lengths);
+      if (--remaining == 0) break;
+    }
+
+    for (const CsrView::Arc& arc : csr.out_arcs(v)) {
+      ++scanned;
+      if (arc.bandwidth < b) break;  // descending prefix exhausted
+      const auto ti = static_cast<std::size_t>(arc.to);
+      const double cand = d + arc.latency;
+      if (ws.visit_epoch[ti] != epoch || cand < ws.dist[ti]) {
+        ws.visit_epoch[ti] = epoch;
+        ws.dist[ti] = cand;
+        ws.pred[ti] = v;
+        heap.push_back({cand, arc.to});
+        std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+      }
+    }
+  }
+  if (remaining != 0)
+    throw std::logic_error("shortest_widest_tree: width class unreachable");
+  return scanned;
+}
+
 std::uint64_t sweep_class_rounds(const CsrView& csr, NodeIndex source,
                                  RoutingWorkspace& ws,
                                  std::vector<PathQuality>& qualities,
                                  std::vector<std::uint32_t>& offsets,
                                  std::vector<std::uint32_t>& lengths,
-                                 std::vector<NodeIndex>& arena) {
+                                 std::vector<NodeIndex>& arena,
+                                 std::vector<RoutingTree::ClassRound>& rounds) {
   std::uint64_t scanned = 0;
   const std::vector<NodeIndex>& order = ws.order;
   std::size_t i = 0;
@@ -138,48 +212,9 @@ std::uint64_t sweep_class_rounds(const CsrView& csr, NodeIndex source,
     std::size_t j = i;
     while (j < order.size() && ws.width[static_cast<std::size_t>(order[j])] == b)
       ++j;
-    std::size_t remaining = j - i;
-
-    const std::uint32_t epoch = ws.next_epoch();
-    ws.visit_epoch[static_cast<std::size_t>(source)] = epoch;
-    ws.dist[static_cast<std::size_t>(source)] = 0.0;
-    ws.pred[static_cast<std::size_t>(source)] = kInvalidNode;
-    auto& heap = ws.heap;  // min-heap under std::greater
-    heap.clear();
-    heap.push_back({0.0, source});
-
-    while (!heap.empty()) {
-      std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
-      const auto [d, v] = heap.back();
-      heap.pop_back();
-      const auto vi = static_cast<std::size_t>(v);
-      if (ws.done_epoch[vi] == epoch) continue;
-      ws.done_epoch[vi] = epoch;
-
-      // A finalized label is exact; class members can be materialized
-      // immediately (their whole predecessor chain is already finalized).
-      if (v != source && ws.width[vi] == b) {
-        qualities[vi] = PathQuality{b, d};
-        append_pred_path(ws, source, v, arena, offsets, lengths);
-        if (--remaining == 0) break;
-      }
-
-      for (const CsrView::Arc& arc : csr.out_arcs(v)) {
-        ++scanned;
-        if (arc.bandwidth < b) break;  // descending prefix exhausted
-        const auto ti = static_cast<std::size_t>(arc.to);
-        const double cand = d + arc.latency;
-        if (ws.visit_epoch[ti] != epoch || cand < ws.dist[ti]) {
-          ws.visit_epoch[ti] = epoch;
-          ws.dist[ti] = cand;
-          ws.pred[ti] = v;
-          heap.push_back({cand, arc.to});
-          std::push_heap(heap.begin(), heap.end(), std::greater<>{});
-        }
-      }
-    }
-    if (remaining != 0)
-      throw std::logic_error("shortest_widest_tree: width class unreachable");
+    scanned += sweep_round(csr, source, b, j - i, ws, qualities, offsets,
+                           lengths, arena);
+    rounds.push_back({b, static_cast<std::uint32_t>(arena.size())});
     i = j;
   }
   return scanned;
@@ -274,6 +309,7 @@ RoutingTree shortest_widest_tree(const CsrView& csr, NodeIndex source,
   std::vector<std::uint32_t> offsets(n, 0);
   std::vector<std::uint32_t> lengths(n, 0);
   std::vector<NodeIndex> arena;
+  std::vector<RoutingTree::ClassRound> rounds;
   qualities[static_cast<std::size_t>(source)] = PathQuality::source();
   lengths[static_cast<std::size_t>(source)] = 1;
   arena.push_back(source);
@@ -281,10 +317,10 @@ RoutingTree shortest_widest_tree(const CsrView& csr, NodeIndex source,
   // Stage 2: descending width-class sweep over ws.order (see
   // sweep_class_rounds, shared with the incremental partial re-sweep).
   scanned += sweep_class_rounds(csr, source, ws, qualities, offsets, lengths,
-                                arena);
+                                arena, rounds);
 
   RoutingTree tree(source, std::move(qualities), std::move(arena),
-                   std::move(offsets), std::move(lengths));
+                   std::move(offsets), std::move(lengths), std::move(rounds));
   RoutingMetrics& metrics = routing_metrics();
   metrics.relaxations.add(scanned);
   metrics.tree_peak_bytes.update_max(static_cast<double>(tree.memory_bytes()));
@@ -499,24 +535,84 @@ PathQuality path_quality(const Digraph& g, std::span<const NodeIndex> path) {
   return q;
 }
 
+struct AllPairsShortestWidest::ResweepOutcome {
+  std::size_t rounds_swept = 0;
+  std::size_t rounds_salvaged = 0;
+  std::size_t rounds_swept_baseline = 0;
+  std::uint64_t relaxations = 0;
+  bool partial = false;
+};
+
 namespace {
 
-/// Re-sweeps one dirty source after an event on link (u, ·) whose old/new
-/// bandwidths max to `cap_width`.  Runs the widest pass on the mutated
-/// snapshot; when every destination width is unchanged, class rounds strictly
-/// above B0 = min(W(s,u), cap_width) cannot have scanned the changed arc in
-/// either the old or the new graph (the arc is pruned by bandwidth or u is
-/// unreachable in the pruned graph), so their qualities and paths are copied
-/// from the old tree and only rounds <= B0 re-run; `partial` reports whether
-/// anything was salvaged.  When widths changed, every class round re-runs.
+using PendingEvent = AllPairsShortestWidest::PendingEvent;
+using ResweepOutcome = AllPairsShortestWidest::ResweepOutcome;
+
+/// Most pending events a stale slot keeps before collapsing to
+/// pending_overflow (forget the list, full re-sweep at repair time).
+constexpr std::size_t kPendingEventCap = 64;
+
+/// Metrics of an arc endpoint state where the arc does not exist — insert's
+/// "before", remove's "after".  Zero bandwidth keeps it out of every class
+/// round's pruned arc set.
+constexpr LinkMetrics kAbsentArc{0.0, std::numeric_limits<double>::infinity()};
+
+/// Re-sweeps one stale source tree after the link events in `events` (each
+/// a changed arc (via, head) with its endpoint metrics — see PendingEvent;
+/// an empty span means "unknown events" and disables salvage).  Runs the
+/// widest pass on the mutated snapshot, then salvages through the old
+/// tree's class-round table:
+///
+///   * widths changed somewhere — prefix salvage: copy every round strictly
+///     above the joint salvage floor
+///       P = max_i min(max(W_old(s,u_i), W_new(s,u_i)), cap_i)
+///     in one contiguous arena copy and re-run the rounds <= P.
+///   * every width intact — band salvage: class structure is exactly the
+///     old tree's, so rounds are salvaged individually by classifying each
+///     event's arc against each round's pruned arc set (pruned / identical
+///     / pessimized-and-unused / possibly-improving — see the branch body);
+///     only possibly-improving or pessimized-but-used rounds re-run, the
+///     rest are copied segment by segment with offsets shifted.
+///
+/// Soundness (docs/algorithms.md): a round's canonical result — paths,
+/// membership, arena segment — is a function of its pruned arc set plus the
+/// settle-order tie-breaks (see sweep_round).  A round whose arc set is
+/// unchanged (pruned both sides, or identical metrics) copies verbatim; a
+/// round where the arc only got worse and no stored path traverses it keeps
+/// every stored path feasible at its stored latency while rivals through
+/// the arc cannot beat them, and the first-achiever predecessor choices are
+/// stable under dist increases confined off the stored tree.  Copied rounds
+/// are therefore bit-identical to what a fresh build would produce, which
+/// is what keeps a re-swept tree indistinguishable from a from-scratch one
+/// and lets later events salvage through it in turn.  Old trees without a
+/// round table (compatibility constructor) simply re-run everything.
 RoutingTree resweep_source(const CsrView& csr, const RoutingTree& old,
-                           NodeIndex u, double cap_width, RoutingWorkspace& ws,
-                           bool& partial) {
+                           std::span<const PendingEvent> events,
+                           RoutingWorkspace& ws, ResweepOutcome& out) {
+  const util::Stopwatch resweep_watch;
   const NodeIndex source = old.source();
   const std::size_t n = csr.node_count();
   ws.prepare(n);
   std::uint64_t scanned = widest_pass(csr, source, ws);
 
+  // Joint salvage floor over the pending events.  W_old comes from the stale
+  // tree's labels (exact for the graph it was built on), W_new from the
+  // widest pass just run on the current graph; intermediate graphs never
+  // matter — only the two endpoint sweeps are compared.
+  double salvage_floor = events.empty() ? kInf : 0.0;
+  for (const PendingEvent& event : events) {
+    const double w_old =
+        event.via == source ? kInf : old.quality_to(event.via).bandwidth;
+    const double w_new =
+        event.via == source ? kInf
+                            : ws.width[static_cast<std::size_t>(event.via)];
+    salvage_floor =
+        std::max(salvage_floor, std::min(std::max(w_old, w_new), event.cap()));
+  }
+
+  // What the pre-sharpening policy would have re-run: everything, unless
+  // every width label survived (then rounds <= min(W_new(s,u), cap) for its
+  // single event).  Kept purely for the bench's before/after work series.
   bool widths_unchanged = true;
   for (std::size_t v = 0; v < n; ++v) {
     if (static_cast<NodeIndex>(v) == source) continue;
@@ -525,59 +621,208 @@ RoutingTree resweep_source(const CsrView& csr, const RoutingTree& old,
       break;
     }
   }
-  const double width_to_u =
-      source == u ? kInf : ws.width[static_cast<std::size_t>(u)];
-  const double salvage_floor = widths_unchanged
-                                   ? std::min(width_to_u, cap_width)
-                                   : kInf;  // widths moved: nothing salvageable
-
-  // Destinations to re-sweep, grouped by width class, widest first (same
-  // comparator as the full kernel so shared classes keep one round).
-  std::vector<NodeIndex>& order = ws.order;
-  std::size_t copied = 0;
-  for (std::size_t v = 0; v < n; ++v) {
-    if (static_cast<NodeIndex>(v) == source || ws.width[v] <= 0.0) continue;
-    if (ws.width[v] > salvage_floor)
-      ++copied;
-    else
-      order.push_back(static_cast<NodeIndex>(v));
+  double baseline_floor = 0.0;
+  if (widths_unchanged && events.size() == 1) {
+    const double width_to_u =
+        events[0].via == source
+            ? kInf
+            : ws.width[static_cast<std::size_t>(events[0].via)];
+    baseline_floor = std::min(width_to_u, events[0].cap());
   }
-  std::sort(order.begin(), order.end(), [&ws](NodeIndex a, NodeIndex b) {
-    const double wa = ws.width[static_cast<std::size_t>(a)];
-    const double wb = ws.width[static_cast<std::size_t>(b)];
-    if (wa != wb) return wa > wb;
-    return a < b;
-  });
-  partial = copied > 0;
 
+  // Salvageable prefix of the old round table: rounds strictly above the
+  // floor.  The cross-check below asserts the soundness theorem's conclusion
+  // — widths above the floor coincide exactly — so a bookkeeping bug in the
+  // pending-event lists fails loudly instead of salvaging garbage.
+  const std::span<const RoutingTree::ClassRound> old_rounds = old.class_rounds();
+  std::size_t salvaged_rounds = 0;
+  while (salvaged_rounds < old_rounds.size() &&
+         old_rounds[salvaged_rounds].width > salvage_floor)
+    ++salvaged_rounds;
+  if (!old_rounds.empty()) {
+    for (std::size_t v = 0; v < n; ++v) {
+      if (static_cast<NodeIndex>(v) == source) continue;
+      const double w_old = old.quality_to(static_cast<NodeIndex>(v)).bandwidth;
+      if ((ws.width[v] > salvage_floor || w_old > salvage_floor) &&
+          ws.width[v] != w_old)
+        throw std::logic_error(
+            "resweep_source: width above the salvage floor changed — "
+            "pending-event bookkeeping is unsound");
+    }
+  }
   std::vector<PathQuality> qualities(n, PathQuality::unreachable());
   std::vector<std::uint32_t> offsets(n, 0);
   std::vector<std::uint32_t> lengths(n, 0);
   std::vector<NodeIndex> arena;
+  std::vector<RoutingTree::ClassRound> rounds;
   qualities[static_cast<std::size_t>(source)] = PathQuality::source();
   lengths[static_cast<std::size_t>(source)] = 1;
-  arena.push_back(source);
 
-  scanned += sweep_class_rounds(csr, source, ws, qualities, offsets, lengths,
-                                arena);
+  if (widths_unchanged && !old_rounds.empty() && !events.empty()) {
+    // Band salvage: with every width label intact the class structure —
+    // round set, membership, order — is exactly the old tree's, so rounds
+    // can be salvaged *individually*, not just as the prefix above the
+    // floor.  Per event, round b classifies the changed arc (u, v) by its
+    // presence in the round's pruned (bandwidth >= b) arc set before and
+    // after — "before" uses the stale tree's graph, "after" the current one;
+    // b > W(s, u) means u is outside the round's pruned node set in both:
+    //   * in neither, or u unreached   — arc never relaxable: untouched.
+    //   * in both, latency equal      — identical arc set: untouched.
+    //   * pessimized (dropped out, or in both with latency worsened) —
+    //     untouched *unless some stored path of the round traverses (u, v)*:
+    //     unused means every stored path stays feasible at its stored
+    //     latency, rival paths through the arc only got worse, and the
+    //     canonical tie-breaks (settle order by (dist, node), predecessor =
+    //     first achiever) are stable when the only dist changes are
+    //     increases off the stored tree — so the round's canonical result is
+    //     bit-identical.
+    //   * possibly improving (appeared, or latency dropped) — re-run.
+    // A round must be untouched under *every* event to be salvaged; copied
+    // rounds shift offsets by the running delta, re-run rounds rebuild their
+    // single-class Dijkstra in place, keeping the assembled arena
+    // layout-identical to a fresh build's.
+    const std::size_t round_count = old_rounds.size();
 
-  // Salvaged classes: bit-identical in old and new sweeps, copy by value.
-  for (std::size_t v = 0; v < n; ++v) {
-    if (static_cast<NodeIndex>(v) == source || ws.width[v] <= salvage_floor)
-      continue;
-    const auto dest = static_cast<NodeIndex>(v);
-    qualities[v] = old.quality_to(dest);
-    const RoutingTree::PathView path = old.path_view(dest);
-    offsets[v] = static_cast<std::uint32_t>(arena.size());
-    lengths[v] = static_cast<std::uint32_t>(path.size());
-    arena.insert(arena.end(), path.begin(), path.end());
+    // Round membership, recovered from the (unchanged) width labels.
+    std::vector<std::vector<NodeIndex>> members(round_count);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (static_cast<NodeIndex>(v) == source || ws.width[v] <= 0.0) continue;
+      const auto it = std::lower_bound(
+          old_rounds.begin(), old_rounds.end(), ws.width[v],
+          [](const RoutingTree::ClassRound& r, double w) { return r.width > w; });
+      if (it == old_rounds.end() || it->width != ws.width[v])
+        throw std::logic_error(
+            "resweep_source: no class round for an unchanged width — the old "
+            "round table is inconsistent with its labels");
+      members[static_cast<std::size_t>(it - old_rounds.begin())].push_back(
+          static_cast<NodeIndex>(v));
+    }
+
+    const auto round_uses_arc = [&](std::size_t r, NodeIndex u, NodeIndex v) {
+      for (const NodeIndex dest : members[r]) {
+        const std::span<const NodeIndex> path = old.path_view(dest);
+        for (std::size_t i = 0; i + 1 < path.size(); ++i)
+          if (path[i] == u && path[i + 1] == v) return true;
+      }
+      return false;
+    };
+
+    // Two passes so the usage scans (O(stored paths) each) only run for
+    // rounds that no event already condemned outright.
+    std::vector<char> affected(round_count, 0);
+    for (const bool pessimizing_pass : {false, true}) {
+      for (const PendingEvent& event : events) {
+        const double w_u =
+            event.via == source ? kInf
+                                : ws.width[static_cast<std::size_t>(event.via)];
+        for (std::size_t r = 0; r < round_count; ++r) {
+          const double b = old_rounds[r].width;
+          if (affected[r] || b > w_u) continue;
+          const bool in_old = event.bw_old >= b;
+          const bool in_new = event.bw_new >= b;
+          if (!in_old && !in_new) continue;
+          if (in_old && in_new && event.lat_old == event.lat_new) continue;
+          const bool pessimized =
+              in_old && (!in_new || event.lat_new >= event.lat_old);
+          if (pessimized != pessimizing_pass) continue;
+          if (!pessimized || round_uses_arc(r, event.via, event.head))
+            affected[r] = 1;
+        }
+      }
+    }
+
+    const std::span<const NodeIndex> old_arena = old.arena();
+    arena.push_back(source);
+    std::uint32_t old_seg_begin = 1;  // old arena slot 0 is the source path
+    std::size_t copied = 0;
+    for (std::size_t r = 0; r < round_count; ++r) {
+      const std::uint32_t old_seg_end = old_rounds[r].arena_end;
+      const double b = old_rounds[r].width;
+      if (affected[r]) {
+        scanned += sweep_round(csr, source, b, members[r].size(), ws,
+                               qualities, offsets, lengths, arena);
+      } else {
+        const std::int64_t delta = static_cast<std::int64_t>(arena.size()) -
+                                   static_cast<std::int64_t>(old_seg_begin);
+        arena.insert(arena.end(), old_arena.begin() + old_seg_begin,
+                     old_arena.begin() + old_seg_end);
+        for (const NodeIndex dest : members[r]) {
+          const auto v = static_cast<std::size_t>(dest);
+          qualities[v] = old.quality_to(dest);
+          offsets[v] = static_cast<std::uint32_t>(
+              static_cast<std::int64_t>(old.path_offset(dest)) + delta);
+          lengths[v] = static_cast<std::uint32_t>(old.path_view(dest).size());
+        }
+        ++copied;
+      }
+      rounds.push_back({b, static_cast<std::uint32_t>(arena.size())});
+      old_seg_begin = old_seg_end;
+    }
+    salvaged_rounds = copied;
+  } else {
+    const bool salvage = salvaged_rounds > 0;
+
+    // Salvaged rounds first — the arena prefix copy keeps the re-swept
+    // tree's layout identical to a fresh build's (descending rounds, source
+    // at slot 0), so a later event can salvage through this tree's table in
+    // turn.
+    if (salvage) {
+      const std::uint32_t prefix_end = old_rounds[salvaged_rounds - 1].arena_end;
+      const std::span<const NodeIndex> old_arena = old.arena();
+      arena.assign(old_arena.begin(), old_arena.begin() + prefix_end);
+      rounds.assign(old_rounds.begin(), old_rounds.begin() + salvaged_rounds);
+      for (std::size_t v = 0; v < n; ++v) {
+        if (static_cast<NodeIndex>(v) == source || ws.width[v] <= salvage_floor)
+          continue;
+        const auto dest = static_cast<NodeIndex>(v);
+        qualities[v] = old.quality_to(dest);
+        offsets[v] = old.path_offset(dest);
+        lengths[v] = static_cast<std::uint32_t>(old.path_view(dest).size());
+      }
+    } else {
+      arena.push_back(source);
+    }
+
+    // Destinations to re-sweep, grouped by width class, widest first (same
+    // comparator as the full kernel so shared classes keep one round).
+    // Without a usable round table everything reachable re-runs, floor or
+    // not.
+    std::vector<NodeIndex>& order = ws.order;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (static_cast<NodeIndex>(v) == source || ws.width[v] <= 0.0) continue;
+      if (salvage && ws.width[v] > salvage_floor) continue;
+      order.push_back(static_cast<NodeIndex>(v));
+    }
+    std::sort(order.begin(), order.end(), [&ws](NodeIndex a, NodeIndex b) {
+      const double wa = ws.width[static_cast<std::size_t>(a)];
+      const double wb = ws.width[static_cast<std::size_t>(b)];
+      if (wa != wb) return wa > wb;
+      return a < b;
+    });
+
+    scanned += sweep_class_rounds(csr, source, ws, qualities, offsets, lengths,
+                                  arena, rounds);
   }
 
+  out.rounds_salvaged = salvaged_rounds;
+  out.rounds_swept = rounds.size() - salvaged_rounds;
+  out.rounds_swept_baseline = rounds.size();
+  if (baseline_floor > 0.0 || (widths_unchanged && events.size() == 1)) {
+    std::size_t above = 0;
+    while (above < rounds.size() && rounds[above].width > baseline_floor)
+      ++above;
+    out.rounds_swept_baseline = rounds.size() - above;
+  }
+  out.relaxations = scanned;
+  out.partial = salvaged_rounds > 0;
+
   RoutingTree tree(source, std::move(qualities), std::move(arena),
-                   std::move(offsets), std::move(lengths));
+                   std::move(offsets), std::move(lengths), std::move(rounds));
   RoutingMetrics& metrics = routing_metrics();
   metrics.relaxations.add(scanned);
+  metrics.rounds_salvaged.add(salvaged_rounds);
   metrics.tree_peak_bytes.update_max(static_cast<double>(tree.memory_bytes()));
+  metrics.resweep_us.observe(resweep_watch.elapsed_us());
   return tree;
 }
 
@@ -597,20 +842,84 @@ const RoutingTree& AllPairsShortestWidest::tree(NodeIndex from) const {
   const std::lock_guard<std::mutex> lock(slot.build_mutex);
   if (const RoutingTree* published = slot.published.load(std::memory_order_relaxed))
     return *published;  // lost the build race; the winner published under the lock
+  if (slot.stale) {
+    // Lazy repair on first touch: same salvage path as an eager event, floor
+    // taken jointly over every event pending on this slot.  Concurrent
+    // queries of the same stale source serialize on the build mutex and the
+    // loser returns through the double-check above.
+    ResweepOutcome out;
+    repair_slot_locked(slot, thread_workspace(), out);
+    metrics.lazy_repairs.increment();
+    return *slot.owned;
+  }
   slot.owned = std::make_unique<const RoutingTree>(shortest_widest_tree(csr_, from));
   slot.published.store(slot.owned.get(), std::memory_order_release);
   return *slot.owned;
 }
 
+void AllPairsShortestWidest::note_pending(Slot& slot, NodeIndex via,
+                                          NodeIndex head,
+                                          const LinkMetrics& old_metrics,
+                                          const LinkMetrics& new_metrics) {
+  if (slot.pending_overflow) return;
+  // Dedupe by arc: repair only ever compares the stale tree's graph against
+  // the current one, so a chain of events on the same (via, head) folds to
+  // "first old metrics -> last new metrics" exactly — a remove followed by a
+  // re-insert, say, is indistinguishable from one reweight.
+  for (PendingEvent& event : slot.pending) {
+    if (event.via == via && event.head == head) {
+      event.bw_new = new_metrics.bandwidth;
+      event.lat_new = new_metrics.latency;
+      return;
+    }
+  }
+  if (slot.pending.size() >= kPendingEventCap) {
+    // Bookkeeping cap reached: forget the list and fall back to a floorless
+    // (full) re-sweep at repair time.  Bounds per-slot memory under
+    // arbitrarily long query-free churn.
+    slot.pending_overflow = true;
+    slot.pending.clear();
+    slot.pending.shrink_to_fit();
+    return;
+  }
+  slot.pending.push_back({via, head, old_metrics.bandwidth,
+                          new_metrics.bandwidth, old_metrics.latency,
+                          new_metrics.latency});
+}
+
+void AllPairsShortestWidest::repair_slot_locked(Slot& slot, RoutingWorkspace& ws,
+                                                ResweepOutcome& out) const {
+  const std::span<const PendingEvent> events =
+      slot.pending_overflow ? std::span<const PendingEvent>()
+                            : std::span<const PendingEvent>(slot.pending);
+  RoutingTree rebuilt = resweep_source(csr_, *slot.owned, events, ws, out);
+  slot.owned = std::make_unique<const RoutingTree>(std::move(rebuilt));
+  slot.stale = false;
+  slot.pending_overflow = false;
+  slot.pending.clear();
+  slot.published.store(slot.owned.get(), std::memory_order_release);
+}
+
+bool AllPairsShortestWidest::tree_stale(NodeIndex from) const noexcept {
+  if (from < 0 || static_cast<std::size_t>(from) >= graph_.node_count())
+    return false;
+  Slot& slot = slots_[static_cast<std::size_t>(from)];
+  const std::lock_guard<std::mutex> lock(slot.build_mutex);
+  return slot.stale;
+}
+
 AllPairsShortestWidest::UpdateStats AllPairsShortestWidest::apply_link_event(
-    NodeIndex u, NodeIndex v, double old_bandwidth, double new_bandwidth) {
+    NodeIndex u, NodeIndex v, const LinkMetrics& old_metrics,
+    const LinkMetrics& new_metrics) {
   UpdateStats stats;
   const std::size_t n = graph_.node_count();
-  const double cap_width = std::max(old_bandwidth, new_bandwidth);
+  const double old_bandwidth = old_metrics.bandwidth;
+  const double new_bandwidth = new_metrics.bandwidth;
 
-  // Conservative dirty-set predicate against each *old* tree (still cached;
-  // graph_/csr_ already describe the new state).  See docs/algorithms.md for
-  // the soundness argument; the short form: a source s stays clean when
+  // Conservative dirty-set predicate against each *current* tree (still
+  // cached; graph_/csr_ already describe the new state).  See
+  // docs/algorithms.md for the soundness argument; the short form: a source s
+  // stays clean when
   //   - s == v: arcs into the source never join a tree, or
   //   - u is unreachable from s: no path from s can contain (u, v), and no
   //     (u, v) change can alter u's reachability, or
@@ -618,13 +927,22 @@ AllPairsShortestWidest::UpdateStats AllPairsShortestWidest::apply_link_event(
   //     touches any class round the old sweep ran (min positive width >
   //     max(cap_old, cap_new), so the arc is pruned or u unreached in every
   //     round of both the old and the new sweep).
-  std::size_t built = 0;
+  // Already-stale slots cannot run the predicate — their labels describe an
+  // older graph — so they unconditionally note the event and stay stale.
+  std::size_t built_current = 0;
+  std::vector<NodeIndex> stale_set;  // every stale slot after this event
   for (std::size_t s = 0; s < n; ++s) {
-    const RoutingTree* old_tree =
-        slots_[s].published.load(std::memory_order_relaxed);
-    if (old_tree == nullptr) continue;
-    ++built;
+    Slot& slot = slots_[s];
     const auto source = static_cast<NodeIndex>(s);
+    if (slot.stale) {
+      ++stats.stale_sources;
+      if (source != v) note_pending(slot, u, v, old_metrics, new_metrics);
+      stale_set.push_back(source);
+      continue;
+    }
+    const RoutingTree* old_tree = slot.published.load(std::memory_order_relaxed);
+    if (old_tree == nullptr) continue;
+    ++built_current;
     if (source == v) continue;
     const double width_to_u =
         source == u ? kInf : old_tree->quality_to(u).bandwidth;
@@ -637,22 +955,46 @@ AllPairsShortestWidest::UpdateStats AllPairsShortestWidest::apply_link_event(
         min_class > 0.0 && min_class <= std::max(cap_old, cap_new);
     if (widens_v || touches_round) stats.dirty.push_back(source);
   }
-  stats.dirty_sources = stats.dirty.size();
-  stats.retained_sources = built - stats.dirty.size();
-  stats.unbuilt_sources = n - built;
+  stats.invalidated_sources = stats.dirty.size();
+  stats.retained_sources = built_current - stats.dirty.size();
+  stats.unbuilt_sources = n - built_current - stats.stale_sources;
 
   RoutingMetrics& metrics = routing_metrics();
   metrics.incremental_updates.increment();
   metrics.dirty_sources.add(stats.dirty.size());
 
-  if (!stats.dirty.empty() &&
-      static_cast<double>(stats.dirty.size()) >
-          rebuild_threshold_ * static_cast<double>(built)) {
-    // Too much of the cache is dirty for eager re-sweeps to beat a lazy full
+  // Stamp the newly dirty slots stale: unpublish (queries must not see the
+  // outdated tree), keep the old tree owned as the salvage donor, record the
+  // event for the floor computation.
+  for (const NodeIndex source : stats.dirty) {
+    Slot& slot = slots_[static_cast<std::size_t>(source)];
+    slot.published.store(nullptr, std::memory_order_relaxed);
+    slot.stale = true;
+    note_pending(slot, u, v, old_metrics, new_metrics);
+    stale_set.push_back(source);
+  }
+
+  if (repair_mode_ == RepairMode::kLazy) {
+    // Defer every re-sweep to first query.  No threshold fallback: stamping
+    // is cheap, and clearing slots here would throw away the salvage donors
+    // queries will want.
+    stats.deferred_sources = stale_set.size();
+    return stats;
+  }
+
+  const std::size_t built_total = built_current + stats.stale_sources;
+  if (!stale_set.empty() &&
+      static_cast<double>(stale_set.size()) >
+          rebuild_threshold_ * static_cast<double>(built_total)) {
+    // Too much of the cache is stale for eager re-sweeps to beat a lazy full
     // rebuild: drop every slot and let queries repopulate on demand.
     for (std::size_t s = 0; s < n; ++s) {
-      slots_[s].published.store(nullptr, std::memory_order_relaxed);
-      slots_[s].owned.reset();
+      Slot& slot = slots_[s];
+      slot.published.store(nullptr, std::memory_order_relaxed);
+      slot.owned.reset();
+      slot.stale = false;
+      slot.pending_overflow = false;
+      slot.pending.clear();
     }
     stats.full_rebuild = true;
     stats.retained_sources = 0;
@@ -660,16 +1002,32 @@ AllPairsShortestWidest::UpdateStats AllPairsShortestWidest::apply_link_event(
     return stats;
   }
 
-  for (const NodeIndex source : stats.dirty) {
-    Slot& slot = slots_[static_cast<std::size_t>(source)];
-    const RoutingTree& old_tree = *slot.published.load(std::memory_order_relaxed);
-    bool partial = false;
-    RoutingTree rebuilt =
-        resweep_source(csr_, old_tree, u, cap_width, update_ws_, partial);
-    if (partial) ++stats.partial_resweeps;
-    slot.published.store(nullptr, std::memory_order_relaxed);
-    slot.owned = std::make_unique<const RoutingTree>(std::move(rebuilt));
-    slot.published.store(slot.owned.get(), std::memory_order_release);
+  // Eager repair of every stale slot — including slots deferred by an
+  // earlier lazy phase, so a lazy -> eager mode switch converges on the next
+  // event.  The per-source re-sweeps are independent (private workspace, own
+  // slot); with an update pool they fan out with deterministic placement
+  // (outcome i belongs to stale_set[i]), bit-identical to the serial loop.
+  std::vector<ResweepOutcome> outcomes(stale_set.size());
+  const auto repair_one = [this, &stale_set, &outcomes](std::size_t i,
+                                                        RoutingWorkspace& ws) {
+    Slot& slot = slots_[static_cast<std::size_t>(stale_set[i])];
+    repair_slot_locked(slot, ws, outcomes[i]);
+  };
+  if (update_pool_ != nullptr && stale_set.size() > 1) {
+    update_pool_->parallel_for(0, stale_set.size(), [&repair_one](std::size_t i) {
+      repair_one(i, thread_workspace());
+    });
+  } else {
+    for (std::size_t i = 0; i < stale_set.size(); ++i)
+      repair_one(i, update_ws_);
+  }
+  stats.reswept_sources = stale_set.size();
+  for (const ResweepOutcome& out : outcomes) {
+    if (out.partial) ++stats.partial_resweeps;
+    stats.rounds_swept += out.rounds_swept;
+    stats.rounds_salvaged += out.rounds_salvaged;
+    stats.rounds_swept_baseline += out.rounds_swept_baseline;
+    stats.relaxations += out.relaxations;
   }
   return stats;
 }
@@ -684,7 +1042,7 @@ AllPairsShortestWidest::UpdateStats AllPairsShortestWidest::apply_link_insert(
         "AllPairsShortestWidest::apply_link_insert: edge already exists");
   graph_.add_edge(from, to, metrics);
   csr_ = CsrView(graph_);  // structural change shifts later arc slices
-  return apply_link_event(from, to, 0.0, metrics.bandwidth);
+  return apply_link_event(from, to, kAbsentArc, metrics);
 }
 
 AllPairsShortestWidest::UpdateStats AllPairsShortestWidest::apply_link_remove(
@@ -693,10 +1051,10 @@ AllPairsShortestWidest::UpdateStats AllPairsShortestWidest::apply_link_remove(
   if (e == kInvalidEdge)
     throw std::invalid_argument(
         "AllPairsShortestWidest::apply_link_remove: no such edge");
-  const double old_bandwidth = graph_.edge(e).metrics.bandwidth;
+  const LinkMetrics old_metrics = graph_.edge(e).metrics;
   graph_.remove_edge(from, to);
   csr_ = CsrView(graph_);  // structural change shifts later arc slices
-  return apply_link_event(from, to, old_bandwidth, 0.0);
+  return apply_link_event(from, to, old_metrics, kAbsentArc);
 }
 
 AllPairsShortestWidest::UpdateStats AllPairsShortestWidest::apply_link_reweight(
@@ -705,23 +1063,32 @@ AllPairsShortestWidest::UpdateStats AllPairsShortestWidest::apply_link_reweight(
   if (e == kInvalidEdge)
     throw std::invalid_argument(
         "AllPairsShortestWidest::apply_link_reweight: no such edge");
-  const double old_bandwidth = graph_.edge(e).metrics.bandwidth;
+  const LinkMetrics old_metrics = graph_.edge(e).metrics;
   graph_.add_edge(from, to, metrics);  // existing pair: metrics replaced in place
   csr_.apply_reweight(from, to, metrics.bandwidth, metrics.latency);
-  return apply_link_event(from, to, old_bandwidth, metrics.bandwidth);
+  return apply_link_event(from, to, old_metrics, metrics);
 }
 
 std::unique_ptr<AllPairsShortestWidest> AllPairsShortestWidest::clone() const {
   std::unique_ptr<AllPairsShortestWidest> copy(
       new AllPairsShortestWidest(graph_, csr_));
   copy->rebuild_threshold_ = rebuild_threshold_;
+  copy->repair_mode_ = repair_mode_;
+  // update_pool_ deliberately not copied: it is non-owning and its lifetime
+  // belongs to the original's owner.
   for (std::size_t s = 0; s < graph_.node_count(); ++s) {
-    const RoutingTree* published =
-        slots_[s].published.load(std::memory_order_acquire);
-    if (published == nullptr) continue;
-    copy->slots_[s].owned = std::make_unique<const RoutingTree>(*published);
-    copy->slots_[s].published.store(copy->slots_[s].owned.get(),
-                                    std::memory_order_release);
+    Slot& slot = slots_[s];
+    // The build mutex orders this read against a concurrent lazy repair or
+    // first build of the same slot (clone() is a const query).
+    const std::lock_guard<std::mutex> lock(slot.build_mutex);
+    if (slot.owned == nullptr) continue;
+    Slot& out = copy->slots_[s];
+    out.owned = std::make_unique<const RoutingTree>(*slot.owned);
+    out.stale = slot.stale;
+    out.pending_overflow = slot.pending_overflow;
+    out.pending = slot.pending;
+    if (!slot.stale)
+      out.published.store(out.owned.get(), std::memory_order_release);
   }
   return copy;
 }
@@ -760,7 +1127,14 @@ GraphDiffStats apply_graph_diff(AllPairsShortestWidest& db,
   GraphDiffStats stats;
   const auto absorb = [&stats](const AllPairsShortestWidest::UpdateStats& u) {
     ++stats.events;
-    stats.dirty_sources += u.dirty_sources;
+    stats.invalidated_sources += u.invalidated_sources;
+    stats.reswept_sources += u.reswept_sources;
+    // Deferred slots persist across events (a stale slot stays stale), so the
+    // last event's count IS the diff's final view — summing would count one
+    // slot once per event.
+    stats.deferred_sources = u.deferred_sources;
+    stats.rounds_swept += u.rounds_swept;
+    stats.rounds_salvaged += u.rounds_salvaged;
     if (u.full_rebuild) ++stats.full_rebuilds;
   };
   for (const Endpoints& e : removals) {

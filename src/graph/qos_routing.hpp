@@ -56,16 +56,34 @@ class RoutingTree {
   /// the lifetime of the RoutingTree it came from.
   using PathView = std::span<const NodeIndex>;
 
+  /// One width-class round boundary of the sweep that built this tree: the
+  /// round ran at class `width` and its materialized paths end at
+  /// arena[arena_end).  The table is ordered widest class first — exactly the
+  /// order the descending sweep appends to the arena, so the paths of the
+  /// first k rounds are the contiguous prefix arena[0, rounds[k-1].arena_end)
+  /// (arena[0] is always the source's 1-node path).  The incremental salvage
+  /// copies retained rounds wholesale through this table; trees built by the
+  /// compatibility constructor or the latency kernel carry an empty table and
+  /// simply never salvage.
+  struct ClassRound {
+    double width = 0.0;
+    std::uint32_t arena_end = 0;
+
+    friend bool operator==(const ClassRound&, const ClassRound&) = default;
+  };
+
   /// Arena form: `paths[v]` is arena[offset[v] .. offset[v]+length[v]).
   RoutingTree(NodeIndex source, std::vector<PathQuality> qualities,
               std::vector<NodeIndex> path_arena,
               std::vector<std::uint32_t> path_offsets,
-              std::vector<std::uint32_t> path_lengths)
+              std::vector<std::uint32_t> path_lengths,
+              std::vector<ClassRound> class_rounds = {})
       : source_(source),
         qualities_(std::move(qualities)),
         arena_(std::move(path_arena)),
         offsets_(std::move(path_offsets)),
-        lengths_(std::move(path_lengths)) {
+        lengths_(std::move(path_lengths)),
+        class_rounds_(std::move(class_rounds)) {
     min_positive_width_ = compute_min_positive_width();
   }
 
@@ -111,6 +129,19 @@ class RoutingTree {
   /// any class round of this tree (see AllPairsShortestWidest::apply_link_*).
   double min_positive_width() const noexcept { return min_positive_width_; }
 
+  /// The width-class round table (see ClassRound); empty when the tree was
+  /// not built by the descending sweep.
+  std::span<const ClassRound> class_rounds() const noexcept {
+    return class_rounds_;
+  }
+  /// Raw arena layout accessors for the salvage fast path: the whole path
+  /// arena and a destination's offset into it.  Only meaningful together with
+  /// class_rounds() — ordinary consumers should use path_view().
+  std::span<const NodeIndex> arena() const noexcept { return arena_; }
+  std::uint32_t path_offset(NodeIndex v) const {
+    return offsets_.at(static_cast<std::size_t>(v));
+  }
+
  private:
   double compute_min_positive_width() const noexcept;
 
@@ -119,6 +150,7 @@ class RoutingTree {
   std::vector<NodeIndex> arena_;
   std::vector<std::uint32_t> offsets_;
   std::vector<std::uint32_t> lengths_;
+  std::vector<ClassRound> class_rounds_;
   double min_positive_width_ = 0.0;
 };
 
@@ -196,13 +228,32 @@ inline PathQuality path_quality(const Digraph& g,
 /// Incremental maintenance: apply_link_insert/remove/reweight mutate the
 /// stored graph and CSR snapshot in place, then invalidate only the source
 /// trees a conservative *dirty-set* predicate cannot prove untouched (see
-/// docs/algorithms.md).  Clean trees are retained by pointer; dirty ones are
-/// re-swept immediately, salvaging the class rounds the event provably did
-/// not reach.  When the dirty set exceeds rebuild_threshold() of the built
-/// trees the database falls back to clearing every slot (lazy full rebuild).
+/// docs/algorithms.md).  Clean trees are retained by pointer.  What happens
+/// to an invalidated tree depends on the repair mode:
+///
+///   * kEager (default): the tree is re-swept before the event returns,
+///     salvaging — by one arena memcpy through the tree's class-round table —
+///     every class round strictly above the event's salvage floor
+///     B0 = min(max(W_old(s,u), W_new(s,u)), max(b_old, b_new)), which the
+///     event provably cannot have touched (docs/algorithms.md).  When an
+///     update pool is attached (set_update_pool), the independent per-source
+///     re-sweeps fan out across it with per-thread workspaces; results are
+///     bit-identical at any thread count.  When the stale set exceeds
+///     rebuild_threshold() of the built trees, the event falls back to
+///     clearing every slot (lazy full rebuild).
+///
+///   * kLazy: the event only stamps the tree *stale* and appends (u, cap) to
+///     the slot's pending-event list; the stale tree is repaired — same
+///     salvage path, floor taken jointly over every pending event — by the
+///     first tree() query that touches it (double-checked under the slot's
+///     build mutex, so concurrent queries repair it exactly once).  An
+///     admit/retarget sequence that queries only a few sources pays
+///     O(queried) re-sweeps instead of O(dirty); the threshold fallback never
+///     fires (stamping is cheap — the whole point is deferring the work).
+///
 /// Results after any update are bit-identical — qualities and paths — to a
-/// from-scratch build of the mutated graph, pinned by tests and the churn
-/// fuzz battery.
+/// from-scratch build of the mutated graph, in either mode, at any thread
+/// count, pinned by tests and the churn fuzz battery.
 class AllPairsShortestWidest {
  public:
   explicit AllPairsShortestWidest(Digraph g)
@@ -247,14 +298,50 @@ class AllPairsShortestWidest {
 
   // --- Incremental maintenance (exclusive access required) -----------------
 
-  /// Outcome of one apply_link_* event, for observability and tests.
+  /// How invalidated trees are brought current (see the class comment).
+  enum class RepairMode { kEager, kLazy };
+
+  /// One link event as a stale slot remembers it: the changed arc (via,
+  /// head) with its metrics before the first and after the last event on
+  /// that arc (an absent endpoint — insert's before, remove's after — is
+  /// {bandwidth 0, latency inf}).  Only the two endpoint states matter:
+  /// repair compares the stale tree's graph against the current one, never
+  /// the intermediate graphs.  At repair time each class round classifies
+  /// the arc as pruned (untouched), identical (untouched), pessimized
+  /// (untouched unless a stored path in the round traverses it), or
+  /// possibly-improving (re-run) — see resweep_source.
+  struct PendingEvent {
+    NodeIndex via = kInvalidNode;   // changed arc's tail u
+    NodeIndex head = kInvalidNode;  // changed arc's head v
+    double bw_old = 0.0;
+    double bw_new = 0.0;
+    double lat_old = 0.0;
+    double lat_new = 0.0;
+
+    /// Widest class the arc can touch from either endpoint graph.
+    double cap() const noexcept { return bw_old < bw_new ? bw_new : bw_old; }
+  };
+
+  /// Outcome of one apply_link_* event, for observability and tests.  The
+  /// invalidated/reswept/deferred split keeps "the predicate dirtied it"
+  /// distinct from "work actually ran": a threshold fallback invalidates
+  /// without re-sweeping, and a lazy event defers every re-sweep to queries.
   struct UpdateStats {
-    std::size_t dirty_sources = 0;     // built trees the predicate invalidated
-    std::size_t retained_sources = 0;  // built trees kept by pointer
-    std::size_t unbuilt_sources = 0;   // lazy slots, untouched either way
-    std::size_t partial_resweeps = 0;  // dirty trees that salvaged class rounds
-    bool full_rebuild = false;         // threshold fallback: all slots cleared
-    std::vector<NodeIndex> dirty;      // the invalidated sources
+    std::size_t invalidated_sources = 0;  // built trees the predicate dirtied
+    std::size_t reswept_sources = 0;      // trees re-swept before returning
+    std::size_t deferred_sources = 0;     // slots left stale for lazy repair
+    std::size_t stale_sources = 0;        // slots already stale entering event
+    std::size_t retained_sources = 0;     // built trees kept by pointer
+    std::size_t unbuilt_sources = 0;      // lazy slots, untouched either way
+    std::size_t partial_resweeps = 0;     // re-sweeps that salvaged rounds
+    std::size_t rounds_swept = 0;         // class rounds Dijkstra actually ran
+    std::size_t rounds_salvaged = 0;      // class rounds copied by memcpy
+    std::size_t rounds_swept_baseline = 0;  // rounds the pre-sharpening
+                                            // (all-widths-unchanged) salvage
+                                            // policy would have re-run
+    std::uint64_t relaxations = 0;        // arcs scanned by the re-sweeps
+    bool full_rebuild = false;            // threshold fallback: slots cleared
+    std::vector<NodeIndex> dirty;         // the newly invalidated sources
   };
 
   /// Adds the directed link (from, to) and updates the database.  Throws
@@ -277,45 +364,100 @@ class AllPairsShortestWidest {
   }
   double rebuild_threshold() const noexcept { return rebuild_threshold_; }
 
-  /// Deep copy: graph, CSR snapshot, and every *built* tree (no sweeps run).
-  /// The copy starts from this database's current state and evolves
-  /// independently.
+  /// Repair policy for invalidated trees (see the class comment).  Switching
+  /// lazy -> eager does not repair already-stale slots retroactively; they
+  /// are repaired by the next event or query that touches them.
+  void set_repair_mode(RepairMode mode) noexcept { repair_mode_ = mode; }
+  RepairMode repair_mode() const noexcept { return repair_mode_; }
+
+  /// Attaches a non-owning worker pool for eager-mode dirty re-sweeps
+  /// (nullptr = serial, the default).  The pool must outlive the database or
+  /// be detached first; it is never used by queries, only by apply_link_*.
+  void set_update_pool(util::ThreadPool* pool) noexcept {
+    update_pool_ = pool;
+  }
+
+  /// True when the source's slot holds a stale tree awaiting lazy repair.
+  /// Takes the slot's build mutex, so it is safe against concurrent queries.
+  bool tree_stale(NodeIndex from) const noexcept;
+
+  /// Per-resweep work accounting (defined in the .cpp next to the resweep
+  /// kernel), aggregated into UpdateStats and the routing metrics.
+  struct ResweepOutcome;
+
+  /// Deep copy: graph, CSR snapshot, every *built* tree (no sweeps run), and
+  /// all staleness bookkeeping — a stale slot stays stale in the copy, with
+  /// its pending events, and repairs on first query exactly as the original
+  /// would.  The update pool is NOT copied (its lifetime belongs to the
+  /// original's owner); attach one to the copy explicitly if wanted.
   std::unique_ptr<AllPairsShortestWidest> clone() const;
 
  private:
   /// One lazily-initialized source tree.  `published` carries the
-  /// release/acquire ordering: non-null means `owned` holds a fully built
-  /// tree.  The mutex only serializes builders (double-checked locking);
-  /// updates (exclusive access) may reset both fields.
+  /// release/acquire ordering: non-null means `owned` holds a fully built,
+  /// current tree.  The mutex serializes builders and lazy repairers
+  /// (double-checked locking); updates (exclusive access) may reset any
+  /// field.  Staleness invariant: `stale` implies published == nullptr and
+  /// `owned` still holds the pre-event tree (the salvage donor), with
+  /// `pending` listing every event applied since it was current — unless
+  /// `pending_overflow`, which forgets the list and forces a floorless
+  /// (full) re-sweep at repair time.
   struct Slot {
     std::mutex build_mutex;
     std::atomic<const RoutingTree*> published{nullptr};
     std::unique_ptr<const RoutingTree> owned;
+    bool stale = false;
+    bool pending_overflow = false;
+    std::vector<PendingEvent> pending;
   };
 
   AllPairsShortestWidest(const Digraph& g, const CsrView& csr)
       : graph_(g), csr_(csr), slots_(std::make_unique<Slot[]>(g.node_count())) {}
 
   /// Shared tail of the three public events: computes the dirty set for a
-  /// change of link (u, v) from old_bandwidth to new_bandwidth (0 = absent)
-  /// against the *already mutated* graph/CSR, then re-sweeps or falls back.
-  UpdateStats apply_link_event(NodeIndex u, NodeIndex v, double old_bandwidth,
-                               double new_bandwidth);
+  /// change of link (u, v) from old_metrics to new_metrics (an absent
+  /// endpoint is {0, inf}) against the *already mutated* graph/CSR, stamps
+  /// dirty slots stale, then repairs them now (eager; possibly on the update
+  /// pool) or leaves them for queries (lazy).
+  UpdateStats apply_link_event(NodeIndex u, NodeIndex v,
+                               const LinkMetrics& old_metrics,
+                               const LinkMetrics& new_metrics);
+
+  /// Records one event on an already-stale slot: dedupes by arc (keeping the
+  /// first event's old metrics and the last event's new metrics — only the
+  /// endpoint graphs matter to repair) and collapses to pending_overflow
+  /// past the bookkeeping cap.
+  static void note_pending(Slot& slot, NodeIndex via, NodeIndex head,
+                           const LinkMetrics& old_metrics,
+                           const LinkMetrics& new_metrics);
+
+  /// Re-sweeps a stale slot's tree in place (salvage floor from its pending
+  /// events) and republishes it.  Caller holds the slot's build mutex or has
+  /// exclusive access.
+  void repair_slot_locked(Slot& slot, RoutingWorkspace& ws,
+                          ResweepOutcome& out) const;
 
   Digraph graph_;
   CsrView csr_;
   std::unique_ptr<Slot[]> slots_;
   double rebuild_threshold_ = 0.5;
-  RoutingWorkspace update_ws_;  // reused across update re-sweeps
+  RepairMode repair_mode_ = RepairMode::kEager;
+  util::ThreadPool* update_pool_ = nullptr;  // non-owning; eager updates only
+  RoutingWorkspace update_ws_;  // reused across serial update re-sweeps
 };
 
-/// Aggregate outcome of apply_graph_diff.
+/// Aggregate outcome of apply_graph_diff (sums of the per-event UpdateStats,
+/// keeping invalidation distinct from work actually run — see UpdateStats).
 struct GraphDiffStats {
   std::size_t events = 0;      // individual link events applied
   std::size_t removed = 0;
   std::size_t reweighted = 0;
   std::size_t inserted = 0;
-  std::size_t dirty_sources = 0;  // summed over events
+  std::size_t invalidated_sources = 0;  // summed over events
+  std::size_t reswept_sources = 0;      // trees re-swept eagerly
+  std::size_t deferred_sources = 0;     // slots left stale (final event's view)
+  std::size_t rounds_swept = 0;         // class rounds Dijkstra ran
+  std::size_t rounds_salvaged = 0;      // class rounds copied wholesale
   std::size_t full_rebuilds = 0;  // events that hit the threshold fallback
 };
 

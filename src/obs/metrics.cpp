@@ -87,7 +87,8 @@ bool Registry::is_valid_name(const std::string& name) {
     return name.size() > s.size() &&
            name.compare(name.size() - s.size(), s.size(), s) == 0;
   };
-  return ends_with("_total") || ends_with("_bytes") || ends_with("_ms");
+  return ends_with("_total") || ends_with("_bytes") || ends_with("_ms") ||
+         ends_with("_us");
 }
 
 Registry::Entry& Registry::find_or_create(const std::string& name,
@@ -96,7 +97,7 @@ Registry::Entry& Registry::find_or_create(const std::string& name,
   if (!is_valid_name(name))
     throw std::invalid_argument(
         "Registry: metric name '" + name +
-        "' must be snake_case with a _total/_bytes/_ms unit suffix");
+        "' must be snake_case with a _total/_bytes/_ms/_us unit suffix");
   for (const auto& entry : entries_) {
     if (entry->name != name) continue;
     if (entry->type != type)

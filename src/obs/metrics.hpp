@@ -11,7 +11,8 @@
 //
 // Naming convention (enforced at registration): snake_case, with a unit
 // suffix — `_total` for dimensionless counts, `_bytes` for byte volumes,
-// `_ms` for durations.  See docs/observability.md for the metric catalog.
+// `_ms` (or `_us` for microsecond-scale series) for durations.  See
+// docs/observability.md for the metric catalog.
 #pragma once
 
 #include <atomic>
@@ -191,8 +192,8 @@ class Registry {
   std::size_t size() const;
 
   /// Name rule: snake_case ([a-z0-9_], starting with a letter) with a unit
-  /// suffix `_total`, `_bytes`, or `_ms` — keeps the Prometheus export
-  /// parseable and the catalog self-describing.
+  /// suffix `_total`, `_bytes`, `_ms`, or `_us` — keeps the Prometheus
+  /// export parseable and the catalog self-describing.
   static bool is_valid_name(const std::string& name);
 
  private:

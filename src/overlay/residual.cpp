@@ -175,8 +175,18 @@ void ResidualOverlay::rebuild(
     residual_metrics().incremental_admissions.increment();
   } else {
     routing_ = std::make_shared<graph::AllPairsShortestWidest>(graph_->graph());
+    routing_->set_repair_mode(routing_repair_);
     residual_metrics().full_rebuilds.increment();
   }
+}
+
+void ResidualOverlay::set_routing_repair_mode(
+    graph::AllPairsShortestWidest::RepairMode mode) {
+  routing_repair_ = mode;
+  // Only the sole owner may mutate the shared database; a shared one keeps
+  // its mode until the next fresh rebuild (which re-applies routing_repair_).
+  if (routing_ != nullptr && routing_.use_count() == 1)
+    routing_->set_repair_mode(mode);
 }
 
 }  // namespace sflow::overlay

@@ -20,6 +20,7 @@
 #include "server/frame.hpp"
 #include "server/hosting.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace sflow::server {
 
@@ -85,6 +86,15 @@ Server::Server(core::Scenario scenario, ServerConfig config)
       view_(scenario_.view),
       presolver_(config_.presolve_threads),
       catalog_text_(catalog_listing(scenario_)) {
+  view_.set_routing_repair_mode(config_.routing_repair);
+  // Warm every source tree before the first request: the batch pre-solve
+  // queries the database from multiple threads, and a warm cache turns those
+  // first-touch Dijkstra builds into wait-free pointer loads.  Reuses the
+  // pre-solve pool when it exists.
+  if (util::ThreadPool* pool = presolver_.pool_if_parallel())
+    view_.routing().precompute_all(*pool);
+  else
+    view_.routing().precompute_all();
   admitter_ = std::thread(&Server::admitter_loop, this);
 }
 

@@ -116,7 +116,9 @@ TEST(Registry, NameRule) {
   EXPECT_TRUE(Registry::is_valid_name("sfederate_messages_total"));
   EXPECT_TRUE(Registry::is_valid_name("x2_payload_bytes"));
   EXPECT_TRUE(Registry::is_valid_name("trial_wall_ms"));
+  EXPECT_TRUE(Registry::is_valid_name("routing_resweep_us"));
   EXPECT_FALSE(Registry::is_valid_name(""));
+  EXPECT_FALSE(Registry::is_valid_name("_us"));               // no base name
   EXPECT_FALSE(Registry::is_valid_name("_total"));            // no base name
   EXPECT_FALSE(Registry::is_valid_name("1abc_total"));        // leading digit
   EXPECT_FALSE(Registry::is_valid_name("Messages_total"));    // upper case
@@ -288,7 +290,7 @@ TEST(DefaultDurationBuckets, StrictlyIncreasing) {
 
 /// Metric-name hygiene (tier 1): after a representative instrumented sweep,
 /// every name in the global registry is unique, snake_case, and carries a
-/// `_total` / `_bytes` / `_ms` unit suffix.  Guards every instrumentation
+/// `_total` / `_bytes` / `_ms` / `_us` unit suffix.  Guards every instrumentation
 /// site at once — a new metric with a sloppy name fails here.
 TEST(Registry, GlobalMetricNamesAreHygienic) {
   core::TrialSpec spec;
@@ -313,7 +315,8 @@ TEST(Registry, GlobalMetricNamesAreHygienic) {
           << "bad character in " << metric.name;
     const bool suffixed = metric.name.ends_with("_total") ||
                           metric.name.ends_with("_bytes") ||
-                          metric.name.ends_with("_ms");
+                          metric.name.ends_with("_ms") ||
+                          metric.name.ends_with("_us");
     EXPECT_TRUE(suffixed) << "missing unit suffix: " << metric.name;
   }
 }

@@ -444,6 +444,25 @@ void expect_matches_fresh_build(const AllPairsShortestWidest& db,
       ASSERT_EQ(incremental.path_to(dest), oracle.path_to(dest))
           << context << ": path " << s << "->" << t;
     }
+    // Layout identity, not just answer identity: a re-swept tree must carry
+    // the same class-round table and arena as a fresh build, because the
+    // next event's salvage memcpys through exactly this layout.
+    const auto inc_rounds = incremental.class_rounds();
+    const auto want_rounds = oracle.class_rounds();
+    ASSERT_EQ(inc_rounds.size(), want_rounds.size())
+        << context << ": round-table size, source " << s;
+    for (std::size_t r = 0; r < want_rounds.size(); ++r) {
+      ASSERT_EQ(inc_rounds[r].width, want_rounds[r].width)
+          << context << ": round " << r << " width, source " << s;
+      ASSERT_EQ(inc_rounds[r].arena_end, want_rounds[r].arena_end)
+          << context << ": round " << r << " arena end, source " << s;
+    }
+    const auto inc_arena = incremental.arena();
+    const auto want_arena = oracle.arena();
+    ASSERT_TRUE(inc_arena.size() == want_arena.size() &&
+                std::equal(inc_arena.begin(), inc_arena.end(),
+                           want_arena.begin()))
+        << context << ": arena layout, source " << s;
   }
 }
 
@@ -487,8 +506,11 @@ std::optional<ChurnEvent> draw_event(const Digraph& g, util::Rng& rng) {
   const Edge& edge = *live[rng.uniform_int(0, live.size() - 1)];
   if (kind == 1)
     return ChurnEvent{ChurnEvent::Kind::kRemove, edge.from, edge.to, {}};
-  return ChurnEvent{ChurnEvent::Kind::kReweight, edge.from, edge.to,
-                    random_metrics()};
+  LinkMetrics m = random_metrics();
+  // Half of reweights keep the old latency — the shape residual-capacity
+  // churn takes — so the band (below-the-event) salvage path stays hot.
+  if (rng.chance(0.5)) m.latency = edge.metrics.latency;
+  return ChurnEvent{ChurnEvent::Kind::kReweight, edge.from, edge.to, m};
 }
 
 AllPairsShortestWidest::UpdateStats apply_event(AllPairsShortestWidest& db,
@@ -610,9 +632,12 @@ TEST(IncrementalUpdate, ThresholdFallbackClearsEverySlot) {
     event = draw_event(db.graph(), rng);
     ASSERT_TRUE(event.has_value());
     stats = apply_event(db, *event);
-  } while (stats.dirty_sources == 0);
+  } while (stats.invalidated_sources == 0);
   EXPECT_TRUE(stats.full_rebuild);
   EXPECT_EQ(stats.retained_sources, 0u);
+  // A fallback invalidates without re-sweeping — the split must say so.
+  EXPECT_EQ(stats.reswept_sources, 0u);
+  EXPECT_EQ(stats.rounds_swept, 0u);
   for (std::size_t s = 0; s < db.node_count(); ++s)
     EXPECT_FALSE(db.tree_cached(static_cast<NodeIndex>(s))) << s;
   // Lazy rebuild still answers correctly.
@@ -629,7 +654,7 @@ TEST(IncrementalUpdate, UnbuiltSlotsStayLazy) {
   ASSERT_TRUE(event.has_value());
   const auto stats = apply_event(db, *event);
   EXPECT_EQ(stats.unbuilt_sources, db.node_count() - 2);
-  EXPECT_EQ(stats.dirty_sources + stats.retained_sources, 2u);
+  EXPECT_EQ(stats.invalidated_sources + stats.retained_sources, 2u);
   for (std::size_t s = 2; s < db.node_count(); ++s)
     EXPECT_FALSE(db.tree_cached(static_cast<NodeIndex>(s))) << s;
 }
@@ -655,6 +680,291 @@ TEST(IncrementalUpdate, CloneEvolvesIndependently) {
   EXPECT_EQ(copy->graph().live_edge_count() ==
                 db.graph().live_edge_count(),
             event->kind == ChurnEvent::Kind::kReweight);
+}
+
+// --- Per-class salvage, lazy repair, parallel re-sweeps ----------------------
+
+TEST(RoutingTree, ClassRoundTableMatchesArenaLayout) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Digraph g =
+        equivalence_graph(15, 4400 + seed, seed % 2 == 0, false, 0, 0.25);
+    const CsrView csr(g);
+    for (std::size_t s = 0; s < g.node_count(); ++s) {
+      const RoutingTree tree =
+          shortest_widest_tree(csr, static_cast<NodeIndex>(s));
+      const auto rounds = tree.class_rounds();
+      const auto arena = tree.arena();
+      ASSERT_FALSE(arena.empty());
+      // Slot 0 is always the source's own 1-node path.
+      EXPECT_EQ(arena[0], static_cast<NodeIndex>(s));
+      double prev_width = std::numeric_limits<double>::infinity();
+      std::uint32_t prev_end = 1;
+      for (const RoutingTree::ClassRound& round : rounds) {
+        EXPECT_LT(round.width, prev_width);    // strictly descending classes
+        EXPECT_GT(round.arena_end, prev_end);  // every round appends paths
+        prev_width = round.width;
+        prev_end = round.arena_end;
+      }
+      if (!rounds.empty()) {
+        EXPECT_EQ(rounds.back().arena_end, arena.size());
+      }
+      // Every reachable destination's path lies inside its class's round
+      // segment — the contiguity the salvage prefix copy depends on.
+      for (std::size_t t = 0; t < g.node_count(); ++t) {
+        if (t == s) continue;
+        const auto dest = static_cast<NodeIndex>(t);
+        const double w = tree.quality_to(dest).bandwidth;
+        if (w <= 0.0) continue;
+        std::size_t r = 0;
+        while (r < rounds.size() && rounds[r].width != w) ++r;
+        ASSERT_LT(r, rounds.size()) << "no round for width " << w;
+        const std::uint32_t begin = r == 0 ? 1u : rounds[r - 1].arena_end;
+        const std::uint32_t offset = tree.path_offset(dest);
+        EXPECT_GE(offset, begin);
+        EXPECT_LE(offset + tree.path_view(dest).size(), rounds[r].arena_end);
+      }
+    }
+  }
+}
+
+TEST(IncrementalUpdate, SharpenedSalvageBeatsWidthsUnchangedPolicy) {
+  // The pre-sharpening policy only salvaged when *every* width label
+  // survived; the per-class floor salvages high rounds even when low-class
+  // widths moved.  rounds_swept_baseline replays the old policy, so a strict
+  // win must show up, and the new policy must never do more round work.
+  std::size_t sharpened_wins = 0;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    AllPairsShortestWidest db(
+        equivalence_graph(16, 7200 + seed, true, false, 0, 0.2));
+    db.set_rebuild_threshold(2.0);
+    db.precompute_all();
+    util::Rng rng(555 + seed);
+    for (int step = 0; step < 10; ++step) {
+      const auto event = draw_event(db.graph(), rng);
+      if (!event) continue;
+      const auto stats = apply_event(db, *event);
+      EXPECT_LE(stats.rounds_swept, stats.rounds_swept_baseline);
+      if (stats.rounds_swept < stats.rounds_swept_baseline) ++sharpened_wins;
+      expect_matches_fresh_build(db, "sharpened salvage");
+    }
+  }
+  EXPECT_GT(sharpened_wins, 0u);
+}
+
+TEST(IncrementalUpdate, BandSalvageSkipsClassesOutsideTheEventBand) {
+  // Classes from source 0: 30 {3, 4}, 10 {1, 2}, 2 {5}.  No other source can
+  // reach node 0, so events on 0's out-arcs dirty exactly one tree and the
+  // aggregate stats read as per-source counts.
+  Digraph g(6);
+  g.add_edge(0, 1, {10.0, 1.0});
+  g.add_edge(1, 2, {20.0, 1.0});
+  g.add_edge(0, 2, {5.0, 1.0});
+  g.add_edge(0, 3, {30.0, 1.0});
+  g.add_edge(3, 4, {40.0, 1.0});
+  g.add_edge(0, 5, {2.0, 1.0});
+  AllPairsShortestWidest db(std::move(g));
+  db.set_rebuild_threshold(2.0);
+  db.precompute_all();
+
+  // Latency-preserving reweight of (0, 2): band (5, 10].  Every width label
+  // survives, so only the class-10 round re-runs; the 30 round (above the
+  // cap) and the 2 round (at or below the band bottom, where the arc sits in
+  // the prefix with identical latency either way) are both salvaged — the
+  // widths-unchanged-only policy could not keep the round *below* the event.
+  const auto stats = db.apply_link_reweight(0, 2, {10.0, 1.0});
+  EXPECT_EQ(stats.invalidated_sources, 1u);
+  EXPECT_EQ(stats.reswept_sources, 1u);
+  EXPECT_EQ(stats.partial_resweeps, 1u);
+  EXPECT_EQ(stats.rounds_swept, 1u);
+  EXPECT_EQ(stats.rounds_salvaged, 2u);
+  EXPECT_EQ(stats.rounds_swept_baseline, 2u);
+
+  // The re-swept round picked up the real change: the direct arc now matches
+  // the chain's width at half its latency.
+  EXPECT_EQ(db.quality(0, 2), (PathQuality{10.0, 1.0}));
+  expect_matches_fresh_build(db, "band salvage");
+}
+
+TEST(IncrementalUpdate, LazyRepairMatchesEagerAndFresh) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Digraph start = equivalence_graph(14, 8300 + seed, seed % 2 == 0,
+                                            seed % 3 == 0, 0, 0.2);
+    AllPairsShortestWidest eager{Digraph(start)};
+    AllPairsShortestWidest lazy{Digraph(start)};
+    eager.set_rebuild_threshold(2.0);
+    lazy.set_rebuild_threshold(2.0);
+    lazy.set_repair_mode(AllPairsShortestWidest::RepairMode::kLazy);
+    eager.precompute_all();
+    lazy.precompute_all();
+
+    util::Rng rng(4040 + seed);
+    util::Rng query_rng(909 + seed);
+    for (int step = 0; step < 10; ++step) {
+      const auto event = draw_event(eager.graph(), rng);
+      if (!event) continue;
+      apply_event(eager, *event);
+      const auto stats = apply_event(lazy, *event);
+      EXPECT_EQ(stats.reswept_sources, 0u);
+      EXPECT_EQ(stats.deferred_sources,
+                stats.invalidated_sources + stats.stale_sources);
+
+      // Unqueried invalidated slots are provably untouched: unpublished and
+      // still stamped stale.
+      for (const NodeIndex source : stats.dirty) {
+        EXPECT_FALSE(lazy.tree_cached(source)) << "source " << source;
+        EXPECT_TRUE(lazy.tree_stale(source)) << "source " << source;
+      }
+
+      // Each queried source repairs on first touch, bit-identical to the
+      // eager database's tree (itself pinned against fresh builds below).
+      for (int q = 0; q < 2; ++q) {
+        const auto source = static_cast<NodeIndex>(query_rng.uniform_int(
+            0, static_cast<std::int64_t>(lazy.node_count()) - 1));
+        const RoutingTree& got = lazy.tree(source);
+        const RoutingTree& want = eager.tree(source);
+        EXPECT_FALSE(lazy.tree_stale(source));
+        EXPECT_TRUE(lazy.tree_cached(source));
+        for (std::size_t t = 0; t < lazy.node_count(); ++t) {
+          const auto dest = static_cast<NodeIndex>(t);
+          ASSERT_EQ(got.quality_to(dest), want.quality_to(dest))
+              << "quality " << source << "->" << t;
+          ASSERT_EQ(got.path_to(dest), want.path_to(dest))
+              << "path " << source << "->" << t;
+        }
+      }
+    }
+    expect_matches_fresh_build(lazy, "lazy end state");
+    expect_matches_fresh_build(eager, "eager end state");
+  }
+}
+
+TEST(IncrementalUpdate, LazyPendingOverflowStillRepairsExactly) {
+  // One reweight per distinct tail node — more than the pending-list cap —
+  // with no queries in between: stale slots overflow their event lists,
+  // forget the floor, and must fall back to a full re-sweep that is still
+  // bit-identical to a fresh build.
+  AllPairsShortestWidest db(equivalence_graph(80, 12121, true, false, 0, 0.08));
+  db.set_rebuild_threshold(2.0);
+  db.set_repair_mode(AllPairsShortestWidest::RepairMode::kLazy);
+  db.precompute_all();
+  util::Rng rng(66);
+  const std::vector<Edge> snapshot(db.graph().edges().begin(),
+                                   db.graph().edges().end());
+  std::set<NodeIndex> tails;
+  for (const Edge& e : snapshot) {
+    if (e.from == kInvalidNode || !tails.insert(e.from).second) continue;
+    LinkMetrics m = e.metrics;
+    m.bandwidth = static_cast<double>(rng.uniform_int(1, 5));
+    m.latency = rng.uniform_real(0.1, 5.0);
+    db.apply_link_reweight(e.from, e.to, m);
+  }
+  ASSERT_GT(tails.size(), 64u);  // enough distinct tails to overflow the cap
+  expect_matches_fresh_build(db, "after pending overflow");
+}
+
+TEST(IncrementalUpdate, ParallelResweepsAreDeterministic) {
+  const Digraph start = equivalence_graph(16, 31415, true, false, 0, 0.2);
+  const auto run = [&start](util::ThreadPool* pool) {
+    AllPairsShortestWidest db{Digraph(start)};
+    db.set_rebuild_threshold(2.0);
+    db.set_update_pool(pool);
+    if (pool != nullptr)
+      db.precompute_all(*pool);
+    else
+      db.precompute_all();
+    util::Rng rng(2718);
+    for (int step = 0; step < 12; ++step) {
+      const auto event = draw_event(db.graph(), rng);
+      if (!event) continue;
+      apply_event(db, *event);
+    }
+    // Flatten every tree — qualities and hops — for exact comparison.
+    std::pair<std::vector<PathQuality>, std::vector<NodeIndex>> flat;
+    for (std::size_t s = 0; s < db.node_count(); ++s) {
+      const RoutingTree& tree = db.tree(static_cast<NodeIndex>(s));
+      for (std::size_t t = 0; t < db.node_count(); ++t) {
+        flat.first.push_back(tree.quality_to(static_cast<NodeIndex>(t)));
+        const auto view = tree.path_view(static_cast<NodeIndex>(t));
+        flat.second.insert(flat.second.end(), view.begin(), view.end());
+        flat.second.push_back(kInvalidNode);  // path separator
+      }
+    }
+    return flat;
+  };
+  const auto serial = run(nullptr);
+  util::ThreadPool two(2);
+  util::ThreadPool eight(8);
+  EXPECT_TRUE(serial == run(&two)) << "2-thread re-sweeps diverge from serial";
+  EXPECT_TRUE(serial == run(&eight)) << "8-thread re-sweeps diverge from serial";
+}
+
+TEST(IncrementalUpdate, ConcurrentLazyRepairsAreSafe) {
+  // Eight threads race first-touch repairs of the same stale slots; the
+  // build-mutex double-check must hand every one of them the same tree.
+  // TSan-load-bearing (tools/run_sanitized_tests.sh).
+  AllPairsShortestWidest db(equivalence_graph(20, 2424, true, false, 0, 0.2));
+  db.set_rebuild_threshold(2.0);
+  db.set_repair_mode(AllPairsShortestWidest::RepairMode::kLazy);
+  db.precompute_all();
+  util::Rng rng(11);
+  for (int step = 0; step < 4; ++step) {
+    const auto event = draw_event(db.graph(), rng);
+    if (!event) continue;
+    apply_event(db, *event);
+    std::vector<std::thread> threads;
+    std::vector<const RoutingTree*> first_seen(8, nullptr);
+    for (int t = 0; t < 8; ++t)
+      threads.emplace_back([&db, &first_seen, t] {
+        first_seen[static_cast<std::size_t>(t)] = &db.tree(0);
+        for (std::size_t s = 0; s < db.node_count(); ++s)
+          db.tree(static_cast<NodeIndex>(s));
+      });
+    for (std::thread& t : threads) t.join();
+    for (const RoutingTree* tree : first_seen)
+      EXPECT_EQ(tree, first_seen[0]);  // one repair, every racer sees it
+    expect_matches_fresh_build(db, "concurrent lazy repair");
+  }
+}
+
+TEST(IncrementalUpdate, CloneCarriesStalenessBookkeeping) {
+  AllPairsShortestWidest db(equivalence_graph(12, 777, true, false, 0, 0.25));
+  db.set_rebuild_threshold(2.0);
+  db.set_repair_mode(AllPairsShortestWidest::RepairMode::kLazy);
+  db.precompute_all();
+  util::Rng rng(8);
+  std::optional<ChurnEvent> event;
+  AllPairsShortestWidest::UpdateStats stats;
+  do {
+    event = draw_event(db.graph(), rng);
+    ASSERT_TRUE(event.has_value());
+    stats = apply_event(db, *event);
+  } while (stats.deferred_sources == 0);
+
+  const auto copy = db.clone();
+  for (const NodeIndex source : stats.dirty) {
+    EXPECT_TRUE(copy->tree_stale(source)) << "source " << source;
+    EXPECT_FALSE(copy->tree_cached(source)) << "source " << source;
+  }
+  // The clone repairs its own slots on query, exactly as the original would;
+  // repairing the clone leaves the original's staleness untouched.
+  expect_matches_fresh_build(*copy, "clone with pending repairs");
+  for (const NodeIndex source : stats.dirty)
+    EXPECT_TRUE(db.tree_stale(source)) << "source " << source;
+  expect_matches_fresh_build(db, "original after clone repaired");
+}
+
+TEST(IncrementalUpdate, GraphDiffDefersUnderLazyRepair) {
+  const Digraph before = equivalence_graph(13, 555, true, false, 0, 0.2);
+  const Digraph after = equivalence_graph(13, 556, true, true, 0, 0.2);
+  AllPairsShortestWidest db{Digraph(before)};
+  db.set_rebuild_threshold(2.0);
+  db.set_repair_mode(AllPairsShortestWidest::RepairMode::kLazy);
+  db.precompute_all();
+  const GraphDiffStats stats = apply_graph_diff(db, after);
+  EXPECT_GT(stats.events, 0u);
+  EXPECT_EQ(stats.reswept_sources, 0u);  // every repair deferred to queries
+  EXPECT_GT(stats.deferred_sources, 0u);
+  expect_matches_fresh_build(db, "lazy diff retarget");
 }
 
 TEST(IncrementalUpdate, GraphDiffRetargetsToArbitraryState) {

@@ -68,6 +68,7 @@
 #include "overlay/requirement_generator.hpp"
 #include "overlay/serialization.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -77,7 +78,10 @@ using namespace sflow;
   if (!message.empty()) std::cerr << "error: " << message << "\n\n";
   std::cerr << "usage: fuzz_federation [--seeds N] [--base-seed S] [--smoke]\n"
                "                       [--contention] [--churn] [--replay PATH]\n"
-               "                       [--dump-dir DIR]\n";
+               "                       [--repair eager|lazy] [--threads N]\n"
+               "                       [--dump-dir DIR]\n"
+               "  --repair/--threads select the routing repair mode and the\n"
+               "  update/precompute pool for the --churn battery\n";
   std::exit(2);
 }
 
@@ -434,8 +438,11 @@ std::optional<ChurnEvent> draw_churn_event(const graph::Digraph& g,
       *live[rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1)];
   if (kind == 1)
     return ChurnEvent{ChurnEvent::Kind::kRemove, edge.from, edge.to, {}};
-  return ChurnEvent{ChurnEvent::Kind::kReweight, edge.from, edge.to,
-                    random_metrics()};
+  graph::LinkMetrics m = random_metrics();
+  // Half of reweights keep the old latency — the shape residual-capacity
+  // churn takes — so the band (below-the-event) salvage path stays hot.
+  if (rng.chance(0.5)) m.latency = edge.metrics.latency;
+  return ChurnEvent{ChurnEvent::Kind::kReweight, edge.from, edge.to, m};
 }
 
 /// Fresh Digraph holding only the live edges of the database's graph, in
@@ -508,6 +515,16 @@ void diff_against_fresh(const graph::AllPairsShortestWidest& db,
 struct ChurnTally {
   std::size_t events = 0;
   std::size_t federation_checks = 0;
+  std::size_t lazy_diffs = 0;  // diffs taken with >= 1 event pending
+};
+
+/// How the churn battery maintains its database: the repair mode under test
+/// and an optional worker pool (eager mode fans dirty re-sweeps across it;
+/// the parallel precompute warms the cache through it either way).
+struct ChurnOptions {
+  graph::AllPairsShortestWidest::RepairMode repair =
+      graph::AllPairsShortestWidest::RepairMode::kEager;
+  util::ThreadPool* pool = nullptr;
 };
 
 /// Link events diffed per seed, and how often a federation is interleaved.
@@ -517,17 +534,28 @@ constexpr std::size_t kChurnFederationStride = 4;
 /// The churn battery for one scenario: precompute the database, hammer it
 /// with random link events (threshold fallback disabled so every event takes
 /// the dirty-set path), and after each event rebuild the truth from scratch
-/// and diff.  Every kChurnFederationStride-th event additionally runs sFlow
-/// and the global optimum against both databases with identically seeded
-/// RNGs — reading qualities and paths the way the solvers actually do — and
-/// requires deterministically equal outcomes.
+/// and diff.  In lazy mode the diff runs every *second* event, so pending
+/// lists accumulate multi-event floors, and the diff's full query sweep is
+/// itself the repair trigger under test.  Every kChurnFederationStride-th
+/// event additionally runs sFlow and the global optimum against both
+/// databases with identically seeded RNGs — reading qualities and paths the
+/// way the solvers actually do — and requires deterministically equal
+/// outcomes.
 std::vector<check::Violation> run_churn_battery(const core::Scenario& scenario,
                                                 std::uint64_t case_seed,
+                                                const ChurnOptions& options,
                                                 ChurnTally& tally) {
+  using RepairMode = graph::AllPairsShortestWidest::RepairMode;
+  const bool lazy = options.repair == RepairMode::kLazy;
   std::vector<check::Violation> violations;
   graph::AllPairsShortestWidest db(scenario.overlay().graph());
   db.set_rebuild_threshold(2.0);  // > 1: the fallback can never trigger
-  db.precompute_all();
+  db.set_repair_mode(options.repair);
+  db.set_update_pool(options.pool);
+  if (options.pool != nullptr)
+    db.precompute_all(*options.pool);
+  else
+    db.precompute_all();
 
   util::Rng rng(util::derive_seed(case_seed, 0xC4A2));
   for (std::size_t step = 0; step < kChurnEventsPerSeed; ++step) {
@@ -557,11 +585,41 @@ std::vector<check::Violation> run_churn_battery(const core::Scenario& scenario,
       violations.push_back(
           {"churn-threshold-breach",
            context.str() + ": fallback fired with the threshold disabled"});
-    if (stats.dirty_sources + stats.retained_sources + stats.unbuilt_sources !=
+    if (stats.invalidated_sources + stats.retained_sources +
+            stats.unbuilt_sources + stats.stale_sources !=
         db.node_count())
       violations.push_back(
           {"churn-slot-accounting",
-           context.str() + ": dirty + retained + unbuilt != node count"});
+           context.str() +
+               ": invalidated + retained + unbuilt + stale != node count"});
+    if (lazy) {
+      if (stats.reswept_sources != 0)
+        violations.push_back({"churn-lazy-eager-work",
+                              context.str() + ": lazy event re-swept eagerly"});
+      if (stats.deferred_sources !=
+          stats.invalidated_sources + stats.stale_sources)
+        violations.push_back(
+            {"churn-lazy-deferral",
+             context.str() + ": deferred != invalidated + previously stale"});
+      for (const graph::NodeIndex source : stats.dirty)
+        if (!db.tree_stale(source)) {
+          violations.push_back(
+              {"churn-lazy-staleness",
+               context.str() + ": invalidated source not stamped stale"});
+          break;
+        }
+    } else if (stats.reswept_sources !=
+               stats.invalidated_sources + stats.stale_sources) {
+      violations.push_back(
+          {"churn-eager-repair",
+           context.str() + ": eager event left stale slots unswept"});
+    }
+    if (!violations.empty()) return violations;
+
+    // Lazy mode diffs every second event so at least half the diffs see
+    // multi-event pending lists (the joint-floor path).
+    if (lazy && step % 2 == 0 && step + 1 < kChurnEventsPerSeed) continue;
+    if (lazy) ++tally.lazy_diffs;
 
     const graph::AllPairsShortestWidest fresh(live_graph_copy(db));
     diff_against_fresh(db, fresh, context.str(), violations);
@@ -674,6 +732,8 @@ int main(int argc, char** argv) {
   bool smoke = false;
   bool contention = false;
   bool churn = false;
+  std::string repair = "eager";
+  std::size_t threads = 1;
   std::string replay_path;
   std::string dump_dir = ".";
 
@@ -690,6 +750,13 @@ int main(int argc, char** argv) {
       contention = true;
     } else if (arg == "--churn") {
       churn = true;
+    } else if (arg == "--repair" && i + 1 < argc) {
+      repair = argv[++i];
+      if (repair != "eager" && repair != "lazy")
+        usage("bad --repair '" + repair + "' (want eager|lazy)");
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = std::strtoul(argv[++i], nullptr, 10);
+      if (threads == 0) threads = 1;
     } else if (arg == "--replay" && i + 1 < argc) {
       replay_path = argv[++i];
     } else if (arg == "--dump-dir" && i + 1 < argc) {
@@ -698,6 +765,8 @@ int main(int argc, char** argv) {
       usage("unknown argument '" + arg + "'");
     }
   }
+  if ((repair == "lazy" || threads > 1) && !churn)
+    usage("--repair/--threads only apply to --churn");
   if (contention && churn)
     usage("--contention and --churn are mutually exclusive");
   // Contention cases cost ~K! sequences each and churn cases a from-scratch
@@ -711,6 +780,14 @@ int main(int argc, char** argv) {
       std::size_t failures = 0;
       std::size_t infeasible_workloads = 0;
       ChurnTally tally;
+      ChurnOptions options;
+      if (repair == "lazy")
+        options.repair = graph::AllPairsShortestWidest::RepairMode::kLazy;
+      std::unique_ptr<util::ThreadPool> pool;
+      if (threads > 1) {
+        pool = std::make_unique<util::ThreadPool>(threads);
+        options.pool = pool.get();
+      }
 
       for (std::size_t s = 0; s < seeds; ++s) {
         const std::uint64_t case_seed = util::derive_seed(base_seed, s);
@@ -726,7 +803,7 @@ int main(int argc, char** argv) {
         }
 
         const std::vector<check::Violation> violations =
-            run_churn_battery(scenario, case_seed, tally);
+            run_churn_battery(scenario, case_seed, options, tally);
         if (violations.empty()) {
           if (!smoke && (s + 1) % 25 == 0)
             std::cout << "  " << (s + 1) << "/" << seeds << " seeds clean\n";
@@ -742,12 +819,15 @@ int main(int argc, char** argv) {
         print_violations(std::cerr, violations);
       }
 
-      std::cout << "fuzz_federation --churn: " << seeds << " seeds, "
-                << tally.events
-                << " link events diffed against from-scratch rebuilds, "
-                << tally.federation_checks << " federation cross-checks, "
-                << infeasible_workloads << " infeasible workload draws, "
-                << failures << " failing seed(s)\n";
+      std::cout << "fuzz_federation --churn (" << repair << ", " << threads
+                << " thread(s)): " << seeds << " seeds, " << tally.events
+                << " link events diffed against from-scratch rebuilds";
+      if (repair == "lazy")
+        std::cout << " (" << tally.lazy_diffs << " lazy repair sweeps)";
+      std::cout << ", " << tally.federation_checks
+                << " federation cross-checks, " << infeasible_workloads
+                << " infeasible workload draws, " << failures
+                << " failing seed(s)\n";
       return failures == 0 ? 0 : 1;
     }
 

@@ -26,10 +26,13 @@
 # and churn_refederation_smoke runs the closed detect→diagnose→refederate
 # loop end to end with its bit-identical-to-open-loop assertions on.
 # Incremental routing maintenance rides along: qos_routing_test's
-# IncrementalUpdate suite and fuzz_federation_churn_smoke drive
-# apply_link_* event sequences — dirty-set invalidation, partial class-round
-# salvage, atomic tree publication behind double-checked locks — with a
-# from-scratch oracle diff after every event, under the same sanitizers.
+# IncrementalUpdate suite and the fuzz_federation_churn_smoke family
+# (eager, --repair lazy, --threads 4) drive apply_link_* event sequences —
+# per-width-class invalidation, pending-event salvage floors, lazy
+# first-query repair behind double-checked locks, and pool-parallel dirty
+# re-sweeps — with a from-scratch oracle diff after every event, under the
+# same sanitizers.  ConcurrentLazyRepairsAreSafe races eight threads through
+# first-touch repairs of the same stale slots; TSan is load-bearing there.
 # The federation server rides along, and TSan is load-bearing for it:
 # thread_pool_test (exception capture across workers), server_test (reader
 # threads racing the admitter, drain-on-stop), sflowd_smoke (whole daemon —
